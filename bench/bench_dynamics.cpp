@@ -1,0 +1,79 @@
+// Dynamics — the §10 future-work experiment: iterated house/provider
+// dynamics. Each round the house best-responds to whoever is left; the
+// providers its chosen policy pushes past their thresholds leave for good.
+// The bench traces the trajectory on a Westin-mixed population and checks
+// that it converges to a stable policy/population pair.
+#include <cstdio>
+#include <iostream>
+
+#include "common/macros.h"
+#include "sim/dynamics.h"
+#include "sim/population.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+}  // namespace
+
+int main() {
+  std::printf("=== Dynamics: iterated house best-response vs provider "
+              "departure ===\n\n");
+
+  sim::PopulationConfig config;
+  config.num_providers = 2000;
+  config.attributes = {{"purchases", 3.0, 120, 40},
+                       {"location", 4.0, 0, 1}};
+  config.purposes = {"service", "advertising"};
+  config.seed = 5150;
+  auto population_result = sim::PopulationGenerator(config).Generate();
+  PPDB_CHECK_OK(population_result.status());
+  sim::Population population = std::move(population_result).value();
+  auto policy = sim::MakeUniformPolicy(config.attributes, config.purposes,
+                                       0.0, 0.0, 0.0, &population.config);
+  PPDB_CHECK_OK(policy.status());
+  population.config.policy = std::move(policy).value();
+
+  violation::SearchOptions options;
+  options.utility_per_provider = 1.0;
+  options.value_model = violation::MakeLinearExposureValue(0.6);
+
+  auto result =
+      sim::RunHouseProviderDynamics(population.config, options, 16);
+  PPDB_CHECK_OK(result.status());
+
+  stats::TablePrinter table({"round", "population", "policy moves",
+                             "house utility", "departures"});
+  for (const sim::DynamicsRound& round : result->rounds) {
+    table.AddRow({stats::TablePrinter::FormatInt(round.round),
+                  stats::TablePrinter::FormatInt(round.population),
+                  stats::TablePrinter::FormatInt(round.moves),
+                  stats::TablePrinter::FormatDouble(round.utility, 1),
+                  stats::TablePrinter::FormatInt(round.departures)});
+  }
+  table.Print(std::cout);
+
+  bool population_monotone = true;
+  for (size_t r = 1; r < result->rounds.size(); ++r) {
+    population_monotone = population_monotone &&
+                          result->rounds[r].population <=
+                              result->rounds[r - 1].population;
+  }
+  std::printf(
+      "\nConverged: %s after %zu round(s); final population %lld of %lld; "
+      "population monotone: %s; final round has no departures: %s.\n",
+      result->converged ? "yes" : "NO", result->rounds.size(),
+      static_cast<long long>(
+          result->final_config.preferences.num_providers()),
+      static_cast<long long>(config.num_providers),
+      population_monotone ? "yes" : "NO",
+      result->final_round().departures == 0 ? "yes" : "NO");
+  bool ok = result->converged && population_monotone &&
+            result->final_round().departures == 0;
+  std::printf("%s\n",
+              ok ? "DYNAMICS REPRODUCED: the iterated game reaches a "
+                   "stable policy/population fixed point."
+                 : "DYNAMICS SHAPE MISMATCH.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// External-risk bridge — the paper positions its internal-risk model
+// against the data-release literature (k-anonymity [20], differential
+// privacy [2-4]). This bench quantifies the connection on one population:
+//
+//  (1) Granularity enforcement, driven purely by *provider preferences*,
+//      also coarsens quasi-identifiers: the k-anonymity of the monitor's
+//      output rises as the policy granularity narrows.
+//  (2) When aggregates leave the house at world visibility, the Laplace
+//      mechanism adds the classical epsilon-DP guarantee; we trace the
+//      noise/accuracy trade-off.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "audit/dp_release.h"
+#include "audit/k_anonymity.h"
+#include "audit/monitor.h"
+#include "common/macros.h"
+#include "sim/population.h"
+#include "stats/running_stats.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+}  // namespace
+
+int main() {
+  std::printf("=== External-risk bridge: preference enforcement vs "
+              "k-anonymity and DP ===\n\n");
+
+  sim::PopulationConfig config;
+  config.num_providers = 4000;
+  config.attributes = {{"age_years", 2.0, 45, 15},
+                       {"weight_kg", 4.0, 75, 12}};
+  config.purposes = {"research"};
+  config.seed = 11;
+  for (sim::SegmentProfile& profile : config.profiles) {
+    profile.statement_probability = 1.0;
+  }
+  auto population_result = sim::PopulationGenerator(config).Generate();
+  PPDB_CHECK_OK(population_result.status());
+  sim::Population population = std::move(population_result).value();
+
+  rel::Catalog catalog;
+  PPDB_CHECK_OK(catalog.AddTable(std::move(population.data)).status());
+
+  audit::GeneralizerRegistry generalizers;
+  generalizers.Register("age_years",
+                        std::make_unique<audit::NumericRangeGeneralizer>(
+                            std::vector<double>{0.0, 0.0, 10.0}));
+  generalizers.Register("weight_kg",
+                        std::make_unique<audit::NumericRangeGeneralizer>(
+                            std::vector<double>{0.0, 0.0, 10.0}));
+
+  // --- (1) k-anonymity of the enforced release per policy granularity. --
+  std::printf("(1) k-anonymity of the monitor's output as the declared "
+              "granularity varies\n");
+  stats::TablePrinter k_table({"policy granularity", "k", "classes",
+                               "at-risk mass (k<10)"});
+  for (int granularity = 0; granularity <= 3; ++granularity) {
+    privacy::PrivacyConfig scenario = population.config;
+    privacy::PurposeId research =
+        scenario.purposes.Lookup("research").value();
+    for (const char* attr : {"age_years", "weight_kg"}) {
+      PPDB_CHECK_OK(scenario.policy.Add(
+          attr, privacy::PrivacyTuple{research, 1, granularity, 3}));
+    }
+    audit::AuditLog log;
+    audit::AccessMonitor monitor(&catalog, &scenario, &generalizers, &log,
+                                 audit::EnforcementMode::kEnforce);
+    audit::AccessRequest request;
+    request.requester = "research_partner";
+    request.visibility_level = 1;
+    request.purpose = research;
+    request.table = "providers";
+    request.attributes = {"age_years", "weight_kg"};
+    auto released = monitor.Execute(request);
+    PPDB_CHECK_OK(released.status());
+    auto k = audit::MeasureKAnonymity(released.value(),
+                                      {"age_years", "weight_kg"}, 10);
+    PPDB_CHECK_OK(k.status());
+    k_table.AddRow(
+        {scenario.scales.granularity.NameOf(granularity).value(),
+         stats::TablePrinter::FormatInt(k->k),
+         stats::TablePrinter::FormatInt(k->num_classes),
+         stats::TablePrinter::FormatDouble(k->at_risk_fraction, 4)});
+  }
+  k_table.Print(std::cout);
+  std::printf("(coarser policy granularity => larger equivalence classes "
+              "=> stronger protection against external re-identification; "
+              "at 'specific' the doubles are near-unique and k collapses "
+              "to 1)\n\n");
+
+  // --- (2) DP release accuracy vs epsilon. ------------------------------
+  std::printf("(2) Laplace release of COUNT over the stored table\n");
+  rel::ResultSet scan =
+      rel::Scan(*catalog.GetTable("providers").value());
+  stats::TablePrinter dp_table(
+      {"epsilon", "noise scale b", "mean |error| over 40 runs"});
+  for (double epsilon : {0.01, 0.1, 1.0, 10.0}) {
+    stats::RunningStats error;
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+      Rng rng(seed * 31 + 7);
+      auto released = audit::ReleaseAggregates(
+          scan, {{rel::AggOp::kCount, "", "n"}},
+          audit::DpReleaseOptions{epsilon, 1.0}, rng);
+      PPDB_CHECK_OK(released.status());
+      error.Add(std::fabs(released.value()[0].released_value -
+                          released.value()[0].true_value));
+    }
+    dp_table.AddRow({stats::TablePrinter::FormatDouble(epsilon, 2),
+                     stats::TablePrinter::FormatDouble(1.0 / epsilon, 2),
+                     stats::TablePrinter::FormatDouble(error.mean(), 3)});
+  }
+  dp_table.Print(std::cout);
+  std::printf("(mean |error| tracks b = sensitivity/epsilon, the textbook "
+              "Laplace-mechanism trade-off)\n");
+  return 0;
+}

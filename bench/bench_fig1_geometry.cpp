@@ -1,0 +1,108 @@
+// E2 — Figure 1: the geometric reading of a privacy violation. A privacy
+// preference tuple spans a box over two dimensions (S_i, S_j); a policy
+// tuple violates iff it is not contained in that box, and the violated
+// dimensions are exactly those on which it sticks out.
+//
+// The bench sweeps every policy position on an 8x8 grid against the
+// preference box (5, 3), renders the violation map, and cross-checks the
+// region counts against the closed-form expectations.
+#include <cstdio>
+#include <iostream>
+
+#include "common/macros.h"
+#include "privacy/config.h"
+#include "stats/table_printer.h"
+#include "violation/detector.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+using privacy::PrivacyTuple;
+
+constexpr int kGridSize = 8;   // Levels 0..7 on both swept dimensions.
+constexpr int kPrefVis = 5;    // Preference box corner on S_i (visibility).
+constexpr int kPrefGran = 3;   // Preference box corner on S_j (granularity).
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== E2: Figure 1 — violations as points outside the preference box "
+      "===\n\n");
+  std::printf(
+      "Preference tuple at (S_i=visibility=%d, S_j=granularity=%d) on an "
+      "%dx%d grid.\n\n",
+      kPrefVis, kPrefGran, kGridSize, kGridSize);
+
+  privacy::PrivacyConfig config;
+  std::vector<std::string> levels;
+  for (int i = 0; i < kGridSize; ++i) {
+    levels.push_back("l" + std::to_string(i));
+  }
+  for (privacy::Dimension dim : privacy::kOrderedDimensions) {
+    *config.scales.MutableForDimension(dim).value() =
+        privacy::OrderedScale::Create(dim, levels).value();
+  }
+  privacy::PurposeId purpose = config.purposes.Register("pr").value();
+  config.preferences.ForProvider(1).Set(
+      "datum", PrivacyTuple{purpose, kPrefVis, kPrefGran, 0});
+
+  // Sweep every policy position; classify by number of exceeded dims.
+  int count_by_dims[3] = {0, 0, 0};
+  char map[kGridSize][kGridSize];
+  for (int v = 0; v < kGridSize; ++v) {
+    for (int g = 0; g < kGridSize; ++g) {
+      privacy::PrivacyConfig scenario = config;
+      PPDB_CHECK_OK(scenario.policy.Add(
+          "datum", PrivacyTuple{purpose, v, g, 0}));
+      violation::ViolationDetector detector(&scenario);
+      auto pv = detector.AnalyzeProvider(1);
+      PPDB_CHECK_OK(pv.status());
+      int dims = static_cast<int>(pv->incidents.size());
+      PPDB_CHECK(dims >= 0 && dims <= 2);
+      ++count_by_dims[dims];
+      map[v][g] = dims == 0 ? '.' : static_cast<char>('0' + dims);
+      // Cross-check the detector against the pure geometry.
+      PrivacyTuple policy{purpose, v, g, 0};
+      PrivacyTuple pref{purpose, kPrefVis, kPrefGran, 0};
+      PPDB_CHECK(policy.BoundedBy(pref) == (dims == 0));
+      PPDB_CHECK(static_cast<int>(policy.DimensionsExceeding(pref).size()) ==
+                 dims);
+    }
+  }
+
+  std::printf("Violation map (rows: S_i level 7..0, cols: S_j level 0..7;\n"
+              "'.' = Fig. 1(a) no violation, '1' = Fig. 1(b) one-dimension "
+              "violation, '2' = Fig. 1(c) two-dimension violation):\n\n");
+  for (int v = kGridSize - 1; v >= 0; --v) {
+    std::printf("  S_i=%d  ", v);
+    for (int g = 0; g < kGridSize; ++g) std::printf("%c ", map[v][g]);
+    std::printf("\n");
+  }
+
+  // Closed-form expectations: inside box (kPrefVis+1)*(kPrefGran+1); both
+  // exceed (7-kPrefVis)*(7-kPrefGran); one dim = rest.
+  int expected_inside = (kPrefVis + 1) * (kPrefGran + 1);
+  int expected_two = (kGridSize - 1 - kPrefVis) * (kGridSize - 1 - kPrefGran);
+  int expected_one = kGridSize * kGridSize - expected_inside - expected_two;
+
+  std::printf("\nRegion counts (paper-vs-measured):\n");
+  stats::TablePrinter table({"region", "analytic", "measured", "status"});
+  auto row = [&](const char* name, int expected, int actual) {
+    table.AddRow({name, stats::TablePrinter::FormatInt(expected),
+                  stats::TablePrinter::FormatInt(actual),
+                  expected == actual ? "MATCH" : "MISMATCH"});
+    return expected == actual;
+  };
+  bool ok = true;
+  ok &= row("no violation (Fig. 1a)", expected_inside, count_by_dims[0]);
+  ok &= row("1-dim violation (Fig. 1b)", expected_one, count_by_dims[1]);
+  ok &= row("2-dim violation (Fig. 1c)", expected_two, count_by_dims[2]);
+  table.Print(std::cout);
+
+  std::printf("\n%s\n", ok ? "E2 REPRODUCED: detector agrees with the "
+                             "geometric semantics of Fig. 1 on all 64 "
+                             "positions."
+                           : "E2 FAILED.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// Perf-2 — Engineering benchmark: runtime overhead of privacy enforcement
+// (google-benchmark). Compares a raw relational scan against the same read
+// through the access monitor in enforce and observe modes, plus the
+// retention sweeper.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "audit/monitor.h"
+#include "audit/retention_sweeper.h"
+#include "common/macros.h"
+#include "relational/query.h"
+#include "sim/population.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+struct Fixture {
+  rel::Catalog catalog;
+  privacy::PrivacyConfig config;
+  audit::GeneralizerRegistry generalizers;
+  audit::AuditLog log;
+  audit::IngestLedger ledger;
+  privacy::PurposeId purpose = 0;
+  rel::Table* table = nullptr;
+
+  explicit Fixture(int64_t providers) {
+    sim::PopulationConfig population_config;
+    population_config.num_providers = providers;
+    population_config.attributes = {{"income", 5.0, 65000, 20000},
+                                    {"health", 4.0, 70, 15}};
+    population_config.purposes = {"analytics"};
+    population_config.seed = 3;
+    auto population = sim::PopulationGenerator(population_config).Generate();
+    PPDB_CHECK_OK(population.status());
+    config = std::move(population.value().config);
+    auto policy = sim::MakeUniformPolicy(population_config.attributes,
+                                         population_config.purposes, 0.5,
+                                         0.67, 0.5, &config);
+    PPDB_CHECK_OK(policy.status());
+    config.policy = std::move(policy).value();
+    purpose = config.purposes.Lookup("analytics").value();
+
+    auto handle = catalog.AddTable(std::move(population.value().data));
+    PPDB_CHECK_OK(handle.status());
+    table = handle.value();
+    for (rel::ProviderId id : table->ProviderIds()) {
+      ledger.RecordRowIngest(table->name(), id, {"income", "health"}, 0);
+    }
+    generalizers.Register("income",
+                          std::make_unique<audit::NumericRangeGeneralizer>(
+                              std::vector<double>{0.0, 0.0, 10000.0}));
+    generalizers.Register("health",
+                          std::make_unique<audit::NumericRangeGeneralizer>(
+                              std::vector<double>{0.0, 0.0, 10.0}));
+  }
+
+  audit::AccessRequest Request() const {
+    audit::AccessRequest request;
+    request.requester = "bench";
+    request.visibility_level = 1;
+    request.purpose = purpose;
+    request.table = table->name();
+    request.attributes = {"income", "health"};
+    request.day = 1;
+    return request;
+  }
+};
+
+void BM_RawScan(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  for (auto _ : state) {
+    rel::ResultSet rs = rel::Scan(*fixture.table);
+    benchmark::DoNotOptimize(rs.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RawScan)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_MonitoredReadEnforce(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  audit::AccessMonitor monitor(&fixture.catalog, &fixture.config,
+                               &fixture.generalizers, &fixture.log,
+                               audit::EnforcementMode::kEnforce,
+                               &fixture.ledger);
+  audit::AccessRequest request = fixture.Request();
+  for (auto _ : state) {
+    auto rs = monitor.Execute(request);
+    PPDB_CHECK_OK(rs.status());
+    benchmark::DoNotOptimize(rs->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonitoredReadEnforce)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MonitoredReadObserve(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  audit::AccessMonitor monitor(&fixture.catalog, &fixture.config,
+                               &fixture.generalizers, &fixture.log,
+                               audit::EnforcementMode::kObserve,
+                               &fixture.ledger);
+  audit::AccessRequest request = fixture.Request();
+  for (auto _ : state) {
+    auto rs = monitor.Execute(request);
+    PPDB_CHECK_OK(rs.status());
+    benchmark::DoNotOptimize(rs->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonitoredReadObserve)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RetentionSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture fixture(state.range(0));  // Fresh table: sweeps mutate it.
+    audit::RetentionSweeper sweeper(&fixture.config, &fixture.ledger,
+                                    &fixture.log);
+    state.ResumeTiming();
+    auto stats = sweeper.Sweep(fixture.table, 45);
+    PPDB_CHECK_OK(stats.status());
+    benchmark::DoNotOptimize(stats->cells_purged);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RetentionSweep)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Perf-1 — Engineering benchmark: cost of the violation model's core
+// computations as the population and schema scale (google-benchmark).
+//
+// Covers: ViolationDetector::Analyze (Def. 1 + Eqs. 14-16 over the whole
+// population), ComputeDefaults, the trial-based estimator (Def. 2), and
+// HousePolicy::Widened (the inner operation of what-if sweeps).
+#include <benchmark/benchmark.h>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "sim/population.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+#include "violation/live_monitor.h"
+#include "violation/probability.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+sim::Population MakePopulation(int64_t providers, int attributes) {
+  sim::PopulationConfig config;
+  config.num_providers = providers;
+  for (int a = 0; a < attributes; ++a) {
+    config.attributes.push_back(
+        {"attr" + std::to_string(a), 1.0 + a, 50.0, 10.0});
+  }
+  config.purposes = {"service", "analytics"};
+  config.seed = 1;
+  auto population = sim::PopulationGenerator(config).Generate();
+  PPDB_CHECK_OK(population.status());
+  auto policy =
+      sim::MakeUniformPolicy(config.attributes, config.purposes, 0.5, 0.5,
+                             0.5, &population.value().config);
+  PPDB_CHECK_OK(policy.status());
+  population.value().config.policy = std::move(policy).value();
+  return std::move(population).value();
+}
+
+void BM_ViolationAnalyze(benchmark::State& state) {
+  sim::Population population =
+      MakePopulation(state.range(0), static_cast<int>(state.range(1)));
+  violation::ViolationDetector detector(&population.config);
+  for (auto _ : state) {
+    auto report = detector.Analyze();
+    PPDB_CHECK_OK(report.status());
+    benchmark::DoNotOptimize(report->total_severity);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViolationAnalyze)
+    ->ArgsProduct({{1000, 4000, 16000, 64000}, {2, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputeDefaults(benchmark::State& state) {
+  sim::Population population = MakePopulation(state.range(0), 4);
+  violation::ViolationDetector detector(&population.config);
+  auto report = detector.Analyze();
+  PPDB_CHECK_OK(report.status());
+  for (auto _ : state) {
+    violation::DefaultReport defaults =
+        violation::ComputeDefaults(report.value(), population.config);
+    benchmark::DoNotOptimize(defaults.num_defaulted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeDefaults)->Arg(1000)->Arg(16000)->Arg(64000);
+
+void BM_TrialEstimator(benchmark::State& state) {
+  sim::Population population = MakePopulation(4000, 4);
+  violation::ViolationDetector detector(&population.config);
+  auto report = detector.Analyze();
+  PPDB_CHECK_OK(report.status());
+  Rng rng(99);
+  for (auto _ : state) {
+    auto estimate = violation::EstimateViolationProbability(
+        report.value(), state.range(0), rng);
+    PPDB_CHECK_OK(estimate.status());
+    benchmark::DoNotOptimize(estimate->estimate);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrialEstimator)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PolicyWidened(benchmark::State& state) {
+  sim::Population population = MakePopulation(100, 16);
+  for (auto _ : state) {
+    auto widened = population.config.policy.Widened(
+        privacy::Dimension::kGranularity, 1, population.config.scales);
+    PPDB_CHECK_OK(widened.status());
+    benchmark::DoNotOptimize(widened.value().size());
+  }
+}
+BENCHMARK(BM_PolicyWidened);
+
+void BM_LiveMonitorPreferenceEvent(benchmark::State& state) {
+  sim::Population population = MakePopulation(state.range(0), 4);
+  auto monitor =
+      violation::LivePopulationMonitor::Create(population.config);
+  PPDB_CHECK_OK(monitor.status());
+  privacy::PurposeId purpose =
+      monitor->config().purposes.Lookup("service").value();
+  privacy::ProviderId provider = state.range(0) / 2;
+  int level = 0;
+  for (auto _ : state) {
+    level = (level + 1) % 4;
+    PPDB_CHECK_OK(monitor->SetPreference(
+        provider, "attr0",
+        privacy::PrivacyTuple{purpose, level % 4, level % 4, level % 5}));
+    benchmark::DoNotOptimize(monitor->ProbabilityOfViolation());
+  }
+  // Items processed = events; contrast with BM_ViolationAnalyze, which
+  // pays O(N) for the same freshness.
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveMonitorPreferenceEvent)->Arg(1000)->Arg(64000);
+
+void BM_SingleProviderAnalysis(benchmark::State& state) {
+  sim::Population population = MakePopulation(1000, 8);
+  violation::ViolationDetector detector(&population.config);
+  privacy::ProviderId provider = 500;
+  for (auto _ : state) {
+    auto pv = detector.AnalyzeProvider(provider);
+    PPDB_CHECK_OK(pv.status());
+    benchmark::DoNotOptimize(pv->total_severity);
+  }
+}
+BENCHMARK(BM_SingleProviderAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

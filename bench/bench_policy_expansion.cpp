@@ -1,0 +1,128 @@
+// E3 — Section 9: the economics of widening a privacy policy. Starting
+// from a population in which nobody has defaulted (the section's explicit
+// assumption), the house widens its policy step by step; each step earns
+// extra per-provider utility but pushes more providers past their
+// thresholds. The bench reports the Eq. 25-31 quantities at every step and
+// locates the utility peak — the paper's claim that "the house is strictly
+// limited in how much it can expand its privacy policies and economically
+// benefit".
+//
+// The paper leaves the extra-utility schedule T abstract; we model the
+// market value of widened data with diminishing returns,
+// T_k = T_inf * (1 - exp(-k / 2)), and also report the Eq. 31 break-even
+// frontier, which is model-free.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/macros.h"
+#include "sim/population.h"
+#include "sim/scenario.h"
+#include "stats/table_printer.h"
+#include "violation/what_if.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+constexpr int64_t kProviders = 10000;
+constexpr double kBaseUtility = 1.0;  // U, $ per provider.
+constexpr double kTInf = 1.5;         // Saturating extra utility.
+
+double ExtraUtilityAt(int step) {
+  return kTInf * (1.0 - std::exp(-static_cast<double>(step) / 2.0));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3: Section 9 — policy expansion vs provider default "
+              "===\n\n");
+
+  sim::PopulationConfig config;
+  config.num_providers = kProviders;
+  config.attributes = {{"income", 5.0, 65000, 20000},
+                       {"health", 4.0, 70, 15},
+                       {"location", 3.0, 0, 1}};
+  config.purposes = {"service", "analytics"};
+  config.seed = 424242;
+  for (sim::SegmentProfile& profile : config.profiles) {
+    profile.statement_probability = 1.0;  // Complete preference survey.
+  }
+  auto population_result = sim::PopulationGenerator(config).Generate();
+  PPDB_CHECK_OK(population_result.status());
+  sim::Population population = std::move(population_result).value();
+
+  auto policy = sim::MakeUniformPolicy(config.attributes, config.purposes,
+                                       0.33, 0.33, 0.4, &population.config);
+  PPDB_CHECK_OK(policy.status());
+  population.config.policy = std::move(policy).value();
+
+  // §9: "currently, no data providers have defaulted" — thresholds are
+  // baseline violation + lognormal headroom.
+  PPDB_CHECK_OK(sim::CalibrateThresholdsToPolicy(&population,
+                                                 /*headroom_mu=*/4.2,
+                                                 /*headroom_sigma=*/1.3,
+                                                 /*seed=*/99));
+
+  // Widen granularity, retention, visibility round-robin.
+  std::vector<violation::ExpansionStep> schedule;
+  for (int round = 0; round < 3; ++round) {
+    for (privacy::Dimension dim : privacy::kOrderedDimensions) {
+      schedule.push_back(violation::ExpansionStep{dim, 1, {}});
+    }
+  }
+
+  sim::ScenarioRunner runner(&population);
+  auto points = runner.RunExpansion(schedule, kBaseUtility,
+                                    /*extra_utility_per_step=*/0.0);
+  PPDB_CHECK_OK(points.status());
+
+  stats::TablePrinter table({"step", "P(W)", "P(Default)", "N_future",
+                             "break-even T (Eq.31)", "T_k (model)",
+                             "Utility_future", "justified (Eq.28)"});
+  int peak_step = 0;
+  double peak_utility = -1.0;
+  double baseline_utility = 0.0;
+  std::vector<double> utilities;
+  for (const violation::ExpansionPoint& p : points.value()) {
+    double t_k = ExtraUtilityAt(p.step_index);
+    double utility_future =
+        static_cast<double>(p.n_remaining) * (kBaseUtility + t_k);
+    if (p.step_index == 0) baseline_utility = p.utility_current;
+    utilities.push_back(utility_future);
+    if (utility_future > peak_utility) {
+      peak_utility = utility_future;
+      peak_step = p.step_index;
+    }
+    table.AddRow(
+        {stats::TablePrinter::FormatInt(p.step_index),
+         stats::TablePrinter::FormatDouble(p.p_violation, 3),
+         stats::TablePrinter::FormatDouble(p.p_default, 3),
+         stats::TablePrinter::FormatInt(p.n_remaining),
+         stats::TablePrinter::FormatDouble(p.break_even_extra_utility, 3),
+         stats::TablePrinter::FormatDouble(t_k, 3),
+         stats::TablePrinter::FormatDouble(utility_future, 0),
+         utility_future > p.utility_current ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+
+  bool rises = peak_utility > baseline_utility;
+  bool falls = utilities.back() < peak_utility;
+  std::printf(
+      "\nUtility peaks at step %d (%.0f vs baseline %.0f), then declines "
+      "to %.0f at step %zu.\n",
+      peak_step, peak_utility, baseline_utility, utilities.back(),
+      utilities.size() - 1);
+  std::printf(
+      "Paper-vs-measured (qualitative): expansion first pays (utility "
+      "rises above baseline: %s), accumulated defaults then erase the "
+      "gain (utility falls from its peak: %s).\n",
+      rises ? "yes" : "NO", falls ? "yes" : "NO");
+  std::printf("%s\n", rises && falls
+                          ? "E3 REPRODUCED: the Section 9 rise-then-fall "
+                            "trade-off holds."
+                          : "E3 SHAPE MISMATCH: tune the T model or "
+                            "headroom.");
+  return rises && falls ? 0 : 1;
+}

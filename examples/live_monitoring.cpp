@@ -1,0 +1,105 @@
+// Live monitoring: the §2 goal that providers "can continuously monitor
+// the state of their privacy", driven through the incremental
+// LivePopulationMonitor. A small service processes a day of events —
+// signups, preference edits, a policy change — and the privacy aggregates
+// stay current in O(changed provider) per event.
+#include <cstdio>
+#include <iostream>
+
+#include "common/macros.h"
+#include "privacy/policy_dsl.h"
+#include "violation/live_monitor.h"
+#include "violation/report_io.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+constexpr char kInitialConfig[] = R"(
+purpose service
+purpose ads
+
+policy email for service: visibility=house, granularity=specific, retention=year
+policy email for ads: visibility=third_party, granularity=partial, retention=month
+attr_sensitivity email = 3
+
+pref 1 email for service: visibility=house, granularity=specific, retention=year
+pref 1 email for ads: visibility=third_party, granularity=partial, retention=month
+pref 2 email for service: visibility=house, granularity=specific, retention=year
+pref 2 email for ads: visibility=house, granularity=existential, retention=week
+threshold 1 = 50
+threshold 2 = 10
+)";
+
+void Snapshot(const violation::LivePopulationMonitor& monitor,
+              const char* when) {
+  std::printf(
+      "%-42s N=%lld  P(W)=%.3f  Violations=%.1f  P(Default)=%.3f\n", when,
+      static_cast<long long>(monitor.num_providers()),
+      monitor.ProbabilityOfViolation(), monitor.TotalViolations(),
+      monitor.ProbabilityOfDefault());
+}
+
+int Run() {
+  auto config = privacy::ParsePrivacyConfig(kInitialConfig);
+  PPDB_CHECK_OK(config.status());
+  auto monitor_result =
+      violation::LivePopulationMonitor::Create(std::move(config).value());
+  PPDB_CHECK_OK(monitor_result.status());
+  violation::LivePopulationMonitor monitor =
+      std::move(monitor_result).value();
+
+  std::printf("event log:\n");
+  Snapshot(monitor, "t0: initial state");
+
+  // 09:00 — a new user signs up without filling the privacy survey:
+  // everything implicit-zero, instantly violated by both declared uses.
+  PPDB_CHECK_OK(monitor.AddProvider(3, /*threshold=*/25.0));
+  Snapshot(monitor, "09:00 user 3 signs up (no survey)");
+
+  // 09:05 — user 3 fills in the survey; the ads violation disappears.
+  privacy::PurposeId service =
+      monitor.config().purposes.Lookup("service").value();
+  privacy::PurposeId ads = monitor.config().purposes.Lookup("ads").value();
+  PPDB_CHECK_OK(monitor.SetPreference(
+      3, "email", privacy::PrivacyTuple{service, 1, 3, 3}));
+  PPDB_CHECK_OK(monitor.SetPreference(
+      3, "email", privacy::PrivacyTuple{ads, 2, 2, 2}));
+  Snapshot(monitor, "09:05 user 3 states preferences");
+
+  // 14:00 — the house widens the ads policy (specific granularity,
+  // year retention). Everyone is re-checked.
+  auto widened = monitor.config().policy;
+  PPDB_CHECK_OK(widened.Remove("email", ads));
+  PPDB_CHECK_OK(widened.Add("email", privacy::PrivacyTuple{ads, 2, 3, 3}));
+  PPDB_CHECK_OK(monitor.SetPolicy(std::move(widened)));
+  Snapshot(monitor, "14:00 house widens ads policy");
+
+  // 14:01 — user 2 (tight ads preferences) is now past their threshold.
+  auto defaulted = monitor.IsDefaulted(2);
+  PPDB_CHECK_OK(defaulted.status());
+  std::printf("14:01 user 2 defaulted? %s\n",
+              defaulted.value() ? "yes -> leaves the service" : "no");
+  if (defaulted.value()) {
+    // Their transparency statement explains exactly why.
+    violation::ViolationReport snapshot = monitor.Snapshot();
+    auto statement =
+        violation::TransparencyStatement(snapshot, 2, monitor.config());
+    PPDB_CHECK_OK(statement.status());
+    std::printf("\n%s\n", statement->c_str());
+    PPDB_CHECK_OK(monitor.RemoveProvider(2));
+  }
+  Snapshot(monitor, "14:02 after user 2 leaves");
+
+  // 18:00 — the house walks the change back for the remaining users.
+  auto narrowed = monitor.config().policy;
+  PPDB_CHECK_OK(narrowed.Remove("email", ads));
+  PPDB_CHECK_OK(narrowed.Add("email", privacy::PrivacyTuple{ads, 2, 2, 2}));
+  PPDB_CHECK_OK(monitor.SetPolicy(std::move(narrowed)));
+  Snapshot(monitor, "18:00 house narrows ads policy back");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,94 @@
+#include "audit/audit_log.h"
+
+#include <cstdio>
+
+namespace ppdb::audit {
+
+std::string_view AuditEventKindName(AuditEventKind kind) {
+  switch (kind) {
+    case AuditEventKind::kRequestGranted:
+      return "request_granted";
+    case AuditEventKind::kRequestDenied:
+      return "request_denied";
+    case AuditEventKind::kCellGeneralized:
+      return "cell_generalized";
+    case AuditEventKind::kCellSuppressed:
+      return "cell_suppressed";
+    case AuditEventKind::kViolationObserved:
+      return "violation_observed";
+    case AuditEventKind::kRetentionPurge:
+      return "retention_purge";
+  }
+  return "unknown";
+}
+
+Result<AuditEventKind> AuditEventKindFromName(std::string_view name) {
+  for (AuditEventKind kind :
+       {AuditEventKind::kRequestGranted, AuditEventKind::kRequestDenied,
+        AuditEventKind::kCellGeneralized, AuditEventKind::kCellSuppressed,
+        AuditEventKind::kViolationObserved,
+        AuditEventKind::kRetentionPurge}) {
+    if (AuditEventKindName(kind) == name) return kind;
+  }
+  return Status::ParseError("unknown audit event kind: '" +
+                            std::string(name) + "'");
+}
+
+int64_t AuditLog::Append(AuditEvent event) {
+  event.sequence = static_cast<int64_t>(events_.size());
+  events_.push_back(std::move(event));
+  return events_.back().sequence;
+}
+
+std::vector<AuditEvent> AuditLog::EventsForProvider(
+    ProviderId provider) const {
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.provider.has_value() && *e.provider == provider) out.push_back(e);
+  }
+  return out;
+}
+
+int64_t AuditLog::CountByKind(AuditEventKind kind) const {
+  int64_t n = 0;
+  for (const AuditEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+int64_t AuditLog::ViolationsObservedFor(ProviderId provider) const {
+  int64_t n = 0;
+  for (const AuditEvent& e : events_) {
+    if (e.kind == AuditEventKind::kViolationObserved &&
+        e.provider.has_value() && *e.provider == provider) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string AuditLog::ToString(int64_t max_events) const {
+  std::string out;
+  int64_t start = size() > max_events ? size() - max_events : 0;
+  for (int64_t i = start; i < size(); ++i) {
+    const AuditEvent& e = events_[static_cast<size_t>(i)];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "#%lld t=%lld %-18s ",
+                  static_cast<long long>(e.sequence),
+                  static_cast<long long>(e.timestamp),
+                  std::string(AuditEventKindName(e.kind)).c_str());
+    out += buf;
+    out += e.requester;
+    out += " " + e.table;
+    if (e.provider.has_value()) {
+      out += " provider=" + std::to_string(*e.provider);
+    }
+    if (e.attribute.has_value()) out += " attr=" + *e.attribute;
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ppdb::audit

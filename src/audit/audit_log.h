@@ -1,0 +1,91 @@
+#ifndef PPDB_AUDIT_AUDIT_LOG_H_
+#define PPDB_AUDIT_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/provider_prefs.h"
+#include "privacy/purpose.h"
+
+namespace ppdb::audit {
+
+using privacy::ProviderId;
+
+/// Kind of an audit event.
+enum class AuditEventKind {
+  /// A request passed the policy gate and was executed.
+  kRequestGranted,
+  /// A request was rejected at the policy gate.
+  kRequestDenied,
+  /// A cell was returned below its exact granularity.
+  kCellGeneralized,
+  /// A cell was withheld entirely (preference or retention).
+  kCellSuppressed,
+  /// Observe-mode only: data was released beyond a provider's preference —
+  /// a live privacy violation, attributed to the provider and dimension.
+  kViolationObserved,
+  /// A datum was purged by the retention sweeper.
+  kRetentionPurge,
+};
+
+/// Returns e.g. "request_granted".
+std::string_view AuditEventKindName(AuditEventKind kind);
+
+/// Parses a kind name produced by `AuditEventKindName`.
+Result<AuditEventKind> AuditEventKindFromName(std::string_view name);
+
+/// One append-only audit record. Provider/attribute are set for cell-level
+/// events and unset for request-level events.
+struct AuditEvent {
+  int64_t sequence = 0;
+  int64_t timestamp = 0;
+  AuditEventKind kind = AuditEventKind::kRequestGranted;
+  std::string requester;
+  privacy::PurposeId purpose = 0;
+  std::string table;
+  std::optional<ProviderId> provider;
+  std::optional<std::string> attribute;
+  /// Free-text explanation ("visibility 3 exceeds preference 1", ...).
+  std::string detail;
+};
+
+/// Append-only audit trail. §2: "Automation of this procedure makes privacy
+/// violations auditable, so that data providers can continuously monitor
+/// the state of their privacy" — `EventsForProvider` is that monitoring
+/// hook.
+class AuditLog {
+ public:
+  AuditLog() = default;
+
+  /// Appends an event; the log assigns the sequence number and returns it.
+  int64_t Append(AuditEvent event);
+
+  /// All events, in append order.
+  const std::vector<AuditEvent>& events() const { return events_; }
+
+  int64_t size() const { return static_cast<int64_t>(events_.size()); }
+
+  /// Events that concern `provider` (cell-level events only).
+  std::vector<AuditEvent> EventsForProvider(ProviderId provider) const;
+
+  /// Number of events of `kind`.
+  int64_t CountByKind(AuditEventKind kind) const;
+
+  /// Number of kViolationObserved events for `provider` — the provider's
+  /// live violation counter.
+  int64_t ViolationsObservedFor(ProviderId provider) const;
+
+  /// Renders the last `max_events` events.
+  std::string ToString(int64_t max_events = 50) const;
+
+ private:
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_AUDIT_LOG_H_

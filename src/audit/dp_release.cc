@@ -1,0 +1,48 @@
+#include "audit/dp_release.h"
+
+#include "common/macros.h"
+
+namespace ppdb::audit {
+
+Result<std::vector<DpAggregate>> ReleaseAggregates(
+    const rel::ResultSet& input, const std::vector<rel::AggSpec>& aggs,
+    const DpReleaseOptions& options, Rng& rng) {
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(options.sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  if (aggs.empty()) {
+    return Status::InvalidArgument("nothing to release");
+  }
+  for (const rel::AggSpec& spec : aggs) {
+    if (spec.op != rel::AggOp::kCount && spec.op != rel::AggOp::kSum) {
+      return Status::InvalidArgument(
+          "only COUNT and SUM have bounded sensitivity; aggregate '" +
+          spec.output_name + "' is neither");
+    }
+  }
+
+  PPDB_ASSIGN_OR_RETURN(rel::ResultSet computed,
+                        rel::Aggregate(input, {}, aggs));
+  if (computed.num_rows() != 1) {
+    return Status::Internal("global aggregate produced multiple rows");
+  }
+
+  const double scale = options.sensitivity / options.epsilon;
+  std::vector<DpAggregate> out;
+  out.reserve(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    DpAggregate released;
+    released.name = aggs[a].output_name;
+    PPDB_ASSIGN_OR_RETURN(released.true_value,
+                          computed.rows[0].values[a].AsNumeric());
+    released.noise_scale = scale;
+    released.released_value = released.true_value + rng.NextLaplace(scale);
+    out.push_back(std::move(released));
+  }
+  return out;
+}
+
+}  // namespace ppdb::audit

@@ -1,0 +1,48 @@
+#ifndef PPDB_AUDIT_DP_RELEASE_H_
+#define PPDB_AUDIT_DP_RELEASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "relational/query.h"
+
+namespace ppdb::audit {
+
+/// Differentially private release of aggregate queries (the Laplace
+/// mechanism of Dwork's work the paper cites as the external-risk
+/// counterpart [2–4]).
+///
+/// The violation model governs *internal* use; when the house publishes
+/// statistics to the world (visibility "world"), internal enforcement says
+/// nothing about re-identification from the released numbers. DpRelease
+/// adds the classical epsilon-DP guarantee on top: each released aggregate
+/// gets Laplace(sensitivity/epsilon) noise.
+struct DpReleaseOptions {
+  /// Privacy budget per released aggregate value. Must be positive.
+  double epsilon = 1.0;
+  /// L1 sensitivity of each aggregate: how much one provider joining or
+  /// leaving can move it. 1 for counts; for sums, the width of the datum's
+  /// clamped range (the caller clamps).
+  double sensitivity = 1.0;
+};
+
+/// One noisy released value.
+struct DpAggregate {
+  std::string name;
+  double true_value = 0.0;
+  double released_value = 0.0;
+  double noise_scale = 0.0;  // sensitivity / epsilon.
+};
+
+/// Computes `aggs` (kCount/kSum only — kAvg/kMin/kMax have unbounded or
+/// data-dependent sensitivity and are rejected) over `input`, then
+/// perturbs each result with Laplace noise. Deterministic in `rng`.
+Result<std::vector<DpAggregate>> ReleaseAggregates(
+    const rel::ResultSet& input, const std::vector<rel::AggSpec>& aggs,
+    const DpReleaseOptions& options, Rng& rng);
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_DP_RELEASE_H_

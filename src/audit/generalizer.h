@@ -1,0 +1,120 @@
+#ifndef PPDB_AUDIT_GENERALIZER_H_
+#define PPDB_AUDIT_GENERALIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace ppdb::audit {
+
+/// Maps a datum to the representation appropriate for a granularity level.
+///
+/// Granularity is the taxonomy dimension that "defines the specificity of
+/// data which will be revealed"; an earlier study the paper builds on [22]
+/// showed providers share more willingly "at coarser granularity rather
+/// than a specific atomic value". A generalizer is the operational side of
+/// that dimension: level 0 always suppresses (returns null), the scale's
+/// top level reveals the exact value, and intermediate levels reveal
+/// progressively coarser renderings.
+///
+/// Generalized output is typed as a string (or null): coarsening changes
+/// the domain, and pretending a range is still an int64 would let
+/// arithmetic silently treat "[60, 70)" as a number.
+class ValueGeneralizer {
+ public:
+  virtual ~ValueGeneralizer() = default;
+
+  /// Returns the representation of `value` at granularity `level`.
+  /// Null input stays null at every level.
+  virtual Result<rel::Value> Generalize(const rel::Value& value,
+                                        int level) const = 0;
+};
+
+/// Generalizer for numeric attributes: suppression at level 0, an
+/// existence marker at levels with non-positive width, half-open bins
+/// "[lo, hi)" at levels with a positive width, and the exact rendering at
+/// levels beyond the configured widths.
+///
+///   NumericRangeGeneralizer g({0.0, 0.0, 10.0});
+///   g.Generalize(Int64(67), 0) -> NULL        (suppressed)
+///   g.Generalize(Int64(67), 1) -> "*"         (existential)
+///   g.Generalize(Int64(67), 2) -> "[60, 70)"  (partial)
+///   g.Generalize(Int64(67), 3) -> "67"        (specific)
+class NumericRangeGeneralizer final : public ValueGeneralizer {
+ public:
+  /// `level_widths[level]` is the bin width at that level; levels at or
+  /// beyond the vector's size are exact. Index 0 is ignored (level 0
+  /// suppresses unconditionally).
+  explicit NumericRangeGeneralizer(std::vector<double> level_widths);
+
+  Result<rel::Value> Generalize(const rel::Value& value,
+                                int level) const override;
+
+ private:
+  std::vector<double> level_widths_;
+};
+
+/// Generalizer for categorical (string) attributes using explicit
+/// per-level mappings, e.g. city -> region -> country.
+///
+/// `level_maps[level]` maps exact values to their level-`level`
+/// representation; levels at or beyond the vector are exact; level 0
+/// suppresses. Values missing from a level's map error with kNotFound
+/// unless `passthrough_unmapped` is set (then they generalize to "*").
+class CategoryGeneralizer final : public ValueGeneralizer {
+ public:
+  using LevelMap = std::map<std::string, std::string>;
+
+  CategoryGeneralizer(std::vector<LevelMap> level_maps,
+                      bool passthrough_unmapped);
+
+  Result<rel::Value> Generalize(const rel::Value& value,
+                                int level) const override;
+
+ private:
+  std::vector<LevelMap> level_maps_;
+  bool passthrough_unmapped_;
+};
+
+/// Per-attribute registry of generalizers with a shared fallback.
+///
+/// The fallback (used for attributes without a registered generalizer)
+/// suppresses at level 0, returns "*" at level 1, and the exact rendering
+/// at any higher level — the weakest sensible interpretation of a
+/// granularity scale.
+class GeneralizerRegistry {
+ public:
+  GeneralizerRegistry();
+
+  GeneralizerRegistry(GeneralizerRegistry&&) noexcept = default;
+  GeneralizerRegistry& operator=(GeneralizerRegistry&&) noexcept = default;
+  GeneralizerRegistry(const GeneralizerRegistry&) = delete;
+  GeneralizerRegistry& operator=(const GeneralizerRegistry&) = delete;
+
+  /// Registers (or replaces) the generalizer for `attribute`.
+  void Register(std::string_view attribute,
+                std::unique_ptr<ValueGeneralizer> generalizer);
+
+  /// The generalizer for `attribute` (the fallback when unregistered).
+  const ValueGeneralizer& ForAttribute(std::string_view attribute) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<ValueGeneralizer>, std::less<>>
+      by_attribute_;
+  std::unique_ptr<ValueGeneralizer> fallback_;
+};
+
+/// Builds a registry from the declarative `numeric_generalizers` of a
+/// privacy config: each entry becomes a NumericRangeGeneralizer;
+/// attributes without an entry use the registry fallback.
+GeneralizerRegistry BuildGeneralizers(
+    const std::map<std::string, std::vector<double>>& numeric_generalizers);
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_GENERALIZER_H_

@@ -1,0 +1,55 @@
+#include "audit/k_anonymity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace ppdb::audit {
+
+Result<KAnonymityResult> MeasureKAnonymity(
+    const rel::ResultSet& input,
+    const std::vector<std::string>& quasi_identifiers, int64_t threshold_k) {
+  if (quasi_identifiers.empty()) {
+    return Status::InvalidArgument(
+        "at least one quasi-identifier column is required");
+  }
+  std::vector<int> indices;
+  indices.reserve(quasi_identifiers.size());
+  for (const std::string& column : quasi_identifiers) {
+    PPDB_ASSIGN_OR_RETURN(int j, input.schema.IndexOf(column));
+    indices.push_back(j);
+  }
+
+  std::map<std::string, int64_t> classes;
+  for (const rel::Row& row : input.rows) {
+    std::string key;
+    for (int j : indices) {
+      const rel::Value& v = row.values[static_cast<size_t>(j)];
+      key += v.is_null() ? "\x01<null>" : v.ToString();
+      key += '\x1f';
+    }
+    ++classes[key];
+  }
+
+  KAnonymityResult result;
+  result.num_rows = input.num_rows();
+  result.num_classes = static_cast<int64_t>(classes.size());
+  if (classes.empty()) return result;
+
+  int64_t smallest = input.num_rows();
+  int64_t at_risk_rows = 0;
+  for (const auto& [key, count] : classes) {
+    smallest = std::min(smallest, count);
+    result.largest_class = std::max(result.largest_class, count);
+    if (threshold_k > 0 && count < threshold_k) at_risk_rows += count;
+  }
+  result.k = smallest;
+  if (threshold_k > 0) {
+    result.at_risk_fraction = static_cast<double>(at_risk_rows) /
+                              static_cast<double>(result.num_rows);
+  }
+  return result;
+}
+
+}  // namespace ppdb::audit

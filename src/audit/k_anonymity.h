@@ -1,0 +1,51 @@
+#ifndef PPDB_AUDIT_K_ANONYMITY_H_
+#define PPDB_AUDIT_K_ANONYMITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/query.h"
+
+namespace ppdb::audit {
+
+/// k-anonymity measurement over a (possibly generalized) result set.
+///
+/// The paper positions its model against the data-release literature
+/// (k-anonymity [20] and successors), which guards *external* risk. This
+/// checker bridges the two: granularity enforcement driven by *internal*
+/// preferences also coarsens quasi-identifiers, and `MeasureKAnonymity`
+/// quantifies how much external protection that buys.
+struct KAnonymityResult {
+  /// The k the release satisfies: the size of the smallest equivalence
+  /// class over the quasi-identifier columns. 0 for an empty input.
+  int64_t k = 0;
+  /// Number of distinct equivalence classes.
+  int64_t num_classes = 0;
+  /// Rows measured.
+  int64_t num_rows = 0;
+  /// Size of the largest class.
+  int64_t largest_class = 0;
+  /// Fraction of rows in classes smaller than `threshold_k` as passed to
+  /// MeasureKAnonymity (re-identifiable mass); 0 when no threshold given.
+  double at_risk_fraction = 0.0;
+
+  bool Satisfies(int64_t required_k) const {
+    return num_rows > 0 && k >= required_k;
+  }
+};
+
+/// Groups `input` rows by the rendered values of `quasi_identifiers`
+/// (nulls form their own token, so fully suppressed rows pool together)
+/// and measures equivalence-class statistics. `threshold_k`, when > 0,
+/// also fills `at_risk_fraction`. Errors when a quasi-identifier column
+/// does not exist or the list is empty.
+Result<KAnonymityResult> MeasureKAnonymity(
+    const rel::ResultSet& input,
+    const std::vector<std::string>& quasi_identifiers,
+    int64_t threshold_k = 0);
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_K_ANONYMITY_H_

@@ -1,0 +1,63 @@
+#include "audit/ledger.h"
+
+#include "common/macros.h"
+
+namespace ppdb::audit {
+
+void IngestLedger::RecordIngest(std::string_view table,
+                                privacy::ProviderId provider,
+                                std::string_view attribute, int64_t day) {
+  entries_[Key{std::string(table), provider, std::string(attribute)}] = day;
+}
+
+void IngestLedger::RecordRowIngest(std::string_view table,
+                                   privacy::ProviderId provider,
+                                   const std::vector<std::string>& attributes,
+                                   int64_t day) {
+  for (const std::string& attribute : attributes) {
+    RecordIngest(table, provider, attribute, day);
+  }
+}
+
+Result<int64_t> IngestLedger::IngestDay(std::string_view table,
+                                        privacy::ProviderId provider,
+                                        std::string_view attribute) const {
+  auto it = entries_.find(
+      Key{std::string(table), provider, std::string(attribute)});
+  if (it == entries_.end()) {
+    return Status::NotFound("no ingest record for table '" +
+                            std::string(table) + "', provider " +
+                            std::to_string(provider) + ", attribute '" +
+                            std::string(attribute) + "'");
+  }
+  return it->second;
+}
+
+Result<int64_t> IngestLedger::AgeInDays(std::string_view table,
+                                        privacy::ProviderId provider,
+                                        std::string_view attribute,
+                                        int64_t today) const {
+  PPDB_ASSIGN_OR_RETURN(int64_t day, IngestDay(table, provider, attribute));
+  if (today < day) {
+    return Status::InvalidArgument("datum ingested in the future (day " +
+                                   std::to_string(day) + " > today " +
+                                   std::to_string(today) + ")");
+  }
+  return today - day;
+}
+
+void IngestLedger::Erase(std::string_view table, privacy::ProviderId provider,
+                         std::string_view attribute) {
+  entries_.erase(Key{std::string(table), provider, std::string(attribute)});
+}
+
+std::vector<IngestLedger::Entry> IngestLedger::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, day] : entries_) {
+    out.push_back(Entry{key.table, key.provider, key.attribute, day});
+  }
+  return out;
+}
+
+}  // namespace ppdb::audit

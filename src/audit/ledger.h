@@ -1,0 +1,75 @@
+#ifndef PPDB_AUDIT_LEDGER_H_
+#define PPDB_AUDIT_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/provider_prefs.h"
+
+namespace ppdb::audit {
+
+/// Records when each datum was collected, in logical days.
+///
+/// Retention preferences and policies are levels on the retention scale
+/// whose magnitudes are durations in days; the ledger supplies the "age"
+/// side of the comparison for the retention enforcement in the monitor and
+/// the retention sweeper.
+class IngestLedger {
+ public:
+  IngestLedger() = default;
+
+  /// Records that (table, provider, attribute) was collected at `day`.
+  /// Re-recording overwrites (a refreshed datum restarts its clock).
+  void RecordIngest(std::string_view table, privacy::ProviderId provider,
+                    std::string_view attribute, int64_t day);
+
+  /// Records the same ingest day for every attribute of a provider's row.
+  void RecordRowIngest(std::string_view table, privacy::ProviderId provider,
+                       const std::vector<std::string>& attributes,
+                       int64_t day);
+
+  /// The collection day of a datum; kNotFound when never recorded.
+  Result<int64_t> IngestDay(std::string_view table,
+                            privacy::ProviderId provider,
+                            std::string_view attribute) const;
+
+  /// Age in days at `today`; kNotFound when never recorded. Negative ages
+  /// (ingest in the future) error with kInvalidArgument.
+  Result<int64_t> AgeInDays(std::string_view table,
+                            privacy::ProviderId provider,
+                            std::string_view attribute, int64_t today) const;
+
+  /// Forgets a datum's record (after purge).
+  void Erase(std::string_view table, privacy::ProviderId provider,
+             std::string_view attribute);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// One ledger entry, for iteration/serialization.
+  struct Entry {
+    std::string table;
+    privacy::ProviderId provider = 0;
+    std::string attribute;
+    int64_t day = 0;
+  };
+
+  /// All entries in deterministic (table, provider, attribute) order.
+  std::vector<Entry> Entries() const;
+
+ private:
+  struct Key {
+    std::string table;
+    privacy::ProviderId provider;
+    std::string attribute;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  std::map<Key, int64_t> entries_;
+};
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_LEDGER_H_

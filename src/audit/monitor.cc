@@ -1,0 +1,200 @@
+#include "audit/monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ppdb::audit {
+
+using privacy::PrivacyTuple;
+
+AccessMonitor::AccessMonitor(const rel::Catalog* catalog,
+                             const privacy::PrivacyConfig* config,
+                             const GeneralizerRegistry* generalizers,
+                             AuditLog* log, EnforcementMode mode,
+                             const IngestLedger* ledger)
+    : catalog_(catalog),
+      config_(config),
+      generalizers_(generalizers),
+      log_(log),
+      mode_(mode),
+      ledger_(ledger) {}
+
+Status AccessMonitor::CheckPolicyGate(const AccessRequest& request) const {
+  if (request.attributes.empty()) {
+    return Status::InvalidArgument("request names no attributes");
+  }
+  if (!config_->scales.visibility.IsValidLevel(request.visibility_level)) {
+    return Status::InvalidArgument(
+        "request visibility level " +
+        std::to_string(request.visibility_level) + " is not on the scale");
+  }
+  if (!config_->purposes.NameOf(request.purpose).ok()) {
+    return Status::InvalidArgument("request purpose id " +
+                                   std::to_string(request.purpose) +
+                                   " is not registered");
+  }
+  PPDB_ASSIGN_OR_RETURN(const rel::Table* table,
+                        catalog_->GetTable(request.table));
+  for (const std::string& attribute : request.attributes) {
+    if (!table->schema().Contains(attribute)) {
+      return Status::NotFound("table '" + request.table +
+                              "' has no attribute '" + attribute + "'");
+    }
+    Result<PrivacyTuple> policy =
+        config_->policy.Find(attribute, request.purpose);
+    if (!policy.ok()) {
+      return Status::PermissionDenied(
+          "house policy declares no use of attribute '" + attribute +
+          "' for this purpose; collection beyond stated policy is not "
+          "permitted");
+    }
+    if (request.visibility_level > policy->visibility) {
+      return Status::PermissionDenied(
+          "request visibility " + std::to_string(request.visibility_level) +
+          " exceeds the declared policy visibility " +
+          std::to_string(policy->visibility) + " for attribute '" +
+          attribute + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<rel::ResultSet> AccessMonitor::Execute(const AccessRequest& request) {
+  Status gate = CheckPolicyGate(request);
+  if (!gate.ok()) {
+    log_->Append(AuditEvent{0, request.day, AuditEventKind::kRequestDenied,
+                            request.requester, request.purpose, request.table,
+                            std::nullopt, std::nullopt, gate.message()});
+    return gate;
+  }
+  log_->Append(AuditEvent{0, request.day, AuditEventKind::kRequestGranted,
+                          request.requester, request.purpose, request.table,
+                          std::nullopt, std::nullopt, ""});
+
+  PPDB_ASSIGN_OR_RETURN(const rel::Table* table,
+                        catalog_->GetTable(request.table));
+
+  // Output schema: one string column per requested attribute (generalized
+  // representations are strings; see ValueGeneralizer).
+  std::vector<rel::AttributeDef> defs;
+  defs.reserve(request.attributes.size());
+  for (const std::string& attribute : request.attributes) {
+    defs.push_back(
+        rel::AttributeDef{attribute, rel::DataType::kString, ""});
+  }
+  PPDB_ASSIGN_OR_RETURN(rel::Schema schema,
+                        rel::Schema::Create(std::move(defs)));
+  rel::ResultSet out{std::move(schema), {}};
+
+  const int exact_granularity = config_->scales.granularity.max_level();
+
+  for (const rel::Row& row : table->rows()) {
+    rel::Row out_row{row.provider, {}};
+    out_row.values.reserve(request.attributes.size());
+
+    for (const std::string& attribute : request.attributes) {
+      PPDB_ASSIGN_OR_RETURN(int j, table->schema().IndexOf(attribute));
+      const rel::Value& cell = row.values[static_cast<size_t>(j)];
+      // The gate guarantees this policy tuple exists.
+      PPDB_ASSIGN_OR_RETURN(PrivacyTuple policy,
+                            config_->policy.Find(attribute, request.purpose));
+      PrivacyTuple pref = PrivacyTuple::ZeroFor(request.purpose);
+      Result<const privacy::ProviderPreferences*> prefs =
+          config_->preferences.Find(row.provider);
+      if (prefs.ok()) {
+        pref = prefs.value()->EffectivePreference(attribute, request.purpose);
+      }
+
+      auto log_cell = [&](AuditEventKind kind, std::string detail) {
+        log_->Append(AuditEvent{0, request.day, kind, request.requester,
+                                request.purpose, request.table, row.provider,
+                                attribute, std::move(detail)});
+      };
+
+      if (cell.is_null()) {
+        out_row.values.push_back(rel::Value::Null());
+        continue;
+      }
+
+      // --- Retention ---------------------------------------------------
+      if (ledger_ != nullptr) {
+        Result<int64_t> age =
+            ledger_->AgeInDays(request.table, row.provider, attribute,
+                               request.day);
+        if (age.ok()) {
+          PPDB_ASSIGN_OR_RETURN(
+              double policy_days,
+              config_->scales.retention.MagnitudeOf(policy.retention));
+          PPDB_ASSIGN_OR_RETURN(
+              double pref_days,
+              config_->scales.retention.MagnitudeOf(pref.retention));
+          double age_days = static_cast<double>(age.value());
+          if (age_days > policy_days) {
+            // Beyond the house's own declared retention: never released,
+            // in either mode (the sweeper should have purged it).
+            log_cell(AuditEventKind::kCellSuppressed,
+                     "age exceeds policy retention");
+            out_row.values.push_back(rel::Value::Null());
+            continue;
+          }
+          if (age_days > pref_days) {
+            if (mode_ == EnforcementMode::kEnforce) {
+              log_cell(AuditEventKind::kCellSuppressed,
+                       "age exceeds preferred retention");
+              out_row.values.push_back(rel::Value::Null());
+              continue;
+            }
+            log_cell(AuditEventKind::kViolationObserved,
+                     "retention: age " + std::to_string(age.value()) +
+                         "d exceeds preference");
+          }
+        }
+      }
+
+      // --- Visibility ---------------------------------------------------
+      if (request.visibility_level > pref.visibility) {
+        if (mode_ == EnforcementMode::kEnforce) {
+          log_cell(AuditEventKind::kCellSuppressed,
+                   "visibility " + std::to_string(request.visibility_level) +
+                       " exceeds preference " +
+                       std::to_string(pref.visibility));
+          out_row.values.push_back(rel::Value::Null());
+          continue;
+        }
+        log_cell(AuditEventKind::kViolationObserved,
+                 "visibility: level " +
+                     std::to_string(request.visibility_level) +
+                     " exceeds preference " +
+                     std::to_string(pref.visibility));
+      }
+
+      // --- Granularity ----------------------------------------------------
+      int release_level = policy.granularity;
+      if (mode_ == EnforcementMode::kEnforce) {
+        release_level = std::min(policy.granularity, pref.granularity);
+      } else if (policy.granularity > pref.granularity) {
+        log_cell(AuditEventKind::kViolationObserved,
+                 "granularity: policy level " +
+                     std::to_string(policy.granularity) +
+                     " exceeds preference " +
+                     std::to_string(pref.granularity));
+      }
+      PPDB_ASSIGN_OR_RETURN(
+          rel::Value released,
+          generalizers_->ForAttribute(attribute).Generalize(cell,
+                                                            release_level));
+      if (release_level < exact_granularity) {
+        log_cell(AuditEventKind::kCellGeneralized,
+                 "released at granularity level " +
+                     std::to_string(release_level));
+      }
+      out_row.values.push_back(std::move(released));
+    }
+    out.rows.push_back(std::move(out_row));
+  }
+  return out;
+}
+
+}  // namespace ppdb::audit

@@ -1,0 +1,91 @@
+#ifndef PPDB_AUDIT_MONITOR_H_
+#define PPDB_AUDIT_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/audit_log.h"
+#include "audit/generalizer.h"
+#include "audit/ledger.h"
+#include "common/result.h"
+#include "privacy/config.h"
+#include "relational/catalog.h"
+#include "relational/query.h"
+
+namespace ppdb::audit {
+
+/// A request to read data: who asks, for which declared purpose, which
+/// attributes of which table, and at which visibility class the results
+/// will land.
+struct AccessRequest {
+  /// Free-text identity of the requesting party (for the log).
+  std::string requester;
+  /// The visibility level at which the results will be exposed (a level of
+  /// the visibility scale; e.g. house-internal vs third-party).
+  int visibility_level = 0;
+  privacy::PurposeId purpose = 0;
+  std::string table;
+  /// Attributes to read; must be non-empty.
+  std::vector<std::string> attributes;
+  /// Logical day of the request (drives retention enforcement).
+  int64_t day = 0;
+};
+
+/// How the monitor reacts to accesses that exceed provider preferences.
+enum class EnforcementMode {
+  /// Withhold: generalize down to the preferred granularity, suppress cells
+  /// whose preferred visibility/retention is exceeded. The result set never
+  /// violates a preference.
+  kEnforce,
+  /// Release at policy levels but log a kViolationObserved event per
+  /// exceedance — the transparency posture of §2: make violations visible
+  /// and countable rather than silently prevented.
+  kObserve,
+};
+
+/// Purpose-based access monitor: the runtime face of the violation model.
+///
+/// Every request passes a *policy gate* first — the house may only use data
+/// as its declared policy HP allows (purpose declared for each attribute,
+/// request visibility within policy visibility). Requests that fail the
+/// gate are denied outright: a house that bypassed its own policy would
+/// make the stated policy meaningless and the paper's model unauditable.
+///
+/// Past the gate, each cell is checked against its provider's (stated or
+/// implicit) preference, and either enforced or observed per
+/// `EnforcementMode`.
+///
+/// Usage:
+///
+///   AccessMonitor monitor(&catalog, &config, &generalizers, &log,
+///                         EnforcementMode::kEnforce);
+///   PPDB_ASSIGN_OR_RETURN(rel::ResultSet rs, monitor.Execute(request));
+class AccessMonitor {
+ public:
+  /// All pointers must outlive the monitor. `ledger` may be null, in which
+  /// case retention is not enforced at read time.
+  AccessMonitor(const rel::Catalog* catalog,
+                const privacy::PrivacyConfig* config,
+                const GeneralizerRegistry* generalizers, AuditLog* log,
+                EnforcementMode mode, const IngestLedger* ledger = nullptr);
+
+  /// Evaluates the policy gate only: OK iff the request is within HP.
+  Status CheckPolicyGate(const AccessRequest& request) const;
+
+  /// Executes the request. The result schema has one string column per
+  /// requested attribute (values may be exact renderings, ranges, "*", or
+  /// null — see ValueGeneralizer); provider ids are preserved on rows.
+  Result<rel::ResultSet> Execute(const AccessRequest& request);
+
+ private:
+  const rel::Catalog* catalog_;
+  const privacy::PrivacyConfig* config_;
+  const GeneralizerRegistry* generalizers_;
+  AuditLog* log_;
+  EnforcementMode mode_;
+  const IngestLedger* ledger_;
+};
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_MONITOR_H_

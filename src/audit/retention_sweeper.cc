@@ -1,0 +1,93 @@
+#include "audit/retention_sweeper.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace ppdb::audit {
+
+RetentionSweeper::RetentionSweeper(const privacy::PrivacyConfig* config,
+                                   IngestLedger* ledger, AuditLog* log)
+    : config_(config), ledger_(ledger), log_(log) {}
+
+Result<SweepStats> RetentionSweeper::Sweep(rel::Table* table,
+                                           int64_t today) const {
+  SweepStats stats;
+  const rel::Schema& schema = table->schema();
+
+  // Pass 1: decide purges per (provider, attribute) without mutating.
+  struct Purge {
+    privacy::ProviderId provider;
+    int attribute_index;
+    std::string attribute;
+  };
+  std::vector<Purge> purges;
+  std::vector<privacy::ProviderId> to_erase;
+
+  for (const rel::Row& row : table->rows()) {
+    int live_cells = 0;
+    int purged_cells = 0;
+    for (int j = 0; j < schema.num_attributes(); ++j) {
+      const rel::Value& cell = row.values[static_cast<size_t>(j)];
+      if (cell.is_null()) continue;
+      ++live_cells;
+      ++stats.cells_examined;
+      const std::string& attribute = schema.attribute(j).name;
+
+      Result<int64_t> age =
+          ledger_->AgeInDays(table->name(), row.provider, attribute, today);
+      if (!age.ok()) continue;  // Age unknown: cannot judge, keep the datum.
+
+      // Allowed days: the best justification any declared purpose offers,
+      // each capped by the provider's preference for that purpose.
+      std::vector<privacy::PolicyTuple> policies =
+          config_->policy.ForAttribute(attribute);
+      if (policies.empty()) continue;  // No declared use: out of scope here.
+      Result<const privacy::ProviderPreferences*> prefs =
+          config_->preferences.Find(row.provider);
+      double allowed_days = 0.0;
+      for (const privacy::PolicyTuple& policy : policies) {
+        PPDB_ASSIGN_OR_RETURN(
+            double policy_days,
+            config_->scales.retention.MagnitudeOf(policy.tuple.retention));
+        privacy::PrivacyTuple pref =
+            privacy::PrivacyTuple::ZeroFor(policy.tuple.purpose);
+        if (prefs.ok()) {
+          pref = prefs.value()->EffectivePreference(attribute,
+                                                    policy.tuple.purpose);
+        }
+        PPDB_ASSIGN_OR_RETURN(
+            double pref_days,
+            config_->scales.retention.MagnitudeOf(pref.retention));
+        allowed_days = std::max(allowed_days,
+                                std::min(policy_days, pref_days));
+      }
+
+      if (static_cast<double>(age.value()) > allowed_days) {
+        purges.push_back(Purge{row.provider, j, attribute});
+        ++purged_cells;
+      }
+    }
+    if (live_cells > 0 && purged_cells == live_cells) {
+      to_erase.push_back(row.provider);
+    }
+  }
+
+  // Pass 2: apply.
+  for (const Purge& purge : purges) {
+    PPDB_RETURN_NOT_OK(table->UpdateCell(purge.provider,
+                                         purge.attribute_index,
+                                         rel::Value::Null()));
+    ledger_->Erase(table->name(), purge.provider, purge.attribute);
+    log_->Append(AuditEvent{0, today, AuditEventKind::kRetentionPurge,
+                            "retention_sweeper", 0, table->name(),
+                            purge.provider, purge.attribute,
+                            "datum outlived allowed retention"});
+    ++stats.cells_purged;
+  }
+  stats.rows_erased = table->EraseProviders(to_erase);
+  return stats;
+}
+
+}  // namespace ppdb::audit

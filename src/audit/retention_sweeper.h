@@ -1,0 +1,58 @@
+#ifndef PPDB_AUDIT_RETENTION_SWEEPER_H_
+#define PPDB_AUDIT_RETENTION_SWEEPER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "audit/audit_log.h"
+#include "audit/ledger.h"
+#include "common/result.h"
+#include "privacy/config.h"
+#include "relational/table.h"
+
+namespace ppdb::audit {
+
+/// Result of one sweep.
+struct SweepStats {
+  /// Cells nulled out because their age exceeded the allowed retention.
+  int64_t cells_purged = 0;
+  /// Rows removed because every cell had been purged.
+  int64_t rows_erased = 0;
+  /// Cells inspected.
+  int64_t cells_examined = 0;
+};
+
+/// Batch retention enforcement: purges datums that outlived their allowed
+/// retention.
+///
+/// The taxonomy's retention dimension "describes how long the data will be
+/// kept in storage"; §1 lists "retention of data for an unspecified period"
+/// among the provider concerns the model targets. The sweeper computes, for
+/// every datum, the allowed retention in days as
+///
+///   max over purposes p the policy declares for the attribute of
+///       min(policy retention days at p, preference retention days at p)
+///
+/// — the datum stays as long as *some* declared purpose still justifies it,
+/// but no purpose may hold it past the provider's preference. Datums with
+/// no ingest record are skipped (age unknown). Purged cells become null;
+/// rows whose cells are all null are erased (the provider no longer
+/// contributes data). Every purge is logged.
+class RetentionSweeper {
+ public:
+  /// All pointers must outlive the sweeper.
+  RetentionSweeper(const privacy::PrivacyConfig* config, IngestLedger* ledger,
+                   AuditLog* log);
+
+  /// Sweeps `table` at logical day `today`.
+  Result<SweepStats> Sweep(rel::Table* table, int64_t today) const;
+
+ private:
+  const privacy::PrivacyConfig* config_;
+  IngestLedger* ledger_;
+  AuditLog* log_;
+};
+
+}  // namespace ppdb::audit
+
+#endif  // PPDB_AUDIT_RETENTION_SWEEPER_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace ppdb {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void SetMinimumLogLevel(LogLevel level) { g_min_level.store(level); }
+
+LogLevel GetMinimumLogLevel() { return g_min_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << LogLevelName(level_) << " " << basename << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+}
+
+}  // namespace internal
+}  // namespace ppdb

@@ -1,0 +1,56 @@
+#ifndef PPDB_COMMON_LOGGING_H_
+#define PPDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ppdb {
+
+/// Log severity, in increasing order of importance.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Returns "DEBUG", "INFO", "WARNING" or "ERROR".
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide minimum level; messages below it are dropped. Default: kInfo.
+void SetMinimumLogLevel(LogLevel level);
+LogLevel GetMinimumLogLevel();
+
+namespace internal {
+
+/// Stream-style log message writer; flushes to stderr on destruction.
+/// Use via the PPDB_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ppdb
+
+/// Emits one log line at `level` (a LogLevel enumerator name, e.g. kInfo):
+///
+///   PPDB_LOG(kWarning) << "provider " << id << " defaulted";
+#define PPDB_LOG(level)                                              \
+  if (::ppdb::LogLevel::level < ::ppdb::GetMinimumLogLevel()) {      \
+  } else                                                             \
+    ::ppdb::internal::LogMessage(::ppdb::LogLevel::level, __FILE__,  \
+                                 __LINE__)                           \
+        .stream()
+
+#endif  // PPDB_COMMON_LOGGING_H_

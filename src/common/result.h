@@ -1,0 +1,91 @@
+#ifndef PPDB_COMMON_RESULT_H_
+#define PPDB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ppdb {
+
+/// A value-or-error type: either holds a `T` or a non-OK `Status`.
+///
+/// `Result<T>` is the return type for every fallible ppdb function that
+/// produces a value. It converts implicitly from both `T` and `Status` so
+/// call sites can `return value;` or `return Status::NotFound(...);`.
+///
+/// Usage:
+///
+///   Result<int> ParseCount(std::string_view s);
+///
+///   PPDB_ASSIGN_OR_RETURN(int n, ParseCount(text));  // see macros.h
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding `status`, which must be non-OK.
+  /// Passing an OK status is an internal error and is converted to one.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is held.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Aborts if `!ok()`; check `ok()` first or use
+  /// PPDB_ASSIGN_OR_RETURN.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  /// Returns the held value or `fallback` when this Result is an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "FATAL: Result::value() called on error result: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_RESULT_H_

@@ -1,0 +1,58 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ppdb {
+
+double Rng::NextGaussian() {
+  // Box–Muller; u1 is kept away from zero to avoid log(0).
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(NextGaussian(mu, sigma));
+}
+
+double Rng::NextLaplace(double scale) {
+  // Inverse CDF: u in (-1/2, 1/2], x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = NextDouble() - 0.5;
+  double sign = u < 0 ? -1.0 : 1.0;
+  double magnitude = u < 0 ? -u : u;
+  // Clamp away from 1 - 2|u| == 0 (u == ±0.5) to avoid log(0).
+  double inner = 1.0 - 2.0 * magnitude;
+  if (inner <= 0.0) inner = 1e-300;
+  return -scale * sign * std::log(inner);
+}
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) return 0;
+  double target = NextDouble() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  if (n == 0) return 0;
+  double total = 0.0;
+  for (size_t k = 1; k <= n; ++k) total += std::pow(static_cast<double>(k), -s);
+  double target = NextDouble() * total;
+  double cum = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    cum += std::pow(static_cast<double>(k), -s);
+    if (target < cum) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace ppdb

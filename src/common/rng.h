@@ -1,0 +1,87 @@
+#ifndef PPDB_COMMON_RNG_H_
+#define PPDB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppdb {
+
+/// Deterministic 64-bit pseudo-random generator (splitmix64 core).
+///
+/// Every stochastic component in ppdb (the trial-based relative-frequency
+/// estimators of Def. 2/5, the population simulator) takes an explicit
+/// `Rng&` so that experiments are reproducible from a seed. The engine is
+/// splitmix64: tiny state, passes BigCrush, and sequences from distinct
+/// seeds are independent for our purposes.
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds yield identical streams.
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    uint64_t threshold = (0ULL - bound) % bound;
+    while (true) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; the pair's second
+  /// member is deliberately discarded to keep the state trajectory simple).
+  double NextGaussian();
+
+  /// Normal with the given mean and (non-negative) standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Log-normal: exp(N(mu, sigma)). Heavy-tailed; used for sensitivity and
+  /// default-threshold draws, which empirically skew right.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Laplace(0, b) via inverse CDF; the noise distribution of the
+  /// differential-privacy mechanism. `b` must be positive.
+  double NextLaplace(double scale);
+
+  /// Samples an index from an (unnormalized) non-negative weight vector.
+  /// Returns weights.size()-1 when rounding leaves residual mass. An empty
+  /// or all-zero vector yields index 0.
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s >= 0; s = 0 is
+  /// uniform). Linear-time inverse-CDF sampling; adequate for n <= ~1e6.
+  size_t NextZipf(size_t n, double s);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_RNG_H_

@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+namespace ppdb {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string();
+  return *kEmpty;
+}
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kIncomparable:
+      return "incomparable";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithPrefix(std::string_view prefix) const {
+  if (ok()) return Status::OK();
+  std::string prefixed(prefix);
+  prefixed += ": ";
+  prefixed += message();
+  return Status(code(), std::move(prefixed));
+}
+
+bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace ppdb

@@ -1,0 +1,149 @@
+#ifndef PPDB_COMMON_STATUS_H_
+#define PPDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ppdb {
+
+/// Machine-readable category of a `Status`.
+///
+/// The set is deliberately small; fine-grained causes belong in the message.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed or out of range.
+  kInvalidArgument,
+  /// A looked-up entity (attribute, purpose, provider, ...) does not exist.
+  kNotFound,
+  /// An entity being created already exists.
+  kAlreadyExists,
+  /// The operation is valid but the object is in the wrong state for it.
+  kFailedPrecondition,
+  /// Two values could not be compared (e.g. tuples for different purposes).
+  kIncomparable,
+  /// Text could not be parsed (policy DSL, CSV, ...).
+  kParseError,
+  /// An access request was evaluated and denied by the enforcement layer.
+  kPermissionDenied,
+  /// Arithmetic would overflow or an internal capacity was exceeded.
+  kOutOfRange,
+  /// An invariant the library maintains internally was broken; a bug.
+  kInternal,
+  /// The feature is recognised but not implemented.
+  kNotImplemented,
+};
+
+/// Returns the canonical lower-case name of `code`, e.g. "invalid_argument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Error-signalling type used throughout ppdb instead of exceptions.
+///
+/// A `Status` is either OK (the common case, represented without allocation)
+/// or an error carrying a `StatusCode` and a human-readable message.
+/// Functions that produce a value use `Result<T>` (see result.h) instead.
+///
+/// Usage:
+///
+///   Status DoThing() {
+///     if (bad) return Status::InvalidArgument("threshold must be >= 0");
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk`; use `OK()` for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Incomparable(std::string message) {
+    return Status(StatusCode::kIncomparable, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status PermissionDenied(std::string message) {
+    return Status(StatusCode::kPermissionDenied, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status NotImplemented(std::string message) {
+    return Status(StatusCode::kNotImplemented, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; `kOk` when `ok()`.
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty when `ok()`.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIncomparable() const { return code() == StatusCode::kIncomparable; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `prefix + ": "` prepended to the
+  /// message. Prefixing an OK status yields an OK status.
+  Status WithPrefix(std::string_view prefix) const;
+
+  /// Two statuses are equal when their codes and messages are equal.
+  friend bool operator==(const Status& a, const Status& b);
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps the success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_STATUS_H_

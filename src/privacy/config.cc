@@ -1,0 +1,40 @@
+#include "privacy/config.h"
+
+#include "common/macros.h"
+
+namespace ppdb::privacy {
+
+Status PrivacyConfig::Validate() const {
+  PPDB_RETURN_NOT_OK(policy.ValidateAgainst(scales).WithPrefix("policy"));
+  PPDB_RETURN_NOT_OK(
+      preferences.ValidateAgainst(scales).WithPrefix("preferences"));
+  for (const PolicyTuple& pt : policy.tuples()) {
+    if (!purposes.NameOf(pt.tuple.purpose).ok()) {
+      return Status::InvalidArgument(
+          "policy tuple for attribute '" + pt.attribute +
+          "' mentions unregistered purpose id " +
+          std::to_string(pt.tuple.purpose));
+    }
+  }
+  for (ProviderId id : preferences.ProviderIds()) {
+    PPDB_ASSIGN_OR_RETURN(const ProviderPreferences* prefs,
+                          preferences.Find(id));
+    for (const PreferenceTuple& pt : prefs->tuples()) {
+      if (!purposes.NameOf(pt.tuple.purpose).ok()) {
+        return Status::InvalidArgument(
+            "preference of provider " + std::to_string(id) +
+            " mentions unregistered purpose id " +
+            std::to_string(pt.tuple.purpose));
+      }
+    }
+  }
+  for (const auto& [provider, threshold] : thresholds) {
+    if (threshold < 0.0) {
+      return Status::InvalidArgument("negative default threshold for provider " +
+                                     std::to_string(provider));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ppdb::privacy

@@ -1,0 +1,55 @@
+#ifndef PPDB_PRIVACY_CONFIG_H_
+#define PPDB_PRIVACY_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "privacy/house_policy.h"
+#include "privacy/ordered_scale.h"
+#include "privacy/provider_prefs.h"
+#include "privacy/purpose.h"
+#include "privacy/sensitivity.h"
+
+namespace ppdb::privacy {
+
+/// Everything the violation model needs to know about one house and its
+/// provider population, bundled: the interpretation context (scales,
+/// purposes), the house policy HP, the provider preferences ProviderPref_i,
+/// the Sensitivity = ⟨σ, Σ⟩ pair (Eq. 10), and the default thresholds v_i
+/// (Def. 4).
+///
+/// A PrivacyConfig is a value type; what-if analysis (§9) clones it and
+/// widens the copy's policy.
+struct PrivacyConfig {
+  ScaleSet scales;
+  PurposeRegistry purposes;
+  PurposeHierarchy purpose_hierarchy;
+  HousePolicy policy;
+  PreferenceStore preferences;
+  SensitivityModel sensitivities;
+  /// v_i per provider; providers absent from the map use
+  /// `fallback_threshold`.
+  std::map<ProviderId, double> thresholds;
+  /// Threshold assumed for providers without an explicit v_i.
+  double fallback_threshold = 0.0;
+  /// Declarative numeric generalizers: attribute -> per-level bin widths
+  /// (see audit::NumericRangeGeneralizer). Kept here so a serialized
+  /// config fully describes its enforcement; `audit::BuildGeneralizers`
+  /// turns the map into a registry.
+  std::map<std::string, std::vector<double>> numeric_generalizers;
+
+  /// The threshold v_i for `provider`.
+  double ThresholdFor(ProviderId provider) const {
+    auto it = thresholds.find(provider);
+    return it == thresholds.end() ? fallback_threshold : it->second;
+  }
+
+  /// Cross-validates the bundle: policy and preference tuples lie on the
+  /// scales and mention registered purposes.
+  Status Validate() const;
+};
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_CONFIG_H_

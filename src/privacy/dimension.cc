@@ -1,0 +1,31 @@
+#include "privacy/dimension.h"
+
+#include "common/string_util.h"
+
+namespace ppdb::privacy {
+
+std::string_view DimensionName(Dimension dim) {
+  switch (dim) {
+    case Dimension::kPurpose:
+      return "purpose";
+    case Dimension::kVisibility:
+      return "visibility";
+    case Dimension::kGranularity:
+      return "granularity";
+    case Dimension::kRetention:
+      return "retention";
+  }
+  return "unknown";
+}
+
+Result<Dimension> DimensionFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "purpose" || lower == "pr") return Dimension::kPurpose;
+  if (lower == "visibility" || lower == "v") return Dimension::kVisibility;
+  if (lower == "granularity" || lower == "g") return Dimension::kGranularity;
+  if (lower == "retention" || lower == "r") return Dimension::kRetention;
+  return Status::ParseError("unknown privacy dimension: '" +
+                            std::string(name) + "'");
+}
+
+}  // namespace ppdb::privacy

@@ -1,0 +1,41 @@
+#ifndef PPDB_PRIVACY_DIMENSION_H_
+#define PPDB_PRIVACY_DIMENSION_H_
+
+#include <array>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ppdb::privacy {
+
+/// The four privacy dimensions of the Barker et al. taxonomy (paper §2):
+/// P = Pr × V × G × R (Eq. 1).
+///
+/// Purpose is categorical (assumption 4: "purpose acts like a categorical
+/// variable"); visibility, granularity and retention carry a total order
+/// (assumption 2) with larger values meaning greater privacy exposure.
+enum class Dimension {
+  kPurpose,
+  kVisibility,
+  kGranularity,
+  kRetention,
+};
+
+/// The three totally-ordered dimensions, in the order the paper sums over
+/// them in Eq. 14: dim ∈ {V, G, R}.
+inline constexpr std::array<Dimension, 3> kOrderedDimensions = {
+    Dimension::kVisibility,
+    Dimension::kGranularity,
+    Dimension::kRetention,
+};
+
+/// Returns "purpose", "visibility", "granularity" or "retention".
+std::string_view DimensionName(Dimension dim);
+
+/// Parses a dimension name (also accepts the short forms "pr", "v", "g",
+/// "r").
+Result<Dimension> DimensionFromName(std::string_view name);
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_DIMENSION_H_

@@ -1,0 +1,142 @@
+#include "privacy/house_policy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace ppdb::privacy {
+
+Status HousePolicy::Add(std::string_view attribute,
+                        const PrivacyTuple& tuple) {
+  for (const PolicyTuple& existing : tuples_) {
+    if (existing.attribute == attribute &&
+        existing.tuple.purpose == tuple.purpose) {
+      return Status::AlreadyExists(
+          "policy already has a tuple for attribute '" +
+          std::string(attribute) + "' and purpose id " +
+          std::to_string(tuple.purpose));
+    }
+  }
+  tuples_.push_back(PolicyTuple{std::string(attribute), tuple});
+  return Status::OK();
+}
+
+Status HousePolicy::Remove(std::string_view attribute, PurposeId purpose) {
+  auto it = std::find_if(tuples_.begin(), tuples_.end(),
+                         [&](const PolicyTuple& pt) {
+                           return pt.attribute == attribute &&
+                                  pt.tuple.purpose == purpose;
+                         });
+  if (it == tuples_.end()) {
+    return Status::NotFound("no policy tuple for attribute '" +
+                            std::string(attribute) + "' and purpose id " +
+                            std::to_string(purpose));
+  }
+  tuples_.erase(it);
+  return Status::OK();
+}
+
+std::vector<PolicyTuple> HousePolicy::ForAttribute(
+    std::string_view attribute) const {
+  std::vector<PolicyTuple> out;
+  for (const PolicyTuple& pt : tuples_) {
+    if (pt.attribute == attribute) out.push_back(pt);
+  }
+  return out;
+}
+
+Result<PrivacyTuple> HousePolicy::Find(std::string_view attribute,
+                                       PurposeId purpose) const {
+  for (const PolicyTuple& pt : tuples_) {
+    if (pt.attribute == attribute && pt.tuple.purpose == purpose) {
+      return pt.tuple;
+    }
+  }
+  return Status::NotFound("no policy tuple for attribute '" +
+                          std::string(attribute) + "' and purpose id " +
+                          std::to_string(purpose));
+}
+
+std::vector<std::string> HousePolicy::Attributes() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const PolicyTuple& pt : tuples_) {
+    if (seen.insert(pt.attribute).second) out.push_back(pt.attribute);
+  }
+  return out;
+}
+
+std::vector<PurposeId> HousePolicy::Purposes() const {
+  std::vector<PurposeId> out;
+  std::unordered_set<PurposeId> seen;
+  for (const PolicyTuple& pt : tuples_) {
+    if (seen.insert(pt.tuple.purpose).second) out.push_back(pt.tuple.purpose);
+  }
+  return out;
+}
+
+Status HousePolicy::ValidateAgainst(const ScaleSet& scales) const {
+  for (const PolicyTuple& pt : tuples_) {
+    Status s = pt.tuple.ValidateAgainst(scales);
+    if (!s.ok()) return s.WithPrefix("attribute '" + pt.attribute + "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<int> ClampedWiden(int level, int delta, const OrderedScale& scale) {
+  int widened = level + delta;
+  if (widened < 0) widened = 0;
+  if (widened > scale.max_level()) widened = scale.max_level();
+  return widened;
+}
+
+}  // namespace
+
+Result<HousePolicy> HousePolicy::Widened(Dimension dim, int delta,
+                                         const ScaleSet& scales) const {
+  PPDB_ASSIGN_OR_RETURN(const OrderedScale* scale, scales.ForDimension(dim));
+  HousePolicy out = *this;
+  for (PolicyTuple& pt : out.tuples_) {
+    PPDB_ASSIGN_OR_RETURN(int level, pt.tuple.Level(dim));
+    PPDB_ASSIGN_OR_RETURN(int widened, ClampedWiden(level, delta, *scale));
+    PPDB_RETURN_NOT_OK(pt.tuple.SetLevel(dim, widened));
+  }
+  return out;
+}
+
+Result<HousePolicy> HousePolicy::WidenedForAttribute(
+    std::string_view attribute, Dimension dim, int delta,
+    const ScaleSet& scales) const {
+  PPDB_ASSIGN_OR_RETURN(const OrderedScale* scale, scales.ForDimension(dim));
+  HousePolicy out = *this;
+  bool touched = false;
+  for (PolicyTuple& pt : out.tuples_) {
+    if (pt.attribute != attribute) continue;
+    PPDB_ASSIGN_OR_RETURN(int level, pt.tuple.Level(dim));
+    PPDB_ASSIGN_OR_RETURN(int widened, ClampedWiden(level, delta, *scale));
+    PPDB_RETURN_NOT_OK(pt.tuple.SetLevel(dim, widened));
+    touched = true;
+  }
+  if (!touched) {
+    return Status::NotFound("policy has no tuples for attribute '" +
+                            std::string(attribute) + "'");
+  }
+  return out;
+}
+
+std::string HousePolicy::ToString(const PurposeRegistry& purposes,
+                                  const ScaleSet& scales) const {
+  std::string out;
+  for (const PolicyTuple& pt : tuples_) {
+    out += pt.attribute;
+    out += ": ";
+    out += pt.tuple.ToString(purposes, scales);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ppdb::privacy

@@ -1,0 +1,82 @@
+#ifndef PPDB_PRIVACY_HOUSE_POLICY_H_
+#define PPDB_PRIVACY_HOUSE_POLICY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/ordered_scale.h"
+#include "privacy/privacy_tuple.h"
+#include "privacy/purpose.h"
+
+namespace ppdb::privacy {
+
+/// A particular house policy HP ⊆ Policy (Eq. 3): the set of
+/// <attribute, privacy-tuple> pairs the house declares for data collection,
+/// storage and use.
+///
+/// The house "may have multiple privacy tuples associated with the jth
+/// attribute" (§4) — e.g. one per purpose — but at most one per
+/// (attribute, purpose) pair, since a second tuple for the same pair would
+/// merely shadow the first in every comparison.
+///
+/// HousePolicy is a value type (copyable): what-if analysis works on widened
+/// copies of the current policy (§9).
+class HousePolicy {
+ public:
+  HousePolicy() = default;
+
+  /// Adds the policy tuple <attribute, tuple> to HP. Errors when a tuple for
+  /// the same (attribute, purpose) already exists.
+  Status Add(std::string_view attribute, const PrivacyTuple& tuple);
+
+  /// Removes the tuple for (attribute, purpose); kNotFound when absent.
+  Status Remove(std::string_view attribute, PurposeId purpose);
+
+  /// HP^j (Eq. 4): all policy tuples for `attribute`.
+  std::vector<PolicyTuple> ForAttribute(std::string_view attribute) const;
+
+  /// The tuple for (attribute, purpose); kNotFound when absent.
+  Result<PrivacyTuple> Find(std::string_view attribute,
+                            PurposeId purpose) const;
+
+  /// All policy tuples, in insertion order.
+  const std::vector<PolicyTuple>& tuples() const { return tuples_; }
+
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Distinct attribute names mentioned by the policy, in first-mention
+  /// order.
+  std::vector<std::string> Attributes() const;
+
+  /// Distinct purposes mentioned by the policy, in first-mention order.
+  std::vector<PurposeId> Purposes() const;
+
+  /// Validates every tuple's levels against `scales`.
+  Status ValidateAgainst(const ScaleSet& scales) const;
+
+  /// Returns a copy with `dim` increased by `delta` on every tuple, clamped
+  /// to [0, scale max]. This is the §9 "expansion of the privacy policies
+  /// for a house" applied uniformly; errors on kPurpose.
+  Result<HousePolicy> Widened(Dimension dim, int delta,
+                              const ScaleSet& scales) const;
+
+  /// Returns a copy with `dim` increased by `delta` (clamped) on the tuples
+  /// for `attribute` only.
+  Result<HousePolicy> WidenedForAttribute(std::string_view attribute,
+                                          Dimension dim, int delta,
+                                          const ScaleSet& scales) const;
+
+  /// Renders one line per tuple.
+  std::string ToString(const PurposeRegistry& purposes,
+                       const ScaleSet& scales) const;
+
+ private:
+  std::vector<PolicyTuple> tuples_;
+};
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_HOUSE_POLICY_H_

@@ -1,0 +1,97 @@
+#include "privacy/policy_diff.h"
+
+namespace ppdb::privacy {
+
+bool PolicyDiff::PurelyNarrowing() const {
+  if (!added.empty()) {
+    // An added tuple with all-zero levels exposes nothing; any positive
+    // level is new exposure.
+    for (const PolicyTuple& pt : added) {
+      if (pt.tuple.visibility > 0 || pt.tuple.granularity > 0 ||
+          pt.tuple.retention > 0) {
+        return false;
+      }
+    }
+  }
+  for (const PolicyLevelChange& change : level_changes) {
+    if (change.Delta() > 0) return false;
+  }
+  return true;
+}
+
+bool PolicyDiff::Widens() const {
+  for (const PolicyTuple& pt : added) {
+    if (pt.tuple.visibility > 0 || pt.tuple.granularity > 0 ||
+        pt.tuple.retention > 0) {
+      return true;
+    }
+  }
+  for (const PolicyLevelChange& change : level_changes) {
+    if (change.Delta() > 0) return true;
+  }
+  return false;
+}
+
+std::string PolicyDiff::ToString(const PurposeRegistry& purposes,
+                                 const ScaleSet& scales) const {
+  if (Empty()) return "(no policy changes)\n";
+  std::string out;
+  auto purpose_name = [&](PurposeId id) {
+    Result<std::string> name = purposes.NameOf(id);
+    return name.ok() ? name.value() : "purpose#" + std::to_string(id);
+  };
+  for (const PolicyTuple& pt : added) {
+    out += "+ " + pt.attribute + " for " + purpose_name(pt.tuple.purpose) +
+           ": " + pt.tuple.ToString(purposes, scales) + "\n";
+  }
+  for (const PolicyTuple& pt : removed) {
+    out += "- " + pt.attribute + " for " + purpose_name(pt.tuple.purpose) +
+           "\n";
+  }
+  for (const PolicyLevelChange& change : level_changes) {
+    Result<const OrderedScale*> scale =
+        scales.ForDimension(change.dimension);
+    auto level_name = [&](int level) {
+      if (scale.ok()) {
+        Result<std::string> name = scale.value()->NameOf(level);
+        if (name.ok()) return name.value();
+      }
+      return std::to_string(level);
+    };
+    out += std::string(change.Delta() > 0 ? "~ widened  " : "~ narrowed ") +
+           change.attribute + " for " + purpose_name(change.purpose) + ": " +
+           std::string(DimensionName(change.dimension)) + " " +
+           level_name(change.old_level) + " -> " +
+           level_name(change.new_level) + "\n";
+  }
+  return out;
+}
+
+PolicyDiff DiffPolicies(const HousePolicy& before, const HousePolicy& after) {
+  PolicyDiff diff;
+  for (const PolicyTuple& old_tuple : before.tuples()) {
+    Result<PrivacyTuple> counterpart =
+        after.Find(old_tuple.attribute, old_tuple.tuple.purpose);
+    if (!counterpart.ok()) {
+      diff.removed.push_back(old_tuple);
+      continue;
+    }
+    for (Dimension dim : kOrderedDimensions) {
+      int old_level = old_tuple.tuple.Level(dim).value();
+      int new_level = counterpart->Level(dim).value();
+      if (old_level != new_level) {
+        diff.level_changes.push_back(
+            PolicyLevelChange{old_tuple.attribute, old_tuple.tuple.purpose,
+                              dim, old_level, new_level});
+      }
+    }
+  }
+  for (const PolicyTuple& new_tuple : after.tuples()) {
+    if (!before.Find(new_tuple.attribute, new_tuple.tuple.purpose).ok()) {
+      diff.added.push_back(new_tuple);
+    }
+  }
+  return diff;
+}
+
+}  // namespace ppdb::privacy

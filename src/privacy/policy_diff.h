@@ -1,0 +1,57 @@
+#ifndef PPDB_PRIVACY_POLICY_DIFF_H_
+#define PPDB_PRIVACY_POLICY_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "privacy/house_policy.h"
+
+namespace ppdb::privacy {
+
+/// One level movement between two versions of a policy.
+struct PolicyLevelChange {
+  std::string attribute;
+  PurposeId purpose = 0;
+  Dimension dimension = Dimension::kVisibility;
+  int old_level = 0;
+  int new_level = 0;
+
+  /// Positive when the policy widened (more exposure) on this dimension.
+  int Delta() const { return new_level - old_level; }
+};
+
+/// Structural difference between two house policies, the unit of the §10
+/// scenario of "frequently changing privacy policies on social networking
+/// sites": which (attribute, purpose) coverage was added or dropped, and
+/// which levels moved.
+struct PolicyDiff {
+  /// Tuples present only in the new policy (new data uses).
+  std::vector<PolicyTuple> added;
+  /// Tuples present only in the old policy (retired data uses).
+  std::vector<PolicyTuple> removed;
+  /// Level movements on tuples present in both.
+  std::vector<PolicyLevelChange> level_changes;
+
+  bool Empty() const {
+    return added.empty() && removed.empty() && level_changes.empty();
+  }
+
+  /// True iff the change cannot increase any provider's exposure: nothing
+  /// added, and every level change narrows. (Removals only retire uses.)
+  bool PurelyNarrowing() const;
+
+  /// True iff some component widens exposure (an added tuple with any
+  /// positive level, or a positive level change).
+  bool Widens() const;
+
+  /// Human-readable rendering with purposes and level names resolved.
+  std::string ToString(const PurposeRegistry& purposes,
+                       const ScaleSet& scales) const;
+};
+
+/// Computes the difference from `before` to `after`.
+PolicyDiff DiffPolicies(const HousePolicy& before, const HousePolicy& after);
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_POLICY_DIFF_H_

@@ -1,0 +1,522 @@
+#include "privacy/policy_dsl.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ppdb::privacy {
+
+namespace {
+
+/// Splits "k1=v1, k2=v2" into trimmed pairs.
+Result<std::vector<std::pair<std::string, std::string>>> ParseKvList(
+    std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (std::string_view item : SplitAndTrim(text, ',')) {
+    if (item.empty()) {
+      return Status::ParseError("empty item in key=value list");
+    }
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("expected key=value, got '" +
+                                std::string(item) + "'");
+    }
+    std::string key(TrimWhitespace(item.substr(0, eq)));
+    std::string value(TrimWhitespace(item.substr(eq + 1)));
+    if (key.empty() || value.empty()) {
+      return Status::ParseError("expected key=value, got '" +
+                                std::string(item) + "'");
+    }
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+/// A level token is a level name on the scale or a raw integer index.
+Result<int> ParseLevelToken(const OrderedScale& scale,
+                            std::string_view token) {
+  Result<int> by_name = scale.LevelOf(token);
+  if (by_name.ok()) return by_name;
+  Result<int64_t> by_index = ParseInt64(token);
+  if (!by_index.ok()) {
+    return Status::ParseError("'" + std::string(token) +
+                              "' is neither a level of " + scale.ToString() +
+                              " nor an integer");
+  }
+  int level = static_cast<int>(by_index.value());
+  if (!scale.IsValidLevel(level)) {
+    return Status::ParseError("level index " + std::to_string(level) +
+                              " outside " + scale.ToString());
+  }
+  return level;
+}
+
+/// Whitespace-tokenizes `text`.
+std::vector<std::string_view> Tokenize(std::string_view text) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Result<PrivacyConfig> Parse(std::string_view text) {
+    // Join continuation lines (trailing backslash).
+    std::string joined;
+    joined.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '\n') {
+        ++i;
+        continue;
+      }
+      joined += text[i];
+    }
+
+    int line_no = 0;
+    for (std::string_view raw_line : Split(joined, '\n')) {
+      ++line_no;
+      size_t hash = raw_line.find('#');
+      if (hash != std::string_view::npos) raw_line = raw_line.substr(0, hash);
+      std::string_view line = TrimWhitespace(raw_line);
+      if (line.empty()) continue;
+      Status s = ParseStatement(line);
+      if (!s.ok()) return s.WithPrefix("line " + std::to_string(line_no));
+    }
+    PPDB_RETURN_NOT_OK(config_.Validate());
+    return std::move(config_);
+  }
+
+ private:
+  Status ParseStatement(std::string_view line) {
+    // Split "head: tail" if a colon is present.
+    size_t colon = line.find(':');
+    std::string_view head =
+        colon == std::string_view::npos ? line : line.substr(0, colon);
+    std::string_view tail = colon == std::string_view::npos
+                                ? std::string_view()
+                                : TrimWhitespace(line.substr(colon + 1));
+    std::vector<std::string_view> tokens = Tokenize(head);
+    if (tokens.empty()) return Status::ParseError("empty statement");
+    std::string_view keyword = tokens[0];
+
+    if (keyword == "scale") return ParseScale(tokens, tail);
+    if (keyword == "magnitudes") return ParseMagnitudes(tokens, tail);
+    if (keyword == "purpose") return ParsePurpose(tokens, colon);
+    if (keyword == "provider") return ParseProvider(tokens, colon);
+    if (keyword == "generalizer") return ParseGeneralizer(tokens, tail);
+    if (keyword == "policy") return ParsePolicy(tokens, tail);
+    if (keyword == "pref") return ParsePref(tokens, tail);
+    if (keyword == "attr_sensitivity") return ParseAttrSensitivity(line);
+    if (keyword == "sensitivity") return ParseSensitivity(tokens, tail);
+    if (keyword == "threshold" || keyword == "fallback_threshold") {
+      return ParseThreshold(line);
+    }
+    return Status::ParseError("unknown statement '" + std::string(keyword) +
+                              "'");
+  }
+
+  Status ParseScale(const std::vector<std::string_view>& tokens,
+                    std::string_view tail) {
+    if (tokens.size() != 2) {
+      return Status::ParseError("expected 'scale <dimension>: levels...'");
+    }
+    if (scales_used_) {
+      return Status::ParseError(
+          "scale declarations must precede policy/pref statements");
+    }
+    PPDB_ASSIGN_OR_RETURN(Dimension dim, DimensionFromName(tokens[1]));
+    std::vector<std::string> levels;
+    for (std::string_view level : SplitAndTrim(tail, ',')) {
+      levels.emplace_back(level);
+    }
+    PPDB_ASSIGN_OR_RETURN(OrderedScale scale,
+                          OrderedScale::Create(dim, std::move(levels)));
+    switch (dim) {
+      case Dimension::kVisibility:
+        config_.scales.visibility = std::move(scale);
+        break;
+      case Dimension::kGranularity:
+        config_.scales.granularity = std::move(scale);
+        break;
+      case Dimension::kRetention:
+        config_.scales.retention = std::move(scale);
+        break;
+      case Dimension::kPurpose:
+        return Status::ParseError("purpose has no scale");
+    }
+    return Status::OK();
+  }
+
+  Status ParseMagnitudes(const std::vector<std::string_view>& tokens,
+                         std::string_view tail) {
+    if (tokens.size() != 2) {
+      return Status::ParseError("expected 'magnitudes <dimension>: nums...'");
+    }
+    PPDB_ASSIGN_OR_RETURN(Dimension dim, DimensionFromName(tokens[1]));
+    PPDB_ASSIGN_OR_RETURN(OrderedScale * scale,
+                          config_.scales.MutableForDimension(dim));
+    std::vector<std::string_view> fields = SplitAndTrim(tail, ',');
+    if (static_cast<int>(fields.size()) != scale->num_levels()) {
+      return Status::ParseError(
+          "magnitude count " + std::to_string(fields.size()) +
+          " does not match level count " +
+          std::to_string(scale->num_levels()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      PPDB_ASSIGN_OR_RETURN(double magnitude, ParseDouble(fields[i]));
+      PPDB_RETURN_NOT_OK(
+          scale->SetMagnitude(static_cast<int>(i), magnitude));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePurpose(const std::vector<std::string_view>& tokens,
+                      size_t colon) {
+    if (colon != std::string_view::npos) {
+      return Status::ParseError("purpose statement takes no ':'");
+    }
+    if (tokens.size() == 2) {
+      return config_.purposes.Register(tokens[1]).status();
+    }
+    if (tokens.size() == 4 && tokens[2] == "implies") {
+      PPDB_ASSIGN_OR_RETURN(PurposeId child,
+                            config_.purposes.Register(tokens[1]));
+      PPDB_ASSIGN_OR_RETURN(PurposeId parent,
+                            config_.purposes.Register(tokens[3]));
+      return config_.purpose_hierarchy.AddEdge(child, parent,
+                                               config_.purposes);
+    }
+    return Status::ParseError(
+        "expected 'purpose <name>' or 'purpose <name> implies <parent>'");
+  }
+
+  // `provider <id>` declares a provider with (so far) no stated
+  // preferences — they still count toward N in every census (Def. 2) and
+  // fall under the implicit-zero rule for all policy purposes.
+  Status ParseProvider(const std::vector<std::string_view>& tokens,
+                       size_t colon) {
+    if (colon != std::string_view::npos || tokens.size() != 2) {
+      return Status::ParseError("expected 'provider <id>'");
+    }
+    PPDB_ASSIGN_OR_RETURN(int64_t provider, ParseInt64(tokens[1]));
+    config_.preferences.ForProvider(provider);
+    return Status::OK();
+  }
+
+  // `generalizer <attribute>: w0, w1, ...` — per-level bin widths for the
+  // attribute's numeric generalizer (audit::NumericRangeGeneralizer).
+  Status ParseGeneralizer(const std::vector<std::string_view>& tokens,
+                          std::string_view tail) {
+    if (tokens.size() != 2) {
+      return Status::ParseError(
+          "expected 'generalizer <attribute>: widths...'");
+    }
+    if (!IsValidIdentifier(tokens[1])) {
+      return Status::ParseError("invalid attribute name '" +
+                                std::string(tokens[1]) + "'");
+    }
+    std::vector<double> widths;
+    for (std::string_view field : SplitAndTrim(tail, ',')) {
+      PPDB_ASSIGN_OR_RETURN(double width, ParseDouble(field));
+      widths.push_back(width);
+    }
+    if (widths.empty()) {
+      return Status::ParseError("generalizer needs at least one width");
+    }
+    config_.numeric_generalizers[std::string(tokens[1])] = std::move(widths);
+    return Status::OK();
+  }
+
+  Result<PrivacyTuple> ParseTupleBody(std::string_view purpose_name,
+                                      std::string_view tail) {
+    scales_used_ = true;
+    PPDB_ASSIGN_OR_RETURN(PurposeId purpose,
+                          config_.purposes.Register(purpose_name));
+    PrivacyTuple tuple = PrivacyTuple::ZeroFor(purpose);
+    PPDB_ASSIGN_OR_RETURN(auto kvs, ParseKvList(tail));
+    for (const auto& [key, value] : kvs) {
+      PPDB_ASSIGN_OR_RETURN(Dimension dim, DimensionFromName(key));
+      if (dim == Dimension::kPurpose) {
+        return Status::ParseError(
+            "purpose is given in the statement head, not the tuple body");
+      }
+      PPDB_ASSIGN_OR_RETURN(const OrderedScale* scale,
+                            config_.scales.ForDimension(dim));
+      PPDB_ASSIGN_OR_RETURN(int level, ParseLevelToken(*scale, value));
+      PPDB_RETURN_NOT_OK(tuple.SetLevel(dim, level));
+    }
+    return tuple;
+  }
+
+  Status ParsePolicy(const std::vector<std::string_view>& tokens,
+                     std::string_view tail) {
+    // policy <attr> for <purpose>: <kvlist>
+    if (tokens.size() != 4 || tokens[2] != "for") {
+      return Status::ParseError(
+          "expected 'policy <attribute> for <purpose>: ...'");
+    }
+    PPDB_ASSIGN_OR_RETURN(PrivacyTuple tuple,
+                          ParseTupleBody(tokens[3], tail));
+    return config_.policy.Add(tokens[1], tuple);
+  }
+
+  Status ParsePref(const std::vector<std::string_view>& tokens,
+                   std::string_view tail) {
+    // pref <provider> <attr> for <purpose>: <kvlist>
+    if (tokens.size() != 5 || tokens[3] != "for") {
+      return Status::ParseError(
+          "expected 'pref <provider> <attribute> for <purpose>: ...'");
+    }
+    PPDB_ASSIGN_OR_RETURN(int64_t provider, ParseInt64(tokens[1]));
+    PPDB_ASSIGN_OR_RETURN(PrivacyTuple tuple,
+                          ParseTupleBody(tokens[4], tail));
+    return config_.preferences.ForProvider(provider).Add(tokens[2], tuple);
+  }
+
+  Status ParseAttrSensitivity(std::string_view line) {
+    // attr_sensitivity <attr> [for <purpose>] = <num>
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError(
+          "expected 'attr_sensitivity <attribute> [for <purpose>] = <num>'");
+    }
+    std::vector<std::string_view> tokens = Tokenize(line.substr(0, eq));
+    PPDB_ASSIGN_OR_RETURN(double value,
+                          ParseDouble(TrimWhitespace(line.substr(eq + 1))));
+    if (tokens.size() == 2) {
+      return config_.sensitivities.SetAttributeSensitivity(tokens[1], value);
+    }
+    if (tokens.size() == 4 && tokens[2] == "for") {
+      PPDB_ASSIGN_OR_RETURN(PurposeId purpose,
+                            config_.purposes.Register(tokens[3]));
+      return config_.sensitivities.SetAttributeSensitivityForPurpose(
+          tokens[1], purpose, value);
+    }
+    return Status::ParseError(
+        "expected 'attr_sensitivity <attribute> [for <purpose>] = <num>'");
+  }
+
+  Status ParseSensitivity(const std::vector<std::string_view>& tokens,
+                          std::string_view tail) {
+    // sensitivity <provider> <attr> [for <purpose>]: <kvlist>
+    bool with_purpose = tokens.size() == 5 && tokens[3] == "for";
+    if (!with_purpose && tokens.size() != 3) {
+      return Status::ParseError(
+          "expected 'sensitivity <provider> <attribute> [for <purpose>]: "
+          "...'");
+    }
+    PPDB_ASSIGN_OR_RETURN(int64_t provider, ParseInt64(tokens[1]));
+    DimensionSensitivity sens;
+    PPDB_ASSIGN_OR_RETURN(auto kvs, ParseKvList(tail));
+    for (const auto& [key, value] : kvs) {
+      PPDB_ASSIGN_OR_RETURN(double v, ParseDouble(value));
+      if (key == "value") {
+        sens.value = v;
+      } else {
+        PPDB_ASSIGN_OR_RETURN(Dimension dim, DimensionFromName(key));
+        switch (dim) {
+          case Dimension::kVisibility:
+            sens.visibility = v;
+            break;
+          case Dimension::kGranularity:
+            sens.granularity = v;
+            break;
+          case Dimension::kRetention:
+            sens.retention = v;
+            break;
+          case Dimension::kPurpose:
+            return Status::ParseError(
+                "purpose carries no dimension sensitivity");
+        }
+      }
+    }
+    if (with_purpose) {
+      PPDB_ASSIGN_OR_RETURN(PurposeId purpose,
+                            config_.purposes.Register(tokens[4]));
+      return config_.sensitivities.SetProviderSensitivityForPurpose(
+          provider, tokens[2], purpose, sens);
+    }
+    return config_.sensitivities.SetProviderSensitivity(provider, tokens[2],
+                                                        sens);
+  }
+
+  Status ParseThreshold(std::string_view line) {
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("expected '= <num>' in threshold statement");
+    }
+    std::vector<std::string_view> tokens = Tokenize(line.substr(0, eq));
+    PPDB_ASSIGN_OR_RETURN(double value,
+                          ParseDouble(TrimWhitespace(line.substr(eq + 1))));
+    if (value < 0.0) {
+      return Status::ParseError("thresholds must be non-negative");
+    }
+    if (tokens[0] == "fallback_threshold") {
+      if (tokens.size() != 1) {
+        return Status::ParseError("expected 'fallback_threshold = <num>'");
+      }
+      config_.fallback_threshold = value;
+      return Status::OK();
+    }
+    if (tokens.size() != 2) {
+      return Status::ParseError("expected 'threshold <provider> = <num>'");
+    }
+    PPDB_ASSIGN_OR_RETURN(int64_t provider, ParseInt64(tokens[1]));
+    config_.thresholds[provider] = value;
+    return Status::OK();
+  }
+
+  PrivacyConfig config_;
+  bool scales_used_ = false;
+};
+
+void AppendScale(std::string& out, const OrderedScale& scale) {
+  out += "scale ";
+  out += DimensionName(scale.dimension());
+  out += ": ";
+  for (int i = 0; i < scale.num_levels(); ++i) {
+    if (i > 0) out += ", ";
+    out += scale.NameOf(i).value();
+  }
+  out += "\n";
+  out += "magnitudes ";
+  out += DimensionName(scale.dimension());
+  out += ": ";
+  for (int i = 0; i < scale.num_levels(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", scale.MagnitudeOf(i).value());
+    out += buf;
+  }
+  out += "\n";
+}
+
+std::string FormatNumber(double v) {
+  // %.17g round-trips every double exactly; fall back to the shortest
+  // representation when it already re-parses to the same value.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  double reparsed = std::strtod(buf, nullptr);
+  if (reparsed == v) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendTupleBody(std::string& out, const PrivacyTuple& tuple,
+                     const ScaleSet& scales) {
+  out += "visibility=" + scales.visibility.NameOf(tuple.visibility)
+             .value_or(std::to_string(tuple.visibility));
+  out += ", granularity=" + scales.granularity.NameOf(tuple.granularity)
+             .value_or(std::to_string(tuple.granularity));
+  out += ", retention=" + scales.retention.NameOf(tuple.retention)
+             .value_or(std::to_string(tuple.retention));
+}
+
+}  // namespace
+
+Result<PrivacyConfig> ParsePrivacyConfig(std::string_view text) {
+  Parser parser;
+  return parser.Parse(text);
+}
+
+std::string SerializePrivacyConfig(const PrivacyConfig& config) {
+  std::string out = "# ppdb privacy configuration\n";
+  AppendScale(out, config.scales.visibility);
+  AppendScale(out, config.scales.granularity);
+  AppendScale(out, config.scales.retention);
+
+  for (const std::string& name : config.purposes.names()) {
+    out += "purpose " + name + "\n";
+  }
+  for (PurposeId child = 0; child < config.purposes.num_purposes(); ++child) {
+    for (PurposeId parent : config.purpose_hierarchy.ParentsOf(child)) {
+      out += "purpose " + config.purposes.NameOf(child).value() +
+             " implies " + config.purposes.NameOf(parent).value() + "\n";
+    }
+  }
+
+  for (const PolicyTuple& pt : config.policy.tuples()) {
+    out += "policy " + pt.attribute + " for " +
+           config.purposes.NameOf(pt.tuple.purpose).value() + ": ";
+    AppendTupleBody(out, pt.tuple, config.scales);
+    out += "\n";
+  }
+
+  for (ProviderId id : config.preferences.ProviderIds()) {
+    const ProviderPreferences& prefs =
+        *config.preferences.Find(id).value();
+    if (prefs.empty()) {
+      // Keep preference-less providers in the population (Def. 2 counts
+      // them; the implicit-zero rule applies to them in full).
+      out += "provider " + std::to_string(id) + "\n";
+      continue;
+    }
+    for (const PreferenceTuple& pt : prefs.tuples()) {
+      out += "pref " + std::to_string(id) + " " + pt.attribute + " for " +
+             config.purposes.NameOf(pt.tuple.purpose).value() + ": ";
+      AppendTupleBody(out, pt.tuple, config.scales);
+      out += "\n";
+    }
+  }
+
+  const SensitivityModel& s = config.sensitivities;
+  for (const auto& [attribute, value] : s.attribute_defaults()) {
+    out += "attr_sensitivity " + attribute + " = " + FormatNumber(value) +
+           "\n";
+  }
+  for (const auto& [key, value] : s.attribute_overrides()) {
+    out += "attr_sensitivity " + key.first + " for " +
+           config.purposes.NameOf(key.second).value() + " = " +
+           FormatNumber(value) + "\n";
+  }
+  auto append_dimension_sens = [&](const DimensionSensitivity& sens) {
+    out += "value=" + FormatNumber(sens.value);
+    out += ", visibility=" + FormatNumber(sens.visibility);
+    out += ", granularity=" + FormatNumber(sens.granularity);
+    out += ", retention=" + FormatNumber(sens.retention);
+    out += "\n";
+  };
+  for (const auto& [key, sens] : s.provider_defaults()) {
+    out += "sensitivity " + std::to_string(key.first) + " " + key.second +
+           ": ";
+    append_dimension_sens(sens);
+  }
+  for (const auto& [key, sens] : s.provider_overrides()) {
+    out += "sensitivity " + std::to_string(std::get<0>(key)) + " " +
+           std::get<1>(key) + " for " +
+           config.purposes.NameOf(std::get<2>(key)).value() + ": ";
+    append_dimension_sens(sens);
+  }
+
+  for (const auto& [attribute, widths] : config.numeric_generalizers) {
+    out += "generalizer " + attribute + ": ";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FormatNumber(widths[i]);
+    }
+    out += "\n";
+  }
+
+  for (const auto& [provider, threshold] : config.thresholds) {
+    out += "threshold " + std::to_string(provider) + " = " +
+           FormatNumber(threshold) + "\n";
+  }
+  if (config.fallback_threshold != 0.0) {
+    out += "fallback_threshold = " + FormatNumber(config.fallback_threshold) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace ppdb::privacy

@@ -1,0 +1,57 @@
+#ifndef PPDB_PRIVACY_POLICY_DSL_H_
+#define PPDB_PRIVACY_POLICY_DSL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "privacy/config.h"
+
+namespace ppdb::privacy {
+
+/// Parses the ppdb privacy-configuration DSL into a `PrivacyConfig`.
+///
+/// The DSL is line-oriented; `#` starts a comment. Statement forms:
+///
+///   scale visibility: none, house, third_party, world
+///   scale granularity: none, existential, partial, specific
+///   scale retention: none, week, month, year, indefinite
+///   magnitudes retention: 0, 7, 30, 365, 36500
+///
+///   purpose marketing
+///   purpose email_marketing implies marketing
+///   provider 7                # a provider with no stated preferences
+///
+///   policy weight for marketing: visibility=house,
+///       granularity=specific, retention=year        (one line, or use a
+///   pref 1 weight for marketing: visibility=house,   trailing backslash
+///       granularity=partial, retention=year          to continue)
+///
+///   generalizer weight: 0, 0, 10   # numeric bin widths per granularity
+///                                  # level (audit::NumericRangeGeneralizer)
+///
+///   attr_sensitivity weight = 4
+///   attr_sensitivity weight for marketing = 5
+///   sensitivity 1 weight: value=1, visibility=1, granularity=2, retention=1
+///   sensitivity 1 weight for marketing: value=3, granularity=5
+///   threshold 1 = 10
+///   fallback_threshold = 25
+///
+/// Scales default to the canonical taxonomy scales when not declared; a
+/// `scale` statement must precede any statement that uses its levels. Level
+/// values accept either a level name or a raw non-negative integer index.
+/// Unspecified keys of a `sensitivity` statement default to 1. Purposes are
+/// auto-registered on first use in `policy`/`pref` statements.
+///
+/// Errors carry a "line N" prefix.
+Result<PrivacyConfig> ParsePrivacyConfig(std::string_view text);
+
+/// Serializes `config` back to DSL text. Parsing the output reproduces the
+/// config (round-trip property): scales with magnitudes, purposes and
+/// hierarchy edges, the policy, all preferences, every explicitly-set
+/// sensitivity, and thresholds.
+std::string SerializePrivacyConfig(const PrivacyConfig& config);
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_POLICY_DSL_H_

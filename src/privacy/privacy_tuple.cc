@@ -1,0 +1,89 @@
+#include "privacy/privacy_tuple.h"
+
+#include "common/macros.h"
+
+namespace ppdb::privacy {
+
+Result<int> PrivacyTuple::Level(Dimension dim) const {
+  switch (dim) {
+    case Dimension::kVisibility:
+      return visibility;
+    case Dimension::kGranularity:
+      return granularity;
+    case Dimension::kRetention:
+      return retention;
+    case Dimension::kPurpose:
+      return Status::InvalidArgument(
+          "purpose is not an ordered level; read the purpose field");
+  }
+  return Status::Internal("unhandled dimension");
+}
+
+Status PrivacyTuple::SetLevel(Dimension dim, int level) {
+  switch (dim) {
+    case Dimension::kVisibility:
+      visibility = level;
+      return Status::OK();
+    case Dimension::kGranularity:
+      granularity = level;
+      return Status::OK();
+    case Dimension::kRetention:
+      retention = level;
+      return Status::OK();
+    case Dimension::kPurpose:
+      return Status::InvalidArgument(
+          "purpose is not an ordered level; write the purpose field");
+  }
+  return Status::Internal("unhandled dimension");
+}
+
+std::vector<Dimension> PrivacyTuple::DimensionsExceeding(
+    const PrivacyTuple& other) const {
+  std::vector<Dimension> out;
+  if (visibility > other.visibility) out.push_back(Dimension::kVisibility);
+  if (granularity > other.granularity) out.push_back(Dimension::kGranularity);
+  if (retention > other.retention) out.push_back(Dimension::kRetention);
+  return out;
+}
+
+Status PrivacyTuple::ValidateAgainst(const ScaleSet& scales) const {
+  for (Dimension dim : kOrderedDimensions) {
+    PPDB_ASSIGN_OR_RETURN(const OrderedScale* scale,
+                          scales.ForDimension(dim));
+    PPDB_ASSIGN_OR_RETURN(int level, Level(dim));
+    if (!scale->IsValidLevel(level)) {
+      return Status::OutOfRange(std::string(DimensionName(dim)) + " level " +
+                                std::to_string(level) +
+                                " outside scale with " +
+                                std::to_string(scale->num_levels()) +
+                                " levels");
+    }
+  }
+  return Status::OK();
+}
+
+std::string PrivacyTuple::ToString(const PurposeRegistry& purposes,
+                                   const ScaleSet& scales) const {
+  auto level_name = [&](const OrderedScale& scale, int level) {
+    Result<std::string> name = scale.NameOf(level);
+    return name.ok() ? name.value() : std::to_string(level);
+  };
+  Result<std::string> purpose_name = purposes.NameOf(purpose);
+  std::string out = "(";
+  out += purpose_name.ok() ? purpose_name.value()
+                           : "purpose#" + std::to_string(purpose);
+  out += ", v=" + level_name(scales.visibility, visibility);
+  out += ", g=" + level_name(scales.granularity, granularity);
+  out += ", r=" + level_name(scales.retention, retention);
+  out += ")";
+  return out;
+}
+
+std::string PrivacyTuple::ToString() const {
+  return "(pr=" + std::to_string(purpose) +
+         ", v=" + std::to_string(visibility) +
+         ", g=" + std::to_string(granularity) +
+         ", r=" + std::to_string(retention) + ")";
+}
+
+}  // namespace ppdb::privacy

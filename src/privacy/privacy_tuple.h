@@ -1,0 +1,93 @@
+#ifndef PPDB_PRIVACY_PRIVACY_TUPLE_H_
+#define PPDB_PRIVACY_PRIVACY_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/dimension.h"
+#include "privacy/ordered_scale.h"
+#include "privacy/purpose.h"
+
+namespace ppdb::privacy {
+
+/// A point p ∈ P = Pr × V × G × R in the privacy space (Eq. 1): one purpose
+/// plus a level on each ordered dimension.
+///
+/// Levels are indices on the corresponding `OrderedScale`; larger means more
+/// exposure. A tuple with all ordered levels 0 exposes nothing — it is the
+/// implicit preference the model assumes when a provider has stated none for
+/// a purpose (Def. 1: "we add the tuple <i, a, pr, 0, 0, 0>").
+struct PrivacyTuple {
+  PurposeId purpose = 0;
+  int visibility = 0;
+  int granularity = 0;
+  int retention = 0;
+
+  /// The level on an ordered dimension; errors on kPurpose (use `purpose`).
+  Result<int> Level(Dimension dim) const;
+
+  /// Mutable setter for an ordered dimension; errors on kPurpose.
+  Status SetLevel(Dimension dim, int level);
+
+  /// The all-zero tuple for `purpose` (paper's <pr, 0, 0, 0>).
+  static PrivacyTuple ZeroFor(PurposeId purpose) {
+    return PrivacyTuple{purpose, 0, 0, 0};
+  }
+
+  /// True iff every ordered level of `this` is <= the corresponding level of
+  /// `other` — i.e. this tuple is "bounded by" other in the geometric sense
+  /// of Fig. 1. Purposes are not compared.
+  bool BoundedBy(const PrivacyTuple& other) const {
+    return visibility <= other.visibility &&
+           granularity <= other.granularity && retention <= other.retention;
+  }
+
+  /// The ordered dimensions on which `this` strictly exceeds `other`
+  /// (p[dim] > other[dim]); empty iff BoundedBy(other). This is the
+  /// per-dimension violation attribution behind Fig. 1(b)/(c).
+  std::vector<Dimension> DimensionsExceeding(const PrivacyTuple& other) const;
+
+  /// Validates all three levels against `scales`.
+  Status ValidateAgainst(const ScaleSet& scales) const;
+
+  /// Renders with level names resolved, e.g.
+  /// "(marketing, v=house, g=specific, r=year)".
+  std::string ToString(const PurposeRegistry& purposes,
+                       const ScaleSet& scales) const;
+
+  /// Renders with raw numeric levels, e.g. "(pr=0, v=1, g=3, r=3)".
+  std::string ToString() const;
+
+  friend bool operator==(const PrivacyTuple& a, const PrivacyTuple& b) {
+    return a.purpose == b.purpose && a.visibility == b.visibility &&
+           a.granularity == b.granularity && a.retention == b.retention;
+  }
+};
+
+/// A house policy element <a, p> ∈ HP (Eq. 2–3): the policy tuple `tuple`
+/// applies to the attribute named `attribute`.
+struct PolicyTuple {
+  std::string attribute;
+  PrivacyTuple tuple;
+
+  friend bool operator==(const PolicyTuple& a, const PolicyTuple& b) {
+    return a.attribute == b.attribute && a.tuple == b.tuple;
+  }
+};
+
+/// A provider preference element <i, a, p> ∈ ProviderPref_i (Eq. 5).
+struct PreferenceTuple {
+  int64_t provider = 0;
+  std::string attribute;
+  PrivacyTuple tuple;
+
+  friend bool operator==(const PreferenceTuple& a, const PreferenceTuple& b) {
+    return a.provider == b.provider && a.attribute == b.attribute &&
+           a.tuple == b.tuple;
+  }
+};
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_PRIVACY_TUPLE_H_

@@ -1,0 +1,138 @@
+#include "privacy/provider_prefs.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ppdb::privacy {
+
+Status ProviderPreferences::Add(std::string_view attribute,
+                                const PrivacyTuple& tuple) {
+  for (const PreferenceTuple& existing : tuples_) {
+    if (existing.attribute == attribute &&
+        existing.tuple.purpose == tuple.purpose) {
+      return Status::AlreadyExists(
+          "provider " + std::to_string(provider_) +
+          " already has a preference for attribute '" +
+          std::string(attribute) + "' and purpose id " +
+          std::to_string(tuple.purpose));
+    }
+  }
+  tuples_.push_back(PreferenceTuple{provider_, std::string(attribute), tuple});
+  return Status::OK();
+}
+
+void ProviderPreferences::Set(std::string_view attribute,
+                              const PrivacyTuple& tuple) {
+  for (PreferenceTuple& existing : tuples_) {
+    if (existing.attribute == attribute &&
+        existing.tuple.purpose == tuple.purpose) {
+      existing.tuple = tuple;
+      return;
+    }
+  }
+  tuples_.push_back(PreferenceTuple{provider_, std::string(attribute), tuple});
+}
+
+Status ProviderPreferences::Remove(std::string_view attribute,
+                                   PurposeId purpose) {
+  auto it = std::find_if(tuples_.begin(), tuples_.end(),
+                         [&](const PreferenceTuple& pt) {
+                           return pt.attribute == attribute &&
+                                  pt.tuple.purpose == purpose;
+                         });
+  if (it == tuples_.end()) {
+    return Status::NotFound("provider " + std::to_string(provider_) +
+                            " has no preference for attribute '" +
+                            std::string(attribute) + "' and purpose id " +
+                            std::to_string(purpose));
+  }
+  tuples_.erase(it);
+  return Status::OK();
+}
+
+std::vector<PreferenceTuple> ProviderPreferences::ForAttribute(
+    std::string_view attribute) const {
+  std::vector<PreferenceTuple> out;
+  for (const PreferenceTuple& pt : tuples_) {
+    if (pt.attribute == attribute) out.push_back(pt);
+  }
+  return out;
+}
+
+Result<PrivacyTuple> ProviderPreferences::Find(std::string_view attribute,
+                                               PurposeId purpose) const {
+  for (const PreferenceTuple& pt : tuples_) {
+    if (pt.attribute == attribute && pt.tuple.purpose == purpose) {
+      return pt.tuple;
+    }
+  }
+  return Status::NotFound("provider " + std::to_string(provider_) +
+                          " has no preference for attribute '" +
+                          std::string(attribute) + "' and purpose id " +
+                          std::to_string(purpose));
+}
+
+PrivacyTuple ProviderPreferences::EffectivePreference(
+    std::string_view attribute, PurposeId purpose) const {
+  Result<PrivacyTuple> stated = Find(attribute, purpose);
+  if (stated.ok()) return stated.value();
+  return PrivacyTuple::ZeroFor(purpose);
+}
+
+Status ProviderPreferences::ValidateAgainst(const ScaleSet& scales) const {
+  for (const PreferenceTuple& pt : tuples_) {
+    Status s = pt.tuple.ValidateAgainst(scales);
+    if (!s.ok()) {
+      return s.WithPrefix("provider " + std::to_string(provider_) +
+                          ", attribute '" + pt.attribute + "'");
+    }
+  }
+  return Status::OK();
+}
+
+ProviderPreferences& PreferenceStore::ForProvider(ProviderId provider) {
+  auto it = prefs_.find(provider);
+  if (it == prefs_.end()) {
+    it = prefs_.emplace(provider, ProviderPreferences(provider)).first;
+  }
+  return it->second;
+}
+
+Result<const ProviderPreferences*> PreferenceStore::Find(
+    ProviderId provider) const {
+  auto it = prefs_.find(provider);
+  if (it == prefs_.end()) {
+    return Status::NotFound("no preferences recorded for provider " +
+                            std::to_string(provider));
+  }
+  return &it->second;
+}
+
+bool PreferenceStore::Contains(ProviderId provider) const {
+  return prefs_.contains(provider);
+}
+
+Status PreferenceStore::Erase(ProviderId provider) {
+  if (prefs_.erase(provider) == 0) {
+    return Status::NotFound("no preferences recorded for provider " +
+                            std::to_string(provider));
+  }
+  return Status::OK();
+}
+
+std::vector<ProviderId> PreferenceStore::ProviderIds() const {
+  std::vector<ProviderId> out;
+  out.reserve(prefs_.size());
+  for (const auto& [id, p] : prefs_) out.push_back(id);
+  return out;
+}
+
+Status PreferenceStore::ValidateAgainst(const ScaleSet& scales) const {
+  for (const auto& [id, p] : prefs_) {
+    PPDB_RETURN_NOT_OK(p.ValidateAgainst(scales));
+  }
+  return Status::OK();
+}
+
+}  // namespace ppdb::privacy

@@ -1,0 +1,105 @@
+#ifndef PPDB_PRIVACY_PROVIDER_PREFS_H_
+#define PPDB_PRIVACY_PROVIDER_PREFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/ordered_scale.h"
+#include "privacy/privacy_tuple.h"
+#include "privacy/purpose.h"
+
+namespace ppdb::privacy {
+
+/// Identifier of a data provider (matches `rel::ProviderId`).
+using ProviderId = int64_t;
+
+/// ProviderPref_i (Eq. 5): the privacy preferences of one data provider —
+/// one privacy tuple per (attribute, purpose) the provider has an opinion
+/// about.
+///
+/// Def. 1's implicit rule is exposed as `EffectivePreference`: when the
+/// provider has stated no preference for a purpose a policy mentions, the
+/// model substitutes the zero tuple <a, pr, 0, 0, 0> ("the individual does
+/// not prefer to reveal her information for purpose pr").
+class ProviderPreferences {
+ public:
+  explicit ProviderPreferences(ProviderId provider) : provider_(provider) {}
+
+  ProviderId provider() const { return provider_; }
+
+  /// Adds the preference tuple <i, attribute, tuple>. Errors when one
+  /// already exists for this (attribute, purpose).
+  Status Add(std::string_view attribute, const PrivacyTuple& tuple);
+
+  /// Replaces (or inserts) the preference for (attribute, tuple.purpose).
+  void Set(std::string_view attribute, const PrivacyTuple& tuple);
+
+  /// Removes the preference for (attribute, purpose); kNotFound when absent.
+  Status Remove(std::string_view attribute, PurposeId purpose);
+
+  /// ProviderPref_i^j (Eq. 6): all stated preferences for `attribute`.
+  std::vector<PreferenceTuple> ForAttribute(std::string_view attribute) const;
+
+  /// The stated preference for (attribute, purpose); kNotFound when absent.
+  Result<PrivacyTuple> Find(std::string_view attribute,
+                            PurposeId purpose) const;
+
+  /// The preference used in violation assessment for (attribute, purpose):
+  /// the stated one, or the zero tuple when none was stated (Def. 1).
+  PrivacyTuple EffectivePreference(std::string_view attribute,
+                                   PurposeId purpose) const;
+
+  /// All stated preferences, in insertion order.
+  const std::vector<PreferenceTuple>& tuples() const { return tuples_; }
+
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Validates all tuples against `scales`.
+  Status ValidateAgainst(const ScaleSet& scales) const;
+
+ private:
+  ProviderId provider_;
+  std::vector<PreferenceTuple> tuples_;
+};
+
+/// The preferences of every provider known to the system, keyed by provider
+/// id. Ordered map: iteration order (and thus every census-style estimator)
+/// is deterministic.
+class PreferenceStore {
+ public:
+  PreferenceStore() = default;
+
+  /// Returns the preferences object for `provider`, creating an empty one on
+  /// first access.
+  ProviderPreferences& ForProvider(ProviderId provider);
+
+  /// Read-only lookup; kNotFound when the provider has never been added.
+  Result<const ProviderPreferences*> Find(ProviderId provider) const;
+
+  /// True iff the provider has an entry (possibly with zero tuples).
+  bool Contains(ProviderId provider) const;
+
+  /// Removes a provider's preferences (e.g. after default + erasure).
+  Status Erase(ProviderId provider);
+
+  /// Number of providers with entries.
+  int64_t num_providers() const { return static_cast<int64_t>(prefs_.size()); }
+
+  /// Provider ids in ascending order.
+  std::vector<ProviderId> ProviderIds() const;
+
+  /// Validates every provider's tuples against `scales`.
+  Status ValidateAgainst(const ScaleSet& scales) const;
+
+ private:
+  std::map<ProviderId, ProviderPreferences> prefs_;
+};
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_PROVIDER_PREFS_H_

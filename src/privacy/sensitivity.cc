@@ -1,0 +1,88 @@
+#include "privacy/sensitivity.h"
+
+#include <tuple>
+
+#include "common/macros.h"
+
+namespace ppdb::privacy {
+
+Result<double> DimensionSensitivity::ForDimension(Dimension dim) const {
+  switch (dim) {
+    case Dimension::kVisibility:
+      return visibility;
+    case Dimension::kGranularity:
+      return granularity;
+    case Dimension::kRetention:
+      return retention;
+    case Dimension::kPurpose:
+      return Status::InvalidArgument(
+          "purpose carries no dimension sensitivity");
+  }
+  return Status::Internal("unhandled dimension");
+}
+
+Status DimensionSensitivity::Validate() const {
+  if (value < 0.0 || visibility < 0.0 || granularity < 0.0 ||
+      retention < 0.0) {
+    return Status::InvalidArgument("sensitivities must be non-negative");
+  }
+  return Status::OK();
+}
+
+Status SensitivityModel::SetAttributeSensitivity(std::string_view attribute,
+                                                 double value) {
+  if (value < 0.0) {
+    return Status::InvalidArgument("attribute sensitivity must be >= 0");
+  }
+  attribute_default_[std::string(attribute)] = value;
+  return Status::OK();
+}
+
+Status SensitivityModel::SetAttributeSensitivityForPurpose(
+    std::string_view attribute, PurposeId purpose, double value) {
+  if (value < 0.0) {
+    return Status::InvalidArgument("attribute sensitivity must be >= 0");
+  }
+  attribute_by_purpose_[{std::string(attribute), purpose}] = value;
+  return Status::OK();
+}
+
+Status SensitivityModel::SetProviderSensitivity(
+    ProviderId provider, std::string_view attribute,
+    const DimensionSensitivity& sensitivity) {
+  PPDB_RETURN_NOT_OK(sensitivity.Validate());
+  provider_default_[{provider, std::string(attribute)}] = sensitivity;
+  return Status::OK();
+}
+
+Status SensitivityModel::SetProviderSensitivityForPurpose(
+    ProviderId provider, std::string_view attribute, PurposeId purpose,
+    const DimensionSensitivity& sensitivity) {
+  PPDB_RETURN_NOT_OK(sensitivity.Validate());
+  provider_by_purpose_[{provider, std::string(attribute), purpose}] =
+      sensitivity;
+  return Status::OK();
+}
+
+double SensitivityModel::AttributeSensitivity(std::string_view attribute,
+                                              PurposeId purpose) const {
+  auto by_purpose =
+      attribute_by_purpose_.find({std::string(attribute), purpose});
+  if (by_purpose != attribute_by_purpose_.end()) return by_purpose->second;
+  auto it = attribute_default_.find(attribute);
+  if (it != attribute_default_.end()) return it->second;
+  return 1.0;
+}
+
+DimensionSensitivity SensitivityModel::ProviderSensitivity(
+    ProviderId provider, std::string_view attribute,
+    PurposeId purpose) const {
+  auto by_purpose = provider_by_purpose_.find(
+      {provider, std::string(attribute), purpose});
+  if (by_purpose != provider_by_purpose_.end()) return by_purpose->second;
+  auto it = provider_default_.find({provider, std::string(attribute)});
+  if (it != provider_default_.end()) return it->second;
+  return DimensionSensitivity{};
+}
+
+}  // namespace ppdb::privacy

@@ -1,0 +1,121 @@
+#ifndef PPDB_PRIVACY_SENSITIVITY_H_
+#define PPDB_PRIVACY_SENSITIVITY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "common/result.h"
+#include "privacy/dimension.h"
+#include "privacy/provider_prefs.h"
+#include "privacy/purpose.h"
+
+namespace ppdb::privacy {
+
+/// σ_i^j (Eq. 11): the sensitivity element data provider i associates with
+/// the datum supplied for attribute A^j —
+/// ⟨s_i^j, s_i^j[V], s_i^j[G], s_i^j[R]⟩.
+///
+/// `value` weights the datum itself; the per-dimension members weight a
+/// violation along that axis. All default to 1 (a violation counts exactly
+/// its geometric size).
+struct DimensionSensitivity {
+  double value = 1.0;
+  double visibility = 1.0;
+  double granularity = 1.0;
+  double retention = 1.0;
+
+  /// The weight for an ordered dimension; errors on kPurpose.
+  Result<double> ForDimension(Dimension dim) const;
+
+  /// Validates that all members are non-negative (a negative sensitivity
+  /// would turn a violation into a benefit, which the model excludes).
+  Status Validate() const;
+
+  friend bool operator==(const DimensionSensitivity& a,
+                         const DimensionSensitivity& b) {
+    return a.value == b.value && a.visibility == b.visibility &&
+           a.granularity == b.granularity && a.retention == b.retention;
+  }
+};
+
+/// The Sensitivity = ⟨σ, Σ⟩ pair of Eq. 10 for one database: the vector Σ of
+/// per-attribute sensitivities and the matrix σ of per-provider,
+/// per-attribute sensitivity elements.
+///
+/// Eq. 10 scopes sensitivity factors to a purpose ("Sensitivity factors for
+/// each purpose in a private database"); the model supports that via
+/// purpose-specific overrides layered over purpose-independent defaults —
+/// lookups try (purpose-specific) then (default) then the constant 1.
+class SensitivityModel {
+ public:
+  SensitivityModel() = default;
+
+  /// Sets Σ^a, the purpose-independent sensitivity of attribute `a`.
+  /// The paper defines Σ^a as an integer; the model accepts any
+  /// non-negative double. Errors on negative values.
+  Status SetAttributeSensitivity(std::string_view attribute, double value);
+
+  /// Purpose-specific override of Σ^a.
+  Status SetAttributeSensitivityForPurpose(std::string_view attribute,
+                                           PurposeId purpose, double value);
+
+  /// Sets σ_i^a, provider i's purpose-independent sensitivity for `a`.
+  Status SetProviderSensitivity(ProviderId provider,
+                                std::string_view attribute,
+                                const DimensionSensitivity& sensitivity);
+
+  /// Purpose-specific override of σ_i^a.
+  Status SetProviderSensitivityForPurpose(
+      ProviderId provider, std::string_view attribute, PurposeId purpose,
+      const DimensionSensitivity& sensitivity);
+
+  /// Σ^a for `purpose`: the purpose-specific override if present, else the
+  /// default, else 1.
+  double AttributeSensitivity(std::string_view attribute,
+                              PurposeId purpose) const;
+
+  /// σ_i^a for `purpose`: override, else default, else all-ones.
+  DimensionSensitivity ProviderSensitivity(ProviderId provider,
+                                           std::string_view attribute,
+                                           PurposeId purpose) const;
+
+  // Read-only views of the explicitly-set entries, for serialization and
+  // inspection. Keys are (attribute), (attribute, purpose),
+  // (provider, attribute) and (provider, attribute, purpose) respectively.
+  const std::map<std::string, double, std::less<>>& attribute_defaults()
+      const {
+    return attribute_default_;
+  }
+  const std::map<std::pair<std::string, PurposeId>, double>&
+  attribute_overrides() const {
+    return attribute_by_purpose_;
+  }
+  const std::map<std::pair<ProviderId, std::string>, DimensionSensitivity>&
+  provider_defaults() const {
+    return provider_default_;
+  }
+  const std::map<std::tuple<ProviderId, std::string, PurposeId>,
+                 DimensionSensitivity>&
+  provider_overrides() const {
+    return provider_by_purpose_;
+  }
+
+ private:
+  // Keys: (attribute) and (attribute, purpose). std::map keeps behaviour
+  // deterministic under iteration in debugging helpers.
+  std::map<std::string, double, std::less<>> attribute_default_;
+  std::map<std::pair<std::string, PurposeId>, double> attribute_by_purpose_;
+  std::map<std::pair<ProviderId, std::string>, DimensionSensitivity>
+      provider_default_;
+  std::map<std::tuple<ProviderId, std::string, PurposeId>,
+           DimensionSensitivity>
+      provider_by_purpose_;
+};
+
+}  // namespace ppdb::privacy
+
+#endif  // PPDB_PRIVACY_SENSITIVITY_H_

@@ -1,0 +1,59 @@
+#include "relational/catalog.h"
+
+#include "common/macros.h"
+
+namespace ppdb::rel {
+
+Result<Table*> Catalog::CreateTable(std::string name, Schema schema) {
+  PPDB_ASSIGN_OR_RETURN(Table table, Table::Create(name, std::move(schema)));
+  return AddTable(std::move(table));
+}
+
+Result<Table*> Catalog::AddTable(Table table) {
+  std::string name = table.name();
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto owned = std::make_unique<Table>(std::move(table));
+  Table* handle = owned.get();
+  tables_.emplace(std::move(name), std::move(owned));
+  return handle;
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::Contains(std::string_view name) const {
+  return tables_.contains(name);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ppdb::rel

@@ -1,0 +1,56 @@
+#ifndef PPDB_RELATIONAL_CATALOG_H_
+#define PPDB_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace ppdb::rel {
+
+/// Registry of the tables that constitute the house's data repository.
+///
+/// The catalog owns its tables; callers receive stable `Table*` handles that
+/// remain valid until the table is dropped. Move-only.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(Catalog&&) noexcept = default;
+  Catalog& operator=(Catalog&&) noexcept = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table and registers it. Errors when the name is taken.
+  Result<Table*> CreateTable(std::string name, Schema schema);
+
+  /// Registers an already-built table (e.g. loaded from CSV).
+  Result<Table*> AddTable(Table table);
+
+  /// Looks up a table by name.
+  Result<Table*> GetTable(std::string_view name);
+  Result<const Table*> GetTable(std::string_view name) const;
+
+  /// Drops a table. Errors with kNotFound when absent.
+  Status DropTable(std::string_view name);
+
+  /// True iff a table with this name exists.
+  bool Contains(std::string_view name) const;
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  int64_t num_tables() const { return static_cast<int64_t>(tables_.size()); }
+
+ private:
+  // std::map keeps TableNames() deterministic; unique_ptr keeps Table*
+  // handles stable across rehash/moves.
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_CATALOG_H_

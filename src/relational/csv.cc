@@ -1,0 +1,153 @@
+#include "relational/csv.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ppdb::rel {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::ParseError("unexpected quote inside unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        // Swallow the CR of a CRLF pair; a bare CR also ends the row.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
+Result<Table> TableFromCsv(std::string name, const Schema& schema,
+                           std::string_view text,
+                           bool header_has_provider_id) {
+  PPDB_ASSIGN_OR_RETURN(auto records, ParseCsv(text));
+  if (records.empty()) {
+    return Status::ParseError("CSV input has no header row");
+  }
+  const std::vector<std::string>& header = records[0];
+  size_t data_offset = header_has_provider_id ? 1 : 0;
+  if (header.size() != static_cast<size_t>(schema.num_attributes()) +
+                           data_offset) {
+    return Status::ParseError(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, expected " +
+        std::to_string(schema.num_attributes() + static_cast<int>(data_offset)));
+  }
+  for (int j = 0; j < schema.num_attributes(); ++j) {
+    const std::string& column = header[static_cast<size_t>(j) + data_offset];
+    if (column != schema.attribute(j).name) {
+      return Status::ParseError("CSV header column '" + column +
+                                "' does not match schema attribute '" +
+                                schema.attribute(j).name + "'");
+    }
+  }
+
+  PPDB_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(name), schema));
+  for (size_t r = 1; r < records.size(); ++r) {
+    const std::vector<std::string>& record = records[r];
+    if (record.size() != header.size()) {
+      return Status::ParseError("CSV row " + std::to_string(r) + " has " +
+                                std::to_string(record.size()) +
+                                " fields, expected " +
+                                std::to_string(header.size()));
+    }
+    ProviderId provider;
+    if (header_has_provider_id) {
+      Result<int64_t> parsed = ParseInt64(record[0]);
+      if (!parsed.ok()) {
+        return parsed.status().WithPrefix("CSV row " + std::to_string(r) +
+                                          ": bad provider id");
+      }
+      provider = parsed.value();
+    } else {
+      provider = static_cast<ProviderId>(r);
+    }
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(schema.num_attributes()));
+    for (int j = 0; j < schema.num_attributes(); ++j) {
+      Result<Value> value = Value::Parse(
+          record[static_cast<size_t>(j) + data_offset], schema.attribute(j).type);
+      if (!value.ok()) {
+        return value.status().WithPrefix("CSV row " + std::to_string(r) +
+                                         ", column '" +
+                                         schema.attribute(j).name + "'");
+      }
+      values.push_back(std::move(value).value());
+    }
+    PPDB_RETURN_NOT_OK(
+        table.Insert(provider, std::move(values))
+            .WithPrefix("CSV row " + std::to_string(r)));
+  }
+  return table;
+}
+
+std::string TableToCsv(const Table& table) {
+  std::string out = "provider_id";
+  for (const AttributeDef& def : table.schema().attributes()) {
+    out += ',';
+    out += CsvEscape(def.name);
+  }
+  out += '\n';
+  for (const Row& row : table.rows()) {
+    out += std::to_string(row.provider);
+    for (const Value& v : row.values) {
+      out += ',';
+      if (!v.is_null()) out += CsvEscape(v.ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ppdb::rel

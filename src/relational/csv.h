@@ -1,0 +1,35 @@
+#ifndef PPDB_RELATIONAL_CSV_H_
+#define PPDB_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace ppdb::rel {
+
+/// Parses one CSV document into rows of fields. Handles quoted fields with
+/// embedded commas, doubled quotes and newlines. The final line may omit the
+/// trailing newline.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Reads a table from CSV text.
+///
+/// The first CSV row must be a header. When `header_has_provider_id` is
+/// true, the first column is interpreted as the provider id (an integer) and
+/// is not part of the schema; otherwise providers are numbered 1..n in file
+/// order. Remaining columns must match `schema` in order and are parsed with
+/// `Value::Parse` (empty fields become null).
+Result<Table> TableFromCsv(std::string name, const Schema& schema,
+                           std::string_view text,
+                           bool header_has_provider_id = true);
+
+/// Serializes `table` to CSV with a header row. The provider id is emitted
+/// as the first column, named "provider_id".
+std::string TableToCsv(const Table& table);
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_CSV_H_

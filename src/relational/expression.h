@@ -1,0 +1,108 @@
+#ifndef PPDB_RELATIONAL_EXPRESSION_H_
+#define PPDB_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace ppdb::rel {
+
+class Expression;
+
+/// Shared immutable expression node; sub-expressions are freely shared
+/// between query plans.
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Binary operators. Comparisons yield bool; arithmetic yields a numeric
+/// value (int64 when both operands are int64, otherwise double).
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+/// Unary operators.
+enum class UnaryOp {
+  kNot,     ///< Logical negation of a bool.
+  kNegate,  ///< Arithmetic negation of a numeric.
+  kIsNull,  ///< True iff the operand is null.
+};
+
+/// An immutable scalar expression tree evaluated row-at-a-time.
+///
+/// Null semantics are SQL-like: any comparison or arithmetic with a null
+/// operand yields null, `kAnd`/`kOr` use three-valued logic, and `Filter`
+/// treats a null predicate result as false.
+///
+/// Usage:
+///
+///   ExprPtr e = Gt(Col("weight"), Lit(Value::Int64(80)));
+///   Result<Value> v = e->Evaluate(row, schema);
+class Expression {
+ public:
+  enum class Kind { kLiteral, kColumn, kUnary, kBinary };
+
+  virtual ~Expression() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates against one row. Column references resolve by name in
+  /// `schema`; unknown columns error with kNotFound.
+  virtual Result<Value> Evaluate(const Row& row, const Schema& schema)
+      const = 0;
+
+  /// Renders the expression, e.g. "(weight > 80)".
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expression(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// Constructs a literal expression.
+ExprPtr Lit(Value value);
+
+/// Constructs a column reference by attribute name.
+ExprPtr Col(std::string name);
+
+/// Constructs a unary expression.
+ExprPtr Unary(UnaryOp op, ExprPtr operand);
+
+/// Constructs a binary expression.
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+// Convenience builders mirroring the operators.
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr IsNull(ExprPtr a);
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_EXPRESSION_H_

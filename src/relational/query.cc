@@ -1,0 +1,270 @@
+#include "relational/query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace ppdb::rel {
+
+std::string ResultSet::ToString(int64_t max_rows) const {
+  std::string out = schema.ToString() + "\n";
+  int64_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(num_rows() - max_rows) + " more)\n";
+      break;
+    }
+    out += "  [";
+    for (size_t j = 0; j < row.values.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += row.values[j].ToString();
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+ResultSet Scan(const Table& table) {
+  return ResultSet{table.schema(), table.rows()};
+}
+
+Result<ResultSet> Filter(const ResultSet& input, const ExprPtr& predicate) {
+  ResultSet out{input.schema, {}};
+  for (const Row& row : input.rows) {
+    PPDB_ASSIGN_OR_RETURN(Value v, predicate->Evaluate(row, input.schema));
+    if (v.is_null()) continue;
+    PPDB_ASSIGN_OR_RETURN(bool keep, v.AsBool());
+    if (keep) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<ResultSet> Project(const ResultSet& input,
+                          const std::vector<std::string>& columns) {
+  std::vector<int> indices;
+  std::vector<AttributeDef> defs;
+  indices.reserve(columns.size());
+  for (const std::string& name : columns) {
+    PPDB_ASSIGN_OR_RETURN(int j, input.schema.IndexOf(name));
+    indices.push_back(j);
+    defs.push_back(input.schema.attribute(j));
+  }
+  PPDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  ResultSet out{std::move(schema), {}};
+  out.rows.reserve(input.rows.size());
+  for (const Row& row : input.rows) {
+    Row projected{row.provider, {}};
+    projected.values.reserve(indices.size());
+    for (int j : indices) {
+      projected.values.push_back(row.values[static_cast<size_t>(j)]);
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<ResultSet> Sort(const ResultSet& input, const std::string& column,
+                       bool ascending) {
+  PPDB_ASSIGN_OR_RETURN(int j, input.schema.IndexOf(column));
+  ResultSet out = input;
+  Status failure = Status::OK();
+  std::stable_sort(
+      out.rows.begin(), out.rows.end(), [&](const Row& a, const Row& b) {
+        if (!failure.ok()) return false;
+        Result<int> cmp = a.values[static_cast<size_t>(j)].Compare(
+            b.values[static_cast<size_t>(j)]);
+        if (!cmp.ok()) {
+          failure = cmp.status();
+          return false;
+        }
+        return ascending ? cmp.value() < 0 : cmp.value() > 0;
+      });
+  PPDB_RETURN_NOT_OK(failure);
+  return out;
+}
+
+ResultSet Limit(const ResultSet& input, int64_t n) {
+  ResultSet out{input.schema, {}};
+  int64_t take = std::min<int64_t>(n, input.num_rows());
+  if (take > 0) {
+    out.rows.assign(input.rows.begin(), input.rows.begin() + take);
+  }
+  return out;
+}
+
+Result<ResultSet> HashJoin(const ResultSet& left, const ResultSet& right,
+                           const std::string& left_column,
+                           const std::string& right_column) {
+  PPDB_ASSIGN_OR_RETURN(int lj, left.schema.IndexOf(left_column));
+  PPDB_ASSIGN_OR_RETURN(int rj, right.schema.IndexOf(right_column));
+
+  std::vector<AttributeDef> defs = left.schema.attributes();
+  for (const AttributeDef& def : right.schema.attributes()) {
+    AttributeDef copy = def;
+    if (left.schema.Contains(copy.name)) copy.name += "_r";
+    defs.push_back(std::move(copy));
+  }
+  PPDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+
+  // Build side: string rendering of the key gives us hashing across types
+  // (keys within one column share a type, so renderings collide iff values
+  // are equal — modulo int64/double cross-type joins, which we normalize).
+  auto render_key = [](const Value& v) -> std::string {
+    if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsNumeric().value());
+      return buf;
+    }
+    return std::string(DataTypeName(v.type())) + ":" + v.ToString();
+  };
+
+  std::unordered_map<std::string, std::vector<const Row*>> build;
+  for (const Row& row : right.rows) {
+    const Value& key = row.values[static_cast<size_t>(rj)];
+    if (key.is_null()) continue;
+    build[render_key(key)].push_back(&row);
+  }
+
+  ResultSet out{std::move(schema), {}};
+  for (const Row& lrow : left.rows) {
+    const Value& key = lrow.values[static_cast<size_t>(lj)];
+    if (key.is_null()) continue;
+    auto it = build.find(render_key(key));
+    if (it == build.end()) continue;
+    for (const Row* rrow : it->second) {
+      Row joined{lrow.provider, lrow.values};
+      joined.values.insert(joined.values.end(), rrow->values.begin(),
+                           rrow->values.end());
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;     // All rows (kCount semantics).
+  int64_t non_null = 0;  // Rows with a value (kAvg denominator).
+  double sum = 0.0;
+  Value min;
+  Value max;
+
+  Status Update(const Value& v) {
+    ++count;
+    if (v.is_null()) return Status::OK();
+    ++non_null;
+    Result<double> num = v.AsNumeric();
+    if (num.ok()) sum += num.value();
+    if (min.is_null()) {
+      min = v;
+    } else {
+      PPDB_ASSIGN_OR_RETURN(int cmp, v.Compare(min));
+      if (cmp < 0) min = v;
+    }
+    if (max.is_null()) {
+      max = v;
+    } else {
+      PPDB_ASSIGN_OR_RETURN(int cmp, v.Compare(max));
+      if (cmp > 0) max = v;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<ResultSet> Aggregate(const ResultSet& input,
+                            const std::vector<std::string>& group_by,
+                            const std::vector<AggSpec>& aggs) {
+  if (aggs.empty()) {
+    return Status::InvalidArgument("Aggregate requires at least one AggSpec");
+  }
+  std::vector<int> key_indices;
+  std::vector<AttributeDef> defs;
+  for (const std::string& name : group_by) {
+    PPDB_ASSIGN_OR_RETURN(int j, input.schema.IndexOf(name));
+    key_indices.push_back(j);
+    defs.push_back(input.schema.attribute(j));
+  }
+  std::vector<int> agg_indices;
+  for (const AggSpec& spec : aggs) {
+    if (spec.op == AggOp::kCount) {
+      agg_indices.push_back(-1);
+      defs.push_back(AttributeDef{spec.output_name, DataType::kInt64, ""});
+      continue;
+    }
+    PPDB_ASSIGN_OR_RETURN(int j, input.schema.IndexOf(spec.column));
+    agg_indices.push_back(j);
+    DataType out_type = (spec.op == AggOp::kMin || spec.op == AggOp::kMax)
+                            ? input.schema.attribute(j).type
+                            : DataType::kDouble;
+    defs.push_back(AttributeDef{spec.output_name, out_type, ""});
+  }
+  PPDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+
+  // std::map on the rendered key keeps group order deterministic.
+  struct Group {
+    std::vector<Value> key_values;
+    std::vector<AggState> states;
+  };
+  std::map<std::string, Group> groups;
+  for (const Row& row : input.rows) {
+    std::string key;
+    std::vector<Value> key_values;
+    for (int j : key_indices) {
+      const Value& v = row.values[static_cast<size_t>(j)];
+      key += v.ToString();
+      key += '\x1f';
+      key_values.push_back(v);
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.key_values = std::move(key_values);
+      it->second.states.resize(aggs.size());
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Value& v = agg_indices[a] < 0
+                           ? Value::Null()
+                           : row.values[static_cast<size_t>(agg_indices[a])];
+      PPDB_RETURN_NOT_OK(it->second.states[a].Update(v));
+    }
+  }
+
+  ResultSet out{std::move(schema), {}};
+  for (auto& [key, group] : groups) {
+    Row row{0, group.key_values};
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& st = group.states[a];
+      switch (aggs[a].op) {
+        case AggOp::kCount:
+          row.values.push_back(Value::Int64(st.count));
+          break;
+        case AggOp::kSum:
+          row.values.push_back(Value::Double(st.sum));
+          break;
+        case AggOp::kAvg:
+          row.values.push_back(st.non_null == 0
+                                   ? Value::Null()
+                                   : Value::Double(st.sum /
+                                                   static_cast<double>(
+                                                       st.non_null)));
+          break;
+        case AggOp::kMin:
+          row.values.push_back(st.min);
+          break;
+        case AggOp::kMax:
+          row.values.push_back(st.max);
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace ppdb::rel

@@ -1,0 +1,82 @@
+#ifndef PPDB_RELATIONAL_QUERY_H_
+#define PPDB_RELATIONAL_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/expression.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace ppdb::rel {
+
+/// A materialized intermediate or final query result: a schema plus rows.
+/// Provider ids are threaded through every operator so that downstream
+/// privacy analysis can always attribute a result row to its provider(s).
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+
+  /// Renders the result as aligned text.
+  std::string ToString(int64_t max_rows = 20) const;
+};
+
+/// Aggregate functions supported by `Aggregate`.
+enum class AggOp {
+  kCount,  ///< Row count (ignores the input column, which may be empty).
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// One aggregate to compute: `op` over `column`, emitted as `output_name`.
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  std::string column;  // Ignored for kCount; may be empty.
+  std::string output_name;
+};
+
+/// Materializes a full scan of `table`.
+ResultSet Scan(const Table& table);
+
+/// Keeps the rows for which `predicate` evaluates to true (null counts as
+/// false, SQL-style).
+Result<ResultSet> Filter(const ResultSet& input, const ExprPtr& predicate);
+
+/// Keeps only the named columns, in the given order.
+Result<ResultSet> Project(const ResultSet& input,
+                          const std::vector<std::string>& columns);
+
+/// Stable-sorts by `column`. Errors when any pair of values in the column is
+/// incomparable.
+Result<ResultSet> Sort(const ResultSet& input, const std::string& column,
+                       bool ascending = true);
+
+/// Keeps the first `n` rows.
+ResultSet Limit(const ResultSet& input, int64_t n);
+
+/// Equi-join on left.`left_column` == right.`right_column` (hash join).
+/// Output schema is the left schema followed by the right schema; colliding
+/// attribute names on the right are suffixed with "_r". Null keys never
+/// match. The output row carries the *left* provider id.
+Result<ResultSet> HashJoin(const ResultSet& left, const ResultSet& right,
+                           const std::string& left_column,
+                           const std::string& right_column);
+
+/// Groups by `group_by` columns (may be empty for a global aggregate) and
+/// computes `aggs` per group. Output schema is the group-by columns followed
+/// by one column per aggregate. Null values are skipped by kSum/kAvg/kMin/
+/// kMax (kCount counts rows). Group rows carry provider id 0 — an aggregate
+/// row no longer belongs to a single provider.
+Result<ResultSet> Aggregate(const ResultSet& input,
+                            const std::vector<std::string>& group_by,
+                            const std::vector<AggSpec>& aggs);
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_QUERY_H_

@@ -1,0 +1,78 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace ppdb::rel {
+
+Result<Schema> Schema::Create(std::vector<AttributeDef> attributes) {
+  for (const AttributeDef& def : attributes) {
+    if (!IsValidIdentifier(def.name)) {
+      return Status::InvalidArgument("invalid attribute name: '" + def.name +
+                                     "'");
+    }
+    if (def.type == DataType::kNull) {
+      return Status::InvalidArgument("attribute '" + def.name +
+                                     "' may not have type null");
+    }
+  }
+  Schema schema(std::move(attributes));
+  if (schema.index_.size() != schema.attributes_.size()) {
+    return Status::InvalidArgument("duplicate attribute name in schema");
+  }
+  return schema;
+}
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t j = 0; j < attributes_.size(); ++j) {
+    index_.emplace(attributes_[j].name, static_cast<int>(j));
+  }
+}
+
+Result<int> Schema::IndexOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return index_.contains(std::string(name));
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& values) const {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(attributes_.size()));
+  }
+  for (size_t j = 0; j < values.size(); ++j) {
+    const Value& v = values[j];
+    if (v.is_null()) continue;
+    if (v.type() != attributes_[j].type) {
+      std::string msg = "attribute '";
+      msg += attributes_[j].name;
+      msg += "' expects ";
+      msg += DataTypeName(attributes_[j].type);
+      msg += ", got ";
+      msg += DataTypeName(v.type());
+      return Status::InvalidArgument(std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t j = 0; j < attributes_.size(); ++j) {
+    if (j > 0) out += ", ";
+    out += attributes_[j].name;
+    out += ": ";
+    out += DataTypeName(attributes_[j].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ppdb::rel

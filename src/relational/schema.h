@@ -1,0 +1,73 @@
+#ifndef PPDB_RELATIONAL_SCHEMA_H_
+#define PPDB_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace ppdb::rel {
+
+/// Definition of one attribute A^j in a relation schema (paper §4):
+/// a name, a domain type, and an optional human-readable description.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kString;
+  std::string description;
+
+  friend bool operator==(const AttributeDef& a, const AttributeDef& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// An ordered list of attribute definitions,
+/// T(A^1 ∈ D^1, ..., A^K ∈ D^K) in the paper's notation.
+///
+/// Attribute names are unique and validated as identifiers.
+class Schema {
+ public:
+  /// Builds a schema from attribute definitions; errors on duplicate or
+  /// invalid names.
+  static Result<Schema> Create(std::vector<AttributeDef> attributes);
+
+  /// Number of attributes K.
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+  /// Attribute at ordinal `j` (0-based). Requires 0 <= j < num_attributes().
+  const AttributeDef& attribute(int j) const {
+    return attributes_[static_cast<size_t>(j)];
+  }
+
+  /// All attributes in declaration order.
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Ordinal of the attribute named `name`, or kNotFound.
+  Result<int> IndexOf(std::string_view name) const;
+
+  /// True iff an attribute with this name exists.
+  bool Contains(std::string_view name) const;
+
+  /// Checks that `values` is assignable to this schema: correct arity and
+  /// every value either null or of the attribute's type.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
+  /// Renders e.g. "(age: int64, weight: double)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+ private:
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,571 @@
+#include "relational/sql.h"
+
+#include <cctype>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ppdb::rel {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind {
+  kIdentifier,  // Column/table names and keywords (case-insensitive).
+  kNumber,
+  kString,  // 'single quoted', '' escapes a quote.
+  kSymbol,  // Operators and punctuation, text holds the symbol.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Identifier (original case), symbol, or literal body.
+  std::string upper;  // Upper-cased identifier text, for keyword matching.
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < sql.size() ? sql[i + off] : '\0';
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_' || sql[i] == '.')) {
+        ++i;
+      }
+      Token token;
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(sql.substr(start, i - start));
+      token.upper = token.text;
+      for (char& ch : token.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool saw_dot = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              (sql[i] == '.' && !saw_dot))) {
+        if (sql[i] == '.') saw_dot = true;
+        ++i;
+      }
+      // Exponent part.
+      if (i < sql.size() && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < sql.size() && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < sql.size() &&
+            std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          i = exp;
+          while (i < sql.size() &&
+                 std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      tokens.push_back(Token{TokenKind::kNumber,
+                             std::string(sql.substr(start, i - start)), ""});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal");
+      }
+      tokens.push_back(Token{TokenKind::kString, std::move(body), ""});
+      continue;
+    }
+    // Two-character operators first.
+    std::string_view two = sql.substr(i, 2);
+    if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(two), ""});
+      i += 2;
+      continue;
+    }
+    if (std::string_view("=<>+-*/(),").find(c) != std::string_view::npos) {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), ""});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in SQL");
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", ""});
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlQuery> ParseQuery() {
+    SqlQuery query;
+    PPDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    PPDB_RETURN_NOT_OK(ParseSelectList(&query));
+    PPDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PPDB_ASSIGN_OR_RETURN(query.table, ExpectIdentifier("table name"));
+
+    if (AcceptKeyword("JOIN")) {
+      JoinClause join;
+      PPDB_ASSIGN_OR_RETURN(join.table, ExpectIdentifier("JOIN table"));
+      PPDB_RETURN_NOT_OK(ExpectKeyword("ON"));
+      PPDB_ASSIGN_OR_RETURN(join.left_column,
+                            ExpectIdentifier("join column"));
+      PPDB_RETURN_NOT_OK(ExpectSymbol("="));
+      PPDB_ASSIGN_OR_RETURN(join.right_column,
+                            ExpectIdentifier("join column"));
+      query.join = std::move(join);
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      PPDB_ASSIGN_OR_RETURN(query.where, ParseExpression());
+    }
+    if (AcceptKeyword("GROUP")) {
+      PPDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        PPDB_ASSIGN_OR_RETURN(std::string column,
+                              ExpectIdentifier("GROUP BY column"));
+        query.group_by.push_back(std::move(column));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      if (query.group_by.empty()) {
+        return Status::ParseError("HAVING requires GROUP BY");
+      }
+      PPDB_ASSIGN_OR_RETURN(query.having, ParseExpression());
+    }
+    if (AcceptKeyword("ORDER")) {
+      PPDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      PPDB_ASSIGN_OR_RETURN(std::string column,
+                            ExpectIdentifier("ORDER BY column"));
+      query.order_by = std::move(column);
+      if (AcceptKeyword("DESC")) {
+        query.order_ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      const Token& token = Current();
+      if (token.kind != TokenKind::kNumber) {
+        return Status::ParseError("LIMIT expects a number");
+      }
+      PPDB_ASSIGN_OR_RETURN(query.limit, ParseInt64(token.text));
+      Advance();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Status::ParseError("unexpected trailing input: '" +
+                                Current().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool AcceptKeyword(std::string_view keyword) {
+    if (Current().kind == TokenKind::kIdentifier &&
+        Current().upper == keyword) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Status::ParseError("expected " + std::string(keyword) +
+                                ", got '" + Current().text + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(std::string_view symbol) {
+    if (Current().kind == TokenKind::kSymbol && Current().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Status::ParseError("expected '" + std::string(symbol) +
+                                "', got '" + Current().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Current().text + "'");
+    }
+    std::string name = Current().text;
+    Advance();
+    return name;
+  }
+
+  static bool IsAggregateName(const std::string& upper) {
+    return upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+           upper == "MIN" || upper == "MAX";
+  }
+
+  Status ParseSelectList(SqlQuery* query) {
+    if (AcceptSymbol("*")) {
+      // Construct in place: moving a SelectItem whose optional<AggSpec> is
+      // disengaged trips a GCC 12 maybe-uninitialized false positive.
+      query->select.emplace_back();
+      query->select.back().star = true;
+      return Status::OK();
+    }
+    do {
+      PPDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      query->select.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected column or aggregate, got '" +
+                                Current().text + "'");
+    }
+    std::string name = Current().text;
+    std::string upper = Current().upper;
+    Advance();
+
+    if (IsAggregateName(upper) && AcceptSymbol("(")) {
+      AggSpec spec;
+      if (upper == "COUNT") {
+        spec.op = AggOp::kCount;
+        if (!AcceptSymbol("*")) {
+          // COUNT(column) counts rows too (nulls included), matching the
+          // engine's kCount semantics; the column is noted but unused.
+          PPDB_ASSIGN_OR_RETURN(spec.column,
+                                ExpectIdentifier("COUNT argument"));
+        }
+        item.output_name = "count";
+      } else {
+        spec.op = upper == "SUM"   ? AggOp::kSum
+                  : upper == "AVG" ? AggOp::kAvg
+                  : upper == "MIN" ? AggOp::kMin
+                                   : AggOp::kMax;
+        PPDB_ASSIGN_OR_RETURN(spec.column,
+                              ExpectIdentifier("aggregate argument"));
+        item.output_name = ToLower(upper) + "_" + spec.column;
+      }
+      PPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      item.aggregate = std::move(spec);
+    } else {
+      item.column = name;
+      item.output_name = name;
+    }
+    if (AcceptKeyword("AS")) {
+      PPDB_ASSIGN_OR_RETURN(item.output_name, ExpectIdentifier("alias"));
+    }
+    if (item.aggregate.has_value()) {
+      item.aggregate->output_name = item.output_name;
+    }
+    return item;
+  }
+
+  // Expression grammar, loosest to tightest:
+  //   or_expr   := and_expr {OR and_expr}
+  //   and_expr  := not_expr {AND not_expr}
+  //   not_expr  := NOT not_expr | comparison
+  //   comparison:= additive [(= | != | <> | < | <= | > | >=) additive]
+  //              | additive IS [NOT] NULL
+  //   additive  := multiplicative {(+|-) multiplicative}
+  //   multiplicative := unary {(*|/) unary}
+  //   unary     := - unary | primary
+  //   primary   := number | string | TRUE | FALSE | NULL | column | ( expr )
+  Result<ExprPtr> ParseExpression() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    PPDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PPDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      PPDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Not(std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PPDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (AcceptKeyword("IS")) {
+      bool negated = AcceptKeyword("NOT");
+      PPDB_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      ExprPtr test = IsNull(std::move(lhs));
+      return negated ? Not(std::move(test)) : test;
+    }
+    struct OpMap {
+      std::string_view symbol;
+      BinaryOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<>", BinaryOp::kNe},
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const OpMap& entry : kOps) {
+      if (AcceptSymbol(entry.symbol)) {
+        PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Binary(entry.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    PPDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Add(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    PPDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Mul(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        PPDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Div(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      PPDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Unary(UnaryOp::kNegate, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Current();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        std::string text = token.text;
+        Advance();
+        if (text.find('.') == std::string::npos &&
+            text.find('e') == std::string::npos &&
+            text.find('E') == std::string::npos) {
+          PPDB_ASSIGN_OR_RETURN(int64_t value, ParseInt64(text));
+          return Lit(Value::Int64(value));
+        }
+        PPDB_ASSIGN_OR_RETURN(double value, ParseDouble(text));
+        return Lit(Value::Double(value));
+      }
+      case TokenKind::kString: {
+        std::string body = token.text;
+        Advance();
+        return Lit(Value::String(std::move(body)));
+      }
+      case TokenKind::kIdentifier: {
+        if (token.upper == "TRUE") {
+          Advance();
+          return Lit(Value::Bool(true));
+        }
+        if (token.upper == "FALSE") {
+          Advance();
+          return Lit(Value::Bool(false));
+        }
+        if (token.upper == "NULL") {
+          Advance();
+          return Lit(Value::Null());
+        }
+        std::string name = token.text;
+        Advance();
+        return Col(std::move(name));
+      }
+      case TokenKind::kSymbol:
+        if (token.text == "(") {
+          Advance();
+          PPDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpression());
+          PPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+    return Status::ParseError("expected expression, got '" + token.text +
+                              "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlQuery> ParseSql(std::string_view sql) {
+  PPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ResultSet> ExecuteQuery(const Catalog& catalog,
+                               const SqlQuery& query) {
+  PPDB_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(query.table));
+  ResultSet current = Scan(*table);
+  if (query.join.has_value()) {
+    PPDB_ASSIGN_OR_RETURN(const Table* right,
+                          catalog.GetTable(query.join->table));
+    PPDB_ASSIGN_OR_RETURN(
+        current, HashJoin(current, Scan(*right), query.join->left_column,
+                          query.join->right_column));
+  }
+  if (query.where != nullptr) {
+    PPDB_ASSIGN_OR_RETURN(current, Filter(current, query.where));
+  }
+
+  bool has_aggregate = false;
+  for (const SelectItem& item : query.select) {
+    if (item.aggregate.has_value()) has_aggregate = true;
+  }
+
+  if (has_aggregate || !query.group_by.empty()) {
+    std::vector<AggSpec> aggs;
+    std::vector<std::string> output_order;
+    for (const SelectItem& item : query.select) {
+      if (item.star) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be combined with aggregation");
+      }
+      if (item.aggregate.has_value()) {
+        aggs.push_back(*item.aggregate);
+        output_order.push_back(item.output_name);
+        continue;
+      }
+      // A bare column must be one of the GROUP BY keys.
+      bool is_key = false;
+      for (const std::string& key : query.group_by) {
+        if (key == *item.column) is_key = true;
+      }
+      if (!is_key) {
+        return Status::InvalidArgument(
+            "column '" + *item.column +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+      output_order.push_back(*item.column);
+    }
+    if (aggs.empty()) {
+      return Status::InvalidArgument(
+          "GROUP BY requires at least one aggregate in the SELECT list");
+    }
+    PPDB_ASSIGN_OR_RETURN(current,
+                          Aggregate(current, query.group_by, aggs));
+    // Aggregate emits keys then aggregates; project into SELECT order.
+    // (Aliases for group keys are not supported; keys keep their names.)
+    PPDB_ASSIGN_OR_RETURN(current, Project(current, output_order));
+    if (query.having != nullptr) {
+      PPDB_ASSIGN_OR_RETURN(current, Filter(current, query.having));
+    }
+  } else {
+    if (query.having != nullptr) {
+      return Status::InvalidArgument("HAVING requires aggregation");
+    }
+    bool star = query.select.size() == 1 && query.select[0].star;
+    if (!star) {
+      std::vector<std::string> columns;
+      for (const SelectItem& item : query.select) {
+        columns.push_back(*item.column);
+      }
+      PPDB_ASSIGN_OR_RETURN(current, Project(current, columns));
+      // Apply aliases by rebuilding the schema names in place.
+      std::vector<AttributeDef> defs = current.schema.attributes();
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        defs[i].name = query.select[i].output_name;
+      }
+      PPDB_ASSIGN_OR_RETURN(Schema renamed, Schema::Create(std::move(defs)));
+      current.schema = std::move(renamed);
+    }
+  }
+
+  if (query.order_by.has_value()) {
+    PPDB_ASSIGN_OR_RETURN(
+        current, Sort(current, *query.order_by, query.order_ascending));
+  }
+  if (query.limit.has_value()) {
+    current = Limit(current, *query.limit);
+  }
+  return current;
+}
+
+Result<ResultSet> ExecuteSql(const Catalog& catalog, std::string_view sql) {
+  PPDB_ASSIGN_OR_RETURN(SqlQuery query, ParseSql(sql));
+  return ExecuteQuery(catalog, query);
+}
+
+}  // namespace ppdb::rel

@@ -1,0 +1,93 @@
+#ifndef PPDB_RELATIONAL_SQL_H_
+#define PPDB_RELATIONAL_SQL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "relational/expression.h"
+#include "relational/query.h"
+
+namespace ppdb::rel {
+
+/// One item in a SELECT list: either a plain column reference or an
+/// aggregate call, optionally aliased.
+struct SelectItem {
+  /// Set for plain columns; unset for aggregates.
+  std::optional<std::string> column;
+  /// Set for aggregate calls.
+  std::optional<AggSpec> aggregate;
+  /// The output column name (alias, or a derived name).
+  std::string output_name;
+  /// True for `SELECT *`.
+  bool star = false;
+};
+
+/// An inner equi-join clause: `JOIN table ON left_column = right_column`.
+/// `left_column` names a column of the FROM table, `right_column` one of
+/// the joined table; colliding output names get an "_r" suffix (see
+/// `HashJoin`).
+struct JoinClause {
+  std::string table;
+  std::string left_column;
+  std::string right_column;
+};
+
+/// The parsed form of a ppdb SQL query.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   SELECT select_list FROM table
+///     [JOIN table ON column = column]
+///     [WHERE expr]
+///     [GROUP BY column {, column}]
+///     [HAVING expr]        -- references SELECT output names
+///     [ORDER BY column [ASC|DESC]]
+///     [LIMIT number]
+///
+///   select_list := '*' | item {',' item}
+///   item        := column ['AS' name]
+///                | (COUNT '(' '*' ')' | SUM|AVG|MIN|MAX '(' column ')')
+///                  ['AS' name]
+///   expr        := OR / AND / NOT / comparisons (=, !=, <>, <, <=, >, >=)
+///                  / + - * / / unary - / IS [NOT] NULL / parentheses /
+///                  column / number / 'string' / TRUE / FALSE / NULL
+struct SqlQuery {
+  std::vector<SelectItem> select;
+  std::string table;
+  std::optional<JoinClause> join;
+  ExprPtr where;  // Null when absent.
+  std::vector<std::string> group_by;
+  /// Post-aggregation filter over the SELECT output columns (e.g. an
+  /// aggregate's alias). Null when absent.
+  ExprPtr having;
+  std::optional<std::string> order_by;
+  bool order_ascending = true;
+  std::optional<int64_t> limit;
+};
+
+/// Parses `sql` into a SqlQuery. Errors with kParseError carry the
+/// offending token.
+Result<SqlQuery> ParseSql(std::string_view sql);
+
+/// Parses and executes `sql` against `catalog`, composing the query.h
+/// operators: Scan → Filter → Aggregate/Project → Sort → Limit.
+///
+/// Usage:
+///
+///   PPDB_ASSIGN_OR_RETURN(
+///       ResultSet rs,
+///       ExecuteSql(catalog,
+///                  "SELECT city, COUNT(*) AS n FROM people "
+///                  "WHERE age >= 30 GROUP BY city ORDER BY n DESC"));
+Result<ResultSet> ExecuteSql(const Catalog& catalog, std::string_view sql);
+
+/// Executes an already-parsed query.
+Result<ResultSet> ExecuteQuery(const Catalog& catalog, const SqlQuery& query);
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_SQL_H_

@@ -1,0 +1,186 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ppdb::rel {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromName(std::string_view name) {
+  if (name == "null") return DataType::kNull;
+  if (name == "bool") return DataType::kBool;
+  if (name == "int64" || name == "int") return DataType::kInt64;
+  if (name == "double" || name == "float") return DataType::kDouble;
+  if (name == "string" || name == "text") return DataType::kString;
+  return Status::ParseError("unknown data type: '" + std::string(name) + "'");
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+namespace {
+Status TypeMismatch(DataType want, DataType got) {
+  std::string msg = "value is ";
+  msg += DataTypeName(got);
+  msg += ", wanted ";
+  msg += DataTypeName(want);
+  return Status::FailedPrecondition(std::move(msg));
+}
+}  // namespace
+
+Result<bool> Value::AsBool() const {
+  if (auto* v = std::get_if<bool>(&data_)) return *v;
+  return TypeMismatch(DataType::kBool, type());
+}
+
+Result<int64_t> Value::AsInt64() const {
+  if (auto* v = std::get_if<int64_t>(&data_)) return *v;
+  return TypeMismatch(DataType::kInt64, type());
+}
+
+Result<double> Value::AsDouble() const {
+  if (auto* v = std::get_if<double>(&data_)) return *v;
+  return TypeMismatch(DataType::kDouble, type());
+}
+
+Result<std::string> Value::AsString() const {
+  if (auto* v = std::get_if<std::string>(&data_)) return *v;
+  return TypeMismatch(DataType::kString, type());
+}
+
+Result<double> Value::AsNumeric() const {
+  if (auto* v = std::get_if<int64_t>(&data_)) {
+    return static_cast<double>(*v);
+  }
+  if (auto* v = std::get_if<double>(&data_)) return *v;
+  return Status::FailedPrecondition("value of type " +
+                                    std::string(DataTypeName(type())) +
+                                    " is not numeric");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case DataType::kInt64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(std::get<int64_t>(data_)));
+      return buf;
+    }
+    case DataType::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case DataType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "NULL";
+}
+
+Result<Value> Value::Parse(std::string_view text, DataType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      std::string lower = ToLower(TrimWhitespace(text));
+      if (lower == "true" || lower == "1") return Value::Bool(true);
+      if (lower == "false" || lower == "0") return Value::Bool(false);
+      return Status::ParseError("not a bool: '" + std::string(text) + "'");
+    }
+    case DataType::kInt64: {
+      PPDB_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      PPDB_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(std::string(text));
+  }
+  return Status::Internal("unhandled data type in Value::Parse");
+}
+
+bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+Result<int> Value::Compare(const Value& other) const {
+  // Null sorts before any non-null value.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+
+  DataType ta = type();
+  DataType tb = other.type();
+  auto is_numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kDouble;
+  };
+  if (is_numeric(ta) && is_numeric(tb)) {
+    // AsNumeric cannot fail here: both sides are numeric.
+    double da = AsNumeric().value();
+    double db = other.AsNumeric().value();
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  if (ta != tb) {
+    std::string msg = "cannot compare ";
+    msg += DataTypeName(ta);
+    msg += " with ";
+    msg += DataTypeName(tb);
+    return Status::Incomparable(std::move(msg));
+  }
+  switch (ta) {
+    case DataType::kBool: {
+      bool va = std::get<bool>(data_);
+      bool vb = std::get<bool>(other.data_);
+      return static_cast<int>(va) - static_cast<int>(vb);
+    }
+    case DataType::kString: {
+      const auto& va = std::get<std::string>(data_);
+      const auto& vb = std::get<std::string>(other.data_);
+      if (va < vb) return -1;
+      if (va > vb) return 1;
+      return 0;
+    }
+    default:
+      return Status::Internal("unhandled comparison type");
+  }
+}
+
+}  // namespace ppdb::rel

@@ -1,0 +1,84 @@
+#ifndef PPDB_RELATIONAL_VALUE_H_
+#define PPDB_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace ppdb::rel {
+
+/// Type of a relational datum.
+enum class DataType {
+  kNull,    ///< The absence of a value (suppressed or missing datum).
+  kBool,    ///< true / false.
+  kInt64,   ///< 64-bit signed integer.
+  kDouble,  ///< IEEE double.
+  kString,  ///< UTF-8 text.
+};
+
+/// Returns "null", "bool", "int64", "double" or "string".
+std::string_view DataTypeName(DataType type);
+
+/// Parses a type name as produced by `DataTypeName`.
+Result<DataType> DataTypeFromName(std::string_view name);
+
+/// A single typed datum t_i^j: the value supplied by data provider i for
+/// attribute A^j (paper §4). Values are immutable once constructed.
+///
+/// A null `Value` represents a suppressed datum — e.g. the result of
+/// generalizing to granularity level 0, or a provider who defaulted and
+/// "contribute[s] zero information to the system" (§2).
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  DataType type() const;
+
+  bool is_null() const { return type() == DataType::kNull; }
+
+  /// Typed accessors. Each errors with kFailedPrecondition when the value
+  /// holds a different type.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt64() const;
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+
+  /// Numeric view: int64 widened to double; errors for other types.
+  Result<double> AsNumeric() const;
+
+  /// Renders the value for display; null renders as "NULL".
+  std::string ToString() const;
+
+  /// Parses `text` as a value of `type`. An empty string parses to null for
+  /// every type.
+  static Result<Value> Parse(std::string_view text, DataType type);
+
+  /// Structural equality: same type and same payload. Null equals null.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order for sorting within one type. Null sorts before everything;
+  /// comparing distinct non-null types errors with kIncomparable. Numeric
+  /// types (int64/double) are mutually comparable by numeric value.
+  Result<int> Compare(const Value& other) const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr data) : data_(std::move(data)) {}
+
+  Repr data_;
+};
+
+}  // namespace ppdb::rel
+
+#endif  // PPDB_RELATIONAL_VALUE_H_

@@ -1,0 +1,67 @@
+#include "sim/dynamics.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+
+namespace ppdb::sim {
+
+Result<DynamicsResult> RunHouseProviderDynamics(
+    const privacy::PrivacyConfig& config,
+    const violation::SearchOptions& search_options, int max_rounds) {
+  if (max_rounds < 1) {
+    return Status::InvalidArgument("need at least one round");
+  }
+  privacy::PrivacyConfig state = config;
+  DynamicsResult result;
+
+  for (int round = 1; round <= max_rounds; ++round) {
+    DynamicsRound record;
+    record.round = round;
+    record.population = state.preferences.num_providers();
+    if (record.population == 0) {
+      // Everyone left; the empty outcome is trivially stable.
+      record.policy = state.policy;
+      result.rounds.push_back(std::move(record));
+      result.converged = true;
+      break;
+    }
+
+    // 1. House best-responds to the current population.
+    PPDB_ASSIGN_OR_RETURN(
+        violation::SearchResult search,
+        violation::GreedyPolicySearch(state, search_options));
+    bool policy_moved = !search.trajectory.empty();
+    record.moves = static_cast<int64_t>(search.trajectory.size());
+    record.utility = search.best_utility;
+    record.policy = search.best_policy;
+    state.policy = std::move(search.best_policy);
+
+    // 2. Defaulted providers leave the system.
+    violation::ViolationDetector detector(&state,
+                                          search_options.detector_options);
+    PPDB_ASSIGN_OR_RETURN(violation::ViolationReport report,
+                          detector.Analyze());
+    violation::DefaultReport defaults =
+        violation::ComputeDefaults(report, state);
+    for (privacy::ProviderId departing : defaults.DefaultedProviders()) {
+      if (state.preferences.Contains(departing)) {
+        PPDB_RETURN_NOT_OK(state.preferences.Erase(departing));
+      }
+      state.thresholds.erase(departing);
+    }
+    record.departures = defaults.num_defaulted;
+    result.rounds.push_back(std::move(record));
+
+    if (!policy_moved && defaults.num_defaulted == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_config = std::move(state);
+  return result;
+}
+
+}  // namespace ppdb::sim

@@ -1,0 +1,66 @@
+#ifndef PPDB_SIM_DYNAMICS_H_
+#define PPDB_SIM_DYNAMICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/config.h"
+#include "violation/policy_search.h"
+
+namespace ppdb::sim {
+
+/// One round of the house–provider dynamic.
+struct DynamicsRound {
+  int round = 0;
+  /// Providers present at the start of the round.
+  int64_t population = 0;
+  /// Policy the house chose this round (its best response).
+  privacy::HousePolicy policy;
+  /// House utility at that choice, against the start-of-round population.
+  double utility = 0.0;
+  /// Providers who defaulted under the chosen policy and left.
+  int64_t departures = 0;
+  /// Moves the greedy search accepted this round.
+  int64_t moves = 0;
+};
+
+/// Outcome of iterating the dynamic to a fixed point.
+struct DynamicsResult {
+  std::vector<DynamicsRound> rounds;
+  /// True when the process stopped because nobody departed and the policy
+  /// stopped moving (a stable outcome); false when max_rounds hit first.
+  bool converged = false;
+  /// The system at the end: final policy and the surviving population
+  /// (departed providers' preferences and thresholds removed).
+  privacy::PrivacyConfig final_config;
+
+  const DynamicsRound& final_round() const { return rounds.back(); }
+};
+
+/// Iterates the §10 dynamic the paper leaves as future work ("the
+/// challenging problem of real-time dynamics occurring between a house and
+/// a set of (possibly very heterogeneous) data providers"):
+///
+///   repeat:
+///     1. the house best-responds to the current population
+///        (GreedyPolicySearch from its current policy);
+///     2. providers whose Violation_i now exceeds v_i default and LEAVE —
+///        their preferences, thresholds and data quit the system (§2:
+///        "they will not participate, and contribute zero information");
+///   until nobody leaves and the policy is stable, or max_rounds.
+///
+/// Departure makes this differ from the one-shot §9 analysis: each exit
+/// shrinks the base the house earns U from, so the house may re-narrow in
+/// later rounds — the equilibrium-seeking behaviour van Heerde et al. and
+/// the game-theoretic related work describe.
+///
+/// `config` is copied; the caller's population is untouched.
+Result<DynamicsResult> RunHouseProviderDynamics(
+    const privacy::PrivacyConfig& config,
+    const violation::SearchOptions& search_options, int max_rounds = 16);
+
+}  // namespace ppdb::sim
+
+#endif  // PPDB_SIM_DYNAMICS_H_

@@ -1,0 +1,168 @@
+#include "sim/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ppdb::sim {
+
+using privacy::Dimension;
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+
+Result<WestinSegment> Population::SegmentOf(
+    privacy::ProviderId provider) const {
+  if (provider < 1 || provider > num_providers()) {
+    return Status::OutOfRange("provider id " + std::to_string(provider) +
+                              " outside population 1.." +
+                              std::to_string(num_providers()));
+  }
+  return segments[static_cast<size_t>(provider - 1)];
+}
+
+PopulationGenerator::PopulationGenerator(PopulationConfig config)
+    : config_(std::move(config)) {}
+
+namespace {
+
+/// Draws a preference level around fraction×max with Gaussian jitter,
+/// clamped to the scale.
+int DrawLevel(const privacy::OrderedScale& scale, double fraction,
+              double jitter_fraction, Rng& rng) {
+  double max = static_cast<double>(scale.max_level());
+  double raw = rng.NextGaussian(fraction * max, jitter_fraction * max);
+  int level = static_cast<int>(std::lround(raw));
+  return std::clamp(level, 0, scale.max_level());
+}
+
+}  // namespace
+
+Result<Population> PopulationGenerator::Generate() const {
+  if (config_.num_providers <= 0) {
+    return Status::InvalidArgument("population needs at least one provider");
+  }
+  if (config_.attributes.empty()) {
+    return Status::InvalidArgument("population needs at least one attribute");
+  }
+  if (config_.purposes.empty()) {
+    return Status::InvalidArgument("population needs at least one purpose");
+  }
+
+  Rng rng(config_.seed);
+
+  privacy::PrivacyConfig config;
+  config.scales = config_.scales;
+  std::vector<PurposeId> purpose_ids;
+  for (const std::string& purpose : config_.purposes) {
+    PPDB_ASSIGN_OR_RETURN(PurposeId id, config.purposes.Register(purpose));
+    purpose_ids.push_back(id);
+  }
+  for (const AttributeSpec& attr : config_.attributes) {
+    PPDB_RETURN_NOT_OK(config.sensitivities.SetAttributeSensitivity(
+        attr.name, attr.attribute_sensitivity));
+  }
+
+  // Synthetic data table: one double column per attribute.
+  std::vector<rel::AttributeDef> defs;
+  for (const AttributeSpec& attr : config_.attributes) {
+    defs.push_back(rel::AttributeDef{attr.name, rel::DataType::kDouble, ""});
+  }
+  PPDB_ASSIGN_OR_RETURN(rel::Schema schema,
+                        rel::Schema::Create(std::move(defs)));
+  PPDB_ASSIGN_OR_RETURN(rel::Table table,
+                        rel::Table::Create(config_.table_name,
+                                           std::move(schema)));
+
+  std::vector<WestinSegment> segments;
+  segments.reserve(static_cast<size_t>(config_.num_providers));
+  const std::vector<double> mix(config_.segment_mix.begin(),
+                                config_.segment_mix.end());
+
+  for (int64_t i = 1; i <= config_.num_providers; ++i) {
+    WestinSegment segment = kAllSegments[rng.NextCategorical(mix)];
+    segments.push_back(segment);
+    const SegmentProfile& profile =
+        config_.profiles[static_cast<size_t>(segment)];
+
+    // Data row.
+    std::vector<rel::Value> values;
+    values.reserve(config_.attributes.size());
+    for (const AttributeSpec& attr : config_.attributes) {
+      values.push_back(rel::Value::Double(
+          rng.NextGaussian(attr.data_mean, attr.data_stddev)));
+    }
+    PPDB_RETURN_NOT_OK(table.Insert(i, std::move(values)));
+
+    // Preferences and sensitivities.
+    privacy::ProviderPreferences& prefs = config.preferences.ForProvider(i);
+    for (const AttributeSpec& attr : config_.attributes) {
+      privacy::DimensionSensitivity sens;
+      sens.value = rng.NextLogNormal(profile.sensitivity_mu,
+                                     profile.sensitivity_sigma);
+      sens.visibility = rng.NextLogNormal(profile.dimension_sensitivity_mu,
+                                          profile.dimension_sensitivity_sigma);
+      sens.granularity = rng.NextLogNormal(
+          profile.dimension_sensitivity_mu,
+          profile.dimension_sensitivity_sigma);
+      sens.retention = rng.NextLogNormal(profile.dimension_sensitivity_mu,
+                                         profile.dimension_sensitivity_sigma);
+      PPDB_RETURN_NOT_OK(config.sensitivities.SetProviderSensitivity(
+          i, attr.name, sens));
+
+      for (PurposeId purpose : purpose_ids) {
+        if (!rng.NextBool(profile.statement_probability)) continue;
+        PrivacyTuple tuple = PrivacyTuple::ZeroFor(purpose);
+        tuple.visibility =
+            DrawLevel(config.scales.visibility, profile.mean_level_fraction,
+                      profile.level_jitter_fraction, rng);
+        tuple.granularity =
+            DrawLevel(config.scales.granularity, profile.mean_level_fraction,
+                      profile.level_jitter_fraction, rng);
+        tuple.retention =
+            DrawLevel(config.scales.retention, profile.mean_level_fraction,
+                      profile.level_jitter_fraction, rng);
+        PPDB_RETURN_NOT_OK(prefs.Add(attr.name, tuple));
+      }
+    }
+
+    config.thresholds[i] =
+        rng.NextLogNormal(profile.threshold_mu, profile.threshold_sigma);
+  }
+
+  Population population{std::move(config), std::move(table),
+                        std::move(segments)};
+  return population;
+}
+
+Result<privacy::HousePolicy> MakeUniformPolicy(
+    const std::vector<AttributeSpec>& attributes,
+    const std::vector<std::string>& purposes, double visibility_fraction,
+    double granularity_fraction, double retention_fraction,
+    privacy::PrivacyConfig* config) {
+  auto level_at = [](const privacy::OrderedScale& scale, double fraction) {
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    return static_cast<int>(
+        std::lround(fraction * static_cast<double>(scale.max_level())));
+  };
+  privacy::HousePolicy policy;
+  for (const std::string& purpose : purposes) {
+    PPDB_ASSIGN_OR_RETURN(PurposeId id, config->purposes.Register(purpose));
+    for (const AttributeSpec& attr : attributes) {
+      PrivacyTuple tuple = PrivacyTuple::ZeroFor(id);
+      tuple.visibility =
+          level_at(config->scales.visibility, visibility_fraction);
+      tuple.granularity =
+          level_at(config->scales.granularity, granularity_fraction);
+      tuple.retention =
+          level_at(config->scales.retention, retention_fraction);
+      PPDB_RETURN_NOT_OK(policy.Add(attr.name, tuple));
+      PPDB_RETURN_NOT_OK(config->sensitivities.SetAttributeSensitivity(
+          attr.name, attr.attribute_sensitivity));
+    }
+  }
+  return policy;
+}
+
+}  // namespace ppdb::sim

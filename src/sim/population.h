@@ -1,0 +1,101 @@
+#ifndef PPDB_SIM_POPULATION_H_
+#define PPDB_SIM_POPULATION_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "privacy/config.h"
+#include "relational/table.h"
+#include "sim/westin.h"
+
+namespace ppdb::sim {
+
+/// One attribute of the synthetic database: its name, Σ^a, and the normal
+/// distribution its numeric data is drawn from.
+struct AttributeSpec {
+  std::string name;
+  /// Σ^a, the attribute sensitivity (Eq. 10).
+  double attribute_sensitivity = 1.0;
+  /// Synthetic data: x_i ~ N(data_mean, data_stddev), stored as double.
+  double data_mean = 0.0;
+  double data_stddev = 1.0;
+};
+
+/// Configuration of a synthetic provider population.
+struct PopulationConfig {
+  int64_t num_providers = 1000;
+  std::vector<AttributeSpec> attributes;
+  std::vector<std::string> purposes;
+  /// Mix over {fundamentalist, pragmatist, unconcerned}; need not be
+  /// normalized.
+  std::array<double, 3> segment_mix = kDefaultSegmentMix;
+  /// Per-segment draw profiles; defaults to `DefaultProfile`.
+  std::array<SegmentProfile, 3> profiles = {
+      DefaultProfile(WestinSegment::kFundamentalist),
+      DefaultProfile(WestinSegment::kPragmatist),
+      DefaultProfile(WestinSegment::kUnconcerned),
+  };
+  /// Scales the population's tuples live on.
+  privacy::ScaleSet scales;
+  /// Name of the generated data table.
+  std::string table_name = "providers";
+  uint64_t seed = 42;
+};
+
+/// A generated population: a `PrivacyConfig` whose preference store,
+/// sensitivity model and thresholds are filled (the policy is left empty —
+/// pair it with `MakeUniformPolicy` or a hand-built one), the synthetic
+/// data table, and the segment assignment.
+struct Population {
+  privacy::PrivacyConfig config;
+  rel::Table data;
+  /// segments[k] is the segment of the provider with id k+1 (ids are 1..N).
+  std::vector<WestinSegment> segments;
+
+  int64_t num_providers() const {
+    return static_cast<int64_t>(segments.size());
+  }
+
+  /// The segment of `provider` (ids 1..N); errors when out of range.
+  Result<WestinSegment> SegmentOf(privacy::ProviderId provider) const;
+};
+
+/// Draws populations per a `PopulationConfig`. Deterministic in the seed.
+///
+/// Usage:
+///
+///   PopulationConfig cfg;
+///   cfg.attributes = {{"age", 2.0, 45, 15}, {"weight", 4.0, 75, 12}};
+///   cfg.purposes = {"service", "marketing"};
+///   PPDB_ASSIGN_OR_RETURN(Population pop,
+///                         PopulationGenerator(cfg).Generate());
+class PopulationGenerator {
+ public:
+  explicit PopulationGenerator(PopulationConfig config);
+
+  /// Generates a population. Each call with the same config yields the same
+  /// population.
+  Result<Population> Generate() const;
+
+ private:
+  PopulationConfig config_;
+};
+
+/// Builds a house policy with one tuple per (attribute, purpose), all at the
+/// same fractional position of each scale: level = round(fraction × max).
+/// Fractions are clamped to [0, 1]. Also installs every attribute's Σ^a
+/// into `config->sensitivities` and registers the purposes.
+Result<privacy::HousePolicy> MakeUniformPolicy(
+    const std::vector<AttributeSpec>& attributes,
+    const std::vector<std::string>& purposes, double visibility_fraction,
+    double granularity_fraction, double retention_fraction,
+    privacy::PrivacyConfig* config);
+
+}  // namespace ppdb::sim
+
+#endif  // PPDB_SIM_POPULATION_H_

@@ -1,0 +1,91 @@
+#include "sim/scenario.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/macros.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+
+namespace ppdb::sim {
+
+double DefaultOnsetResult::FractionDefaultedBy(int k) const {
+  if (num_providers == 0) return 0.0;
+  // onset_steps holds only defaulted providers; Evaluate() is their CDF.
+  double defaulted = static_cast<double>(onset_steps.count()) *
+                     onset_steps.Evaluate(static_cast<double>(k));
+  return defaulted / static_cast<double>(num_providers);
+}
+
+Status CalibrateThresholdsToPolicy(Population* population,
+                                   double headroom_mu, double headroom_sigma,
+                                   uint64_t seed) {
+  violation::ViolationDetector detector(&population->config);
+  PPDB_ASSIGN_OR_RETURN(violation::ViolationReport report,
+                        detector.Analyze());
+  Rng rng(seed);
+  for (const violation::ProviderViolation& pv : report.providers) {
+    population->config.thresholds[pv.provider] =
+        pv.total_severity + rng.NextLogNormal(headroom_mu, headroom_sigma);
+  }
+  return Status::OK();
+}
+
+ScenarioRunner::ScenarioRunner(const Population* population)
+    : population_(population) {}
+
+Result<std::vector<violation::ExpansionPoint>> ScenarioRunner::RunExpansion(
+    const std::vector<violation::ExpansionStep>& schedule,
+    double utility_per_provider, double extra_utility_per_step) const {
+  violation::WhatIfAnalyzer::Options options;
+  options.utility_per_provider = utility_per_provider;
+  options.extra_utility_per_step = extra_utility_per_step;
+  violation::WhatIfAnalyzer analyzer(&population_->config, options);
+  return analyzer.RunSchedule(schedule);
+}
+
+Result<DefaultOnsetResult> ScenarioRunner::DefaultOnsets(
+    const std::vector<violation::ExpansionStep>& schedule) const {
+  DefaultOnsetResult out;
+  out.num_providers = population_->num_providers();
+
+  privacy::PrivacyConfig scratch = population_->config;
+  std::unordered_set<privacy::ProviderId> defaulted;
+
+  for (size_t k = 0; k <= schedule.size(); ++k) {
+    if (k > 0) {
+      const violation::ExpansionStep& step = schedule[k - 1];
+      if (step.attribute.has_value()) {
+        PPDB_ASSIGN_OR_RETURN(scratch.policy,
+                              scratch.policy.WidenedForAttribute(
+                                  *step.attribute, step.dimension, step.delta,
+                                  scratch.scales));
+      } else {
+        PPDB_ASSIGN_OR_RETURN(
+            scratch.policy,
+            scratch.policy.Widened(step.dimension, step.delta,
+                                   scratch.scales));
+      }
+    }
+    violation::ViolationDetector detector(&scratch);
+    PPDB_ASSIGN_OR_RETURN(violation::ViolationReport report,
+                          detector.Analyze());
+    violation::DefaultReport defaults =
+        violation::ComputeDefaults(report, scratch);
+    for (const violation::ProviderDefault& pd : defaults.providers) {
+      if (!pd.defaulted || defaulted.contains(pd.provider)) continue;
+      defaulted.insert(pd.provider);
+      double onset = static_cast<double>(k);
+      out.onset_steps.Add(onset);
+      PPDB_ASSIGN_OR_RETURN(WestinSegment segment,
+                            population_->SegmentOf(pd.provider));
+      out.onset_by_segment[static_cast<size_t>(segment)].Add(onset);
+      ++out.defaulted_by_segment[static_cast<size_t>(segment)];
+    }
+  }
+  out.never_defaulted =
+      out.num_providers - static_cast<int64_t>(defaulted.size());
+  return out;
+}
+
+}  // namespace ppdb::sim

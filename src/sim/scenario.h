@@ -1,0 +1,75 @@
+#ifndef PPDB_SIM_SCENARIO_H_
+#define PPDB_SIM_SCENARIO_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/population.h"
+#include "stats/empirical_cdf.h"
+#include "violation/what_if.h"
+
+namespace ppdb::sim {
+
+/// The empirical default-onset distribution produced by widening a policy
+/// step by step over a fixed population — the cumulative distribution
+/// function §10 proposes to construct ("empirically construct a cumulative
+/// distribution function of the number of defaults as the house expands its
+/// privacy policies").
+struct DefaultOnsetResult {
+  /// One sample per provider who defaulted: the first (1-based) step index
+  /// at which default_i flipped to 1.
+  stats::EmpiricalCdf onset_steps;
+  /// Same, split by Westin segment.
+  std::array<stats::EmpiricalCdf, 3> onset_by_segment;
+  /// Providers who never defaulted across the whole schedule.
+  int64_t never_defaulted = 0;
+  /// Defaults after the full schedule, per segment.
+  std::array<int64_t, 3> defaulted_by_segment = {0, 0, 0};
+  int64_t num_providers = 0;
+
+  /// Fraction of providers defaulted by step `k` (the CDF at k).
+  double FractionDefaultedBy(int k) const;
+};
+
+/// Re-draws every provider's default threshold as
+/// v_i = Violation_i(current policy) + lognormal(headroom_mu,
+/// headroom_sigma), so that no provider defaults under the population's
+/// current policy. This operationalizes §9's starting assumption — "let us
+/// assume that currently, no data providers have defaulted; i.e. all
+/// Violation_i are less than the critical v_i" — while keeping the
+/// *slack* heterogeneous across providers. The population's
+/// `config.policy` must already be set.
+Status CalibrateThresholdsToPolicy(Population* population,
+                                   double headroom_mu, double headroom_sigma,
+                                   uint64_t seed);
+
+/// Drives §9/§10-style experiments over a generated population: expansion
+/// curves (utility trade-off) and default-onset CDFs.
+///
+/// The population's `config.policy` must be set (e.g. via
+/// `MakeUniformPolicy`) before running scenarios. `population` must outlive
+/// the runner.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const Population* population);
+
+  /// Runs a cumulative expansion schedule and reports the §9 economics at
+  /// every point (delegates to violation::WhatIfAnalyzer).
+  Result<std::vector<violation::ExpansionPoint>> RunExpansion(
+      const std::vector<violation::ExpansionStep>& schedule,
+      double utility_per_provider, double extra_utility_per_step) const;
+
+  /// Computes the default-onset CDF over a cumulative schedule: for each
+  /// provider, the first step at which they default.
+  Result<DefaultOnsetResult> DefaultOnsets(
+      const std::vector<violation::ExpansionStep>& schedule) const;
+
+ private:
+  const Population* population_;
+};
+
+}  // namespace ppdb::sim
+
+#endif  // PPDB_SIM_SCENARIO_H_

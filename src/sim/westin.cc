@@ -1,0 +1,57 @@
+#include "sim/westin.h"
+
+namespace ppdb::sim {
+
+std::string_view WestinSegmentName(WestinSegment segment) {
+  switch (segment) {
+    case WestinSegment::kFundamentalist:
+      return "fundamentalist";
+    case WestinSegment::kPragmatist:
+      return "pragmatist";
+    case WestinSegment::kUnconcerned:
+      return "unconcerned";
+  }
+  return "unknown";
+}
+
+SegmentProfile DefaultProfile(WestinSegment segment) {
+  SegmentProfile profile;
+  switch (segment) {
+    case WestinSegment::kFundamentalist:
+      profile.mean_level_fraction = 0.25;
+      profile.level_jitter_fraction = 0.12;
+      profile.statement_probability = 0.95;
+      profile.sensitivity_mu = 0.6;   // median s ≈ 1.8
+      profile.sensitivity_sigma = 0.4;
+      profile.dimension_sensitivity_mu = 0.4;
+      profile.dimension_sensitivity_sigma = 0.4;
+      profile.threshold_mu = 2.3;     // median v ≈ 10
+      profile.threshold_sigma = 0.7;
+      break;
+    case WestinSegment::kPragmatist:
+      profile.mean_level_fraction = 0.55;
+      profile.level_jitter_fraction = 0.18;
+      profile.statement_probability = 0.8;
+      profile.sensitivity_mu = 0.0;   // median s ≈ 1
+      profile.sensitivity_sigma = 0.35;
+      profile.dimension_sensitivity_mu = 0.0;
+      profile.dimension_sensitivity_sigma = 0.35;
+      profile.threshold_mu = 3.4;     // median v ≈ 30
+      profile.threshold_sigma = 0.8;
+      break;
+    case WestinSegment::kUnconcerned:
+      profile.mean_level_fraction = 0.85;
+      profile.level_jitter_fraction = 0.15;
+      profile.statement_probability = 0.5;
+      profile.sensitivity_mu = -0.5;  // median s ≈ 0.6
+      profile.sensitivity_sigma = 0.3;
+      profile.dimension_sensitivity_mu = -0.4;
+      profile.dimension_sensitivity_sigma = 0.3;
+      profile.threshold_mu = 4.6;     // median v ≈ 100
+      profile.threshold_sigma = 0.9;
+      break;
+  }
+  return profile;
+}
+
+}  // namespace ppdb::sim

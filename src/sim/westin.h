@@ -1,0 +1,69 @@
+#ifndef PPDB_SIM_WESTIN_H_
+#define PPDB_SIM_WESTIN_H_
+
+#include <array>
+#include <string_view>
+
+namespace ppdb::sim {
+
+/// Westin's privacy segmentation of the public, the survey lens the paper
+/// cites for population-level privacy attitudes ([11], [21]).
+enum class WestinSegment {
+  /// Highly protective: distrustful of data collection, tight preferences,
+  /// high sensitivities, low default thresholds.
+  kFundamentalist = 0,
+  /// The weighing middle: moderate preferences and thresholds.
+  kPragmatist = 1,
+  /// Untroubled by collection: loose preferences, high thresholds.
+  kUnconcerned = 2,
+};
+
+inline constexpr std::array<WestinSegment, 3> kAllSegments = {
+    WestinSegment::kFundamentalist,
+    WestinSegment::kPragmatist,
+    WestinSegment::kUnconcerned,
+};
+
+/// Returns "fundamentalist", "pragmatist" or "unconcerned".
+std::string_view WestinSegmentName(WestinSegment segment);
+
+/// The 1999 Westin/Harris mix reported by Kumaraguru & Cranor's survey of
+/// Westin's studies [11]: 25% fundamentalist, 57% pragmatist,
+/// 18% unconcerned. A reasonable default when no population survey exists.
+inline constexpr std::array<double, 3> kDefaultSegmentMix = {0.25, 0.57,
+                                                             0.18};
+
+/// How one segment's providers are drawn. Preference levels on each ordered
+/// dimension are sampled around `mean_level_fraction × max_level` with
+/// Gaussian jitter; sensitivities and thresholds are log-normal (right
+/// skew: a minority cares intensely), matching the qualitative shape of the
+/// valuation studies the paper cites ([8]).
+struct SegmentProfile {
+  /// Mean stated preference level as a fraction of each scale's max (0 =
+  /// share nothing, 1 = share everything).
+  double mean_level_fraction = 0.5;
+  /// Std-dev of the level jitter, as a fraction of the scale max.
+  double level_jitter_fraction = 0.15;
+  /// Probability that the provider states a preference for a given
+  /// (attribute, purpose) pair at all (unstated pairs fall to Def. 1's
+  /// implicit zero tuple).
+  double statement_probability = 0.8;
+  /// log-normal(mu, sigma) for the datum sensitivity s_i^a.
+  double sensitivity_mu = 0.0;
+  double sensitivity_sigma = 0.35;
+  /// log-normal(mu, sigma) for the per-dimension sensitivities s_i^a[dim].
+  double dimension_sensitivity_mu = 0.0;
+  double dimension_sensitivity_sigma = 0.35;
+  /// log-normal(mu, sigma) for the default threshold v_i.
+  double threshold_mu = 3.0;
+  double threshold_sigma = 0.8;
+};
+
+/// Default profiles for the three segments, calibrated so fundamentalists
+/// prefer tight levels / feel violations strongly / default early, and
+/// unconcerned the reverse.
+SegmentProfile DefaultProfile(WestinSegment segment);
+
+}  // namespace ppdb::sim
+
+#endif  // PPDB_SIM_WESTIN_H_

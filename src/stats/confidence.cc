@@ -1,0 +1,95 @@
+#include "stats/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ppdb::stats {
+
+namespace {
+
+Status ValidateBinomialArgs(int64_t successes, int64_t trials,
+                            double confidence) {
+  if (trials <= 0) {
+    return Status::InvalidArgument("trials must be positive");
+  }
+  if (successes < 0 || successes > trials) {
+    return Status::InvalidArgument("successes must be in [0, trials]");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> NormalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    return Status::InvalidArgument("normal quantile requires p in (0, 1)");
+  }
+  // Acklam's inverse-normal approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+Result<ConfidenceInterval> WilsonInterval(int64_t successes, int64_t trials,
+                                          double confidence) {
+  PPDB_RETURN_NOT_OK(ValidateBinomialArgs(successes, trials, confidence));
+  PPDB_ASSIGN_OR_RETURN(double z,
+                        NormalQuantile(0.5 + confidence / 2.0));
+  double n = static_cast<double>(trials);
+  double phat = static_cast<double>(successes) / n;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double centre = (phat + z2 / (2.0 * n)) / denom;
+  double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return ConfidenceInterval{std::max(0.0, centre - half),
+                            std::min(1.0, centre + half)};
+}
+
+Result<ConfidenceInterval> WaldInterval(int64_t successes, int64_t trials,
+                                        double confidence) {
+  PPDB_RETURN_NOT_OK(ValidateBinomialArgs(successes, trials, confidence));
+  PPDB_ASSIGN_OR_RETURN(double z, NormalQuantile(0.5 + confidence / 2.0));
+  double n = static_cast<double>(trials);
+  double phat = static_cast<double>(successes) / n;
+  double half = z * std::sqrt(phat * (1.0 - phat) / n);
+  return ConfidenceInterval{std::max(0.0, phat - half),
+                            std::min(1.0, phat + half)};
+}
+
+}  // namespace ppdb::stats

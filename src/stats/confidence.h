@@ -1,0 +1,42 @@
+#ifndef PPDB_STATS_CONFIDENCE_H_
+#define PPDB_STATS_CONFIDENCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace ppdb::stats {
+
+/// A two-sided confidence interval [lo, hi].
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// True iff `p` lies inside the interval (inclusive).
+  bool Contains(double p) const { return p >= lo && p <= hi; }
+
+  /// Interval width.
+  double Width() const { return hi - lo; }
+};
+
+/// Returns the standard-normal quantile z such that Phi(z) = p, for
+/// p in (0, 1). Uses the Acklam rational approximation (|error| < 1.2e-8).
+Result<double> NormalQuantile(double p);
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Given `successes` out of `trials` and a two-sided confidence level (e.g.
+/// 0.95), returns an interval for the true proportion. The Wilson interval is
+/// well-behaved near 0 and 1, where the paper's violation/default
+/// probabilities often live.
+Result<ConfidenceInterval> WilsonInterval(int64_t successes, int64_t trials,
+                                          double confidence);
+
+/// Normal-approximation (Wald) interval for a binomial proportion, clamped to
+/// [0, 1]. Kept for comparison with WilsonInterval in tests/benches.
+Result<ConfidenceInterval> WaldInterval(int64_t successes, int64_t trials,
+                                        double confidence);
+
+}  // namespace ppdb::stats
+
+#endif  // PPDB_STATS_CONFIDENCE_H_

@@ -1,0 +1,66 @@
+#include "stats/empirical_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppdb::stats {
+
+void EmpiricalCdf::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::AddAll(const std::vector<double>& values) {
+  samples_.insert(samples_.end(), values.begin(), values.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::Evaluate(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+Result<double> EmpiricalCdf::Quantile(double q) const {
+  if (samples_.empty()) {
+    return Status::FailedPrecondition("quantile of empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile order must be in [0, 1]");
+  }
+  EnsureSorted();
+  if (q == 0.0) return samples_.front();
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+std::vector<double> EmpiricalCdf::SortedSamples() const {
+  EnsureSorted();
+  return samples_;
+}
+
+double EmpiricalCdf::KsDistance(const EmpiricalCdf& other) const {
+  EnsureSorted();
+  other.EnsureSorted();
+  double sup = 0.0;
+  for (double x : samples_) {
+    sup = std::max(sup, std::fabs(Evaluate(x) - other.Evaluate(x)));
+  }
+  for (double x : other.samples_) {
+    sup = std::max(sup, std::fabs(Evaluate(x) - other.Evaluate(x)));
+  }
+  return sup;
+}
+
+}  // namespace ppdb::stats

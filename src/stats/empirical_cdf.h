@@ -1,0 +1,58 @@
+#ifndef PPDB_STATS_EMPIRICAL_CDF_H_
+#define PPDB_STATS_EMPIRICAL_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppdb::stats {
+
+/// Empirical cumulative distribution function over a sample.
+///
+/// Section 10 of the paper proposes "empirically construct[ing] a cumulative
+/// distribution function of the number of defaults as the house expands its
+/// privacy policies"; this is the container that construction produces.
+///
+/// Samples are accumulated with Add(); queries implicitly sort (lazily, once
+/// per batch of additions).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Incorporates one observation.
+  void Add(double value);
+
+  /// Incorporates many observations.
+  void AddAll(const std::vector<double>& values);
+
+  /// Number of observations.
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  /// F(x) = fraction of samples <= x. Returns 0 for an empty sample.
+  double Evaluate(double x) const;
+
+  /// Inverse CDF: smallest sample value v with F(v) >= q, for q in [0, 1].
+  /// Errors on an empty sample or q outside [0, 1].
+  Result<double> Quantile(double q) const;
+
+  /// Convenience for Quantile(0.5).
+  Result<double> Median() const { return Quantile(0.5); }
+
+  /// Sorted copy of the underlying samples.
+  std::vector<double> SortedSamples() const;
+
+  /// One-sample Kolmogorov–Smirnov distance to another empirical CDF:
+  /// sup_x |F_this(x) - F_other(x)| evaluated at all sample points.
+  double KsDistance(const EmpiricalCdf& other) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ppdb::stats
+
+#endif  // PPDB_STATS_EMPIRICAL_CDF_H_

@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ppdb::stats {
+
+Result<Histogram> Histogram::Create(double lo, double hi, int num_bins) {
+  if (num_bins < 1) {
+    return Status::InvalidArgument("histogram needs at least one bin");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("histogram range must satisfy lo < hi");
+  }
+  return Histogram(lo, hi, num_bins);
+}
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo),
+      width_((hi - lo) / num_bins),
+      counts_(static_cast<size_t>(num_bins), 0) {}
+
+void Histogram::Add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  auto bin = static_cast<int64_t>((value - lo_) / width_);
+  if (bin >= static_cast<int64_t>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<size_t>(bin)];
+}
+
+int64_t Histogram::total_count() const {
+  int64_t total = underflow_ + overflow_;
+  for (int64_t c : counts_) total += c;
+  return total;
+}
+
+double Histogram::bin_fraction(int i) const {
+  int64_t total = total_count();
+  if (total == 0) return 0.0;
+  return static_cast<double>(bin_count(i)) / static_cast<double>(total);
+}
+
+std::string Histogram::ToAsciiArt(int max_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (int i = 0; i < num_bins(); ++i) {
+    auto bar = static_cast<int>(
+        std::lround(static_cast<double>(bin_count(i)) * max_width /
+                    static_cast<double>(peak)));
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8lld |", bin_lo(i),
+                  bin_hi(i), static_cast<long long>(bin_count(i)));
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ppdb::stats

@@ -1,0 +1,61 @@
+#ifndef PPDB_STATS_HISTOGRAM_H_
+#define PPDB_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppdb::stats {
+
+/// Fixed-width binned histogram over [lo, hi).
+///
+/// Values below `lo` land in an underflow bucket, values at or above `hi` in
+/// an overflow bucket, so `total_count()` always equals the number of Add()s.
+class Histogram {
+ public:
+  /// Creates a histogram with `num_bins` equal-width bins over [lo, hi).
+  /// Requires num_bins >= 1 and lo < hi.
+  static Result<Histogram> Create(double lo, double hi, int num_bins);
+
+  /// Incorporates one observation.
+  void Add(double value);
+
+  /// Number of regular bins (excluding under/overflow).
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+
+  /// Count in bin `i` (0-based). Requires 0 <= i < num_bins().
+  int64_t bin_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+
+  /// Inclusive lower edge of bin `i`.
+  double bin_lo(int i) const { return lo_ + width_ * i; }
+
+  /// Exclusive upper edge of bin `i`.
+  double bin_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+  int64_t underflow_count() const { return underflow_; }
+  int64_t overflow_count() const { return overflow_; }
+
+  /// Total observations including under/overflow.
+  int64_t total_count() const;
+
+  /// Fraction of all observations in bin `i`; 0 when empty.
+  double bin_fraction(int i) const;
+
+  /// Renders an ASCII bar chart, one row per bin, `max_width` chars of bars.
+  std::string ToAsciiArt(int max_width = 50) const;
+
+ private:
+  Histogram(double lo, double hi, int num_bins);
+
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+};
+
+}  // namespace ppdb::stats
+
+#endif  // PPDB_STATS_HISTOGRAM_H_

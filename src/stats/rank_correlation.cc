@@ -1,0 +1,56 @@
+#include "stats/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ppdb::stats {
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    double average = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                     1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = average;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("samples must have equal length");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least two observations");
+  }
+  std::vector<double> ra = AverageRanks(a);
+  std::vector<double> rb = AverageRanks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;  // Mean of 1..n (ties preserve the mean).
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = ra[i] - mean;
+    double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return Status::FailedPrecondition(
+        "rank correlation undefined for constant samples");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace ppdb::stats

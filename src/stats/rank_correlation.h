@@ -1,0 +1,26 @@
+#ifndef PPDB_STATS_RANK_CORRELATION_H_
+#define PPDB_STATS_RANK_CORRELATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppdb::stats {
+
+/// Spearman's rank correlation coefficient between two equal-length
+/// samples, with average ranks for ties (the Pearson correlation of the
+/// rank vectors). Returns a value in [-1, 1]; errors when the samples
+/// differ in length, have fewer than 2 elements, or either is constant
+/// (rank variance zero).
+///
+/// Used by the ablation analysis to quantify how much sensitivity
+/// weighting (Eq. 14) re-orders providers by severity.
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Average ranks (1-based, ties averaged) of `values`.
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+}  // namespace ppdb::stats
+
+#endif  // PPDB_STATS_RANK_CORRELATION_H_

@@ -1,0 +1,56 @@
+#include "stats/running_stats.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ppdb::stats {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = kInf;
+    max_ = -kInf;
+  }
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  count_ = n;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::population_variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+}  // namespace ppdb::stats

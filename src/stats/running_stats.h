@@ -1,0 +1,63 @@
+#ifndef PPDB_STATS_RUNNING_STATS_H_
+#define PPDB_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace ppdb::stats {
+
+/// Single-pass accumulator for count, mean, variance, min and max using
+/// Welford's numerically stable update.
+///
+/// Usage:
+///
+///   RunningStats s;
+///   for (double v : samples) s.Add(v);
+///   double mu = s.mean(), sd = s.stddev();
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Incorporates one observation.
+  void Add(double value);
+
+  /// Merges another accumulator into this one (parallel-combine rule).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations seen.
+  int64_t count() const { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+
+  /// Square root of `variance()`.
+  double stddev() const;
+
+  /// Population variance (n denominator); 0 when empty.
+  double population_variance() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Resets to the empty state.
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Sum of squared deviations from the running mean.
+  double min_;
+  double max_;
+};
+
+}  // namespace ppdb::stats
+
+#endif  // PPDB_STATS_RUNNING_STATS_H_

@@ -1,0 +1,50 @@
+#ifndef PPDB_STATS_TABLE_PRINTER_H_
+#define PPDB_STATS_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ppdb::stats {
+
+/// Formats rows of mixed values as an aligned plain-text table, used by the
+/// benchmark harness to print paper-style result tables.
+///
+/// Usage:
+///
+///   TablePrinter t({"provider", "conf", "defaults"});
+///   t.AddRow({"Ted", "60", "1"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are padded with empty
+  /// cells; longer rows are truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Renders the table with a header rule and aligned columns.
+  std::string ToString() const;
+
+  /// Writes `ToString()` to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string FormatDouble(double v, int precision = 3);
+
+  /// Formats an integer with no decoration.
+  static std::string FormatInt(int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppdb::stats
+
+#endif  // PPDB_STATS_TABLE_PRINTER_H_

@@ -1,0 +1,264 @@
+#include "storage/database_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "privacy/policy_dsl.h"
+#include "relational/csv.h"
+
+namespace ppdb::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "ppdb-manifest v1";
+
+Status WriteFile(const fs::path& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path.string() +
+                            "' for writing");
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("write to '" + path.string() + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path.string() +
+                            "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) {
+    return Status::Internal("read from '" + path.string() + "' failed");
+  }
+  return std::move(buffer).str();
+}
+
+std::string OptionalToField(const std::optional<std::string>& value) {
+  return value.value_or("");
+}
+
+}  // namespace
+
+std::string AuditLogToCsv(const audit::AuditLog& log) {
+  std::string out =
+      "sequence,timestamp,kind,requester,purpose,table,provider,attribute,"
+      "detail\n";
+  for (const audit::AuditEvent& event : log.events()) {
+    out += std::to_string(event.sequence);
+    out += ',' + std::to_string(event.timestamp);
+    out += ',';
+    out += AuditEventKindName(event.kind);
+    out += ',' + CsvEscape(event.requester);
+    out += ',' + std::to_string(event.purpose);
+    out += ',' + CsvEscape(event.table);
+    out += ',';
+    if (event.provider.has_value()) out += std::to_string(*event.provider);
+    out += ',' + CsvEscape(OptionalToField(event.attribute));
+    out += ',' + CsvEscape(event.detail);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<audit::AuditLog> AuditLogFromCsv(std::string_view csv) {
+  PPDB_ASSIGN_OR_RETURN(auto rows, rel::ParseCsv(csv));
+  if (rows.empty()) return Status::ParseError("audit CSV has no header");
+  audit::AuditLog log;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 9) {
+      return Status::ParseError("audit CSV row " + std::to_string(r) +
+                                " has " + std::to_string(row.size()) +
+                                " fields, expected 9");
+    }
+    audit::AuditEvent event;
+    PPDB_ASSIGN_OR_RETURN(event.timestamp, ParseInt64(row[1]));
+    PPDB_ASSIGN_OR_RETURN(event.kind, audit::AuditEventKindFromName(row[2]));
+    event.requester = row[3];
+    PPDB_ASSIGN_OR_RETURN(int64_t purpose, ParseInt64(row[4]));
+    event.purpose = static_cast<privacy::PurposeId>(purpose);
+    event.table = row[5];
+    if (!row[6].empty()) {
+      PPDB_ASSIGN_OR_RETURN(int64_t provider, ParseInt64(row[6]));
+      event.provider = provider;
+    }
+    if (!row[7].empty()) event.attribute = row[7];
+    event.detail = row[8];
+    log.Append(std::move(event));  // Reassigns sequence densely, in order.
+  }
+  return log;
+}
+
+std::string LedgerToCsv(const audit::IngestLedger& ledger) {
+  std::string out = "table,provider,attribute,ingest_day\n";
+  for (const audit::IngestLedger::Entry& entry : ledger.Entries()) {
+    out += CsvEscape(entry.table);
+    out += ',' + std::to_string(entry.provider);
+    out += ',' + CsvEscape(entry.attribute);
+    out += ',' + std::to_string(entry.day);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<audit::IngestLedger> LedgerFromCsv(std::string_view csv) {
+  PPDB_ASSIGN_OR_RETURN(auto rows, rel::ParseCsv(csv));
+  if (rows.empty()) return Status::ParseError("ledger CSV has no header");
+  audit::IngestLedger ledger;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 4) {
+      return Status::ParseError("ledger CSV row " + std::to_string(r) +
+                                " has " + std::to_string(row.size()) +
+                                " fields, expected 4");
+    }
+    PPDB_ASSIGN_OR_RETURN(int64_t provider, ParseInt64(row[1]));
+    PPDB_ASSIGN_OR_RETURN(int64_t day, ParseInt64(row[3]));
+    ledger.RecordIngest(row[0], provider, row[2], day);
+  }
+  return ledger;
+}
+
+Status SaveDatabase(std::string_view dir, const Database& database) {
+  fs::path root{std::string(dir)};
+  std::error_code ec;
+  fs::create_directories(root / "tables", ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + root.string() +
+                            "': " + ec.message());
+  }
+
+  // Manifest: version plus one line per table with mode and typed schema.
+  std::string manifest = kManifestHeader;
+  manifest += '\n';
+  for (const std::string& name : database.catalog.TableNames()) {
+    PPDB_ASSIGN_OR_RETURN(const rel::Table* table,
+                          database.catalog.GetTable(name));
+    manifest += "table " + name;
+    manifest += table->multi_record() ? " multi" : " single";
+    for (const rel::AttributeDef& def : table->schema().attributes()) {
+      manifest += ' ' + def.name + ':';
+      manifest += rel::DataTypeName(def.type);
+    }
+    manifest += '\n';
+    PPDB_RETURN_NOT_OK(WriteFile(root / "tables" / (name + ".csv"),
+                                 rel::TableToCsv(*table)));
+  }
+  PPDB_RETURN_NOT_OK(WriteFile(root / kManifestName, manifest));
+  PPDB_RETURN_NOT_OK(WriteFile(
+      root / "privacy.ppdb", privacy::SerializePrivacyConfig(database.config)));
+  PPDB_RETURN_NOT_OK(
+      WriteFile(root / "ledger.csv", LedgerToCsv(database.ledger)));
+  PPDB_RETURN_NOT_OK(
+      WriteFile(root / "audit.csv", AuditLogToCsv(database.log)));
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(std::string_view dir) {
+  fs::path root{std::string(dir)};
+  PPDB_ASSIGN_OR_RETURN(std::string manifest,
+                        ReadFile(root / kManifestName));
+  std::vector<std::string_view> lines = Split(manifest, '\n');
+  if (lines.empty() || TrimWhitespace(lines[0]) != kManifestHeader) {
+    return Status::ParseError("'" + root.string() +
+                              "' is not a ppdb database (bad manifest)");
+  }
+
+  Database database;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = TrimWhitespace(lines[i]);
+    if (line.empty()) continue;
+    std::vector<std::string_view> fields = SplitAndTrim(line, ' ');
+    std::erase_if(fields,
+                  [](std::string_view field) { return field.empty(); });
+    if (fields.size() < 3 || fields[0] != "table") {
+      return Status::ParseError("bad manifest line: '" + std::string(line) +
+                                "'");
+    }
+    std::string name(fields[1]);
+    bool multi = fields[2] == "multi";
+    if (!multi && fields[2] != "single") {
+      return Status::ParseError("bad table mode '" + std::string(fields[2]) +
+                                "' in manifest");
+    }
+    std::vector<rel::AttributeDef> defs;
+    for (size_t f = 3; f < fields.size(); ++f) {
+      size_t colon = fields[f].find(':');
+      if (colon == std::string_view::npos) {
+        return Status::ParseError("bad attribute spec '" +
+                                  std::string(fields[f]) + "' in manifest");
+      }
+      rel::AttributeDef def;
+      def.name = std::string(fields[f].substr(0, colon));
+      PPDB_ASSIGN_OR_RETURN(
+          def.type, rel::DataTypeFromName(fields[f].substr(colon + 1)));
+      defs.push_back(std::move(def));
+    }
+    PPDB_ASSIGN_OR_RETURN(rel::Schema schema,
+                          rel::Schema::Create(std::move(defs)));
+    PPDB_ASSIGN_OR_RETURN(std::string csv,
+                          ReadFile(root / "tables" / (name + ".csv")));
+
+    // TableFromCsv builds single-record tables; rebuild by hand for multi.
+    PPDB_ASSIGN_OR_RETURN(rel::Table parsed,
+                          [&]() -> Result<rel::Table> {
+                            if (!multi) {
+                              return rel::TableFromCsv(name, schema, csv);
+                            }
+                            PPDB_ASSIGN_OR_RETURN(auto rows,
+                                                  rel::ParseCsv(csv));
+                            PPDB_ASSIGN_OR_RETURN(
+                                rel::Table table,
+                                rel::Table::CreateMultiRecord(name, schema));
+                            for (size_t r = 1; r < rows.size(); ++r) {
+                              const auto& row = rows[r];
+                              if (static_cast<int>(row.size()) !=
+                                  schema.num_attributes() + 1) {
+                                return Status::ParseError(
+                                    "table CSV row arity mismatch");
+                              }
+                              PPDB_ASSIGN_OR_RETURN(int64_t provider,
+                                                    ParseInt64(row[0]));
+                              std::vector<rel::Value> values;
+                              for (int j = 0; j < schema.num_attributes();
+                                   ++j) {
+                                PPDB_ASSIGN_OR_RETURN(
+                                    rel::Value value,
+                                    rel::Value::Parse(
+                                        row[static_cast<size_t>(j) + 1],
+                                        schema.attribute(j).type));
+                                values.push_back(std::move(value));
+                              }
+                              PPDB_RETURN_NOT_OK(
+                                  table.Insert(provider, std::move(values)));
+                            }
+                            return table;
+                          }());
+    PPDB_RETURN_NOT_OK(database.catalog.AddTable(std::move(parsed)).status());
+  }
+
+  PPDB_ASSIGN_OR_RETURN(std::string dsl, ReadFile(root / "privacy.ppdb"));
+  PPDB_ASSIGN_OR_RETURN(database.config, privacy::ParsePrivacyConfig(dsl));
+  PPDB_ASSIGN_OR_RETURN(std::string ledger_csv,
+                        ReadFile(root / "ledger.csv"));
+  PPDB_ASSIGN_OR_RETURN(database.ledger, LedgerFromCsv(ledger_csv));
+  PPDB_ASSIGN_OR_RETURN(std::string audit_csv, ReadFile(root / "audit.csv"));
+  PPDB_ASSIGN_OR_RETURN(database.log, AuditLogFromCsv(audit_csv));
+  return database;
+}
+
+}  // namespace ppdb::storage

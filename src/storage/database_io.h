@@ -1,0 +1,57 @@
+#ifndef PPDB_STORAGE_DATABASE_IO_H_
+#define PPDB_STORAGE_DATABASE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "audit/audit_log.h"
+#include "audit/ledger.h"
+#include "common/result.h"
+#include "privacy/config.h"
+#include "relational/catalog.h"
+
+namespace ppdb::storage {
+
+/// Everything that constitutes one ppdb database on disk.
+struct Database {
+  rel::Catalog catalog;
+  privacy::PrivacyConfig config;
+  audit::IngestLedger ledger;
+  audit::AuditLog log;
+};
+
+/// On-disk layout (all human-readable text, matching the library's
+/// existing formats):
+///
+///   <dir>/MANIFEST            format version + table inventory
+///   <dir>/privacy.ppdb        the privacy DSL (policy_dsl.h)
+///   <dir>/tables/<name>.csv   one CSV per table (provider_id first);
+///                             a header line `# multi_record` marks tables
+///                             in multi-record mode via the manifest
+///   <dir>/ledger.csv          table,provider,attribute,ingest_day
+///   <dir>/audit.csv           the append-only audit log
+///
+/// `SaveDatabase` creates the directory (and `tables/`) as needed and
+/// overwrites existing files; partially written state from a crashed save
+/// is detected at load time via the manifest's table inventory.
+Status SaveDatabase(std::string_view dir, const Database& database);
+
+/// Loads a database previously written by `SaveDatabase`. Schema types are
+/// recorded in the manifest, so round-trips preserve typing exactly.
+Result<Database> LoadDatabase(std::string_view dir);
+
+/// Serializes an audit log to CSV (also usable standalone).
+std::string AuditLogToCsv(const audit::AuditLog& log);
+
+/// Parses an audit log from `AuditLogToCsv` output.
+Result<audit::AuditLog> AuditLogFromCsv(std::string_view csv);
+
+/// Serializes an ingest ledger to CSV.
+std::string LedgerToCsv(const audit::IngestLedger& ledger);
+
+/// Parses a ledger from `LedgerToCsv` output.
+Result<audit::IngestLedger> LedgerFromCsv(std::string_view csv);
+
+}  // namespace ppdb::storage
+
+#endif  // PPDB_STORAGE_DATABASE_IO_H_

@@ -1,0 +1,72 @@
+#include "violation/change_impact.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "violation/default_model.h"
+
+namespace ppdb::violation {
+
+std::string ChangeImpact::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "Policy change: %zu use(s) added, %zu removed, %zu level move(s). "
+      "P(W) %.4f -> %.4f; P(Default) %.4f -> %.4f. "
+      "%zu provider(s) newly violated, %zu cleared; "
+      "%zu newly defaulted, %zu recovered.\n",
+      diff.added.size(), diff.removed.size(), diff.level_changes.size(),
+      p_violation_before, p_violation_after, p_default_before,
+      p_default_after, newly_violated.size(), no_longer_violated.size(),
+      newly_defaulted.size(), recovered.size());
+  return buf;
+}
+
+Result<ChangeImpact> AssessPolicyChange(
+    const privacy::PrivacyConfig& config,
+    const privacy::HousePolicy& new_policy,
+    ViolationDetector::Options detector_options) {
+  ChangeImpact impact;
+  impact.diff = privacy::DiffPolicies(config.policy, new_policy);
+
+  ViolationDetector before_detector(&config, detector_options);
+  PPDB_ASSIGN_OR_RETURN(ViolationReport before, before_detector.Analyze());
+  DefaultReport before_defaults = ComputeDefaults(before, config);
+
+  ViolationDetector::Options after_options = detector_options;
+  after_options.policy_override = &new_policy;
+  ViolationDetector after_detector(&config, after_options);
+  PPDB_ASSIGN_OR_RETURN(ViolationReport after, after_detector.Analyze());
+  DefaultReport after_defaults = ComputeDefaults(after, config);
+
+  impact.p_violation_before = before.ProbabilityOfViolation();
+  impact.p_violation_after = after.ProbabilityOfViolation();
+  impact.p_default_before = before_defaults.ProbabilityOfDefault();
+  impact.p_default_after = after_defaults.ProbabilityOfDefault();
+  impact.total_violations_before = before.total_severity;
+  impact.total_violations_after = after.total_severity;
+
+  // Both reports cover the identical, sorted provider set (same config
+  // population); walk them in lockstep.
+  PPDB_CHECK(before.providers.size() == after.providers.size());
+  for (size_t i = 0; i < before.providers.size(); ++i) {
+    const ProviderViolation& b = before.providers[i];
+    const ProviderViolation& a = after.providers[i];
+    PPDB_CHECK(b.provider == a.provider);
+    if (!b.violated && a.violated) {
+      impact.newly_violated.push_back(a.provider);
+    } else if (b.violated && !a.violated) {
+      impact.no_longer_violated.push_back(a.provider);
+    }
+    bool defaulted_before = before_defaults.providers[i].defaulted;
+    bool defaulted_after = after_defaults.providers[i].defaulted;
+    if (!defaulted_before && defaulted_after) {
+      impact.newly_defaulted.push_back(a.provider);
+    } else if (defaulted_before && !defaulted_after) {
+      impact.recovered.push_back(a.provider);
+    }
+  }
+  return impact;
+}
+
+}  // namespace ppdb::violation

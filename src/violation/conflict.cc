@@ -1,0 +1,44 @@
+#include "violation/conflict.h"
+
+namespace ppdb::violation {
+
+using privacy::Dimension;
+
+bool Comparable(const privacy::PreferenceTuple& pref,
+                const privacy::PolicyTuple& policy) {
+  return pref.attribute == policy.attribute &&
+         pref.tuple.purpose == policy.tuple.purpose;
+}
+
+ConflictBreakdown Conflict(const privacy::PreferenceTuple& pref,
+                           const privacy::PolicyTuple& policy,
+                           const privacy::SensitivityModel& sensitivities) {
+  ConflictBreakdown out;
+  out.comparable = Comparable(pref, policy);
+  if (!out.comparable) return out;
+
+  const privacy::PurposeId purpose = policy.tuple.purpose;
+  const double attr_sens =
+      sensitivities.AttributeSensitivity(policy.attribute, purpose);
+  const privacy::DimensionSensitivity provider_sens =
+      sensitivities.ProviderSensitivity(pref.provider, policy.attribute,
+                                        purpose);
+
+  for (size_t d = 0; d < privacy::kOrderedDimensions.size(); ++d) {
+    Dimension dim = privacy::kOrderedDimensions[d];
+    DimensionConflict& dc = out.per_dimension[d];
+    dc.dimension = dim;
+    // Level() cannot fail for ordered dimensions.
+    dc.preference_level = pref.tuple.Level(dim).value();
+    dc.policy_level = policy.tuple.Level(dim).value();
+    dc.diff = LevelDiff(dc.preference_level, dc.policy_level);
+    // One summand of Eq. 14: diff × Σ^a × s_i^a × s_i^a[dim].
+    dc.weighted = static_cast<double>(dc.diff) * attr_sens *
+                  provider_sens.value *
+                  provider_sens.ForDimension(dim).value();
+    out.total += dc.weighted;
+  }
+  return out;
+}
+
+}  // namespace ppdb::violation

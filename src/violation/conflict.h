@@ -1,0 +1,66 @@
+#ifndef PPDB_VIOLATION_CONFLICT_H_
+#define PPDB_VIOLATION_CONFLICT_H_
+
+#include <array>
+#include <string>
+
+#include "privacy/privacy_tuple.h"
+#include "privacy/sensitivity.h"
+
+namespace ppdb::violation {
+
+/// diff : N × N → Z (Eq. 12): the amount by which a policy level `policy`
+/// exceeds a preference level `pref`; zero when it does not.
+///
+///   diff(p, P) = P − p   if P > p
+///                0       otherwise
+constexpr int LevelDiff(int pref, int policy) {
+  return policy > pref ? policy - pref : 0;
+}
+
+/// comp (Eq. 13): a preference tuple and a policy tuple are comparable iff
+/// they are associated with the same attribute and share the same purpose.
+bool Comparable(const privacy::PreferenceTuple& pref,
+                const privacy::PolicyTuple& policy);
+
+/// The contribution of one ordered dimension to a conflict: the raw level
+/// difference and its sensitivity-weighted severity
+/// diff(p[dim], p'[dim]) × Σ^a × s_i^a × s_i^a[dim] (one summand of Eq. 14).
+struct DimensionConflict {
+  privacy::Dimension dimension = privacy::Dimension::kVisibility;
+  int preference_level = 0;
+  int policy_level = 0;
+  int diff = 0;
+  double weighted = 0.0;
+};
+
+/// The full decomposition of conf(pref, Pol) (Eq. 14) for one
+/// (preference tuple, policy tuple) pair.
+struct ConflictBreakdown {
+  bool comparable = false;
+  /// Σ over dims of `per_dimension[d].weighted`; this is conf(pref, Pol).
+  double total = 0.0;
+  std::array<DimensionConflict, 3> per_dimension;  // V, G, R in that order.
+
+  /// True iff some dimension has diff > 0 (the Def. 1 existence condition
+  /// restricted to this pair). Note a violation can exist while `total` is 0
+  /// when sensitivities are 0.
+  bool HasExceedance() const {
+    for (const DimensionConflict& dc : per_dimension) {
+      if (dc.diff > 0) return true;
+    }
+    return false;
+  }
+};
+
+/// conf(pref, Pol) (Eq. 14): the sensitivity-weighted privacy conflict
+/// between a preference tuple and a policy tuple, decomposed per dimension.
+/// Sensitivities are looked up in `sensitivities` for the policy tuple's
+/// purpose. Non-comparable pairs yield an all-zero breakdown.
+ConflictBreakdown Conflict(const privacy::PreferenceTuple& pref,
+                           const privacy::PolicyTuple& policy,
+                           const privacy::SensitivityModel& sensitivities);
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_CONFLICT_H_

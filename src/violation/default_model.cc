@@ -1,0 +1,57 @@
+#include "violation/default_model.h"
+
+#include <cstdio>
+
+namespace ppdb::violation {
+
+std::vector<ProviderId> DefaultReport::DefaultedProviders() const {
+  std::vector<ProviderId> out;
+  for (const ProviderDefault& pd : providers) {
+    if (pd.defaulted) out.push_back(pd.provider);
+  }
+  return out;
+}
+
+std::string DefaultReport::ToString(int64_t max_providers) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "DefaultReport: N=%lld, defaulted=%lld, P(Default)=%.4f\n",
+                static_cast<long long>(num_providers()),
+                static_cast<long long>(num_defaulted),
+                ProbabilityOfDefault());
+  std::string out = buf;
+  int64_t shown = 0;
+  for (const ProviderDefault& pd : providers) {
+    if (!pd.defaulted) continue;
+    if (shown++ >= max_providers) {
+      out += "  ...\n";
+      break;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  provider %lld: Violation_i=%.3f > v_i=%.3f\n",
+                  static_cast<long long>(pd.provider), pd.violation,
+                  pd.threshold);
+    out += buf;
+  }
+  return out;
+}
+
+DefaultReport ComputeDefaults(const ViolationReport& report,
+                              const privacy::PrivacyConfig& config) {
+  DefaultReport out;
+  out.providers.reserve(report.providers.size());
+  for (const ProviderViolation& pv : report.providers) {
+    ProviderDefault pd;
+    pd.provider = pv.provider;
+    pd.violation = pv.total_severity;
+    pd.threshold = config.ThresholdFor(pv.provider);
+    // Def. 4: strict inequality — a violation exactly at the threshold is
+    // tolerated (Bob in the paper's §8 example stays at 80 < 100).
+    pd.defaulted = pd.violation > pd.threshold;
+    if (pd.defaulted) ++out.num_defaulted;
+    out.providers.push_back(pd);
+  }
+  return out;
+}
+
+}  // namespace ppdb::violation

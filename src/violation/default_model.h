@@ -1,0 +1,56 @@
+#ifndef PPDB_VIOLATION_DEFAULT_MODEL_H_
+#define PPDB_VIOLATION_DEFAULT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "privacy/config.h"
+#include "violation/report.h"
+
+namespace ppdb::violation {
+
+/// The default assessment for one provider (Def. 4):
+/// default_i = 1 iff Violation_i > v_i.
+struct ProviderDefault {
+  ProviderId provider = 0;
+  /// Violation_i from the violation report.
+  double violation = 0.0;
+  /// The provider's threshold v_i.
+  double threshold = 0.0;
+  bool defaulted = false;
+};
+
+/// Default assessment of the whole population (Def. 4–5).
+struct DefaultReport {
+  /// Per-provider results in ascending provider order.
+  std::vector<ProviderDefault> providers;
+  int64_t num_defaulted = 0;
+
+  int64_t num_providers() const {
+    return static_cast<int64_t>(providers.size());
+  }
+
+  /// P(Default) (Def. 5) as an exact census: Σ_i default_i / N.
+  double ProbabilityOfDefault() const {
+    return providers.empty() ? 0.0
+                             : static_cast<double>(num_defaulted) /
+                                   static_cast<double>(providers.size());
+  }
+
+  /// Ids of the providers who defaulted, ascending.
+  std::vector<ProviderId> DefaultedProviders() const;
+
+  /// Renders a one-line summary plus one line per defaulted provider.
+  std::string ToString(int64_t max_providers = 20) const;
+};
+
+/// Applies Def. 4 to a violation report: each provider defaults iff their
+/// Violation_i exceeds the threshold v_i recorded in `config` (providers
+/// without an explicit threshold use `config.fallback_threshold`).
+DefaultReport ComputeDefaults(const ViolationReport& report,
+                              const privacy::PrivacyConfig& config);
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_DEFAULT_MODEL_H_

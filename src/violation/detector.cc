@@ -1,0 +1,135 @@
+#include "violation/detector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "violation/conflict.h"
+
+namespace ppdb::violation {
+
+using privacy::PreferenceTuple;
+using privacy::PrivacyTuple;
+using privacy::ProviderPreferences;
+
+ViolationDetector::ViolationDetector(const privacy::PrivacyConfig* config,
+                                     Options options)
+    : config_(config), options_(options) {}
+
+Result<ViolationReport> ViolationDetector::Analyze() const {
+  std::vector<ProviderId> providers = config_->preferences.ProviderIds();
+  if (options_.data_table != nullptr) {
+    for (ProviderId id : options_.data_table->ProviderIds()) {
+      providers.push_back(id);
+    }
+  }
+  return AnalyzeProviders(std::move(providers));
+}
+
+Result<ViolationReport> ViolationDetector::AnalyzeProviders(
+    std::vector<ProviderId> providers) const {
+  std::sort(providers.begin(), providers.end());
+  providers.erase(std::unique(providers.begin(), providers.end()),
+                  providers.end());
+  ViolationReport report;
+  report.providers.reserve(providers.size());
+  for (ProviderId id : providers) {
+    PPDB_ASSIGN_OR_RETURN(ProviderViolation pv, AnalyzeProvider(id));
+    report.total_severity += pv.total_severity;
+    if (pv.violated) ++report.num_violated;
+    report.providers.push_back(std::move(pv));
+  }
+  return report;
+}
+
+Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
+    ProviderId provider) const {
+  ProviderViolation out;
+  out.provider = provider;
+
+  // An absent provider entry behaves as an empty preference set: every
+  // policy purpose is unstated and (under Def. 1) implicitly zero.
+  static const ProviderPreferences& kEmpty = *new ProviderPreferences(0);
+  const ProviderPreferences* prefs = &kEmpty;
+  Result<const ProviderPreferences*> found =
+      config_->preferences.Find(provider);
+  if (found.ok()) prefs = found.value();
+
+  std::unordered_set<std::string> violated_attributes;
+
+  const privacy::HousePolicy& house_policy =
+      options_.policy_override != nullptr ? *options_.policy_override
+                                          : config_->policy;
+  for (const privacy::PolicyTuple& policy : house_policy.tuples()) {
+    // Data scoping: with a table, only attributes the provider actually
+    // supplies (a non-null datum in some owned row) are in play. Providers
+    // absent from the table supply no data and incur no violations.
+    if (options_.data_table != nullptr) {
+      Result<bool> supplies = options_.data_table->ProviderSuppliesAttribute(
+          provider, policy.attribute);
+      if (!supplies.ok() || !supplies.value()) continue;
+    }
+
+    // Select the preference tuple Def. 1 compares against this policy
+    // tuple: stated for (a, purpose); else (with the hierarchy extension)
+    // the most specific stated preference for an ancestor purpose; else the
+    // implicit zero tuple.
+    bool implicit = false;
+    PrivacyTuple pref_tuple;
+    Result<PrivacyTuple> stated =
+        prefs->Find(policy.attribute, policy.tuple.purpose);
+    if (stated.ok()) {
+      pref_tuple = stated.value();
+    } else {
+      bool resolved = false;
+      if (options_.purpose_hierarchy != nullptr) {
+        for (privacy::PurposeId ancestor :
+             options_.purpose_hierarchy->AncestorsOf(policy.tuple.purpose)) {
+          Result<PrivacyTuple> inherited =
+              prefs->Find(policy.attribute, ancestor);
+          if (inherited.ok()) {
+            pref_tuple = inherited.value();
+            // Rebase onto the policy purpose so the tuples are comparable:
+            // consent to the ancestor covers this specialization.
+            pref_tuple.purpose = policy.tuple.purpose;
+            resolved = true;
+            break;
+          }
+        }
+      }
+      if (!resolved) {
+        if (!options_.implicit_zero_preferences) continue;
+        pref_tuple = PrivacyTuple::ZeroFor(policy.tuple.purpose);
+        implicit = true;
+      }
+    }
+
+    PreferenceTuple pref{provider, policy.attribute, pref_tuple};
+    ConflictBreakdown breakdown =
+        Conflict(pref, policy, config_->sensitivities);
+    out.total_severity += breakdown.total;
+    for (const DimensionConflict& dc : breakdown.per_dimension) {
+      if (dc.diff <= 0) continue;
+      out.violated = true;
+      violated_attributes.insert(policy.attribute);
+      ViolationIncident incident;
+      incident.provider = provider;
+      incident.attribute = policy.attribute;
+      incident.purpose = policy.tuple.purpose;
+      incident.dimension = dc.dimension;
+      incident.preference_level = dc.preference_level;
+      incident.policy_level = dc.policy_level;
+      incident.diff = dc.diff;
+      incident.weighted_severity = dc.weighted;
+      incident.from_implicit_preference = implicit;
+      out.max_incident_severity =
+          std::max(out.max_incident_severity, dc.weighted);
+      out.incidents.push_back(std::move(incident));
+    }
+  }
+  out.num_attributes_violated =
+      static_cast<int>(violated_attributes.size());
+  return out;
+}
+
+}  // namespace ppdb::violation

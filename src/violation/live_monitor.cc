@@ -1,0 +1,156 @@
+#include "violation/live_monitor.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ppdb::violation {
+
+Result<LivePopulationMonitor> LivePopulationMonitor::Create(
+    privacy::PrivacyConfig config,
+    ViolationDetector::Options detector_options) {
+  LivePopulationMonitor monitor(std::move(config), detector_options);
+  for (ProviderId provider : monitor.config_.preferences.ProviderIds()) {
+    PPDB_RETURN_NOT_OK(monitor.Refresh(provider));
+  }
+  return monitor;
+}
+
+LivePopulationMonitor::LivePopulationMonitor(
+    privacy::PrivacyConfig config, ViolationDetector::Options detector_options)
+    : config_(std::move(config)), detector_options_(detector_options) {}
+
+void LivePopulationMonitor::Retract(const State& state) {
+  if (state.violation.violated) --num_violated_;
+  if (state.defaulted) --num_defaulted_;
+  total_severity_ -= state.violation.total_severity;
+}
+
+void LivePopulationMonitor::Apply(const State& state) {
+  if (state.violation.violated) ++num_violated_;
+  if (state.defaulted) ++num_defaulted_;
+  total_severity_ += state.violation.total_severity;
+}
+
+Status LivePopulationMonitor::Refresh(ProviderId provider) {
+  ViolationDetector detector(&config_, detector_options_);
+  PPDB_ASSIGN_OR_RETURN(ProviderViolation pv,
+                        detector.AnalyzeProvider(provider));
+  State state;
+  state.defaulted = pv.total_severity > config_.ThresholdFor(provider);
+  state.violation = std::move(pv);
+
+  auto it = states_.find(provider);
+  if (it != states_.end()) Retract(it->second);
+  Apply(state);
+  states_[provider] = std::move(state);
+  return Status::OK();
+}
+
+Status LivePopulationMonitor::AddProvider(ProviderId provider,
+                                          double threshold) {
+  if (states_.contains(provider)) {
+    return Status::AlreadyExists("provider " + std::to_string(provider) +
+                                 " is already monitored");
+  }
+  config_.preferences.ForProvider(provider);  // Creates the empty entry.
+  config_.thresholds[provider] = threshold;
+  return Refresh(provider);
+}
+
+Status LivePopulationMonitor::RemoveProvider(ProviderId provider) {
+  auto it = states_.find(provider);
+  if (it == states_.end()) {
+    return Status::NotFound("provider " + std::to_string(provider) +
+                            " is not monitored");
+  }
+  Retract(it->second);
+  states_.erase(it);
+  if (config_.preferences.Contains(provider)) {
+    PPDB_RETURN_NOT_OK(config_.preferences.Erase(provider));
+  }
+  config_.thresholds.erase(provider);
+  return Status::OK();
+}
+
+Status LivePopulationMonitor::SetPreference(
+    ProviderId provider, std::string_view attribute,
+    const privacy::PrivacyTuple& tuple) {
+  PPDB_RETURN_NOT_OK(tuple.ValidateAgainst(config_.scales));
+  config_.preferences.ForProvider(provider).Set(attribute, tuple);
+  return Refresh(provider);
+}
+
+Status LivePopulationMonitor::RemovePreference(ProviderId provider,
+                                               std::string_view attribute,
+                                               privacy::PurposeId purpose) {
+  if (!config_.preferences.Contains(provider)) {
+    return Status::NotFound("provider " + std::to_string(provider) +
+                            " is not monitored");
+  }
+  PPDB_RETURN_NOT_OK(
+      config_.preferences.ForProvider(provider).Remove(attribute, purpose));
+  return Refresh(provider);
+}
+
+Status LivePopulationMonitor::SetThreshold(ProviderId provider,
+                                           double threshold) {
+  auto it = states_.find(provider);
+  if (it == states_.end()) {
+    return Status::NotFound("provider " + std::to_string(provider) +
+                            " is not monitored");
+  }
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("threshold must be non-negative");
+  }
+  config_.thresholds[provider] = threshold;
+  // Severity is unchanged; only the default bit can flip.
+  bool defaulted = it->second.violation.total_severity > threshold;
+  if (defaulted != it->second.defaulted) {
+    num_defaulted_ += defaulted ? 1 : -1;
+    it->second.defaulted = defaulted;
+  }
+  return Status::OK();
+}
+
+Status LivePopulationMonitor::SetPolicy(privacy::HousePolicy policy) {
+  PPDB_RETURN_NOT_OK(policy.ValidateAgainst(config_.scales));
+  config_.policy = std::move(policy);
+  for (auto& [provider, state] : states_) {
+    (void)state;
+    PPDB_RETURN_NOT_OK(Refresh(provider));
+  }
+  return Status::OK();
+}
+
+Result<ProviderViolation> LivePopulationMonitor::ForProvider(
+    ProviderId provider) const {
+  auto it = states_.find(provider);
+  if (it == states_.end()) {
+    return Status::NotFound("provider " + std::to_string(provider) +
+                            " is not monitored");
+  }
+  return it->second.violation;
+}
+
+Result<bool> LivePopulationMonitor::IsDefaulted(ProviderId provider) const {
+  auto it = states_.find(provider);
+  if (it == states_.end()) {
+    return Status::NotFound("provider " + std::to_string(provider) +
+                            " is not monitored");
+  }
+  return it->second.defaulted;
+}
+
+ViolationReport LivePopulationMonitor::Snapshot() const {
+  ViolationReport report;
+  report.providers.reserve(states_.size());
+  for (const auto& [provider, state] : states_) {
+    report.providers.push_back(state.violation);
+    if (state.violation.violated) ++report.num_violated;
+    report.total_severity += state.violation.total_severity;
+  }
+  return report;
+}
+
+}  // namespace ppdb::violation

@@ -1,0 +1,127 @@
+#ifndef PPDB_VIOLATION_LIVE_MONITOR_H_
+#define PPDB_VIOLATION_LIVE_MONITOR_H_
+
+#include <map>
+#include <string_view>
+
+#include "common/result.h"
+#include "privacy/config.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+
+namespace ppdb::violation {
+
+/// Incrementally maintained violation state for a live population.
+///
+/// §2 wants providers to "continuously monitor the state of their
+/// privacy"; recomputing Def. 1 over everyone on every event is O(N·|HP|).
+/// The live monitor keeps per-provider results and the P(W)/P(Default)
+/// aggregates up to date in O(|HP|) per provider event (joins, departures,
+/// preference or threshold edits) and O(N·|HP|) only on policy changes,
+/// which affect everyone by definition.
+///
+/// Usage:
+///
+///   LivePopulationMonitor monitor(std::move(config));
+///   monitor.SetPreference(42, "weight", tuple);
+///   double pw = monitor.ProbabilityOfViolation();   // O(1)
+class LivePopulationMonitor {
+ public:
+  /// Takes ownership of the config and computes the initial state for
+  /// every provider in its preference store.
+  static Result<LivePopulationMonitor> Create(
+      privacy::PrivacyConfig config,
+      ViolationDetector::Options detector_options = {});
+
+  LivePopulationMonitor(LivePopulationMonitor&&) noexcept = default;
+  LivePopulationMonitor& operator=(LivePopulationMonitor&&) noexcept =
+      default;
+
+  // --- events ---------------------------------------------------------
+
+  /// Registers a provider (with no stated preferences yet). Errors when
+  /// already present.
+  Status AddProvider(ProviderId provider, double threshold);
+
+  /// Removes a provider entirely (preferences, threshold, results).
+  Status RemoveProvider(ProviderId provider);
+
+  /// Upserts one preference tuple and refreshes that provider.
+  Status SetPreference(ProviderId provider, std::string_view attribute,
+                       const privacy::PrivacyTuple& tuple);
+
+  /// Removes one stated preference and refreshes that provider.
+  Status RemovePreference(ProviderId provider, std::string_view attribute,
+                          privacy::PurposeId purpose);
+
+  /// Updates a provider's default threshold v_i and refreshes the default
+  /// bit.
+  Status SetThreshold(ProviderId provider, double threshold);
+
+  /// Replaces the house policy; refreshes every provider.
+  Status SetPolicy(privacy::HousePolicy policy);
+
+  // --- queries (O(1) unless noted) --------------------------------------
+
+  int64_t num_providers() const {
+    return static_cast<int64_t>(states_.size());
+  }
+  int64_t num_violated() const { return num_violated_; }
+  int64_t num_defaulted() const { return num_defaulted_; }
+
+  /// Violations (Eq. 16) over the current population.
+  double TotalViolations() const { return total_severity_; }
+
+  /// Census P(W); 0 when empty.
+  double ProbabilityOfViolation() const {
+    return states_.empty() ? 0.0
+                           : static_cast<double>(num_violated_) /
+                                 static_cast<double>(states_.size());
+  }
+
+  /// Census P(Default); 0 when empty.
+  double ProbabilityOfDefault() const {
+    return states_.empty() ? 0.0
+                           : static_cast<double>(num_defaulted_) /
+                                 static_cast<double>(states_.size());
+  }
+
+  /// Current per-provider result; kNotFound when absent. O(log N).
+  Result<ProviderViolation> ForProvider(ProviderId provider) const;
+
+  /// True iff the provider currently exceeds their threshold.
+  Result<bool> IsDefaulted(ProviderId provider) const;
+
+  /// The monitored configuration (read-only; mutate via the event API so
+  /// the caches stay consistent).
+  const privacy::PrivacyConfig& config() const { return config_; }
+
+  /// Materializes a full ViolationReport equivalent to running the batch
+  /// detector now. O(N).
+  ViolationReport Snapshot() const;
+
+ private:
+  LivePopulationMonitor(privacy::PrivacyConfig config,
+                        ViolationDetector::Options detector_options);
+
+  struct State {
+    ProviderViolation violation;
+    bool defaulted = false;
+  };
+
+  /// Recomputes one provider and patches the aggregates.
+  Status Refresh(ProviderId provider);
+  void Retract(const State& state);
+  void Apply(const State& state);
+
+  privacy::PrivacyConfig config_;
+  ViolationDetector::Options detector_options_;
+  std::map<ProviderId, State> states_;
+  int64_t num_violated_ = 0;
+  int64_t num_defaulted_ = 0;
+  double total_severity_ = 0.0;
+};
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_LIVE_MONITOR_H_

@@ -1,0 +1,160 @@
+#include "violation/policy_search.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+#include "violation/utility.h"
+
+namespace ppdb::violation {
+
+DataValueModel MakeLinearExposureValue(double scale) {
+  return [scale](const privacy::HousePolicy& policy,
+                 const privacy::PrivacyConfig& config) {
+    double value = 0.0;
+    for (const privacy::PolicyTuple& pt : policy.tuples()) {
+      double attr_sens = config.sensitivities.AttributeSensitivity(
+          pt.attribute, pt.tuple.purpose);
+      double exposure = 0.0;
+      for (privacy::Dimension dim : privacy::kOrderedDimensions) {
+        const privacy::OrderedScale& dim_scale =
+            *config.scales.ForDimension(dim).value();
+        int level = pt.tuple.Level(dim).value();
+        if (dim_scale.max_level() > 0) {
+          exposure += static_cast<double>(level) /
+                      static_cast<double>(dim_scale.max_level());
+        }
+      }
+      value += attr_sens * exposure / 3.0;
+    }
+    return scale * value;
+  };
+}
+
+namespace {
+
+/// Evaluates total house utility at `policy` against the fixed population:
+/// N_remaining × (U + T), T relative to `baseline_value`.
+struct Evaluation {
+  double utility = 0.0;
+  int64_t n_remaining = 0;
+};
+
+Result<Evaluation> Evaluate(const privacy::PrivacyConfig& base_config,
+                            const privacy::HousePolicy& policy,
+                            const SearchOptions& options,
+                            double baseline_value) {
+  ViolationDetector::Options detector_options = options.detector_options;
+  detector_options.policy_override = &policy;
+  ViolationDetector detector(&base_config, detector_options);
+  PPDB_ASSIGN_OR_RETURN(ViolationReport report, detector.Analyze());
+  DefaultReport defaults = ComputeDefaults(report, base_config);
+  Evaluation out;
+  out.n_remaining =
+      UtilityModel::FutureProviders(report.num_providers(), defaults);
+  double extra = options.value_model(policy, base_config) - baseline_value;
+  out.utility = static_cast<double>(out.n_remaining) *
+                (options.utility_per_provider + extra);
+  return out;
+}
+
+}  // namespace
+
+Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
+                                        const SearchOptions& options) {
+  if (!(options.utility_per_provider > 0.0)) {
+    return Status::InvalidArgument("utility per provider must be positive");
+  }
+  if (!options.value_model) {
+    return Status::InvalidArgument("a value model is required");
+  }
+  if (config.policy.empty()) {
+    return Status::FailedPrecondition(
+        "policy search needs a non-empty starting policy");
+  }
+
+  const double baseline_value = options.value_model(config.policy, config);
+
+  SearchResult result;
+  result.best_policy = config.policy;
+  PPDB_ASSIGN_OR_RETURN(
+      Evaluation current,
+      Evaluate(config, result.best_policy, options, baseline_value));
+  result.baseline_utility = current.utility;
+  result.best_utility = current.utility;
+
+  std::vector<int> deltas = {1};
+  if (options.allow_narrowing) deltas.push_back(-1);
+  const std::vector<std::string> attributes = config.policy.Attributes();
+
+  for (int step = 0; step < options.max_steps; ++step) {
+    double best_gain = 0.0;
+    privacy::HousePolicy best_candidate;
+    SearchStep best_move;
+    bool found = false;
+
+    for (const std::string& attribute : attributes) {
+      for (privacy::Dimension dim : privacy::kOrderedDimensions) {
+        for (int delta : deltas) {
+          Result<privacy::HousePolicy> candidate =
+              result.best_policy.WidenedForAttribute(attribute, dim, delta,
+                                                     config.scales);
+          if (!candidate.ok()) continue;
+          // Clamped no-ops re-evaluate to the same policy; skip them.
+          if (candidate.value().tuples() == result.best_policy.tuples()) {
+            continue;
+          }
+          PPDB_ASSIGN_OR_RETURN(
+              Evaluation eval,
+              Evaluate(config, candidate.value(), options, baseline_value));
+          double gain = eval.utility - result.best_utility;
+          if (gain > best_gain + 1e-12) {
+            best_gain = gain;
+            best_candidate = std::move(candidate).value();
+            best_move = SearchStep{dim, attribute, delta, eval.utility,
+                                   eval.n_remaining};
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;  // Local optimum.
+    result.best_policy = std::move(best_candidate);
+    result.best_utility = best_move.utility;
+    result.trajectory.push_back(std::move(best_move));
+  }
+  return result;
+}
+
+Result<PrefixResult> BestExpansionPrefix(
+    const privacy::PrivacyConfig& config,
+    const std::vector<ExpansionStep>& schedule, double utility_per_provider,
+    const std::function<double(int)>& extra_utility_at) {
+  if (!(utility_per_provider > 0.0)) {
+    return Status::InvalidArgument("utility per provider must be positive");
+  }
+  if (!extra_utility_at) {
+    return Status::InvalidArgument("an extra-utility schedule is required");
+  }
+  WhatIfAnalyzer::Options options;
+  options.utility_per_provider = utility_per_provider;
+  WhatIfAnalyzer analyzer(&config, options);
+  PPDB_ASSIGN_OR_RETURN(std::vector<ExpansionPoint> points,
+                        analyzer.RunSchedule(schedule));
+  PrefixResult out;
+  out.best_utility = -1.0;
+  for (const ExpansionPoint& point : points) {
+    double utility =
+        static_cast<double>(point.n_remaining) *
+        (utility_per_provider + extra_utility_at(point.step_index));
+    out.utilities.push_back(utility);
+    if (utility > out.best_utility) {
+      out.best_utility = utility;
+      out.best_prefix = point.step_index;
+    }
+  }
+  return out;
+}
+
+}  // namespace ppdb::violation

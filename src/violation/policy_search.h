@@ -1,0 +1,100 @@
+#ifndef PPDB_VIOLATION_POLICY_SEARCH_H_
+#define PPDB_VIOLATION_POLICY_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "privacy/config.h"
+#include "violation/what_if.h"
+
+namespace ppdb::violation {
+
+/// Per-provider market value of the data a policy exposes. The §9 algebra
+/// treats the extra utility T as given; a DataValueModel is where it comes
+/// from: T(policy) = model(policy) − model(baseline policy).
+using DataValueModel = std::function<double(
+    const privacy::HousePolicy& policy, const privacy::PrivacyConfig&)>;
+
+/// A simple, monotone value model: each policy tuple contributes its
+/// attribute sensitivity Σ^a times its normalized exposure
+/// (level / max_level averaged over the three ordered dimensions), scaled
+/// by `scale`. More exposed data for more purposes ⇒ more salable value —
+/// the §9 premise that "information provided to the house ... defines a
+/// revenue stream in terms of its value to third-parties".
+DataValueModel MakeLinearExposureValue(double scale);
+
+/// One accepted move of the greedy search.
+struct SearchStep {
+  privacy::Dimension dimension = privacy::Dimension::kVisibility;
+  std::string attribute;
+  /// +1 widened, −1 narrowed.
+  int delta = 0;
+  /// Total house utility after the move.
+  double utility = 0.0;
+  int64_t n_remaining = 0;
+};
+
+/// Outcome of a policy search.
+struct SearchResult {
+  privacy::HousePolicy best_policy;
+  /// N_remaining × (U + T) at the best policy.
+  double best_utility = 0.0;
+  /// Utility of the unmodified policy, for comparison.
+  double baseline_utility = 0.0;
+  /// Accepted moves, in order.
+  std::vector<SearchStep> trajectory;
+};
+
+/// Options for `GreedyPolicySearch`.
+struct SearchOptions {
+  /// U in Eq. 25; must be positive.
+  double utility_per_provider = 1.0;
+  /// The value model supplying T; required.
+  DataValueModel value_model;
+  /// Upper bound on accepted moves (a safety stop, not a tuning knob).
+  int max_steps = 64;
+  /// When true the search may also narrow the policy (delta −1) — it can
+  /// then *recover* defaulted providers and find an interior optimum even
+  /// from an over-wide starting policy.
+  bool allow_narrowing = true;
+  /// Forwarded to the violation detector.
+  ViolationDetector::Options detector_options;
+};
+
+/// Greedy hill-climb over single-level policy moves.
+///
+/// At each iteration every (attribute, dimension, ±1) move is evaluated
+/// against the full population — defaults recomputed per Defs. 4–5, utility
+/// as N_remaining × (U + T) with T from the value model — and the best
+/// strictly-improving move is accepted; the search stops at a local
+/// optimum. This mechanizes the paper's closing observation that weakening
+/// the §9 assumptions "leads naturally to a game theoretic setting": the
+/// result is the house's best response to a fixed provider population.
+///
+/// The population (preferences, sensitivities, thresholds) is held fixed;
+/// `config` is not modified.
+Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
+                                        const SearchOptions& options);
+
+/// Exhaustively evaluates every prefix of `schedule` (the E3 sweep) and
+/// returns the utility-maximizing stopping point.
+struct PrefixResult {
+  /// Index (0 = baseline) of the best prefix.
+  int best_prefix = 0;
+  double best_utility = 0.0;
+  /// Utility at every prefix, 0..schedule.size().
+  std::vector<double> utilities;
+};
+
+/// `extra_utility_at(k)` supplies T after k steps (the §9 T, as a function
+/// of how far the policy has widened).
+Result<PrefixResult> BestExpansionPrefix(
+    const privacy::PrivacyConfig& config,
+    const std::vector<ExpansionStep>& schedule, double utility_per_provider,
+    const std::function<double(int)>& extra_utility_at);
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_POLICY_SEARCH_H_

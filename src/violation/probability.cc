@@ -1,0 +1,80 @@
+#include "violation/probability.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace ppdb::violation {
+
+namespace {
+
+/// Runs τ trials of "draw index uniformly, test event[index]".
+Result<TrialEstimate> RunTrials(const std::vector<bool>& event, double census,
+                                int64_t trials, Rng& rng) {
+  if (trials <= 0) {
+    return Status::InvalidArgument("trial count must be positive");
+  }
+  if (event.empty()) {
+    return Status::FailedPrecondition(
+        "cannot run trials over an empty population");
+  }
+  TrialEstimate out;
+  out.trials = trials;
+  out.census = census;
+  for (int64_t t = 0; t < trials; ++t) {
+    size_t pick = static_cast<size_t>(rng.NextBounded(event.size()));
+    if (event[pick]) ++out.hits;
+  }
+  out.estimate =
+      static_cast<double>(out.hits) / static_cast<double>(out.trials);
+  PPDB_ASSIGN_OR_RETURN(out.ci95,
+                        stats::WilsonInterval(out.hits, out.trials, 0.95));
+  return out;
+}
+
+}  // namespace
+
+Result<TrialEstimate> EstimateViolationProbability(
+    const ViolationReport& report, int64_t trials, Rng& rng) {
+  std::vector<bool> event;
+  event.reserve(report.providers.size());
+  for (const ProviderViolation& pv : report.providers) {
+    event.push_back(pv.violated);
+  }
+  return RunTrials(event, report.ProbabilityOfViolation(), trials, rng);
+}
+
+Result<TrialEstimate> EstimateDefaultProbability(const DefaultReport& report,
+                                                 int64_t trials, Rng& rng) {
+  std::vector<bool> event;
+  event.reserve(report.providers.size());
+  for (const ProviderDefault& pd : report.providers) {
+    event.push_back(pd.defaulted);
+  }
+  return RunTrials(event, report.ProbabilityOfDefault(), trials, rng);
+}
+
+Result<AlphaCertification> CertifyAlphaPpdb(const ViolationReport& report,
+                                            double alpha, double confidence) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  if (report.providers.empty()) {
+    return Status::FailedPrecondition(
+        "cannot certify an empty population");
+  }
+  AlphaCertification out;
+  out.alpha = alpha;
+  out.num_providers = report.num_providers();
+  out.num_violated = report.num_violated;
+  out.p_violation = report.ProbabilityOfViolation();
+  out.certified = out.p_violation <= alpha;
+  PPDB_ASSIGN_OR_RETURN(
+      out.interval,
+      stats::WilsonInterval(report.num_violated, report.num_providers(),
+                            confidence));
+  out.certified_with_margin = out.interval.hi <= alpha;
+  return out;
+}
+
+}  // namespace ppdb::violation

@@ -1,0 +1,70 @@
+#ifndef PPDB_VIOLATION_PROBABILITY_H_
+#define PPDB_VIOLATION_PROBABILITY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "stats/confidence.h"
+#include "violation/default_model.h"
+#include "violation/report.h"
+
+namespace ppdb::violation {
+
+/// The outcome of a trial-based relative-frequency estimation (Def. 2 / 5):
+/// τ trials of "select a provider uniformly at random (with replacement)
+/// and test the event", yielding τ(A)/τ → P(A).
+struct TrialEstimate {
+  int64_t trials = 0;
+  /// τ(A): trials in which the event occurred.
+  int64_t hits = 0;
+  /// τ(A)/τ.
+  double estimate = 0.0;
+  /// Wilson 95% confidence interval for the estimate.
+  stats::ConfidenceInterval ci95;
+  /// The exact census value the estimate approximates (Σ_i a_i / N);
+  /// reported so convergence is measurable.
+  double census = 0.0;
+  /// |estimate − census|.
+  double AbsoluteError() const {
+    double err = estimate - census;
+    return err < 0 ? -err : err;
+  }
+};
+
+/// Estimates P(W) (Def. 2) by τ random trials over the report's providers.
+/// Errors when `trials` <= 0 or the report is empty.
+Result<TrialEstimate> EstimateViolationProbability(
+    const ViolationReport& report, int64_t trials, Rng& rng);
+
+/// Estimates P(Default) (Def. 5) by τ random trials.
+Result<TrialEstimate> EstimateDefaultProbability(const DefaultReport& report,
+                                                 int64_t trials, Rng& rng);
+
+/// α-PPDB certification (Def. 3): whether P(W) ≤ α, with supporting data.
+struct AlphaCertification {
+  double alpha = 0.0;
+  /// Census P(W).
+  double p_violation = 0.0;
+  /// Def. 3 verdict: p_violation <= alpha.
+  bool certified = false;
+  int64_t num_providers = 0;
+  int64_t num_violated = 0;
+  /// Wilson interval on P(W) at `confidence`, treating the census as a
+  /// binomial sample of the provider population — the margin a future
+  /// provider joining the database would face.
+  stats::ConfidenceInterval interval;
+  /// True when the entire interval lies at or below alpha (a conservative
+  /// certification robust to population churn).
+  bool certified_with_margin = false;
+};
+
+/// Certifies `report` against threshold `alpha` (Def. 3). Errors when alpha
+/// is outside [0, 1] or the report is empty.
+Result<AlphaCertification> CertifyAlphaPpdb(const ViolationReport& report,
+                                            double alpha,
+                                            double confidence = 0.95);
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_PROBABILITY_H_

@@ -1,0 +1,44 @@
+#include "violation/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ppdb::violation {
+
+const ProviderViolation* ViolationReport::Find(ProviderId provider) const {
+  auto it = std::lower_bound(providers.begin(), providers.end(), provider,
+                             [](const ProviderViolation& pv, ProviderId id) {
+                               return pv.provider < id;
+                             });
+  if (it == providers.end() || it->provider != provider) return nullptr;
+  return &*it;
+}
+
+std::string ViolationReport::ToString(int64_t max_providers) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ViolationReport: N=%lld, violated=%lld, P(W)=%.4f, "
+                "Violations=%.3f\n",
+                static_cast<long long>(num_providers()),
+                static_cast<long long>(num_violated),
+                ProbabilityOfViolation(), total_severity);
+  std::string out = buf;
+  int64_t shown = 0;
+  for (const ProviderViolation& pv : providers) {
+    if (!pv.violated) continue;
+    if (shown++ >= max_providers) {
+      out += "  ...\n";
+      break;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  provider %lld: Violation_i=%.3f, incidents=%zu, "
+                  "attributes=%d, max_incident=%.3f\n",
+                  static_cast<long long>(pv.provider), pv.total_severity,
+                  pv.incidents.size(), pv.num_attributes_violated,
+                  pv.max_incident_severity);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ppdb::violation

@@ -1,0 +1,82 @@
+#ifndef PPDB_VIOLATION_REPORT_H_
+#define PPDB_VIOLATION_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "privacy/dimension.h"
+#include "privacy/provider_prefs.h"
+#include "privacy/purpose.h"
+
+namespace ppdb::violation {
+
+using privacy::ProviderId;
+
+/// One concrete exceedance: for (provider, attribute, purpose), the house
+/// policy level on `dimension` strictly exceeds the provider's (stated or
+/// implicit) preference level. These are the per-dimension events behind
+/// Fig. 1(b)/(c).
+struct ViolationIncident {
+  ProviderId provider = 0;
+  std::string attribute;
+  privacy::PurposeId purpose = 0;
+  privacy::Dimension dimension = privacy::Dimension::kVisibility;
+  int preference_level = 0;
+  int policy_level = 0;
+  /// policy_level − preference_level (> 0 by construction).
+  int diff = 0;
+  /// diff × Σ^a × s_i^a × s_i^a[dim] — this incident's share of Eq. 14.
+  double weighted_severity = 0.0;
+  /// True when the preference side is the implicit <a, pr, 0, 0, 0> tuple
+  /// substituted by Def. 1 for an unstated purpose.
+  bool from_implicit_preference = false;
+};
+
+/// The complete violation assessment for one data provider.
+struct ProviderViolation {
+  ProviderId provider = 0;
+  /// w_i of Def. 1: 1 iff some incident exists.
+  bool violated = false;
+  /// Violation_i of Eq. 15: the sum of conf over all (pref, policy) pairs.
+  double total_severity = 0.0;
+  /// Every exceedance, in (policy tuple, dimension) order.
+  std::vector<ViolationIncident> incidents;
+  /// Breadth (§7): number of distinct attributes with incidents.
+  int num_attributes_violated = 0;
+  /// Depth (§7): the largest single-incident weighted severity.
+  double max_incident_severity = 0.0;
+};
+
+/// The violation assessment of a whole database: one entry per analyzed
+/// provider, plus the aggregates of Eq. 8 and Eq. 16.
+struct ViolationReport {
+  /// Per-provider results in ascending provider order.
+  std::vector<ProviderViolation> providers;
+  /// Violations (Eq. 16): Σ_i Violation_i.
+  double total_severity = 0.0;
+  /// Number of providers with w_i = 1.
+  int64_t num_violated = 0;
+
+  int64_t num_providers() const {
+    return static_cast<int64_t>(providers.size());
+  }
+
+  /// P(W) (Def. 2) computed as an exact census: Σ_i w_i / N.
+  /// Returns 0 for an empty population.
+  double ProbabilityOfViolation() const {
+    return providers.empty() ? 0.0
+                             : static_cast<double>(num_violated) /
+                                   static_cast<double>(providers.size());
+  }
+
+  /// The entry for `provider`, or nullptr when it was not analyzed.
+  const ProviderViolation* Find(ProviderId provider) const;
+
+  /// Renders a human-readable summary (one line per violated provider).
+  std::string ToString(int64_t max_providers = 20) const;
+};
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_REPORT_H_

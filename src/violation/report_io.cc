@@ -1,0 +1,126 @@
+#include "violation/report_io.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace ppdb::violation {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ViolationReportToCsv(const ViolationReport& report) {
+  std::string out =
+      "provider_id,violated,total_severity,num_incidents,"
+      "num_attributes_violated,max_incident_severity\n";
+  for (const ProviderViolation& pv : report.providers) {
+    out += std::to_string(pv.provider);
+    out += pv.violated ? ",1," : ",0,";
+    out += FormatDouble(pv.total_severity);
+    out += ',' + std::to_string(pv.incidents.size());
+    out += ',' + std::to_string(pv.num_attributes_violated);
+    out += ',' + FormatDouble(pv.max_incident_severity);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string IncidentsToCsv(const ViolationReport& report,
+                           const privacy::PurposeRegistry& purposes) {
+  std::string out =
+      "provider_id,attribute,purpose,dimension,preference_level,"
+      "policy_level,diff,weighted_severity,implicit_preference\n";
+  for (const ProviderViolation& pv : report.providers) {
+    for (const ViolationIncident& incident : pv.incidents) {
+      Result<std::string> purpose_name = purposes.NameOf(incident.purpose);
+      out += std::to_string(incident.provider);
+      out += ',' + CsvEscape(incident.attribute);
+      out += ',' +
+             CsvEscape(purpose_name.ok()
+                           ? purpose_name.value()
+                           : "purpose#" + std::to_string(incident.purpose));
+      out += ',';
+      out += privacy::DimensionName(incident.dimension);
+      out += ',' + std::to_string(incident.preference_level);
+      out += ',' + std::to_string(incident.policy_level);
+      out += ',' + std::to_string(incident.diff);
+      out += ',' + FormatDouble(incident.weighted_severity);
+      out += incident.from_implicit_preference ? ",1\n" : ",0\n";
+    }
+  }
+  return out;
+}
+
+std::string DefaultReportToCsv(const DefaultReport& report) {
+  std::string out = "provider_id,violation,threshold,defaulted\n";
+  for (const ProviderDefault& pd : report.providers) {
+    out += std::to_string(pd.provider);
+    out += ',' + FormatDouble(pd.violation);
+    out += ',' + FormatDouble(pd.threshold);
+    out += pd.defaulted ? ",1\n" : ",0\n";
+  }
+  return out;
+}
+
+Result<std::string> TransparencyStatement(
+    const ViolationReport& report, privacy::ProviderId provider,
+    const privacy::PrivacyConfig& config) {
+  const ProviderViolation* pv = report.Find(provider);
+  if (pv == nullptr) {
+    return Status::NotFound("provider " + std::to_string(provider) +
+                            " is not in this report");
+  }
+  std::string out = "Privacy statement for provider " +
+                    std::to_string(provider) + "\n";
+  if (!pv->violated) {
+    out += "The house's stated policy stays within all of your recorded "
+           "privacy preferences. No violations.\n";
+    return out;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "The stated policy exceeds your preferences in %zu way(s) "
+                "across %d attribute(s); total severity %.2f.\n\n",
+                pv->incidents.size(), pv->num_attributes_violated,
+                pv->total_severity);
+  out += buf;
+
+  auto level_name = [&](privacy::Dimension dim, int level) -> std::string {
+    Result<const privacy::OrderedScale*> scale =
+        config.scales.ForDimension(dim);
+    if (scale.ok()) {
+      Result<std::string> name = scale.value()->NameOf(level);
+      if (name.ok()) return name.value();
+    }
+    return "level " + std::to_string(level);
+  };
+
+  for (const ViolationIncident& incident : pv->incidents) {
+    Result<std::string> purpose_name =
+        config.purposes.NameOf(incident.purpose);
+    out += "- Your '" + incident.attribute + "' data, used for purpose '" +
+           (purpose_name.ok() ? purpose_name.value() : "unknown") + "': ";
+    out += std::string(privacy::DimensionName(incident.dimension)) + " is '" +
+           level_name(incident.dimension, incident.policy_level) + "'";
+    if (incident.from_implicit_preference) {
+      out += ", but you have stated no preference for this purpose (so the "
+             "model assumes you allow nothing)";
+    } else {
+      out += ", beyond your preferred '" +
+             level_name(incident.dimension, incident.preference_level) + "'";
+    }
+    std::snprintf(buf, sizeof(buf), " [severity %.2f]\n",
+                  incident.weighted_severity);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ppdb::violation

@@ -1,0 +1,41 @@
+#ifndef PPDB_VIOLATION_REPORT_IO_H_
+#define PPDB_VIOLATION_REPORT_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "privacy/config.h"
+#include "violation/default_model.h"
+#include "violation/report.h"
+
+namespace ppdb::violation {
+
+/// Serializes the per-provider summary of a violation report as CSV:
+/// provider_id, violated, total_severity, num_incidents,
+/// num_attributes_violated, max_incident_severity.
+std::string ViolationReportToCsv(const ViolationReport& report);
+
+/// Serializes every incident as CSV: provider_id, attribute, purpose,
+/// dimension, preference_level, policy_level, diff, weighted_severity,
+/// implicit_preference. Purpose ids resolve to names via `purposes`.
+std::string IncidentsToCsv(const ViolationReport& report,
+                           const privacy::PurposeRegistry& purposes);
+
+/// Serializes a default report as CSV: provider_id, violation, threshold,
+/// defaulted.
+std::string DefaultReportToCsv(const DefaultReport& report);
+
+/// Renders the transparency statement for one provider: a plain-language
+/// account of every way the house's stated policy exceeds their
+/// preferences, with level names resolved against the scales — the §2
+/// goal of making "the privacy practices of the house transparent enough
+/// that data providers can identify the areas where alignment has not
+/// been achieved". Errors with kNotFound when the provider is not in the
+/// report.
+Result<std::string> TransparencyStatement(const ViolationReport& report,
+                                          privacy::ProviderId provider,
+                                          const privacy::PrivacyConfig& config);
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_REPORT_IO_H_

@@ -1,0 +1,49 @@
+#include "violation/utility.h"
+
+namespace ppdb::violation {
+
+Result<UtilityModel> UtilityModel::Create(double utility_per_provider) {
+  if (!(utility_per_provider > 0.0)) {
+    return Status::InvalidArgument(
+        "utility per provider must be positive (Eq. 30 divides by U)");
+  }
+  return UtilityModel(utility_per_provider);
+}
+
+double UtilityModel::CurrentUtility(int64_t n_current) const {
+  return static_cast<double>(n_current) * utility_per_provider_;
+}
+
+int64_t UtilityModel::FutureProviders(int64_t n_current,
+                                      const DefaultReport& defaults) {
+  return n_current - defaults.num_defaulted;
+}
+
+double UtilityModel::FutureUtility(int64_t n_future,
+                                   double extra_utility) const {
+  return static_cast<double>(n_future) *
+         (utility_per_provider_ + extra_utility);
+}
+
+bool UtilityModel::ExpansionJustified(int64_t n_current, int64_t n_future,
+                                      double extra_utility) const {
+  return FutureUtility(n_future, extra_utility) > CurrentUtility(n_current);
+}
+
+Result<double> UtilityModel::BreakEvenExtraUtility(int64_t n_current,
+                                                   int64_t n_future) const {
+  if (n_future <= 0) {
+    return Status::FailedPrecondition(
+        "no finite extra utility compensates for losing every provider");
+  }
+  if (n_future > n_current) {
+    return Status::InvalidArgument(
+        "n_future cannot exceed n_current: defaults only remove providers");
+  }
+  // Eq. 31: T > U (N_current / N_future − 1).
+  return utility_per_provider_ *
+         (static_cast<double>(n_current) / static_cast<double>(n_future) -
+          1.0);
+}
+
+}  // namespace ppdb::violation

@@ -1,0 +1,59 @@
+#ifndef PPDB_VIOLATION_UTILITY_H_
+#define PPDB_VIOLATION_UTILITY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "violation/default_model.h"
+
+namespace ppdb::violation {
+
+/// The §9 utility model: what a house gains or loses by expanding its
+/// privacy policy, under the paper's simplifying assumptions (per-provider
+/// utilities, free provider choice, no incentives).
+///
+/// All functions are pure; the what-if analyzer threads them over expansion
+/// schedules.
+class UtilityModel {
+ public:
+  /// Creates a model with utility-per-provider U. U must be positive: the
+  /// §9 algebra divides by it.
+  static Result<UtilityModel> Create(double utility_per_provider);
+
+  /// U.
+  double utility_per_provider() const { return utility_per_provider_; }
+
+  /// Utility_current = N_current × U (Eq. 25).
+  double CurrentUtility(int64_t n_current) const;
+
+  /// N_future = N_current − Σ_i default_i (Eq. 26).
+  static int64_t FutureProviders(int64_t n_current,
+                                 const DefaultReport& defaults);
+
+  /// Utility_future = N_future × (U + T) (Eq. 27), where T is the extra
+  /// utility per provider the expansion yields.
+  double FutureUtility(int64_t n_future, double extra_utility) const;
+
+  /// Whether the expansion is justified: Utility_future > Utility_current
+  /// (Eq. 28–29).
+  bool ExpansionJustified(int64_t n_current, int64_t n_future,
+                          double extra_utility) const;
+
+  /// The break-even extra utility per provider (Eq. 31):
+  /// T > U × (N_current / N_future − 1).
+  /// Errors when n_future is zero (every provider defaulted: no finite T
+  /// recovers the loss) or when n_future > n_current (defaults cannot add
+  /// providers).
+  Result<double> BreakEvenExtraUtility(int64_t n_current,
+                                       int64_t n_future) const;
+
+ private:
+  explicit UtilityModel(double utility_per_provider)
+      : utility_per_provider_(utility_per_provider) {}
+
+  double utility_per_provider_;
+};
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_UTILITY_H_

@@ -1,0 +1,90 @@
+#include "violation/what_if.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+#include "violation/default_model.h"
+
+namespace ppdb::violation {
+
+WhatIfAnalyzer::WhatIfAnalyzer(const privacy::PrivacyConfig* config,
+                               Options options)
+    : config_(config), options_(options) {}
+
+std::vector<ExpansionStep> WhatIfAnalyzer::UniformSchedule(
+    privacy::Dimension dimension, int count) {
+  std::vector<ExpansionStep> steps;
+  steps.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    steps.push_back(ExpansionStep{dimension, 1, std::nullopt});
+  }
+  return steps;
+}
+
+Result<std::vector<ExpansionPoint>> WhatIfAnalyzer::RunSchedule(
+    const std::vector<ExpansionStep>& steps) const {
+  std::vector<ExpansionPoint> points;
+  points.reserve(steps.size() + 1);
+
+  privacy::HousePolicy policy = config_->policy;
+  PPDB_ASSIGN_OR_RETURN(ExpansionPoint baseline, Evaluate(0, policy));
+  points.push_back(std::move(baseline));
+
+  int index = 0;
+  for (const ExpansionStep& step : steps) {
+    ++index;
+    if (step.attribute.has_value()) {
+      PPDB_ASSIGN_OR_RETURN(
+          policy, policy.WidenedForAttribute(*step.attribute, step.dimension,
+                                             step.delta, config_->scales));
+    } else {
+      PPDB_ASSIGN_OR_RETURN(
+          policy, policy.Widened(step.dimension, step.delta,
+                                 config_->scales));
+    }
+    PPDB_ASSIGN_OR_RETURN(ExpansionPoint point, Evaluate(index, policy));
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Result<ExpansionPoint> WhatIfAnalyzer::Evaluate(
+    int step_index, privacy::HousePolicy policy) const {
+  // Evaluate the widened policy against the fixed population without
+  // copying the (potentially large) preference store: the detector's
+  // policy override reads `policy` in place of config's.
+  ViolationDetector::Options detector_options = options_.detector_options;
+  detector_options.policy_override = &policy;
+  ViolationDetector detector(config_, detector_options);
+  PPDB_ASSIGN_OR_RETURN(ViolationReport report, detector.Analyze());
+  DefaultReport defaults = ComputeDefaults(report, *config_);
+
+  PPDB_ASSIGN_OR_RETURN(
+      UtilityModel utility,
+      UtilityModel::Create(options_.utility_per_provider));
+
+  ExpansionPoint point;
+  point.step_index = step_index;
+  point.policy = std::move(policy);
+  point.p_violation = report.ProbabilityOfViolation();
+  point.p_default = defaults.ProbabilityOfDefault();
+  point.total_violations = report.total_severity;
+  int64_t n_current = report.num_providers();
+  point.num_defaulted = defaults.num_defaulted;
+  point.n_remaining = UtilityModel::FutureProviders(n_current, defaults);
+  point.utility_current = utility.CurrentUtility(n_current);
+  point.extra_utility =
+      options_.extra_utility_per_step * static_cast<double>(step_index);
+  point.utility_future =
+      utility.FutureUtility(point.n_remaining, point.extra_utility);
+  Result<double> break_even =
+      utility.BreakEvenExtraUtility(n_current, point.n_remaining);
+  point.break_even_extra_utility =
+      break_even.ok() ? break_even.value()
+                      : std::numeric_limits<double>::infinity();
+  point.justified = point.utility_future > point.utility_current;
+  return point;
+}
+
+}  // namespace ppdb::violation

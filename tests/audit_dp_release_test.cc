@@ -1,0 +1,128 @@
+#include "audit/dp_release.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+
+namespace ppdb::audit {
+namespace {
+
+using rel::AggOp;
+using rel::AggSpec;
+using rel::DataType;
+using rel::ResultSet;
+using rel::Row;
+using rel::Schema;
+using rel::Value;
+
+ResultSet MakeNumbers(int n) {
+  Schema schema = Schema::Create({{"x", DataType::kDouble, ""}}).value();
+  ResultSet rs{std::move(schema), {}};
+  for (int i = 1; i <= n; ++i) {
+    rs.rows.push_back(Row{i, {Value::Double(static_cast<double>(i))}});
+  }
+  return rs;
+}
+
+TEST(LaplaceTest, ZeroCenteredWithCorrectSpread) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0, abs_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextLaplace(2.0);
+    sum += v;
+    abs_sum += std::fabs(v);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // E|X| = b for Laplace(0, b).
+  EXPECT_NEAR(abs_sum / n, 2.0, 0.05);
+}
+
+TEST(DpReleaseTest, NoiseScaleIsSensitivityOverEpsilon) {
+  ResultSet rs = MakeNumbers(100);
+  Rng rng(5);
+  DpReleaseOptions options;
+  options.epsilon = 0.5;
+  options.sensitivity = 2.0;
+  ASSERT_OK_AND_ASSIGN(
+      auto released,
+      ReleaseAggregates(rs, {{AggOp::kCount, "", "n"}}, options, rng));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_DOUBLE_EQ(released[0].noise_scale, 4.0);
+  EXPECT_DOUBLE_EQ(released[0].true_value, 100.0);
+  EXPECT_NE(released[0].released_value, released[0].true_value);
+}
+
+TEST(DpReleaseTest, NoiseConcentratesWithLargeEpsilon) {
+  ResultSet rs = MakeNumbers(1000);
+  DpReleaseOptions loose;
+  loose.epsilon = 100.0;
+  double max_err = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    ASSERT_OK_AND_ASSIGN(
+        auto released,
+        ReleaseAggregates(rs, {{AggOp::kCount, "", "n"}}, loose, rng));
+    max_err = std::max(max_err, std::fabs(released[0].released_value -
+                                          released[0].true_value));
+  }
+  // scale = 0.01; 50 draws stay well under 1.
+  EXPECT_LT(max_err, 1.0);
+}
+
+TEST(DpReleaseTest, SumSupported) {
+  ResultSet rs = MakeNumbers(10);  // Sum = 55.
+  Rng rng(7);
+  ASSERT_OK_AND_ASSIGN(
+      auto released,
+      ReleaseAggregates(rs, {{AggOp::kSum, "x", "total"}},
+                        DpReleaseOptions{1.0, 10.0}, rng));
+  EXPECT_DOUBLE_EQ(released[0].true_value, 55.0);
+}
+
+TEST(DpReleaseTest, RejectsUnboundedAggregates) {
+  ResultSet rs = MakeNumbers(5);
+  Rng rng(1);
+  EXPECT_TRUE(ReleaseAggregates(rs, {{AggOp::kAvg, "x", "m"}},
+                                DpReleaseOptions{}, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ReleaseAggregates(rs, {{AggOp::kMax, "x", "m"}},
+                                DpReleaseOptions{}, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DpReleaseTest, RejectsBadBudget) {
+  ResultSet rs = MakeNumbers(5);
+  Rng rng(1);
+  EXPECT_TRUE(ReleaseAggregates(rs, {{AggOp::kCount, "", "n"}},
+                                DpReleaseOptions{0.0, 1.0}, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ReleaseAggregates(rs, {{AggOp::kCount, "", "n"}},
+                                DpReleaseOptions{1.0, -1.0}, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ReleaseAggregates(rs, {}, DpReleaseOptions{}, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DpReleaseTest, DeterministicInSeed) {
+  ResultSet rs = MakeNumbers(20);
+  Rng a(9), b(9);
+  ASSERT_OK_AND_ASSIGN(auto ra,
+                       ReleaseAggregates(rs, {{AggOp::kCount, "", "n"}},
+                                         DpReleaseOptions{}, a));
+  ASSERT_OK_AND_ASSIGN(auto rb,
+                       ReleaseAggregates(rs, {{AggOp::kCount, "", "n"}},
+                                         DpReleaseOptions{}, b));
+  EXPECT_DOUBLE_EQ(ra[0].released_value, rb[0].released_value);
+}
+
+}  // namespace
+}  // namespace ppdb::audit

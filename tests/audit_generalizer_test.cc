@@ -1,0 +1,111 @@
+#include "audit/generalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::audit {
+namespace {
+
+using rel::Value;
+
+TEST(NumericRangeGeneralizerTest, LevelLadder) {
+  NumericRangeGeneralizer g({0.0, 0.0, 10.0});
+  ASSERT_OK_AND_ASSIGN(Value suppressed, g.Generalize(Value::Int64(67), 0));
+  EXPECT_TRUE(suppressed.is_null());
+  ASSERT_OK_AND_ASSIGN(Value existential, g.Generalize(Value::Int64(67), 1));
+  EXPECT_EQ(existential, Value::String("*"));
+  ASSERT_OK_AND_ASSIGN(Value partial, g.Generalize(Value::Int64(67), 2));
+  EXPECT_EQ(partial, Value::String("[60, 70)"));
+  ASSERT_OK_AND_ASSIGN(Value exact, g.Generalize(Value::Int64(67), 3));
+  EXPECT_EQ(exact, Value::String("67"));
+}
+
+TEST(NumericRangeGeneralizerTest, NegativeValuesAndDoubles) {
+  NumericRangeGeneralizer g({0.0, 5.0});
+  ASSERT_OK_AND_ASSIGN(Value bin, g.Generalize(Value::Double(-3.2), 1));
+  EXPECT_EQ(bin, Value::String("[-5, 0)"));
+  ASSERT_OK_AND_ASSIGN(Value bin2, g.Generalize(Value::Double(12.5), 1));
+  EXPECT_EQ(bin2, Value::String("[10, 15)"));
+}
+
+TEST(NumericRangeGeneralizerTest, NullStaysNull) {
+  NumericRangeGeneralizer g({0.0, 10.0});
+  for (int level = 0; level <= 3; ++level) {
+    ASSERT_OK_AND_ASSIGN(Value v, g.Generalize(Value::Null(), level));
+    EXPECT_TRUE(v.is_null());
+  }
+}
+
+TEST(NumericRangeGeneralizerTest, NonNumericInputErrors) {
+  NumericRangeGeneralizer g({0.0, 10.0});
+  EXPECT_TRUE(
+      g.Generalize(Value::String("abc"), 1).status().IsFailedPrecondition());
+  // But exact levels (beyond the widths) just render:
+  ASSERT_OK_AND_ASSIGN(Value v, g.Generalize(Value::String("abc"), 5));
+  EXPECT_EQ(v, Value::String("abc"));
+}
+
+TEST(NumericRangeGeneralizerTest, NegativeLevelSuppresses) {
+  NumericRangeGeneralizer g({0.0, 10.0});
+  ASSERT_OK_AND_ASSIGN(Value v, g.Generalize(Value::Int64(5), -2));
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(CategoryGeneralizerTest, MapsPerLevel) {
+  CategoryGeneralizer g(
+      {{}, {{"calgary", "canada"}, {"boston", "usa"}},
+       {{"calgary", "alberta"}, {"boston", "massachusetts"}}},
+      /*passthrough_unmapped=*/false);
+  ASSERT_OK_AND_ASSIGN(Value country,
+                       g.Generalize(Value::String("calgary"), 1));
+  EXPECT_EQ(country, Value::String("canada"));
+  ASSERT_OK_AND_ASSIGN(Value region,
+                       g.Generalize(Value::String("calgary"), 2));
+  EXPECT_EQ(region, Value::String("alberta"));
+  // Beyond configured maps: exact.
+  ASSERT_OK_AND_ASSIGN(Value exact,
+                       g.Generalize(Value::String("calgary"), 3));
+  EXPECT_EQ(exact, Value::String("calgary"));
+  // Level 0 suppresses.
+  ASSERT_OK_AND_ASSIGN(Value null, g.Generalize(Value::String("calgary"), 0));
+  EXPECT_TRUE(null.is_null());
+}
+
+TEST(CategoryGeneralizerTest, UnmappedValueErrorsOrPassesThrough) {
+  CategoryGeneralizer strict({{}, {{"a", "x"}}}, false);
+  EXPECT_TRUE(
+      strict.Generalize(Value::String("b"), 1).status().IsNotFound());
+  CategoryGeneralizer lax({{}, {{"a", "x"}}}, true);
+  ASSERT_OK_AND_ASSIGN(Value v, lax.Generalize(Value::String("b"), 1));
+  EXPECT_EQ(v, Value::String("*"));
+}
+
+TEST(GeneralizerRegistryTest, FallbackBehaviour) {
+  GeneralizerRegistry registry;
+  const ValueGeneralizer& fallback = registry.ForAttribute("anything");
+  ASSERT_OK_AND_ASSIGN(Value l0, fallback.Generalize(Value::Int64(7), 0));
+  EXPECT_TRUE(l0.is_null());
+  ASSERT_OK_AND_ASSIGN(Value l1, fallback.Generalize(Value::Int64(7), 1));
+  EXPECT_EQ(l1, Value::String("*"));
+  ASSERT_OK_AND_ASSIGN(Value l2, fallback.Generalize(Value::Int64(7), 2));
+  EXPECT_EQ(l2, Value::String("7"));
+}
+
+TEST(GeneralizerRegistryTest, RegisteredGeneralizerWins) {
+  GeneralizerRegistry registry;
+  registry.Register("weight",
+                    std::make_unique<NumericRangeGeneralizer>(
+                        std::vector<double>{0.0, 0.0, 10.0}));
+  ASSERT_OK_AND_ASSIGN(
+      Value v, registry.ForAttribute("weight").Generalize(
+                   Value::Double(81.0), 2));
+  EXPECT_EQ(v, Value::String("[80, 90)"));
+  // Other attributes still use the fallback.
+  ASSERT_OK_AND_ASSIGN(Value other, registry.ForAttribute("age").Generalize(
+                                        Value::Int64(30), 2));
+  EXPECT_EQ(other, Value::String("30"));
+}
+
+}  // namespace
+}  // namespace ppdb::audit

@@ -1,0 +1,117 @@
+#include "audit/k_anonymity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+
+namespace ppdb::audit {
+namespace {
+
+using rel::DataType;
+using rel::ResultSet;
+using rel::Row;
+using rel::Schema;
+using rel::Value;
+
+ResultSet MakeResultSet(std::vector<std::vector<std::string>> rows) {
+  Schema schema = Schema::Create({{"zip", DataType::kString, ""},
+                                  {"age_band", DataType::kString, ""}})
+                      .value();
+  ResultSet rs{std::move(schema), {}};
+  int64_t id = 0;
+  for (auto& fields : rows) {
+    Row row{++id, {}};
+    for (const std::string& field : fields) {
+      row.values.push_back(field.empty() ? Value::Null()
+                                         : Value::String(field));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  return rs;
+}
+
+TEST(KAnonymityTest, ComputesSmallestClass) {
+  ResultSet rs = MakeResultSet({{"T2N", "[30,40)"},
+                                {"T2N", "[30,40)"},
+                                {"T2N", "[30,40)"},
+                                {"M5V", "[20,30)"},
+                                {"M5V", "[20,30)"},
+                                {"H3A", "[40,50)"}});
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult result,
+                       MeasureKAnonymity(rs, {"zip", "age_band"}));
+  EXPECT_EQ(result.k, 1);  // The lone H3A row.
+  EXPECT_EQ(result.num_classes, 3);
+  EXPECT_EQ(result.largest_class, 3);
+  EXPECT_EQ(result.num_rows, 6);
+  EXPECT_TRUE(result.Satisfies(1));
+  EXPECT_FALSE(result.Satisfies(2));
+}
+
+TEST(KAnonymityTest, SingleColumnSubsetChangesClasses) {
+  ResultSet rs = MakeResultSet({{"T2N", "[30,40)"},
+                                {"T2N", "[20,30)"},
+                                {"M5V", "[20,30)"}});
+  // Over both QIs every row is unique: k = 1.
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult both,
+                       MeasureKAnonymity(rs, {"zip", "age_band"}));
+  EXPECT_EQ(both.k, 1);
+  // Over zip alone the two T2N rows pool: k = 1 still (M5V singleton), but
+  // classes shrink to 2.
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult zip_only,
+                       MeasureKAnonymity(rs, {"zip"}));
+  EXPECT_EQ(zip_only.num_classes, 2);
+}
+
+TEST(KAnonymityTest, NullsPoolTogether) {
+  // Suppression (nulls) creates its own equivalence class — fully
+  // suppressed rows are mutually indistinguishable.
+  ResultSet rs = MakeResultSet({{"", ""}, {"", ""}, {"", ""}, {"T2N", "x"}});
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult result,
+                       MeasureKAnonymity(rs, {"zip", "age_band"}));
+  EXPECT_EQ(result.num_classes, 2);
+  EXPECT_EQ(result.largest_class, 3);
+  EXPECT_EQ(result.k, 1);
+}
+
+TEST(KAnonymityTest, AtRiskFraction) {
+  ResultSet rs = MakeResultSet({{"a", "1"}, {"a", "1"}, {"a", "1"},
+                                {"b", "2"}, {"c", "3"}});
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult result,
+                       MeasureKAnonymity(rs, {"zip", "age_band"}, 2));
+  // Classes b and c are singletons below k=2: 2 of 5 rows at risk.
+  EXPECT_DOUBLE_EQ(result.at_risk_fraction, 0.4);
+}
+
+TEST(KAnonymityTest, EmptyInputAndValidation) {
+  ResultSet rs = MakeResultSet({});
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult result,
+                       MeasureKAnonymity(rs, {"zip"}));
+  EXPECT_EQ(result.k, 0);
+  EXPECT_FALSE(result.Satisfies(1));
+  EXPECT_TRUE(MeasureKAnonymity(rs, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(MeasureKAnonymity(rs, {"nope"}).status().IsNotFound());
+}
+
+TEST(KAnonymityTest, GeneralizationImprovesK) {
+  // The bridge claim: coarsening the QI raises k. Exact ages are unique;
+  // decade bands pool.
+  Schema schema =
+      Schema::Create({{"age", DataType::kString, ""}}).value();
+  ResultSet exact{schema, {}};
+  ResultSet banded{schema, {}};
+  for (int64_t i = 0; i < 10; ++i) {
+    exact.rows.push_back(
+        Row{i + 1, {Value::String(std::to_string(30 + i))}});
+    banded.rows.push_back(Row{i + 1, {Value::String("[30, 40)")}});
+  }
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult k_exact,
+                       MeasureKAnonymity(exact, {"age"}));
+  ASSERT_OK_AND_ASSIGN(KAnonymityResult k_banded,
+                       MeasureKAnonymity(banded, {"age"}));
+  EXPECT_EQ(k_exact.k, 1);
+  EXPECT_EQ(k_banded.k, 10);
+}
+
+}  // namespace
+}  // namespace ppdb::audit

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end test of ppdb_cli against the Section 8 demo database.
+set -u
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+failures=0
+
+check() {  # check <description> <expected-substring> <<< output
+  local description="$1" expected="$2" output
+  output="$(cat)"
+  if ! grep -qF "$expected" <<< "$output"; then
+    echo "FAIL: $description"
+    echo "  expected substring: $expected"
+    echo "  got: $output"
+    failures=$((failures + 1))
+  fi
+}
+
+"$CLI" demo "$DIR/db" | check "demo writes db" "written to"
+test -f "$DIR/db/MANIFEST" || { echo "FAIL: no MANIFEST"; failures=$((failures+1)); }
+
+"$CLI" report "$DIR/db" | check "report P(W)" "P(W)=0.6667"
+"$CLI" report "$DIR/db" | check "report P(Default)" "P(Default)=0.3333"
+"$CLI" report "$DIR/db" | check "Ted's severity" "provider 2: Violation_i=60.000"
+
+"$CLI" certify "$DIR/db" 0.7 | check "certify passes at 0.7" "CERTIFIED"
+if "$CLI" certify "$DIR/db" 0.5 >/dev/null 2>&1; then
+  echo "FAIL: certify at 0.5 should exit non-zero"
+  failures=$((failures + 1))
+fi
+
+"$CLI" statement "$DIR/db" 2 | check "statement names granularity" "granularity"
+"$CLI" statement "$DIR/db" 1 | check "clean provider statement" "No violations"
+
+"$CLI" sql "$DIR/db" "SELECT COUNT(*) AS n FROM providers" \
+  | check "sql count" "[3]"
+"$CLI" sql "$DIR/db" "SELECT Age FROM providers WHERE Weight > 90" \
+  | check "sql filter" "[41]"
+if "$CLI" sql "$DIR/db" "SELECT nope FROM providers" >/dev/null 2>&1; then
+  echo "FAIL: bad sql should exit non-zero"
+  failures=$((failures + 1))
+fi
+
+# Policy diff: a narrowed policy recovers Ted.
+cat > "$DIR/narrow.ppdb" <<'EOF'
+scale visibility: l0, l1, l2, l3, l4, l5, l6, l7
+scale granularity: l0, l1, l2, l3, l4, l5, l6, l7
+scale retention: l0, l1, l2, l3, l4, l5, l6, l7
+purpose pr
+policy Age for pr: visibility=0, granularity=0, retention=0
+policy Weight for pr: visibility=1, granularity=1, retention=1
+EOF
+"$CLI" diff "$DIR/db" "$DIR/narrow.ppdb" | check "diff narrows" "narrowed"
+"$CLI" diff "$DIR/db" "$DIR/narrow.ppdb" | check "diff recovers Ted" "1 recovered"
+
+"$CLI" audit "$DIR/db" | check "audit empty" "(0 events total)"
+
+# Enforced read at house visibility (l1): Ted's and Bob's Weight come back
+# clamped to their preferred granularity (l1 -> "*"), Alice suppressed? No:
+# Alice prefers visibility l3 >= l1, granularity l3 > policy l2 -> released
+# at policy granularity l2 via the decade generalizer.
+"$CLI" enforce "$DIR/db" pr l1 providers Weight \
+  | check "enforced read bins Alice" "[50, 60)"
+"$CLI" enforce "$DIR/db" pr l1 providers Weight \
+  | check "enforced read stars Ted" "*"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures CLI end-to-end check(s) failed"
+  exit 1
+fi
+echo "all CLI end-to-end checks passed"

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdb {
+namespace {
+
+// Restores the global minimum level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetMinimumLogLevel(); }
+  void TearDown() override { SetMinimumLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, MinimumLevelRoundTrips) {
+  SetMinimumLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetMinimumLogLevel(), LogLevel::kError);
+  SetMinimumLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetMinimumLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluate) {
+  SetMinimumLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  PPDB_LOG(kDebug) << expensive();
+  PPDB_LOG(kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0);  // The stream expression short-circuits.
+  ::testing::internal::CaptureStderr();
+  PPDB_LOG(kError) << expensive();
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(captured.find("payload"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageCarriesLevelFileAndLine) {
+  SetMinimumLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  PPDB_LOG(kWarning) << "provider " << 42 << " defaulted";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[WARNING common_logging_test.cc:"),
+            std::string::npos);
+  EXPECT_NE(captured.find("provider 42 defaulted"), std::string::npos);
+  EXPECT_EQ(captured.back(), '\n');
+}
+
+}  // namespace
+}  // namespace ppdb

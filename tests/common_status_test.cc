@@ -1,0 +1,201 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "tests/test_util.h"
+
+namespace ppdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition},
+      {Status::Incomparable("m"), StatusCode::kIncomparable},
+      {Status::ParseError("m"), StatusCode::kParseError},
+      {Status::PermissionDenied("m"), StatusCode::kPermissionDenied},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::NotImplemented("m"), StatusCode::kNotImplemented},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Incomparable("x").IsIncomparable());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("no such thing").ToString(),
+            "not_found: no such thing");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::ParseError("bad token");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.message(), "bad token");
+  // Copy is independent.
+  original = Status::OK();
+  EXPECT_TRUE(original.ok());
+  EXPECT_FALSE(copy.ok());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status original = Status::Internal("broken");
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsInternal());
+  original = Status::NotFound("x");  // Re-assign after move: fine.
+  EXPECT_TRUE(original.IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, WithPrefixPrependsMessage) {
+  Status s = Status::ParseError("bad digit").WithPrefix("line 3");
+  EXPECT_EQ(s.message(), "line 3: bad digit");
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(StatusTest, WithPrefixOnOkStaysOk) {
+  EXPECT_TRUE(Status::OK().WithPrefix("ctx").ok());
+}
+
+TEST(StatusTest, StreamOperatorWritesToString) {
+  std::ostringstream os;
+  os << Status::OutOfRange("level 9");
+  EXPECT_EQ(os.str(), "out_of_range: level 9");
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIncomparable), "incomparable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotImplemented),
+            "not_implemented");
+}
+
+// --- Result<T> -------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err = Status::NotFound("x");
+  EXPECT_EQ(err.value_or(7), 7);
+  Result<int> ok = 3;
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, OkStatusInputBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+// --- Macros ---------------------------------------------------------------
+
+Status FailsWhen(bool fail) {
+  if (fail) return Status::InvalidArgument("asked to fail");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(bool fail, bool* reached_end) {
+  PPDB_RETURN_NOT_OK(FailsWhen(fail));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  bool reached = false;
+  Status s = UsesReturnNotOk(true, &reached);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(reached);
+}
+
+TEST(MacrosTest, ReturnNotOkPassesThrough) {
+  bool reached = false;
+  ASSERT_OK(UsesReturnNotOk(false, &reached));
+  EXPECT_TRUE(reached);
+}
+
+Result<int> ProducesValue(bool fail) {
+  if (fail) return Status::NotFound("gone");
+  return 11;
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  PPDB_ASSIGN_OR_RETURN(int v, ProducesValue(fail));
+  return v * 2;
+}
+
+TEST(MacrosTest, AssignOrReturnBindsValue) {
+  ASSERT_OK_AND_ASSIGN(int v, UsesAssignOrReturn(false));
+  EXPECT_EQ(v, 22);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesError) {
+  Result<int> r = UsesAssignOrReturn(true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ppdb

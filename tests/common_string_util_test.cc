@@ -1,0 +1,139 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb {
+namespace {
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(TrimWhitespaceTest, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(TrimWhitespaceTest, PreservesInteriorWhitespace) {
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(SplitTest, SplitsOnDelimiter) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, EmptyFieldsPreserved) {
+  auto parts = Split("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, EmptyInputIsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiterYieldsTrailingEmpty) {
+  auto parts = Split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitAndTrimTest, TrimsEveryField) {
+  auto parts = SplitAndTrim(" a , b ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("policy weight", "policy"));
+  EXPECT_FALSE(StartsWith("po", "policy"));
+  EXPECT_TRUE(EndsWith("table.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "table.csv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ToLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-12_z"), "abc-12_z");
+}
+
+TEST(ParseInt64Test, ParsesDecimal) {
+  ASSERT_OK_AND_ASSIGN(int64_t v, ParseInt64("42"));
+  EXPECT_EQ(v, 42);
+  ASSERT_OK_AND_ASSIGN(int64_t n, ParseInt64("-17"));
+  EXPECT_EQ(n, -17);
+}
+
+TEST(ParseInt64Test, TrimsWhitespace) {
+  ASSERT_OK_AND_ASSIGN(int64_t v, ParseInt64("  7 "));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_TRUE(ParseInt64("4x").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("4.5").status().IsParseError());
+}
+
+TEST(ParseInt64Test, RejectsOverflow) {
+  EXPECT_TRUE(ParseInt64("99999999999999999999").status().IsOutOfRange());
+}
+
+TEST(ParseDoubleTest, ParsesFloats) {
+  ASSERT_OK_AND_ASSIGN(double v, ParseDouble("3.5"));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  ASSERT_OK_AND_ASSIGN(double e, ParseDouble("-1e3"));
+  EXPECT_DOUBLE_EQ(e, -1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_TRUE(ParseDouble("3.5kg").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("").status().IsParseError());
+}
+
+TEST(IsValidIdentifierTest, AcceptsTypicalNames) {
+  EXPECT_TRUE(IsValidIdentifier("weight"));
+  EXPECT_TRUE(IsValidIdentifier("_private"));
+  EXPECT_TRUE(IsValidIdentifier("email_marketing"));
+  EXPECT_TRUE(IsValidIdentifier("a.b-c"));
+  EXPECT_TRUE(IsValidIdentifier("Table9"));
+}
+
+TEST(IsValidIdentifierTest, RejectsInvalid) {
+  EXPECT_FALSE(IsValidIdentifier(""));
+  EXPECT_FALSE(IsValidIdentifier("9lives"));
+  EXPECT_FALSE(IsValidIdentifier("has space"));
+  EXPECT_FALSE(IsValidIdentifier("-leading"));
+  EXPECT_FALSE(IsValidIdentifier("semi;colon"));
+}
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialFields) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace ppdb

@@ -1,0 +1,212 @@
+// End-to-end pipeline: CSV data -> catalog -> DSL privacy config ->
+// violation detection -> defaults -> alpha-PPDB certification -> what-if
+// expansion -> enforcement through the access monitor.
+#include <gtest/gtest.h>
+
+#include "audit/monitor.h"
+#include "audit/retention_sweeper.h"
+#include "privacy/policy_dsl.h"
+#include "relational/csv.h"
+#include "relational/query.h"
+#include "tests/test_util.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+#include "violation/probability.h"
+#include "violation/what_if.h"
+
+namespace ppdb {
+namespace {
+
+constexpr char kDataCsv[] =
+    "provider_id,age,weight\n"
+    "1,34,81.5\n"
+    "2,28,64.2\n"
+    "3,45,92.1\n"
+    "4,39,77.0\n"
+    "5,51,88.8\n";
+
+constexpr char kPrivacyDsl[] = R"(
+purpose care
+purpose marketing
+
+policy age for care: visibility=house, granularity=specific, retention=year
+policy weight for care: visibility=house, granularity=specific, retention=year
+policy weight for marketing: visibility=third_party, granularity=partial, retention=month
+
+# Providers 1-2 are permissive, 3 is average, 4-5 marketing-averse.
+pref 1 age for care: visibility=world, granularity=specific, retention=indefinite
+pref 1 weight for care: visibility=world, granularity=specific, retention=indefinite
+pref 1 weight for marketing: visibility=world, granularity=specific, retention=indefinite
+pref 2 age for care: visibility=third_party, granularity=specific, retention=year
+pref 2 weight for care: visibility=third_party, granularity=specific, retention=year
+pref 2 weight for marketing: visibility=third_party, granularity=partial, retention=month
+pref 3 age for care: visibility=house, granularity=specific, retention=year
+pref 3 weight for care: visibility=house, granularity=specific, retention=year
+pref 3 weight for marketing: visibility=house, granularity=partial, retention=week
+pref 4 age for care: visibility=house, granularity=specific, retention=year
+pref 4 weight for care: visibility=house, granularity=specific, retention=year
+pref 4 weight for marketing: visibility=none, granularity=none, retention=none
+pref 5 age for care: visibility=house, granularity=specific, retention=year
+pref 5 weight for care: visibility=house, granularity=partial, retention=month
+
+attr_sensitivity age = 2
+attr_sensitivity weight = 4
+sensitivity 3 weight: value=2, visibility=3, granularity=1, retention=1
+sensitivity 4 weight: value=2, visibility=2, granularity=2, retention=1
+threshold 1 = 100
+threshold 2 = 100
+threshold 3 = 15
+threshold 4 = 40
+threshold 5 = 30
+)";
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel::Schema schema =
+        rel::Schema::Create({{"age", rel::DataType::kInt64, ""},
+                             {"weight", rel::DataType::kDouble, ""}})
+            .value();
+    ASSERT_OK_AND_ASSIGN(rel::Table table,
+                         rel::TableFromCsv("providers", schema, kDataCsv));
+    ASSERT_OK(catalog_.AddTable(std::move(table)).status());
+    ASSERT_OK_AND_ASSIGN(config_, privacy::ParsePrivacyConfig(kPrivacyDsl));
+  }
+
+  rel::Catalog catalog_;
+  privacy::PrivacyConfig config_;
+};
+
+TEST_F(PipelineTest, ViolationAnalysisOverCsvPopulation) {
+  ASSERT_OK_AND_ASSIGN(const rel::Table* table,
+                       catalog_.GetTable("providers"));
+  violation::ViolationDetector::Options options;
+  options.data_table = table;
+  violation::ViolationDetector detector(&config_, options);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport report, detector.Analyze());
+  EXPECT_EQ(report.num_providers(), 5);
+
+  // Providers 1-2 fully cover the policy: no violations.
+  EXPECT_FALSE(report.Find(1)->violated);
+  EXPECT_FALSE(report.Find(2)->violated);
+  // Provider 3: marketing visibility third_party(2) > house(1) and
+  // retention month(2) > week(1).
+  ASSERT_TRUE(report.Find(3)->violated);
+  // conf = (1 * 4 * 2 * 3) + (1 * 4 * 2 * 1) = 24 + 8 = 32.
+  EXPECT_DOUBLE_EQ(report.Find(3)->total_severity, 32.0);
+  // Provider 4: refused marketing entirely; policy exceeds on all three.
+  ASSERT_TRUE(report.Find(4)->violated);
+  // conf = v: 2*4*2*2=32, g: 2*4*2*2=32, r: 2*4*2*1=16 -> 80.
+  EXPECT_DOUBLE_EQ(report.Find(4)->total_severity, 80.0);
+  // Provider 5: stated nothing for marketing -> implicit zero tuple.
+  ASSERT_TRUE(report.Find(5)->violated);
+  EXPECT_TRUE(report.Find(5)->incidents[0].from_implicit_preference ||
+              report.Find(5)->incidents.size() > 1);
+
+  // P(W) = 3/5.
+  EXPECT_DOUBLE_EQ(report.ProbabilityOfViolation(), 0.6);
+}
+
+TEST_F(PipelineTest, DefaultsAndCertification) {
+  violation::ViolationDetector detector(&config_);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport report, detector.Analyze());
+  violation::DefaultReport defaults =
+      violation::ComputeDefaults(report, config_);
+  // Provider 3: 32 > 15 defaults. Provider 4: 80 > 40 defaults.
+  // Provider 5: care granularity+retention conf = 8, plus the implicit-zero
+  // marketing violation conf = (2+2+2)*4 = 24; total 32 > 30 -> defaults.
+  EXPECT_EQ(defaults.DefaultedProviders(),
+            (std::vector<privacy::ProviderId>{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(defaults.ProbabilityOfDefault(), 0.6);
+
+  ASSERT_OK_AND_ASSIGN(violation::AlphaCertification cert,
+                       violation::CertifyAlphaPpdb(report, 0.6));
+  EXPECT_TRUE(cert.certified);
+  ASSERT_OK_AND_ASSIGN(violation::AlphaCertification strict,
+                       violation::CertifyAlphaPpdb(report, 0.5));
+  EXPECT_FALSE(strict.certified);
+}
+
+TEST_F(PipelineTest, WhatIfNarrowingRecoversProviders) {
+  // Narrow the marketing policy instead of widening: defaults drop.
+  violation::WhatIfAnalyzer analyzer(&config_, {});
+  std::vector<violation::ExpansionStep> narrow = {
+      violation::ExpansionStep{privacy::Dimension::kVisibility, -2, {}},
+      violation::ExpansionStep{privacy::Dimension::kGranularity, -2, {}},
+      violation::ExpansionStep{privacy::Dimension::kRetention, -2, {}},
+  };
+  ASSERT_OK_AND_ASSIGN(auto points, analyzer.RunSchedule(narrow));
+  EXPECT_LT(points.back().p_violation, points.front().p_violation);
+  EXPECT_LE(points.back().num_defaulted, points.front().num_defaulted);
+}
+
+TEST_F(PipelineTest, EnforcementProtectsTightProviders) {
+  audit::GeneralizerRegistry generalizers;
+  generalizers.Register("weight",
+                        std::make_unique<audit::NumericRangeGeneralizer>(
+                            std::vector<double>{0.0, 0.0, 10.0}));
+  audit::AuditLog log;
+  audit::AccessMonitor monitor(&catalog_, &config_, &generalizers, &log,
+                               audit::EnforcementMode::kEnforce);
+
+  ASSERT_OK_AND_ASSIGN(privacy::PurposeId marketing,
+                       config_.purposes.Lookup("marketing"));
+  audit::AccessRequest request;
+  request.requester = "ad_partner";
+  request.visibility_level = 2;  // third_party, as the policy declares.
+  request.purpose = marketing;
+  request.table = "providers";
+  request.attributes = {"weight"};
+  ASSERT_OK_AND_ASSIGN(rel::ResultSet rs, monitor.Execute(request));
+  ASSERT_EQ(rs.num_rows(), 5);
+
+  // Provider 1 (world-visibility consent): released at policy granularity
+  // (partial -> decade bin).
+  EXPECT_EQ(rs.rows[0].values[0], rel::Value::String("[80, 90)"));
+  // Provider 4 (none): suppressed.
+  EXPECT_TRUE(rs.rows[3].values[0].is_null());
+  // Provider 3 allows house visibility only; request is third_party:
+  // suppressed.
+  EXPECT_TRUE(rs.rows[2].values[0].is_null());
+  // Audit trail captured the suppressions.
+  EXPECT_GE(log.CountByKind(audit::AuditEventKind::kCellSuppressed), 2);
+}
+
+TEST_F(PipelineTest, QueryEngineOverMonitorOutput) {
+  // Downstream relational processing of an enforced result set.
+  audit::GeneralizerRegistry generalizers;
+  audit::AuditLog log;
+  audit::AccessMonitor monitor(&catalog_, &config_, &generalizers, &log,
+                               audit::EnforcementMode::kEnforce);
+  ASSERT_OK_AND_ASSIGN(privacy::PurposeId care,
+                       config_.purposes.Lookup("care"));
+  audit::AccessRequest request;
+  request.requester = "clinician";
+  request.visibility_level = 1;
+  request.purpose = care;
+  request.table = "providers";
+  request.attributes = {"age", "weight"};
+  ASSERT_OK_AND_ASSIGN(rel::ResultSet rs, monitor.Execute(request));
+  // Count non-null released weights with the query engine.
+  ASSERT_OK_AND_ASSIGN(
+      rel::ResultSet present,
+      rel::Filter(rs, rel::Not(rel::IsNull(rel::Col("weight")))));
+  // Everyone consented to care at >= policy levels: all 5 rows released.
+  EXPECT_EQ(present.num_rows(), 5);
+}
+
+TEST_F(PipelineTest, SerializeParseStability) {
+  // The parsed config survives a serialize/parse cycle and produces the
+  // same violation analysis.
+  std::string serialized = privacy::SerializePrivacyConfig(config_);
+  ASSERT_OK_AND_ASSIGN(privacy::PrivacyConfig reparsed,
+                       privacy::ParsePrivacyConfig(serialized));
+  violation::ViolationDetector a(&config_), b(&reparsed);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport ra, a.Analyze());
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport rb, b.Analyze());
+  EXPECT_EQ(ra.num_violated, rb.num_violated);
+  EXPECT_DOUBLE_EQ(ra.total_severity, rb.total_severity);
+}
+
+}  // namespace
+}  // namespace ppdb

@@ -1,0 +1,99 @@
+#include "privacy/policy_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+
+namespace ppdb::privacy {
+namespace {
+
+class PolicyDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    marketing_ = purposes_.Register("marketing").value();
+    research_ = purposes_.Register("research").value();
+    PPDB_CHECK_OK(before_.Add("weight", PrivacyTuple{marketing_, 1, 2, 2}));
+    PPDB_CHECK_OK(before_.Add("age", PrivacyTuple{marketing_, 1, 1, 1}));
+  }
+
+  PurposeRegistry purposes_;
+  ScaleSet scales_;
+  PurposeId marketing_, research_;
+  HousePolicy before_;
+};
+
+TEST_F(PolicyDiffTest, IdenticalPoliciesAreEmptyDiff) {
+  PolicyDiff diff = DiffPolicies(before_, before_);
+  EXPECT_TRUE(diff.Empty());
+  EXPECT_TRUE(diff.PurelyNarrowing());
+  EXPECT_FALSE(diff.Widens());
+  EXPECT_EQ(diff.ToString(purposes_, scales_), "(no policy changes)\n");
+}
+
+TEST_F(PolicyDiffTest, DetectsAddedAndRemovedTuples) {
+  HousePolicy after;
+  PPDB_CHECK_OK(after.Add("weight", PrivacyTuple{marketing_, 1, 2, 2}));
+  PPDB_CHECK_OK(after.Add("weight", PrivacyTuple{research_, 2, 2, 2}));
+  // "age for marketing" dropped, "weight for research" added.
+  PolicyDiff diff = DiffPolicies(before_, after);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].tuple.purpose, research_);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].attribute, "age");
+  EXPECT_TRUE(diff.level_changes.empty());
+  EXPECT_TRUE(diff.Widens());
+  EXPECT_FALSE(diff.PurelyNarrowing());
+}
+
+TEST_F(PolicyDiffTest, DetectsLevelMoves) {
+  ASSERT_OK_AND_ASSIGN(
+      HousePolicy after,
+      before_.WidenedForAttribute("weight", Dimension::kGranularity, 1,
+                                  scales_));
+  PolicyDiff diff = DiffPolicies(before_, after);
+  ASSERT_EQ(diff.level_changes.size(), 1u);
+  const PolicyLevelChange& change = diff.level_changes[0];
+  EXPECT_EQ(change.attribute, "weight");
+  EXPECT_EQ(change.dimension, Dimension::kGranularity);
+  EXPECT_EQ(change.old_level, 2);
+  EXPECT_EQ(change.new_level, 3);
+  EXPECT_EQ(change.Delta(), 1);
+  EXPECT_TRUE(diff.Widens());
+}
+
+TEST_F(PolicyDiffTest, PurelyNarrowingClassification) {
+  ASSERT_OK_AND_ASSIGN(HousePolicy narrowed,
+                       before_.Widened(Dimension::kVisibility, -1, scales_));
+  PolicyDiff diff = DiffPolicies(before_, narrowed);
+  EXPECT_TRUE(diff.PurelyNarrowing());
+  EXPECT_FALSE(diff.Widens());
+
+  // Adding an all-zero tuple exposes nothing: still purely narrowing.
+  HousePolicy with_zero = narrowed;
+  PPDB_CHECK_OK(with_zero.Add("age", PrivacyTuple::ZeroFor(research_)));
+  EXPECT_TRUE(DiffPolicies(before_, with_zero).PurelyNarrowing());
+
+  // Adding a positive tuple is not.
+  HousePolicy with_positive = narrowed;
+  PPDB_CHECK_OK(
+      with_positive.Add("age", PrivacyTuple{research_, 1, 0, 0}));
+  EXPECT_FALSE(DiffPolicies(before_, with_positive).PurelyNarrowing());
+}
+
+TEST_F(PolicyDiffTest, MixedChangesRenderReadably) {
+  HousePolicy after;
+  PPDB_CHECK_OK(after.Add("weight", PrivacyTuple{marketing_, 1, 3, 1}));
+  PPDB_CHECK_OK(after.Add("email", PrivacyTuple{research_, 1, 1, 1}));
+  PolicyDiff diff = DiffPolicies(before_, after);
+  std::string rendered = diff.ToString(purposes_, scales_);
+  EXPECT_NE(rendered.find("+ email for research"), std::string::npos);
+  EXPECT_NE(rendered.find("- age for marketing"), std::string::npos);
+  EXPECT_NE(rendered.find("widened"), std::string::npos);
+  EXPECT_NE(rendered.find("narrowed"), std::string::npos);
+  // Level names resolved: granularity 2 -> 3 is partial -> specific.
+  EXPECT_NE(rendered.find("partial -> specific"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::privacy

@@ -1,0 +1,139 @@
+#include "privacy/purpose.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::privacy {
+namespace {
+
+TEST(PurposeRegistryTest, RegisterAndLookup) {
+  PurposeRegistry registry;
+  ASSERT_OK_AND_ASSIGN(PurposeId a, registry.Register("marketing"));
+  ASSERT_OK_AND_ASSIGN(PurposeId b, registry.Register("research"));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(registry.num_purposes(), 2);
+  ASSERT_OK_AND_ASSIGN(PurposeId found, registry.Lookup("research"));
+  EXPECT_EQ(found, b);
+  ASSERT_OK_AND_ASSIGN(std::string name, registry.NameOf(a));
+  EXPECT_EQ(name, "marketing");
+  EXPECT_TRUE(registry.Contains("marketing"));
+  EXPECT_FALSE(registry.Contains("billing"));
+}
+
+TEST(PurposeRegistryTest, RegisterIsIdempotent) {
+  PurposeRegistry registry;
+  ASSERT_OK_AND_ASSIGN(PurposeId a, registry.Register("x"));
+  ASSERT_OK_AND_ASSIGN(PurposeId again, registry.Register("x"));
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(registry.num_purposes(), 1);
+}
+
+TEST(PurposeRegistryTest, InvalidNamesRejected) {
+  PurposeRegistry registry;
+  EXPECT_TRUE(registry.Register("").status().IsInvalidArgument());
+  EXPECT_TRUE(registry.Register("1bad").status().IsInvalidArgument());
+}
+
+TEST(PurposeRegistryTest, LookupMissesError) {
+  PurposeRegistry registry;
+  EXPECT_TRUE(registry.Lookup("nope").status().IsNotFound());
+  EXPECT_TRUE(registry.NameOf(0).status().IsOutOfRange());
+  EXPECT_TRUE(registry.NameOf(-1).status().IsOutOfRange());
+}
+
+class PurposeHierarchyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // marketing
+    //   ├── email_marketing
+    //   │     └── promo_email
+    //   └── ad_targeting
+    // research (separate root)
+    marketing_ = registry_.Register("marketing").value();
+    email_ = registry_.Register("email_marketing").value();
+    promo_ = registry_.Register("promo_email").value();
+    ads_ = registry_.Register("ad_targeting").value();
+    research_ = registry_.Register("research").value();
+    ASSERT_OK(hierarchy_.AddEdge(email_, marketing_, registry_));
+    ASSERT_OK(hierarchy_.AddEdge(promo_, email_, registry_));
+    ASSERT_OK(hierarchy_.AddEdge(ads_, marketing_, registry_));
+  }
+
+  PurposeRegistry registry_;
+  PurposeHierarchy hierarchy_;
+  PurposeId marketing_, email_, promo_, ads_, research_;
+};
+
+TEST_F(PurposeHierarchyTest, ImpliesIsReflexive) {
+  EXPECT_TRUE(hierarchy_.Implies(marketing_, marketing_));
+  EXPECT_TRUE(hierarchy_.Implies(promo_, promo_));
+}
+
+TEST_F(PurposeHierarchyTest, ImpliesIsTransitive) {
+  EXPECT_TRUE(hierarchy_.Implies(email_, marketing_));
+  EXPECT_TRUE(hierarchy_.Implies(promo_, marketing_));
+}
+
+TEST_F(PurposeHierarchyTest, ImpliesIsDirectional) {
+  EXPECT_FALSE(hierarchy_.Implies(marketing_, email_));
+  EXPECT_FALSE(hierarchy_.Implies(marketing_, promo_));
+}
+
+TEST_F(PurposeHierarchyTest, SiblingsDoNotImplyEachOther) {
+  EXPECT_FALSE(hierarchy_.Implies(email_, ads_));
+  EXPECT_FALSE(hierarchy_.Implies(ads_, email_));
+}
+
+TEST_F(PurposeHierarchyTest, SeparateRootsUnrelated) {
+  EXPECT_FALSE(hierarchy_.Implies(research_, marketing_));
+  EXPECT_FALSE(hierarchy_.Implies(email_, research_));
+}
+
+TEST_F(PurposeHierarchyTest, AncestorsBfsOrder) {
+  std::vector<PurposeId> ancestors = hierarchy_.AncestorsOf(promo_);
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_EQ(ancestors[0], email_);
+  EXPECT_EQ(ancestors[1], marketing_);
+  EXPECT_TRUE(hierarchy_.AncestorsOf(marketing_).empty());
+}
+
+TEST_F(PurposeHierarchyTest, ParentsOf) {
+  EXPECT_EQ(hierarchy_.ParentsOf(promo_), (std::vector<PurposeId>{email_}));
+  EXPECT_TRUE(hierarchy_.ParentsOf(research_).empty());
+}
+
+TEST_F(PurposeHierarchyTest, SelfEdgeRejected) {
+  EXPECT_TRUE(
+      hierarchy_.AddEdge(marketing_, marketing_, registry_)
+          .IsInvalidArgument());
+}
+
+TEST_F(PurposeHierarchyTest, CycleRejected) {
+  // marketing -> promo would close promo -> email -> marketing -> promo.
+  EXPECT_TRUE(
+      hierarchy_.AddEdge(marketing_, promo_, registry_).IsInvalidArgument());
+}
+
+TEST_F(PurposeHierarchyTest, UnregisteredPurposeRejected) {
+  EXPECT_TRUE(hierarchy_.AddEdge(99, marketing_, registry_).IsNotFound());
+  EXPECT_TRUE(hierarchy_.AddEdge(marketing_, 99, registry_).IsNotFound());
+}
+
+TEST_F(PurposeHierarchyTest, DiamondIsAllowed) {
+  // A purpose with two parents (lattice, not tree).
+  PurposeId joint = registry_.Register("joint_campaign").value();
+  ASSERT_OK(hierarchy_.AddEdge(joint, email_, registry_));
+  ASSERT_OK(hierarchy_.AddEdge(joint, ads_, registry_));
+  EXPECT_TRUE(hierarchy_.Implies(joint, marketing_));
+  EXPECT_TRUE(hierarchy_.Implies(joint, ads_));
+  EXPECT_TRUE(hierarchy_.Implies(joint, email_));
+}
+
+TEST_F(PurposeHierarchyTest, NumEdges) {
+  EXPECT_EQ(hierarchy_.num_edges(), 3);
+}
+
+}  // namespace
+}  // namespace ppdb::privacy

@@ -1,0 +1,146 @@
+#include "privacy/ordered_scale.h"
+
+#include <gtest/gtest.h>
+
+#include "privacy/dimension.h"
+#include "tests/test_util.h"
+
+namespace ppdb::privacy {
+namespace {
+
+TEST(DimensionTest, NamesRoundTrip) {
+  for (Dimension d : {Dimension::kPurpose, Dimension::kVisibility,
+                      Dimension::kGranularity, Dimension::kRetention}) {
+    ASSERT_OK_AND_ASSIGN(Dimension parsed,
+                         DimensionFromName(DimensionName(d)));
+    EXPECT_EQ(parsed, d);
+  }
+}
+
+TEST(DimensionTest, ShortFormsParse) {
+  ASSERT_OK_AND_ASSIGN(Dimension v, DimensionFromName("v"));
+  EXPECT_EQ(v, Dimension::kVisibility);
+  ASSERT_OK_AND_ASSIGN(Dimension g, DimensionFromName("G"));
+  EXPECT_EQ(g, Dimension::kGranularity);
+  ASSERT_OK_AND_ASSIGN(Dimension r, DimensionFromName("r"));
+  EXPECT_EQ(r, Dimension::kRetention);
+  ASSERT_OK_AND_ASSIGN(Dimension p, DimensionFromName("pr"));
+  EXPECT_EQ(p, Dimension::kPurpose);
+}
+
+TEST(DimensionTest, UnknownNameErrors) {
+  EXPECT_TRUE(DimensionFromName("scope").status().IsParseError());
+}
+
+TEST(DimensionTest, OrderedDimensionsExcludePurpose) {
+  for (Dimension d : kOrderedDimensions) {
+    EXPECT_NE(d, Dimension::kPurpose);
+  }
+  EXPECT_EQ(kOrderedDimensions.size(), 3u);
+}
+
+TEST(OrderedScaleTest, CreateAndLookup) {
+  ASSERT_OK_AND_ASSIGN(
+      OrderedScale scale,
+      OrderedScale::Create(Dimension::kVisibility, {"none", "house", "all"}));
+  EXPECT_EQ(scale.num_levels(), 3);
+  EXPECT_EQ(scale.max_level(), 2);
+  ASSERT_OK_AND_ASSIGN(int level, scale.LevelOf("house"));
+  EXPECT_EQ(level, 1);
+  ASSERT_OK_AND_ASSIGN(std::string name, scale.NameOf(2));
+  EXPECT_EQ(name, "all");
+}
+
+TEST(OrderedScaleTest, RejectsPurposeDimension) {
+  EXPECT_TRUE(OrderedScale::Create(Dimension::kPurpose, {"a"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(OrderedScaleTest, RejectsEmptyAndDuplicateAndInvalid) {
+  EXPECT_TRUE(OrderedScale::Create(Dimension::kVisibility, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OrderedScale::Create(Dimension::kVisibility, {"a", "a"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OrderedScale::Create(Dimension::kVisibility, {"bad name"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(OrderedScaleTest, LookupErrors) {
+  ASSERT_OK_AND_ASSIGN(
+      OrderedScale scale,
+      OrderedScale::Create(Dimension::kGranularity, {"a", "b"}));
+  EXPECT_TRUE(scale.NameOf(-1).status().IsOutOfRange());
+  EXPECT_TRUE(scale.NameOf(2).status().IsOutOfRange());
+  EXPECT_TRUE(scale.LevelOf("c").status().IsNotFound());
+  EXPECT_FALSE(scale.IsValidLevel(-1));
+  EXPECT_TRUE(scale.IsValidLevel(0));
+  EXPECT_FALSE(scale.IsValidLevel(2));
+}
+
+TEST(OrderedScaleTest, MagnitudesDefaultToIndex) {
+  ASSERT_OK_AND_ASSIGN(
+      OrderedScale scale,
+      OrderedScale::Create(Dimension::kRetention, {"a", "b", "c"}));
+  ASSERT_OK_AND_ASSIGN(double m, scale.MagnitudeOf(2));
+  EXPECT_DOUBLE_EQ(m, 2.0);
+  ASSERT_OK(scale.SetMagnitude(2, 365.0));
+  ASSERT_OK_AND_ASSIGN(double m2, scale.MagnitudeOf(2));
+  EXPECT_DOUBLE_EQ(m2, 365.0);
+  EXPECT_TRUE(scale.SetMagnitude(5, 1.0).IsOutOfRange());
+  EXPECT_TRUE(scale.MagnitudeOf(5).status().IsOutOfRange());
+}
+
+TEST(OrderedScaleTest, DefaultScalesMatchTaxonomy) {
+  OrderedScale v = OrderedScale::DefaultVisibility();
+  EXPECT_EQ(v.num_levels(), 4);
+  EXPECT_EQ(v.LevelOf("none").value(), 0);
+  EXPECT_EQ(v.LevelOf("house").value(), 1);
+  EXPECT_EQ(v.LevelOf("third_party").value(), 2);
+  EXPECT_EQ(v.LevelOf("world").value(), 3);
+
+  OrderedScale g = OrderedScale::DefaultGranularity();
+  EXPECT_EQ(g.num_levels(), 4);
+  EXPECT_EQ(g.LevelOf("existential").value(), 1);
+  EXPECT_EQ(g.LevelOf("specific").value(), 3);
+
+  OrderedScale r = OrderedScale::DefaultRetention();
+  EXPECT_EQ(r.num_levels(), 5);
+  EXPECT_DOUBLE_EQ(r.MagnitudeOf(1).value(), 7.0);
+  EXPECT_DOUBLE_EQ(r.MagnitudeOf(3).value(), 365.0);
+}
+
+TEST(OrderedScaleTest, ToStringShowsOrder) {
+  OrderedScale g = OrderedScale::DefaultGranularity();
+  EXPECT_EQ(g.ToString(),
+            "granularity{none < existential < partial < specific}");
+}
+
+TEST(ScaleSetTest, ForDimensionRouting) {
+  ScaleSet scales;
+  ASSERT_OK_AND_ASSIGN(const OrderedScale* v,
+                       scales.ForDimension(Dimension::kVisibility));
+  EXPECT_EQ(v->dimension(), Dimension::kVisibility);
+  ASSERT_OK_AND_ASSIGN(const OrderedScale* g,
+                       scales.ForDimension(Dimension::kGranularity));
+  EXPECT_EQ(g->dimension(), Dimension::kGranularity);
+  ASSERT_OK_AND_ASSIGN(const OrderedScale* r,
+                       scales.ForDimension(Dimension::kRetention));
+  EXPECT_EQ(r->dimension(), Dimension::kRetention);
+  EXPECT_TRUE(
+      scales.ForDimension(Dimension::kPurpose).status().IsInvalidArgument());
+}
+
+TEST(ScaleSetTest, MutableForDimension) {
+  ScaleSet scales;
+  ASSERT_OK_AND_ASSIGN(OrderedScale * r,
+                       scales.MutableForDimension(Dimension::kRetention));
+  ASSERT_OK(r->SetMagnitude(0, 99.0));
+  EXPECT_DOUBLE_EQ(scales.retention.MagnitudeOf(0).value(), 99.0);
+}
+
+}  // namespace
+}  // namespace ppdb::privacy

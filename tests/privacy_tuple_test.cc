@@ -1,0 +1,105 @@
+#include "privacy/privacy_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::privacy {
+namespace {
+
+TEST(PrivacyTupleTest, LevelAccessByDimension) {
+  PrivacyTuple t{0, 1, 2, 3};
+  ASSERT_OK_AND_ASSIGN(int v, t.Level(Dimension::kVisibility));
+  EXPECT_EQ(v, 1);
+  ASSERT_OK_AND_ASSIGN(int g, t.Level(Dimension::kGranularity));
+  EXPECT_EQ(g, 2);
+  ASSERT_OK_AND_ASSIGN(int r, t.Level(Dimension::kRetention));
+  EXPECT_EQ(r, 3);
+  EXPECT_TRUE(t.Level(Dimension::kPurpose).status().IsInvalidArgument());
+}
+
+TEST(PrivacyTupleTest, SetLevelByDimension) {
+  PrivacyTuple t = PrivacyTuple::ZeroFor(0);
+  ASSERT_OK(t.SetLevel(Dimension::kGranularity, 2));
+  EXPECT_EQ(t.granularity, 2);
+  EXPECT_TRUE(t.SetLevel(Dimension::kPurpose, 1).IsInvalidArgument());
+}
+
+TEST(PrivacyTupleTest, ZeroForHasAllZeroLevels) {
+  PrivacyTuple t = PrivacyTuple::ZeroFor(7);
+  EXPECT_EQ(t.purpose, 7);
+  EXPECT_EQ(t.visibility, 0);
+  EXPECT_EQ(t.granularity, 0);
+  EXPECT_EQ(t.retention, 0);
+}
+
+TEST(PrivacyTupleTest, BoundedByIsGeometricContainment) {
+  PrivacyTuple pref{0, 2, 2, 2};
+  EXPECT_TRUE((PrivacyTuple{0, 1, 2, 0}).BoundedBy(pref));
+  EXPECT_TRUE((PrivacyTuple{0, 2, 2, 2}).BoundedBy(pref));  // Equality: ok.
+  EXPECT_FALSE((PrivacyTuple{0, 3, 0, 0}).BoundedBy(pref));
+  EXPECT_FALSE((PrivacyTuple{0, 0, 0, 3}).BoundedBy(pref));
+}
+
+TEST(PrivacyTupleTest, DimensionsExceedingMatchesFig1) {
+  PrivacyTuple pref{0, 2, 2, 2};
+  // Fig. 1(a): policy inside the preference box — no violation.
+  EXPECT_TRUE((PrivacyTuple{0, 1, 1, 1}).DimensionsExceeding(pref).empty());
+  // Fig. 1(b): exceeds on exactly one dimension.
+  auto one = (PrivacyTuple{0, 3, 1, 2}).DimensionsExceeding(pref);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], Dimension::kVisibility);
+  // Fig. 1(c): exceeds on two dimensions.
+  auto two = (PrivacyTuple{0, 3, 3, 0}).DimensionsExceeding(pref);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], Dimension::kVisibility);
+  EXPECT_EQ(two[1], Dimension::kGranularity);
+}
+
+TEST(PrivacyTupleTest, BoundedByIffNoExceedingDimensions) {
+  // Property link between the two predicates over a small grid.
+  for (int v = 0; v <= 3; ++v) {
+    for (int g = 0; g <= 3; ++g) {
+      for (int r = 0; r <= 3; ++r) {
+        PrivacyTuple policy{0, v, g, r};
+        PrivacyTuple pref{0, 1, 2, 1};
+        EXPECT_EQ(policy.BoundedBy(pref),
+                  policy.DimensionsExceeding(pref).empty());
+      }
+    }
+  }
+}
+
+TEST(PrivacyTupleTest, ValidateAgainstScales) {
+  ScaleSet scales;  // 4, 4, 5 levels.
+  EXPECT_OK((PrivacyTuple{0, 3, 3, 4}).ValidateAgainst(scales));
+  EXPECT_TRUE(
+      (PrivacyTuple{0, 4, 0, 0}).ValidateAgainst(scales).IsOutOfRange());
+  EXPECT_TRUE(
+      (PrivacyTuple{0, 0, -1, 0}).ValidateAgainst(scales).IsOutOfRange());
+  EXPECT_TRUE(
+      (PrivacyTuple{0, 0, 0, 5}).ValidateAgainst(scales).IsOutOfRange());
+}
+
+TEST(PrivacyTupleTest, ToStringWithContext) {
+  PurposeRegistry purposes;
+  PurposeId id = purposes.Register("marketing").value();
+  ScaleSet scales;
+  PrivacyTuple t{id, 1, 3, 3};
+  EXPECT_EQ(t.ToString(purposes, scales),
+            "(marketing, v=house, g=specific, r=year)");
+}
+
+TEST(PrivacyTupleTest, ToStringRaw) {
+  EXPECT_EQ((PrivacyTuple{2, 1, 0, 3}).ToString(),
+            "(pr=2, v=1, g=0, r=3)");
+}
+
+TEST(PrivacyTupleTest, Equality) {
+  EXPECT_EQ((PrivacyTuple{1, 2, 3, 4}), (PrivacyTuple{1, 2, 3, 4}));
+  EXPECT_FALSE((PrivacyTuple{1, 2, 3, 4}) == (PrivacyTuple{1, 2, 3, 0}));
+  EXPECT_FALSE((PrivacyTuple{0, 2, 3, 4}) == (PrivacyTuple{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace ppdb::privacy

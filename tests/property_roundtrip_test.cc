@@ -1,0 +1,177 @@
+// Property tests for the serialization boundaries: random configurations
+// and populations must survive DSL and on-disk round-trips with identical
+// analysis results, and the SQL front-end must agree with hand-composed
+// operators on random data.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "privacy/policy_dsl.h"
+#include "relational/sql.h"
+#include "sim/population.h"
+#include "storage/database_io.h"
+#include "tests/test_util.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+
+namespace ppdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::Population RandomPopulation(uint64_t seed) {
+  sim::PopulationConfig config;
+  Rng rng(seed);
+  config.num_providers = rng.NextInt(5, 60);
+  int num_attrs = static_cast<int>(rng.NextInt(1, 3));
+  for (int a = 0; a < num_attrs; ++a) {
+    config.attributes.push_back({"attr" + std::to_string(a),
+                                 0.5 + rng.NextDouble() * 4, 50.0, 10.0});
+  }
+  config.purposes = {"p0", "p1"};
+  config.seed = seed * 977 + 3;
+  auto population = sim::PopulationGenerator(config).Generate();
+  PPDB_CHECK_OK(population.status());
+  auto policy = sim::MakeUniformPolicy(config.attributes, config.purposes,
+                                       rng.NextDouble(), rng.NextDouble(),
+                                       rng.NextDouble(),
+                                       &population.value().config);
+  PPDB_CHECK_OK(policy.status());
+  population.value().config.policy = std::move(policy).value();
+  return std::move(population).value();
+}
+
+struct Analysis {
+  int64_t violated;
+  double severity;
+  int64_t defaulted;
+};
+
+Analysis Analyze(const privacy::PrivacyConfig& config) {
+  violation::ViolationDetector detector(&config);
+  auto report = detector.Analyze();
+  PPDB_CHECK_OK(report.status());
+  violation::DefaultReport defaults =
+      violation::ComputeDefaults(report.value(), config);
+  return Analysis{report->num_violated, report->total_severity,
+                  defaults.num_defaulted};
+}
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, DslRoundTripPreservesAnalysis) {
+  sim::Population population = RandomPopulation(GetParam());
+  Analysis original = Analyze(population.config);
+
+  std::string dsl = privacy::SerializePrivacyConfig(population.config);
+  ASSERT_OK_AND_ASSIGN(privacy::PrivacyConfig reparsed,
+                       privacy::ParsePrivacyConfig(dsl));
+  Analysis after = Analyze(reparsed);
+  EXPECT_EQ(after.violated, original.violated);
+  EXPECT_NEAR(after.severity, original.severity, 1e-6);
+  EXPECT_EQ(after.defaulted, original.defaulted);
+
+  // Serialization is a fixed point: serialize(parse(serialize(x))) ==
+  // serialize(x).
+  EXPECT_EQ(privacy::SerializePrivacyConfig(reparsed), dsl);
+}
+
+TEST_P(RoundTripPropertyTest, StorageRoundTripPreservesEverything) {
+  sim::Population population = RandomPopulation(GetParam() + 100);
+  storage::Database database;
+  database.config = population.config;
+  int64_t rows = population.data.num_rows();
+  PPDB_CHECK_OK(database.catalog.AddTable(std::move(population.data))
+                    .status());
+  database.ledger.RecordIngest("providers", 1, "attr0", 7);
+
+  fs::path dir = fs::temp_directory_path() /
+                 ("ppdb_prop_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(GetParam()));
+  fs::remove_all(dir);
+  ASSERT_OK(storage::SaveDatabase(dir.string(), database));
+  ASSERT_OK_AND_ASSIGN(storage::Database loaded,
+                       storage::LoadDatabase(dir.string()));
+  fs::remove_all(dir);
+
+  ASSERT_OK_AND_ASSIGN(const rel::Table* table,
+                       loaded.catalog.GetTable("providers"));
+  EXPECT_EQ(table->num_rows(), rows);
+
+  Analysis original = Analyze(database.config);
+  Analysis after = Analyze(loaded.config);
+  EXPECT_EQ(after.violated, original.violated);
+  EXPECT_NEAR(after.severity, original.severity, 1e-6);
+  EXPECT_EQ(after.defaulted, original.defaulted);
+}
+
+TEST_P(RoundTripPropertyTest, SqlAgreesWithComposedOperators) {
+  sim::Population population = RandomPopulation(GetParam() + 200);
+  rel::Catalog catalog;
+  PPDB_CHECK_OK(catalog.AddTable(std::move(population.data)).status());
+
+  Rng rng(GetParam() + 55);
+  double cut = 40.0 + rng.NextDouble() * 20.0;
+  std::string cut_text = std::to_string(cut);
+
+  ASSERT_OK_AND_ASSIGN(
+      rel::ResultSet via_sql,
+      rel::ExecuteSql(catalog, "SELECT attr0 FROM providers WHERE attr0 > " +
+                                   cut_text + " ORDER BY attr0 LIMIT 10"));
+
+  ASSERT_OK_AND_ASSIGN(const rel::Table* table,
+                       catalog.GetTable("providers"));
+  ASSERT_OK_AND_ASSIGN(
+      rel::ResultSet filtered,
+      rel::Filter(rel::Scan(*table),
+                  rel::Gt(rel::Col("attr0"),
+                          rel::Lit(rel::Value::Parse(cut_text,
+                                                     rel::DataType::kDouble)
+                                       .value()))));
+  ASSERT_OK_AND_ASSIGN(rel::ResultSet projected,
+                       rel::Project(filtered, {"attr0"}));
+  ASSERT_OK_AND_ASSIGN(rel::ResultSet sorted,
+                       rel::Sort(projected, "attr0", true));
+  rel::ResultSet via_operators = rel::Limit(sorted, 10);
+
+  ASSERT_EQ(via_sql.num_rows(), via_operators.num_rows());
+  for (int64_t i = 0; i < via_sql.num_rows(); ++i) {
+    EXPECT_EQ(via_sql.rows[static_cast<size_t>(i)].values[0],
+              via_operators.rows[static_cast<size_t>(i)].values[0]);
+    EXPECT_EQ(via_sql.rows[static_cast<size_t>(i)].provider,
+              via_operators.rows[static_cast<size_t>(i)].provider);
+  }
+}
+
+TEST_P(RoundTripPropertyTest, SqlAggregatesAgreeWithOperators) {
+  sim::Population population = RandomPopulation(GetParam() + 300);
+  rel::Catalog catalog;
+  PPDB_CHECK_OK(catalog.AddTable(std::move(population.data)).status());
+
+  ASSERT_OK_AND_ASSIGN(
+      rel::ResultSet via_sql,
+      rel::ExecuteSql(catalog,
+                      "SELECT COUNT(*) AS n, SUM(attr0) AS s, "
+                      "MIN(attr0) AS lo FROM providers"));
+  ASSERT_OK_AND_ASSIGN(const rel::Table* table,
+                       catalog.GetTable("providers"));
+  ASSERT_OK_AND_ASSIGN(
+      rel::ResultSet via_operators,
+      rel::Aggregate(rel::Scan(*table), {},
+                     {{rel::AggOp::kCount, "", "n"},
+                      {rel::AggOp::kSum, "attr0", "s"},
+                      {rel::AggOp::kMin, "attr0", "lo"}}));
+  ASSERT_EQ(via_sql.num_rows(), 1);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(via_sql.rows[0].values[c], via_operators.rows[0].values[c]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ppdb

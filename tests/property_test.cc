@@ -1,0 +1,265 @@
+// Property-based tests: model invariants checked over randomized
+// configurations, parameterized by seed (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "privacy/config.h"
+#include "tests/test_util.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+#include "violation/probability.h"
+#include "violation/utility.h"
+
+namespace ppdb {
+namespace {
+
+using privacy::Dimension;
+using privacy::DimensionSensitivity;
+using privacy::PrivacyConfig;
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+using violation::ComputeDefaults;
+using violation::ViolationDetector;
+using violation::ViolationReport;
+
+// Draws a random-but-valid config: a handful of attributes/purposes, a
+// random policy, random preferences for a small population, and strictly
+// positive sensitivities unless `zero_sensitivities`.
+PrivacyConfig RandomConfig(uint64_t seed, bool positive_sensitivities) {
+  Rng rng(seed);
+  PrivacyConfig config;
+  std::vector<std::string> attributes;
+  int num_attrs = static_cast<int>(rng.NextInt(1, 3));
+  for (int a = 0; a < num_attrs; ++a) {
+    attributes.push_back("attr" + std::to_string(a));
+  }
+  std::vector<PurposeId> purposes;
+  int num_purposes = static_cast<int>(rng.NextInt(1, 3));
+  for (int p = 0; p < num_purposes; ++p) {
+    purposes.push_back(
+        config.purposes.Register("purpose" + std::to_string(p)).value());
+  }
+
+  auto random_level = [&](const privacy::OrderedScale& scale) {
+    return static_cast<int>(rng.NextInt(0, scale.max_level()));
+  };
+  auto random_tuple = [&](PurposeId purpose) {
+    PrivacyTuple t = PrivacyTuple::ZeroFor(purpose);
+    t.visibility = random_level(config.scales.visibility);
+    t.granularity = random_level(config.scales.granularity);
+    t.retention = random_level(config.scales.retention);
+    return t;
+  };
+  auto random_sens = [&]() {
+    if (positive_sensitivities) {
+      return DimensionSensitivity{0.5 + rng.NextDouble() * 3,
+                                  0.5 + rng.NextDouble() * 3,
+                                  0.5 + rng.NextDouble() * 3,
+                                  0.5 + rng.NextDouble() * 3};
+    }
+    return DimensionSensitivity{rng.NextDouble() * 2, rng.NextDouble() * 2,
+                                rng.NextDouble() * 2, rng.NextDouble() * 2};
+  };
+
+  for (const std::string& attr : attributes) {
+    PPDB_CHECK_OK(config.sensitivities.SetAttributeSensitivity(
+        attr, positive_sensitivities ? 1.0 + rng.NextDouble() * 4
+                                     : rng.NextDouble() * 4));
+    for (PurposeId purpose : purposes) {
+      if (rng.NextBool(0.8)) {
+        PPDB_CHECK_OK(config.policy.Add(attr, random_tuple(purpose)));
+      }
+    }
+  }
+  int64_t population = rng.NextInt(3, 25);
+  for (int64_t i = 1; i <= population; ++i) {
+    auto& prefs = config.preferences.ForProvider(i);
+    for (const std::string& attr : attributes) {
+      PPDB_CHECK_OK(config.sensitivities.SetProviderSensitivity(
+          i, attr, random_sens()));
+      for (PurposeId purpose : purposes) {
+        if (rng.NextBool(0.7)) {
+          prefs.Set(attr, random_tuple(purpose));
+        }
+      }
+    }
+    config.thresholds[i] = rng.NextDouble() * 40.0;
+  }
+  return config;
+}
+
+class ModelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Def. 1 <-> Eq. 15 link: with strictly positive sensitivities,
+// w_i = 1 exactly when Violation_i > 0.
+TEST_P(ModelPropertyTest, ViolatedIffPositiveSeverityUnderPositiveWeights) {
+  PrivacyConfig config = RandomConfig(GetParam(), true);
+  ViolationDetector detector(&config);
+  ASSERT_OK_AND_ASSIGN(ViolationReport report, detector.Analyze());
+  for (const violation::ProviderViolation& pv : report.providers) {
+    EXPECT_EQ(pv.violated, pv.total_severity > 0.0)
+        << "provider " << pv.provider;
+    EXPECT_EQ(pv.violated, !pv.incidents.empty());
+    EXPECT_GE(pv.total_severity, 0.0);
+  }
+}
+
+// Severity decomposition: Violation_i equals the sum of its incidents'
+// weighted severities (every non-incident summand of Eq. 14/15 is zero).
+TEST_P(ModelPropertyTest, SeverityEqualsSumOfIncidents) {
+  PrivacyConfig config = RandomConfig(GetParam() + 1000, false);
+  ViolationDetector detector(&config);
+  ASSERT_OK_AND_ASSIGN(ViolationReport report, detector.Analyze());
+  double total = 0.0;
+  for (const violation::ProviderViolation& pv : report.providers) {
+    double incidents_sum = 0.0;
+    for (const violation::ViolationIncident& incident : pv.incidents) {
+      EXPECT_GT(incident.diff, 0);
+      EXPECT_EQ(incident.diff,
+                incident.policy_level - incident.preference_level);
+      incidents_sum += incident.weighted_severity;
+    }
+    EXPECT_NEAR(pv.total_severity, incidents_sum, 1e-9);
+    total += pv.total_severity;
+  }
+  EXPECT_NEAR(report.total_severity, total, 1e-9);
+}
+
+// Monotonicity (the engine behind §9): widening the policy along any
+// dimension never decreases P(W), Violations, or defaults.
+TEST_P(ModelPropertyTest, WideningIsMonotone) {
+  PrivacyConfig config = RandomConfig(GetParam() + 2000, false);
+  ViolationDetector detector(&config);
+  ASSERT_OK_AND_ASSIGN(ViolationReport before, detector.Analyze());
+  violation::DefaultReport defaults_before = ComputeDefaults(before, config);
+
+  for (Dimension dim : privacy::kOrderedDimensions) {
+    PrivacyConfig widened = config;
+    ASSERT_OK_AND_ASSIGN(widened.policy,
+                         config.policy.Widened(dim, 1, config.scales));
+    ViolationDetector widened_detector(&widened);
+    ASSERT_OK_AND_ASSIGN(ViolationReport after, widened_detector.Analyze());
+    violation::DefaultReport defaults_after =
+        ComputeDefaults(after, widened);
+    EXPECT_GE(after.num_violated, before.num_violated);
+    EXPECT_GE(after.total_severity, before.total_severity - 1e-9);
+    EXPECT_GE(defaults_after.num_defaulted, defaults_before.num_defaulted);
+  }
+}
+
+// Linearity in attribute sensitivity: doubling every Sigma^a doubles every
+// Violation_i (Eq. 14 is a product).
+TEST_P(ModelPropertyTest, SeverityLinearInAttributeSensitivity) {
+  PrivacyConfig config = RandomConfig(GetParam() + 3000, true);
+  ViolationDetector detector(&config);
+  ASSERT_OK_AND_ASSIGN(ViolationReport base, detector.Analyze());
+
+  PrivacyConfig doubled = config;
+  for (const auto& [attr, value] :
+       config.sensitivities.attribute_defaults()) {
+    PPDB_CHECK_OK(
+        doubled.sensitivities.SetAttributeSensitivity(attr, value * 2));
+  }
+  ViolationDetector doubled_detector(&doubled);
+  ASSERT_OK_AND_ASSIGN(ViolationReport scaled, doubled_detector.Analyze());
+  ASSERT_EQ(base.providers.size(), scaled.providers.size());
+  for (size_t i = 0; i < base.providers.size(); ++i) {
+    EXPECT_NEAR(scaled.providers[i].total_severity,
+                2.0 * base.providers[i].total_severity, 1e-9);
+    EXPECT_EQ(scaled.providers[i].violated, base.providers[i].violated);
+  }
+}
+
+// A maximally tolerant population (preferences at scale top for every
+// policy purpose) is never violated; the zero policy violates no one.
+TEST_P(ModelPropertyTest, BoundaryPopulations) {
+  PrivacyConfig config = RandomConfig(GetParam() + 4000, false);
+
+  // Zero policy.
+  PrivacyConfig zero = config;
+  zero.policy = privacy::HousePolicy();
+  for (const privacy::PolicyTuple& pt : config.policy.tuples()) {
+    PPDB_CHECK_OK(
+        zero.policy.Add(pt.attribute,
+                        PrivacyTuple::ZeroFor(pt.tuple.purpose)));
+  }
+  ViolationDetector zero_detector(&zero);
+  ASSERT_OK_AND_ASSIGN(ViolationReport zero_report, zero_detector.Analyze());
+  EXPECT_EQ(zero_report.num_violated, 0);
+  EXPECT_DOUBLE_EQ(zero_report.total_severity, 0.0);
+
+  // Maximally tolerant preferences.
+  PrivacyConfig tolerant = config;
+  for (privacy::ProviderId id : config.preferences.ProviderIds()) {
+    auto& prefs = tolerant.preferences.ForProvider(id);
+    for (const privacy::PolicyTuple& pt : config.policy.tuples()) {
+      PrivacyTuple top = PrivacyTuple::ZeroFor(pt.tuple.purpose);
+      top.visibility = tolerant.scales.visibility.max_level();
+      top.granularity = tolerant.scales.granularity.max_level();
+      top.retention = tolerant.scales.retention.max_level();
+      prefs.Set(pt.attribute, top);
+    }
+  }
+  ViolationDetector tolerant_detector(&tolerant);
+  ASSERT_OK_AND_ASSIGN(ViolationReport tolerant_report,
+                       tolerant_detector.Analyze());
+  EXPECT_EQ(tolerant_report.num_violated, 0);
+}
+
+// Trial-based estimation (Def. 2): the Wilson 95% interval covers the
+// census value in the vast majority of runs.
+TEST_P(ModelPropertyTest, EstimatorCiCoversCensus) {
+  PrivacyConfig config = RandomConfig(GetParam() + 5000, false);
+  ViolationDetector detector(&config);
+  ASSERT_OK_AND_ASSIGN(ViolationReport report, detector.Analyze());
+  int covered = 0;
+  const int runs = 20;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(GetParam() * 1000 + static_cast<uint64_t>(r));
+    ASSERT_OK_AND_ASSIGN(
+        violation::TrialEstimate estimate,
+        violation::EstimateViolationProbability(report, 400, rng));
+    // Tolerance absorbs float rounding at the degenerate ends (at phat = 1
+    // the Wilson upper bound is 1 mathematically but rounds just below).
+    if (estimate.census >= estimate.ci95.lo - 1e-9 &&
+        estimate.census <= estimate.ci95.hi + 1e-9) {
+      ++covered;
+    }
+  }
+  // 95% nominal coverage; demand >= 80% to keep the test robust.
+  EXPECT_GE(covered, 16);
+}
+
+// Utility algebra: break-even T scales linearly with U (Eq. 31), and the
+// justification predicate is monotone in T.
+TEST_P(ModelPropertyTest, UtilityAlgebraInvariants) {
+  Rng rng(GetParam() + 6000);
+  for (int trial = 0; trial < 20; ++trial) {
+    double u = 0.5 + rng.NextDouble() * 10;
+    int64_t n = rng.NextInt(2, 1000);
+    int64_t remaining = rng.NextInt(1, n);
+    ASSERT_OK_AND_ASSIGN(auto model1, violation::UtilityModel::Create(u));
+    ASSERT_OK_AND_ASSIGN(auto model2,
+                         violation::UtilityModel::Create(2 * u));
+    ASSERT_OK_AND_ASSIGN(double t1,
+                         model1.BreakEvenExtraUtility(n, remaining));
+    ASSERT_OK_AND_ASSIGN(double t2,
+                         model2.BreakEvenExtraUtility(n, remaining));
+    EXPECT_NEAR(t2, 2 * t1, 1e-9 * std::max(1.0, std::fabs(t2)));
+    EXPECT_GE(t1, 0.0);
+    // Monotone in T.
+    EXPECT_TRUE(model1.ExpansionJustified(n, remaining, t1 + 1.0));
+    if (t1 > 1e-6) {
+      EXPECT_FALSE(model1.ExpansionJustified(n, remaining, t1 * 0.5));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace ppdb

@@ -1,0 +1,145 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::rel {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema::Create({{"age", DataType::kInt64, ""},
+                         {"weight", DataType::kDouble, ""}})
+      .value();
+}
+
+TEST(ParseCsvTest, SimpleRows) {
+  ASSERT_OK_AND_ASSIGN(auto rows, ParseCsv("a,b\n1,2\n"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  ASSERT_OK_AND_ASSIGN(auto rows, ParseCsv("a,b\n1,2"));
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(ParseCsvTest, QuotedFields) {
+  ASSERT_OK_AND_ASSIGN(auto rows, ParseCsv("\"a,b\",\"say \"\"hi\"\"\"\n"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+}
+
+TEST(ParseCsvTest, QuotedNewline) {
+  ASSERT_OK_AND_ASSIGN(auto rows, ParseCsv("\"line1\nline2\",x\n"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ParseCsvTest, CrLfLineEndings) {
+  ASSERT_OK_AND_ASSIGN(auto rows, ParseCsv("a,b\r\n1,2\r\n"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  ASSERT_OK_AND_ASSIGN(auto rows, ParseCsv("a,,c\n"));
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteErrors) {
+  EXPECT_TRUE(ParseCsv("\"open\n").status().IsParseError());
+}
+
+TEST(ParseCsvTest, QuoteInsideUnquotedFieldErrors) {
+  EXPECT_TRUE(ParseCsv("ab\"c\n").status().IsParseError());
+}
+
+TEST(TableFromCsvTest, RoundTrip) {
+  const char* csv =
+      "provider_id,age,weight\n"
+      "1,34,81.5\n"
+      "2,28,\n";
+  ASSERT_OK_AND_ASSIGN(Table t, TableFromCsv("people", PeopleSchema(), csv));
+  EXPECT_EQ(t.num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(Value w1, t.GetCell(1, "weight"));
+  EXPECT_EQ(w1, Value::Double(81.5));
+  ASSERT_OK_AND_ASSIGN(Value w2, t.GetCell(2, "weight"));
+  EXPECT_TRUE(w2.is_null());
+
+  // Serialize and re-parse.
+  std::string out = TableToCsv(t);
+  ASSERT_OK_AND_ASSIGN(Table t2,
+                       TableFromCsv("people2", PeopleSchema(), out));
+  EXPECT_EQ(t2.num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(Value again, t2.GetCell(1, "weight"));
+  EXPECT_EQ(again, Value::Double(81.5));
+}
+
+TEST(TableFromCsvTest, AutoNumberedProviders) {
+  const char* csv = "age,weight\n30,70\n40,80\n";
+  ASSERT_OK_AND_ASSIGN(
+      Table t, TableFromCsv("people", PeopleSchema(), csv,
+                            /*header_has_provider_id=*/false));
+  EXPECT_EQ(t.ProviderIds(), (std::vector<ProviderId>{1, 2}));
+}
+
+TEST(TableFromCsvTest, HeaderMismatchErrors) {
+  EXPECT_TRUE(TableFromCsv("p", PeopleSchema(),
+                           "provider_id,age,height\n1,2,3\n")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(TableFromCsv("p", PeopleSchema(), "provider_id,age\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(TableFromCsvTest, BadProviderIdErrors) {
+  Status s = TableFromCsv("p", PeopleSchema(),
+                          "provider_id,age,weight\nseven,1,2\n")
+                 .status();
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("provider id"), std::string::npos);
+}
+
+TEST(TableFromCsvTest, BadCellCarriesContext) {
+  Status s = TableFromCsv("p", PeopleSchema(),
+                          "provider_id,age,weight\n1,not_a_number,2\n")
+                 .status();
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("age"), std::string::npos);
+}
+
+TEST(TableFromCsvTest, RaggedRowErrors) {
+  EXPECT_TRUE(TableFromCsv("p", PeopleSchema(),
+                           "provider_id,age,weight\n1,2\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(TableFromCsvTest, DuplicateProviderErrors) {
+  Status s = TableFromCsv("p", PeopleSchema(),
+                          "provider_id,age,weight\n1,30,70\n1,31,71\n")
+                 .status();
+  EXPECT_TRUE(s.IsAlreadyExists());
+}
+
+TEST(TableFromCsvTest, EmptyInputErrors) {
+  EXPECT_TRUE(
+      TableFromCsv("p", PeopleSchema(), "").status().IsParseError());
+}
+
+TEST(TableToCsvTest, EscapesSpecialValues) {
+  Schema schema =
+      Schema::Create({{"note", DataType::kString, ""}}).value();
+  ASSERT_OK_AND_ASSIGN(Table t, Table::Create("notes", schema));
+  ASSERT_OK(t.Insert(1, {Value::String("a,b")}));
+  std::string csv = TableToCsv(t);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::rel

@@ -1,0 +1,150 @@
+#include "relational/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::rel {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest()
+      : schema_(Schema::Create({{"age", DataType::kInt64, ""},
+                                {"weight", DataType::kDouble, ""},
+                                {"name", DataType::kString, ""},
+                                {"active", DataType::kBool, ""}})
+                    .value()),
+        row_{7,
+             {Value::Int64(34), Value::Double(81.5), Value::String("ada"),
+              Value::Bool(true)}} {}
+
+  Value Eval(const ExprPtr& e) {
+    Result<Value> r = e->Evaluate(row_, schema_);
+    EXPECT_OK(r.status());
+    return r.ok() ? r.value() : Value::Null();
+  }
+
+  Schema schema_;
+  Row row_;
+};
+
+TEST_F(ExpressionTest, LiteralEvaluatesToItself) {
+  EXPECT_EQ(Eval(Lit(Value::Int64(5))), Value::Int64(5));
+  EXPECT_EQ(Eval(Lit(Value::Null())), Value::Null());
+}
+
+TEST_F(ExpressionTest, ColumnResolvesByName) {
+  EXPECT_EQ(Eval(Col("age")), Value::Int64(34));
+  EXPECT_EQ(Eval(Col("name")), Value::String("ada"));
+}
+
+TEST_F(ExpressionTest, UnknownColumnErrors) {
+  Result<Value> r = Col("height")->Evaluate(row_, schema_);
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(ExpressionTest, Comparisons) {
+  EXPECT_EQ(Eval(Gt(Col("age"), Lit(Value::Int64(30)))), Value::Bool(true));
+  EXPECT_EQ(Eval(Lt(Col("age"), Lit(Value::Int64(30)))), Value::Bool(false));
+  EXPECT_EQ(Eval(Ge(Col("age"), Lit(Value::Int64(34)))), Value::Bool(true));
+  EXPECT_EQ(Eval(Le(Col("age"), Lit(Value::Int64(33)))), Value::Bool(false));
+  EXPECT_EQ(Eval(Eq(Col("name"), Lit(Value::String("ada")))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Ne(Col("name"), Lit(Value::String("bob")))),
+            Value::Bool(true));
+}
+
+TEST_F(ExpressionTest, CrossNumericComparison) {
+  // int64 column compared to a double literal.
+  EXPECT_EQ(Eval(Gt(Col("age"), Lit(Value::Double(33.5)))),
+            Value::Bool(true));
+}
+
+TEST_F(ExpressionTest, NullComparisonsYieldNull) {
+  EXPECT_EQ(Eval(Eq(Lit(Value::Null()), Lit(Value::Int64(1)))),
+            Value::Null());
+  EXPECT_EQ(Eval(Lt(Col("age"), Lit(Value::Null()))), Value::Null());
+}
+
+TEST_F(ExpressionTest, LogicalOperators) {
+  ExprPtr t = Lit(Value::Bool(true));
+  ExprPtr f = Lit(Value::Bool(false));
+  EXPECT_EQ(Eval(And(t, t)), Value::Bool(true));
+  EXPECT_EQ(Eval(And(t, f)), Value::Bool(false));
+  EXPECT_EQ(Eval(Or(f, t)), Value::Bool(true));
+  EXPECT_EQ(Eval(Or(f, f)), Value::Bool(false));
+  EXPECT_EQ(Eval(Not(t)), Value::Bool(false));
+}
+
+TEST_F(ExpressionTest, ThreeValuedLogic) {
+  ExprPtr t = Lit(Value::Bool(true));
+  ExprPtr f = Lit(Value::Bool(false));
+  ExprPtr n = Lit(Value::Null());
+  // null AND false = false; null AND true = null.
+  EXPECT_EQ(Eval(And(n, f)), Value::Bool(false));
+  EXPECT_EQ(Eval(And(n, t)), Value::Null());
+  // null OR true = true; null OR false = null.
+  EXPECT_EQ(Eval(Or(n, t)), Value::Bool(true));
+  EXPECT_EQ(Eval(Or(n, f)), Value::Null());
+  EXPECT_EQ(Eval(Not(n)), Value::Null());
+}
+
+TEST_F(ExpressionTest, IsNullPredicate) {
+  EXPECT_EQ(Eval(IsNull(Lit(Value::Null()))), Value::Bool(true));
+  EXPECT_EQ(Eval(IsNull(Col("age"))), Value::Bool(false));
+}
+
+TEST_F(ExpressionTest, ArithmeticIntPreserving) {
+  EXPECT_EQ(Eval(Add(Col("age"), Lit(Value::Int64(6)))), Value::Int64(40));
+  EXPECT_EQ(Eval(Sub(Col("age"), Lit(Value::Int64(4)))), Value::Int64(30));
+  EXPECT_EQ(Eval(Mul(Lit(Value::Int64(3)), Lit(Value::Int64(4)))),
+            Value::Int64(12));
+}
+
+TEST_F(ExpressionTest, ArithmeticPromotesToDouble) {
+  EXPECT_EQ(Eval(Add(Col("age"), Lit(Value::Double(0.5)))),
+            Value::Double(34.5));
+  // Division always yields double.
+  EXPECT_EQ(Eval(Div(Lit(Value::Int64(7)), Lit(Value::Int64(2)))),
+            Value::Double(3.5));
+}
+
+TEST_F(ExpressionTest, DivisionByZeroErrors) {
+  Result<Value> r = Div(Col("age"), Lit(Value::Int64(0)))
+                        ->Evaluate(row_, schema_);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(ExpressionTest, NegateExpression) {
+  EXPECT_EQ(Eval(Unary(UnaryOp::kNegate, Col("age"))), Value::Int64(-34));
+  EXPECT_EQ(Eval(Unary(UnaryOp::kNegate, Col("weight"))),
+            Value::Double(-81.5));
+}
+
+TEST_F(ExpressionTest, NullArithmeticYieldsNull) {
+  EXPECT_EQ(Eval(Add(Lit(Value::Null()), Col("age"))), Value::Null());
+}
+
+TEST_F(ExpressionTest, ComposedPredicate) {
+  // (age > 30 AND weight < 90) OR name = "bob"
+  ExprPtr e = Or(And(Gt(Col("age"), Lit(Value::Int64(30))),
+                     Lt(Col("weight"), Lit(Value::Double(90.0)))),
+                 Eq(Col("name"), Lit(Value::String("bob"))));
+  EXPECT_EQ(Eval(e), Value::Bool(true));
+}
+
+TEST_F(ExpressionTest, ToStringRendersTree) {
+  ExprPtr e = Gt(Col("weight"), Lit(Value::Int64(80)));
+  EXPECT_EQ(e->ToString(), "(weight > 80)");
+  EXPECT_EQ(Not(Col("active"))->ToString(), "NOT active");
+  EXPECT_EQ(IsNull(Col("age"))->ToString(), "age IS NULL");
+}
+
+TEST_F(ExpressionTest, IncomparableTypesError) {
+  Result<Value> r = Lt(Col("name"), Col("age"))->Evaluate(row_, schema_);
+  EXPECT_TRUE(r.status().IsIncomparable());
+}
+
+}  // namespace
+}  // namespace ppdb::rel

@@ -1,0 +1,140 @@
+// Tests for the multi-record extension: the paper's assumption 5 relaxed
+// so that "multiple records may exist in the same table for a given data
+// provider".
+#include <gtest/gtest.h>
+
+#include "relational/table.h"
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+#include "violation/detector.h"
+
+namespace ppdb::rel {
+namespace {
+
+Schema VisitSchema() {
+  return Schema::Create({{"visit_day", DataType::kInt64, ""},
+                         {"weight", DataType::kDouble, ""}})
+      .value();
+}
+
+TEST(MultiRecordTableTest, AllowsSeveralRowsPerProvider) {
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  EXPECT_TRUE(t.multi_record());
+  ASSERT_OK(t.Insert(1, {Value::Int64(10), Value::Double(81.0)}));
+  ASSERT_OK(t.Insert(1, {Value::Int64(40), Value::Double(79.5)}));
+  ASSERT_OK(t.Insert(2, {Value::Int64(12), Value::Double(64.0)}));
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_providers(), 2);
+  EXPECT_EQ(t.RowsForProvider(1).size(), 2u);
+  EXPECT_EQ(t.RowsForProvider(3).size(), 0u);
+}
+
+TEST(MultiRecordTableTest, SingleRecordModeStillEnforcesAssumption5) {
+  ASSERT_OK_AND_ASSIGN(Table t, Table::Create("visits", VisitSchema()));
+  EXPECT_FALSE(t.multi_record());
+  ASSERT_OK(t.Insert(1, {Value::Int64(10), Value::Double(81.0)}));
+  EXPECT_TRUE(t.Insert(1, {Value::Int64(40), Value::Double(79.5)})
+                  .IsAlreadyExists());
+}
+
+TEST(MultiRecordTableTest, PointLookupsAmbiguousWithSeveralRows) {
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  ASSERT_OK(t.Insert(1, {Value::Int64(10), Value::Double(81.0)}));
+  // One row: point lookup fine.
+  EXPECT_OK(t.GetRow(1).status());
+  ASSERT_OK(t.Insert(1, {Value::Int64(40), Value::Double(79.5)}));
+  EXPECT_TRUE(t.GetRow(1).status().IsFailedPrecondition());
+  EXPECT_TRUE(t.GetCell(1, "weight").status().IsFailedPrecondition());
+}
+
+TEST(MultiRecordTableTest, UpdateCellTouchesEveryOwnedRow) {
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  ASSERT_OK(t.Insert(1, {Value::Int64(10), Value::Double(81.0)}));
+  ASSERT_OK(t.Insert(1, {Value::Int64(40), Value::Double(79.5)}));
+  ASSERT_OK(t.UpdateCell(1, 1, Value::Null()));  // Suppress weight.
+  for (const Row& row : t.RowsForProvider(1)) {
+    EXPECT_TRUE(row.values[1].is_null());
+    EXPECT_FALSE(row.values[0].is_null());
+  }
+}
+
+TEST(MultiRecordTableTest, ProviderSuppliesAttributeAnyRow) {
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  ASSERT_OK(t.Insert(1, {Value::Int64(10), Value::Null()}));
+  ASSERT_OK(t.Insert(1, {Value::Int64(40), Value::Double(79.5)}));
+  ASSERT_OK_AND_ASSIGN(bool weight, t.ProviderSuppliesAttribute(1, "weight"));
+  EXPECT_TRUE(weight);  // Second row supplies it.
+  ASSERT_OK(t.UpdateCell(1, 1, Value::Null()));
+  ASSERT_OK_AND_ASSIGN(bool after, t.ProviderSuppliesAttribute(1, "weight"));
+  EXPECT_FALSE(after);
+  ASSERT_OK_AND_ASSIGN(bool absent, t.ProviderSuppliesAttribute(9, "weight"));
+  EXPECT_FALSE(absent);
+  EXPECT_TRUE(
+      t.ProviderSuppliesAttribute(1, "nope").status().IsNotFound());
+}
+
+TEST(MultiRecordTableTest, EraseProviderRemovesAllRows) {
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  ASSERT_OK(t.Insert(1, {Value::Int64(10), Value::Double(81.0)}));
+  ASSERT_OK(t.Insert(1, {Value::Int64(40), Value::Double(79.5)}));
+  ASSERT_OK(t.Insert(2, {Value::Int64(12), Value::Double(64.0)}));
+  ASSERT_OK(t.EraseProvider(1));
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_FALSE(t.ContainsProvider(1));
+  // Index rebuilt: provider 2 still addressable.
+  ASSERT_OK_AND_ASSIGN(Value v, t.GetCell(2, "weight"));
+  EXPECT_EQ(v, Value::Double(64.0));
+}
+
+TEST(MultiRecordTableTest, ProviderIdsDeduplicated) {
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  ASSERT_OK(t.Insert(5, {Value::Int64(1), Value::Null()}));
+  ASSERT_OK(t.Insert(5, {Value::Int64(2), Value::Null()}));
+  ASSERT_OK(t.Insert(3, {Value::Int64(3), Value::Null()}));
+  EXPECT_EQ(t.ProviderIds(), (std::vector<ProviderId>{5, 3}));
+}
+
+// The violation model over a multi-record table: one provider with many
+// records is still one w_i (Def. 2 counts providers, not tuples).
+TEST(MultiRecordViolationTest, DetectorScopesByAnyOwnedRecord) {
+  privacy::PrivacyConfig config;
+  privacy::PurposeId purpose = config.purposes.Register("care").value();
+  PPDB_CHECK_OK(config.policy.Add(
+      "weight", privacy::PrivacyTuple{purpose, 2, 2, 2}));
+  config.preferences.ForProvider(1).Set(
+      "weight", privacy::PrivacyTuple{purpose, 0, 0, 0});
+  config.preferences.ForProvider(2).Set(
+      "weight", privacy::PrivacyTuple{purpose, 0, 0, 0});
+
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       Table::CreateMultiRecord("visits", VisitSchema()));
+  // Provider 1 has three visit records (weight supplied on one of them);
+  // provider 2 has records but never supplied a weight.
+  ASSERT_OK(t.Insert(1, {Value::Int64(1), Value::Null()}));
+  ASSERT_OK(t.Insert(1, {Value::Int64(2), Value::Double(80.0)}));
+  ASSERT_OK(t.Insert(1, {Value::Int64(3), Value::Null()}));
+  ASSERT_OK(t.Insert(2, {Value::Int64(1), Value::Null()}));
+
+  violation::ViolationDetector::Options options;
+  options.data_table = &t;
+  violation::ViolationDetector detector(&config, options);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport report, detector.Analyze());
+  ASSERT_EQ(report.num_providers(), 2);
+  // Provider 1 violated once (not three times): severity counts the
+  // (attribute, purpose) conflict, not the record count.
+  EXPECT_TRUE(report.Find(1)->violated);
+  EXPECT_DOUBLE_EQ(report.Find(1)->total_severity, 6.0);
+  // Provider 2 supplies no weight: no violation.
+  EXPECT_FALSE(report.Find(2)->violated);
+  EXPECT_DOUBLE_EQ(report.ProbabilityOfViolation(), 0.5);
+}
+
+}  // namespace
+}  // namespace ppdb::rel

@@ -1,0 +1,205 @@
+#include "relational/query.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::rel {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema = Schema::Create({{"age", DataType::kInt64, ""},
+                                    {"weight", DataType::kDouble, ""},
+                                    {"city", DataType::kString, ""}})
+                        .value();
+    table_ = std::make_unique<Table>(
+        Table::Create("people", schema).value());
+    ASSERT_OK(table_->Insert(
+        1, {Value::Int64(34), Value::Double(81.0), Value::String("calgary")}));
+    ASSERT_OK(table_->Insert(
+        2, {Value::Int64(28), Value::Double(64.0), Value::String("toronto")}));
+    ASSERT_OK(table_->Insert(
+        3, {Value::Int64(45), Value::Double(92.0), Value::String("calgary")}));
+    ASSERT_OK(table_->Insert(
+        4, {Value::Int64(19), Value::Null(), Value::String("montreal")}));
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(QueryTest, ScanMaterializesAllRows) {
+  ResultSet rs = Scan(*table_);
+  EXPECT_EQ(rs.num_rows(), 4);
+  EXPECT_EQ(rs.schema, table_->schema());
+  EXPECT_EQ(rs.rows[0].provider, 1);
+}
+
+TEST_F(QueryTest, FilterKeepsMatching) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      Filter(Scan(*table_), Gt(Col("age"), Lit(Value::Int64(30)))));
+  EXPECT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(rs.rows[0].provider, 1);
+  EXPECT_EQ(rs.rows[1].provider, 3);
+}
+
+TEST_F(QueryTest, FilterNullPredicateIsFalse) {
+  // Provider 4 has null weight: weight > 50 is null there -> excluded.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      Filter(Scan(*table_), Gt(Col("weight"), Lit(Value::Double(50.0)))));
+  EXPECT_EQ(rs.num_rows(), 3);
+}
+
+TEST_F(QueryTest, FilterTypeErrorPropagates) {
+  Result<ResultSet> r =
+      Filter(Scan(*table_), Gt(Col("city"), Lit(Value::Int64(1))));
+  EXPECT_TRUE(r.status().IsIncomparable());
+}
+
+TEST_F(QueryTest, ProjectReordersColumns) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       Project(Scan(*table_), {"city", "age"}));
+  EXPECT_EQ(rs.schema.num_attributes(), 2);
+  EXPECT_EQ(rs.schema.attribute(0).name, "city");
+  EXPECT_EQ(rs.rows[0].values[0], Value::String("calgary"));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Int64(34));
+  // Provider ids survive projection.
+  EXPECT_EQ(rs.rows[0].provider, 1);
+}
+
+TEST_F(QueryTest, ProjectUnknownColumnErrors) {
+  EXPECT_TRUE(Project(Scan(*table_), {"nope"}).status().IsNotFound());
+}
+
+TEST_F(QueryTest, SortAscendingAndDescending) {
+  ASSERT_OK_AND_ASSIGN(ResultSet asc, Sort(Scan(*table_), "age", true));
+  EXPECT_EQ(asc.rows.front().provider, 4);
+  EXPECT_EQ(asc.rows.back().provider, 3);
+  ASSERT_OK_AND_ASSIGN(ResultSet desc, Sort(Scan(*table_), "age", false));
+  EXPECT_EQ(desc.rows.front().provider, 3);
+}
+
+TEST_F(QueryTest, SortNullsFirst) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, Sort(Scan(*table_), "weight", true));
+  EXPECT_EQ(rs.rows.front().provider, 4);  // null weight sorts first
+}
+
+TEST_F(QueryTest, LimitTruncates) {
+  ResultSet rs = Limit(Scan(*table_), 2);
+  EXPECT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(Limit(Scan(*table_), 0).num_rows(), 0);
+  EXPECT_EQ(Limit(Scan(*table_), 99).num_rows(), 4);
+}
+
+TEST_F(QueryTest, HashJoinMatchesKeys) {
+  Schema cities = Schema::Create({{"city", DataType::kString, ""},
+                                  {"province", DataType::kString, ""}})
+                      .value();
+  ASSERT_OK_AND_ASSIGN(Table lookup, Table::Create("cities", cities));
+  ASSERT_OK(lookup.Insert(
+      100, {Value::String("calgary"), Value::String("AB")}));
+  ASSERT_OK(lookup.Insert(
+      101, {Value::String("toronto"), Value::String("ON")}));
+
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet joined,
+      HashJoin(Scan(*table_), Scan(lookup), "city", "city"));
+  // montreal has no match; calgary matches twice (providers 1 and 3).
+  EXPECT_EQ(joined.num_rows(), 3);
+  // Colliding name suffixed.
+  EXPECT_TRUE(joined.schema.Contains("city_r"));
+  EXPECT_TRUE(joined.schema.Contains("province"));
+  // Left provider id preserved.
+  EXPECT_EQ(joined.rows[0].provider, 1);
+}
+
+TEST_F(QueryTest, HashJoinNullKeysNeverMatch) {
+  Schema right_schema = Schema::Create({{"weight", DataType::kDouble, ""}})
+                            .value();
+  ASSERT_OK_AND_ASSIGN(Table right, Table::Create("r", right_schema));
+  ASSERT_OK(right.Insert(200, {Value::Null()}));
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet joined,
+      HashJoin(Scan(*table_), Scan(right), "weight", "weight"));
+  EXPECT_EQ(joined.num_rows(), 0);
+}
+
+TEST_F(QueryTest, HashJoinCrossNumericTypes) {
+  // int64 join key on one side, double on the other: equal values match.
+  Schema left_schema =
+      Schema::Create({{"k", DataType::kInt64, ""}}).value();
+  Schema right_schema =
+      Schema::Create({{"k", DataType::kDouble, ""}}).value();
+  ASSERT_OK_AND_ASSIGN(Table left, Table::Create("l", left_schema));
+  ASSERT_OK_AND_ASSIGN(Table right, Table::Create("r", right_schema));
+  ASSERT_OK(left.Insert(1, {Value::Int64(5)}));
+  ASSERT_OK(right.Insert(2, {Value::Double(5.0)}));
+  ASSERT_OK_AND_ASSIGN(ResultSet joined,
+                       HashJoin(Scan(left), Scan(right), "k", "k"));
+  EXPECT_EQ(joined.num_rows(), 1);
+}
+
+TEST_F(QueryTest, GlobalAggregate) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      Aggregate(Scan(*table_), {},
+                {{AggOp::kCount, "", "n"},
+                 {AggOp::kSum, "age", "age_sum"},
+                 {AggOp::kAvg, "weight", "w_avg"},
+                 {AggOp::kMin, "age", "age_min"},
+                 {AggOp::kMax, "age", "age_max"}}));
+  ASSERT_EQ(rs.num_rows(), 1);
+  EXPECT_EQ(rs.rows[0].values[0], Value::Int64(4));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Double(126.0));
+  // Null weight skipped by avg: (81 + 64 + 92) / 3.
+  EXPECT_EQ(rs.rows[0].values[2], Value::Double(79.0));
+  EXPECT_EQ(rs.rows[0].values[3], Value::Int64(19));
+  EXPECT_EQ(rs.rows[0].values[4], Value::Int64(45));
+}
+
+TEST_F(QueryTest, GroupedAggregate) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      Aggregate(Scan(*table_), {"city"}, {{AggOp::kCount, "", "n"}}));
+  ASSERT_EQ(rs.num_rows(), 3);
+  // Groups come out in deterministic (key-sorted) order.
+  EXPECT_EQ(rs.rows[0].values[0], Value::String("calgary"));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Int64(2));
+}
+
+TEST_F(QueryTest, AggregateRequiresSpecs) {
+  EXPECT_TRUE(
+      Aggregate(Scan(*table_), {}, {}).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, AggregateUnknownColumnErrors) {
+  EXPECT_TRUE(Aggregate(Scan(*table_), {}, {{AggOp::kSum, "nope", "s"}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueryTest, ComposedPipeline) {
+  // SELECT city, COUNT(*) FROM people WHERE age >= 28 GROUP BY city
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet filtered,
+      Filter(Scan(*table_), Ge(Col("age"), Lit(Value::Int64(28)))));
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet grouped,
+      Aggregate(filtered, {"city"}, {{AggOp::kCount, "", "n"}}));
+  ASSERT_EQ(grouped.num_rows(), 2);
+  EXPECT_EQ(grouped.rows[0].values[0], Value::String("calgary"));
+  EXPECT_EQ(grouped.rows[0].values[1], Value::Int64(2));
+  EXPECT_EQ(grouped.rows[1].values[0], Value::String("toronto"));
+  EXPECT_EQ(grouped.rows[1].values[1], Value::Int64(1));
+}
+
+TEST_F(QueryTest, ResultSetToString) {
+  std::string s = Scan(*table_).ToString(2);
+  EXPECT_NE(s.find("2 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::rel

@@ -1,0 +1,316 @@
+#include "relational/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::rel {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema = Schema::Create({{"age", DataType::kInt64, ""},
+                                    {"weight", DataType::kDouble, ""},
+                                    {"city", DataType::kString, ""}})
+                        .value();
+    Table* table = catalog_.CreateTable("people", schema).value();
+    ASSERT_OK(table->Insert(1, {Value::Int64(34), Value::Double(81.0),
+                                Value::String("calgary")}));
+    ASSERT_OK(table->Insert(2, {Value::Int64(28), Value::Double(64.0),
+                                Value::String("toronto")}));
+    ASSERT_OK(table->Insert(3, {Value::Int64(45), Value::Double(92.0),
+                                Value::String("calgary")}));
+    ASSERT_OK(table->Insert(4, {Value::Int64(19), Value::Null(),
+                                Value::String("o'brien town")}));
+  }
+
+  ResultSet Run(const std::string& sql) {
+    Result<ResultSet> rs = ExecuteSql(catalog_, sql);
+    EXPECT_OK(rs.status()) << sql;
+    return rs.ok() ? std::move(rs).value()
+                   : ResultSet{Schema::Create({}).value(), {}};
+  }
+
+  Catalog catalog_;
+};
+
+// --- Parsing ------------------------------------------------------------------
+
+TEST_F(SqlTest, ParseMinimalQuery) {
+  ASSERT_OK_AND_ASSIGN(SqlQuery q, ParseSql("SELECT * FROM people"));
+  EXPECT_TRUE(q.select[0].star);
+  EXPECT_EQ(q.table, "people");
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST_F(SqlTest, ParseFullClauseSet) {
+  ASSERT_OK_AND_ASSIGN(
+      SqlQuery q,
+      ParseSql("select city, count(*) as n from people where age > 20 "
+               "group by city order by n desc limit 5"));
+  EXPECT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[1].output_name, "n");
+  EXPECT_NE(q.where, nullptr);
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"city"}));
+  EXPECT_EQ(q.order_by, "n");
+  EXPECT_FALSE(q.order_ascending);
+  EXPECT_EQ(q.limit, 5);
+}
+
+TEST_F(SqlTest, ParseErrors) {
+  EXPECT_TRUE(ParseSql("").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * people").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM people WHERE").status().IsParseError());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM people LIMIT many").status().IsParseError());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM people garbage").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT a FROM t WHERE x = 'open").status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT a FROM t WHERE x ~ 1").status()
+                  .IsParseError());
+}
+
+// --- Execution ------------------------------------------------------------------
+
+TEST_F(SqlTest, SelectStar) {
+  ResultSet rs = Run("SELECT * FROM people");
+  EXPECT_EQ(rs.num_rows(), 4);
+  EXPECT_EQ(rs.schema.num_attributes(), 3);
+}
+
+TEST_F(SqlTest, ProjectionAndAlias) {
+  ResultSet rs = Run("SELECT city, age AS years FROM people LIMIT 1");
+  EXPECT_EQ(rs.schema.attribute(0).name, "city");
+  EXPECT_EQ(rs.schema.attribute(1).name, "years");
+  EXPECT_EQ(rs.rows[0].values[1], Value::Int64(34));
+}
+
+TEST_F(SqlTest, WhereComparisonsAndLogic) {
+  EXPECT_EQ(Run("SELECT * FROM people WHERE age >= 28 AND weight < 90")
+                .num_rows(),
+            2);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE city = 'calgary' OR age < 20")
+                .num_rows(),
+            3);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE NOT city = 'calgary'")
+                .num_rows(),
+            2);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE age != 34").num_rows(), 3);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE age <> 34").num_rows(), 3);
+}
+
+TEST_F(SqlTest, WhereArithmetic) {
+  // weight / age: 2.38, 2.29, 2.04 — all three non-null rows pass; the
+  // null weight row drops out (null comparison is false).
+  EXPECT_EQ(Run("SELECT * FROM people WHERE weight / age > 2").num_rows(),
+            3);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE age + 6 = 40").num_rows(), 1);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE -age < -40").num_rows(), 1);
+}
+
+TEST_F(SqlTest, IsNullPredicates) {
+  EXPECT_EQ(Run("SELECT * FROM people WHERE weight IS NULL").num_rows(), 1);
+  EXPECT_EQ(Run("SELECT * FROM people WHERE weight IS NOT NULL").num_rows(),
+            3);
+}
+
+TEST_F(SqlTest, StringLiteralEscapes) {
+  ResultSet rs =
+      Run("SELECT age FROM people WHERE city = 'o''brien town'");
+  ASSERT_EQ(rs.num_rows(), 1);
+  EXPECT_EQ(rs.rows[0].values[0], Value::Int64(19));
+}
+
+TEST_F(SqlTest, OrderByAndLimit) {
+  ResultSet rs = Run("SELECT age FROM people ORDER BY age DESC LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(rs.rows[0].values[0], Value::Int64(45));
+  EXPECT_EQ(rs.rows[1].values[0], Value::Int64(34));
+}
+
+TEST_F(SqlTest, GlobalAggregates) {
+  ResultSet rs = Run(
+      "SELECT COUNT(*) AS n, AVG(weight) AS w, MIN(age) AS lo, "
+      "MAX(age) AS hi FROM people");
+  ASSERT_EQ(rs.num_rows(), 1);
+  EXPECT_EQ(rs.rows[0].values[0], Value::Int64(4));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Double((81.0 + 64 + 92) / 3));
+  EXPECT_EQ(rs.rows[0].values[2], Value::Int64(19));
+  EXPECT_EQ(rs.rows[0].values[3], Value::Int64(45));
+}
+
+TEST_F(SqlTest, GroupByWithHavingLikeFilterViaWhere) {
+  ResultSet rs = Run(
+      "SELECT city, COUNT(*) AS n, SUM(age) AS total FROM people "
+      "WHERE age >= 28 GROUP BY city ORDER BY n DESC");
+  ASSERT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(rs.rows[0].values[0], Value::String("calgary"));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Int64(2));
+  EXPECT_EQ(rs.rows[0].values[2], Value::Double(79.0));
+}
+
+TEST_F(SqlTest, SelectListOrderPreservedWithAggregates) {
+  ResultSet rs =
+      Run("SELECT COUNT(*) AS n, city FROM people GROUP BY city");
+  EXPECT_EQ(rs.schema.attribute(0).name, "n");
+  EXPECT_EQ(rs.schema.attribute(1).name, "city");
+}
+
+TEST_F(SqlTest, AggregateValidation) {
+  EXPECT_TRUE(ExecuteSql(catalog_, "SELECT age FROM people GROUP BY city")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteSql(catalog_, "SELECT city FROM people GROUP BY city")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ExecuteSql(catalog_, "SELECT * FROM people GROUP BY city")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SqlTest, ExecutionErrors) {
+  EXPECT_TRUE(
+      ExecuteSql(catalog_, "SELECT * FROM missing").status().IsNotFound());
+  EXPECT_TRUE(ExecuteSql(catalog_, "SELECT nope FROM people")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ExecuteSql(catalog_, "SELECT * FROM people WHERE age > 'x'")
+                  .status()
+                  .IsIncomparable());
+}
+
+TEST_F(SqlTest, KeywordsCaseInsensitiveColumnsCaseSensitive) {
+  // Keywords may be any case; column names are case-sensitive, so "AGE"
+  // resolves to no attribute.
+  EXPECT_TRUE(ExecuteSql(catalog_, "sElEcT * fRoM people WhErE AGE > 30")
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(Run("select * from people where age > 30").num_rows(), 2);
+}
+
+TEST_F(SqlTest, ProviderIdsFlowThroughSql) {
+  ResultSet rs = Run("SELECT weight FROM people WHERE city = 'calgary'");
+  ASSERT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(rs.rows[0].provider, 1);
+  EXPECT_EQ(rs.rows[1].provider, 3);
+}
+
+TEST_F(SqlTest, ParenthesizedPrecedence) {
+  EXPECT_EQ(
+      Run("SELECT * FROM people WHERE (age > 30 OR age < 20) AND weight "
+          "IS NOT NULL")
+          .num_rows(),
+      2);
+  // Without parens, AND binds tighter.
+  EXPECT_EQ(Run("SELECT * FROM people WHERE age > 30 OR age < 20 AND "
+                "weight IS NOT NULL")
+                .num_rows(),
+            2);
+}
+
+TEST_F(SqlTest, CountColumnVariant) {
+  ResultSet rs = Run("SELECT COUNT(weight) AS n FROM people");
+  // Engine kCount counts rows (nulls included) — documented behaviour.
+  EXPECT_EQ(rs.rows[0].values[0], Value::Int64(4));
+}
+
+TEST_F(SqlTest, JoinParses) {
+  ASSERT_OK_AND_ASSIGN(
+      SqlQuery q,
+      ParseSql("SELECT * FROM people JOIN cities ON city = city_name"));
+  ASSERT_TRUE(q.join.has_value());
+  EXPECT_EQ(q.join->table, "cities");
+  EXPECT_EQ(q.join->left_column, "city");
+  EXPECT_EQ(q.join->right_column, "city_name");
+}
+
+TEST_F(SqlTest, JoinParseErrors) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM a JOIN b").status().IsParseError());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM a JOIN b ON x").status().IsParseError());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM a JOIN b ON x > y").status().IsParseError());
+}
+
+TEST_F(SqlTest, JoinExecutesAndComposesWithWhere) {
+  Schema cities = Schema::Create({{"city_name", DataType::kString, ""},
+                                  {"province", DataType::kString, ""}})
+                      .value();
+  Table* lookup = catalog_.CreateTable("cities", cities).value();
+  ASSERT_OK(lookup->Insert(
+      100, {Value::String("calgary"), Value::String("AB")}));
+  ASSERT_OK(lookup->Insert(
+      101, {Value::String("toronto"), Value::String("ON")}));
+
+  ResultSet rs = Run(
+      "SELECT age, province FROM people JOIN cities ON city = city_name "
+      "WHERE province = 'AB' ORDER BY age");
+  ASSERT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(rs.rows[0].values[0], Value::Int64(34));
+  EXPECT_EQ(rs.rows[0].values[1], Value::String("AB"));
+  // Unmatched city ("o'brien town") drops out of the inner join.
+  ResultSet all = Run(
+      "SELECT COUNT(*) AS n FROM people JOIN cities ON city = city_name");
+  EXPECT_EQ(all.rows[0].values[0], Value::Int64(3));
+}
+
+TEST_F(SqlTest, JoinWithAggregationPerGroup) {
+  Schema cities = Schema::Create({{"city_name", DataType::kString, ""},
+                                  {"province", DataType::kString, ""}})
+                      .value();
+  Table* lookup = catalog_.CreateTable("cities", cities).value();
+  ASSERT_OK(lookup->Insert(
+      100, {Value::String("calgary"), Value::String("AB")}));
+  ASSERT_OK(lookup->Insert(
+      101, {Value::String("toronto"), Value::String("ON")}));
+  ResultSet rs = Run(
+      "SELECT province, AVG(weight) AS w FROM people "
+      "JOIN cities ON city = city_name GROUP BY province ORDER BY province");
+  ASSERT_EQ(rs.num_rows(), 2);
+  EXPECT_EQ(rs.rows[0].values[0], Value::String("AB"));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Double((81.0 + 92.0) / 2));
+}
+
+TEST_F(SqlTest, JoinUnknownTableErrors) {
+  EXPECT_TRUE(
+      ExecuteSql(catalog_, "SELECT * FROM people JOIN nope ON city = x")
+          .status()
+          .IsNotFound());
+}
+
+TEST_F(SqlTest, HavingFiltersGroups) {
+  ResultSet rs = Run(
+      "SELECT city, COUNT(*) AS n FROM people GROUP BY city "
+      "HAVING n >= 2");
+  ASSERT_EQ(rs.num_rows(), 1);
+  EXPECT_EQ(rs.rows[0].values[0], Value::String("calgary"));
+  EXPECT_EQ(rs.rows[0].values[1], Value::Int64(2));
+}
+
+TEST_F(SqlTest, HavingOnAggregateValue) {
+  ResultSet rs = Run(
+      "SELECT city, AVG(weight) AS w FROM people GROUP BY city "
+      "HAVING w > 80 ORDER BY city");
+  ASSERT_EQ(rs.num_rows(), 1);
+  EXPECT_EQ(rs.rows[0].values[0], Value::String("calgary"));
+}
+
+TEST_F(SqlTest, HavingValidation) {
+  // HAVING without GROUP BY is a parse error.
+  EXPECT_TRUE(ParseSql("SELECT COUNT(*) AS n FROM t HAVING n > 1")
+                  .status()
+                  .IsParseError());
+  // HAVING referencing a non-output column fails at execution.
+  EXPECT_TRUE(ExecuteSql(catalog_,
+                         "SELECT city, COUNT(*) AS n FROM people "
+                         "GROUP BY city HAVING weight > 1")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace ppdb::rel

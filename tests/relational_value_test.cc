@@ -1,0 +1,141 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::rel {
+namespace {
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  for (DataType t : {DataType::kNull, DataType::kBool, DataType::kInt64,
+                     DataType::kDouble, DataType::kString}) {
+    ASSERT_OK_AND_ASSIGN(DataType parsed,
+                         DataTypeFromName(DataTypeName(t)));
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(DataTypeTest, Aliases) {
+  ASSERT_OK_AND_ASSIGN(DataType i, DataTypeFromName("int"));
+  EXPECT_EQ(i, DataType::kInt64);
+  ASSERT_OK_AND_ASSIGN(DataType f, DataTypeFromName("float"));
+  EXPECT_EQ(f, DataType::kDouble);
+  ASSERT_OK_AND_ASSIGN(DataType s, DataTypeFromName("text"));
+  EXPECT_EQ(s, DataType::kString);
+}
+
+TEST(DataTypeTest, UnknownNameErrors) {
+  EXPECT_TRUE(DataTypeFromName("varchar").status().IsParseError());
+}
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  ASSERT_OK_AND_ASSIGN(bool b, Value::Bool(true).AsBool());
+  EXPECT_TRUE(b);
+  ASSERT_OK_AND_ASSIGN(int64_t i, Value::Int64(-9).AsInt64());
+  EXPECT_EQ(i, -9);
+  ASSERT_OK_AND_ASSIGN(double d, Value::Double(2.5).AsDouble());
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  ASSERT_OK_AND_ASSIGN(std::string s, Value::String("hi").AsString());
+  EXPECT_EQ(s, "hi");
+}
+
+TEST(ValueTest, WrongTypeAccessErrors) {
+  EXPECT_TRUE(Value::Int64(1).AsBool().status().IsFailedPrecondition());
+  EXPECT_TRUE(Value::String("x").AsInt64().status().IsFailedPrecondition());
+  EXPECT_TRUE(Value::Null().AsDouble().status().IsFailedPrecondition());
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  ASSERT_OK_AND_ASSIGN(double d, Value::Int64(7).AsNumeric());
+  EXPECT_DOUBLE_EQ(d, 7.0);
+  EXPECT_TRUE(Value::String("7").AsNumeric().status().IsFailedPrecondition());
+  EXPECT_TRUE(Value::Bool(true).AsNumeric().status().IsFailedPrecondition());
+}
+
+TEST(ValueTest, ToStringRenderings) {
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, ParseByType) {
+  ASSERT_OK_AND_ASSIGN(Value b, Value::Parse("true", DataType::kBool));
+  EXPECT_EQ(b, Value::Bool(true));
+  ASSERT_OK_AND_ASSIGN(Value b0, Value::Parse("0", DataType::kBool));
+  EXPECT_EQ(b0, Value::Bool(false));
+  ASSERT_OK_AND_ASSIGN(Value i, Value::Parse("-5", DataType::kInt64));
+  EXPECT_EQ(i, Value::Int64(-5));
+  ASSERT_OK_AND_ASSIGN(Value d, Value::Parse("1.5", DataType::kDouble));
+  EXPECT_EQ(d, Value::Double(1.5));
+  ASSERT_OK_AND_ASSIGN(Value s, Value::Parse("text", DataType::kString));
+  EXPECT_EQ(s, Value::String("text"));
+}
+
+TEST(ValueTest, ParseEmptyIsNull) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kDouble,
+                     DataType::kString}) {
+    ASSERT_OK_AND_ASSIGN(Value v, Value::Parse("", t));
+    EXPECT_TRUE(v.is_null());
+  }
+}
+
+TEST(ValueTest, ParseErrors) {
+  EXPECT_TRUE(Value::Parse("maybe", DataType::kBool).status().IsParseError());
+  EXPECT_TRUE(Value::Parse("1.5", DataType::kInt64).status().IsParseError());
+  EXPECT_TRUE(Value::Parse("abc", DataType::kDouble).status().IsParseError());
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_NE(Value::Int64(3), Value::Int64(4));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  // Same numeric value, different type: not structurally equal.
+  EXPECT_NE(Value::Int64(3), Value::Double(3.0));
+}
+
+TEST(ValueCompareTest, NullSortsFirst) {
+  ASSERT_OK_AND_ASSIGN(int c, Value::Null().Compare(Value::Int64(0)));
+  EXPECT_LT(c, 0);
+  ASSERT_OK_AND_ASSIGN(int c2, Value::Int64(0).Compare(Value::Null()));
+  EXPECT_GT(c2, 0);
+  ASSERT_OK_AND_ASSIGN(int c3, Value::Null().Compare(Value::Null()));
+  EXPECT_EQ(c3, 0);
+}
+
+TEST(ValueCompareTest, NumericCrossTypeComparison) {
+  ASSERT_OK_AND_ASSIGN(int c, Value::Int64(3).Compare(Value::Double(3.5)));
+  EXPECT_LT(c, 0);
+  ASSERT_OK_AND_ASSIGN(int c2, Value::Double(4.0).Compare(Value::Int64(4)));
+  EXPECT_EQ(c2, 0);
+}
+
+TEST(ValueCompareTest, StringsLexicographic) {
+  ASSERT_OK_AND_ASSIGN(int c, Value::String("abc").Compare(Value::String("abd")));
+  EXPECT_LT(c, 0);
+}
+
+TEST(ValueCompareTest, BoolOrder) {
+  ASSERT_OK_AND_ASSIGN(int c, Value::Bool(false).Compare(Value::Bool(true)));
+  EXPECT_LT(c, 0);
+}
+
+TEST(ValueCompareTest, MixedNonNumericTypesIncomparable) {
+  EXPECT_TRUE(Value::String("1")
+                  .Compare(Value::Int64(1))
+                  .status()
+                  .IsIncomparable());
+  EXPECT_TRUE(
+      Value::Bool(true).Compare(Value::Double(1.0)).status().IsIncomparable());
+}
+
+}  // namespace
+}  // namespace ppdb::rel

@@ -1,0 +1,133 @@
+#include "sim/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+#include "violation/detector.h"
+
+namespace ppdb::sim {
+namespace {
+
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+using violation::MakeLinearExposureValue;
+using violation::SearchOptions;
+
+// Banded population: providers in band b accept level b everywhere.
+privacy::PrivacyConfig BandedConfig(int64_t providers_per_band,
+                                    double threshold) {
+  privacy::PrivacyConfig config;
+  PurposeId purpose = config.purposes.Register("ads").value();
+  PPDB_CHECK_OK(config.policy.Add("x", PrivacyTuple{purpose, 0, 0, 0}));
+  PPDB_CHECK_OK(config.sensitivities.SetAttributeSensitivity("x", 1.0));
+  int64_t id = 0;
+  for (int band = 0; band <= 3; ++band) {
+    for (int64_t i = 0; i < providers_per_band; ++i) {
+      ++id;
+      config.preferences.ForProvider(id).Set(
+          "x", PrivacyTuple{purpose, band, band, band});
+      config.thresholds[id] = threshold;
+    }
+  }
+  return config;
+}
+
+TEST(DynamicsTest, RejectsBadRoundCount) {
+  privacy::PrivacyConfig config = BandedConfig(1, 1.0);
+  SearchOptions options;
+  options.value_model = MakeLinearExposureValue(1.0);
+  EXPECT_TRUE(RunHouseProviderDynamics(config, options, 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DynamicsTest, WorthlessDataConvergesImmediatelyWithEveryoneRetained) {
+  privacy::PrivacyConfig config = BandedConfig(5, 1.0);
+  SearchOptions options;
+  options.utility_per_provider = 1.0;
+  options.value_model = MakeLinearExposureValue(0.0);
+  ASSERT_OK_AND_ASSIGN(DynamicsResult result,
+                       RunHouseProviderDynamics(config, options));
+  EXPECT_TRUE(result.converged);
+  // With worthless exposure and a zero starting policy, the house never
+  // widens, nobody defaults, round 1 is already stable.
+  ASSERT_EQ(result.rounds.size(), 1u);
+  EXPECT_EQ(result.rounds[0].departures, 0);
+  EXPECT_EQ(result.rounds[0].population, 20);
+}
+
+TEST(DynamicsTest, ValuableDataDrivesDeparturesThenStabilizes) {
+  privacy::PrivacyConfig config = BandedConfig(5, 1.0);
+  SearchOptions options;
+  options.utility_per_provider = 0.2;
+  options.value_model = MakeLinearExposureValue(5.0);
+  ASSERT_OK_AND_ASSIGN(DynamicsResult result,
+                       RunHouseProviderDynamics(config, options, 12));
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.rounds.size(), 1u);
+  // Someone left along the way.
+  int64_t total_departures = 0;
+  for (const DynamicsRound& round : result.rounds) {
+    total_departures += round.departures;
+  }
+  EXPECT_GT(total_departures, 0);
+  // The fixed point has no departures.
+  EXPECT_EQ(result.final_round().departures, 0);
+  // Population is monotone non-increasing across rounds.
+  for (size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_LE(result.rounds[r].population, result.rounds[r - 1].population);
+  }
+}
+
+TEST(DynamicsTest, FixedPointIsGenuinelyStable) {
+  privacy::PrivacyConfig config = BandedConfig(4, 2.0);
+  SearchOptions options;
+  options.utility_per_provider = 0.5;
+  options.value_model = MakeLinearExposureValue(2.0);
+  ASSERT_OK_AND_ASSIGN(DynamicsResult result,
+                       RunHouseProviderDynamics(config, options, 16));
+  ASSERT_TRUE(result.converged);
+  // Re-running the dynamic from the returned end state changes nothing.
+  ASSERT_OK_AND_ASSIGN(
+      DynamicsResult again,
+      RunHouseProviderDynamics(result.final_config, options, 4));
+  EXPECT_TRUE(again.converged);
+  ASSERT_EQ(again.rounds.size(), 1u);
+  EXPECT_EQ(again.rounds[0].departures, 0);
+  EXPECT_EQ(again.rounds[0].moves, 0);
+}
+
+TEST(DynamicsTest, FinalConfigReflectsDepartures) {
+  privacy::PrivacyConfig config = BandedConfig(5, 1.0);
+  SearchOptions options;
+  options.utility_per_provider = 0.2;
+  options.value_model = MakeLinearExposureValue(5.0);
+  ASSERT_OK_AND_ASSIGN(DynamicsResult result,
+                       RunHouseProviderDynamics(config, options, 12));
+  int64_t total_departures = 0;
+  for (const DynamicsRound& round : result.rounds) {
+    total_departures += round.departures;
+  }
+  EXPECT_EQ(result.final_config.preferences.num_providers(),
+            config.preferences.num_providers() - total_departures);
+  // Nobody left in the final population violates past their threshold.
+  violation::ViolationDetector detector(&result.final_config);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport report, detector.Analyze());
+  violation::DefaultReport defaults =
+      violation::ComputeDefaults(report, result.final_config);
+  EXPECT_EQ(defaults.num_defaulted, 0);
+}
+
+TEST(DynamicsTest, InputConfigUntouched) {
+  privacy::PrivacyConfig config = BandedConfig(3, 1.0);
+  int64_t before = config.preferences.num_providers();
+  SearchOptions options;
+  options.utility_per_provider = 0.2;
+  options.value_model = MakeLinearExposureValue(5.0);
+  ASSERT_OK(RunHouseProviderDynamics(config, options).status());
+  EXPECT_EQ(config.preferences.num_providers(), before);
+}
+
+}  // namespace
+}  // namespace ppdb::sim

@@ -1,0 +1,194 @@
+#include "sim/population.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+
+namespace ppdb::sim {
+namespace {
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.num_providers = 200;
+  config.attributes = {{"age", 2.0, 45.0, 15.0}, {"weight", 4.0, 75.0, 12.0}};
+  config.purposes = {"service", "marketing"};
+  config.seed = 99;
+  return config;
+}
+
+TEST(WestinTest, SegmentNames) {
+  EXPECT_EQ(WestinSegmentName(WestinSegment::kFundamentalist),
+            "fundamentalist");
+  EXPECT_EQ(WestinSegmentName(WestinSegment::kPragmatist), "pragmatist");
+  EXPECT_EQ(WestinSegmentName(WestinSegment::kUnconcerned), "unconcerned");
+}
+
+TEST(WestinTest, DefaultProfilesAreOrdered) {
+  SegmentProfile f = DefaultProfile(WestinSegment::kFundamentalist);
+  SegmentProfile p = DefaultProfile(WestinSegment::kPragmatist);
+  SegmentProfile u = DefaultProfile(WestinSegment::kUnconcerned);
+  // Fundamentalists share least and tolerate least.
+  EXPECT_LT(f.mean_level_fraction, p.mean_level_fraction);
+  EXPECT_LT(p.mean_level_fraction, u.mean_level_fraction);
+  EXPECT_LT(f.threshold_mu, p.threshold_mu);
+  EXPECT_LT(p.threshold_mu, u.threshold_mu);
+  EXPECT_GT(f.sensitivity_mu, p.sensitivity_mu);
+  EXPECT_GT(p.sensitivity_mu, u.sensitivity_mu);
+}
+
+TEST(PopulationGeneratorTest, GeneratesRequestedShape) {
+  ASSERT_OK_AND_ASSIGN(Population pop,
+                       PopulationGenerator(SmallConfig()).Generate());
+  EXPECT_EQ(pop.num_providers(), 200);
+  EXPECT_EQ(pop.data.num_rows(), 200);
+  EXPECT_EQ(pop.data.schema().num_attributes(), 2);
+  EXPECT_EQ(pop.config.preferences.num_providers(), 200);
+  EXPECT_EQ(pop.config.thresholds.size(), 200u);
+  EXPECT_TRUE(pop.config.policy.empty());
+  ASSERT_OK_AND_ASSIGN(WestinSegment s, pop.SegmentOf(1));
+  (void)s;
+  EXPECT_TRUE(pop.SegmentOf(0).status().IsOutOfRange());
+  EXPECT_TRUE(pop.SegmentOf(201).status().IsOutOfRange());
+}
+
+TEST(PopulationGeneratorTest, DeterministicInSeed) {
+  ASSERT_OK_AND_ASSIGN(Population a,
+                       PopulationGenerator(SmallConfig()).Generate());
+  ASSERT_OK_AND_ASSIGN(Population b,
+                       PopulationGenerator(SmallConfig()).Generate());
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_DOUBLE_EQ(a.config.ThresholdFor(7), b.config.ThresholdFor(7));
+  ASSERT_OK_AND_ASSIGN(rel::Value va, a.data.GetCell(5, "weight"));
+  ASSERT_OK_AND_ASSIGN(rel::Value vb, b.data.GetCell(5, "weight"));
+  EXPECT_EQ(va, vb);
+
+  PopulationConfig other = SmallConfig();
+  other.seed = 100;
+  ASSERT_OK_AND_ASSIGN(Population c, PopulationGenerator(other).Generate());
+  EXPECT_NE(a.segments, c.segments);
+}
+
+TEST(PopulationGeneratorTest, SegmentMixApproximatelyRespected) {
+  PopulationConfig config = SmallConfig();
+  config.num_providers = 5000;
+  ASSERT_OK_AND_ASSIGN(Population pop,
+                       PopulationGenerator(config).Generate());
+  std::array<int, 3> counts = {0, 0, 0};
+  for (WestinSegment s : pop.segments) ++counts[static_cast<size_t>(s)];
+  EXPECT_NEAR(counts[0] / 5000.0, 0.25, 0.03);
+  EXPECT_NEAR(counts[1] / 5000.0, 0.57, 0.03);
+  EXPECT_NEAR(counts[2] / 5000.0, 0.18, 0.03);
+}
+
+TEST(PopulationGeneratorTest, PreferencesOnScaleAndValidated) {
+  ASSERT_OK_AND_ASSIGN(Population pop,
+                       PopulationGenerator(SmallConfig()).Generate());
+  EXPECT_OK(pop.config.Validate());
+}
+
+TEST(PopulationGeneratorTest, FundamentalistsTighterThanUnconcerned) {
+  PopulationConfig config = SmallConfig();
+  config.num_providers = 3000;
+  ASSERT_OK_AND_ASSIGN(Population pop,
+                       PopulationGenerator(config).Generate());
+  double fund_sum = 0, unc_sum = 0;
+  int64_t fund_n = 0, unc_n = 0;
+  for (int64_t i = 1; i <= pop.num_providers(); ++i) {
+    const privacy::ProviderPreferences* prefs =
+        pop.config.preferences.Find(i).value();
+    for (const privacy::PreferenceTuple& pt : prefs->tuples()) {
+      double level_sum = pt.tuple.visibility + pt.tuple.granularity +
+                         pt.tuple.retention;
+      if (pop.segments[i - 1] == WestinSegment::kFundamentalist) {
+        fund_sum += level_sum;
+        ++fund_n;
+      } else if (pop.segments[i - 1] == WestinSegment::kUnconcerned) {
+        unc_sum += level_sum;
+        ++unc_n;
+      }
+    }
+  }
+  ASSERT_GT(fund_n, 0);
+  ASSERT_GT(unc_n, 0);
+  EXPECT_LT(fund_sum / fund_n, unc_sum / unc_n);
+}
+
+TEST(PopulationGeneratorTest, RejectsDegenerateConfigs) {
+  PopulationConfig config = SmallConfig();
+  config.num_providers = 0;
+  EXPECT_TRUE(
+      PopulationGenerator(config).Generate().status().IsInvalidArgument());
+  config = SmallConfig();
+  config.attributes.clear();
+  EXPECT_TRUE(
+      PopulationGenerator(config).Generate().status().IsInvalidArgument());
+  config = SmallConfig();
+  config.purposes.clear();
+  EXPECT_TRUE(
+      PopulationGenerator(config).Generate().status().IsInvalidArgument());
+}
+
+TEST(MakeUniformPolicyTest, BuildsOneTuplePerAttributePurpose) {
+  ASSERT_OK_AND_ASSIGN(Population pop,
+                       PopulationGenerator(SmallConfig()).Generate());
+  ASSERT_OK_AND_ASSIGN(
+      privacy::HousePolicy policy,
+      MakeUniformPolicy(SmallConfig().attributes, SmallConfig().purposes,
+                        0.33, 0.67, 0.5, &pop.config));
+  EXPECT_EQ(policy.size(), 4);  // 2 attributes x 2 purposes.
+  ASSERT_OK_AND_ASSIGN(privacy::PurposeId service,
+                       pop.config.purposes.Lookup("service"));
+  ASSERT_OK_AND_ASSIGN(privacy::PrivacyTuple t,
+                       policy.Find("weight", service));
+  EXPECT_EQ(t.visibility, 1);   // round(0.33 * 3)
+  EXPECT_EQ(t.granularity, 2);  // round(0.67 * 3)
+  EXPECT_EQ(t.retention, 2);    // round(0.5 * 4)
+  // Attribute sensitivity installed.
+  EXPECT_DOUBLE_EQ(
+      pop.config.sensitivities.AttributeSensitivity("weight", service), 4.0);
+}
+
+TEST(MakeUniformPolicyTest, FractionsClamped) {
+  privacy::PrivacyConfig config;
+  ASSERT_OK_AND_ASSIGN(
+      privacy::HousePolicy policy,
+      MakeUniformPolicy({{"a", 1.0, 0, 1}}, {"p"}, -1.0, 2.0, 1.0, &config));
+  ASSERT_OK_AND_ASSIGN(privacy::PurposeId p, config.purposes.Lookup("p"));
+  EXPECT_EQ(policy.Find("a", p)->visibility, 0);
+  EXPECT_EQ(policy.Find("a", p)->granularity, 3);
+  EXPECT_EQ(policy.Find("a", p)->retention, 4);
+}
+
+TEST(PopulationEndToEndTest, WideningIncreasesDefaults) {
+  PopulationConfig config = SmallConfig();
+  config.num_providers = 500;
+  ASSERT_OK_AND_ASSIGN(Population pop,
+                       PopulationGenerator(config).Generate());
+  ASSERT_OK_AND_ASSIGN(
+      pop.config.policy,
+      MakeUniformPolicy(config.attributes, config.purposes, 0.0, 0.0, 0.0,
+                        &pop.config));
+  violation::ViolationDetector detector(&pop.config);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport narrow, detector.Analyze());
+  violation::DefaultReport narrow_defaults =
+      violation::ComputeDefaults(narrow, pop.config);
+
+  privacy::PrivacyConfig wide = pop.config;
+  ASSERT_OK_AND_ASSIGN(
+      wide.policy,
+      pop.config.policy.Widened(privacy::Dimension::kGranularity, 3,
+                                pop.config.scales));
+  violation::ViolationDetector wide_detector(&wide);
+  ASSERT_OK_AND_ASSIGN(violation::ViolationReport wide_report,
+                       wide_detector.Analyze());
+  violation::DefaultReport wide_defaults =
+      violation::ComputeDefaults(wide_report, wide);
+
+  EXPECT_GT(wide_report.num_violated, narrow.num_violated);
+  EXPECT_GE(wide_defaults.num_defaulted, narrow_defaults.num_defaulted);
+}
+
+}  // namespace
+}  // namespace ppdb::sim

@@ -1,0 +1,130 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "tests/test_util.h"
+
+namespace ppdb::sim {
+namespace {
+
+using violation::ExpansionStep;
+using violation::WhatIfAnalyzer;
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PopulationConfig config;
+    config.num_providers = 300;
+    config.attributes = {{"weight", 4.0, 75.0, 12.0}};
+    config.purposes = {"service"};
+    config.seed = 2024;
+    ASSERT_OK_AND_ASSIGN(Population generated,
+                         PopulationGenerator(config).Generate());
+    population_.emplace(std::move(generated));
+    ASSERT_OK_AND_ASSIGN(
+        population_->config.policy,
+        MakeUniformPolicy(config.attributes, config.purposes, 0.0, 0.0, 0.0,
+                          &population_->config));
+  }
+
+  std::optional<Population> population_;
+};
+
+TEST_F(ScenarioTest, ExpansionCurveShapes) {
+  ScenarioRunner runner(&*population_);
+  auto schedule = WhatIfAnalyzer::UniformSchedule(
+      privacy::Dimension::kGranularity, 3);
+  ASSERT_OK_AND_ASSIGN(auto points, runner.RunExpansion(schedule, 1.0, 0.2));
+  ASSERT_EQ(points.size(), 4u);
+  // Monotone pressure on the population.
+  for (size_t k = 1; k < points.size(); ++k) {
+    EXPECT_GE(points[k].p_default, points[k - 1].p_default);
+  }
+}
+
+TEST_F(ScenarioTest, DefaultOnsetsAccountForEveryProvider) {
+  ScenarioRunner runner(&*population_);
+  std::vector<ExpansionStep> schedule;
+  for (privacy::Dimension dim : privacy::kOrderedDimensions) {
+    for (int i = 0; i < 4; ++i) schedule.push_back(ExpansionStep{dim, 1, {}});
+  }
+  ASSERT_OK_AND_ASSIGN(DefaultOnsetResult onsets,
+                       runner.DefaultOnsets(schedule));
+  EXPECT_EQ(onsets.num_providers, 300);
+  EXPECT_EQ(onsets.onset_steps.count() + onsets.never_defaulted, 300);
+  int64_t by_segment = onsets.defaulted_by_segment[0] +
+                       onsets.defaulted_by_segment[1] +
+                       onsets.defaulted_by_segment[2];
+  EXPECT_EQ(by_segment, onsets.onset_steps.count());
+}
+
+TEST_F(ScenarioTest, OnsetCdfIsMonotone) {
+  ScenarioRunner runner(&*population_);
+  auto schedule = WhatIfAnalyzer::UniformSchedule(
+      privacy::Dimension::kGranularity, 3);
+  ASSERT_OK_AND_ASSIGN(DefaultOnsetResult onsets,
+                       runner.DefaultOnsets(schedule));
+  double prev = -1;
+  for (int k = 0; k <= 3; ++k) {
+    double f = onsets.FractionDefaultedBy(k);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_F(ScenarioTest, FundamentalistsDefaultEarlierOnAverage) {
+  ScenarioRunner runner(&*population_);
+  std::vector<ExpansionStep> schedule;
+  for (privacy::Dimension dim : privacy::kOrderedDimensions) {
+    for (int i = 0; i < 4; ++i) schedule.push_back(ExpansionStep{dim, 1, {}});
+  }
+  ASSERT_OK_AND_ASSIGN(DefaultOnsetResult onsets,
+                       runner.DefaultOnsets(schedule));
+  const auto& fund = onsets.onset_by_segment[static_cast<size_t>(
+      WestinSegment::kFundamentalist)];
+  const auto& unconcerned = onsets.onset_by_segment[static_cast<size_t>(
+      WestinSegment::kUnconcerned)];
+  ASSERT_GT(fund.count(), 0);
+  if (unconcerned.count() > 0) {
+    ASSERT_OK_AND_ASSIGN(double fund_median, fund.Median());
+    ASSERT_OK_AND_ASSIGN(double unc_median, unconcerned.Median());
+    EXPECT_LE(fund_median, unc_median);
+  }
+  // More fundamentalists default than unconcerned (relative to segment
+  // sizes this would need normalizing, but in absolute terms the pressure
+  // ordering should already show at this mix).
+  EXPECT_GT(onsets.defaulted_by_segment[0], 0);
+}
+
+TEST_F(ScenarioTest, CalibratedThresholdsHaveNoBaselineDefaults) {
+  // Start from a mid-range (violating) policy.
+  ASSERT_OK_AND_ASSIGN(
+      population_->config.policy,
+      MakeUniformPolicy({{"weight", 4.0, 75.0, 12.0}}, {"service"}, 0.6, 0.6,
+                        0.6, &population_->config));
+  ASSERT_OK(CalibrateThresholdsToPolicy(&*population_, 1.0, 0.5, 3));
+  ScenarioRunner runner(&*population_);
+  ASSERT_OK_AND_ASSIGN(DefaultOnsetResult baseline, runner.DefaultOnsets({}));
+  EXPECT_EQ(baseline.onset_steps.count(), 0);
+  EXPECT_EQ(baseline.never_defaulted, 300);
+  // Widening still produces defaults eventually.
+  ASSERT_OK_AND_ASSIGN(
+      DefaultOnsetResult widened,
+      runner.DefaultOnsets(WhatIfAnalyzer::UniformSchedule(
+          privacy::Dimension::kGranularity, 3)));
+  EXPECT_GT(widened.onset_steps.count(), 0);
+}
+
+TEST_F(ScenarioTest, EmptyScheduleOnlyBaseline) {
+  ScenarioRunner runner(&*population_);
+  ASSERT_OK_AND_ASSIGN(DefaultOnsetResult onsets, runner.DefaultOnsets({}));
+  // Zero-wide policy at baseline: nobody defaults.
+  EXPECT_EQ(onsets.onset_steps.count(), 0);
+  EXPECT_EQ(onsets.never_defaulted, 300);
+}
+
+}  // namespace
+}  // namespace ppdb::sim

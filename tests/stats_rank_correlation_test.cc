@@ -1,0 +1,67 @@
+#include "stats/rank_correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::stats {
+namespace {
+
+TEST(AverageRanksTest, SimpleOrder) {
+  EXPECT_EQ(AverageRanks({30, 10, 20}), (std::vector<double>{3, 1, 2}));
+}
+
+TEST(AverageRanksTest, TiesAveraged) {
+  // 10 and 10 occupy ranks 1 and 2 -> both get 1.5.
+  EXPECT_EQ(AverageRanks({10, 10, 20}), (std::vector<double>{1.5, 1.5, 3}));
+  // All equal -> everyone gets the middle rank.
+  EXPECT_EQ(AverageRanks({5, 5, 5}), (std::vector<double>{2, 2, 2}));
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  ASSERT_OK_AND_ASSIGN(double rho,
+                       SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(rho, 1.0);
+  // Any monotone transform keeps rho = 1.
+  ASSERT_OK_AND_ASSIGN(double rho2,
+                       SpearmanCorrelation({1, 2, 3, 4}, {1, 4, 9, 16}));
+  EXPECT_DOUBLE_EQ(rho2, 1.0);
+}
+
+TEST(SpearmanTest, PerfectReversal) {
+  ASSERT_OK_AND_ASSIGN(double rho,
+                       SpearmanCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}));
+  EXPECT_DOUBLE_EQ(rho, -1.0);
+}
+
+TEST(SpearmanTest, KnownMidValue) {
+  // Classic example: one swapped pair.
+  ASSERT_OK_AND_ASSIGN(double rho,
+                       SpearmanCorrelation({1, 2, 3}, {1, 3, 2}));
+  EXPECT_DOUBLE_EQ(rho, 0.5);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  ASSERT_OK_AND_ASSIGN(double rho,
+                       SpearmanCorrelation({1, 1, 2, 3}, {1, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(rho, 1.0);
+}
+
+TEST(SpearmanTest, Validation) {
+  EXPECT_TRUE(SpearmanCorrelation({1, 2}, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(SpearmanCorrelation({1}, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SpearmanCorrelation({1, 1, 1}, {1, 2, 3}).status().IsFailedPrecondition());
+}
+
+TEST(SpearmanTest, NearZeroForShuffled) {
+  // A deliberately scrambled pairing with low rank agreement.
+  ASSERT_OK_AND_ASSIGN(
+      double rho,
+      SpearmanCorrelation({1, 2, 3, 4, 5, 6, 7, 8},
+                          {3, 8, 1, 6, 2, 7, 4, 5}));
+  EXPECT_LT(std::abs(rho), 0.5);
+}
+
+}  // namespace
+}  // namespace ppdb::stats

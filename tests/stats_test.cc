@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/confidence.h"
+#include "stats/empirical_cdf.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+#include "stats/table_printer.h"
+#include "tests/test_util.h"
+
+namespace ppdb::stats {
+namespace {
+
+// --- RunningStats -----------------------------------------------------------
+
+TEST(RunningStatsTest, EmptyState) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  RunningStats merged, a, b;
+  for (int i = 0; i < 50; ++i) {
+    double v = std::sin(i * 0.7) * 10;
+    merged.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), merged.count());
+  EXPECT_NEAR(a.mean(), merged.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), merged.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), merged.min());
+  EXPECT_DOUBLE_EQ(a.max(), merged.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(9.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, CreateValidation) {
+  EXPECT_TRUE(Histogram::Create(0, 1, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(Histogram::Create(1, 1, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(Histogram::Create(2, 1, 4).status().IsInvalidArgument());
+  EXPECT_OK(Histogram::Create(0, 1, 4));
+}
+
+TEST(HistogramTest, BinsAndEdges) {
+  ASSERT_OK_AND_ASSIGN(Histogram h, Histogram::Create(0.0, 10.0, 5));
+  EXPECT_EQ(h.num_bins(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, CountsFallIntoCorrectBins) {
+  ASSERT_OK_AND_ASSIGN(Histogram h, Histogram::Create(0.0, 10.0, 5));
+  h.Add(0.0);   // bin 0
+  h.Add(1.99);  // bin 0
+  h.Add(2.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
+  EXPECT_EQ(h.total_count(), 4);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  ASSERT_OK_AND_ASSIGN(Histogram h, Histogram::Create(0.0, 10.0, 5));
+  h.Add(-1.0);
+  h.Add(10.0);   // hi edge is exclusive -> overflow
+  h.Add(100.0);
+  EXPECT_EQ(h.underflow_count(), 1);
+  EXPECT_EQ(h.overflow_count(), 2);
+  EXPECT_EQ(h.total_count(), 3);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  ASSERT_OK_AND_ASSIGN(Histogram h, Histogram::Create(0.0, 4.0, 4));
+  for (double v : {0.5, 1.5, 2.5, 3.5}) h.Add(v);
+  double total = 0;
+  for (int i = 0; i < h.num_bins(); ++i) total += h.bin_fraction(i);
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(HistogramTest, AsciiArtRendersRows) {
+  ASSERT_OK_AND_ASSIGN(Histogram h, Histogram::Create(0.0, 2.0, 2));
+  h.Add(0.5);
+  std::string art = h.ToAsciiArt(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+// --- EmpiricalCdf ------------------------------------------------------------
+
+TEST(EmpiricalCdfTest, EmptyEvaluatesToZero) {
+  EmpiricalCdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(1.0), 0.0);
+  EXPECT_TRUE(cdf.Quantile(0.5).status().IsFailedPrecondition());
+}
+
+TEST(EmpiricalCdfTest, StepFunction) {
+  EmpiricalCdf cdf;
+  cdf.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(99.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantilesInverseCdf) {
+  EmpiricalCdf cdf;
+  cdf.AddAll({10, 20, 30, 40, 50});
+  ASSERT_OK_AND_ASSIGN(double median, cdf.Median());
+  EXPECT_DOUBLE_EQ(median, 30);
+  ASSERT_OK_AND_ASSIGN(double q0, cdf.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(q0, 10);
+  ASSERT_OK_AND_ASSIGN(double q1, cdf.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(q1, 50);
+  EXPECT_TRUE(cdf.Quantile(1.5).status().IsInvalidArgument());
+}
+
+TEST(EmpiricalCdfTest, MonotoneNondecreasing) {
+  EmpiricalCdf cdf;
+  cdf.AddAll({3, 1, 4, 1, 5, 9, 2, 6});
+  double prev = -1;
+  for (double x = 0; x <= 10; x += 0.25) {
+    double f = cdf.Evaluate(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(EmpiricalCdfTest, KsDistanceIdenticalIsZero) {
+  EmpiricalCdf a, b;
+  a.AddAll({1, 2, 3});
+  b.AddAll({1, 2, 3});
+  EXPECT_DOUBLE_EQ(a.KsDistance(b), 0.0);
+}
+
+TEST(EmpiricalCdfTest, KsDistanceDisjointIsOne) {
+  EmpiricalCdf a, b;
+  a.AddAll({1, 2});
+  b.AddAll({10, 20});
+  EXPECT_DOUBLE_EQ(a.KsDistance(b), 1.0);
+}
+
+TEST(EmpiricalCdfTest, SortedSamples) {
+  EmpiricalCdf cdf;
+  cdf.AddAll({3, 1, 2});
+  std::vector<double> sorted = cdf.SortedSamples();
+  EXPECT_EQ(sorted, (std::vector<double>{1, 2, 3}));
+}
+
+// --- Confidence intervals -----------------------------------------------------
+
+TEST(NormalQuantileTest, KnownValues) {
+  ASSERT_OK_AND_ASSIGN(double z50, NormalQuantile(0.5));
+  EXPECT_NEAR(z50, 0.0, 1e-8);
+  ASSERT_OK_AND_ASSIGN(double z975, NormalQuantile(0.975));
+  EXPECT_NEAR(z975, 1.959964, 1e-5);
+  ASSERT_OK_AND_ASSIGN(double z025, NormalQuantile(0.025));
+  EXPECT_NEAR(z025, -1.959964, 1e-5);
+  ASSERT_OK_AND_ASSIGN(double z999, NormalQuantile(0.999));
+  EXPECT_NEAR(z999, 3.090232, 1e-4);
+}
+
+TEST(NormalQuantileTest, RejectsOutOfDomain) {
+  EXPECT_FALSE(NormalQuantile(0.0).ok());
+  EXPECT_FALSE(NormalQuantile(1.0).ok());
+  EXPECT_FALSE(NormalQuantile(-0.5).ok());
+}
+
+TEST(WilsonIntervalTest, ContainsPointEstimate) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval ci, WilsonInterval(30, 100, 0.95));
+  EXPECT_TRUE(ci.Contains(0.3));
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, ZeroSuccessesStaysInUnitInterval) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval ci, WilsonInterval(0, 50, 0.95));
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.15);
+}
+
+TEST(WilsonIntervalTest, AllSuccesses) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval ci, WilsonInterval(50, 50, 0.95));
+  EXPECT_LT(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, NarrowsWithMoreTrials) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval small, WilsonInterval(5, 10, 0.95));
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval large,
+                       WilsonInterval(500, 1000, 0.95));
+  EXPECT_LT(large.Width(), small.Width());
+}
+
+TEST(WilsonIntervalTest, RejectsBadArgs) {
+  EXPECT_FALSE(WilsonInterval(1, 0, 0.95).ok());
+  EXPECT_FALSE(WilsonInterval(-1, 10, 0.95).ok());
+  EXPECT_FALSE(WilsonInterval(11, 10, 0.95).ok());
+  EXPECT_FALSE(WilsonInterval(5, 10, 0.0).ok());
+  EXPECT_FALSE(WilsonInterval(5, 10, 1.0).ok());
+}
+
+TEST(WaldIntervalTest, MatchesWilsonForLargeN) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval wald,
+                       WaldInterval(5000, 10000, 0.95));
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval wilson,
+                       WilsonInterval(5000, 10000, 0.95));
+  EXPECT_NEAR(wald.lo, wilson.lo, 1e-3);
+  EXPECT_NEAR(wald.hi, wilson.hi, 1e-3);
+}
+
+TEST(WaldIntervalTest, DegenerateAtZeroUnlikeWilson) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval wald, WaldInterval(0, 50, 0.95));
+  EXPECT_DOUBLE_EQ(wald.Width(), 0.0);  // The Wald pathology.
+  ASSERT_OK_AND_ASSIGN(ConfidenceInterval wilson, WilsonInterval(0, 50, 0.95));
+  EXPECT_GT(wilson.Width(), 0.0);  // Wilson stays informative.
+}
+
+// --- TablePrinter -------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.5), "0.500");
+  EXPECT_EQ(TablePrinter::FormatInt(-42), "-42");
+}
+
+}  // namespace
+}  // namespace ppdb::stats

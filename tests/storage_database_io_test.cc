@@ -1,0 +1,200 @@
+#include "storage/database_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+#include "privacy/policy_dsl.h"
+#include "tests/test_util.h"
+#include "violation/detector.h"
+
+namespace ppdb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatabaseIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ppdb_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  Database MakeDatabase() {
+    Database database;
+    auto config = privacy::ParsePrivacyConfig(R"(
+purpose care
+policy weight for care: visibility=house, granularity=specific, retention=year
+pref 1 weight for care: visibility=house, granularity=partial, retention=year
+attr_sensitivity weight = 4
+sensitivity 1 weight: granularity=2
+threshold 1 = 10
+)");
+    PPDB_CHECK_OK(config.status());
+    database.config = std::move(config).value();
+
+    rel::Schema schema =
+        rel::Schema::Create({{"weight", rel::DataType::kDouble, ""},
+                             {"note", rel::DataType::kString, ""}})
+            .value();
+    rel::Table* table =
+        database.catalog.CreateTable("patients", schema).value();
+    PPDB_CHECK_OK(table->Insert(
+        1, {rel::Value::Double(81.5), rel::Value::String("a,b \"quoted\"")}));
+    PPDB_CHECK_OK(
+        table->Insert(2, {rel::Value::Null(), rel::Value::String("plain")}));
+
+    rel::Schema visits_schema =
+        rel::Schema::Create({{"day", rel::DataType::kInt64, ""}}).value();
+    rel::Table multi =
+        rel::Table::CreateMultiRecord("visits", visits_schema).value();
+    PPDB_CHECK_OK(multi.Insert(1, {rel::Value::Int64(3)}));
+    PPDB_CHECK_OK(multi.Insert(1, {rel::Value::Int64(9)}));
+    PPDB_CHECK_OK(database.catalog.AddTable(std::move(multi)).status());
+
+    database.ledger.RecordIngest("patients", 1, "weight", 5);
+    database.ledger.RecordIngest("patients", 2, "note", 7);
+
+    audit::AuditEvent event;
+    event.timestamp = 9;
+    event.kind = audit::AuditEventKind::kCellSuppressed;
+    event.requester = "tester";
+    event.table = "patients";
+    event.provider = 1;
+    event.attribute = "weight";
+    event.detail = "demo, with comma";
+    database.log.Append(std::move(event));
+    return database;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DatabaseIoTest, SaveThenLoadRoundTrips) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+
+  ASSERT_OK_AND_ASSIGN(Database loaded, LoadDatabase(dir_.string()));
+
+  // Tables.
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients", "visits"}));
+  ASSERT_OK_AND_ASSIGN(const rel::Table* patients,
+                       loaded.catalog.GetTable("patients"));
+  EXPECT_FALSE(patients->multi_record());
+  EXPECT_EQ(patients->num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(rel::Value weight, patients->GetCell(1, "weight"));
+  EXPECT_EQ(weight, rel::Value::Double(81.5));
+  ASSERT_OK_AND_ASSIGN(rel::Value note, patients->GetCell(1, "note"));
+  EXPECT_EQ(note, rel::Value::String("a,b \"quoted\""));
+  ASSERT_OK_AND_ASSIGN(rel::Value null_cell, patients->GetCell(2, "weight"));
+  EXPECT_TRUE(null_cell.is_null());
+
+  // Multi-record table preserved its mode and rows.
+  ASSERT_OK_AND_ASSIGN(const rel::Table* visits,
+                       loaded.catalog.GetTable("visits"));
+  EXPECT_TRUE(visits->multi_record());
+  EXPECT_EQ(visits->RowsForProvider(1).size(), 2u);
+
+  // Privacy config: same analysis results.
+  violation::ViolationDetector a(&original.config), b(&loaded.config);
+  ASSERT_OK_AND_ASSIGN(auto ra, a.Analyze());
+  ASSERT_OK_AND_ASSIGN(auto rb, b.Analyze());
+  EXPECT_DOUBLE_EQ(ra.total_severity, rb.total_severity);
+  EXPECT_DOUBLE_EQ(loaded.config.ThresholdFor(1), 10.0);
+
+  // Ledger.
+  ASSERT_OK_AND_ASSIGN(int64_t day,
+                       loaded.ledger.IngestDay("patients", 1, "weight"));
+  EXPECT_EQ(day, 5);
+  EXPECT_EQ(loaded.ledger.size(), 2);
+
+  // Audit log.
+  ASSERT_EQ(loaded.log.size(), 1);
+  const audit::AuditEvent& event = loaded.log.events()[0];
+  EXPECT_EQ(event.kind, audit::AuditEventKind::kCellSuppressed);
+  EXPECT_EQ(event.provider, 1);
+  EXPECT_EQ(event.attribute, "weight");
+  EXPECT_EQ(event.detail, "demo, with comma");
+  EXPECT_EQ(event.timestamp, 9);
+}
+
+TEST_F(DatabaseIoTest, SaveOverwritesExisting) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  // Mutate and save again.
+  ASSERT_OK(original.catalog.DropTable("visits"));
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  ASSERT_OK_AND_ASSIGN(Database loaded, LoadDatabase(dir_.string()));
+  // The manifest governs: the stale visits.csv on disk is ignored.
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients"}));
+}
+
+TEST_F(DatabaseIoTest, LoadMissingDirectoryErrors) {
+  EXPECT_TRUE(LoadDatabase((dir_ / "nope").string()).status().IsNotFound());
+}
+
+TEST_F(DatabaseIoTest, LoadRejectsCorruptManifest) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  {
+    std::ofstream out(dir_ / "MANIFEST", std::ios::trunc);
+    out << "not a manifest\n";
+  }
+  EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsParseError());
+}
+
+TEST_F(DatabaseIoTest, LoadDetectsMissingTableFile) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  fs::remove(dir_ / "tables" / "patients.csv");
+  EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsNotFound());
+}
+
+TEST_F(DatabaseIoTest, LoadRejectsCorruptTableCell) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  {
+    std::ofstream out(dir_ / "tables" / "patients.csv", std::ios::trunc);
+    out << "provider_id,weight,note\n1,not_a_double,x\n";
+  }
+  EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsParseError());
+}
+
+TEST(AuditCsvTest, EmptyLogRoundTrips) {
+  audit::AuditLog log;
+  ASSERT_OK_AND_ASSIGN(audit::AuditLog loaded,
+                       AuditLogFromCsv(AuditLogToCsv(log)));
+  EXPECT_EQ(loaded.size(), 0);
+}
+
+TEST(AuditCsvTest, RejectsUnknownKind) {
+  EXPECT_TRUE(AuditLogFromCsv(
+                  "sequence,timestamp,kind,requester,purpose,table,provider,"
+                  "attribute,detail\n0,0,bogus_kind,x,0,t,,,\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(LedgerCsvTest, EmptyAndRoundTrip) {
+  audit::IngestLedger ledger;
+  ASSERT_OK_AND_ASSIGN(audit::IngestLedger empty,
+                       LedgerFromCsv(LedgerToCsv(ledger)));
+  EXPECT_EQ(empty.size(), 0);
+  ledger.RecordIngest("t", 3, "a", 11);
+  ASSERT_OK_AND_ASSIGN(audit::IngestLedger loaded,
+                       LedgerFromCsv(LedgerToCsv(ledger)));
+  ASSERT_OK_AND_ASSIGN(int64_t day, loaded.IngestDay("t", 3, "a"));
+  EXPECT_EQ(day, 11);
+}
+
+}  // namespace
+}  // namespace ppdb::storage

@@ -1,0 +1,44 @@
+#ifndef PPDB_TESTS_TEST_UTIL_H_
+#define PPDB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Asserts that a Status (or Result) expression is OK.
+#define ASSERT_OK(expr) ASSERT_TRUE(::ppdb::testing::IsOk(expr)) \
+    << ::ppdb::testing::StatusOf(expr).ToString()
+#define EXPECT_OK(expr) EXPECT_TRUE(::ppdb::testing::IsOk(expr)) \
+    << ::ppdb::testing::StatusOf(expr).ToString()
+
+/// Asserts OK and binds the value: ASSERT_OK_AND_ASSIGN(auto v, Foo());
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                                    \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                                \
+      PPDB_TEST_CONCAT(_assert_or_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  ASSERT_TRUE(result.ok()) << result.status().ToString(); \
+  lhs = std::move(result).value()
+
+#define PPDB_TEST_CONCAT_IMPL(x, y) x##y
+#define PPDB_TEST_CONCAT(x, y) PPDB_TEST_CONCAT_IMPL(x, y)
+
+namespace ppdb::testing {
+
+inline bool IsOk(const Status& status) { return status.ok(); }
+inline Status StatusOf(const Status& status) { return status; }
+
+template <typename T>
+bool IsOk(const Result<T>& result) {
+  return result.ok();
+}
+template <typename T>
+Status StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace ppdb::testing
+
+#endif  // PPDB_TESTS_TEST_UTIL_H_

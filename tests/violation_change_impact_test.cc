@@ -1,0 +1,107 @@
+#include "violation/change_impact.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+
+namespace ppdb::violation {
+namespace {
+
+using privacy::Dimension;
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+
+class ChangeImpactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    purpose_ = config_.purposes.Register("ads").value();
+    PPDB_CHECK_OK(config_.policy.Add("weight",
+                                     PrivacyTuple{purpose_, 1, 1, 1}));
+    // Bands: providers 1-3 accept level 0, 4-6 level 1, 7-9 level 2.
+    for (int64_t i = 1; i <= 9; ++i) {
+      int band = static_cast<int>((i - 1) / 3);
+      config_.preferences.ForProvider(i).Set(
+          "weight", PrivacyTuple{purpose_, band, band, band});
+      config_.thresholds[i] = 2.0;
+    }
+  }
+
+  privacy::PrivacyConfig config_;
+  PurposeId purpose_;
+};
+
+TEST_F(ChangeImpactTest, WideningCreatesNewViolationsAndDefaults) {
+  ASSERT_OK_AND_ASSIGN(
+      privacy::HousePolicy wider,
+      config_.policy.Widened(Dimension::kGranularity, 1, config_.scales));
+  ASSERT_OK_AND_ASSIGN(ChangeImpact impact,
+                       AssessPolicyChange(config_, wider));
+  EXPECT_TRUE(impact.diff.Widens());
+  EXPECT_GE(impact.p_violation_after, impact.p_violation_before);
+  EXPECT_GE(impact.p_default_after, impact.p_default_before);
+  // Band 1 (providers 4-6) was clean at (1,1,1); granularity 2 now exceeds
+  // their level-1 preference.
+  EXPECT_EQ(impact.newly_violated,
+            (std::vector<privacy::ProviderId>{4, 5, 6}));
+  EXPECT_TRUE(impact.no_longer_violated.empty());
+  EXPECT_TRUE(impact.recovered.empty());
+}
+
+TEST_F(ChangeImpactTest, NarrowingRecoversProviders) {
+  ASSERT_OK_AND_ASSIGN(
+      privacy::HousePolicy narrower,
+      config_.policy.Widened(Dimension::kGranularity, -1, config_.scales));
+  // Narrow visibility and retention too so band 0 is fully cleared.
+  ASSERT_OK_AND_ASSIGN(
+      narrower, narrower.Widened(Dimension::kVisibility, -1, config_.scales));
+  ASSERT_OK_AND_ASSIGN(
+      narrower, narrower.Widened(Dimension::kRetention, -1, config_.scales));
+  ASSERT_OK_AND_ASSIGN(ChangeImpact impact,
+                       AssessPolicyChange(config_, narrower));
+  EXPECT_TRUE(impact.diff.PurelyNarrowing());
+  // Band 0 (1-3) was violated (severity 3 > 2, defaulted) and is now clean.
+  EXPECT_EQ(impact.no_longer_violated,
+            (std::vector<privacy::ProviderId>{1, 2, 3}));
+  EXPECT_EQ(impact.recovered, (std::vector<privacy::ProviderId>{1, 2, 3}));
+  EXPECT_TRUE(impact.newly_violated.empty());
+  EXPECT_LT(impact.total_violations_after, impact.total_violations_before);
+}
+
+TEST_F(ChangeImpactTest, NoChangeIsNeutral) {
+  ASSERT_OK_AND_ASSIGN(ChangeImpact impact,
+                       AssessPolicyChange(config_, config_.policy));
+  EXPECT_TRUE(impact.diff.Empty());
+  EXPECT_DOUBLE_EQ(impact.p_violation_before, impact.p_violation_after);
+  EXPECT_TRUE(impact.newly_violated.empty());
+  EXPECT_TRUE(impact.newly_defaulted.empty());
+}
+
+TEST_F(ChangeImpactTest, AddedPurposeTriggersImplicitZeroViolations) {
+  privacy::HousePolicy with_new_use = config_.policy;
+  PurposeId resale = config_.purposes.Register("resale").value();
+  PPDB_CHECK_OK(with_new_use.Add("weight", PrivacyTuple{resale, 2, 2, 2}));
+  ASSERT_OK_AND_ASSIGN(ChangeImpact impact,
+                       AssessPolicyChange(config_, with_new_use));
+  ASSERT_EQ(impact.diff.added.size(), 1u);
+  // Every provider has stated nothing about "resale": the implicit zero
+  // tuple makes the new use a violation for everyone. Band 0 (1-3) was
+  // already violated; the previously clean bands 1-2 flip.
+  EXPECT_EQ(impact.newly_violated,
+            (std::vector<privacy::ProviderId>{4, 5, 6, 7, 8, 9}));
+  EXPECT_GT(impact.p_default_after, impact.p_default_before);
+}
+
+TEST_F(ChangeImpactTest, SummaryMentionsCounts) {
+  ASSERT_OK_AND_ASSIGN(
+      privacy::HousePolicy wider,
+      config_.policy.Widened(Dimension::kGranularity, 1, config_.scales));
+  ASSERT_OK_AND_ASSIGN(ChangeImpact impact,
+                       AssessPolicyChange(config_, wider));
+  std::string summary = impact.Summary();
+  EXPECT_NE(summary.find("1 level move(s)"), std::string::npos);
+  EXPECT_NE(summary.find("3 provider(s) newly violated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::violation

@@ -1,0 +1,152 @@
+#include "violation/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ppdb::violation {
+namespace {
+
+using privacy::Dimension;
+using privacy::DimensionSensitivity;
+using privacy::PolicyTuple;
+using privacy::PreferenceTuple;
+using privacy::PrivacyTuple;
+using privacy::SensitivityModel;
+
+TEST(LevelDiffTest, MatchesEq12) {
+  // diff(p, P) = P - p when P > p, else 0.
+  EXPECT_EQ(LevelDiff(1, 3), 2);
+  EXPECT_EQ(LevelDiff(3, 3), 0);
+  EXPECT_EQ(LevelDiff(3, 1), 0);
+  EXPECT_EQ(LevelDiff(0, 0), 0);
+  EXPECT_EQ(LevelDiff(0, 4), 4);
+}
+
+TEST(ComparableTest, MatchesEq13) {
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 1, 1, 1}};
+  // Same attribute, same purpose: comparable.
+  EXPECT_TRUE(Comparable(pref, PolicyTuple{"weight", PrivacyTuple{0, 3, 3, 3}}));
+  // Different attribute: not comparable.
+  EXPECT_FALSE(Comparable(pref, PolicyTuple{"age", PrivacyTuple{0, 3, 3, 3}}));
+  // Different purpose: not comparable.
+  EXPECT_FALSE(
+      Comparable(pref, PolicyTuple{"weight", PrivacyTuple{1, 3, 3, 3}}));
+}
+
+TEST(ConflictTest, NonComparablePairIsZero) {
+  SensitivityModel sens;
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 0, 0, 0}};
+  PolicyTuple policy{"age", PrivacyTuple{0, 3, 3, 3}};
+  ConflictBreakdown b = Conflict(pref, policy, sens);
+  EXPECT_FALSE(b.comparable);
+  EXPECT_DOUBLE_EQ(b.total, 0.0);
+  EXPECT_FALSE(b.HasExceedance());
+}
+
+TEST(ConflictTest, NoExceedanceWhenPolicyBounded) {
+  SensitivityModel sens;
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 2, 2, 2}};
+  PolicyTuple policy{"weight", PrivacyTuple{0, 1, 2, 0}};
+  ConflictBreakdown b = Conflict(pref, policy, sens);
+  EXPECT_TRUE(b.comparable);
+  EXPECT_DOUBLE_EQ(b.total, 0.0);
+  EXPECT_FALSE(b.HasExceedance());
+}
+
+TEST(ConflictTest, UnitSensitivitiesGiveRawDiffs) {
+  SensitivityModel sens;  // Everything defaults to 1.
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 1, 1, 1}};
+  PolicyTuple policy{"weight", PrivacyTuple{0, 3, 2, 1}};
+  ConflictBreakdown b = Conflict(pref, policy, sens);
+  // diff_V = 2, diff_G = 1, diff_R = 0; all weights 1.
+  EXPECT_DOUBLE_EQ(b.total, 3.0);
+  EXPECT_EQ(b.per_dimension[0].dimension, Dimension::kVisibility);
+  EXPECT_EQ(b.per_dimension[0].diff, 2);
+  EXPECT_DOUBLE_EQ(b.per_dimension[0].weighted, 2.0);
+  EXPECT_EQ(b.per_dimension[1].diff, 1);
+  EXPECT_EQ(b.per_dimension[2].diff, 0);
+  EXPECT_TRUE(b.HasExceedance());
+}
+
+TEST(ConflictTest, WeightsMultiplyPerEq14) {
+  SensitivityModel sens;
+  ASSERT_OK(sens.SetAttributeSensitivity("weight", 4.0));
+  ASSERT_OK(sens.SetProviderSensitivity(
+      1, "weight", DimensionSensitivity{3.0, 1.0, 5.0, 2.0}));
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 2, 1, 2}};
+  PolicyTuple policy{"weight", PrivacyTuple{0, 2, 2, 2}};
+  ConflictBreakdown b = Conflict(pref, policy, sens);
+  // Only granularity exceeds: diff = 1, weighted = 1 * 4 * 3 * 5 = 60
+  // (this is exactly Ted's conflict in the paper's Eq. 20).
+  EXPECT_DOUBLE_EQ(b.total, 60.0);
+  EXPECT_DOUBLE_EQ(b.per_dimension[1].weighted, 60.0);
+}
+
+TEST(ConflictTest, ViolationWithZeroSensitivityHasZeroSeverity) {
+  SensitivityModel sens;
+  ASSERT_OK(sens.SetProviderSensitivity(
+      1, "weight", DimensionSensitivity{0.0, 1.0, 1.0, 1.0}));
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 0, 0, 0}};
+  PolicyTuple policy{"weight", PrivacyTuple{0, 3, 3, 3}};
+  ConflictBreakdown b = Conflict(pref, policy, sens);
+  // Def. 1 violation exists (diffs > 0) but severity is zero.
+  EXPECT_TRUE(b.HasExceedance());
+  EXPECT_DOUBLE_EQ(b.total, 0.0);
+}
+
+TEST(ConflictTest, PurposeScopedSensitivitiesApply) {
+  SensitivityModel sens;
+  ASSERT_OK(sens.SetAttributeSensitivityForPurpose("weight", 1, 10.0));
+  PreferenceTuple pref{1, "weight", PrivacyTuple{1, 0, 0, 0}};
+  PolicyTuple policy{"weight", PrivacyTuple{1, 1, 0, 0}};
+  ConflictBreakdown b = Conflict(pref, policy, sens);
+  EXPECT_DOUBLE_EQ(b.total, 10.0);
+}
+
+TEST(ConflictTest, SensitivitiesLookedUpByPolicyPurpose) {
+  SensitivityModel sens;
+  ASSERT_OK(sens.SetAttributeSensitivityForPurpose("weight", 0, 2.0));
+  ASSERT_OK(sens.SetAttributeSensitivityForPurpose("weight", 1, 100.0));
+  PreferenceTuple pref{1, "weight", PrivacyTuple{0, 0, 0, 0}};
+  PolicyTuple policy{"weight", PrivacyTuple{0, 1, 0, 0}};
+  EXPECT_DOUBLE_EQ(Conflict(pref, policy, sens).total, 2.0);
+}
+
+// Property: conf is monotone in each policy dimension (widening the policy
+// can only increase the conflict).
+class ConflictMonotonicityTest
+    : public ::testing::TestWithParam<privacy::Dimension> {};
+
+TEST_P(ConflictMonotonicityTest, WideningNeverDecreasesConflict) {
+  SensitivityModel sens;
+  ASSERT_OK(sens.SetAttributeSensitivity("weight", 4.0));
+  ASSERT_OK(sens.SetProviderSensitivity(
+      1, "weight", DimensionSensitivity{2.0, 1.5, 3.0, 0.5}));
+  for (int pref_level = 0; pref_level <= 3; ++pref_level) {
+    PreferenceTuple pref{
+        1, "weight", PrivacyTuple{0, pref_level, pref_level, pref_level}};
+    double previous = -1.0;
+    for (int policy_level = 0; policy_level <= 4; ++policy_level) {
+      PrivacyTuple tuple{0, 1, 1, 1};
+      ASSERT_OK(tuple.SetLevel(GetParam(), policy_level));
+      double total = Conflict(pref, PolicyTuple{"weight", tuple}, sens).total;
+      EXPECT_GE(total, previous)
+          << "dimension " << privacy::DimensionName(GetParam())
+          << " pref_level " << pref_level << " policy_level " << policy_level;
+      previous = total;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderedDimensions, ConflictMonotonicityTest,
+    ::testing::Values(privacy::Dimension::kVisibility,
+                      privacy::Dimension::kGranularity,
+                      privacy::Dimension::kRetention),
+    [](const ::testing::TestParamInfo<privacy::Dimension>& info) {
+      return std::string(privacy::DimensionName(info.param));
+    });
+
+}  // namespace
+}  // namespace ppdb::violation

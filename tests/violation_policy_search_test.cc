@@ -1,0 +1,182 @@
+#include "violation/policy_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "tests/test_util.h"
+#include "violation/detector.h"
+
+namespace ppdb::violation {
+namespace {
+
+using privacy::Dimension;
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+
+// A 12-provider population in tolerance bands. Providers in band b accept
+// level b on every dimension; their thresholds leave moderate headroom.
+class PolicySearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    purpose_ = config_.purposes.Register("service").value();
+    ASSERT_OK(config_.policy.Add("weight",
+                                 PrivacyTuple{purpose_, 1, 1, 1}));
+    ASSERT_OK(config_.sensitivities.SetAttributeSensitivity("weight", 2.0));
+    for (int64_t i = 1; i <= 12; ++i) {
+      int band = static_cast<int>((i - 1) / 4);  // 0, 1, 2.
+      config_.preferences.ForProvider(i).Set(
+          "weight", PrivacyTuple{purpose_, band, band, band});
+      config_.thresholds[i] = 6.0;
+    }
+  }
+
+  privacy::PrivacyConfig config_;
+  PurposeId purpose_;
+};
+
+TEST(LinearExposureValueTest, MonotoneInLevelsAndScale) {
+  privacy::PrivacyConfig config;
+  PurposeId p = config.purposes.Register("p").value();
+  PPDB_CHECK_OK(config.sensitivities.SetAttributeSensitivity("a", 2.0));
+  privacy::HousePolicy narrow, wide;
+  PPDB_CHECK_OK(narrow.Add("a", PrivacyTuple{p, 1, 1, 1}));
+  PPDB_CHECK_OK(wide.Add("a", PrivacyTuple{p, 3, 3, 4}));
+  DataValueModel model = MakeLinearExposureValue(1.0);
+  EXPECT_GT(model(wide, config), model(narrow, config));
+  DataValueModel doubled = MakeLinearExposureValue(2.0);
+  EXPECT_DOUBLE_EQ(doubled(narrow, config), 2.0 * model(narrow, config));
+  // Full exposure of a single sensitivity-2 attribute = 2 * scale.
+  privacy::HousePolicy maxed;
+  PPDB_CHECK_OK(maxed.Add("a", PrivacyTuple{p, 3, 3, 4}));
+  EXPECT_DOUBLE_EQ(model(maxed, config), 2.0);
+}
+
+TEST_F(PolicySearchTest, RejectsBadOptions) {
+  SearchOptions options;
+  options.value_model = MakeLinearExposureValue(1.0);
+  options.utility_per_provider = 0.0;
+  EXPECT_TRUE(
+      GreedyPolicySearch(config_, options).status().IsInvalidArgument());
+  options.utility_per_provider = 1.0;
+  options.value_model = nullptr;
+  EXPECT_TRUE(
+      GreedyPolicySearch(config_, options).status().IsInvalidArgument());
+  privacy::PrivacyConfig empty;
+  options.value_model = MakeLinearExposureValue(1.0);
+  EXPECT_TRUE(
+      GreedyPolicySearch(empty, options).status().IsFailedPrecondition());
+}
+
+TEST_F(PolicySearchTest, ZeroValueModelNarrowsToStopViolations) {
+  // If exposure is worth nothing, the optimal policy keeps every provider:
+  // the search narrows until nobody defaults.
+  SearchOptions options;
+  options.utility_per_provider = 1.0;
+  options.value_model = MakeLinearExposureValue(0.0);
+  ASSERT_OK_AND_ASSIGN(SearchResult result,
+                       GreedyPolicySearch(config_, options));
+  EXPECT_GE(result.best_utility, result.baseline_utility);
+  // All 12 providers retained at the optimum.
+  EXPECT_EQ(result.trajectory.empty() ? 12
+                                      : result.trajectory.back().n_remaining,
+            12);
+}
+
+TEST_F(PolicySearchTest, HighValueModelWidens) {
+  // If exposure is worth a lot relative to the per-provider base utility,
+  // the search widens even at the cost of defaults.
+  SearchOptions options;
+  options.utility_per_provider = 0.1;
+  options.value_model = MakeLinearExposureValue(10.0);
+  ASSERT_OK_AND_ASSIGN(SearchResult result,
+                       GreedyPolicySearch(config_, options));
+  EXPECT_GT(result.best_utility, result.baseline_utility);
+  // The found policy is wider than the start on at least one dimension.
+  PrivacyTuple best = result.best_policy.Find("weight", purpose_).value();
+  EXPECT_GT(best.visibility + best.granularity + best.retention, 3);
+}
+
+TEST_F(PolicySearchTest, TrajectoryUtilitiesStrictlyImprove) {
+  SearchOptions options;
+  options.utility_per_provider = 1.0;
+  options.value_model = MakeLinearExposureValue(3.0);
+  ASSERT_OK_AND_ASSIGN(SearchResult result,
+                       GreedyPolicySearch(config_, options));
+  double previous = result.baseline_utility;
+  for (const SearchStep& step : result.trajectory) {
+    EXPECT_GT(step.utility, previous);
+    previous = step.utility;
+  }
+  EXPECT_DOUBLE_EQ(result.best_utility,
+                   result.trajectory.empty()
+                       ? result.baseline_utility
+                       : result.trajectory.back().utility);
+}
+
+TEST_F(PolicySearchTest, NarrowingDisabledNeverNarrows) {
+  SearchOptions options;
+  options.utility_per_provider = 1.0;
+  options.value_model = MakeLinearExposureValue(0.0);
+  options.allow_narrowing = false;
+  ASSERT_OK_AND_ASSIGN(SearchResult result,
+                       GreedyPolicySearch(config_, options));
+  for (const SearchStep& step : result.trajectory) {
+    EXPECT_EQ(step.delta, 1);
+  }
+}
+
+TEST_F(PolicySearchTest, MaxStepsBoundsSearch) {
+  SearchOptions options;
+  options.utility_per_provider = 0.1;
+  options.value_model = MakeLinearExposureValue(10.0);
+  options.max_steps = 2;
+  ASSERT_OK_AND_ASSIGN(SearchResult result,
+                       GreedyPolicySearch(config_, options));
+  EXPECT_LE(result.trajectory.size(), 2u);
+}
+
+TEST_F(PolicySearchTest, InputConfigUnchanged) {
+  PrivacyTuple before = config_.policy.Find("weight", purpose_).value();
+  SearchOptions options;
+  options.utility_per_provider = 0.1;
+  options.value_model = MakeLinearExposureValue(10.0);
+  ASSERT_OK(GreedyPolicySearch(config_, options).status());
+  EXPECT_EQ(config_.policy.Find("weight", purpose_).value(), before);
+}
+
+TEST_F(PolicySearchTest, BestExpansionPrefixFindsInteriorPeak) {
+  auto schedule =
+      WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 3);
+  // T grows fast then saturates; the crowd thins with each step.
+  auto extra = [](int k) {
+    return 2.0 * (1.0 - std::exp(-static_cast<double>(k)));
+  };
+  ASSERT_OK_AND_ASSIGN(
+      PrefixResult result,
+      BestExpansionPrefix(config_, schedule, 1.0, extra));
+  ASSERT_EQ(result.utilities.size(), 4u);
+  EXPECT_GE(result.best_prefix, 0);
+  EXPECT_LE(result.best_prefix, 3);
+  EXPECT_DOUBLE_EQ(
+      result.best_utility,
+      result.utilities[static_cast<size_t>(result.best_prefix)]);
+  for (double utility : result.utilities) {
+    EXPECT_LE(utility, result.best_utility);
+  }
+}
+
+TEST_F(PolicySearchTest, BestExpansionPrefixValidation) {
+  auto schedule =
+      WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 1);
+  EXPECT_TRUE(BestExpansionPrefix(config_, schedule, 0.0, [](int) {
+                return 0.0;
+              }).status().IsInvalidArgument());
+  EXPECT_TRUE(BestExpansionPrefix(config_, schedule, 1.0, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ppdb::violation

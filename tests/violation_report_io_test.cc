@@ -1,0 +1,113 @@
+#include "violation/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/csv.h"
+#include "tests/test_util.h"
+#include "violation/detector.h"
+
+namespace ppdb::violation {
+namespace {
+
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+
+class ReportIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    marketing_ = config_.purposes.Register("marketing").value();
+    ASSERT_OK(config_.policy.Add("weight",
+                                 PrivacyTuple{marketing_, 2, 3, 3}));
+    ASSERT_OK(config_.sensitivities.SetAttributeSensitivity("weight", 4.0));
+    // Provider 1: clean. Provider 2: granularity violated. Provider 3:
+    // stated nothing (implicit zero).
+    config_.preferences.ForProvider(1).Set(
+        "weight", PrivacyTuple{marketing_, 3, 3, 4});
+    config_.preferences.ForProvider(2).Set(
+        "weight", PrivacyTuple{marketing_, 2, 1, 3});
+    config_.preferences.ForProvider(3);
+    config_.thresholds[2] = 5.0;
+
+    ViolationDetector detector(&config_);
+    auto report = detector.Analyze();
+    ASSERT_OK(report.status());
+    report_ = std::move(report).value();
+    defaults_ = ComputeDefaults(report_, config_);
+  }
+
+  privacy::PrivacyConfig config_;
+  PurposeId marketing_;
+  ViolationReport report_;
+  DefaultReport defaults_;
+};
+
+TEST_F(ReportIoTest, ViolationCsvParsesBackAndMatches) {
+  std::string csv = ViolationReportToCsv(report_);
+  ASSERT_OK_AND_ASSIGN(auto rows, rel::ParseCsv(csv));
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 providers.
+  EXPECT_EQ(rows[0][0], "provider_id");
+  // Provider 1 clean.
+  EXPECT_EQ(rows[1][1], "0");
+  // Provider 2: severity 2 * 4 = 8.
+  EXPECT_EQ(rows[2][1], "1");
+  EXPECT_EQ(rows[2][2], "8");
+  // Provider 3: implicit zero against (2,3,3) with Sigma=4: 8+12+12 = 32.
+  EXPECT_EQ(rows[3][2], "32");
+}
+
+TEST_F(ReportIoTest, IncidentsCsvResolvesPurposeNames) {
+  std::string csv = IncidentsToCsv(report_, config_.purposes);
+  ASSERT_OK_AND_ASSIGN(auto rows, rel::ParseCsv(csv));
+  // 1 incident for provider 2 + 3 for provider 3.
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[1][2], "marketing");
+  EXPECT_EQ(rows[1][3], "granularity");
+  EXPECT_EQ(rows[1][8], "0");
+  // Provider 3's rows are implicit.
+  EXPECT_EQ(rows[2][8], "1");
+}
+
+TEST_F(ReportIoTest, DefaultCsv) {
+  std::string csv = DefaultReportToCsv(defaults_);
+  ASSERT_OK_AND_ASSIGN(auto rows, rel::ParseCsv(csv));
+  ASSERT_EQ(rows.size(), 4u);
+  // Provider 2: violation 8 > threshold 5 -> defaulted.
+  EXPECT_EQ(rows[2][1], "8");
+  EXPECT_EQ(rows[2][2], "5");
+  EXPECT_EQ(rows[2][3], "1");
+  // Provider 3: threshold falls back to 0 -> defaulted too.
+  EXPECT_EQ(rows[3][3], "1");
+  // Provider 1 stays.
+  EXPECT_EQ(rows[1][3], "0");
+}
+
+TEST_F(ReportIoTest, TransparencyStatementCleanProvider) {
+  ASSERT_OK_AND_ASSIGN(std::string statement,
+                       TransparencyStatement(report_, 1, config_));
+  EXPECT_NE(statement.find("No violations"), std::string::npos);
+}
+
+TEST_F(ReportIoTest, TransparencyStatementNamesLevelsAndPurposes) {
+  ASSERT_OK_AND_ASSIGN(std::string statement,
+                       TransparencyStatement(report_, 2, config_));
+  // Resolves level indices to scale names: policy granularity 3 =
+  // "specific", preference 1 = "existential".
+  EXPECT_NE(statement.find("marketing"), std::string::npos);
+  EXPECT_NE(statement.find("specific"), std::string::npos);
+  EXPECT_NE(statement.find("existential"), std::string::npos);
+  EXPECT_NE(statement.find("severity 8.00"), std::string::npos);
+}
+
+TEST_F(ReportIoTest, TransparencyStatementFlagsImplicitPreferences) {
+  ASSERT_OK_AND_ASSIGN(std::string statement,
+                       TransparencyStatement(report_, 3, config_));
+  EXPECT_NE(statement.find("stated no preference"), std::string::npos);
+}
+
+TEST_F(ReportIoTest, TransparencyStatementUnknownProvider) {
+  EXPECT_TRUE(
+      TransparencyStatement(report_, 99, config_).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ppdb::violation

@@ -1,0 +1,97 @@
+#include "violation/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "violation/default_model.h"
+
+namespace ppdb::violation {
+namespace {
+
+DefaultReport ReportWithDefaults(int64_t n, int64_t defaulted) {
+  DefaultReport report;
+  for (int64_t i = 1; i <= n; ++i) {
+    ProviderDefault pd;
+    pd.provider = i;
+    pd.defaulted = i <= defaulted;
+    if (pd.defaulted) ++report.num_defaulted;
+    report.providers.push_back(pd);
+  }
+  return report;
+}
+
+TEST(UtilityModelTest, CreateRejectsNonPositiveU) {
+  EXPECT_TRUE(UtilityModel::Create(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(UtilityModel::Create(-2.0).status().IsInvalidArgument());
+  EXPECT_OK(UtilityModel::Create(5.0).status());
+}
+
+TEST(UtilityModelTest, Eq25CurrentUtility) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(2.5));
+  EXPECT_DOUBLE_EQ(model.CurrentUtility(100), 250.0);
+  EXPECT_DOUBLE_EQ(model.CurrentUtility(0), 0.0);
+}
+
+TEST(UtilityModelTest, Eq26FutureProviders) {
+  DefaultReport defaults = ReportWithDefaults(100, 15);
+  EXPECT_EQ(UtilityModel::FutureProviders(100, defaults), 85);
+}
+
+TEST(UtilityModelTest, Eq27FutureUtility) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(2.0));
+  EXPECT_DOUBLE_EQ(model.FutureUtility(85, 0.5), 85 * 2.5);
+}
+
+TEST(UtilityModelTest, Eq28JustificationCondition) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(1.0));
+  // 100 -> 80 providers. Break-even T = 1 * (100/80 - 1) = 0.25.
+  EXPECT_FALSE(model.ExpansionJustified(100, 80, 0.25));  // Equality: not >.
+  EXPECT_TRUE(model.ExpansionJustified(100, 80, 0.2501));
+  EXPECT_FALSE(model.ExpansionJustified(100, 80, 0.1));
+}
+
+TEST(UtilityModelTest, Eq31BreakEvenFormula) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(4.0));
+  ASSERT_OK_AND_ASSIGN(double t, model.BreakEvenExtraUtility(100, 80));
+  EXPECT_DOUBLE_EQ(t, 4.0 * (100.0 / 80.0 - 1.0));
+  // No defaults: expansion is free, T > 0 suffices.
+  ASSERT_OK_AND_ASSIGN(double zero, model.BreakEvenExtraUtility(100, 100));
+  EXPECT_DOUBLE_EQ(zero, 0.0);
+}
+
+TEST(UtilityModelTest, BreakEvenGrowsWithDefaults) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(1.0));
+  double previous = -1.0;
+  for (int64_t remaining : {90, 70, 50, 25, 10, 1}) {
+    ASSERT_OK_AND_ASSIGN(double t, model.BreakEvenExtraUtility(100, remaining));
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(UtilityModelTest, TotalLossHasNoFiniteBreakEven) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(1.0));
+  EXPECT_TRUE(
+      model.BreakEvenExtraUtility(100, 0).status().IsFailedPrecondition());
+}
+
+TEST(UtilityModelTest, GainingProvidersIsInvalid) {
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(1.0));
+  EXPECT_TRUE(
+      model.BreakEvenExtraUtility(100, 120).status().IsInvalidArgument());
+}
+
+TEST(UtilityModelTest, JustifiedExactlyAboveBreakEven) {
+  // Cross-check Eq. 28 and Eq. 31 against each other over a sweep.
+  ASSERT_OK_AND_ASSIGN(UtilityModel model, UtilityModel::Create(3.0));
+  for (int64_t remaining = 1; remaining <= 100; remaining += 7) {
+    ASSERT_OK_AND_ASSIGN(double t, model.BreakEvenExtraUtility(100, remaining));
+    // Probe strictly below and above break-even (exact equality is subject
+    // to floating-point rounding in t itself).
+    EXPECT_FALSE(model.ExpansionJustified(100, remaining, t - 1e-6));
+    EXPECT_TRUE(model.ExpansionJustified(100, remaining, t + 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace ppdb::violation

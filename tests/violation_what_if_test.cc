@@ -1,0 +1,155 @@
+#include "violation/what_if.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace ppdb::violation {
+namespace {
+
+using privacy::Dimension;
+using privacy::PrivacyTuple;
+using privacy::PurposeId;
+
+// Ten providers with ascending tolerance: provider i prefers level i/3 on
+// each dimension and has threshold i*2, so widening the policy peels them
+// off one band at a time.
+class WhatIfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    purpose_ = config_.purposes.Register("service").value();
+    ASSERT_OK(config_.policy.Add("weight", PrivacyTuple::ZeroFor(purpose_)));
+    for (int64_t i = 1; i <= 10; ++i) {
+      int level = static_cast<int>(i / 3);
+      config_.preferences.ForProvider(i).Set(
+          "weight", PrivacyTuple{purpose_, level, level, level});
+      config_.thresholds[i] = static_cast<double>(i) * 2.0;
+    }
+  }
+
+  privacy::PrivacyConfig config_;
+  PurposeId purpose_;
+};
+
+TEST_F(WhatIfTest, BaselineHasNoViolations) {
+  WhatIfAnalyzer analyzer(&config_, {});
+  ASSERT_OK_AND_ASSIGN(auto points, analyzer.RunSchedule({}));
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].step_index, 0);
+  EXPECT_DOUBLE_EQ(points[0].p_violation, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].p_default, 0.0);
+  EXPECT_EQ(points[0].n_remaining, 10);
+}
+
+TEST_F(WhatIfTest, UniformScheduleBuilds) {
+  auto steps =
+      WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 3);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].dimension, Dimension::kGranularity);
+  EXPECT_EQ(steps[0].delta, 1);
+  EXPECT_FALSE(steps[0].attribute.has_value());
+}
+
+TEST_F(WhatIfTest, ViolationAndDefaultMonotoneUnderWidening) {
+  WhatIfAnalyzer::Options options;
+  options.utility_per_provider = 1.0;
+  WhatIfAnalyzer analyzer(&config_, options);
+  ASSERT_OK_AND_ASSIGN(
+      auto points,
+      analyzer.RunSchedule(
+          WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 3)));
+  ASSERT_EQ(points.size(), 4u);
+  for (size_t k = 1; k < points.size(); ++k) {
+    EXPECT_GE(points[k].p_violation, points[k - 1].p_violation);
+    EXPECT_GE(points[k].total_violations, points[k - 1].total_violations);
+    EXPECT_GE(points[k].p_default, points[k - 1].p_default);
+    EXPECT_LE(points[k].n_remaining, points[k - 1].n_remaining);
+  }
+  // Widening to the top of every dimension violates the tight providers.
+  EXPECT_GT(points.back().p_violation, 0.0);
+}
+
+TEST_F(WhatIfTest, UtilityAccountingConsistent) {
+  WhatIfAnalyzer::Options options;
+  options.utility_per_provider = 2.0;
+  options.extra_utility_per_step = 0.5;
+  WhatIfAnalyzer analyzer(&config_, options);
+  ASSERT_OK_AND_ASSIGN(
+      auto points,
+      analyzer.RunSchedule(
+          WhatIfAnalyzer::UniformSchedule(Dimension::kVisibility, 2)));
+  for (const ExpansionPoint& p : points) {
+    EXPECT_DOUBLE_EQ(p.utility_current, 10 * 2.0);
+    EXPECT_DOUBLE_EQ(p.extra_utility, 0.5 * p.step_index);
+    EXPECT_DOUBLE_EQ(
+        p.utility_future,
+        static_cast<double>(p.n_remaining) * (2.0 + p.extra_utility));
+    EXPECT_EQ(p.justified, p.utility_future > p.utility_current);
+    EXPECT_EQ(p.n_remaining, 10 - p.num_defaulted);
+  }
+}
+
+TEST_F(WhatIfTest, BreakEvenMatchesEq31) {
+  WhatIfAnalyzer::Options options;
+  options.utility_per_provider = 3.0;
+  WhatIfAnalyzer analyzer(&config_, options);
+  ASSERT_OK_AND_ASSIGN(
+      auto points,
+      analyzer.RunSchedule(
+          WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 3)));
+  for (const ExpansionPoint& p : points) {
+    if (p.n_remaining > 0) {
+      EXPECT_DOUBLE_EQ(p.break_even_extra_utility,
+                       3.0 * (10.0 / p.n_remaining - 1.0));
+    } else {
+      EXPECT_TRUE(std::isinf(p.break_even_extra_utility));
+    }
+  }
+}
+
+TEST_F(WhatIfTest, AttributeScopedStepOnlyTouchesThatAttribute) {
+  ASSERT_OK(config_.policy.Add("age", PrivacyTuple::ZeroFor(purpose_)));
+  WhatIfAnalyzer analyzer(&config_, {});
+  std::vector<ExpansionStep> steps = {
+      ExpansionStep{Dimension::kVisibility, 2, "age"}};
+  ASSERT_OK_AND_ASSIGN(auto points, analyzer.RunSchedule(steps));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[1].policy.Find("age", purpose_)->visibility, 2);
+  EXPECT_EQ(points[1].policy.Find("weight", purpose_)->visibility, 0);
+}
+
+TEST_F(WhatIfTest, UnknownAttributeStepErrors) {
+  WhatIfAnalyzer analyzer(&config_, {});
+  std::vector<ExpansionStep> steps = {
+      ExpansionStep{Dimension::kVisibility, 1, "height"}};
+  EXPECT_TRUE(analyzer.RunSchedule(steps).status().IsNotFound());
+}
+
+TEST_F(WhatIfTest, OriginalConfigNeverMutated) {
+  WhatIfAnalyzer analyzer(&config_, {});
+  ASSERT_OK(analyzer
+                .RunSchedule(WhatIfAnalyzer::UniformSchedule(
+                    Dimension::kGranularity, 3))
+                .status());
+  EXPECT_EQ(config_.policy.Find("weight", purpose_)->granularity, 0);
+}
+
+TEST_F(WhatIfTest, DetrimentalEffectAppearsWhenTGainTooSmall) {
+  // The paper's headline: with insufficient T per step, utility_future
+  // eventually drops below utility_current.
+  WhatIfAnalyzer::Options options;
+  options.utility_per_provider = 1.0;
+  options.extra_utility_per_step = 0.01;  // Tiny gain per widening step.
+  WhatIfAnalyzer analyzer(&config_, options);
+  ASSERT_OK_AND_ASSIGN(
+      auto points,
+      analyzer.RunSchedule(
+          WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 3)));
+  EXPECT_FALSE(points.back().justified);
+  EXPECT_LT(points.back().utility_future, points.back().utility_current);
+}
+
+}  // namespace
+}  // namespace ppdb::violation

@@ -1,0 +1,281 @@
+// ppdb_cli — command-line front-end for a ppdb database directory
+// (as written by storage::SaveDatabase).
+//
+// Usage:
+//   ppdb_cli demo <dir>                   write a small demo database
+//   ppdb_cli sql <dir> "<query>"          run SQL against the tables
+//   ppdb_cli report <dir>                 violation + default reports
+//   ppdb_cli certify <dir> <alpha>        alpha-PPDB certification (Def. 3)
+//   ppdb_cli statement <dir> <provider>   provider transparency statement
+//   ppdb_cli diff <dir> <policy.ppdb>     impact of adopting a new policy
+//   ppdb_cli audit <dir> [n]              tail of the audit log
+//   ppdb_cli enforce <dir> <purpose> <visibility> <table> <attrs>
+//                                         preference-enforced read
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "audit/monitor.h"
+#include "common/string_util.h"
+#include "privacy/policy_dsl.h"
+#include "relational/csv.h"
+#include "relational/sql.h"
+#include "storage/database_io.h"
+#include "violation/change_impact.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+#include "violation/probability.h"
+#include "violation/report_io.h"
+
+namespace {
+
+using namespace ppdb;  // NOLINT(build/namespaces)
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ppdb_cli demo <dir>\n"
+               "  ppdb_cli sql <dir> \"<query>\"\n"
+               "  ppdb_cli report <dir>\n"
+               "  ppdb_cli certify <dir> <alpha>\n"
+               "  ppdb_cli statement <dir> <provider>\n"
+               "  ppdb_cli diff <dir> <policy.ppdb>\n"
+               "  ppdb_cli audit <dir> [n]\n"
+               "  ppdb_cli enforce <dir> <purpose> <visibility> <table> "
+               "<attr[,attr...]>\n");
+  return 2;
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+int RunSql(const storage::Database& database, const std::string& query) {
+  Result<rel::ResultSet> rs = rel::ExecuteSql(database.catalog, query);
+  if (!rs.ok()) return Fail(rs.status());
+  std::cout << rs->ToString(/*max_rows=*/50);
+  std::printf("(%lld rows)\n", static_cast<long long>(rs->num_rows()));
+  return 0;
+}
+
+int RunReport(const storage::Database& database) {
+  violation::ViolationDetector detector(&database.config);
+  Result<violation::ViolationReport> report = detector.Analyze();
+  if (!report.ok()) return Fail(report.status());
+  violation::DefaultReport defaults =
+      violation::ComputeDefaults(report.value(), database.config);
+  std::cout << report->ToString() << "\n" << defaults.ToString();
+  return 0;
+}
+
+int RunCertify(const storage::Database& database, const std::string& text) {
+  Result<double> alpha = ParseDouble(text);
+  if (!alpha.ok()) return Fail(alpha.status());
+  violation::ViolationDetector detector(&database.config);
+  Result<violation::ViolationReport> report = detector.Analyze();
+  if (!report.ok()) return Fail(report.status());
+  Result<violation::AlphaCertification> cert =
+      violation::CertifyAlphaPpdb(report.value(), alpha.value());
+  if (!cert.ok()) return Fail(cert.status());
+  std::printf(
+      "P(W) = %.4f over %lld providers (%lld violated)\n"
+      "alpha = %.4f: %s (Wilson 95%% interval [%.4f, %.4f]%s)\n",
+      cert->p_violation, static_cast<long long>(cert->num_providers),
+      static_cast<long long>(cert->num_violated), cert->alpha,
+      cert->certified ? "alpha-PPDB CERTIFIED" : "NOT certified",
+      cert->interval.lo, cert->interval.hi,
+      cert->certified_with_margin ? ", certified with margin" : "");
+  return cert->certified ? 0 : 3;
+}
+
+int RunStatement(const storage::Database& database,
+                 const std::string& text) {
+  Result<int64_t> provider = ParseInt64(text);
+  if (!provider.ok()) return Fail(provider.status());
+  violation::ViolationDetector detector(&database.config);
+  Result<violation::ViolationReport> report = detector.Analyze();
+  if (!report.ok()) return Fail(report.status());
+  Result<std::string> statement = violation::TransparencyStatement(
+      report.value(), provider.value(), database.config);
+  if (!statement.ok()) return Fail(statement.status());
+  std::cout << statement.value();
+  return 0;
+}
+
+int RunDiff(const storage::Database& database, const std::string& path) {
+  Result<std::string> dsl = ReadTextFile(path);
+  if (!dsl.ok()) return Fail(dsl.status());
+  Result<privacy::PrivacyConfig> proposed =
+      privacy::ParsePrivacyConfig(dsl.value());
+  if (!proposed.ok()) return Fail(proposed.status());
+  Result<violation::ChangeImpact> impact =
+      violation::AssessPolicyChange(database.config,
+                                    proposed.value().policy);
+  if (!impact.ok()) return Fail(impact.status());
+  std::cout << impact->diff.ToString(database.config.purposes,
+                                     database.config.scales)
+            << "\n"
+            << impact->Summary();
+  return 0;
+}
+
+// enforce <dir> <purpose> <visibility-level> <table> <attr[,attr...]>
+// Runs a preference-enforced read through the access monitor.
+int RunEnforce(const storage::Database& database, const std::string& purpose,
+               const std::string& visibility, const std::string& table,
+               const std::string& attributes) {
+  Result<privacy::PurposeId> purpose_id =
+      database.config.purposes.Lookup(purpose);
+  if (!purpose_id.ok()) return Fail(purpose_id.status());
+  int level;
+  Result<int> by_name =
+      database.config.scales.visibility.LevelOf(visibility);
+  if (by_name.ok()) {
+    level = by_name.value();
+  } else {
+    Result<int64_t> numeric = ParseInt64(visibility);
+    if (!numeric.ok()) return Fail(by_name.status());
+    level = static_cast<int>(numeric.value());
+  }
+
+  audit::GeneralizerRegistry generalizers =
+      audit::BuildGeneralizers(database.config.numeric_generalizers);
+  audit::AuditLog log;
+  audit::AccessMonitor monitor(&database.catalog, &database.config,
+                               &generalizers, &log,
+                               audit::EnforcementMode::kEnforce,
+                               &database.ledger);
+  audit::AccessRequest request;
+  request.requester = "cli";
+  request.visibility_level = level;
+  request.purpose = purpose_id.value();
+  request.table = table;
+  for (std::string_view attr : SplitAndTrim(attributes, ',')) {
+    request.attributes.emplace_back(attr);
+  }
+  Result<rel::ResultSet> rs = monitor.Execute(request);
+  if (!rs.ok()) return Fail(rs.status());
+  std::cout << rs->ToString(50);
+  std::printf("(%lld rows; %lld cell(s) generalized, %lld suppressed)\n",
+              static_cast<long long>(rs->num_rows()),
+              static_cast<long long>(
+                  log.CountByKind(audit::AuditEventKind::kCellGeneralized)),
+              static_cast<long long>(
+                  log.CountByKind(audit::AuditEventKind::kCellSuppressed)));
+  return 0;
+}
+
+int RunAudit(const storage::Database& database, const std::string& count) {
+  int64_t n = 20;
+  if (!count.empty()) {
+    Result<int64_t> parsed = ParseInt64(count);
+    if (!parsed.ok()) return Fail(parsed.status());
+    n = parsed.value();
+  }
+  std::cout << database.log.ToString(n);
+  std::printf("(%lld events total)\n",
+              static_cast<long long>(database.log.size()));
+  return 0;
+}
+
+// The paper's Section 8 scenario as a ready-made database directory.
+int RunDemo(const std::string& dir) {
+  storage::Database database;
+  auto config = privacy::ParsePrivacyConfig(R"(
+scale visibility: l0, l1, l2, l3, l4, l5, l6, l7
+scale granularity: l0, l1, l2, l3, l4, l5, l6, l7
+scale retention: l0, l1, l2, l3, l4, l5, l6, l7
+purpose pr
+policy Age for pr: visibility=0, granularity=0, retention=0
+policy Weight for pr: visibility=1, granularity=2, retention=2
+pref 1 Weight for pr: visibility=3, granularity=3, retention=5
+pref 2 Weight for pr: visibility=3, granularity=1, retention=4
+pref 3 Weight for pr: visibility=1, granularity=1, retention=1
+generalizer Weight: 0, 0, 10
+attr_sensitivity Weight = 4
+sensitivity 1 Weight: value=1, visibility=1, granularity=2, retention=1
+sensitivity 2 Weight: value=3, visibility=1, granularity=5, retention=2
+sensitivity 3 Weight: value=4, visibility=1, granularity=3, retention=2
+threshold 1 = 10
+threshold 2 = 50
+threshold 3 = 100
+)");
+  if (!config.ok()) return Fail(config.status());
+  database.config = std::move(config).value();
+
+  auto schema =
+      rel::Schema::Create({{"Age", rel::DataType::kInt64, "years"},
+                           {"Weight", rel::DataType::kDouble, "kg"}});
+  if (!schema.ok()) return Fail(schema.status());
+  auto table = rel::TableFromCsv("providers", schema.value(),
+                                 "provider_id,Age,Weight\n"
+                                 "1,34,58.0\n"
+                                 "2,41,92.5\n"
+                                 "3,29,77.3\n");
+  if (!table.ok()) return Fail(table.status());
+  Status added = database.catalog.AddTable(std::move(table).value()).status();
+  if (!added.ok()) return Fail(added);
+  for (rel::ProviderId provider : {1, 2, 3}) {
+    database.ledger.RecordRowIngest("providers", provider, {"Age", "Weight"},
+                                    0);
+  }
+  Status saved = storage::SaveDatabase(dir, database);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("demo database (the paper's Section 8 example) written to "
+              "%s\n",
+              dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+
+  if (command == "demo" && argc == 3) return RunDemo(dir);
+
+  Result<storage::Database> database = storage::LoadDatabase(dir);
+  if (!database.ok()) return Fail(database.status());
+
+  if (command == "sql" && argc == 4) {
+    return RunSql(database.value(), argv[3]);
+  }
+  if (command == "report" && argc == 3) {
+    return RunReport(database.value());
+  }
+  if (command == "certify" && argc == 4) {
+    return RunCertify(database.value(), argv[3]);
+  }
+  if (command == "statement" && argc == 4) {
+    return RunStatement(database.value(), argv[3]);
+  }
+  if (command == "diff" && argc == 4) {
+    return RunDiff(database.value(), argv[3]);
+  }
+  if (command == "audit" && (argc == 3 || argc == 4)) {
+    return RunAudit(database.value(), argc == 4 ? argv[3] : "");
+  }
+  if (command == "enforce" && argc == 7) {
+    return RunEnforce(database.value(), argv[3], argv[4], argv[5], argv[6]);
+  }
+  return Usage();
+}
