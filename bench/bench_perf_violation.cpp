@@ -40,7 +40,10 @@ sim::Population MakePopulation(int64_t providers, int attributes) {
 void BM_ViolationAnalyze(benchmark::State& state) {
   sim::Population population =
       MakePopulation(state.range(0), static_cast<int>(state.range(1)));
-  violation::ViolationDetector detector(&population.config);
+  // Serial baseline: the historical single-thread path.
+  violation::ViolationDetector::Options options;
+  options.num_threads = 1;
+  violation::ViolationDetector detector(&population.config, options);
   for (auto _ : state) {
     auto report = detector.Analyze();
     PPDB_CHECK_OK(report.status());
@@ -51,6 +54,28 @@ void BM_ViolationAnalyze(benchmark::State& state) {
 BENCHMARK(BM_ViolationAnalyze)
     ->ArgsProduct({{1000, 4000, 16000, 64000}, {2, 8}})
     ->Unit(benchmark::kMillisecond);
+
+// Same workload as BM_ViolationAnalyze/64000/8 with a thread-count axis:
+// args are (providers, attributes, num_threads), 0 = one thread per
+// hardware thread. The report is bitwise-identical across the axis; only
+// the wall clock should move.
+void BM_ViolationAnalyzeParallel(benchmark::State& state) {
+  sim::Population population =
+      MakePopulation(state.range(0), static_cast<int>(state.range(1)));
+  violation::ViolationDetector::Options options;
+  options.num_threads = static_cast<int>(state.range(2));
+  violation::ViolationDetector detector(&population.config, options);
+  for (auto _ : state) {
+    auto report = detector.Analyze();
+    PPDB_CHECK_OK(report.status());
+    benchmark::DoNotOptimize(report->total_severity);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViolationAnalyzeParallel)
+    ->ArgsProduct({{64000}, {8}, {1, 2, 4, 8, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ComputeDefaults(benchmark::State& state) {
   sim::Population population = MakePopulation(state.range(0), 4);
@@ -64,7 +89,11 @@ void BM_ComputeDefaults(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ComputeDefaults)->Arg(1000)->Arg(16000)->Arg(64000);
+BENCHMARK(BM_ComputeDefaults)
+    ->Arg(1000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TrialEstimator(benchmark::State& state) {
   sim::Population population = MakePopulation(4000, 4);
@@ -113,7 +142,10 @@ void BM_LiveMonitorPreferenceEvent(benchmark::State& state) {
   // pays O(N) for the same freshness.
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_LiveMonitorPreferenceEvent)->Arg(1000)->Arg(64000);
+BENCHMARK(BM_LiveMonitorPreferenceEvent)
+    ->Arg(1000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SingleProviderAnalysis(benchmark::State& state) {
   sim::Population population = MakePopulation(1000, 8);

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+namespace ppdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(HardwareConcurrency());
+  return pool;
+}
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested == 0) return HardwareConcurrency();
+  return requested < 1 ? 1 : requested;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained.
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunSharded(int64_t num_shards, int workers,
+                            const std::function<void(int64_t)>& run_shard) {
+  // Shared between the caller and the enqueued runner tasks. Held by
+  // shared_ptr so a runner that only gets scheduled after every shard has
+  // completed (and the caller has returned) can still safely observe the
+  // exhausted counter and exit.
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> completed{0};
+    int64_t num_shards = 0;
+    std::function<void(int64_t)> run_shard;
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<State>();
+  state->num_shards = num_shards;
+  state->run_shard = run_shard;
+
+  auto runner = [state] {
+    while (true) {
+      int64_t shard = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= state->num_shards) break;
+      state->run_shard(shard);
+      int64_t finished =
+          state->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (finished == state->num_shards) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done.notify_all();
+      }
+    }
+  };
+
+  // The caller is one of the runners, so progress never depends on pool
+  // availability (nested parallel loops included).
+  for (int i = 1; i < workers; ++i) Enqueue(runner);
+  runner();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == num_shards;
+  });
+}
+
+}  // namespace ppdb

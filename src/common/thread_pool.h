@@ -1,0 +1,143 @@
+#ifndef PPDB_COMMON_THREAD_POOL_H_
+#define PPDB_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ppdb {
+
+/// A fixed-size thread pool with deterministic data-parallel primitives.
+///
+/// The pool deliberately has no work stealing and no futures: callers hand
+/// it index ranges, it splits them into fixed-grain shards, and worker
+/// threads race to claim shards from a shared counter. Two properties make
+/// it safe to drop into every census-style loop in ppdb:
+///
+///  1. **Determinism.** Shard boundaries depend only on (range, grain) —
+///     never on the thread count — and `ParallelRange`/`ParallelReduce`
+///     combine per-shard partials in ascending shard order after all shards
+///     finish. A reduction therefore produces bitwise-identical results
+///     whether it ran on 1 thread or 64.
+///  2. **No deadlocks under nesting.** The calling thread always
+///     participates in the work, so a parallel loop issued from inside a
+///     pool worker (e.g. a what-if sweep whose inner detector is itself
+///     parallel) completes even when every pool worker is busy.
+///
+/// Usage:
+///
+///   ThreadPool::Shared().ParallelRange(
+///       0, n, /*grain=*/512, /*parallelism=*/threads,
+///       [&](int64_t shard, int64_t begin, int64_t end) { ... });
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Pending tasks are drained before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// The process-wide pool, lazily created with one worker per hardware
+  /// thread. Never destroyed (it must outlive static detector users); the
+  /// OS reclaims the threads at process exit.
+  static ThreadPool& Shared();
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  static int HardwareConcurrency();
+
+  /// Maps an `Options::num_threads`-style knob to an effective thread
+  /// count: 0 -> hardware concurrency, anything else clamped to >= 1.
+  static int ResolveThreadCount(int requested);
+
+  /// Number of shards `ParallelRange` splits [begin, end) into at `grain`.
+  static int64_t NumShards(int64_t begin, int64_t end, int64_t grain) {
+    if (end <= begin) return 0;
+    if (grain <= 0) grain = 1;
+    return (end - begin + grain - 1) / grain;
+  }
+
+  /// Splits [begin, end) into shards of `grain` indices and invokes
+  /// `fn(shard_index, shard_begin, shard_end)` for every shard, using at
+  /// most `parallelism` threads (the caller plus pool workers). Blocks
+  /// until every shard has completed. `fn` must be safe to call
+  /// concurrently from distinct threads on distinct shards.
+  ///
+  /// With `parallelism <= 1` (or a single shard) every shard runs inline
+  /// on the calling thread in ascending order — the exact serial loop.
+  template <typename Fn>
+  void ParallelRange(int64_t begin, int64_t end, int64_t grain,
+                     int parallelism, Fn&& fn) {
+    const int64_t num_shards = NumShards(begin, end, grain);
+    if (num_shards == 0) return;
+    if (grain <= 0) grain = 1;
+    const auto run_shard = [&](int64_t shard) {
+      const int64_t shard_begin = begin + shard * grain;
+      const int64_t shard_end = std::min(end, shard_begin + grain);
+      fn(shard, shard_begin, shard_end);
+    };
+    int workers = static_cast<int>(
+        std::min<int64_t>(std::max(parallelism, 1), num_shards));
+    if (workers <= 1) {
+      for (int64_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+      return;
+    }
+    RunSharded(num_shards, workers,
+               [&run_shard](int64_t shard) { run_shard(shard); });
+  }
+
+  /// Map-reduce over [begin, end): `map_fn(shard_begin, shard_end) -> T`
+  /// produces one partial per shard (in parallel), and `combine(acc,
+  /// std::move(partial))` folds the partials into `init` in ascending
+  /// shard order after every shard has finished. Because both the shard
+  /// boundaries and the combine order are independent of the thread
+  /// count, the result is bitwise-identical for any `parallelism`.
+  /// `T` must be default-constructible and movable.
+  template <typename T, typename MapFn, typename CombineFn>
+  T ParallelReduce(int64_t begin, int64_t end, int64_t grain, int parallelism,
+                   T init, MapFn&& map_fn, CombineFn&& combine) {
+    const int64_t num_shards = NumShards(begin, end, grain);
+    if (num_shards == 0) return init;
+    std::vector<T> partials(static_cast<size_t>(num_shards));
+    ParallelRange(begin, end, grain, parallelism,
+                  [&](int64_t shard, int64_t shard_begin, int64_t shard_end) {
+                    partials[static_cast<size_t>(shard)] =
+                        map_fn(shard_begin, shard_end);
+                  });
+    T acc = std::move(init);
+    for (T& partial : partials) combine(acc, std::move(partial));
+    return acc;
+  }
+
+ private:
+  /// Claims shard indices [0, num_shards) from a shared counter across
+  /// `workers` runners (the caller plus up to workers-1 pool tasks) and
+  /// blocks until all shards are done.
+  void RunSharded(int64_t num_shards, int workers,
+                  const std::function<void(int64_t)>& run_shard);
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_THREAD_POOL_H_

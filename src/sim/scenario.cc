@@ -2,8 +2,10 @@
 
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "violation/default_model.h"
 #include "violation/detector.h"
 
@@ -31,8 +33,8 @@ Status CalibrateThresholdsToPolicy(Population* population,
   return Status::OK();
 }
 
-ScenarioRunner::ScenarioRunner(const Population* population)
-    : population_(population) {}
+ScenarioRunner::ScenarioRunner(const Population* population, Options options)
+    : population_(population), options_(options) {}
 
 Result<std::vector<violation::ExpansionPoint>> ScenarioRunner::RunExpansion(
     const std::vector<violation::ExpansionStep>& schedule,
@@ -40,6 +42,7 @@ Result<std::vector<violation::ExpansionPoint>> ScenarioRunner::RunExpansion(
   violation::WhatIfAnalyzer::Options options;
   options.utility_per_provider = utility_per_provider;
   options.extra_utility_per_step = extra_utility_per_step;
+  options.num_threads = options_.num_threads;
   violation::WhatIfAnalyzer analyzer(&population_->config, options);
   return analyzer.RunSchedule(schedule);
 }
@@ -49,30 +52,55 @@ Result<DefaultOnsetResult> ScenarioRunner::DefaultOnsets(
   DefaultOnsetResult out;
   out.num_providers = population_->num_providers();
 
-  privacy::PrivacyConfig scratch = population_->config;
-  std::unordered_set<privacy::ProviderId> defaulted;
-
-  for (size_t k = 0; k <= schedule.size(); ++k) {
-    if (k > 0) {
-      const violation::ExpansionStep& step = schedule[k - 1];
-      if (step.attribute.has_value()) {
-        PPDB_ASSIGN_OR_RETURN(scratch.policy,
-                              scratch.policy.WidenedForAttribute(
-                                  *step.attribute, step.dimension, step.delta,
-                                  scratch.scales));
-      } else {
-        PPDB_ASSIGN_OR_RETURN(
-            scratch.policy,
-            scratch.policy.Widened(step.dimension, step.delta,
-                                   scratch.scales));
-      }
+  // Build the cumulative policies serially, score every step's population
+  // in parallel (each step reads the fixed config plus its own policy via
+  // the detector's zero-copy override), then scan the per-step default
+  // reports in step order so each provider's first onset is attributed
+  // deterministically.
+  std::vector<privacy::HousePolicy> policies;
+  policies.reserve(schedule.size() + 1);
+  policies.push_back(population_->config.policy);
+  for (const violation::ExpansionStep& step : schedule) {
+    privacy::HousePolicy next;
+    if (step.attribute.has_value()) {
+      PPDB_ASSIGN_OR_RETURN(next,
+                            policies.back().WidenedForAttribute(
+                                *step.attribute, step.dimension, step.delta,
+                                population_->config.scales));
+    } else {
+      PPDB_ASSIGN_OR_RETURN(
+          next, policies.back().Widened(step.dimension, step.delta,
+                                        population_->config.scales));
     }
-    violation::ViolationDetector detector(&scratch);
-    PPDB_ASSIGN_OR_RETURN(violation::ViolationReport report,
-                          detector.Analyze());
-    violation::DefaultReport defaults =
-        violation::ComputeDefaults(report, scratch);
-    for (const violation::ProviderDefault& pd : defaults.providers) {
+    policies.push_back(std::move(next));
+  }
+
+  const int64_t n = static_cast<int64_t>(policies.size());
+  std::vector<violation::DefaultReport> reports(static_cast<size_t>(n));
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  ThreadPool::Shared().ParallelRange(
+      0, n, /*grain=*/1, ThreadPool::ResolveThreadCount(options_.num_threads),
+      [&](int64_t /*shard*/, int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          const size_t at = static_cast<size_t>(k);
+          violation::ViolationDetector::Options detector_options;
+          detector_options.policy_override = &policies[at];
+          violation::ViolationDetector detector(&population_->config,
+                                                detector_options);
+          Result<violation::ViolationReport> report = detector.Analyze();
+          if (!report.ok()) {
+            statuses[at] = report.status();
+            continue;
+          }
+          reports[at] =
+              violation::ComputeDefaults(report.value(), population_->config);
+        }
+      });
+  for (const Status& status : statuses) PPDB_RETURN_NOT_OK(status);
+
+  std::unordered_set<privacy::ProviderId> defaulted;
+  for (size_t k = 0; k < static_cast<size_t>(n); ++k) {
+    for (const violation::ProviderDefault& pd : reports[k].providers) {
       if (!pd.defaulted || defaulted.contains(pd.provider)) continue;
       defaulted.insert(pd.provider);
       double onset = static_cast<double>(k);

@@ -53,7 +53,19 @@ Status CalibrateThresholdsToPolicy(Population* population,
 /// the runner.
 class ScenarioRunner {
  public:
-  explicit ScenarioRunner(const Population* population);
+  struct Options {
+    /// Threads used to evaluate the points of a schedule concurrently
+    /// (0 = hardware concurrency, 1 = serial). Schedule points are
+    /// independent once the cumulative policies are built, and results
+    /// are merged in step order — identical at any setting. The
+    /// violation detector inside each point parallelizes over providers
+    /// on its own (`ViolationDetector::Options::num_threads`).
+    int num_threads = 1;
+  };
+
+  explicit ScenarioRunner(const Population* population)
+      : ScenarioRunner(population, Options()) {}
+  ScenarioRunner(const Population* population, Options options);
 
   /// Runs a cumulative expansion schedule and reports the §9 economics at
   /// every point (delegates to violation::WhatIfAnalyzer).
@@ -68,6 +80,7 @@ class ScenarioRunner {
 
  private:
   const Population* population_;
+  Options options_;
 };
 
 }  // namespace ppdb::sim

@@ -1,9 +1,13 @@
 #include "violation/detector.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "violation/conflict.h"
 
 namespace ppdb::violation {
@@ -11,6 +15,224 @@ namespace ppdb::violation {
 using privacy::PreferenceTuple;
 using privacy::PrivacyTuple;
 using privacy::ProviderPreferences;
+
+namespace {
+
+/// Providers per shard of the parallel Analyze loop. Fixed — and in
+/// particular independent of the thread count — so shard boundaries and the
+/// merge order are deterministic at any parallelism.
+constexpr int64_t kProviderGrain = 512;
+
+/// One house-policy tuple preprocessed for the per-provider inner loop: the
+/// interned attribute id and the precomputed ancestor purposes (hierarchy
+/// extension), so neither is recomputed per provider.
+struct PreparedPolicyTuple {
+  const privacy::PolicyTuple* policy = nullptr;
+  int32_t attr_id = -1;
+  std::vector<privacy::PurposeId> ancestors;
+};
+
+struct PreparedPolicy {
+  std::vector<PreparedPolicyTuple> tuples;
+  /// Interned policy attribute names; views into the policy's own strings.
+  std::vector<std::string_view> attributes;
+  std::unordered_map<std::string_view, int32_t> attr_ids;
+
+  /// The interned id of `attribute`, or -1 when the policy never mentions
+  /// it (no comparable policy tuple can exist, Eq. 13).
+  int32_t AttrId(std::string_view attribute) const {
+    auto it = attr_ids.find(attribute);
+    return it == attr_ids.end() ? -1 : it->second;
+  }
+};
+
+PreparedPolicy PreparePolicy(const privacy::HousePolicy& policy,
+                             const privacy::PurposeHierarchy* hierarchy) {
+  PreparedPolicy out;
+  out.tuples.reserve(policy.tuples().size());
+  for (const privacy::PolicyTuple& pt : policy.tuples()) {
+    PreparedPolicyTuple prepared;
+    prepared.policy = &pt;
+    auto [it, inserted] = out.attr_ids.try_emplace(
+        pt.attribute, static_cast<int32_t>(out.attributes.size()));
+    if (inserted) out.attributes.push_back(pt.attribute);
+    prepared.attr_id = it->second;
+    if (hierarchy != nullptr) {
+      prepared.ancestors = hierarchy->AncestorsOf(pt.tuple.purpose);
+    }
+    out.tuples.push_back(std::move(prepared));
+  }
+  return out;
+}
+
+/// The flattened preference index: each analyzed provider's stated
+/// preferences for policy attributes, packed into one contiguous array with
+/// every provider's slice sorted by (attr_id, purpose). The hot loop does
+/// binary search over flat memory instead of a per-(provider, policy tuple)
+/// map lookup plus linear string scan.
+struct FlatPreferenceIndex {
+  struct Entry {
+    int32_t attr_id = 0;
+    privacy::PurposeId purpose = 0;
+    PrivacyTuple tuple;
+  };
+  std::vector<Entry> entries;
+  /// Provider at position i of the sorted provider list owns
+  /// entries[offsets[i] .. offsets[i + 1]).
+  std::vector<size_t> offsets;
+
+  const PrivacyTuple* Find(size_t position, int32_t attr_id,
+                           privacy::PurposeId purpose) const {
+    const Entry* begin = entries.data() + offsets[position];
+    const Entry* end = entries.data() + offsets[position + 1];
+    const std::pair<int32_t, privacy::PurposeId> key(attr_id, purpose);
+    const Entry* it = std::lower_bound(
+        begin, end, key,
+        [](const Entry& e, const std::pair<int32_t, privacy::PurposeId>& k) {
+          return std::pair(e.attr_id, e.purpose) < k;
+        });
+    if (it != end && it->attr_id == attr_id && it->purpose == purpose) {
+      return &it->tuple;
+    }
+    return nullptr;
+  }
+};
+
+FlatPreferenceIndex BuildIndex(const std::vector<ProviderId>& providers,
+                               const privacy::PreferenceStore& store,
+                               const PreparedPolicy& policy) {
+  FlatPreferenceIndex index;
+  index.offsets.reserve(providers.size() + 1);
+  index.offsets.push_back(0);
+  // Resolve every provider once up front so `entries` can be reserved
+  // exactly — regrowing a multi-megabyte vector dominates index build time
+  // at census scale.
+  std::vector<const ProviderPreferences*> resolved;
+  resolved.reserve(providers.size());
+  size_t total_tuples = 0;
+  for (ProviderId id : providers) {
+    Result<const ProviderPreferences*> found = store.Find(id);
+    const ProviderPreferences* prefs = found.ok() ? found.value() : nullptr;
+    resolved.push_back(prefs);
+    if (prefs != nullptr) total_tuples += prefs->tuples().size();
+  }
+  index.entries.reserve(total_tuples);
+  for (const ProviderPreferences* prefs : resolved) {
+    if (prefs != nullptr) {
+      const size_t slice_begin = index.entries.size();
+      for (const PreferenceTuple& pt : prefs->tuples()) {
+        int32_t attr_id = policy.AttrId(pt.attribute);
+        if (attr_id < 0) continue;
+        index.entries.push_back(
+            FlatPreferenceIndex::Entry{attr_id, pt.tuple.purpose, pt.tuple});
+      }
+      std::sort(index.entries.begin() + static_cast<int64_t>(slice_begin),
+                index.entries.end(),
+                [](const FlatPreferenceIndex::Entry& a,
+                   const FlatPreferenceIndex::Entry& b) {
+                  return std::pair(a.attr_id, a.purpose) <
+                         std::pair(b.attr_id, b.purpose);
+                });
+    }
+    index.offsets.push_back(index.entries.size());
+  }
+  return index;
+}
+
+/// The Def. 1 / Eq. 14-15 evaluation for one provider. `find_pref` resolves
+/// (attr_id, attribute, purpose) to the provider's stated tuple or nullptr;
+/// `violated_attributes` is caller-owned scratch reused across providers to
+/// avoid a per-provider set allocation.
+template <typename FindPref>
+ProviderViolation AnalyzeOne(const privacy::PrivacyConfig& config,
+                             const ViolationDetector::Options& options,
+                             const PreparedPolicy& policy, ProviderId provider,
+                             FindPref&& find_pref,
+                             std::vector<std::string_view>& violated_attributes) {
+  ProviderViolation out;
+  out.provider = provider;
+  violated_attributes.clear();
+
+  for (const PreparedPolicyTuple& prepared : policy.tuples) {
+    const privacy::PolicyTuple& policy_tuple = *prepared.policy;
+    // Data scoping: with a table, only attributes the provider actually
+    // supplies (a non-null datum in some owned row) are in play. Providers
+    // absent from the table supply no data and incur no violations.
+    if (options.data_table != nullptr) {
+      Result<bool> supplies = options.data_table->ProviderSuppliesAttribute(
+          provider, policy_tuple.attribute);
+      if (!supplies.ok() || !supplies.value()) continue;
+    }
+
+    // Select the preference tuple Def. 1 compares against this policy
+    // tuple: stated for (a, purpose); else (with the hierarchy extension)
+    // the most specific stated preference for an ancestor purpose; else the
+    // implicit zero tuple.
+    bool implicit = false;
+    PrivacyTuple pref_tuple;
+    const PrivacyTuple* stated = find_pref(
+        prepared.attr_id, policy_tuple.attribute, policy_tuple.tuple.purpose);
+    if (stated != nullptr) {
+      pref_tuple = *stated;
+    } else {
+      bool resolved = false;
+      for (privacy::PurposeId ancestor : prepared.ancestors) {
+        const PrivacyTuple* inherited =
+            find_pref(prepared.attr_id, policy_tuple.attribute, ancestor);
+        if (inherited != nullptr) {
+          pref_tuple = *inherited;
+          // Rebase onto the policy purpose so the tuples are comparable:
+          // consent to the ancestor covers this specialization.
+          pref_tuple.purpose = policy_tuple.tuple.purpose;
+          resolved = true;
+          break;
+        }
+      }
+      if (!resolved) {
+        if (!options.implicit_zero_preferences) continue;
+        pref_tuple = PrivacyTuple::ZeroFor(policy_tuple.tuple.purpose);
+        implicit = true;
+      }
+    }
+
+    PreferenceTuple pref{provider, policy_tuple.attribute, pref_tuple};
+    ConflictBreakdown breakdown =
+        Conflict(pref, policy_tuple, config.sensitivities);
+    out.total_severity += breakdown.total;
+    for (const DimensionConflict& dc : breakdown.per_dimension) {
+      if (dc.diff <= 0) continue;
+      out.violated = true;
+      if (std::find(violated_attributes.begin(), violated_attributes.end(),
+                    std::string_view(policy_tuple.attribute)) ==
+          violated_attributes.end()) {
+        violated_attributes.push_back(policy_tuple.attribute);
+      }
+      if (out.incidents.empty()) {
+        // One up-front reservation per violated provider, sized to the
+        // policy (see the allocation note in detector.h).
+        out.incidents.reserve(policy.tuples.size());
+      }
+      ViolationIncident incident;
+      incident.provider = provider;
+      incident.attribute = policy_tuple.attribute;
+      incident.purpose = policy_tuple.tuple.purpose;
+      incident.dimension = dc.dimension;
+      incident.preference_level = dc.preference_level;
+      incident.policy_level = dc.policy_level;
+      incident.diff = dc.diff;
+      incident.weighted_severity = dc.weighted;
+      incident.from_implicit_preference = implicit;
+      out.max_incident_severity =
+          std::max(out.max_incident_severity, dc.weighted);
+      out.incidents.push_back(std::move(incident));
+    }
+  }
+  out.num_attributes_violated =
+      static_cast<int>(violated_attributes.size());
+  return out;
+}
+
+}  // namespace
 
 ViolationDetector::ViolationDetector(const privacy::PrivacyConfig* config,
                                      Options options)
@@ -31,105 +253,87 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
   std::sort(providers.begin(), providers.end());
   providers.erase(std::unique(providers.begin(), providers.end()),
                   providers.end());
+
+  const privacy::HousePolicy& house_policy =
+      options_.policy_override != nullptr ? *options_.policy_override
+                                          : config_->policy;
+  const PreparedPolicy prepared =
+      PreparePolicy(house_policy, options_.purpose_hierarchy);
+  const FlatPreferenceIndex index =
+      BuildIndex(providers, config_->preferences, prepared);
+
+  const int64_t n = static_cast<int64_t>(providers.size());
+  const int threads = ThreadPool::ResolveThreadCount(options_.num_threads);
+  const int64_t num_shards = ThreadPool::NumShards(0, n, kProviderGrain);
+
+  std::vector<std::vector<ProviderViolation>> partials(
+      static_cast<size_t>(num_shards));
+  ThreadPool::Shared().ParallelRange(
+      0, n, kProviderGrain, threads,
+      [&](int64_t shard, int64_t begin, int64_t end) {
+        std::vector<ProviderViolation>& out =
+            partials[static_cast<size_t>(shard)];
+        out.reserve(static_cast<size_t>(end - begin));
+        std::vector<std::string_view> violated_attributes;
+        for (int64_t i = begin; i < end; ++i) {
+          const size_t position = static_cast<size_t>(i);
+          auto find_pref = [&](int32_t attr_id, std::string_view /*attribute*/,
+                               privacy::PurposeId purpose) {
+            return index.Find(position, attr_id, purpose);
+          };
+          out.push_back(AnalyzeOne(*config_, options_, prepared,
+                                   providers[position], find_pref,
+                                   violated_attributes));
+        }
+      });
+
   ViolationReport report;
   report.providers.reserve(providers.size());
-  for (ProviderId id : providers) {
-    PPDB_ASSIGN_OR_RETURN(ProviderViolation pv, AnalyzeProvider(id));
+  for (std::vector<ProviderViolation>& partial : partials) {
+    for (ProviderViolation& pv : partial) {
+      report.providers.push_back(std::move(pv));
+    }
+  }
+  // Aggregate in final provider order — the same addition sequence as the
+  // serial loop, so totals are bitwise-identical at any thread count.
+  for (const ProviderViolation& pv : report.providers) {
     report.total_severity += pv.total_severity;
     if (pv.violated) ++report.num_violated;
-    report.providers.push_back(std::move(pv));
   }
   return report;
 }
 
 Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
     ProviderId provider) const {
-  ProviderViolation out;
-  out.provider = provider;
+  const privacy::HousePolicy& house_policy =
+      options_.policy_override != nullptr ? *options_.policy_override
+                                          : config_->policy;
+  const PreparedPolicy prepared =
+      PreparePolicy(house_policy, options_.purpose_hierarchy);
 
   // An absent provider entry behaves as an empty preference set: every
-  // policy purpose is unstated and (under Def. 1) implicitly zero.
-  static const ProviderPreferences& kEmpty = *new ProviderPreferences(0);
+  // policy purpose is unstated and (under Def. 1) implicitly zero. The
+  // object is a function-local static: initialization is thread-safe
+  // (C++11 magic statics), it is const and never mutated afterwards, so
+  // sharing it across concurrent detector threads is safe — and unlike the
+  // old `*new ProviderPreferences(0)` it is destroyed at process exit.
+  static const ProviderPreferences kEmpty{0};
   const ProviderPreferences* prefs = &kEmpty;
   Result<const ProviderPreferences*> found =
       config_->preferences.Find(provider);
   if (found.ok()) prefs = found.value();
 
-  std::unordered_set<std::string> violated_attributes;
-
-  const privacy::HousePolicy& house_policy =
-      options_.policy_override != nullptr ? *options_.policy_override
-                                          : config_->policy;
-  for (const privacy::PolicyTuple& policy : house_policy.tuples()) {
-    // Data scoping: with a table, only attributes the provider actually
-    // supplies (a non-null datum in some owned row) are in play. Providers
-    // absent from the table supply no data and incur no violations.
-    if (options_.data_table != nullptr) {
-      Result<bool> supplies = options_.data_table->ProviderSuppliesAttribute(
-          provider, policy.attribute);
-      if (!supplies.ok() || !supplies.value()) continue;
-    }
-
-    // Select the preference tuple Def. 1 compares against this policy
-    // tuple: stated for (a, purpose); else (with the hierarchy extension)
-    // the most specific stated preference for an ancestor purpose; else the
-    // implicit zero tuple.
-    bool implicit = false;
-    PrivacyTuple pref_tuple;
-    Result<PrivacyTuple> stated =
-        prefs->Find(policy.attribute, policy.tuple.purpose);
-    if (stated.ok()) {
-      pref_tuple = stated.value();
-    } else {
-      bool resolved = false;
-      if (options_.purpose_hierarchy != nullptr) {
-        for (privacy::PurposeId ancestor :
-             options_.purpose_hierarchy->AncestorsOf(policy.tuple.purpose)) {
-          Result<PrivacyTuple> inherited =
-              prefs->Find(policy.attribute, ancestor);
-          if (inherited.ok()) {
-            pref_tuple = inherited.value();
-            // Rebase onto the policy purpose so the tuples are comparable:
-            // consent to the ancestor covers this specialization.
-            pref_tuple.purpose = policy.tuple.purpose;
-            resolved = true;
-            break;
-          }
-        }
-      }
-      if (!resolved) {
-        if (!options_.implicit_zero_preferences) continue;
-        pref_tuple = PrivacyTuple::ZeroFor(policy.tuple.purpose);
-        implicit = true;
-      }
-    }
-
-    PreferenceTuple pref{provider, policy.attribute, pref_tuple};
-    ConflictBreakdown breakdown =
-        Conflict(pref, policy, config_->sensitivities);
-    out.total_severity += breakdown.total;
-    for (const DimensionConflict& dc : breakdown.per_dimension) {
-      if (dc.diff <= 0) continue;
-      out.violated = true;
-      violated_attributes.insert(policy.attribute);
-      ViolationIncident incident;
-      incident.provider = provider;
-      incident.attribute = policy.attribute;
-      incident.purpose = policy.tuple.purpose;
-      incident.dimension = dc.dimension;
-      incident.preference_level = dc.preference_level;
-      incident.policy_level = dc.policy_level;
-      incident.diff = dc.diff;
-      incident.weighted_severity = dc.weighted;
-      incident.from_implicit_preference = implicit;
-      out.max_incident_severity =
-          std::max(out.max_incident_severity, dc.weighted);
-      out.incidents.push_back(std::move(incident));
-    }
-  }
-  out.num_attributes_violated =
-      static_cast<int>(violated_attributes.size());
-  return out;
+  std::vector<std::string_view> violated_attributes;
+  PrivacyTuple stated_storage;
+  auto find_pref = [&](int32_t /*attr_id*/, std::string_view attribute,
+                       privacy::PurposeId purpose) -> const PrivacyTuple* {
+    Result<PrivacyTuple> stated = prefs->Find(attribute, purpose);
+    if (!stated.ok()) return nullptr;
+    stated_storage = std::move(stated).value();
+    return &stated_storage;
+  };
+  return AnalyzeOne(*config_, options_, prepared, provider, find_pref,
+                    violated_attributes);
 }
 
 }  // namespace ppdb::violation

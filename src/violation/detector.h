@@ -54,6 +54,14 @@ class ViolationDetector {
     /// many candidate policies against one fixed population. Must outlive
     /// the detector.
     const privacy::HousePolicy* policy_override = nullptr;
+
+    /// Threads used by `Analyze`/`AnalyzeProviders`: 0 = one per hardware
+    /// thread, 1 = the serial loop, n = at most n threads. The population
+    /// is split into fixed-size provider shards whose partial reports are
+    /// merged in shard order, so the report — provider order, every
+    /// per-provider field, and the bitwise value of `total_severity` — is
+    /// identical at every thread count.
+    int num_threads = 0;
   };
 
   /// `config` must outlive the detector.
@@ -68,6 +76,21 @@ class ViolationDetector {
   /// Analyzes exactly the given providers (duplicates removed, output in
   /// ascending provider order). Providers without stored preferences are
   /// analyzed with empty preference sets (everything implicit).
+  ///
+  /// Before the per-provider loop runs, the analyzed policy and the
+  /// provider preferences are flattened: policy attributes are interned,
+  /// ancestor purposes are precomputed, and each provider's stated
+  /// preferences for policy attributes are packed into one contiguous
+  /// sorted array, so the hot loop does binary search over flat memory
+  /// instead of per-(provider, tuple) hash/linear lookups.
+  ///
+  /// Allocation behaviour: `ViolationReport::providers` is reserved to the
+  /// provider count up front, and a provider's `incidents` vector is
+  /// reserved to the policy-tuple count when its first incident is found
+  /// (violation-free providers allocate nothing). Since each policy tuple
+  /// can yield at most three incidents (one per ordered dimension), a
+  /// violated provider performs at most a handful of geometric regrowths
+  /// past that initial reservation, and typically exactly one allocation.
   Result<ViolationReport> AnalyzeProviders(
       std::vector<ProviderId> providers) const;
 

@@ -1,8 +1,11 @@
 #include "violation/policy_search.h"
 
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "violation/default_model.h"
 #include "violation/detector.h"
 #include "violation/utility.h"
@@ -88,12 +91,20 @@ Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
   if (options.allow_narrowing) deltas.push_back(-1);
   const std::vector<std::string> attributes = config.policy.Attributes();
 
-  for (int step = 0; step < options.max_steps; ++step) {
-    double best_gain = 0.0;
-    privacy::HousePolicy best_candidate;
-    SearchStep best_move;
-    bool found = false;
+  struct Candidate {
+    privacy::Dimension dim = privacy::Dimension::kVisibility;
+    const std::string* attribute = nullptr;
+    int delta = 0;
+    privacy::HousePolicy policy;
+  };
+  const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
 
+  for (int step = 0; step < options.max_steps; ++step) {
+    // Enumerate the viable single-level moves (in the fixed attribute ×
+    // dimension × delta order), then score them concurrently: each
+    // evaluation reads only the fixed population and its own candidate
+    // policy, so candidates are independent.
+    std::vector<Candidate> candidates;
     for (const std::string& attribute : attributes) {
       for (privacy::Dimension dim : privacy::kOrderedDimensions) {
         for (int delta : deltas) {
@@ -105,24 +116,51 @@ Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
           if (candidate.value().tuples() == result.best_policy.tuples()) {
             continue;
           }
-          PPDB_ASSIGN_OR_RETURN(
-              Evaluation eval,
-              Evaluate(config, candidate.value(), options, baseline_value));
-          double gain = eval.utility - result.best_utility;
-          if (gain > best_gain + 1e-12) {
-            best_gain = gain;
-            best_candidate = std::move(candidate).value();
-            best_move = SearchStep{dim, attribute, delta, eval.utility,
-                                   eval.n_remaining};
-            found = true;
-          }
+          candidates.push_back(Candidate{dim, &attribute, delta,
+                                         std::move(candidate).value()});
         }
       }
     }
-    if (!found) break;  // Local optimum.
-    result.best_policy = std::move(best_candidate);
-    result.best_utility = best_move.utility;
-    result.trajectory.push_back(std::move(best_move));
+
+    const int64_t n = static_cast<int64_t>(candidates.size());
+    std::vector<Evaluation> evals(candidates.size());
+    std::vector<Status> statuses(candidates.size());
+    ThreadPool::Shared().ParallelRange(
+        0, n, /*grain=*/1, threads,
+        [&](int64_t /*shard*/, int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            const size_t at = static_cast<size_t>(i);
+            Result<Evaluation> eval = Evaluate(config, candidates[at].policy,
+                                               options, baseline_value);
+            if (eval.ok()) {
+              evals[at] = eval.value();
+            } else {
+              statuses[at] = eval.status();
+            }
+          }
+        });
+
+    // Select the winning move by a serial scan in enumeration order — the
+    // same comparisons, in the same order, as the serial search, so the
+    // accepted trajectory is identical at any thread count.
+    double best_gain = 0.0;
+    size_t best_index = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      PPDB_RETURN_NOT_OK(statuses[i]);
+      double gain = evals[i].utility - result.best_utility;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_index = i;
+      }
+    }
+    if (best_index == candidates.size()) break;  // Local optimum.
+    Candidate& winner = candidates[best_index];
+    result.best_policy = std::move(winner.policy);
+    result.best_utility = evals[best_index].utility;
+    result.trajectory.push_back(SearchStep{winner.dim, *winner.attribute,
+                                           winner.delta,
+                                           evals[best_index].utility,
+                                           evals[best_index].n_remaining});
   }
   return result;
 }
@@ -130,7 +168,7 @@ Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
 Result<PrefixResult> BestExpansionPrefix(
     const privacy::PrivacyConfig& config,
     const std::vector<ExpansionStep>& schedule, double utility_per_provider,
-    const std::function<double(int)>& extra_utility_at) {
+    const std::function<double(int)>& extra_utility_at, int num_threads) {
   if (!(utility_per_provider > 0.0)) {
     return Status::InvalidArgument("utility per provider must be positive");
   }
@@ -139,6 +177,7 @@ Result<PrefixResult> BestExpansionPrefix(
   }
   WhatIfAnalyzer::Options options;
   options.utility_per_provider = utility_per_provider;
+  options.num_threads = num_threads;
   WhatIfAnalyzer analyzer(&config, options);
   PPDB_ASSIGN_OR_RETURN(std::vector<ExpansionPoint> points,
                         analyzer.RunSchedule(schedule));

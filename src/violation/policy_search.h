@@ -61,6 +61,13 @@ struct SearchOptions {
   bool allow_narrowing = true;
   /// Forwarded to the violation detector.
   ViolationDetector::Options detector_options;
+  /// Threads used to evaluate the candidate moves of each greedy step
+  /// concurrently (0 = hardware concurrency, 1 = serial). Candidates are
+  /// scored independently and the winning move is selected by a serial
+  /// scan in enumeration order, so the accepted trajectory is identical
+  /// at any setting. Within-candidate parallelism is controlled
+  /// separately by `detector_options.num_threads`.
+  int num_threads = 1;
 };
 
 /// Greedy hill-climb over single-level policy moves.
@@ -89,11 +96,13 @@ struct PrefixResult {
 };
 
 /// `extra_utility_at(k)` supplies T after k steps (the §9 T, as a function
-/// of how far the policy has widened).
+/// of how far the policy has widened). `num_threads` fans the prefix
+/// evaluations out over the pool (0 = hardware concurrency, 1 = serial);
+/// the result is identical at any setting.
 Result<PrefixResult> BestExpansionPrefix(
     const privacy::PrivacyConfig& config,
     const std::vector<ExpansionStep>& schedule, double utility_per_provider,
-    const std::function<double(int)>& extra_utility_at);
+    const std::function<double(int)>& extra_utility_at, int num_threads = 1);
 
 }  // namespace ppdb::violation
 

@@ -3,14 +3,21 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace ppdb::violation {
 
 namespace {
 
-/// Runs τ trials of "draw index uniformly, test event[index]".
+/// Trials per shard. Fixed (thread-count independent) so the mapping from
+/// the caller's seed stream to per-shard sub-seeds — and therefore the hit
+/// count — is reproducible at any parallelism.
+constexpr int64_t kTrialGrain = 8192;
+
+/// Runs τ trials of "draw index uniformly, test event[index]", sharded over
+/// the pool with one serially-drawn sub-seed per shard.
 Result<TrialEstimate> RunTrials(const std::vector<bool>& event, double census,
-                                int64_t trials, Rng& rng) {
+                                int64_t trials, Rng& rng, int num_threads) {
   if (trials <= 0) {
     return Status::InvalidArgument("trial count must be positive");
   }
@@ -21,10 +28,25 @@ Result<TrialEstimate> RunTrials(const std::vector<bool>& event, double census,
   TrialEstimate out;
   out.trials = trials;
   out.census = census;
-  for (int64_t t = 0; t < trials; ++t) {
-    size_t pick = static_cast<size_t>(rng.NextBounded(event.size()));
-    if (event[pick]) ++out.hits;
-  }
+
+  const int64_t num_shards = ThreadPool::NumShards(0, trials, kTrialGrain);
+  std::vector<uint64_t> seeds(static_cast<size_t>(num_shards));
+  for (uint64_t& seed : seeds) seed = rng.NextUint64();
+
+  const int threads = ThreadPool::ResolveThreadCount(num_threads);
+  out.hits = ThreadPool::Shared().ParallelReduce(
+      0, trials, kTrialGrain, threads, int64_t{0},
+      [&](int64_t begin, int64_t end) {
+        Rng sub(seeds[static_cast<size_t>(begin / kTrialGrain)]);
+        int64_t hits = 0;
+        for (int64_t t = begin; t < end; ++t) {
+          size_t pick = static_cast<size_t>(sub.NextBounded(event.size()));
+          if (event[pick]) ++hits;
+        }
+        return hits;
+      },
+      [](int64_t& acc, int64_t partial) { acc += partial; });
+
   out.estimate =
       static_cast<double>(out.hits) / static_cast<double>(out.trials);
   PPDB_ASSIGN_OR_RETURN(out.ci95,
@@ -35,23 +57,27 @@ Result<TrialEstimate> RunTrials(const std::vector<bool>& event, double census,
 }  // namespace
 
 Result<TrialEstimate> EstimateViolationProbability(
-    const ViolationReport& report, int64_t trials, Rng& rng) {
+    const ViolationReport& report, int64_t trials, Rng& rng,
+    int num_threads) {
   std::vector<bool> event;
   event.reserve(report.providers.size());
   for (const ProviderViolation& pv : report.providers) {
     event.push_back(pv.violated);
   }
-  return RunTrials(event, report.ProbabilityOfViolation(), trials, rng);
+  return RunTrials(event, report.ProbabilityOfViolation(), trials, rng,
+                   num_threads);
 }
 
 Result<TrialEstimate> EstimateDefaultProbability(const DefaultReport& report,
-                                                 int64_t trials, Rng& rng) {
+                                                 int64_t trials, Rng& rng,
+                                                 int num_threads) {
   std::vector<bool> event;
   event.reserve(report.providers.size());
   for (const ProviderDefault& pd : report.providers) {
     event.push_back(pd.defaulted);
   }
-  return RunTrials(event, report.ProbabilityOfDefault(), trials, rng);
+  return RunTrials(event, report.ProbabilityOfDefault(), trials, rng,
+                   num_threads);
 }
 
 Result<AlphaCertification> CertifyAlphaPpdb(const ViolationReport& report,

@@ -34,12 +34,21 @@ struct TrialEstimate {
 
 /// Estimates P(W) (Def. 2) by τ random trials over the report's providers.
 /// Errors when `trials` <= 0 or the report is empty.
+///
+/// Trials are split into fixed-size shards, each driven by a sub-RNG whose
+/// seed is drawn from `rng` up front in shard order. The estimate is
+/// therefore a pure function of (seed, τ): `num_threads` (0 = hardware
+/// concurrency, 1 = serial) only changes how the shards are scheduled,
+/// never the result.
 Result<TrialEstimate> EstimateViolationProbability(
-    const ViolationReport& report, int64_t trials, Rng& rng);
+    const ViolationReport& report, int64_t trials, Rng& rng,
+    int num_threads = 1);
 
-/// Estimates P(Default) (Def. 5) by τ random trials.
+/// Estimates P(Default) (Def. 5) by τ random trials. Sharded and seeded
+/// exactly like `EstimateViolationProbability`.
 Result<TrialEstimate> EstimateDefaultProbability(const DefaultReport& report,
-                                                 int64_t trials, Rng& rng);
+                                                 int64_t trials, Rng& rng,
+                                                 int num_threads = 1);
 
 /// α-PPDB certification (Def. 3): whether P(W) ≤ α, with supporting data.
 struct AlphaCertification {

@@ -2,8 +2,10 @@
 
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "violation/default_model.h"
 
 namespace ppdb::violation {
@@ -24,28 +26,45 @@ std::vector<ExpansionStep> WhatIfAnalyzer::UniformSchedule(
 
 Result<std::vector<ExpansionPoint>> WhatIfAnalyzer::RunSchedule(
     const std::vector<ExpansionStep>& steps) const {
-  std::vector<ExpansionPoint> points;
-  points.reserve(steps.size() + 1);
-
-  privacy::HousePolicy policy = config_->policy;
-  PPDB_ASSIGN_OR_RETURN(ExpansionPoint baseline, Evaluate(0, policy));
-  points.push_back(std::move(baseline));
-
-  int index = 0;
+  // The cumulative policies are built serially (each widening is cheap and
+  // depends on the previous one); the expensive per-point population
+  // evaluation then fans out over the pool.
+  std::vector<privacy::HousePolicy> policies;
+  policies.reserve(steps.size() + 1);
+  policies.push_back(config_->policy);
   for (const ExpansionStep& step : steps) {
-    ++index;
+    privacy::HousePolicy next;
     if (step.attribute.has_value()) {
       PPDB_ASSIGN_OR_RETURN(
-          policy, policy.WidenedForAttribute(*step.attribute, step.dimension,
-                                             step.delta, config_->scales));
+          next, policies.back().WidenedForAttribute(
+                    *step.attribute, step.dimension, step.delta,
+                    config_->scales));
     } else {
       PPDB_ASSIGN_OR_RETURN(
-          policy, policy.Widened(step.dimension, step.delta,
-                                 config_->scales));
+          next, policies.back().Widened(step.dimension, step.delta,
+                                        config_->scales));
     }
-    PPDB_ASSIGN_OR_RETURN(ExpansionPoint point, Evaluate(index, policy));
-    points.push_back(std::move(point));
+    policies.push_back(std::move(next));
   }
+
+  const int64_t n = static_cast<int64_t>(policies.size());
+  std::vector<ExpansionPoint> points(static_cast<size_t>(n));
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  ThreadPool::Shared().ParallelRange(
+      0, n, /*grain=*/1, ThreadPool::ResolveThreadCount(options_.num_threads),
+      [&](int64_t /*shard*/, int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          const size_t at = static_cast<size_t>(k);
+          Result<ExpansionPoint> point =
+              Evaluate(static_cast<int>(k), std::move(policies[at]));
+          if (point.ok()) {
+            points[at] = std::move(point).value();
+          } else {
+            statuses[at] = point.status();
+          }
+        }
+      });
+  for (const Status& status : statuses) PPDB_RETURN_NOT_OK(status);
   return points;
 }
 

@@ -72,6 +72,14 @@ class WhatIfAnalyzer {
     double extra_utility_per_step = 0.0;
     /// Forwarded to the violation detector at every point.
     ViolationDetector::Options detector_options;
+    /// Threads used to evaluate schedule points concurrently (0 = hardware
+    /// concurrency, 1 = serial). The cumulative policies are built
+    /// serially first, so points are independent; they are reported in
+    /// schedule order and every point's report is thread-count
+    /// independent — results are identical at any setting. Within-point
+    /// parallelism is controlled separately by
+    /// `detector_options.num_threads`.
+    int num_threads = 1;
   };
 
   /// `config` must outlive the analyzer.

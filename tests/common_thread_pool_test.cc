@@ -1,0 +1,185 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppdb {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0),
+            ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, NumShardsMatchesCeilDiv) {
+  EXPECT_EQ(ThreadPool::NumShards(0, 0, 4), 0);
+  EXPECT_EQ(ThreadPool::NumShards(5, 5, 4), 0);
+  EXPECT_EQ(ThreadPool::NumShards(10, 5, 4), 0);
+  EXPECT_EQ(ThreadPool::NumShards(0, 1, 4), 1);
+  EXPECT_EQ(ThreadPool::NumShards(0, 4, 4), 1);
+  EXPECT_EQ(ThreadPool::NumShards(0, 5, 4), 2);
+  EXPECT_EQ(ThreadPool::NumShards(3, 11, 4), 2);
+  // A non-positive grain behaves as grain 1.
+  EXPECT_EQ(ThreadPool::NumShards(0, 5, 0), 5);
+  EXPECT_EQ(ThreadPool::NumShards(0, 5, -2), 5);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingletonSizedToHardware) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), ThreadPool::HardwareConcurrency());
+}
+
+TEST(ThreadPoolTest, ConstructorClampsToOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-5);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+// Shards partition the range: every index is visited exactly once, shard
+// indices are dense, and shard boundaries match begin + shard * grain.
+void CheckCoverage(int64_t begin, int64_t end, int64_t grain,
+                   int parallelism) {
+  ThreadPool pool(4);
+  const int64_t n = end > begin ? end - begin : 0;
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  std::vector<int> shard_seen(
+      static_cast<size_t>(ThreadPool::NumShards(begin, end, grain)), 0);
+  pool.ParallelRange(begin, end, grain, parallelism,
+                     [&](int64_t shard, int64_t b, int64_t e) {
+                       EXPECT_EQ(b, begin + shard * grain);
+                       EXPECT_LE(e, end);
+                       EXPECT_LT(b, e);
+                       // Distinct shards touch disjoint slots, so these
+                       // writes are race-free by construction.
+                       shard_seen[static_cast<size_t>(shard)]++;
+                       for (int64_t i = b; i < e; ++i) {
+                         visits[static_cast<size_t>(i - begin)]++;
+                       }
+                     });
+  for (int v : visits) EXPECT_EQ(v, 1);
+  for (int s : shard_seen) EXPECT_EQ(s, 1);
+}
+
+TEST(ThreadPoolTest, ParallelRangeCoversEveryIndexOnce) {
+  CheckCoverage(0, 1000, 7, 4);
+  CheckCoverage(0, 1000, 7, 1);
+  CheckCoverage(3, 11, 4, 2);
+  CheckCoverage(0, 1, 100, 8);     // one shard, grain > range
+  CheckCoverage(0, 64, 1, 16);     // grain 1, more shards than threads
+  CheckCoverage(0, 5, 5, 3);       // exactly one shard
+}
+
+TEST(ThreadPoolTest, EmptyRangeInvokesNothing) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelRange(0, 0, 4, 2,
+                     [&](int64_t, int64_t, int64_t) { ++calls; });
+  pool.ParallelRange(10, 5, 4, 2,
+                     [&](int64_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+// The determinism contract: a floating-point reduction is bitwise-identical
+// at every parallelism, because shard boundaries and combine order depend
+// only on (range, grain).
+TEST(ThreadPoolTest, ParallelReduceBitwiseIdenticalAcrossParallelism) {
+  ThreadPool pool(8);
+  const auto reduce_with = [&](int parallelism) {
+    return pool.ParallelReduce(
+        0, 10000, 37, parallelism, 0.0,
+        [](int64_t b, int64_t e) {
+          double sum = 0.0;
+          for (int64_t i = b; i < e; ++i) {
+            sum += 1.0 / static_cast<double>(i + 1);
+          }
+          return sum;
+        },
+        [](double& acc, double partial) { acc += partial; });
+  };
+  const double serial = reduce_with(1);
+  for (int parallelism : {2, 3, 8, 64}) {
+    EXPECT_EQ(serial, reduce_with(parallelism)) << parallelism;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceCombinesInShardOrder) {
+  ThreadPool pool(4);
+  for (int parallelism : {1, 4}) {
+    std::string order = pool.ParallelReduce(
+        0, 10, 2, parallelism, std::string(),
+        [](int64_t b, int64_t) { return std::to_string(b / 2); },
+        [](std::string& acc, std::string partial) {
+          if (!acc.empty()) acc += "|";
+          acc += partial;
+        });
+    EXPECT_EQ(order, "0|1|2|3|4") << parallelism;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceEmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  int64_t result = pool.ParallelReduce(
+      5, 5, 4, 2, int64_t{42}, [](int64_t, int64_t) { return int64_t{1}; },
+      [](int64_t& acc, int64_t p) { acc += p; });
+  EXPECT_EQ(result, 42);
+}
+
+// Nested parallel loops must complete even when every pool worker is busy
+// with the outer loop: the calling thread always participates.
+TEST(ThreadPoolTest, NestedParallelRangeDoesNotDeadlock) {
+  ThreadPool& pool = ThreadPool::Shared();
+  const int64_t outer = 8, inner = 16;
+  std::vector<int64_t> inner_counts(static_cast<size_t>(outer), 0);
+  pool.ParallelRange(0, outer, 1, pool.num_threads(),
+                     [&](int64_t, int64_t b, int64_t e) {
+                       for (int64_t o = b; o < e; ++o) {
+                         int64_t count = pool.ParallelReduce(
+                             0, inner, 3, pool.num_threads(), int64_t{0},
+                             [](int64_t ib, int64_t ie) { return ie - ib; },
+                             [](int64_t& acc, int64_t p) { acc += p; });
+                         inner_counts[static_cast<size_t>(o)] = count;
+                       }
+                     });
+  for (int64_t c : inner_counts) EXPECT_EQ(c, inner);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentCallersShareOnePool) {
+  // Distinct threads issuing ParallelRange against the same pool must not
+  // interfere: each caller waits for exactly its own shards.
+  ThreadPool pool(3);
+  constexpr int kCallers = 6;
+  std::vector<int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      sums[static_cast<size_t>(c)] = pool.ParallelReduce(
+          0, 500, 11, 3, int64_t{0},
+          [](int64_t b, int64_t e) {
+            int64_t s = 0;
+            for (int64_t i = b; i < e; ++i) s += i;
+            return s;
+          },
+          [](int64_t& acc, int64_t p) { acc += p; });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int64_t s : sums) EXPECT_EQ(s, 500 * 499 / 2);
+}
+
+}  // namespace
+}  // namespace ppdb

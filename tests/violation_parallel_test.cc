@@ -1,0 +1,284 @@
+// Parallel/serial equivalence for the violation engine: every parallelized
+// entry point must produce results identical to its serial path at any
+// `num_threads` — same provider order, same per-provider fields, and a
+// bitwise-equal `total_severity` (the thread pool combines shard partials
+// in shard order, so even floating-point addition order is preserved).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "sim/population.h"
+#include "sim/scenario.h"
+#include "tests/test_util.h"
+#include "violation/detector.h"
+#include "violation/policy_search.h"
+#include "violation/probability.h"
+#include "violation/what_if.h"
+
+namespace ppdb::violation {
+namespace {
+
+using privacy::Dimension;
+using privacy::PrivacyTuple;
+
+sim::Population MakePopulation(int64_t providers, int attributes,
+                               double policy_fraction) {
+  sim::PopulationConfig config;
+  config.num_providers = providers;
+  for (int a = 0; a < attributes; ++a) {
+    config.attributes.push_back(
+        {"attr" + std::to_string(a), 1.0 + a, 50.0, 10.0});
+  }
+  config.purposes = {"service", "analytics"};
+  config.seed = 7;
+  auto population = sim::PopulationGenerator(config).Generate();
+  PPDB_CHECK_OK(population.status());
+  auto policy = sim::MakeUniformPolicy(
+      config.attributes, config.purposes, policy_fraction, policy_fraction,
+      policy_fraction, &population.value().config);
+  PPDB_CHECK_OK(policy.status());
+  population.value().config.policy = std::move(policy).value();
+  return std::move(population).value();
+}
+
+void ExpectIdenticalProvider(const ProviderViolation& a,
+                             const ProviderViolation& b) {
+  EXPECT_EQ(a.provider, b.provider);
+  EXPECT_EQ(a.violated, b.violated);
+  EXPECT_EQ(a.total_severity, b.total_severity);  // Bitwise: no tolerance.
+  EXPECT_EQ(a.num_attributes_violated, b.num_attributes_violated);
+  EXPECT_EQ(a.max_incident_severity, b.max_incident_severity);
+  ASSERT_EQ(a.incidents.size(), b.incidents.size());
+  for (size_t i = 0; i < a.incidents.size(); ++i) {
+    const ViolationIncident& x = a.incidents[i];
+    const ViolationIncident& y = b.incidents[i];
+    EXPECT_EQ(x.attribute, y.attribute);
+    EXPECT_EQ(x.purpose, y.purpose);
+    EXPECT_EQ(x.dimension, y.dimension);
+    EXPECT_EQ(x.preference_level, y.preference_level);
+    EXPECT_EQ(x.policy_level, y.policy_level);
+    EXPECT_EQ(x.diff, y.diff);
+    EXPECT_EQ(x.weighted_severity, y.weighted_severity);
+    EXPECT_EQ(x.from_implicit_preference, y.from_implicit_preference);
+  }
+}
+
+void ExpectIdenticalReports(const ViolationReport& a,
+                            const ViolationReport& b) {
+  EXPECT_EQ(a.total_severity, b.total_severity);  // Bitwise: no tolerance.
+  EXPECT_EQ(a.num_violated, b.num_violated);
+  ASSERT_EQ(a.providers.size(), b.providers.size());
+  for (size_t i = 0; i < a.providers.size(); ++i) {
+    ExpectIdenticalProvider(a.providers[i], b.providers[i]);
+  }
+}
+
+// The parameter is the parallel thread count under test; every test
+// compares it against the serial path (num_threads = 1). 0 = one thread
+// per hardware thread. The population is sized so the detector's provider
+// grain (512) yields several shards.
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    population_ = new sim::Population(
+        MakePopulation(/*providers=*/1500, /*attributes=*/5,
+                       /*policy_fraction=*/0.6));
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    population_ = nullptr;
+  }
+
+  static ViolationReport AnalyzeWith(ViolationDetector::Options options,
+                                     int num_threads) {
+    options.num_threads = num_threads;
+    ViolationDetector detector(&population_->config, options);
+    auto report = detector.Analyze();
+    PPDB_CHECK_OK(report.status());
+    return std::move(report).value();
+  }
+
+  static sim::Population* population_;
+};
+
+sim::Population* ParallelEquivalenceTest::population_ = nullptr;
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
+                         ::testing::Values(2, 8, 0),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0
+                                      ? std::string("hw")
+                                      : std::to_string(info.param) +
+                                            "threads";
+                         });
+
+TEST_P(ParallelEquivalenceTest, AnalyzeMatchesSerial) {
+  ViolationReport serial = AnalyzeWith({}, 1);
+  ViolationReport parallel = AnalyzeWith({}, GetParam());
+  ASSERT_GT(serial.num_violated, 0);  // A trivial population proves nothing.
+  ExpectIdenticalReports(serial, parallel);
+}
+
+TEST_P(ParallelEquivalenceTest, AnalyzeWithDataTableMatchesSerial) {
+  ViolationDetector::Options options;
+  options.data_table = &population_->data;
+  ViolationReport serial = AnalyzeWith(options, 1);
+  ViolationReport parallel = AnalyzeWith(options, GetParam());
+  ExpectIdenticalReports(serial, parallel);
+}
+
+TEST_P(ParallelEquivalenceTest, AnalyzeWithHierarchyMatchesSerial) {
+  // "analytics" ⊑ "service": consent to service covers analytics.
+  privacy::PrivacyConfig& config = population_->config;
+  privacy::PurposeHierarchy hierarchy;
+  ASSERT_OK(hierarchy.AddEdge(config.purposes.Lookup("analytics").value(),
+                              config.purposes.Lookup("service").value(),
+                              config.purposes));
+  ViolationDetector::Options options;
+  options.purpose_hierarchy = &hierarchy;
+  ViolationReport serial = AnalyzeWith(options, 1);
+  ViolationReport parallel = AnalyzeWith(options, GetParam());
+  ExpectIdenticalReports(serial, parallel);
+}
+
+TEST_P(ParallelEquivalenceTest, AnalyzeProvidersMatchesAnalyzeProvider) {
+  ViolationDetector::Options options;
+  options.num_threads = GetParam();
+  ViolationDetector detector(&population_->config, options);
+  std::vector<privacy::ProviderId> subset = {3, 99, 512, 513, 1024, 1500};
+  ASSERT_OK_AND_ASSIGN(ViolationReport report,
+                       detector.AnalyzeProviders(subset));
+  ASSERT_EQ(report.providers.size(), subset.size());
+  for (const ProviderViolation& pv : report.providers) {
+    ASSERT_OK_AND_ASSIGN(ProviderViolation single,
+                         detector.AnalyzeProvider(pv.provider));
+    ExpectIdenticalProvider(pv, single);
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, EstimatorReproducibleAcrossThreadCounts) {
+  ViolationReport report = AnalyzeWith({}, 1);
+  // More trials than the estimator's shard grain (8192), so the parallel
+  // run really splits the trial stream.
+  constexpr int64_t kTrials = 20000;
+  Rng serial_rng(1234);
+  ASSERT_OK_AND_ASSIGN(
+      TrialEstimate serial,
+      EstimateViolationProbability(report, kTrials, serial_rng,
+                                   /*num_threads=*/1));
+  Rng parallel_rng(1234);
+  ASSERT_OK_AND_ASSIGN(
+      TrialEstimate parallel,
+      EstimateViolationProbability(report, kTrials, parallel_rng, GetParam()));
+  EXPECT_EQ(serial.hits, parallel.hits);
+  EXPECT_EQ(serial.estimate, parallel.estimate);
+  EXPECT_EQ(serial.trials, parallel.trials);
+  // Both RNGs advanced identically: the next draw agrees.
+  EXPECT_EQ(serial_rng.NextUint64(), parallel_rng.NextUint64());
+}
+
+TEST_P(ParallelEquivalenceTest, WhatIfScheduleMatchesSerial) {
+  const auto run_with = [&](int num_threads) {
+    WhatIfAnalyzer::Options options;
+    options.utility_per_provider = 2.0;
+    options.extra_utility_per_step = 0.25;
+    options.num_threads = num_threads;
+    WhatIfAnalyzer analyzer(&population_->config, options);
+    auto points = analyzer.RunSchedule(
+        WhatIfAnalyzer::UniformSchedule(Dimension::kGranularity, 4));
+    PPDB_CHECK_OK(points.status());
+    return std::move(points).value();
+  };
+  std::vector<ExpansionPoint> serial = run_with(1);
+  std::vector<ExpansionPoint> parallel = run_with(GetParam());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].step_index, parallel[k].step_index);
+    EXPECT_EQ(serial[k].p_violation, parallel[k].p_violation);
+    EXPECT_EQ(serial[k].p_default, parallel[k].p_default);
+    EXPECT_EQ(serial[k].total_violations, parallel[k].total_violations);
+    EXPECT_EQ(serial[k].n_remaining, parallel[k].n_remaining);
+    EXPECT_EQ(serial[k].num_defaulted, parallel[k].num_defaulted);
+    EXPECT_EQ(serial[k].utility_future, parallel[k].utility_future);
+    EXPECT_EQ(serial[k].break_even_extra_utility,
+              parallel[k].break_even_extra_utility);
+    EXPECT_EQ(serial[k].justified, parallel[k].justified);
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, ScenarioDefaultOnsetsMatchesSerial) {
+  const auto run_with = [&](int num_threads) {
+    sim::ScenarioRunner::Options options;
+    options.num_threads = num_threads;
+    sim::ScenarioRunner runner(population_, options);
+    auto onsets = runner.DefaultOnsets(
+        WhatIfAnalyzer::UniformSchedule(Dimension::kVisibility, 3));
+    PPDB_CHECK_OK(onsets.status());
+    return std::move(onsets).value();
+  };
+  sim::DefaultOnsetResult serial = run_with(1);
+  sim::DefaultOnsetResult parallel = run_with(GetParam());
+  EXPECT_EQ(serial.num_providers, parallel.num_providers);
+  EXPECT_EQ(serial.never_defaulted, parallel.never_defaulted);
+  EXPECT_EQ(serial.onset_steps.count(), parallel.onset_steps.count());
+  for (int k = 0; k <= 3; ++k) {
+    EXPECT_EQ(serial.FractionDefaultedBy(k), parallel.FractionDefaultedBy(k));
+  }
+  for (size_t s = 0; s < serial.defaulted_by_segment.size(); ++s) {
+    EXPECT_EQ(serial.defaulted_by_segment[s], parallel.defaulted_by_segment[s]);
+  }
+}
+
+// The greedy search accepts the same trajectory at any thread count: the
+// candidate moves are scored in parallel but selected by a serial scan in
+// enumeration order.
+class ParallelSearchTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSearchTest,
+                         ::testing::Values(2, 8, 0));
+
+TEST_P(ParallelSearchTest, GreedySearchTrajectoryMatchesSerial) {
+  privacy::PrivacyConfig config;
+  privacy::PurposeId purpose = config.purposes.Register("service").value();
+  ASSERT_OK(config.policy.Add("weight", PrivacyTuple{purpose, 1, 1, 1}));
+  ASSERT_OK(config.policy.Add("age", PrivacyTuple{purpose, 2, 2, 2}));
+  ASSERT_OK(config.sensitivities.SetAttributeSensitivity("weight", 2.0));
+  ASSERT_OK(config.sensitivities.SetAttributeSensitivity("age", 1.0));
+  for (int64_t i = 1; i <= 12; ++i) {
+    int band = static_cast<int>((i - 1) / 4);  // 0, 1, 2.
+    config.preferences.ForProvider(i).Set(
+        "weight", PrivacyTuple{purpose, band, band, band});
+    config.preferences.ForProvider(i).Set(
+        "age", PrivacyTuple{purpose, band + 1, band, band});
+    config.thresholds[i] = 6.0;
+  }
+
+  const auto search_with = [&](int num_threads) {
+    SearchOptions options;
+    options.utility_per_provider = 1.0;
+    options.value_model = MakeLinearExposureValue(4.0);
+    options.num_threads = num_threads;
+    auto result = GreedyPolicySearch(config, options);
+    PPDB_CHECK_OK(result.status());
+    return std::move(result).value();
+  };
+  SearchResult serial = search_with(1);
+  SearchResult parallel = search_with(GetParam());
+  EXPECT_EQ(serial.best_utility, parallel.best_utility);
+  EXPECT_EQ(serial.baseline_utility, parallel.baseline_utility);
+  ASSERT_EQ(serial.trajectory.size(), parallel.trajectory.size());
+  for (size_t k = 0; k < serial.trajectory.size(); ++k) {
+    EXPECT_EQ(serial.trajectory[k].dimension, parallel.trajectory[k].dimension);
+    EXPECT_EQ(serial.trajectory[k].attribute, parallel.trajectory[k].attribute);
+    EXPECT_EQ(serial.trajectory[k].delta, parallel.trajectory[k].delta);
+    EXPECT_EQ(serial.trajectory[k].utility, parallel.trajectory[k].utility);
+    EXPECT_EQ(serial.trajectory[k].n_remaining,
+              parallel.trajectory[k].n_remaining);
+  }
+}
+
+}  // namespace
+}  // namespace ppdb::violation

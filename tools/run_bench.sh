@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the violation perf benchmark and records its JSON output at the repo
+# root (BENCH_perf_violation.json), so the perf trajectory is tracked across
+# PRs. Usage:
+#
+#   tools/run_bench.sh [build_dir] [output_json]
+#
+# Defaults: build_dir = build, output_json = BENCH_perf_violation.json.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+output="${2:-"${repo_root}/BENCH_perf_violation.json"}"
+bench="${build_dir}/bench/bench_perf_violation"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not built; run:" >&2
+  echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
+"${bench}" \
+  --benchmark_format=json \
+  --benchmark_out="${output}" \
+  --benchmark_out_format=json
+echo "wrote ${output}"

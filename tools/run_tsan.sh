@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds ppdb with ThreadSanitizer and runs the concurrency-relevant tests
+# (thread pool, violation engine, parallel/serial equivalence) so the
+# parallel Analyze/estimator paths stay TSan-clean. Usage:
+#
+#   tools/run_tsan.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan
