@@ -1,0 +1,34 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+namespace ppdb {
+
+bool IsTransient(const Status& status) { return status.IsUnavailable(); }
+
+Status RetryWithBackoff(const RetryOptions& options, std::string_view what,
+                        const std::function<Status()>& op) {
+  const int attempts = std::max(1, options.max_attempts);
+  std::chrono::milliseconds wait = options.initial_backoff;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    if (last.ok() || !IsTransient(last)) return last;
+    if (attempt == attempts) break;
+    if (options.sleep) {
+      options.sleep(wait);
+    } else {
+      std::this_thread::sleep_for(wait);
+    }
+    auto next = std::chrono::milliseconds(static_cast<int64_t>(
+        static_cast<double>(wait.count()) * options.backoff_multiplier));
+    wait = std::min(std::max(next, wait), options.max_backoff);
+  }
+  return Status(last.code(), std::string(what) + " failed after " +
+                                 std::to_string(attempts) +
+                                 " attempt(s): " + last.message());
+}
+
+}  // namespace ppdb

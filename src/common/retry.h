@@ -1,0 +1,48 @@
+#ifndef PPDB_COMMON_RETRY_H_
+#define PPDB_COMMON_RETRY_H_
+
+#include <chrono>
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ppdb {
+
+/// Policy for `RetryWithBackoff`: bounded attempts with exponential,
+/// capped backoff between them.
+///
+/// The defaults are tuned for local-filesystem hiccups (a handful of
+/// millisecond-scale waits); callers talking to slower media should widen
+/// them. `sleep` exists so tests can record the backoff schedule instead
+/// of actually waiting.
+struct RetryOptions {
+  /// Total attempts including the first one. 1 disables retrying.
+  int max_attempts = 4;
+  /// Wait before the second attempt.
+  std::chrono::milliseconds initial_backoff{1};
+  /// Each subsequent wait is the previous one times this factor.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on any single wait.
+  std::chrono::milliseconds max_backoff{50};
+  /// Replacement for the real sleep; nullptr sleeps the calling thread.
+  std::function<void(std::chrono::milliseconds)> sleep;
+};
+
+/// True iff `status` signals a failure worth retrying (`kUnavailable`).
+/// Permanent errors (parse errors, not-found, internal invariant breaks)
+/// are never transient.
+bool IsTransient(const Status& status);
+
+/// Runs `op` up to `options.max_attempts` times, sleeping with exponential
+/// backoff between attempts, until it returns OK or a non-transient error.
+///
+/// The final status is returned unchanged when `op` never succeeded; when
+/// retries were exhausted on a transient error the message is annotated
+/// with `what` and the attempt count so logs show the retry history.
+Status RetryWithBackoff(const RetryOptions& options, std::string_view what,
+                        const std::function<Status()>& op);
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_RETRY_H_

@@ -33,6 +33,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kNotImplemented:
       return "not_implemented";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -34,6 +34,9 @@ enum class StatusCode {
   kInternal,
   /// The feature is recognised but not implemented.
   kNotImplemented,
+  /// A transient failure (I/O contention, injected fault, busy resource);
+  /// the operation may succeed if retried. See common/retry.h.
+  kUnavailable,
 };
 
 /// Returns the canonical lower-case name of `code`, e.g. "invalid_argument".
@@ -98,6 +101,9 @@ class Status {
   static Status NotImplemented(std::string message) {
     return Status(StatusCode::kNotImplemented, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -122,6 +128,7 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Returns "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -1,14 +1,18 @@
 #ifndef PPDB_STORAGE_DATABASE_IO_H_
 #define PPDB_STORAGE_DATABASE_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "audit/audit_log.h"
 #include "audit/ledger.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "privacy/config.h"
 #include "relational/catalog.h"
+#include "storage/fs.h"
 
 namespace ppdb::storage {
 
@@ -21,24 +25,70 @@ struct Database {
 };
 
 /// On-disk layout (all human-readable text, matching the library's
-/// existing formats):
+/// existing formats). A database directory holds numbered, immutable
+/// generations plus a pointer file naming the committed one:
 ///
-///   <dir>/MANIFEST            format version + table inventory
-///   <dir>/privacy.ppdb        the privacy DSL (policy_dsl.h)
-///   <dir>/tables/<name>.csv   one CSV per table (provider_id first);
-///                             a header line `# multi_record` marks tables
-///                             in multi-record mode via the manifest
-///   <dir>/ledger.csv          table,provider,attribute,ingest_day
-///   <dir>/audit.csv           the append-only audit log
+///   <dir>/CURRENT               "gen-<N>\n" — the committed generation
+///   <dir>/gen-<N>/MANIFEST      format version + table inventory
+///   <dir>/gen-<N>/privacy.ppdb  the privacy DSL (policy_dsl.h)
+///   <dir>/gen-<N>/tables/<name>.csv
+///                               one CSV per table (provider_id first)
+///   <dir>/gen-<N>/ledger.csv    table,provider,attribute,ingest_day
+///   <dir>/gen-<N>/audit.csv     the append-only audit log
+///   <dir>/.staging-<N>/         an in-progress save; never read
 ///
-/// `SaveDatabase` creates the directory (and `tables/`) as needed and
-/// overwrites existing files; partially written state from a crashed save
-/// is detected at load time via the manifest's table inventory.
+/// Commit protocol (crash-safe at every step):
+///   1. every file is written into a fresh `.staging-<N>/`,
+///   2. the staging dir is renamed to `gen-<N>/`,
+///   3. `CURRENT` is swapped via temp-file + rename — the commit point.
+/// The previous generation is retained for rollback; older ones and stray
+/// staging dirs are pruned best-effort after commit. A crash anywhere
+/// leaves either the old or the new generation committed, never a hybrid;
+/// `LoadDatabase` discards torn leftovers (see `RecoveryReport`).
+///
+/// Pre-generation directories (MANIFEST at the top level) still load.
+struct SaveOptions {
+  /// Bounded retry for transient (`kUnavailable`) filesystem faults on the
+  /// staging writes and commit renames. `max_attempts = 1` disables.
+  RetryOptions retry;
+};
+
+/// What `LoadDatabase` had to skip or repair to produce a database.
+struct RecoveryReport {
+  /// Name of the generation actually loaded, e.g. "gen-3"; "flat" for a
+  /// pre-generation directory.
+  std::string loaded_generation;
+  /// Entries ignored during load: uncommitted staging dirs, generations
+  /// newer than CURRENT, and torn generations (with the load error).
+  std::vector<std::string> discarded;
+  /// True when the generation CURRENT named could not be loaded and an
+  /// older committed generation was used instead.
+  bool used_fallback = false;
+
+  bool clean() const { return discarded.empty() && !used_fallback; }
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// Atomically saves `database` (commit protocol above) via the process-wide
+/// real filesystem.
 Status SaveDatabase(std::string_view dir, const Database& database);
 
-/// Loads a database previously written by `SaveDatabase`. Schema types are
-/// recorded in the manifest, so round-trips preserve typing exactly.
+/// As above through an explicit filesystem (tests inject faults here).
+Status SaveDatabase(std::string_view dir, const Database& database,
+                    FileSystem& fs, const SaveOptions& options = {});
+
+/// Loads the committed generation of a database directory. Schema types
+/// are recorded in the manifest, so round-trips preserve typing exactly.
+/// A nonexistent `dir` is `kNotFound` naming the path.
 Result<Database> LoadDatabase(std::string_view dir);
+
+/// As above through an explicit filesystem. When `report` is non-null it
+/// receives what was skipped or recovered; falling back to an older
+/// committed generation is not an error (the save that produced the newer
+/// one never reported success).
+Result<Database> LoadDatabase(std::string_view dir, FileSystem& fs,
+                              RecoveryReport* report = nullptr);
 
 /// Serializes an audit log to CSV (also usable standalone).
 std::string AuditLogToCsv(const audit::AuditLog& log);

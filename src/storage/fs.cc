@@ -1,0 +1,238 @@
+#include "storage/fs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace ppdb::storage {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+std::string ErrnoText() {
+  return errno != 0 ? std::strerror(errno) : "unknown error";
+}
+
+}  // namespace
+
+Status RealFileSystem::CreateDirectories(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(path), ec);
+  if (ec) {
+    return Status::Internal("cannot create '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RealFileSystem::WriteFile(const std::string& path,
+                                 std::string_view contents) {
+  errno = 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path +
+                            "' for writing: " + ErrnoText());
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write to '" + path + "' failed: " + ErrnoText());
+  }
+  // close() can surface a deferred I/O error (full disk, quota) that the
+  // flush above did not; a save must not report success past it.
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("close of '" + path + "' failed: " + ErrnoText());
+  }
+  return Status::OK();
+}
+
+Result<std::string> RealFileSystem::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) {
+    return Status::Internal("read from '" + path + "' failed");
+  }
+  return std::move(buffer).str();
+}
+
+Status RealFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  stdfs::rename(stdfs::path(from), stdfs::path(to), ec);
+  if (ec) {
+    return Status::Internal("cannot rename '" + from + "' to '" + to +
+                            "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RealFileSystem::RemoveAll(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove_all(stdfs::path(path), ec);
+  if (ec) {
+    return Status::Internal("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+bool RealFileSystem::Exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(stdfs::path(path), ec);
+}
+
+bool RealFileSystem::IsDirectory(const std::string& path) {
+  std::error_code ec;
+  return stdfs::is_directory(stdfs::path(path), ec);
+}
+
+Result<std::vector<std::string>> RealFileSystem::ListDirectory(
+    const std::string& path) {
+  std::error_code ec;
+  stdfs::directory_iterator it(stdfs::path(path), ec);
+  if (ec) {
+    return Status::NotFound("cannot list '" + path + "': " + ec.message());
+  }
+  std::vector<std::string> names;
+  for (const stdfs::directory_entry& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+RealFileSystem& GetRealFileSystem() {
+  static RealFileSystem* const kInstance = new RealFileSystem();
+  return *kInstance;
+}
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailOp:
+      return "fail_op";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kNoSpace:
+      return "no_space";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+FaultInjectingFileSystem::FaultInjectingFileSystem(FileSystem* base, Rng rng)
+    : base_(base), rng_(rng) {
+  PPDB_CHECK(base != nullptr);
+}
+
+void FaultInjectingFileSystem::SetPlan(FaultPlan plan) {
+  plan_ = plan;
+  ops_seen_ = 0;
+  faults_injected_ = 0;
+  remaining_transient_failures_ = plan.transient_failures;
+  crashed_ = false;
+}
+
+Status FaultInjectingFileSystem::NextOp(const std::string& path,
+                                        bool is_write,
+                                        std::string_view contents) {
+  const int64_t op = ops_seen_++;
+  if (crashed_) {
+    return Status::Internal("filesystem crashed at op " +
+                            std::to_string(plan_.fail_at_op) +
+                            "; op " + std::to_string(op) + " on '" + path +
+                            "' never ran");
+  }
+  if (plan_.fail_at_op < 0 || op < plan_.fail_at_op) return Status::OK();
+
+  switch (plan_.kind) {
+    case FaultKind::kFailOp:
+      // Fails `transient_failures` consecutive ops starting at the target,
+      // so a retry loop either outlasts the fault or gives up cleanly.
+      if (op >= plan_.fail_at_op + plan_.transient_failures) {
+        return Status::OK();
+      }
+      ++faults_injected_;
+      return Status::Unavailable("injected transient fault at op " +
+                                 std::to_string(op) + " on '" + path + "'");
+    case FaultKind::kTornWrite:
+    case FaultKind::kNoSpace:
+    case FaultKind::kCrash: {
+      if (op > plan_.fail_at_op) {
+        // Only kCrash (latched above) outlives its target op.
+        return Status::OK();
+      }
+      ++faults_injected_;
+      if (is_write && !contents.empty()) {
+        // A strict prefix lands durably; the seeded Rng picks how much.
+        size_t torn = static_cast<size_t>(
+            rng_.NextBounded(static_cast<uint64_t>(contents.size())));
+        Status partial = base_->WriteFile(path, contents.substr(0, torn));
+        if (!partial.ok()) return partial;
+      }
+      if (plan_.kind == FaultKind::kCrash) {
+        crashed_ = true;
+        return Status::Internal("injected crash at op " + std::to_string(op) +
+                                " on '" + path + "'");
+      }
+      if (plan_.kind == FaultKind::kNoSpace) {
+        return Status::OutOfRange("injected ENOSPC at op " +
+                                  std::to_string(op) + " on '" + path +
+                                  "': no space left on device");
+      }
+      return Status::Unavailable("injected torn write at op " +
+                                 std::to_string(op) + " on '" + path + "'");
+    }
+  }
+  return Status::Internal("unreachable fault kind");
+}
+
+Status FaultInjectingFileSystem::CreateDirectories(const std::string& path) {
+  PPDB_RETURN_NOT_OK(NextOp(path));
+  return base_->CreateDirectories(path);
+}
+
+Status FaultInjectingFileSystem::WriteFile(const std::string& path,
+                                           std::string_view contents) {
+  PPDB_RETURN_NOT_OK(NextOp(path, /*is_write=*/true, contents));
+  return base_->WriteFile(path, contents);
+}
+
+Result<std::string> FaultInjectingFileSystem::ReadFile(
+    const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  PPDB_RETURN_NOT_OK(NextOp(from));
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileSystem::RemoveAll(const std::string& path) {
+  PPDB_RETURN_NOT_OK(NextOp(path));
+  return base_->RemoveAll(path);
+}
+
+bool FaultInjectingFileSystem::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+bool FaultInjectingFileSystem::IsDirectory(const std::string& path) {
+  return base_->IsDirectory(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingFileSystem::ListDirectory(
+    const std::string& path) {
+  return base_->ListDirectory(path);
+}
+
+}  // namespace ppdb::storage

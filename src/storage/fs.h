@@ -1,0 +1,163 @@
+#ifndef PPDB_STORAGE_FS_H_
+#define PPDB_STORAGE_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace ppdb::storage {
+
+/// The handful of filesystem operations the durability layer is built on.
+///
+/// `SaveDatabase`/`LoadDatabase` go through this interface so that tests can
+/// substitute `FaultInjectingFileSystem` and exercise every crash point of
+/// the commit protocol deterministically. Operations that mutate the disk
+/// (`CreateDirectories`, `WriteFile`, `Rename`, `RemoveAll`) are the fault
+/// injection sites; reads are assumed reliable.
+///
+/// `WriteFile` has write-through semantics: on OK the full contents are on
+/// disk (buffered stream flushed and close-checked). `Rename` is the atomic
+/// primitive the commit protocol relies on — it either fully happens or
+/// fully doesn't, matching POSIX rename(2) within one filesystem.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates `path` and any missing parents. OK when it already exists.
+  virtual Status CreateDirectories(const std::string& path) = 0;
+
+  /// Atomically-ordered full-file write: truncate, write, flush, close.
+  virtual Status WriteFile(const std::string& path,
+                          std::string_view contents) = 0;
+
+  /// Reads the whole file; `kNotFound` when it cannot be opened.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Renames `from` to `to`, replacing `to` if it exists.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Recursively deletes `path`. OK when it does not exist.
+  virtual Status RemoveAll(const std::string& path) = 0;
+
+  /// True iff `path` exists (file or directory).
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// True iff `path` exists and is a directory.
+  virtual bool IsDirectory(const std::string& path) = 0;
+
+  /// Names (not full paths) of the entries of directory `path`, sorted.
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) = 0;
+};
+
+/// Production backend over std::filesystem / std::ofstream.
+class RealFileSystem : public FileSystem {
+ public:
+  Status CreateDirectories(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   std::string_view contents) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveAll(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  bool IsDirectory(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+};
+
+/// Process-wide shared `RealFileSystem` used by the convenience overloads.
+RealFileSystem& GetRealFileSystem();
+
+/// What happens at the targeted fault point.
+///
+/// The kind applies to whatever mutating operation sits at the targeted
+/// index: a `kTornWrite` landing on a `Rename` degenerates to a clean
+/// failure (renames cannot tear), which is exactly the "rename failure"
+/// case of the crash matrix.
+enum class FaultKind {
+  /// The operation fails cleanly with `kUnavailable` (transient; a retry
+  /// after the fault point has passed succeeds). Nothing reaches the disk.
+  kFailOp,
+  /// A `WriteFile` durably writes a seeded-random prefix of the payload,
+  /// then fails with `kUnavailable`.
+  kTornWrite,
+  /// Like `kTornWrite` but fails with `kOutOfRange` carrying ENOSPC text —
+  /// a permanent "disk full" that retrying must not mask.
+  kNoSpace,
+  /// Simulated process death: the operation tears (writes a prefix) and
+  /// every subsequent mutating operation fails with `kInternal`. The disk
+  /// is left exactly as a crash would leave it.
+  kCrash,
+};
+
+/// Returns the canonical name of `kind`, e.g. "torn_write".
+std::string_view FaultKindName(FaultKind kind);
+
+/// One planned fault: fail the `fail_at_op`-th mutating operation (0-based,
+/// counted since the plan was set) in the manner of `kind`.
+struct FaultPlan {
+  /// Index of the mutating op to fault; -1 never faults (counting only).
+  int64_t fail_at_op = -1;
+  FaultKind kind = FaultKind::kFailOp;
+  /// For `kFailOp`: how many times the targeted op fails before it starts
+  /// succeeding again. Lets tests exhaust (or satisfy) bounded retries.
+  int transient_failures = 1;
+};
+
+/// Deterministic fault-injecting wrapper around another `FileSystem`.
+///
+/// Counts mutating operations and fails the one the plan names. Torn-write
+/// prefix lengths are drawn from the seeded `Rng`, so a (plan, seed) pair
+/// reproduces a crash byte-for-byte.
+///
+///   FaultInjectingFileSystem faulty(&real, Rng(seed));
+///   faulty.SetPlan({.fail_at_op = 7, .kind = FaultKind::kCrash});
+///   Status s = SaveDatabase(dir, db, faulty, opts);  // dies at op 7
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  /// Wraps `base` (not owned; must outlive this object).
+  FaultInjectingFileSystem(FileSystem* base, Rng rng);
+
+  /// Installs a plan and resets the op counter and crash latch.
+  void SetPlan(FaultPlan plan);
+
+  /// Mutating operations seen since the last `SetPlan`.
+  int64_t ops_seen() const { return ops_seen_; }
+  /// Faults actually injected since the last `SetPlan`.
+  int64_t faults_injected() const { return faults_injected_; }
+  /// True once a `kCrash` fault has fired; all later mutations fail.
+  bool crashed() const { return crashed_; }
+
+  Status CreateDirectories(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   std::string_view contents) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveAll(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  bool IsDirectory(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+
+ private:
+  /// Returns the fault status for this mutating op, or OK to pass through.
+  /// `is_write` selects torn-write behaviour; `contents`/`path` feed it.
+  Status NextOp(const std::string& path, bool is_write = false,
+                std::string_view contents = {});
+
+  FileSystem* base_;
+  Rng rng_;
+  FaultPlan plan_;
+  int64_t ops_seen_ = 0;
+  int64_t faults_injected_ = 0;
+  int remaining_transient_failures_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace ppdb::storage
+
+#endif  // PPDB_STORAGE_FS_H_

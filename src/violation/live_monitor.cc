@@ -47,6 +47,25 @@ Status LivePopulationMonitor::Refresh(ProviderId provider) {
   return Status::OK();
 }
 
+Status LivePopulationMonitor::CheckpointNow() {
+  if (!hook_.save) {
+    return Status::FailedPrecondition("no checkpoint hook installed");
+  }
+  Status status = hook_.save(config_);
+  last_checkpoint_status_ = status;
+  if (status.ok()) {
+    ++checkpoints_taken_;
+    events_since_checkpoint_ = 0;
+  }
+  return status;
+}
+
+Status LivePopulationMonitor::CountEvent() {
+  if (hook_.every_events <= 0 || !hook_.save) return Status::OK();
+  if (++events_since_checkpoint_ < hook_.every_events) return Status::OK();
+  return CheckpointNow();
+}
+
 Status LivePopulationMonitor::AddProvider(ProviderId provider,
                                           double threshold) {
   if (states_.contains(provider)) {
@@ -55,7 +74,9 @@ Status LivePopulationMonitor::AddProvider(ProviderId provider,
   }
   config_.preferences.ForProvider(provider);  // Creates the empty entry.
   config_.thresholds[provider] = threshold;
-  return Refresh(provider);
+  PPDB_RETURN_NOT_OK(Refresh(provider));
+  (void)CountEvent();  // Checkpoint outcome lands in last_checkpoint_status.
+  return Status::OK();
 }
 
 Status LivePopulationMonitor::RemoveProvider(ProviderId provider) {
@@ -70,6 +91,7 @@ Status LivePopulationMonitor::RemoveProvider(ProviderId provider) {
     PPDB_RETURN_NOT_OK(config_.preferences.Erase(provider));
   }
   config_.thresholds.erase(provider);
+  (void)CountEvent();
   return Status::OK();
 }
 
@@ -78,7 +100,9 @@ Status LivePopulationMonitor::SetPreference(
     const privacy::PrivacyTuple& tuple) {
   PPDB_RETURN_NOT_OK(tuple.ValidateAgainst(config_.scales));
   config_.preferences.ForProvider(provider).Set(attribute, tuple);
-  return Refresh(provider);
+  PPDB_RETURN_NOT_OK(Refresh(provider));
+  (void)CountEvent();
+  return Status::OK();
 }
 
 Status LivePopulationMonitor::RemovePreference(ProviderId provider,
@@ -90,7 +114,9 @@ Status LivePopulationMonitor::RemovePreference(ProviderId provider,
   }
   PPDB_RETURN_NOT_OK(
       config_.preferences.ForProvider(provider).Remove(attribute, purpose));
-  return Refresh(provider);
+  PPDB_RETURN_NOT_OK(Refresh(provider));
+  (void)CountEvent();
+  return Status::OK();
 }
 
 Status LivePopulationMonitor::SetThreshold(ProviderId provider,
@@ -110,6 +136,7 @@ Status LivePopulationMonitor::SetThreshold(ProviderId provider,
     num_defaulted_ += defaulted ? 1 : -1;
     it->second.defaulted = defaulted;
   }
+  (void)CountEvent();
   return Status::OK();
 }
 
@@ -120,6 +147,7 @@ Status LivePopulationMonitor::SetPolicy(privacy::HousePolicy policy) {
     (void)state;
     PPDB_RETURN_NOT_OK(Refresh(provider));
   }
+  (void)CountEvent();
   return Status::OK();
 }
 

@@ -1,8 +1,11 @@
 #ifndef PPDB_VIOLATION_LIVE_MONITOR_H_
 #define PPDB_VIOLATION_LIVE_MONITOR_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string_view>
+#include <utility>
 
 #include "common/result.h"
 #include "privacy/config.h"
@@ -61,6 +64,44 @@ class LivePopulationMonitor {
   /// Replaces the house policy; refreshes every provider.
   Status SetPolicy(privacy::HousePolicy policy);
 
+  // --- durability -------------------------------------------------------
+
+  /// Periodic checkpoint hook. Every `every_events` successful mutating
+  /// events (provider joins/departures, preference/threshold/policy edits)
+  /// the monitor hands its current config to `save` — typically a closure
+  /// over `storage::SaveDatabase`, whose atomic commit protocol makes the
+  /// checkpoint crash-safe. A failed checkpoint is reported (see below)
+  /// but never blocks or rolls back the event that triggered it; the next
+  /// event retries it.
+  struct CheckpointHook {
+    /// Checkpoint cadence in events; 0 disables checkpointing.
+    int64_t every_events = 0;
+    std::function<Status(const privacy::PrivacyConfig&)> save;
+  };
+
+  /// Installs (or, with a default-constructed hook, removes) the hook.
+  /// Resets the event counter.
+  void SetCheckpointHook(CheckpointHook hook) {
+    hook_ = std::move(hook);
+    events_since_checkpoint_ = 0;
+  }
+
+  /// Runs the hook now regardless of cadence. `kFailedPrecondition` when
+  /// no hook is installed; otherwise whatever the hook returns (also
+  /// recorded as `last_checkpoint_status`).
+  Status CheckpointNow();
+
+  /// Successful mutating events since the last successful checkpoint.
+  int64_t events_since_checkpoint() const {
+    return events_since_checkpoint_;
+  }
+  /// Checkpoints that have completed successfully.
+  int64_t checkpoints_taken() const { return checkpoints_taken_; }
+  /// Outcome of the most recent checkpoint attempt (OK before the first).
+  const Status& last_checkpoint_status() const {
+    return last_checkpoint_status_;
+  }
+
   // --- queries (O(1) unless noted) --------------------------------------
 
   int64_t num_providers() const {
@@ -114,12 +155,22 @@ class LivePopulationMonitor {
   void Retract(const State& state);
   void Apply(const State& state);
 
+  /// Counts one successful mutating event and fires the checkpoint hook at
+  /// the configured cadence. Returns the checkpoint status (OK when no
+  /// checkpoint was due).
+  Status CountEvent();
+
   privacy::PrivacyConfig config_;
   ViolationDetector::Options detector_options_;
   std::map<ProviderId, State> states_;
   int64_t num_violated_ = 0;
   int64_t num_defaulted_ = 0;
   double total_severity_ = 0.0;
+
+  CheckpointHook hook_;
+  int64_t events_since_checkpoint_ = 0;
+  int64_t checkpoints_taken_ = 0;
+  Status last_checkpoint_status_;
 };
 
 }  // namespace ppdb::violation

@@ -18,7 +18,9 @@ check() {  # check <description> <expected-substring> <<< output
 }
 
 "$CLI" demo "$DIR/db" | check "demo writes db" "written to"
-test -f "$DIR/db/MANIFEST" || { echo "FAIL: no MANIFEST"; failures=$((failures+1)); }
+test -f "$DIR/db/CURRENT" || { echo "FAIL: no CURRENT"; failures=$((failures+1)); }
+GEN="$(cat "$DIR/db/CURRENT")"
+test -f "$DIR/db/$GEN/MANIFEST" || { echo "FAIL: no MANIFEST in $GEN"; failures=$((failures+1)); }
 
 "$CLI" report "$DIR/db" | check "report P(W)" "P(W)=0.6667"
 "$CLI" report "$DIR/db" | check "report P(Default)" "P(Default)=0.3333"
@@ -55,6 +57,34 @@ EOF
 "$CLI" diff "$DIR/db" "$DIR/narrow.ppdb" | check "diff recovers Ted" "1 recovered"
 
 "$CLI" audit "$DIR/db" | check "audit empty" "(0 events total)"
+
+# Recovery: a clean directory reports clean and exits 0.
+"$CLI" recover "$DIR/db" > "$DIR/recover0.out"
+rc=$?
+check "recover clean" "clean: nothing discarded" < "$DIR/recover0.out"
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: recover of a clean db should exit 0, got $rc"
+  failures=$((failures + 1))
+fi
+# Plant crash leftovers: an uncommitted staging dir from a torn save.
+mkdir -p "$DIR/db/.staging-42/tables"
+echo junk > "$DIR/db/.staging-42/MANIFEST"
+"$CLI" recover "$DIR/db" > "$DIR/recover1.out"
+rc=$?
+check "recover discards staging" ".staging-42" < "$DIR/recover1.out"
+if [ "$rc" -ne 4 ]; then
+  echo "FAIL: recover with leftovers should exit 4, got $rc"
+  failures=$((failures + 1))
+fi
+if [ -d "$DIR/db/.staging-42" ]; then
+  echo "FAIL: recover left the staging dir behind"
+  failures=$((failures + 1))
+fi
+"$CLI" report "$DIR/db" | check "report works after recover" "P(W)=0.6667"
+if "$CLI" recover "$DIR/nonexistent" >/dev/null 2>&1; then
+  echo "FAIL: recover of a missing dir should exit non-zero"
+  failures=$((failures + 1))
+fi
 
 # Enforced read at house visibility (l1): Ted's and Bob's Weight come back
 # clamped to their preferred granularity (l1 -> "*"), Alice suppressed? No:

@@ -1,0 +1,112 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace ppdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+RetryOptions Recorded(std::vector<milliseconds>* waits) {
+  RetryOptions options;
+  options.sleep = [waits](milliseconds wait) { waits->push_back(wait); };
+  return options;
+}
+
+TEST(RetryTest, IsTransientOnlyForUnavailable) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("busy")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::Internal("bug")));
+  EXPECT_FALSE(IsTransient(Status::NotFound("gone")));
+  EXPECT_FALSE(IsTransient(Status::OutOfRange("no space")));
+}
+
+TEST(RetryTest, FirstAttemptSuccessDoesNotSleep) {
+  std::vector<milliseconds> waits;
+  int calls = 0;
+  ASSERT_OK(RetryWithBackoff(Recorded(&waits), "op", [&] {
+    ++calls;
+    return Status::OK();
+  }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(waits.empty());
+}
+
+TEST(RetryTest, RecoversAfterTransientFailures) {
+  std::vector<milliseconds> waits;
+  int calls = 0;
+  ASSERT_OK(RetryWithBackoff(Recorded(&waits), "op", [&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  }));
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(waits.size(), 2u);
+}
+
+TEST(RetryTest, BackoffDoublesUpToCap) {
+  std::vector<milliseconds> waits;
+  RetryOptions options = Recorded(&waits);
+  options.max_attempts = 6;
+  options.initial_backoff = milliseconds(10);
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = milliseconds(35);
+  Status status = RetryWithBackoff(options, "op",
+                                   [] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(status.IsUnavailable());
+  ASSERT_EQ(waits.size(), 5u);
+  EXPECT_EQ(waits[0], milliseconds(10));
+  EXPECT_EQ(waits[1], milliseconds(20));
+  EXPECT_EQ(waits[2], milliseconds(35));  // capped
+  EXPECT_EQ(waits[3], milliseconds(35));
+  EXPECT_EQ(waits[4], milliseconds(35));
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttemptsAndAnnotates) {
+  std::vector<milliseconds> waits;
+  RetryOptions options = Recorded(&waits);
+  options.max_attempts = 3;
+  int calls = 0;
+  Status status = RetryWithBackoff(options, "save ledger", [&] {
+    ++calls;
+    return Status::Unavailable("disk busy");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_NE(status.message().find("save ledger"), std::string::npos);
+  EXPECT_NE(status.message().find("3 attempt(s)"), std::string::npos);
+  EXPECT_NE(status.message().find("disk busy"), std::string::npos);
+}
+
+TEST(RetryTest, DoesNotRetryPermanentErrors) {
+  std::vector<milliseconds> waits;
+  int calls = 0;
+  Status status = RetryWithBackoff(Recorded(&waits), "op", [&] {
+    ++calls;
+    return Status::OutOfRange("no space left on device");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(status.IsOutOfRange());
+  EXPECT_TRUE(waits.empty());
+}
+
+TEST(RetryTest, MaxAttemptsOneDisablesRetrying) {
+  std::vector<milliseconds> waits;
+  RetryOptions options = Recorded(&waits);
+  options.max_attempts = 1;
+  int calls = 0;
+  Status status = RetryWithBackoff(options, "op", [&] {
+    ++calls;
+    return Status::Unavailable("flaky");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_TRUE(waits.empty());
+}
+
+}  // namespace
+}  // namespace ppdb

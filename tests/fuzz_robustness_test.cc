@@ -1,14 +1,21 @@
-// Robustness fuzzing: the text-facing parsers (privacy DSL, SQL, CSV) must
-// never crash or hang on arbitrary input — only return OK or a clean error
-// status. Seeds are fixed; failures are reproducible.
+// Robustness fuzzing: the text-facing parsers (privacy DSL, SQL, CSV) and
+// the database load path must never crash or hang on arbitrary input —
+// only return OK or a clean error status. Seeds are fixed; failures are
+// reproducible.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "common/macros.h"
 #include "common/rng.h"
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
 #include "relational/sql.h"
+#include "storage/database_io.h"
 #include "tests/test_util.h"
 
 namespace ppdb {
@@ -105,6 +112,75 @@ TEST_P(FuzzTest, CsvParserNeverCrashes) {
     (void)rel::ParseCsv(input);
     (void)rel::TableFromCsv("t", schema, input);
   }
+}
+
+// Corrupted database directories: MANIFEST, ledger.csv, audit.csv (and the
+// CURRENT pointer) are byte-fuzzed in place; LoadDatabase must come back
+// with a clean Status every time — an ok load of a luckily-still-valid
+// mutation is also acceptable — and never crash.
+TEST_P(FuzzTest, DatabaseLoadNeverCrashes) {
+  namespace fs = std::filesystem;
+  Rng rng(GetParam() + 1300);
+
+  fs::path dir = fs::temp_directory_path() /
+                 ("ppdb_fuzz_load_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(GetParam()));
+  fs::remove_all(dir);
+
+  storage::Database database;
+  auto config = privacy::ParsePrivacyConfig(R"(
+purpose care
+policy weight for care: visibility=house, granularity=specific, retention=year
+pref 1 weight for care: visibility=house, granularity=partial, retention=year
+attr_sensitivity weight = 4
+threshold 1 = 10
+)");
+  PPDB_CHECK_OK(config.status());
+  database.config = std::move(config).value();
+  rel::Schema schema =
+      rel::Schema::Create({{"weight", rel::DataType::kDouble, ""}}).value();
+  rel::Table* table =
+      database.catalog.CreateTable("patients", schema).value();
+  PPDB_CHECK_OK(table->Insert(1, {rel::Value::Double(81.5)}));
+  database.ledger.RecordIngest("patients", 1, "weight", 5);
+  audit::AuditEvent event;
+  event.timestamp = 9;
+  event.kind = audit::AuditEventKind::kCellSuppressed;
+  event.requester = "fuzzer";
+  event.table = "patients";
+  database.log.Append(std::move(event));
+  PPDB_CHECK_OK(storage::SaveDatabase(dir.string(), database));
+
+  std::string gen;
+  {
+    std::ifstream in(dir / "CURRENT");
+    std::getline(in, gen);
+  }
+  const fs::path targets[] = {dir / gen / "MANIFEST",
+                              dir / gen / "ledger.csv",
+                              dir / gen / "audit.csv", dir / "CURRENT"};
+  std::string originals[std::size(targets)];
+  for (size_t t = 0; t < std::size(targets); ++t) {
+    std::ifstream in(targets[t], std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    originals[t] = std::move(buffer).str();
+  }
+
+  for (int i = 0; i < 150; ++i) {
+    size_t t = rng.NextBounded(std::size(targets));
+    std::string corrupted = rng.NextBool(0.5) ? RandomText(rng, 300)
+                                              : Mutate(originals[t], rng);
+    {
+      std::ofstream out(targets[t], std::ios::binary | std::ios::trunc);
+      out << corrupted;
+    }
+    // Must return (ok or clean error), not crash or hang.
+    (void)storage::LoadDatabase(dir.string());
+    std::ofstream out(targets[t], std::ios::binary | std::ios::trunc);
+    out << originals[t];
+  }
+  fs::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 6));

@@ -1,0 +1,202 @@
+// Crash matrix for the atomic save protocol: a full save is run once to
+// count its mutating filesystem operations (the injection sites), then for
+// every site × every fault kind the save is killed there and the directory
+// re-loaded. The invariant under test is Def. 3's substrate guarantee:
+// LoadDatabase always yields either the complete pre-save or the complete
+// post-save database — field by field — never an error-free hybrid.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "privacy/policy_dsl.h"
+#include "relational/csv.h"
+#include "storage/database_io.h"
+#include "storage/fs.h"
+#include "tests/test_util.h"
+
+namespace ppdb::storage {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+constexpr int kNumTables = 12;
+
+// Builds a database with enough tables that one save crosses well over 20
+// injection sites. `post` derives a second, everywhere-different state:
+// changed rows, one table dropped, one added, extra config/ledger/audit.
+Database MakeDatabase(bool post) {
+  Database db;
+  std::string dsl = R"(
+purpose care
+policy weight for care: visibility=house, granularity=specific, retention=year
+pref 1 weight for care: visibility=house, granularity=partial, retention=year
+attr_sensitivity weight = 4
+threshold 1 = 10
+)";
+  if (post) dsl += "threshold 2 = 25\n";
+  auto config = privacy::ParsePrivacyConfig(dsl);
+  PPDB_CHECK_OK(config.status());
+  db.config = std::move(config).value();
+
+  for (int t = 0; t < kNumTables + (post ? 1 : 0); ++t) {
+    if (post && t == kNumTables - 1) continue;  // dropped in the post state
+    std::string name = "t" + std::to_string(t);
+    rel::Schema schema =
+        rel::Schema::Create({{"a", rel::DataType::kInt64, ""},
+                             {"b", rel::DataType::kString, ""}})
+            .value();
+    int64_t salt = post ? 1000 : 0;
+    if (t % 3 == 2) {
+      rel::Table multi = rel::Table::CreateMultiRecord(name, schema).value();
+      PPDB_CHECK_OK(multi.Insert(
+          1, {rel::Value::Int64(t + salt), rel::Value::String("x")}));
+      PPDB_CHECK_OK(multi.Insert(
+          1, {rel::Value::Int64(2 * t + salt), rel::Value::String("y")}));
+      PPDB_CHECK_OK(db.catalog.AddTable(std::move(multi)).status());
+    } else {
+      rel::Table* table = db.catalog.CreateTable(name, schema).value();
+      PPDB_CHECK_OK(table->Insert(
+          1, {rel::Value::Int64(t + salt), rel::Value::String("one")}));
+      PPDB_CHECK_OK(table->Insert(
+          2, {rel::Value::Null(), rel::Value::String(post ? "new" : "old")}));
+    }
+  }
+
+  db.ledger.RecordIngest("t0", 1, "a", 3);
+  if (post) db.ledger.RecordIngest("t1", 2, "b", 9);
+
+  audit::AuditEvent event;
+  event.timestamp = post ? 20 : 10;
+  event.kind = audit::AuditEventKind::kCellSuppressed;
+  event.requester = post ? "post" : "pre";
+  event.table = "t0";
+  event.provider = 1;
+  event.attribute = "a";
+  event.detail = "crash matrix";
+  db.log.Append(std::move(event));
+  return db;
+}
+
+// Field-by-field comparison via the canonical serializations of every
+// component. Returns a description of the first difference, empty on equal.
+std::string DiffDatabases(const Database& got, const Database& want) {
+  if (got.catalog.TableNames() != want.catalog.TableNames()) {
+    return "table inventory differs";
+  }
+  for (const std::string& name : want.catalog.TableNames()) {
+    const rel::Table* a = got.catalog.GetTable(name).value();
+    const rel::Table* b = want.catalog.GetTable(name).value();
+    if (a->multi_record() != b->multi_record()) {
+      return "table '" + name + "' mode differs";
+    }
+    const auto& attrs_a = a->schema().attributes();
+    const auto& attrs_b = b->schema().attributes();
+    if (attrs_a.size() != attrs_b.size()) {
+      return "table '" + name + "' schema arity differs";
+    }
+    for (size_t i = 0; i < attrs_a.size(); ++i) {
+      if (attrs_a[i].name != attrs_b[i].name ||
+          attrs_a[i].type != attrs_b[i].type) {
+        return "table '" + name + "' schema differs";
+      }
+    }
+    if (rel::TableToCsv(*a) != rel::TableToCsv(*b)) {
+      return "table '" + name + "' rows differ";
+    }
+  }
+  if (privacy::SerializePrivacyConfig(got.config) !=
+      privacy::SerializePrivacyConfig(want.config)) {
+    return "privacy config differs";
+  }
+  if (LedgerToCsv(got.ledger) != LedgerToCsv(want.ledger)) {
+    return "ledger differs";
+  }
+  if (AuditLogToCsv(got.log) != AuditLogToCsv(want.log)) {
+    return "audit log differs";
+  }
+  return "";
+}
+
+class CrashMatrixTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    root_ = stdfs::temp_directory_path() /
+            ("ppdb_crash_matrix_" + std::to_string(::getpid()) + "_seed" +
+             std::to_string(GetParam()));
+    stdfs::remove_all(root_);
+  }
+  void TearDown() override { stdfs::remove_all(root_); }
+
+  stdfs::path root_;
+  RealFileSystem real_;
+};
+
+TEST_P(CrashMatrixTest, LoadYieldsOldOrNewNeverHybrid) {
+  const uint64_t seed = GetParam();
+  const Database pre = MakeDatabase(false);
+  const Database post = MakeDatabase(true);
+  SaveOptions no_retry;
+  no_retry.retry.max_attempts = 1;  // One fault must mean one failed save.
+
+  // Pass 1: count the injection sites of a post-save over a committed
+  // pre-save, without injecting anything.
+  const std::string count_dir = (root_ / "count").string();
+  ASSERT_OK(SaveDatabase(count_dir, pre, real_));
+  FaultInjectingFileSystem counting(&real_, Rng(seed));
+  counting.SetPlan(FaultPlan{});
+  ASSERT_OK(SaveDatabase(count_dir, post, counting, no_retry));
+  const int64_t total_ops = counting.ops_seen();
+  ASSERT_GE(total_ops, 20) << "save shrank below the required fault matrix";
+
+  const FaultKind kinds[] = {FaultKind::kFailOp, FaultKind::kTornWrite,
+                             FaultKind::kNoSpace, FaultKind::kCrash};
+  for (FaultKind kind : kinds) {
+    for (int64_t op = 0; op < total_ops; ++op) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + ", kind " +
+                   std::string(FaultKindName(kind)) + ", fault at op " +
+                   std::to_string(op));
+      const std::string dir =
+          (root_ / (std::string(FaultKindName(kind)) + "_" +
+                    std::to_string(op)))
+              .string();
+      ASSERT_OK(SaveDatabase(dir, pre, real_));
+
+      FaultInjectingFileSystem faulty(&real_, Rng(seed * 1000003 + op));
+      faulty.SetPlan({.fail_at_op = op, .kind = kind});
+      Status saved = SaveDatabase(dir, post, faulty, no_retry);
+
+      RecoveryReport report;
+      Result<Database> loaded = LoadDatabase(dir, real_, &report);
+      ASSERT_OK(loaded.status()) << report.ToString();
+      // The commit point decides which database the directory holds:
+      // a save that reported success must read back as the new state, a
+      // failed save as the old one. Anything else is a torn hybrid.
+      const Database& want = saved.ok() ? post : pre;
+      EXPECT_EQ(DiffDatabases(loaded.value(), want), "")
+          << "save status: " << saved.ToString()
+          << "\nrecovery: " << report.ToString();
+
+      // A later, healthy save must absorb whatever the crash left behind.
+      if (!saved.ok()) {
+        ASSERT_OK(SaveDatabase(dir, post, real_));
+        RecoveryReport clean_report;
+        ASSERT_OK_AND_ASSIGN(Database after,
+                             LoadDatabase(dir, real_, &clean_report));
+        EXPECT_EQ(DiffDatabases(after, post), "");
+        EXPECT_TRUE(clean_report.clean()) << clean_report.ToString();
+      }
+      stdfs::remove_all(dir);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashMatrixTest,
+                         ::testing::Values<uint64_t>(1, 2, 3));
+
+}  // namespace
+}  // namespace ppdb::storage

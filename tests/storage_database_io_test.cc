@@ -5,9 +5,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "common/macros.h"
+#include "common/rng.h"
+#include "common/string_util.h"
 #include "privacy/policy_dsl.h"
+#include "storage/fs.h"
 #include "tests/test_util.h"
 #include "violation/detector.h"
 
@@ -72,6 +76,14 @@ threshold 1 = 10
     event.detail = "demo, with comma";
     database.log.Append(std::move(event));
     return database;
+  }
+
+  /// Directory of the committed generation, resolved via CURRENT.
+  fs::path GenDir() {
+    std::ifstream in(dir_ / "CURRENT");
+    std::string gen;
+    std::getline(in, gen);
+    return dir_ / gen;
   }
 
   fs::path dir_;
@@ -139,23 +151,157 @@ TEST_F(DatabaseIoTest, SaveOverwritesExisting) {
 }
 
 TEST_F(DatabaseIoTest, LoadMissingDirectoryErrors) {
-  EXPECT_TRUE(LoadDatabase((dir_ / "nope").string()).status().IsNotFound());
+  // Regression: a nonexistent directory is kNotFound and the message names
+  // the path, not a generic open/parse failure.
+  const std::string path = (dir_ / "nope").string();
+  Status status = LoadDatabase(path).status();
+  EXPECT_TRUE(status.IsNotFound()) << status;
+  EXPECT_NE(status.message().find(path), std::string::npos) << status;
+}
+
+TEST_F(DatabaseIoTest, SaveWritesGenerationLayout) {
+  ASSERT_OK(SaveDatabase(dir_.string(), MakeDatabase()));
+  EXPECT_TRUE(fs::exists(dir_ / "CURRENT"));
+  EXPECT_TRUE(fs::exists(GenDir() / "MANIFEST"));
+  EXPECT_TRUE(fs::exists(GenDir() / "tables" / "patients.csv"));
+  EXPECT_FALSE(fs::exists(dir_ / "CURRENT.tmp"));
+  // No staging leftovers after a clean save.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().filename().string().substr(0, 9), ".staging-");
+  }
+}
+
+TEST_F(DatabaseIoTest, SaveKeepsPreviousGenerationForRollback) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  fs::path first_gen = GenDir();
+  ASSERT_OK(original.catalog.DropTable("visits"));
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  EXPECT_NE(GenDir(), first_gen);
+  EXPECT_TRUE(fs::exists(first_gen)) << "rollback generation was pruned";
+  // A third save prunes the oldest.
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  EXPECT_FALSE(fs::exists(first_gen));
+}
+
+TEST_F(DatabaseIoTest, LegacyFlatLayoutStillLoads) {
+  ASSERT_OK(SaveDatabase(dir_.string(), MakeDatabase()));
+  // Rebuild the pre-generation layout: the generation's files at top level.
+  fs::path flat = dir_.string() + "_flat";
+  fs::copy(GenDir(), flat, fs::copy_options::recursive);
+  RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      Database loaded,
+      LoadDatabase(flat.string(), GetRealFileSystem(), &report));
+  EXPECT_EQ(report.loaded_generation, "flat");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients", "visits"}));
+  fs::remove_all(flat);
+}
+
+TEST_F(DatabaseIoTest, RecoveryFallsBackWhenCommittedGenerationIsTorn) {
+  Database original = MakeDatabase();
+  ASSERT_OK(SaveDatabase(dir_.string(), original));
+  Database changed = MakeDatabase();
+  ASSERT_OK(changed.catalog.DropTable("visits"));
+  ASSERT_OK(SaveDatabase(dir_.string(), changed));
+  // Disk rot: the committed generation loses its manifest.
+  fs::remove(GenDir() / "MANIFEST");
+  RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      Database loaded,
+      LoadDatabase(dir_.string(), GetRealFileSystem(), &report));
+  EXPECT_TRUE(report.used_fallback);
+  ASSERT_EQ(report.discarded.size(), 1u);
+  EXPECT_NE(report.discarded[0].find("torn"), std::string::npos);
+  // The rollback generation still has both tables.
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients", "visits"}));
+}
+
+TEST_F(DatabaseIoTest, StagingAndUncommittedGenerationsAreDiscarded) {
+  ASSERT_OK(SaveDatabase(dir_.string(), MakeDatabase()));
+  // A crashed later save: complete-looking generation, staging dir, and a
+  // torn CURRENT.tmp, none of them committed.
+  fs::create_directories(dir_ / ".staging-7" / "tables");
+  fs::copy(GenDir(), dir_ / "gen-99", fs::copy_options::recursive);
+  { std::ofstream out(dir_ / "CURRENT.tmp"); out << "gen-9"; }
+  RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      Database loaded,
+      LoadDatabase(dir_.string(), GetRealFileSystem(), &report));
+  EXPECT_FALSE(report.used_fallback);
+  EXPECT_EQ(report.loaded_generation, GenDir().filename().string());
+  std::string joined = report.ToString();
+  EXPECT_NE(joined.find(".staging-7"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("gen-99"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("CURRENT.tmp"), std::string::npos) << joined;
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients", "visits"}));
+}
+
+TEST_F(DatabaseIoTest, CorruptCurrentFallsBackToNewestLoadable) {
+  ASSERT_OK(SaveDatabase(dir_.string(), MakeDatabase()));
+  { std::ofstream out(dir_ / "CURRENT", std::ios::trunc); out << "gibberish"; }
+  RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      Database loaded,
+      LoadDatabase(dir_.string(), GetRealFileSystem(), &report));
+  EXPECT_FALSE(report.clean());
+  ASSERT_FALSE(report.discarded.empty());
+  EXPECT_NE(report.discarded[0].find("CURRENT"), std::string::npos);
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients", "visits"}));
+}
+
+TEST_F(DatabaseIoTest, SaveRetriesTransientFaults) {
+  FaultInjectingFileSystem faulty(&GetRealFileSystem(), Rng(11));
+  // Two consecutive transient failures on an early staging write; the
+  // default bounded retry outlasts them.
+  faulty.SetPlan({.fail_at_op = 3, .kind = FaultKind::kFailOp,
+                  .transient_failures = 2});
+  ASSERT_OK(SaveDatabase(dir_.string(), MakeDatabase(), faulty));
+  EXPECT_EQ(faulty.faults_injected(), 2);
+  ASSERT_OK_AND_ASSIGN(Database loaded, LoadDatabase(dir_.string()));
+  EXPECT_EQ(loaded.catalog.TableNames(),
+            (std::vector<std::string>{"patients", "visits"}));
+}
+
+TEST_F(DatabaseIoTest, SaveGivesUpWhenTransientFaultPersists) {
+  FaultInjectingFileSystem faulty(&GetRealFileSystem(), Rng(11));
+  faulty.SetPlan({.fail_at_op = 3, .kind = FaultKind::kFailOp,
+                  .transient_failures = 100});
+  Status status = SaveDatabase(dir_.string(), MakeDatabase(), faulty);
+  EXPECT_TRUE(status.IsUnavailable()) << status;
+  EXPECT_NE(status.message().find("attempt"), std::string::npos);
+}
+
+TEST_F(DatabaseIoTest, SaveDoesNotRetryEnospc) {
+  FaultInjectingFileSystem faulty(&GetRealFileSystem(), Rng(11));
+  faulty.SetPlan({.fail_at_op = 4, .kind = FaultKind::kNoSpace});
+  Status status = SaveDatabase(dir_.string(), MakeDatabase(), faulty);
+  EXPECT_TRUE(status.IsOutOfRange()) << status;
+  EXPECT_EQ(faulty.faults_injected(), 1);  // no retry burned on a full disk
+  EXPECT_NE(status.message().find("no space left on device"),
+            std::string::npos);
 }
 
 TEST_F(DatabaseIoTest, LoadRejectsCorruptManifest) {
   Database original = MakeDatabase();
   ASSERT_OK(SaveDatabase(dir_.string(), original));
   {
-    std::ofstream out(dir_ / "MANIFEST", std::ios::trunc);
+    std::ofstream out(GenDir() / "MANIFEST", std::ios::trunc);
     out << "not a manifest\n";
   }
+  // The only generation is torn and there is nothing to fall back to.
   EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsParseError());
 }
 
 TEST_F(DatabaseIoTest, LoadDetectsMissingTableFile) {
   Database original = MakeDatabase();
   ASSERT_OK(SaveDatabase(dir_.string(), original));
-  fs::remove(dir_ / "tables" / "patients.csv");
+  fs::remove(GenDir() / "tables" / "patients.csv");
   EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsNotFound());
 }
 
@@ -163,7 +309,7 @@ TEST_F(DatabaseIoTest, LoadRejectsCorruptTableCell) {
   Database original = MakeDatabase();
   ASSERT_OK(SaveDatabase(dir_.string(), original));
   {
-    std::ofstream out(dir_ / "tables" / "patients.csv", std::ios::trunc);
+    std::ofstream out(GenDir() / "tables" / "patients.csv", std::ios::trunc);
     out << "provider_id,weight,note\n1,not_a_double,x\n";
   }
   EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsParseError());

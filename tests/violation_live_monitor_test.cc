@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
 #include "common/macros.h"
 #include "common/rng.h"
+#include "privacy/policy_dsl.h"
+#include "storage/database_io.h"
+#include "storage/fs.h"
 #include "tests/test_util.h"
 
 namespace ppdb::violation {
@@ -202,6 +209,98 @@ TEST_P(LiveMonitorFuzzTest, EquivalentToBatchAfterRandomEvents) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LiveMonitorFuzzTest,
                          ::testing::Range<uint64_t>(0, 8));
+
+// --- periodic checkpointing through the durable storage API -------------
+
+class LiveMonitorCheckpointTest : public LiveMonitorTest {
+ protected:
+  void SetUp() override {
+    LiveMonitorTest::SetUp();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ppdb_monitor_ckpt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// A hook that checkpoints the monitored config with the atomic save.
+  LivePopulationMonitor::CheckpointHook SaveHook(int64_t every,
+                                                 storage::FileSystem* fs) {
+    LivePopulationMonitor::CheckpointHook hook;
+    hook.every_events = every;
+    hook.save = [this, fs](const privacy::PrivacyConfig& config) {
+      storage::Database snapshot;
+      snapshot.config = config;
+      return storage::SaveDatabase(dir_.string(), snapshot, *fs);
+    };
+    return hook;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LiveMonitorCheckpointTest, FiresAtCadenceAndPersistsConfig) {
+  ASSERT_OK_AND_ASSIGN(LivePopulationMonitor monitor,
+                       LivePopulationMonitor::Create(config_));
+  monitor.SetCheckpointHook(SaveHook(2, &storage::GetRealFileSystem()));
+
+  ASSERT_OK(monitor.AddProvider(50, 5.0));  // event 1: no checkpoint yet
+  EXPECT_EQ(monitor.checkpoints_taken(), 0);
+  EXPECT_EQ(monitor.events_since_checkpoint(), 1);
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+
+  ASSERT_OK(monitor.SetThreshold(50, 9.0));  // event 2: checkpoint fires
+  EXPECT_EQ(monitor.checkpoints_taken(), 1);
+  EXPECT_EQ(monitor.events_since_checkpoint(), 0);
+  EXPECT_OK(monitor.last_checkpoint_status());
+
+  // The checkpoint is a loadable database holding the live config.
+  ASSERT_OK_AND_ASSIGN(storage::Database loaded,
+                       storage::LoadDatabase(dir_.string()));
+  EXPECT_EQ(privacy::SerializePrivacyConfig(loaded.config),
+            privacy::SerializePrivacyConfig(monitor.config()));
+  EXPECT_DOUBLE_EQ(loaded.config.ThresholdFor(50), 9.0);
+}
+
+TEST_F(LiveMonitorCheckpointTest, FailedCheckpointIsReportedAndRetried) {
+  ASSERT_OK_AND_ASSIGN(LivePopulationMonitor monitor,
+                       LivePopulationMonitor::Create(config_));
+  storage::FaultInjectingFileSystem faulty(&storage::GetRealFileSystem(),
+                                           Rng(3));
+  // Enough consecutive transient failures to defeat the save's bounded
+  // retry once, after which the disk "heals".
+  faulty.SetPlan({.fail_at_op = 0, .kind = storage::FaultKind::kFailOp,
+                  .transient_failures = 6});
+  monitor.SetCheckpointHook(SaveHook(1, &faulty));
+
+  // The event itself succeeds even though its checkpoint failed.
+  ASSERT_OK(monitor.AddProvider(60, 2.0));
+  EXPECT_TRUE(monitor.last_checkpoint_status().IsUnavailable())
+      << monitor.last_checkpoint_status();
+  EXPECT_EQ(monitor.checkpoints_taken(), 0);
+  EXPECT_EQ(monitor.events_since_checkpoint(), 1);
+
+  // The next event retries the checkpoint and succeeds.
+  ASSERT_OK(monitor.SetThreshold(60, 4.0));
+  EXPECT_OK(monitor.last_checkpoint_status());
+  EXPECT_EQ(monitor.checkpoints_taken(), 1);
+  EXPECT_EQ(monitor.events_since_checkpoint(), 0);
+  EXPECT_OK(storage::LoadDatabase(dir_.string()).status());
+}
+
+TEST_F(LiveMonitorCheckpointTest, CheckpointNowAndMissingHook) {
+  ASSERT_OK_AND_ASSIGN(LivePopulationMonitor monitor,
+                       LivePopulationMonitor::Create(config_));
+  EXPECT_TRUE(monitor.CheckpointNow().IsFailedPrecondition());
+
+  monitor.SetCheckpointHook(SaveHook(1000, &storage::GetRealFileSystem()));
+  ASSERT_OK(monitor.AddProvider(70, 1.0));
+  EXPECT_EQ(monitor.checkpoints_taken(), 0);  // cadence not reached
+  ASSERT_OK(monitor.CheckpointNow());         // forced
+  EXPECT_EQ(monitor.checkpoints_taken(), 1);
+  EXPECT_EQ(monitor.events_since_checkpoint(), 0);
+  EXPECT_OK(storage::LoadDatabase(dir_.string()).status());
+}
 
 }  // namespace
 }  // namespace ppdb::violation

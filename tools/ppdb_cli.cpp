@@ -11,6 +11,11 @@
 //   ppdb_cli audit <dir> [n]              tail of the audit log
 //   ppdb_cli enforce <dir> <purpose> <visibility> <table> <attrs>
 //                                         preference-enforced read
+//   ppdb_cli recover <dir>                load, report crash leftovers, and
+//                                         re-commit a clean generation
+//
+// Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed;
+// 4 recovery succeeded but crash leftovers were discarded.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -48,8 +53,42 @@ int Usage() {
                "  ppdb_cli diff <dir> <policy.ppdb>\n"
                "  ppdb_cli audit <dir> [n]\n"
                "  ppdb_cli enforce <dir> <purpose> <visibility> <table> "
-               "<attr[,attr...]>\n");
+               "<attr[,attr...]>\n"
+               "  ppdb_cli recover <dir>\n");
   return 2;
+}
+
+// Loads `dir`, warning on stderr when crash leftovers had to be skipped so
+// no command silently works off a recovered state.
+Result<storage::Database> LoadWithWarnings(const std::string& dir) {
+  storage::RecoveryReport report;
+  Result<storage::Database> database =
+      storage::LoadDatabase(dir, storage::GetRealFileSystem(), &report);
+  if (database.ok() && !report.clean()) {
+    std::fprintf(stderr, "warning: '%s' needed recovery\n%s", dir.c_str(),
+                 report.ToString().c_str());
+  }
+  return database;
+}
+
+// recover <dir>: loads whatever committed state survives, prints the
+// recovery report, and re-saves so the directory is a single clean
+// committed generation again. Exit 0 when already clean, 4 when crash
+// leftovers were discarded, 1 when nothing loadable remains.
+int RunRecover(const std::string& dir) {
+  storage::RecoveryReport report;
+  Result<storage::Database> database =
+      storage::LoadDatabase(dir, storage::GetRealFileSystem(), &report);
+  if (!database.ok()) return Fail(database.status());
+  std::fputs(report.ToString().c_str(), stdout);
+  if (report.clean()) return 0;
+  // Re-commit: the atomic save both establishes a fresh generation and
+  // prunes the stragglers the report named.
+  Status saved = storage::SaveDatabase(dir, database.value());
+  if (!saved.ok()) return Fail(saved);
+  std::printf("re-committed '%s' from %s\n", dir.c_str(),
+              report.loaded_generation.c_str());
+  return 4;
 }
 
 Result<std::string> ReadTextFile(const std::string& path) {
@@ -252,8 +291,9 @@ int main(int argc, char** argv) {
   const std::string dir = argv[2];
 
   if (command == "demo" && argc == 3) return RunDemo(dir);
+  if (command == "recover" && argc == 3) return RunRecover(dir);
 
-  Result<storage::Database> database = storage::LoadDatabase(dir);
+  Result<storage::Database> database = LoadWithWarnings(dir);
   if (!database.ok()) return Fail(database.status());
 
   if (command == "sql" && argc == 4) {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds ppdb with AddressSanitizer + UndefinedBehaviorSanitizer and runs
+# the robustness-relevant tests — the storage crash matrix (every injected
+# fault point of an atomic save), database IO / recovery, the
+# fault-injecting filesystem, the retry helper, and the parser fuzzers —
+# so the durability layer stays memory- and UB-clean. Usage:
+#
+#   tools/run_sanitizers.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan
