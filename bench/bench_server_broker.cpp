@@ -1,0 +1,176 @@
+// Broker saturation benchmark: sweeps offered load against a RequestBroker
+// fronting a DatabaseService and reports admission latency percentiles and
+// the shed rate at each level, as JSON. This is the overload story in
+// numbers: below saturation the p99 stays flat and nothing is shed; past
+// it, the bounded queue sheds the excess instead of letting latency grow
+// without bound.
+//
+// Usage: bench_server_broker [output.json]
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "privacy/config.h"
+#include "server/broker.h"
+#include "server/request.h"
+#include "server/service.h"
+#include "storage/database_io.h"
+#include "storage/fs.h"
+
+namespace ppdb {
+namespace {
+
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+constexpr int kProviders = 3000;
+constexpr int kRequestsPerLevel = 400;
+constexpr double kAnalyzeFraction = 0.25;  // heavy O(N*|HP|) scans in the mix
+
+privacy::PrivacyConfig MakeConfig() {
+  privacy::PrivacyConfig config;
+  privacy::PurposeId purpose = config.purposes.Register("bench").value();
+  PPDB_CHECK_OK(
+      config.policy.Add("weight", privacy::PrivacyTuple{purpose, 2, 2, 2}));
+  for (int64_t i = 1; i <= kProviders; ++i) {
+    int level = static_cast<int>(i % 4);
+    config.preferences.ForProvider(i).Set(
+        "weight", privacy::PrivacyTuple{purpose, level, level, level});
+    config.thresholds[i] = 3.0;
+  }
+  return config;
+}
+
+struct LevelResult {
+  double offered_rps = 0.0;
+  int requests = 0;
+  int shed = 0;
+  double shed_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<microseconds>& latencies, double q) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(latencies.size() - 1));
+  return static_cast<double>(latencies[index].count()) / 1000.0;
+}
+
+LevelResult RunLevel(server::DatabaseService& service, double offered_rps) {
+  server::RequestBroker::Options options;
+  options.num_workers = 2;
+  options.queue_capacity = 32;
+  server::RequestBroker broker(options);
+
+  server::Request query = server::ParseRequest("query pw").value();
+  server::Request analyze = server::ParseRequest("analyze").value();
+
+  std::mutex mu;
+  std::vector<microseconds> latencies;
+  latencies.reserve(kRequestsPerLevel);
+
+  LevelResult result;
+  result.offered_rps = offered_rps;
+  result.requests = kRequestsPerLevel;
+
+  const auto interarrival = std::chrono::duration_cast<steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_rps));
+  auto next_arrival = steady_clock::now();
+  for (int i = 0; i < kRequestsPerLevel; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += interarrival;
+    const bool heavy =
+        static_cast<double>(i % 100) < kAnalyzeFraction * 100.0;
+    const server::Request& request = heavy ? analyze : query;
+    const auto submitted = steady_clock::now();
+    Status admitted = broker.Submit(
+        heavy ? server::Lane::kNormal : server::Lane::kPriority,
+        [&service, &request](const Deadline& deadline) {
+          return service.Execute(request, deadline);
+        },
+        [&mu, &latencies, submitted](const server::Response&) {
+          auto latency =
+              duration_cast<microseconds>(steady_clock::now() - submitted);
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.push_back(latency);
+        });
+    if (!admitted.ok()) ++result.shed;
+  }
+  broker.Drain();
+
+  result.shed_rate =
+      static_cast<double>(result.shed) / static_cast<double>(result.requests);
+  result.p50_ms = PercentileMs(latencies, 0.50);
+  result.p99_ms = PercentileMs(latencies, 0.99);
+  return result;
+}
+
+int Run(const std::string& output_path) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("ppdb_bench_broker_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  storage::Database database;
+  database.config = MakeConfig();
+  PPDB_CHECK_OK(storage::SaveDatabase(dir.string(), database));
+
+  server::DatabaseService::Options options;
+  options.checkpoint_every_events = 1 << 30;  // keep the disk out of the loop
+  options.num_threads = 1;
+  auto service = server::DatabaseService::Create(
+      dir.string(), &storage::GetRealFileSystem(), options);
+  PPDB_CHECK_OK(service.status());
+
+  const double levels[] = {500.0, 2000.0, 8000.0, 32000.0};
+  std::vector<LevelResult> results;
+  for (double rps : levels) {
+    results.push_back(RunLevel(*service.value(), rps));
+    std::fprintf(stderr,
+                 "offered=%.0f rps: shed_rate=%.3f p50=%.3fms p99=%.3fms\n",
+                 rps, results.back().shed_rate, results.back().p50_ms,
+                 results.back().p99_ms);
+  }
+  fs::remove_all(dir);
+
+  std::ofstream out(output_path);
+  out << "{\n  \"benchmark\": \"server_broker_saturation\",\n"
+      << "  \"providers\": " << kProviders << ",\n"
+      << "  \"requests_per_level\": " << kRequestsPerLevel << ",\n"
+      << "  \"sweep\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LevelResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"offered_rps\": %.0f, \"requests\": %d, "
+                  "\"shed\": %d, \"shed_rate\": %.4f, "
+                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                  r.offered_rps, r.requests, r.shed, r.shed_rate, r.p50_ms,
+                  r.p99_ms, i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::fprintf(stderr, "error: failed to write %s\n", output_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", output_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppdb
+
+int main(int argc, char** argv) {
+  std::string output = argc > 1 ? argv[1] : "BENCH_server_broker.json";
+  return ppdb::Run(output);
+}

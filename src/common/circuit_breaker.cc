@@ -1,0 +1,111 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/retry.h"
+
+namespace ppdb {
+
+CircuitBreaker::CircuitBreaker(Options options)
+    : options_(std::move(options)) {
+  options_.failure_threshold = std::max(1, options_.failure_threshold);
+}
+
+std::chrono::steady_clock::time_point CircuitBreaker::Now() const {
+  return options_.clock ? options_.clock()
+                        : std::chrono::steady_clock::now();
+}
+
+void CircuitBreaker::MaybeHalfOpen() {
+  if (state_ == State::kOpen && Now() - opened_at_ >= options_.open_duration) {
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+  }
+}
+
+Status CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeHalfOpen();
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return Status::OK();
+      }
+      ++rejected_;
+      return Status::Unavailable(
+          "circuit half-open: probe already in flight, retry_after_ms=" +
+          std::to_string(options_.open_duration.count()));
+    case State::kOpen: {
+      ++rejected_;
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          options_.open_duration - (Now() - opened_at_));
+      if (remaining.count() < 0) remaining = std::chrono::milliseconds(0);
+      return Status::Unavailable("circuit open: storage backend failing, "
+                                 "retry_after_ms=" +
+                                 std::to_string(remaining.count()));
+    }
+  }
+  return Status::Internal("unreachable circuit breaker state");
+}
+
+void CircuitBreaker::Record(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  if (status.ok()) {
+    consecutive_failures_ = 0;
+    state_ = State::kClosed;
+    return;
+  }
+  if (!IsTransient(status)) return;
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = State::kOpen;
+    opened_at_ = Now();
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Report the lapse into half-open without mutating: the transition
+  // itself happens on the next Allow().
+  if (state_ == State::kOpen && Now() - opened_at_ >= options_.open_duration) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+std::string_view CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+int64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+int64_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace ppdb

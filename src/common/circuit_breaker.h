@@ -1,0 +1,101 @@
+#ifndef PPDB_COMMON_CIRCUIT_BREAKER_H_
+#define PPDB_COMMON_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ppdb {
+
+/// A circuit breaker guarding a fallible dependency (in ppdb: the storage
+/// backend behind `SaveDatabase` / live-monitor checkpoints).
+///
+/// State machine:
+///
+///   closed ── N consecutive transient failures ──▶ open
+///   open ── `open_duration` elapsed ──▶ half-open (one probe allowed)
+///   half-open ── probe succeeds ──▶ closed
+///   half-open ── probe fails ──▶ open (timer restarts)
+///
+/// While open, `Allow()` fails fast with `kUnavailable` (carrying a
+/// retry-after hint) instead of letting every request queue up behind a
+/// dependency that is known to be down; the serving layer degrades to
+/// read-only. Only *transient* failures (see `IsTransient` in
+/// common/retry.h) move the machine — a permanent error (parse error,
+/// ENOSPC) is the caller's bug or operator's problem, not a signal that
+/// backing off will help.
+///
+/// Thread-safe. The clock is injectable so tests can step time instead of
+/// sleeping.
+///
+/// Usage:
+///
+///   PPDB_RETURN_NOT_OK(breaker.Allow());
+///   Status s = SaveDatabase(...);
+///   breaker.Record(s);
+///   return s;
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive transient failures that trip the breaker. Clamped >= 1.
+    int failure_threshold = 3;
+    /// How long the breaker stays open before admitting a half-open probe.
+    std::chrono::milliseconds open_duration{1000};
+    /// Replacement clock for tests; nullptr uses steady_clock::now.
+    std::function<std::chrono::steady_clock::time_point()> clock;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options options);
+
+  /// OK when a call may proceed: the breaker is closed, or it is half-open
+  /// and this caller claimed the single probe slot. `kUnavailable` (with a
+  /// `retry_after_ms=` hint in the message) when open or when a probe is
+  /// already in flight. A caller that was admitted MUST call `Record` with
+  /// the call's outcome, or the probe slot leaks.
+  Status Allow();
+
+  /// Feeds the machine the outcome of an admitted call: OK closes a
+  /// half-open breaker and resets the failure streak; a transient error
+  /// extends the streak (tripping at the threshold) or re-opens a
+  /// half-open breaker; any other error only releases the probe slot.
+  void Record(const Status& status);
+
+  State state() const;
+
+  /// Canonical lower-case name of `state`, e.g. "half_open".
+  static std::string_view StateName(State state);
+
+  // --- counters (monotonic since construction) -------------------------
+
+  /// Transitions into open.
+  int64_t trips() const;
+  /// `Allow` calls rejected while open / probing.
+  int64_t rejected() const;
+  /// Current consecutive transient-failure streak.
+  int64_t consecutive_failures() const;
+
+ private:
+  std::chrono::steady_clock::time_point Now() const;
+  /// Moves open -> half-open when the open window has elapsed.
+  void MaybeHalfOpen();
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::chrono::steady_clock::time_point opened_at_{};
+  bool probe_in_flight_ = false;
+  int64_t consecutive_failures_ = 0;
+  int64_t trips_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_CIRCUIT_BREAKER_H_

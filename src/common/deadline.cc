@@ -1,0 +1,36 @@
+#include "common/deadline.h"
+
+namespace ppdb {
+
+Deadline Deadline::Cancellable() {
+  return Deadline(std::make_shared<State>());
+}
+
+Deadline Deadline::After(Clock::duration budget) {
+  return At(Clock::now() + budget);
+}
+
+Deadline Deadline::At(Clock::time_point at) {
+  auto state = std::make_shared<State>();
+  state->has_time = true;
+  state->at = at;
+  return Deadline(std::move(state));
+}
+
+void Deadline::Cancel() const {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+Deadline::Clock::duration Deadline::Remaining() const {
+  if (state_ == nullptr) return Clock::duration::max();
+  if (state_->cancelled.load(std::memory_order_relaxed)) {
+    return Clock::duration::zero();
+  }
+  if (!state_->has_time) return Clock::duration::max();
+  Clock::duration left = state_->at - Clock::now();
+  return left < Clock::duration::zero() ? Clock::duration::zero() : left;
+}
+
+}  // namespace ppdb

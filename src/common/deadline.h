@@ -1,0 +1,89 @@
+#ifndef PPDB_COMMON_DEADLINE_H_
+#define PPDB_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ppdb {
+
+/// A shareable deadline / cancellation token, checked cooperatively.
+///
+/// Long-running engine loops (`ViolationDetector::Analyze`, what-if sweeps,
+/// policy search) accept a `Deadline` and poll it at coarse checkpoints —
+/// once per shard chunk, never per element — so a request that has run out
+/// of budget stops hogging worker threads within one chunk instead of
+/// running to completion. A `Deadline` expires either because its wall-clock
+/// budget elapsed or because someone called `Cancel()` (the request broker
+/// cancels outstanding tokens when a drain deadline passes).
+///
+/// Copies share state: cancelling one copy expires all of them, which is
+/// how a broker-side timeout reaches a loop deep inside the engine. The
+/// default-constructed token is infinite and allocation-free, so plumbing a
+/// `Deadline` through options structs costs nothing for callers that never
+/// set one.
+///
+/// Usage:
+///
+///   Deadline deadline = Deadline::After(std::chrono::milliseconds(50));
+///   for (...) {
+///     if (deadline.Expired()) return Status::DeadlineExceeded(...);
+///     ...
+///   }
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// An infinite deadline: never expires, `Cancel()` is a no-op.
+  Deadline() = default;
+
+  /// Never expires on its own but can be cancelled — the broker uses this
+  /// for requests with no explicit budget so drain can still stop them.
+  static Deadline Cancellable();
+
+  /// Expires `budget` from now. A non-positive budget is already expired.
+  static Deadline After(Clock::duration budget);
+
+  /// Expires at `at`.
+  static Deadline At(Clock::time_point at);
+
+  /// Marks the token expired immediately. No-op on the infinite token.
+  void Cancel() const;
+
+  /// True iff cancelled or past the time budget.
+  bool Expired() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    return state_->has_time && Clock::now() >= state_->at;
+  }
+
+  /// OK, or `kDeadlineExceeded` mentioning `what` when expired.
+  Status Check(std::string_view what) const {
+    if (!Expired()) return Status::OK();
+    return Status::DeadlineExceeded(std::string(what) +
+                                    ": deadline expired before completion");
+  }
+
+  /// Remaining budget; Clock::duration::max() for the infinite token and
+  /// zero once expired.
+  Clock::duration Remaining() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_time = false;
+    Clock::time_point at{};
+  };
+  explicit Deadline(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  // nullptr = infinite; keeps the no-deadline path allocation-free.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ppdb
+
+#endif  // PPDB_COMMON_DEADLINE_H_

@@ -1,29 +1,64 @@
 #include "common/retry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <thread>
 
+#include "common/rng.h"
+
 namespace ppdb {
+
+namespace {
+
+/// Double-to-milliseconds with saturation: values at or beyond `cap` (or
+/// beyond what int64 can hold — doubles near 2^63 round up past the max)
+/// return `cap` exactly, so the conversion itself can never overflow.
+std::chrono::milliseconds SaturatingMs(double value,
+                                       std::chrono::milliseconds cap) {
+  if (!(value > 0.0)) return std::chrono::milliseconds(0);
+  if (value >= 9.0e18 || value >= static_cast<double>(cap.count())) {
+    return cap;
+  }
+  return std::chrono::milliseconds(static_cast<int64_t>(value));
+}
+
+}  // namespace
 
 bool IsTransient(const Status& status) { return status.IsUnavailable(); }
 
 Status RetryWithBackoff(const RetryOptions& options, std::string_view what,
                         const std::function<Status()>& op) {
   const int attempts = std::max(1, options.max_attempts);
+  const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  uint64_t seed = options.jitter_seed;
+  if (jitter > 0.0 && seed == 0) {
+    seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+  Rng rng(seed);
+
   std::chrono::milliseconds wait = options.initial_backoff;
   Status last;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     last = op();
     if (last.ok() || !IsTransient(last)) return last;
     if (attempt == attempts) break;
-    if (options.sleep) {
-      options.sleep(wait);
-    } else {
-      std::this_thread::sleep_for(wait);
+    std::chrono::milliseconds to_sleep = wait;
+    if (jitter > 0.0) {
+      to_sleep = SaturatingMs(
+          static_cast<double>(wait.count()) * (1.0 - jitter * rng.NextDouble()),
+          wait);
     }
-    auto next = std::chrono::milliseconds(static_cast<int64_t>(
-        static_cast<double>(wait.count()) * options.backoff_multiplier));
+    if (options.sleep) {
+      options.sleep(to_sleep);
+    } else {
+      std::this_thread::sleep_for(to_sleep);
+    }
+    const std::chrono::milliseconds next =
+        SaturatingMs(static_cast<double>(wait.count()) *
+                         options.backoff_multiplier,
+                     options.max_backoff);
     wait = std::min(std::max(next, wait), options.max_backoff);
   }
   return Status(last.code(), std::string(what) + " failed after " +

@@ -23,8 +23,21 @@ struct RetryOptions {
   std::chrono::milliseconds initial_backoff{1};
   /// Each subsequent wait is the previous one times this factor.
   double backoff_multiplier = 2.0;
-  /// Upper bound on any single wait.
+  /// Upper bound on any single wait. The exponential growth is computed in
+  /// floating point and clamped here *before* conversion back to integer
+  /// milliseconds, so extreme (attempts, multiplier) combinations can never
+  /// overflow — the wait saturates at this cap instead.
   std::chrono::milliseconds max_backoff{50};
+  /// Fraction of each wait randomly shaved off, in [0, 1] (clamped); 0
+  /// disables jitter. With jitter j the actual sleep is uniform in
+  /// [wait·(1−j), wait]. De-synchronizes the retry stampede that results
+  /// when many callers hit the same fault at the same moment and would
+  /// otherwise all retry in lockstep. Only the slept duration is jittered;
+  /// the underlying exponential schedule stays deterministic.
+  double jitter = 0.0;
+  /// Seed for the jitter stream — fixed seeds make jittered schedules
+  /// reproducible in tests. 0 derives a per-call seed from the clock.
+  uint64_t jitter_seed = 0;
   /// Replacement for the real sleep; nullptr sleeps the calling thread.
   std::function<void(std::chrono::milliseconds)> sleep;
 };

@@ -35,6 +35,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "not_implemented";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

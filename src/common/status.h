@@ -37,6 +37,9 @@ enum class StatusCode {
   /// A transient failure (I/O contention, injected fault, busy resource);
   /// the operation may succeed if retried. See common/retry.h.
   kUnavailable,
+  /// The request's deadline expired (or it was cancelled) before the
+  /// operation finished. See common/deadline.h.
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lower-case name of `code`, e.g. "invalid_argument".
@@ -104,6 +107,9 @@ class Status {
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
   }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -129,6 +135,9 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// Returns "OK" or "<code>: <message>".
   std::string ToString() const;

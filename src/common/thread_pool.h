@@ -62,6 +62,13 @@ class ThreadPool {
   /// count: 0 -> hardware concurrency, anything else clamped to >= 1.
   static int ResolveThreadCount(int requested);
 
+  /// Hands `task` to the pool for asynchronous execution on some worker.
+  /// Tasks run in FIFO submission order relative to each other but
+  /// interleave with shards from `ParallelRange`. A long-running task
+  /// (e.g. a broker worker loop) simply occupies one worker until it
+  /// returns; the destructor still drains every submitted task.
+  void Submit(std::function<void()> task) { Enqueue(std::move(task)); }
+
   /// Number of shards `ParallelRange` splits [begin, end) into at `grain`.
   static int64_t NumShards(int64_t begin, int64_t end, int64_t grain) {
     if (end <= begin) return 0;

@@ -1,0 +1,173 @@
+#include "server/broker.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ppdb::server {
+
+namespace {
+
+/// retry_after_ms hint for shed requests: half the default deadline if one
+/// is configured, else a flat 50ms — enough for a couple of queued census
+/// shards to retire.
+int64_t RetryAfterHintMs(const RequestBroker::Options& options) {
+  if (options.default_deadline.count() > 0) {
+    return std::max<int64_t>(1, options.default_deadline.count() / 2);
+  }
+  return 50;
+}
+
+}  // namespace
+
+std::string RequestBroker::StatsSnapshot::ToPayload() const {
+  std::string out;
+  out += "submitted=" + std::to_string(submitted);
+  out += " admitted=" + std::to_string(admitted);
+  out += " shed=" + std::to_string(shed);
+  out += " completed=" + std::to_string(completed);
+  out += " deadline_exceeded=" + std::to_string(deadline_exceeded);
+  out += " queue_depth=" + std::to_string(queue_depth);
+  out += " priority_depth=" + std::to_string(priority_depth);
+  out += " in_flight=" + std::to_string(in_flight);
+  out += " workers=" + std::to_string(num_workers);
+  out += draining ? " draining=1" : " draining=0";
+  return out;
+}
+
+RequestBroker::RequestBroker(Options options) : options_(options) {
+  options_.num_workers = std::max(options_.num_workers, 1);
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  options_.priority_capacity = std::max<size_t>(options_.priority_capacity, 1);
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+RequestBroker::~RequestBroker() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  pool_.reset();  // joins the worker loops
+}
+
+Status RequestBroker::Submit(Lane lane,
+                             std::chrono::milliseconds deadline_budget,
+                             Work work, Callback on_done) {
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    if (draining_) {
+      ++shed_;
+      return Status::Unavailable("broker is draining; not accepting work");
+    }
+    std::deque<Job>& queue = lane == Lane::kPriority ? priority_ : normal_;
+    const size_t capacity = lane == Lane::kPriority
+                                ? options_.priority_capacity
+                                : options_.queue_capacity;
+    if (queue.size() >= capacity) {
+      ++shed_;
+      return Status::Unavailable(
+          "queue full (" + std::to_string(capacity) +
+          " queued); retry_after_ms=" +
+          std::to_string(RetryAfterHintMs(options_)));
+    }
+    ++admitted_;
+    job.id = next_id_++;
+    // The clock starts here, at admission — time spent queued counts.
+    std::chrono::milliseconds budget =
+        deadline_budget.count() > 0 ? deadline_budget
+                                    : options_.default_deadline;
+    job.deadline = budget.count() > 0 ? Deadline::After(budget)
+                                      : Deadline::Cancellable();
+    job.work = std::move(work);
+    job.on_done = std::move(on_done);
+    outstanding_.emplace(job.id, job.deadline);
+    queue.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+bool RequestBroker::NextJob(Job* job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this] {
+    return stopping_ || !priority_.empty() || !normal_.empty();
+  });
+  if (priority_.empty() && normal_.empty()) return false;  // stopping
+  std::deque<Job>& queue = priority_.empty() ? normal_ : priority_;
+  *job = std::move(queue.front());
+  queue.pop_front();
+  ++in_flight_;
+  return true;
+}
+
+void RequestBroker::WorkerLoop() {
+  Job job;
+  while (NextJob(&job)) {
+    Response response;
+    // A job whose deadline lapsed while queued is answered without being
+    // run — under overload this is the main release valve.
+    if (job.deadline.Expired()) {
+      response.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+    } else {
+      response = job.work(job.deadline);
+    }
+    job.on_done(response);
+    const bool expired = response.status.IsDeadlineExceeded();
+    const int64_t finished_id = job.id;
+    job = Job();  // release work/callback state before signalling idle
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++completed_;
+      if (expired) ++deadline_exceeded_;
+      outstanding_.erase(finished_id);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void RequestBroker::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  const auto quiescent = [this] {
+    return priority_.empty() && normal_.empty() && in_flight_ == 0;
+  };
+  if (!idle_cv_.wait_for(lock, options_.drain_deadline, quiescent)) {
+    // Past the drain deadline: cancel every outstanding token so queued
+    // jobs answer immediately and in-flight engine loops bail at their
+    // next cooperative checkpoint.
+    std::vector<Deadline> to_cancel;
+    to_cancel.reserve(outstanding_.size());
+    for (const auto& [id, deadline] : outstanding_) to_cancel.push_back(deadline);
+    lock.unlock();
+    for (const Deadline& deadline : to_cancel) deadline.Cancel();
+    lock.lock();
+    idle_cv_.wait(lock, quiescent);
+  }
+}
+
+RequestBroker::StatsSnapshot RequestBroker::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot stats;
+  stats.submitted = submitted_;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.completed = completed_;
+  stats.deadline_exceeded = deadline_exceeded_;
+  stats.queue_depth = static_cast<int64_t>(normal_.size());
+  stats.priority_depth = static_cast<int64_t>(priority_.size());
+  stats.in_flight = in_flight_;
+  stats.num_workers = options_.num_workers;
+  stats.draining = draining_;
+  return stats;
+}
+
+}  // namespace ppdb::server

@@ -1,0 +1,160 @@
+#ifndef PPDB_SERVER_BROKER_H_
+#define PPDB_SERVER_BROKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/request.h"
+
+namespace ppdb::server {
+
+/// Which bounded queue a request rides.
+enum class Lane {
+  /// Heavy engine work: census analyze, what-if sweeps, policy search.
+  kNormal,
+  /// Cheap O(|HP|)-or-less work: live-monitor events, O(1) queries, stats.
+  /// Workers always pop this lane first, so a burst of census scans cannot
+  /// starve the event stream.
+  kPriority,
+};
+
+/// An in-process request broker: a bounded, two-lane work queue drained by
+/// `common/ThreadPool` workers, with per-request deadlines, admission
+/// control (load shedding), and graceful drain.
+///
+/// Overload contract — the properties the robustness tests pin down:
+///
+///  * **No unbounded queueing.** Each lane has a fixed capacity; a Submit
+///    beyond it is *shed* synchronously with `kUnavailable` and a
+///    `retry_after_ms=` hint. Exactly the excess is shed — an admitted
+///    request is never retroactively dropped.
+///  * **Every admitted request completes.** Its callback fires exactly
+///    once, with the work's response, or with `kDeadlineExceeded` when its
+///    deadline expired while queued (the work is then skipped) or during
+///    execution (the engine's cooperative checkpoints bail out).
+///  * **Deadlines start at admission.** Queueing time counts against the
+///    budget, so under overload old work expires cheaply instead of
+///    occupying workers to produce answers nobody is waiting for.
+///  * **Drain is terminal.** `Drain()` stops admissions, lets queued and
+///    in-flight work finish, and past `drain_deadline` cancels the
+///    outstanding deadline tokens so cooperative work completes with
+///    `kDeadlineExceeded` promptly. After drain the broker only sheds.
+///
+/// Work runs on `ThreadPool` workers dedicated to the broker at
+/// construction; submitting never blocks the caller.
+class RequestBroker {
+ public:
+  struct Options {
+    /// Dedicated worker threads (clamped >= 1).
+    int num_workers = 2;
+    /// Normal-lane capacity (queued, not counting in-flight).
+    size_t queue_capacity = 64;
+    /// Priority-lane capacity. Sized larger: priority work is cheap, and
+    /// shedding an event loses a durable state change, not just an answer.
+    size_t priority_capacity = 1024;
+    /// Deadline budget for requests that do not bring their own; zero
+    /// means "no time budget" (still cancellable at drain).
+    std::chrono::milliseconds default_deadline{0};
+    /// How long `Drain()` waits for queued + in-flight work before
+    /// cancelling the stragglers' deadline tokens.
+    std::chrono::milliseconds drain_deadline{2000};
+  };
+
+  /// Point-in-time counters, exposed through the `stats` request.
+  struct StatsSnapshot {
+    int64_t submitted = 0;
+    int64_t admitted = 0;
+    int64_t shed = 0;
+    int64_t completed = 0;
+    int64_t deadline_exceeded = 0;
+    int64_t queue_depth = 0;
+    int64_t priority_depth = 0;
+    int64_t in_flight = 0;
+    int num_workers = 0;
+    bool draining = false;
+
+    /// Single-line `key=value ...` rendering.
+    std::string ToPayload() const;
+  };
+
+  /// The unit of queued work. Runs on a broker worker; must poll the
+  /// deadline cooperatively (directly or via the engine's checkpoints).
+  using Work = std::function<Response(const Deadline&)>;
+  /// Completion callback; invoked exactly once per admitted request, from
+  /// a worker thread.
+  using Callback = std::function<void(const Response&)>;
+
+  explicit RequestBroker(Options options);
+  /// Drains (cancelling at the drain deadline) and joins the workers.
+  ~RequestBroker();
+
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  /// Admission control. OK means the request is queued and `on_done` will
+  /// fire exactly once. `kUnavailable` (with a `retry_after_ms=` hint)
+  /// means it was shed — queue full or draining — and `on_done` will
+  /// never fire. `deadline_budget` zero uses `Options::default_deadline`.
+  Status Submit(Lane lane, std::chrono::milliseconds deadline_budget,
+                Work work, Callback on_done);
+  Status Submit(Lane lane, Work work, Callback on_done) {
+    return Submit(lane, std::chrono::milliseconds(0), std::move(work),
+                  std::move(on_done));
+  }
+
+  /// Stops admissions and blocks until all admitted work has completed.
+  /// Waits up to `Options::drain_deadline` for voluntary completion, then
+  /// cancels the outstanding deadline tokens and waits for the (now
+  /// fast-failing) remainder. Idempotent; safe to call concurrently.
+  void Drain();
+
+  StatsSnapshot Stats() const;
+
+ private:
+  struct Job {
+    int64_t id = 0;
+    Deadline deadline;
+    Work work;
+    Callback on_done;
+  };
+
+  /// Runs on each dedicated pool worker until shutdown.
+  void WorkerLoop();
+  /// Pops the next job, priority lane first. Blocks; false on shutdown.
+  bool NextJob(Job* job);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / shutdown
+  std::condition_variable idle_cv_;   // Drain waits for quiescence
+  std::deque<Job> normal_;
+  std::deque<Job> priority_;
+  /// Deadline tokens of admitted-but-incomplete jobs, for drain
+  /// cancellation.
+  std::unordered_map<int64_t, Deadline> outstanding_;
+  int64_t next_id_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  int64_t in_flight_ = 0;
+  int64_t submitted_ = 0;
+  int64_t admitted_ = 0;
+  int64_t shed_ = 0;
+  int64_t completed_ = 0;
+  int64_t deadline_exceeded_ = 0;
+  /// Owned last so its destructor joins workers before the queues die.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ppdb::server
+
+#endif  // PPDB_SERVER_BROKER_H_

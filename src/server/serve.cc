@@ -1,0 +1,92 @@
+#include "server/serve.h"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace ppdb::server {
+
+namespace {
+
+/// Serializes response lines from broker workers and the serve thread.
+class ResponseWriter {
+ public:
+  explicit ResponseWriter(std::ostream& out) : out_(out) {}
+
+  void Write(int64_t id, const Response& response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << FormatResponse(id, response);
+    out_.flush();
+  }
+
+ private:
+  std::mutex mu_;
+  std::ostream& out_;
+};
+
+}  // namespace
+
+Status Serve(std::istream& in, std::ostream& out, DatabaseService& service,
+             RequestBroker& broker) {
+  ResponseWriter writer(out);
+  std::string line;
+  int64_t id = 0;
+  int64_t drain_id = -1;
+
+  while (drain_id < 0 && std::getline(in, line)) {
+    ++id;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      --id;  // comments and blanks do not consume an id
+      continue;
+    }
+    Result<Request> parsed = ParseRequest(trimmed);
+    if (!parsed.ok()) {
+      writer.Write(id, Response{parsed.status(), {}});
+      continue;
+    }
+    Request request = std::move(parsed).value();
+    if (request.kind == RequestKind::kDrain) {
+      drain_id = id;  // answered below, after the drain completes
+      break;
+    }
+    const Lane lane = request.IsCheap() ? Lane::kPriority : Lane::kNormal;
+    const int64_t this_id = id;
+    const bool is_stats = request.kind == RequestKind::kStats;
+    Status admitted = broker.Submit(
+        lane, request.deadline,
+        [&service, &broker, request = std::move(request),
+         is_stats](const Deadline& deadline) {
+          Response response = service.Execute(request, deadline);
+          if (is_stats && response.status.ok()) {
+            response.payload += ' ';
+            response.payload += broker.Stats().ToPayload();
+          }
+          return response;
+        },
+        [&writer, this_id](const Response& response) {
+          writer.Write(this_id, response);
+        });
+    if (!admitted.ok()) {
+      writer.Write(this_id, Response{std::move(admitted), {}});
+    }
+  }
+
+  broker.Drain();
+  Status final_checkpoint = service.FinalCheckpoint();
+  if (drain_id >= 0) {
+    Response response;
+    response.payload =
+        "drained=1 final_checkpoint=" +
+        std::string(StatusCodeToString(final_checkpoint.code())) + " " +
+        broker.Stats().ToPayload();
+    writer.Write(drain_id, response);
+  }
+  return final_checkpoint;
+}
+
+}  // namespace ppdb::server

@@ -1,0 +1,31 @@
+#ifndef PPDB_SERVER_SERVE_H_
+#define PPDB_SERVER_SERVE_H_
+
+#include <iosfwd>
+
+#include "common/status.h"
+#include "server/broker.h"
+#include "server/service.h"
+
+namespace ppdb::server {
+
+/// Runs the line-oriented serving loop: reads one request per line from
+/// `in`, pushes it through `broker` into `service`, and writes one response
+/// per line to `out` (see `FormatResponse`; responses may complete out of
+/// order and carry the 1-based line number as their id).
+///
+/// Admission failures (queue full, draining) and parse errors are answered
+/// immediately without occupying a worker. `stats` responses merge the
+/// service view with the broker's queue counters. Cheap requests (events,
+/// queries, ping, stats) ride the broker's priority lane.
+///
+/// The loop ends at EOF or at a `drain` request; either way it drains the
+/// broker (cancelling stragglers at the drain deadline) and takes a final
+/// checkpoint, whose status is returned. Blank lines and lines starting
+/// with '#' are ignored.
+Status Serve(std::istream& in, std::ostream& out, DatabaseService& service,
+             RequestBroker& broker);
+
+}  // namespace ppdb::server
+
+#endif  // PPDB_SERVER_SERVE_H_

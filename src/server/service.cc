@@ -1,0 +1,369 @@
+#include "server/service.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "privacy/dimension.h"
+#include "storage/database_io.h"
+#include "violation/default_model.h"
+#include "violation/detector.h"
+#include "violation/policy_search.h"
+#include "violation/probability.h"
+#include "violation/what_if.h"
+
+namespace ppdb::server {
+
+namespace {
+
+using violation::LivePopulationMonitor;
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+Response Err(Status status) { return Response{std::move(status), {}}; }
+
+Response Ok(std::string payload) {
+  return Response{Status::OK(), std::move(payload)};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DatabaseService>> DatabaseService::Create(
+    std::string dir, storage::FileSystem* fs, Options options) {
+  storage::RecoveryReport recovery;
+  PPDB_ASSIGN_OR_RETURN(storage::Database database,
+                        storage::LoadDatabase(dir, *fs, &recovery));
+  violation::ViolationDetector::Options detector_options;
+  detector_options.num_threads = options.num_threads;
+  PPDB_ASSIGN_OR_RETURN(
+      LivePopulationMonitor monitor,
+      LivePopulationMonitor::Create(std::move(database.config),
+                                    detector_options));
+  database.config = privacy::PrivacyConfig();
+  std::unique_ptr<DatabaseService> service(new DatabaseService(
+      std::move(dir), fs, options, std::move(recovery), std::move(monitor),
+      std::move(database)));
+  return service;
+}
+
+DatabaseService::DatabaseService(std::string dir, storage::FileSystem* fs,
+                                 Options options,
+                                 storage::RecoveryReport recovery,
+                                 LivePopulationMonitor monitor,
+                                 storage::Database database)
+    : dir_(std::move(dir)),
+      fs_(fs),
+      options_(options),
+      recovery_(std::move(recovery)),
+      monitor_(std::move(monitor)),
+      database_(std::move(database)),
+      breaker_(options.breaker) {
+  LivePopulationMonitor::CheckpointHook hook;
+  hook.every_events = options_.checkpoint_every_events;
+  hook.save = [this](const privacy::PrivacyConfig& config) {
+    return GuardedSave(config);
+  };
+  monitor_.SetCheckpointHook(std::move(hook));
+}
+
+Status DatabaseService::SaveNow(const privacy::PrivacyConfig& config) {
+  database_.config = config;
+  storage::SaveOptions save_options;
+  save_options.retry = options_.save_retry;
+  return storage::SaveDatabase(dir_, database_, *fs_, save_options);
+}
+
+Status DatabaseService::GuardedSave(const privacy::PrivacyConfig& config) {
+  PPDB_RETURN_NOT_OK(breaker_.Allow());
+  Status status = SaveNow(config);
+  breaker_.Record(status);
+  return status;
+}
+
+Status DatabaseService::FinalCheckpoint() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Deliberately not breaker-gated: this is the last save this process
+  // will ever attempt, so it runs even against a backend the breaker
+  // currently distrusts. A success is still fed back so the breaker's
+  // counters tell the truth in post-mortem logs.
+  Status status = SaveNow(monitor_.config());
+  breaker_.Record(status);
+  return status;
+}
+
+Response DatabaseService::Execute(const Request& request,
+                                  const Deadline& deadline) {
+  if (deadline.Expired()) {
+    return Err(deadline.Check(RequestKindName(request.kind)));
+  }
+  if (request.IsWrite() && breaker_.state() == CircuitBreaker::State::kOpen) {
+    return Err(Status::Unavailable(
+        "service is read-only: storage breaker open; retry_after_ms=" +
+        std::to_string(options_.breaker.open_duration.count())));
+  }
+  return ExecuteLocked(request, deadline);
+}
+
+Response DatabaseService::ExecuteLocked(const Request& request,
+                                        const Deadline& deadline) {
+  switch (request.kind) {
+    case RequestKind::kPing:
+      return Ok("pong");
+    case RequestKind::kDrain:
+      // The serve loop intercepts drain before it reaches the service;
+      // answering here keeps direct callers (tests) working.
+      return Ok("draining");
+    case RequestKind::kStats: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return Stats();
+    }
+    case RequestKind::kAnalyze: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return Analyze(deadline);
+    }
+    case RequestKind::kCertify: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return Certify(request, deadline);
+    }
+    case RequestKind::kEstimate: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return Estimate(request, deadline);
+    }
+    case RequestKind::kWhatIf: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return WhatIf(request, deadline);
+    }
+    case RequestKind::kSearch: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return Search(request, deadline);
+    }
+    case RequestKind::kQuery: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return Query(request);
+    }
+    case RequestKind::kEventAdd:
+    case RequestKind::kEventRemove:
+    case RequestKind::kEventSetPref:
+    case RequestKind::kEventRemovePref:
+    case RequestKind::kEventSetThreshold: {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      return Event(request);
+    }
+    case RequestKind::kSave: {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      Status status = monitor_.CheckpointNow();
+      if (!status.ok()) return Err(std::move(status));
+      return Ok("checkpoints_taken=" +
+                std::to_string(monitor_.checkpoints_taken()));
+    }
+  }
+  return Err(Status::Internal("unhandled request kind"));
+}
+
+Response DatabaseService::Analyze(const Deadline& deadline) {
+  violation::ViolationDetector::Options options;
+  options.num_threads = options_.num_threads;
+  options.deadline = deadline;
+  violation::ViolationDetector detector(&monitor_.config(), options);
+  Result<violation::ViolationReport> report = detector.Analyze();
+  if (!report.ok()) return Err(report.status());
+  const violation::ViolationReport& r = report.value();
+  return Ok("providers=" + std::to_string(r.num_providers()) +
+            " violated=" + std::to_string(r.num_violated) +
+            " pw=" + Num(r.ProbabilityOfViolation()) +
+            " total_severity=" + Num(r.total_severity));
+}
+
+Response DatabaseService::Certify(const Request& request,
+                                  const Deadline& deadline) {
+  if (Status due = deadline.Check("certify"); !due.ok()) {
+    return Err(std::move(due));
+  }
+  violation::ViolationReport report = monitor_.Snapshot();
+  Result<violation::AlphaCertification> cert =
+      violation::CertifyAlphaPpdb(report, request.alpha);
+  if (!cert.ok()) return Err(cert.status());
+  const violation::AlphaCertification& c = cert.value();
+  return Ok("alpha=" + Num(c.alpha) + " pw=" + Num(c.p_violation) +
+            " certified=" + (c.certified ? std::string("1") : "0") +
+            " certified_with_margin=" +
+            (c.certified_with_margin ? std::string("1") : "0") +
+            " ci95=[" + Num(c.interval.lo) + "," + Num(c.interval.hi) + "]");
+}
+
+Response DatabaseService::Estimate(const Request& request,
+                                   const Deadline& deadline) {
+  if (Status due = deadline.Check("estimate"); !due.ok()) {
+    return Err(std::move(due));
+  }
+  violation::ViolationReport report = monitor_.Snapshot();
+  Rng rng(request.seed);
+  Result<violation::TrialEstimate> estimate =
+      Status::Internal("unreachable");
+  if (request.target == "pw") {
+    estimate = violation::EstimateViolationProbability(
+        report, request.trials, rng, options_.num_threads);
+  } else {
+    violation::DefaultReport defaults =
+        violation::ComputeDefaults(report, monitor_.config());
+    estimate = violation::EstimateDefaultProbability(
+        defaults, request.trials, rng, options_.num_threads);
+  }
+  if (!estimate.ok()) return Err(estimate.status());
+  const violation::TrialEstimate& e = estimate.value();
+  return Ok("estimate=" + Num(e.estimate) + " census=" + Num(e.census) +
+            " trials=" + std::to_string(e.trials) +
+            " hits=" + std::to_string(e.hits) + " ci95=[" + Num(e.ci95.lo) +
+            "," + Num(e.ci95.hi) + "]");
+}
+
+Response DatabaseService::WhatIf(const Request& request,
+                                 const Deadline& deadline) {
+  Result<privacy::Dimension> dimension =
+      privacy::DimensionFromName(request.dimension);
+  if (!dimension.ok()) return Err(dimension.status());
+  if (dimension.value() == privacy::Dimension::kPurpose) {
+    return Err(Status::InvalidArgument(
+        "whatif widens an ordered dimension (v|g|r), not purpose"));
+  }
+  violation::WhatIfAnalyzer::Options options;
+  options.extra_utility_per_step = request.extra_utility_per_step;
+  options.detector_options.num_threads = options_.num_threads;
+  options.detector_options.deadline = deadline;
+  violation::WhatIfAnalyzer analyzer(&monitor_.config(), options);
+  Result<std::vector<violation::ExpansionPoint>> points =
+      analyzer.RunSchedule(violation::WhatIfAnalyzer::UniformSchedule(
+          dimension.value(), request.steps));
+  if (!points.ok()) return Err(points.status());
+  const violation::ExpansionPoint& last = points.value().back();
+  int justified = 0;
+  for (const violation::ExpansionPoint& point : points.value()) {
+    if (point.justified) ++justified;
+  }
+  return Ok("points=" + std::to_string(points.value().size()) +
+            " justified=" + std::to_string(justified) +
+            " final_pw=" + Num(last.p_violation) +
+            " final_pdefault=" + Num(last.p_default) +
+            " final_n_remaining=" + std::to_string(last.n_remaining) +
+            " break_even_extra_utility=" +
+            Num(last.break_even_extra_utility));
+}
+
+Response DatabaseService::Search(const Request& request,
+                                 const Deadline& deadline) {
+  violation::SearchOptions options;
+  options.value_model = violation::MakeLinearExposureValue(request.value_scale);
+  options.max_steps = request.max_steps;
+  options.detector_options.num_threads = options_.num_threads;
+  options.detector_options.deadline = deadline;
+  Result<violation::SearchResult> result =
+      violation::GreedyPolicySearch(monitor_.config(), options);
+  if (!result.ok()) return Err(result.status());
+  const violation::SearchResult& r = result.value();
+  return Ok("accepted_moves=" + std::to_string(r.trajectory.size()) +
+            " best_utility=" + Num(r.best_utility) +
+            " baseline_utility=" + Num(r.baseline_utility));
+}
+
+Response DatabaseService::Event(const Request& request) {
+  Status status;
+  switch (request.kind) {
+    case RequestKind::kEventAdd:
+      status = monitor_.AddProvider(request.provider, request.threshold);
+      break;
+    case RequestKind::kEventRemove:
+      status = monitor_.RemoveProvider(request.provider);
+      break;
+    case RequestKind::kEventSetPref: {
+      Result<privacy::PurposeId> purpose =
+          monitor_.config().purposes.Lookup(request.purpose);
+      if (!purpose.ok()) return Err(purpose.status());
+      privacy::PrivacyTuple tuple;
+      tuple.purpose = purpose.value();
+      tuple.visibility = request.visibility;
+      tuple.granularity = request.granularity;
+      tuple.retention = request.retention;
+      status = monitor_.SetPreference(request.provider, request.attribute,
+                                      tuple);
+      break;
+    }
+    case RequestKind::kEventRemovePref: {
+      Result<privacy::PurposeId> purpose =
+          monitor_.config().purposes.Lookup(request.purpose);
+      if (!purpose.ok()) return Err(purpose.status());
+      status = monitor_.RemovePreference(request.provider, request.attribute,
+                                         purpose.value());
+      break;
+    }
+    case RequestKind::kEventSetThreshold:
+      status = monitor_.SetThreshold(request.provider, request.threshold);
+      break;
+    default:
+      return Err(Status::Internal("not an event"));
+  }
+  if (!status.ok()) return Err(std::move(status));
+  // The event itself succeeded even if a due checkpoint failed — that
+  // failure lives in last_checkpoint_status and in the breaker.
+  return Ok("providers=" + std::to_string(monitor_.num_providers()) +
+            " pw=" + Num(monitor_.ProbabilityOfViolation()) +
+            " pdefault=" + Num(monitor_.ProbabilityOfDefault()));
+}
+
+Response DatabaseService::Query(const Request& request) {
+  if (request.target == "pw") {
+    return Ok("pw=" + Num(monitor_.ProbabilityOfViolation()));
+  }
+  if (request.target == "pdefault") {
+    return Ok("pdefault=" + Num(monitor_.ProbabilityOfDefault()));
+  }
+  if (request.target == "monitor") {
+    const Status& last = monitor_.last_checkpoint_status();
+    return Ok("providers=" + std::to_string(monitor_.num_providers()) +
+              " violated=" + std::to_string(monitor_.num_violated()) +
+              " defaulted=" + std::to_string(monitor_.num_defaulted()) +
+              " total_severity=" + Num(monitor_.TotalViolations()) +
+              " checkpoints=" + std::to_string(monitor_.checkpoints_taken()) +
+              " events_since_checkpoint=" +
+              std::to_string(monitor_.events_since_checkpoint()) +
+              " last_checkpoint=" +
+              std::string(StatusCodeToString(last.code())));
+  }
+  if (request.target == "provider") {
+    Result<violation::ProviderViolation> violation =
+        monitor_.ForProvider(request.provider);
+    if (!violation.ok()) return Err(violation.status());
+    Result<bool> defaulted = monitor_.IsDefaulted(request.provider);
+    if (!defaulted.ok()) return Err(defaulted.status());
+    const violation::ProviderViolation& v = violation.value();
+    return Ok("provider=" + std::to_string(v.provider) +
+              " violated=" + (v.violated ? std::string("1") : "0") +
+              " severity=" + Num(v.total_severity) +
+              " incidents=" + std::to_string(v.incidents.size()) +
+              " defaulted=" + (defaulted.value() ? std::string("1") : "0"));
+  }
+  return Err(Status::InvalidArgument("unknown query target"));
+}
+
+Response DatabaseService::Stats() {
+  const Status& last = monitor_.last_checkpoint_status();
+  return Ok(
+      "providers=" + std::to_string(monitor_.num_providers()) +
+      " violated=" + std::to_string(monitor_.num_violated()) +
+      " defaulted=" + std::to_string(monitor_.num_defaulted()) +
+      " pw=" + Num(monitor_.ProbabilityOfViolation()) +
+      " pdefault=" + Num(monitor_.ProbabilityOfDefault()) +
+      " breaker=" + std::string(CircuitBreaker::StateName(breaker_.state())) +
+      " breaker_trips=" + std::to_string(breaker_.trips()) +
+      " breaker_rejected=" + std::to_string(breaker_.rejected()) +
+      " checkpoints=" + std::to_string(monitor_.checkpoints_taken()) +
+      " last_checkpoint=" + std::string(StatusCodeToString(last.code())));
+}
+
+}  // namespace ppdb::server

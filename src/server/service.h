@@ -1,0 +1,124 @@
+#ifndef PPDB_SERVER_SERVICE_H_
+#define PPDB_SERVER_SERVICE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "audit/audit_log.h"
+#include "audit/ledger.h"
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "relational/catalog.h"
+#include "server/request.h"
+#include "storage/database_io.h"
+#include "storage/fs.h"
+#include "violation/live_monitor.h"
+
+namespace ppdb::server {
+
+/// The engine behind the broker: one loaded database, a live population
+/// monitor as the authoritative copy of its privacy config, and a circuit
+/// breaker guarding every save.
+///
+/// Concurrency: analytics (`analyze`, `certify`, `estimate`, `whatif`,
+/// `search`, queries) take a shared lock and run concurrently with each
+/// other; events and saves take an exclusive lock. The heavy analytics
+/// parallelize internally through the engine's own `ThreadPool` use, so
+/// shared-locking them does not serialize the actual compute.
+///
+/// Degraded mode: every save — the periodic live-monitor checkpoint and the
+/// explicit `save` request — passes through the circuit breaker. After
+/// `failure_threshold` consecutive transient storage faults the breaker
+/// opens and the service turns *read-only*: mutating requests are rejected
+/// with `kUnavailable` (a retry-after hint in the message) instead of
+/// accepting events whose durability cannot be promised, while every read
+/// keeps serving from memory. Once `open_duration` passes, the next save
+/// probes the backend and a success restores writes. Checkpoint failures
+/// inside an *admitted* event never fail the event (the monitor records
+/// them; see `LivePopulationMonitor::CheckpointHook`) — they feed the
+/// breaker instead.
+class DatabaseService {
+ public:
+  struct Options {
+    /// Live-monitor checkpoint cadence, in successful mutating events.
+    /// 0 disables periodic checkpoints (explicit `save` still works).
+    int64_t checkpoint_every_events = 32;
+    /// Breaker guarding the storage backend.
+    CircuitBreaker::Options breaker;
+    /// Bounded retry inside each save attempt (one breaker outcome).
+    RetryOptions save_retry;
+    /// Threads for the heavy analytics (0 = hardware concurrency).
+    int num_threads = 0;
+  };
+
+  /// Loads the database at `dir` through `fs` and starts monitoring it.
+  /// `fs` must outlive the service. Recovery (discarded staging dirs, torn
+  /// generations) is not an error; it is reported in `recovery()`.
+  static Result<std::unique_ptr<DatabaseService>> Create(std::string dir,
+                                                         storage::FileSystem* fs,
+                                                         Options options);
+
+  DatabaseService(const DatabaseService&) = delete;
+  DatabaseService& operator=(const DatabaseService&) = delete;
+
+  /// Executes one parsed request. Never throws; every failure is a Status
+  /// in the response. `deadline` reaches the engine's cooperative
+  /// checkpoints, so heavy work bails with `kDeadlineExceeded` mid-scan.
+  Response Execute(const Request& request, const Deadline& deadline);
+
+  /// One last save, bypassing the circuit breaker — at shutdown there is
+  /// no later retry, so even a probably-failing backend gets the attempt.
+  Status FinalCheckpoint();
+
+  /// What `LoadDatabase` skipped or repaired at startup.
+  const storage::RecoveryReport& recovery() const { return recovery_; }
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  DatabaseService(std::string dir, storage::FileSystem* fs, Options options,
+                  storage::RecoveryReport recovery,
+                  violation::LivePopulationMonitor monitor,
+                  storage::Database database);
+
+  /// Assembles the full on-disk Database around `config` and saves it,
+  /// with bounded retry. One call = one breaker-visible outcome.
+  Status SaveNow(const privacy::PrivacyConfig& config);
+
+  /// The breaker-gated save installed as the monitor's checkpoint hook.
+  Status GuardedSave(const privacy::PrivacyConfig& config);
+
+  Response ExecuteLocked(const Request& request, const Deadline& deadline);
+  Response Analyze(const Deadline& deadline);
+  Response Certify(const Request& request, const Deadline& deadline);
+  Response Estimate(const Request& request, const Deadline& deadline);
+  Response WhatIf(const Request& request, const Deadline& deadline);
+  Response Search(const Request& request, const Deadline& deadline);
+  Response Event(const Request& request);
+  Response Query(const Request& request);
+  Response Stats();
+
+  const std::string dir_;
+  storage::FileSystem* const fs_;
+  const Options options_;
+  storage::RecoveryReport recovery_;
+
+  /// Guards monitor_ + database_. Shared = analytics and queries;
+  /// exclusive = events and saves.
+  std::shared_mutex mu_;
+  violation::LivePopulationMonitor monitor_;
+  /// The loaded database minus its privacy config, whose authoritative
+  /// copy lives in monitor_; `SaveNow` patches the current config in just
+  /// before each save (under the exclusive lock — Catalog is move-only,
+  /// so the Database cannot be copied into a scratch value).
+  storage::Database database_;
+
+  CircuitBreaker breaker_;
+};
+
+}  // namespace ppdb::server
+
+#endif  // PPDB_SERVER_SERVICE_H_

@@ -1,7 +1,9 @@
 #include "violation/detector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -22,6 +24,11 @@ namespace {
 /// particular independent of the thread count — so shard boundaries and the
 /// merge order are deterministic at any parallelism.
 constexpr int64_t kProviderGrain = 512;
+
+/// Providers analyzed between deadline polls inside a shard. Coarse enough
+/// that the steady_clock read is noise, fine enough that an expired
+/// request releases its worker within a few hundred providers.
+constexpr int64_t kDeadlineStride = 128;
 
 /// One house-policy tuple preprocessed for the per-provider inner loop: the
 /// interned attribute id and the precomputed ancestor purposes (hierarchy
@@ -266,16 +273,25 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
   const int threads = ThreadPool::ResolveThreadCount(options_.num_threads);
   const int64_t num_shards = ThreadPool::NumShards(0, n, kProviderGrain);
 
+  // Cooperative deadline: any shard that observes expiry sets the flag, and
+  // every shard (including ones not yet started) bails at its next poll.
+  std::atomic<bool> expired{false};
   std::vector<std::vector<ProviderViolation>> partials(
       static_cast<size_t>(num_shards));
   ThreadPool::Shared().ParallelRange(
       0, n, kProviderGrain, threads,
       [&](int64_t shard, int64_t begin, int64_t end) {
+        if (expired.load(std::memory_order_relaxed)) return;
         std::vector<ProviderViolation>& out =
             partials[static_cast<size_t>(shard)];
         out.reserve(static_cast<size_t>(end - begin));
         std::vector<std::string_view> violated_attributes;
         for (int64_t i = begin; i < end; ++i) {
+          if ((i - begin) % kDeadlineStride == 0 &&
+              options_.deadline.Expired()) {
+            expired.store(true, std::memory_order_relaxed);
+            return;
+          }
           const size_t position = static_cast<size_t>(i);
           auto find_pref = [&](int32_t attr_id, std::string_view /*attribute*/,
                                privacy::PurposeId purpose) {
@@ -286,6 +302,16 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
                                    violated_attributes));
         }
       });
+
+  if (expired.load(std::memory_order_relaxed)) {
+    int64_t analyzed = 0;
+    for (const std::vector<ProviderViolation>& partial : partials) {
+      analyzed += static_cast<int64_t>(partial.size());
+    }
+    return Status::DeadlineExceeded(
+        "Analyze: analyzed " + std::to_string(analyzed) + " of " +
+        std::to_string(n) + " providers before the deadline expired");
+  }
 
   ViolationReport report;
   report.providers.reserve(providers.size());

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "privacy/config.h"
 #include "relational/table.h"
@@ -62,6 +63,14 @@ class ViolationDetector {
     /// per-provider field, and the bitwise value of `total_severity` — is
     /// identical at every thread count.
     int num_threads = 0;
+
+    /// Cooperative cancellation: the sharded `Analyze` loop polls this
+    /// token every few hundred providers and bails out with
+    /// `kDeadlineExceeded` — the error message carries partial-progress
+    /// stats ("analyzed X of N providers") — instead of hogging worker
+    /// threads until the census completes. The default token never
+    /// expires and costs nothing to check.
+    Deadline deadline;
   };
 
   /// `config` must outlive the detector.

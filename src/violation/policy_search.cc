@@ -98,8 +98,15 @@ Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
     privacy::HousePolicy policy;
   };
   const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  const Deadline& deadline = options.detector_options.deadline;
 
   for (int step = 0; step < options.max_steps; ++step) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded(
+          "policy search: accepted " +
+          std::to_string(result.trajectory.size()) +
+          " move(s) before the deadline expired");
+    }
     // Enumerate the viable single-level moves (in the fixed attribute ×
     // dimension × delta order), then score them concurrently: each
     // evaluation reads only the fixed population and its own candidate
@@ -130,6 +137,12 @@ Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
         [&](int64_t /*shard*/, int64_t begin, int64_t end) {
           for (int64_t i = begin; i < end; ++i) {
             const size_t at = static_cast<size_t>(i);
+            // Deadline checkpoint between candidates; the detector inside
+            // Evaluate polls the same token at provider granularity.
+            if (deadline.Expired()) {
+              statuses[at] = Status::DeadlineExceeded("candidate skipped");
+              continue;
+            }
             Result<Evaluation> eval = Evaluate(config, candidates[at].policy,
                                                options, baseline_value);
             if (eval.ok()) {
@@ -146,6 +159,14 @@ Result<SearchResult> GreedyPolicySearch(const privacy::PrivacyConfig& config,
     double best_gain = 0.0;
     size_t best_index = candidates.size();
     for (size_t i = 0; i < candidates.size(); ++i) {
+      if (statuses[i].IsDeadlineExceeded()) {
+        return Status::DeadlineExceeded(
+            "policy search: accepted " +
+            std::to_string(result.trajectory.size()) + " move(s), scored " +
+            std::to_string(i) + " of " + std::to_string(candidates.size()) +
+            " candidate(s) at step " + std::to_string(step) +
+            " before the deadline expired");
+      }
       PPDB_RETURN_NOT_OK(statuses[i]);
       double gain = evals[i].utility - result.best_utility;
       if (gain > best_gain + 1e-12) {

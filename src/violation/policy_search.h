@@ -59,7 +59,10 @@ struct SearchOptions {
   /// then *recover* defaulted providers and find an interior optimum even
   /// from an over-wide starting policy.
   bool allow_narrowing = true;
-  /// Forwarded to the violation detector.
+  /// Forwarded to the violation detector. Its `deadline` also bounds the
+  /// search itself: candidates are polled between evaluations and the
+  /// search returns `kDeadlineExceeded` with the number of accepted moves
+  /// when the token expires mid-climb.
   ViolationDetector::Options detector_options;
   /// Threads used to evaluate the candidate moves of each greedy step
   /// concurrently (0 = hardware concurrency, 1 = serial). Candidates are

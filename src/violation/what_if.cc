@@ -1,6 +1,7 @@
 #include "violation/what_if.h"
 
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,7 @@ Result<std::vector<ExpansionPoint>> WhatIfAnalyzer::RunSchedule(
   }
 
   const int64_t n = static_cast<int64_t>(policies.size());
+  const Deadline& deadline = options_.detector_options.deadline;
   std::vector<ExpansionPoint> points(static_cast<size_t>(n));
   std::vector<Status> statuses(static_cast<size_t>(n));
   ThreadPool::Shared().ParallelRange(
@@ -55,6 +57,12 @@ Result<std::vector<ExpansionPoint>> WhatIfAnalyzer::RunSchedule(
       [&](int64_t /*shard*/, int64_t begin, int64_t end) {
         for (int64_t k = begin; k < end; ++k) {
           const size_t at = static_cast<size_t>(k);
+          // Deadline checkpoint between points; the detector inside
+          // Evaluate polls the same token at provider granularity.
+          if (deadline.Expired()) {
+            statuses[at] = Status::DeadlineExceeded("schedule point skipped");
+            continue;
+          }
           Result<ExpansionPoint> point =
               Evaluate(static_cast<int>(k), std::move(policies[at]));
           if (point.ok()) {
@@ -64,7 +72,18 @@ Result<std::vector<ExpansionPoint>> WhatIfAnalyzer::RunSchedule(
           }
         }
       });
-  for (const Status& status : statuses) PPDB_RETURN_NOT_OK(status);
+  int64_t evaluated = 0;
+  for (const Status& status : statuses) {
+    if (status.ok()) ++evaluated;
+  }
+  for (const Status& status : statuses) {
+    if (status.IsDeadlineExceeded()) {
+      return Status::DeadlineExceeded(
+          "what-if: evaluated " + std::to_string(evaluated) + " of " +
+          std::to_string(n) + " schedule points before the deadline expired");
+    }
+    PPDB_RETURN_NOT_OK(status);
+  }
   return points;
 }
 

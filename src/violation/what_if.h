@@ -70,7 +70,10 @@ class WhatIfAnalyzer {
     double utility_per_provider = 1.0;
     /// Extra per-provider utility unlocked by each widening step.
     double extra_utility_per_step = 0.0;
-    /// Forwarded to the violation detector at every point.
+    /// Forwarded to the violation detector at every point. Its `deadline`
+    /// also bounds the sweep itself: `RunSchedule` polls the token between
+    /// schedule points and returns `kDeadlineExceeded` ("evaluated k of n
+    /// schedule points") when it expires mid-sweep.
     ViolationDetector::Options detector_options;
     /// Threads used to evaluate schedule points concurrently (0 = hardware
     /// concurrency, 1 = serial). The cumulative policies are built

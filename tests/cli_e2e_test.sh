@@ -95,6 +95,35 @@ fi
 "$CLI" enforce "$DIR/db" pr l1 providers Weight \
   | check "enforced read stars Ted" "*"
 
+# Serving layer: a pipelined session through `serve` — events, queries,
+# a deadline-tagged analyze, a parse error, and a graceful drain that
+# takes a final checkpoint.
+SERVE_OUT="$DIR/serve.out"
+printf '%s\n' \
+  "ping" \
+  "# comments are free" \
+  "event add 9 100" \
+  "query pw" \
+  "@60000 analyze" \
+  "stats" \
+  "warp 9" \
+  "drain" \
+  | "$CLI" serve "$DIR/db" > "$SERVE_OUT"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: serve session should exit 0, got $rc"
+  failures=$((failures + 1))
+fi
+check "serve answers ping" "1 ok pong" < "$SERVE_OUT"
+check "serve admits the event" "2 ok" < "$SERVE_OUT"
+check "serve updates pw live" "pw=0.75" < "$SERVE_OUT"
+check "serve analyzes under a deadline" "4 ok" < "$SERVE_OUT"
+check "serve merges broker stats" "shed=0" < "$SERVE_OUT"
+check "serve rejects junk cleanly" "6 error invalid_argument" < "$SERVE_OUT"
+check "serve drains and checkpoints" "drained=1 final_checkpoint=ok" < "$SERVE_OUT"
+# The drained event survived the final checkpoint.
+"$CLI" report "$DIR/db" | check "serve state persisted" "P(W)=0.7500"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI end-to-end check(s) failed"
   exit 1

@@ -1,0 +1,173 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace ppdb {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// A breaker on a hand-cranked clock: tests step time, never sleep.
+class CircuitBreakerTest : public ::testing::Test {
+ protected:
+  CircuitBreaker MakeBreaker(int threshold = 3,
+                             milliseconds open_duration = milliseconds(100)) {
+    CircuitBreaker::Options options;
+    options.failure_threshold = threshold;
+    options.open_duration = open_duration;
+    options.clock = [this] { return now_; };
+    return CircuitBreaker(options);
+  }
+
+  void Advance(milliseconds by) { now_ += by; }
+
+  steady_clock::time_point now_{};
+};
+
+TEST_F(CircuitBreakerTest, ClosedBreakerAdmitsEverything) {
+  CircuitBreaker breaker = MakeBreaker();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(breaker.Allow());
+    breaker.Record(Status::OK());
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+  EXPECT_EQ(breaker.rejected(), 0);
+}
+
+TEST_F(CircuitBreakerTest, TripsAfterConsecutiveTransientFailures) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/3);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_OK(breaker.Allow());
+    breaker.Record(Status::Unavailable("disk flake"));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed) << i;
+  }
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::Unavailable("disk flake"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.consecutive_failures(), 3);
+}
+
+TEST_F(CircuitBreakerTest, SuccessResetsTheStreak) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/3);
+  for (int round = 0; round < 5; ++round) {
+    // Two failures, then a success: never reaches the threshold.
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_OK(breaker.Allow());
+      breaker.Record(Status::Unavailable("flake"));
+    }
+    ASSERT_OK(breaker.Allow());
+    breaker.Record(Status::OK());
+    EXPECT_EQ(breaker.consecutive_failures(), 0);
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST_F(CircuitBreakerTest, PermanentErrorsDoNotTrip) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(breaker.Allow());
+    breaker.Record(Status::OutOfRange("ENOSPC: disk full"));
+  }
+  // Backing off will not un-fill a disk; the breaker stays closed and the
+  // error surfaces to the operator instead.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST_F(CircuitBreakerTest, OpenBreakerFailsFastWithRetryHint) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/1, milliseconds(250));
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::Unavailable("down"));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  Status rejected = breaker.Allow();
+  EXPECT_TRUE(rejected.IsUnavailable());
+  EXPECT_NE(rejected.message().find("retry_after_ms="), std::string::npos)
+      << rejected.message();
+  EXPECT_EQ(breaker.rejected(), 1);
+
+  Advance(milliseconds(100));  // still inside the open window
+  EXPECT_TRUE(breaker.Allow().IsUnavailable());
+  EXPECT_EQ(breaker.rejected(), 2);
+}
+
+TEST_F(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/1, milliseconds(100));
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::Unavailable("down"));
+
+  Advance(milliseconds(150));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_OK(breaker.Allow());  // the probe
+  Status second = breaker.Allow();
+  EXPECT_TRUE(second.IsUnavailable());
+  EXPECT_NE(second.message().find("probe"), std::string::npos)
+      << second.message();
+
+  breaker.Record(Status::OK());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  ASSERT_OK(breaker.Allow());  // writes restored
+  breaker.Record(Status::OK());
+}
+
+TEST_F(CircuitBreakerTest, FailedProbeReopensAndRestartsTheTimer) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/1, milliseconds(100));
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::Unavailable("down"));
+
+  Advance(milliseconds(150));
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::Unavailable("still down"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+
+  // The open window restarts from the failed probe.
+  Advance(milliseconds(50));
+  EXPECT_TRUE(breaker.Allow().IsUnavailable());
+  Advance(milliseconds(100));
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::OK());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, NonTransientProbeOutcomeReleasesTheSlot) {
+  CircuitBreaker breaker = MakeBreaker(/*threshold=*/1, milliseconds(100));
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::Unavailable("down"));
+  Advance(milliseconds(150));
+  ASSERT_OK(breaker.Allow());
+  // A permanent error neither closes nor re-opens; the next caller may
+  // probe again.
+  breaker.Record(Status::OutOfRange("ENOSPC"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::OK());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+            "closed");
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+            "half_open");
+}
+
+TEST_F(CircuitBreakerTest, DefaultConstructedBreakerWorks) {
+  CircuitBreaker breaker;  // real clock, default thresholds
+  ASSERT_OK(breaker.Allow());
+  breaker.Record(Status::OK());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace ppdb

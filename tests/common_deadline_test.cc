@@ -1,0 +1,80 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace ppdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(DeadlineTest, DefaultTokenIsInfinite) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_OK(deadline.Check("work"));
+  EXPECT_EQ(deadline.Remaining(), Deadline::Clock::duration::max());
+  deadline.Cancel();  // no-op on the infinite token
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::After(milliseconds(0)).Expired());
+  EXPECT_TRUE(Deadline::After(milliseconds(-5)).Expired());
+  EXPECT_EQ(Deadline::After(milliseconds(0)).Remaining(),
+            Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline deadline = Deadline::After(milliseconds(5));
+  EXPECT_GT(deadline.Remaining(), Deadline::Clock::duration::zero());
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_TRUE(deadline.Expired());
+  Status status = deadline.Check("analyze");
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_NE(status.message().find("analyze"), std::string::npos);
+}
+
+TEST(DeadlineTest, CancellableNeverExpiresUntilCancelled) {
+  Deadline deadline = Deadline::Cancellable();
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), Deadline::Clock::duration::max());
+  deadline.Cancel();
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, CopiesShareCancellation) {
+  Deadline original = Deadline::Cancellable();
+  Deadline copy = original;
+  EXPECT_FALSE(copy.Expired());
+  original.Cancel();
+  EXPECT_TRUE(copy.Expired());  // the broker cancels; the engine sees it
+}
+
+TEST(DeadlineTest, CancelBeatsTimeBudget) {
+  Deadline deadline = Deadline::After(std::chrono::hours(1));
+  EXPECT_FALSE(deadline.Expired());
+  deadline.Cancel();
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(DeadlineTest, AtExpiresAtTheGivenInstant) {
+  Deadline past = Deadline::At(Deadline::Clock::now() - milliseconds(1));
+  EXPECT_TRUE(past.Expired());
+  Deadline future = Deadline::At(Deadline::Clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(future.Expired());
+}
+
+TEST(DeadlineStatusTest, CodeRoundTrips) {
+  Status status = Status::DeadlineExceeded("late");
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(StatusCodeToString(status.code()), "deadline_exceeded");
+}
+
+}  // namespace
+}  // namespace ppdb

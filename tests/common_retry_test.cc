@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <vector>
 
 #include "tests/test_util.h"
@@ -92,6 +93,91 @@ TEST(RetryTest, DoesNotRetryPermanentErrors) {
   EXPECT_EQ(calls, 1);
   EXPECT_TRUE(status.IsOutOfRange());
   EXPECT_TRUE(waits.empty());
+}
+
+TEST(RetryTest, ExtremeGrowthSaturatesInsteadOfOverflowing) {
+  std::vector<milliseconds> waits;
+  RetryOptions options = Recorded(&waits);
+  options.max_attempts = 8;
+  options.initial_backoff = milliseconds(1000);
+  options.backoff_multiplier = 1e300;  // would overflow int64 immediately
+  options.max_backoff = milliseconds(std::numeric_limits<int64_t>::max());
+  Status status = RetryWithBackoff(options, "op",
+                                   [] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(status.IsUnavailable());
+  ASSERT_EQ(waits.size(), 7u);
+  EXPECT_EQ(waits[0], milliseconds(1000));
+  for (size_t i = 1; i < waits.size(); ++i) {
+    // Saturated exactly at the cap — never negative, never wrapped.
+    EXPECT_EQ(waits[i], options.max_backoff) << i;
+  }
+}
+
+TEST(RetryTest, InitialBackoffAboveTheCapIsClamped) {
+  std::vector<milliseconds> waits;
+  RetryOptions options = Recorded(&waits);
+  options.max_attempts = 3;
+  options.initial_backoff = milliseconds(500);
+  options.max_backoff = milliseconds(20);
+  Status status = RetryWithBackoff(options, "op",
+                                   [] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(status.IsUnavailable());
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_EQ(waits[0], milliseconds(500));  // first wait honors the request
+  EXPECT_EQ(waits[1], milliseconds(20));   // growth is capped from then on
+}
+
+TEST(RetryTest, JitterShavesWithinBoundsAndIsSeededDeterministically) {
+  auto schedule = [](uint64_t seed) {
+    std::vector<milliseconds> waits;
+    RetryOptions options;
+    options.sleep = [&waits](milliseconds wait) { waits.push_back(wait); };
+    options.max_attempts = 6;
+    options.initial_backoff = milliseconds(1000);
+    options.max_backoff = milliseconds(8000);
+    options.jitter = 0.5;
+    options.jitter_seed = seed;
+    RetryWithBackoff(options, "op",
+                     [] { return Status::Unavailable("down"); });
+    return waits;
+  };
+
+  std::vector<milliseconds> first = schedule(42);
+  ASSERT_EQ(first.size(), 5u);
+  std::vector<milliseconds> expected_base = {
+      milliseconds(1000), milliseconds(2000), milliseconds(4000),
+      milliseconds(8000), milliseconds(8000)};
+  bool any_shaved = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    // Uniform in [wait/2, wait]: never longer than the deterministic
+    // schedule, never shaved by more than the jitter fraction.
+    EXPECT_LE(first[i], expected_base[i]) << i;
+    EXPECT_GE(first[i], expected_base[i] / 2 - milliseconds(1)) << i;
+    any_shaved = any_shaved || first[i] != expected_base[i];
+  }
+  EXPECT_TRUE(any_shaved);
+
+  // Same seed, same schedule; different seed, (almost surely) different.
+  EXPECT_EQ(schedule(42), first);
+  EXPECT_NE(schedule(43), first);
+}
+
+TEST(RetryTest, JitterAboveOneIsClampedToFullShave) {
+  std::vector<milliseconds> waits;
+  RetryOptions options = Recorded(&waits);
+  options.max_attempts = 4;
+  options.initial_backoff = milliseconds(100);
+  options.max_backoff = milliseconds(100);
+  options.jitter = 7.0;  // clamped to 1.0
+  options.jitter_seed = 9;
+  Status status = RetryWithBackoff(options, "op",
+                                   [] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(status.IsUnavailable());
+  ASSERT_EQ(waits.size(), 3u);
+  for (const milliseconds& wait : waits) {
+    EXPECT_GE(wait, milliseconds(0));
+    EXPECT_LE(wait, milliseconds(100));
+  }
 }
 
 TEST(RetryTest, MaxAttemptsOneDisablesRetrying) {

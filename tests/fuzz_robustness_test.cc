@@ -15,6 +15,7 @@
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
 #include "relational/sql.h"
+#include "server/request.h"
 #include "storage/database_io.h"
 #include "tests/test_util.h"
 
@@ -111,6 +112,69 @@ TEST_P(FuzzTest, CsvParserNeverCrashes) {
         rng.NextBool(0.5) ? RandomText(rng, 200) : Mutate(valid, rng);
     (void)rel::ParseCsv(input);
     (void)rel::TableFromCsv("t", schema, input);
+  }
+}
+
+// The serve request parser fronts an untrusted byte stream; arbitrary
+// lines — malformed commands, oversized lines, embedded NULs and control
+// bytes — must come back as clean statuses, and whatever it accepts must
+// format into a single well-terminated response line.
+TEST_P(FuzzTest, ServeRequestParserNeverCrashes) {
+  Rng rng(GetParam() + 1700);
+  const std::string valid_lines[] = {
+      "ping",
+      "@250 analyze",
+      "certify 0.5",
+      "estimate pw 1000 42",
+      "whatif visibility 4 0.5",
+      "search 16 1.5",
+      "event add 7 2.5",
+      "event pref 7 weight care 1 2 3",
+      "event unpref 7 weight care",
+      "event threshold 7 9",
+      "query provider 7",
+      "query pw",
+      "save",
+      "drain",
+  };
+  for (int i = 0; i < 400; ++i) {
+    std::string input;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        input = RandomText(rng, 200);
+        break;
+      case 1:
+        input = Mutate(valid_lines[rng.NextBounded(std::size(valid_lines))],
+                       rng);
+        break;
+      case 2: {
+        // Oversized lines, right around the cap.
+        size_t len = server::kMaxRequestLine - 2 + rng.NextBounded(5);
+        input.assign(len, 'a');
+        input[rng.NextBounded(len)] = ' ';
+        break;
+      }
+      default: {
+        // Embedded NULs and raw control bytes in otherwise-valid requests.
+        input = valid_lines[rng.NextBounded(std::size(valid_lines))];
+        size_t pos = rng.NextBounded(input.size() + 1);
+        input.insert(pos, 1, static_cast<char>(rng.NextBounded(32)));
+        break;
+      }
+    }
+    Result<server::Request> parsed = server::ParseRequest(input);
+    if (parsed.ok()) {
+      // Anything accepted must classify and re-serialize cleanly.
+      (void)parsed.value().IsCheap();
+      (void)parsed.value().IsWrite();
+      (void)server::RequestKindName(parsed.value().kind);
+    } else {
+      std::string line = server::FormatResponse(
+          static_cast<int64_t>(i), server::Response{parsed.status(), {}});
+      ASSERT_FALSE(line.empty());
+      EXPECT_EQ(line.find('\n'), line.size() - 1) << input;
+      EXPECT_EQ(line.find('\0'), std::string::npos) << input;
+    }
   }
 }
 

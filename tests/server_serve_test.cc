@@ -1,0 +1,197 @@
+#include "server/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "privacy/policy_dsl.h"
+#include "server/broker.h"
+#include "server/service.h"
+#include "storage/database_io.h"
+#include "storage/fs.h"
+#include "tests/test_util.h"
+
+namespace ppdb::server {
+namespace {
+
+constexpr char kConfigDsl[] = R"(
+scale visibility: l0, l1, l2, l3
+scale granularity: l0, l1, l2, l3
+scale retention: l0, l1, l2, l3
+purpose pr
+policy weight for pr: visibility=2, granularity=2, retention=2
+pref 1 weight for pr: visibility=0, granularity=0, retention=0
+pref 2 weight for pr: visibility=3, granularity=3, retention=3
+attr_sensitivity weight = 2
+threshold 1 = 3
+threshold 2 = 3
+)";
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ppdb_serve_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    storage::Database database;
+    ASSERT_OK_AND_ASSIGN(database.config,
+                         privacy::ParsePrivacyConfig(kConfigDsl));
+    ASSERT_OK(storage::SaveDatabase(dir_.string(), database));
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<DatabaseService> MakeService(int checkpoint_every = 1000) {
+    DatabaseService::Options options;
+    options.checkpoint_every_events = checkpoint_every;
+    options.num_threads = 1;
+    Result<std::unique_ptr<DatabaseService>> service =
+        DatabaseService::Create(dir_.string(), &storage::GetRealFileSystem(),
+                                options);
+    EXPECT_OK(service.status());
+    return std::move(service).value();
+  }
+
+  /// Runs the serve loop over `input` and returns the response lines keyed
+  /// by request id (responses may arrive out of order under the broker).
+  std::map<int64_t, std::string> ServeAll(const std::string& input,
+                                          DatabaseService& service,
+                                          RequestBroker& broker,
+                                          Status* final_status = nullptr) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    Status status = Serve(in, out, service, broker);
+    if (final_status != nullptr) *final_status = status;
+
+    std::map<int64_t, std::string> by_id;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      size_t space = line.find(' ');
+      EXPECT_NE(space, std::string::npos) << line;
+      int64_t id = std::stoll(line.substr(0, space));
+      // Pipelining may reorder responses but never duplicates an id.
+      EXPECT_EQ(by_id.count(id), 0u) << line;
+      by_id[id] = line;
+    }
+    return by_id;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServeTest, AnswersEveryRequestByIdAndSkipsCommentLines) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  std::map<int64_t, std::string> responses = ServeAll(
+      "ping\n"
+      "\n"                     // blank: no id consumed
+      "# comment, also free\n"
+      "query pw\n"
+      "warp 9\n"               // parse error, answered immediately
+      "analyze\n",
+      *service, broker);
+
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[1], "1 ok pong");
+  EXPECT_EQ(responses[2], "2 ok pw=0.5");
+  EXPECT_NE(responses[3].find("3 error invalid_argument"), std::string::npos);
+  EXPECT_NE(responses[4].find("4 ok"), std::string::npos);
+  EXPECT_NE(responses[4].find("violated=1"), std::string::npos);
+}
+
+TEST_F(ServeTest, StatsMergesServiceAndBrokerCounters) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  std::map<int64_t, std::string> responses =
+      ServeAll("ping\nstats\n", *service, broker);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_NE(responses[2].find("breaker=closed"), std::string::npos);
+  EXPECT_NE(responses[2].find("admitted="), std::string::npos);
+  EXPECT_NE(responses[2].find("shed=0"), std::string::npos);
+}
+
+// The acceptance-criteria shutdown drill: a drain request under load stops
+// admissions, completes every in-flight request, takes a final checkpoint,
+// and the checkpoint reloads cleanly.
+TEST_F(ServeTest, DrainUnderLoadCompletesEverythingAndCheckpoints) {
+  // Large checkpoint interval: nothing persists unless the final
+  // checkpoint actually runs.
+  std::unique_ptr<DatabaseService> service = MakeService(
+      /*checkpoint_every=*/1000);
+  RequestBroker::Options options;
+  options.num_workers = 2;
+  RequestBroker broker(options);
+
+  std::string input;
+  constexpr int kEvents = 20;
+  for (int i = 0; i < kEvents; ++i) {
+    input += "event add " + std::to_string(100 + i) + " 7.5\n";
+  }
+  input += "analyze\n";
+  input += "drain\n";
+  input += "ping\n";  // after drain: never read, never answered
+
+  Status final_status;
+  std::map<int64_t, std::string> responses =
+      ServeAll(input, *service, broker, &final_status);
+  EXPECT_OK(final_status);
+
+  // Every admitted request was answered; nothing silently dropped, and
+  // nothing after the drain was served.
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kEvents) + 2);
+  for (int id = 1; id <= kEvents; ++id) {
+    EXPECT_NE(responses[id].find("ok"), std::string::npos) << responses[id];
+  }
+  const std::string& drain = responses[kEvents + 2];
+  EXPECT_NE(drain.find("drained=1"), std::string::npos);
+  EXPECT_NE(drain.find("final_checkpoint=ok"), std::string::npos);
+  EXPECT_EQ(broker.Stats().in_flight, 0);
+
+  // The final checkpoint reloads cleanly with all drained state in it.
+  ASSERT_OK_AND_ASSIGN(storage::Database reloaded,
+                       storage::LoadDatabase(dir_.string()));
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(100 + i), 7.5) << i;
+  }
+}
+
+TEST_F(ServeTest, EndOfInputAlsoDrainsAndCheckpoints) {
+  std::unique_ptr<DatabaseService> service = MakeService(
+      /*checkpoint_every=*/1000);
+  RequestBroker broker(RequestBroker::Options{});
+
+  Status final_status;
+  std::map<int64_t, std::string> responses = ServeAll(
+      "event threshold 1 9\n", *service, broker, &final_status);
+  EXPECT_OK(final_status);
+  ASSERT_EQ(responses.size(), 1u);
+
+  // A client that hangs up without draining still gets durability.
+  ASSERT_OK_AND_ASSIGN(storage::Database reloaded,
+                       storage::LoadDatabase(dir_.string()));
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(1), 9.0);
+}
+
+TEST_F(ServeTest, PerRequestDeadlinePrefixReachesTheEngine) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  // A generous deadline succeeds; the grammar is exercised end to end.
+  std::map<int64_t, std::string> responses =
+      ServeAll("@60000 analyze\n", *service, broker);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[1].find("1 ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::server

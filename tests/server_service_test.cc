@@ -1,0 +1,238 @@
+#include "server/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "privacy/policy_dsl.h"
+#include "server/request.h"
+#include "storage/database_io.h"
+#include "storage/fs.h"
+#include "tests/test_util.h"
+
+namespace ppdb::server {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr char kConfigDsl[] = R"(
+scale visibility: l0, l1, l2, l3
+scale granularity: l0, l1, l2, l3
+scale retention: l0, l1, l2, l3
+purpose pr
+policy weight for pr: visibility=2, granularity=2, retention=2
+pref 1 weight for pr: visibility=0, granularity=0, retention=0
+pref 2 weight for pr: visibility=3, granularity=3, retention=3
+attr_sensitivity weight = 2
+threshold 1 = 3
+threshold 2 = 3
+)";
+
+class DatabaseServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ppdb_service_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    storage::Database database;
+    ASSERT_OK_AND_ASSIGN(database.config,
+                         privacy::ParsePrivacyConfig(kConfigDsl));
+    ASSERT_OK(storage::SaveDatabase(dir_.string(), database));
+    faulty_ = std::make_unique<storage::FaultInjectingFileSystem>(
+        &storage::GetRealFileSystem(), Rng(7));
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// A service whose saves hit the fault-injecting filesystem, with a
+  /// hand-cranked breaker clock and no in-save retry (so each save is one
+  /// breaker-visible outcome).
+  std::unique_ptr<DatabaseService> MakeService(int failure_threshold = 2) {
+    DatabaseService::Options options;
+    options.checkpoint_every_events = 1;
+    options.num_threads = 1;
+    options.save_retry.max_attempts = 1;
+    options.breaker.failure_threshold = failure_threshold;
+    options.breaker.open_duration = milliseconds(1000);
+    options.breaker.clock = [this] { return now_; };
+    auto service =
+        DatabaseService::Create(dir_.string(), faulty_.get(), options);
+    EXPECT_OK(service.status());
+    return std::move(service).value();
+  }
+
+  Response Run(DatabaseService& service, const std::string& line,
+               const Deadline& deadline = Deadline()) {
+    Result<Request> request = ParseRequest(line);
+    EXPECT_OK(request.status()) << line;
+    return service.Execute(request.value(), deadline);
+  }
+
+  /// Latches the filesystem: every mutating operation fails with
+  /// kUnavailable until `Heal()`.
+  void BreakDisk() {
+    faulty_->SetPlan({.fail_at_op = 0,
+                      .kind = storage::FaultKind::kFailOp,
+                      .transient_failures = 1 << 30});
+  }
+  void Heal() { faulty_->SetPlan({.fail_at_op = -1}); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<storage::FaultInjectingFileSystem> faulty_;
+  std::chrono::steady_clock::time_point now_{};
+};
+
+TEST_F(DatabaseServiceTest, ServesReadsAndEvents) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+
+  Response ping = Run(*service, "ping");
+  ASSERT_OK(ping.status);
+  EXPECT_EQ(ping.payload, "pong");
+
+  // Provider 1 (all-zero preference vs policy level 2) is violated.
+  Response analyze = Run(*service, "analyze");
+  ASSERT_OK(analyze.status);
+  EXPECT_NE(analyze.payload.find("providers=2"), std::string::npos);
+  EXPECT_NE(analyze.payload.find("violated=1"), std::string::npos);
+
+  Response query = Run(*service, "query pw");
+  ASSERT_OK(query.status);
+  EXPECT_EQ(query.payload, "pw=0.5");
+
+  // A new provider with implicit-zero preferences raises P(W) to 2/3.
+  ASSERT_OK(Run(*service, "event add 9 100").status);
+  EXPECT_EQ(Run(*service, "query pw").payload, "pw=0.666667");
+
+  Response provider = Run(*service, "query provider 1");
+  ASSERT_OK(provider.status);
+  EXPECT_NE(provider.payload.find("violated=1"), std::string::npos);
+  EXPECT_NE(provider.payload.find("defaulted=1"), std::string::npos);
+
+  // Raising provider 9's tolerance above the policy clears the violation:
+  // back to 1 violated of (now) 3 providers.
+  Response pref = Run(*service, "event pref 9 weight pr 3 3 3");
+  ASSERT_OK(pref.status);
+  EXPECT_EQ(Run(*service, "query pw").payload, "pw=0.333333");
+
+  // Unknown purposes and providers surface as clean errors.
+  EXPECT_TRUE(
+      Run(*service, "event pref 9 weight nosuch 1 1 1").status.IsNotFound());
+  EXPECT_TRUE(Run(*service, "query provider 777").status.IsNotFound());
+}
+
+TEST_F(DatabaseServiceTest, AnalyticsRequestsWork) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+
+  Response certify = Run(*service, "certify 0.6");
+  ASSERT_OK(certify.status);
+  EXPECT_NE(certify.payload.find("certified=1"), std::string::npos);
+
+  Response estimate = Run(*service, "estimate pw 400 42");
+  ASSERT_OK(estimate.status);
+  EXPECT_NE(estimate.payload.find("census=0.5"), std::string::npos);
+
+  Response whatif = Run(*service, "whatif v 2");
+  ASSERT_OK(whatif.status);
+  EXPECT_NE(whatif.payload.find("points=3"), std::string::npos);
+
+  Response search = Run(*service, "search 4 1.0");
+  ASSERT_OK(search.status);
+  EXPECT_NE(search.payload.find("best_utility="), std::string::npos);
+
+  EXPECT_TRUE(Run(*service, "whatif purpose 2").status.IsInvalidArgument());
+}
+
+TEST_F(DatabaseServiceTest, ExpiredDeadlineShortCircuits) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  Deadline expired = Deadline::After(milliseconds(0));
+  EXPECT_TRUE(Run(*service, "analyze", expired).status.IsDeadlineExceeded());
+  EXPECT_TRUE(Run(*service, "estimate pw 1000 1", expired)
+                  .status.IsDeadlineExceeded());
+}
+
+// The acceptance-criteria fault drill: latched save failures trip the
+// breaker within the configured threshold, the service keeps serving reads
+// (degraded to read-only), and a half-open probe restores writes.
+TEST_F(DatabaseServiceTest, BreakerTripsDegradesToReadOnlyAndRecovers) {
+  std::unique_ptr<DatabaseService> service = MakeService(
+      /*failure_threshold=*/2);
+  BreakDisk();
+
+  // Events succeed even though their checkpoints fail — durability debt is
+  // recorded, not inflicted on the event.
+  ASSERT_OK(Run(*service, "event add 100 1").status);
+  EXPECT_EQ(service->breaker().state(), CircuitBreaker::State::kClosed);
+  ASSERT_OK(Run(*service, "event add 101 1").status);
+  EXPECT_EQ(service->breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(service->breaker().trips(), 1);
+
+  // Open breaker: writes rejected up front with a retry hint...
+  Response rejected = Run(*service, "event add 102 1");
+  EXPECT_TRUE(rejected.status.IsUnavailable());
+  EXPECT_NE(rejected.status.message().find("read-only"), std::string::npos);
+  EXPECT_NE(rejected.status.message().find("retry_after_ms="),
+            std::string::npos);
+  EXPECT_TRUE(Run(*service, "save").status.IsUnavailable());
+
+  // ...while reads keep serving from memory.
+  EXPECT_EQ(Run(*service, "query pw").payload, "pw=0.75");
+  ASSERT_OK(Run(*service, "analyze").status);
+  Response stats = Run(*service, "stats");
+  ASSERT_OK(stats.status);
+  EXPECT_NE(stats.payload.find("breaker=open"), std::string::npos);
+
+  // Disk heals; once the open window lapses the next write is the probe.
+  Heal();
+  now_ += milliseconds(1500);
+  ASSERT_OK(Run(*service, "event add 102 1").status);
+  EXPECT_EQ(service->breaker().state(), CircuitBreaker::State::kClosed);
+
+  // Writes are fully restored and the checkpoint actually persisted.
+  ASSERT_OK(Run(*service, "save").status);
+  ASSERT_OK_AND_ASSIGN(storage::Database reloaded,
+                       storage::LoadDatabase(dir_.string()));
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(102), 1.0);
+}
+
+TEST_F(DatabaseServiceTest, FinalCheckpointBypassesTheOpenBreaker) {
+  std::unique_ptr<DatabaseService> service = MakeService(
+      /*failure_threshold=*/1);
+  BreakDisk();
+  ASSERT_OK(Run(*service, "event add 200 5").status);
+  ASSERT_EQ(service->breaker().state(), CircuitBreaker::State::kOpen);
+
+  // The breaker would reject this save; shutdown tries anyway — and the
+  // disk has healed, so the last state lands.
+  Heal();
+  ASSERT_OK(service->FinalCheckpoint());
+  ASSERT_OK_AND_ASSIGN(storage::Database reloaded,
+                       storage::LoadDatabase(dir_.string()));
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(200), 5.0);
+}
+
+TEST_F(DatabaseServiceTest, CheckpointFailureNeverFailsTheEvent) {
+  std::unique_ptr<DatabaseService> service = MakeService(
+      /*failure_threshold=*/100);
+  BreakDisk();
+  for (int i = 0; i < 10; ++i) {
+    Response response =
+        Run(*service, "event add " + std::to_string(300 + i) + " 1");
+    ASSERT_OK(response.status) << i;
+  }
+  // All ten events landed in memory despite ten failed checkpoints.
+  Response monitor = Run(*service, "query monitor");
+  ASSERT_OK(monitor.status);
+  EXPECT_NE(monitor.payload.find("providers=12"), std::string::npos);
+  EXPECT_NE(monitor.payload.find("last_checkpoint=unavailable"),
+            std::string::npos);
+  EXPECT_EQ(service->breaker().consecutive_failures(), 10);
+}
+
+}  // namespace
+}  // namespace ppdb::server

@@ -13,6 +13,8 @@
 //                                         preference-enforced read
 //   ppdb_cli recover <dir>                load, report crash leftovers, and
 //                                         re-commit a clean generation
+//   ppdb_cli serve <dir> [flags]          line-oriented serving loop on
+//                                         stdin/stdout (see src/server/)
 //
 // Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed;
 // 4 recovery succeeded but crash leftovers were discarded.
@@ -26,6 +28,9 @@
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
 #include "relational/sql.h"
+#include "server/broker.h"
+#include "server/serve.h"
+#include "server/service.h"
 #include "storage/database_io.h"
 #include "violation/change_impact.h"
 #include "violation/default_model.h"
@@ -54,7 +59,9 @@ int Usage() {
                "  ppdb_cli audit <dir> [n]\n"
                "  ppdb_cli enforce <dir> <purpose> <visibility> <table> "
                "<attr[,attr...]>\n"
-               "  ppdb_cli recover <dir>\n");
+               "  ppdb_cli recover <dir>\n"
+               "  ppdb_cli serve <dir> [--workers N] [--queue K] "
+               "[--deadline-ms D] [--checkpoint-every E]\n");
   return 2;
 }
 
@@ -234,6 +241,48 @@ int RunAudit(const storage::Database& database, const std::string& count) {
   return 0;
 }
 
+// serve <dir> [flags]: the overload-safe serving loop (src/server/) on
+// stdin/stdout. Exit 0 even when the final checkpoint fails (the serving
+// itself succeeded); the failure is reported on stderr.
+int RunServe(const std::string& dir, int argc, char** argv) {
+  server::RequestBroker::Options broker_options;
+  server::DatabaseService::Options service_options;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    Result<int64_t> value = ParseInt64(argv[i + 1]);
+    if (!value.ok()) return Fail(value.status());
+    if (flag == "--workers") {
+      broker_options.num_workers = static_cast<int>(value.value());
+    } else if (flag == "--queue") {
+      broker_options.queue_capacity = static_cast<size_t>(value.value());
+    } else if (flag == "--deadline-ms") {
+      broker_options.default_deadline =
+          std::chrono::milliseconds(value.value());
+    } else if (flag == "--checkpoint-every") {
+      service_options.checkpoint_every_events = value.value();
+    } else {
+      std::fprintf(stderr, "unknown serve flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+  Result<std::unique_ptr<server::DatabaseService>> service =
+      server::DatabaseService::Create(dir, &storage::GetRealFileSystem(),
+                                      service_options);
+  if (!service.ok()) return Fail(service.status());
+  if (!service.value()->recovery().clean()) {
+    std::fprintf(stderr, "warning: '%s' needed recovery\n%s", dir.c_str(),
+                 service.value()->recovery().ToString().c_str());
+  }
+  server::RequestBroker broker(broker_options);
+  Status final_checkpoint =
+      server::Serve(std::cin, std::cout, *service.value(), broker);
+  if (!final_checkpoint.ok()) {
+    std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                 final_checkpoint.ToString().c_str());
+  }
+  return 0;
+}
+
 // The paper's Section 8 scenario as a ready-made database directory.
 int RunDemo(const std::string& dir) {
   storage::Database database;
@@ -292,6 +341,7 @@ int main(int argc, char** argv) {
 
   if (command == "demo" && argc == 3) return RunDemo(dir);
   if (command == "recover" && argc == 3) return RunRecover(dir);
+  if (command == "serve") return RunServe(dir, argc, argv);
 
   Result<storage::Database> database = LoadWithWarnings(dir);
   if (!database.ok()) return Fail(database.status());

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the violation perf benchmark and records its JSON output at the repo
-# root (BENCH_perf_violation.json), so the perf trajectory is tracked across
-# PRs. Usage:
+# Runs the violation perf benchmark and the broker saturation benchmark,
+# recording their JSON outputs at the repo root (BENCH_perf_violation.json
+# and BENCH_server_broker.json), so the perf and overload trajectories are
+# tracked across PRs. Usage:
 #
 #   tools/run_bench.sh [build_dir] [output_json]
 #
@@ -12,9 +13,11 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build"}"
 output="${2:-"${repo_root}/BENCH_perf_violation.json"}"
 bench="${build_dir}/bench/bench_perf_violation"
+broker_bench="${build_dir}/bench/bench_server_broker"
+broker_output="${repo_root}/BENCH_server_broker.json"
 
-if [[ ! -x "${bench}" ]]; then
-  echo "error: ${bench} not built; run:" >&2
+if [[ ! -x "${bench}" || ! -x "${broker_bench}" ]]; then
+  echo "error: benchmarks not built under ${build_dir}; run:" >&2
   echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
   exit 1
 fi
@@ -24,3 +27,6 @@ fi
   --benchmark_out="${output}" \
   --benchmark_out_format=json
 echo "wrote ${output}"
+
+"${broker_bench}" "${broker_output}"
+echo "wrote ${broker_output}"
