@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "privacy/config.h"
 #include "server/broker.h"
 #include "server/request.h"
@@ -56,6 +57,7 @@ struct LevelResult {
   int shed = 0;
   double shed_rate = 0.0;
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
 };
 
@@ -111,6 +113,7 @@ LevelResult RunLevel(server::DatabaseService& service, double offered_rps) {
   result.shed_rate =
       static_cast<double>(result.shed) / static_cast<double>(result.requests);
   result.p50_ms = PercentileMs(latencies, 0.50);
+  result.p95_ms = PercentileMs(latencies, 0.95);
   result.p99_ms = PercentileMs(latencies, 0.99);
   return result;
 }
@@ -153,12 +156,39 @@ int Run(const std::string& output_path) {
     std::snprintf(line, sizeof(line),
                   "    {\"offered_rps\": %.0f, \"requests\": %d, "
                   "\"shed\": %d, \"shed_rate\": %.4f, "
-                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                   r.offered_rps, r.requests, r.shed, r.shed_rate, r.p50_ms,
-                  r.p99_ms, i + 1 < results.size() ? "," : "");
+                  r.p95_ms, r.p99_ms, i + 1 < results.size() ? "," : "");
     out << line;
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+
+  // The broker's own registry histograms, accumulated across the whole
+  // sweep. These split the end-to-end latency above into its queue-wait
+  // and service components (see OBSERVABILITY.md).
+  out << "  \"registry\": {\n";
+  const struct {
+    const char* json_key;
+    const char* metric;
+  } kHistograms[] = {
+      {"queue_wait_seconds", "ppdb_broker_queue_wait_seconds"},
+      {"service_seconds", "ppdb_broker_service_seconds"},
+  };
+  for (size_t i = 0; i < std::size(kHistograms); ++i) {
+    obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+        kHistograms[i].metric, "");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    \"%s\": {\"count\": %lld, \"p50_ms\": %.3f, "
+                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                  kHistograms[i].json_key,
+                  static_cast<long long>(h->Count()),
+                  h->Percentile(0.50) * 1000.0, h->Percentile(0.95) * 1000.0,
+                  h->Percentile(0.99) * 1000.0,
+                  i + 1 < std::size(kHistograms) ? "," : "");
+    out << line;
+  }
+  out << "  }\n}\n";
   if (!out) {
     std::fprintf(stderr, "error: failed to write %s\n", output_path.c_str());
     return 1;

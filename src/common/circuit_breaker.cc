@@ -17,9 +17,16 @@ std::chrono::steady_clock::time_point CircuitBreaker::Now() const {
                         : std::chrono::steady_clock::now();
 }
 
+void CircuitBreaker::SetState(State next) {
+  if (state_ == next) return;
+  const State prior = state_;
+  state_ = next;
+  if (options_.on_transition) options_.on_transition(prior, next);
+}
+
 void CircuitBreaker::MaybeHalfOpen() {
   if (state_ == State::kOpen && Now() - opened_at_ >= options_.open_duration) {
-    state_ = State::kHalfOpen;
+    SetState(State::kHalfOpen);
     probe_in_flight_ = false;
   }
 }
@@ -57,7 +64,7 @@ void CircuitBreaker::Record(const Status& status) {
   probe_in_flight_ = false;
   if (status.ok()) {
     consecutive_failures_ = 0;
-    state_ = State::kClosed;
+    SetState(State::kClosed);
     return;
   }
   if (!IsTransient(status)) return;
@@ -65,7 +72,7 @@ void CircuitBreaker::Record(const Status& status) {
   if (state_ == State::kHalfOpen ||
       (state_ == State::kClosed &&
        consecutive_failures_ >= options_.failure_threshold)) {
-    state_ = State::kOpen;
+    SetState(State::kOpen);
     opened_at_ = Now();
     ++trips_;
   }
@@ -79,6 +86,19 @@ CircuitBreaker::State CircuitBreaker::state() const {
     return State::kHalfOpen;
   }
   return state_;
+}
+
+CircuitBreaker::StatsSnapshot CircuitBreaker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snapshot;
+  snapshot.state = state_;
+  if (state_ == State::kOpen && Now() - opened_at_ >= options_.open_duration) {
+    snapshot.state = State::kHalfOpen;  // same lapse rule as state()
+  }
+  snapshot.trips = trips_;
+  snapshot.rejected = rejected_;
+  snapshot.consecutive_failures = consecutive_failures_;
+  return snapshot;
 }
 
 std::string_view CircuitBreaker::StateName(State state) {

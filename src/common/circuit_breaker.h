@@ -49,6 +49,11 @@ class CircuitBreaker {
     std::chrono::milliseconds open_duration{1000};
     /// Replacement clock for tests; nullptr uses steady_clock::now.
     std::function<std::chrono::steady_clock::time_point()> clock;
+    /// Invoked on every state change, under the breaker's lock — it must be
+    /// fast and must not call back into the breaker. Lets an observability
+    /// layer mirror the state machine (gauge + transition counter) without
+    /// the breaker depending on it.
+    std::function<void(State from, State to)> on_transition;
   };
 
   CircuitBreaker() : CircuitBreaker(Options()) {}
@@ -69,6 +74,17 @@ class CircuitBreaker {
 
   State state() const;
 
+  /// All observable breaker state captured under one lock acquisition, so
+  /// the fields are mutually consistent — reading `state()` and `trips()`
+  /// separately can interleave with a trip between the two reads.
+  struct StatsSnapshot {
+    State state = State::kClosed;
+    int64_t trips = 0;
+    int64_t rejected = 0;
+    int64_t consecutive_failures = 0;
+  };
+  StatsSnapshot Snapshot() const;
+
   /// Canonical lower-case name of `state`, e.g. "half_open".
   static std::string_view StateName(State state);
 
@@ -85,6 +101,8 @@ class CircuitBreaker {
   std::chrono::steady_clock::time_point Now() const;
   /// Moves open -> half-open when the open window has elapsed.
   void MaybeHalfOpen();
+  /// Sets state_ and fires on_transition when it actually changed.
+  void SetState(State next);
 
   Options options_;
   mutable std::mutex mu_;

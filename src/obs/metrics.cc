@@ -1,0 +1,318 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppdb::obs {
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+void AddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Shortest round-trippable rendering of a double; integers print bare.
+std::string Num(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v > -1e15 &&
+      v < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  // Shortest representation that round-trips, so bucket bounds render as
+  // "0.00025" rather than their 17-digit expansion.
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Metric and label names must match [a-zA-Z_:][a-zA-Z0-9_:]*; anything
+/// else is mapped to '_' so one bad call site cannot invalidate the whole
+/// exposition.
+std::string SanitizeName(std::string_view name) {
+  std::string out(name.empty() ? std::string_view("_") : name);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+/// Escapes a label value per the exposition format: backslash, quote, and
+/// newline.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}`, or empty for no labels. Doubles as the sample key,
+/// so samples with the same rendered labels are the same sample.
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += SanitizeName(key) + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+/// As RenderLabels but with `le="<bound>"` appended (histogram buckets).
+std::string RenderLabelsWithLe(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [key, value] : labels) {
+    out += SanitizeName(key) + "=\"" + EscapeLabelValue(value) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+// --- Counter ---------------------------------------------------------------
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal::ShardedSlot& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+std::vector<double> Histogram::DefaultLatencyBucketsSeconds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBucketsSeconds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::make_unique<internal::ShardedSlot[]>(kMetricShards *
+                                                      (bounds_.size() + 1));
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const size_t shard = internal::ShardIndex();
+  counts_[shard * (bounds_.size() + 1) + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  internal::AddDouble(sums_[shard].value, value);
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  const size_t n = kMetricShards * (bounds_.size() + 1);
+  for (size_t i = 0; i < n; ++i) {
+    total += counts_[i].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const internal::ShardedDoubleSlot& slot : sums_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<int64_t> Histogram::CumulativeCounts() const {
+  std::vector<int64_t> cumulative(bounds_.size() + 1, 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      cumulative[b] += counts_[shard * (bounds_.size() + 1) + b].value.load(
+          std::memory_order_relaxed);
+    }
+  }
+  for (size_t b = 1; b < cumulative.size(); ++b) {
+    cumulative[b] += cumulative[b - 1];
+  }
+  return cumulative;
+}
+
+double Histogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<int64_t> cumulative = CumulativeCounts();
+  const int64_t total = cumulative.back();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  int64_t below = 0;
+  for (size_t b = 0; b < cumulative.size(); ++b) {
+    if (static_cast<double>(cumulative[b]) < rank) {
+      below = cumulative[b];
+      continue;
+    }
+    if (b == bounds_.size()) return bounds_.back();  // +Inf bucket
+    const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+    const double upper = bounds_[b];
+    const int64_t in_bucket = cumulative[b] - below;
+    if (in_bucket <= 0) return upper;
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instrumented layers hold bare pointers into the
+  // registry from static storage, so it must outlive every static user.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Sample* MetricsRegistry::GetSample(
+    std::string_view name, std::string_view help, Type type, Labels labels,
+    const std::vector<double>* buckets) {
+  const std::string family_name = SanitizeName(name);
+  const std::string key = RenderLabels(labels);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [family_it, family_inserted] =
+      families_.try_emplace(family_name, Family{});
+  Family& family = family_it->second;
+  if (family_inserted) {
+    family.type = type;
+    family.help = std::string(help);
+    if (type == Type::kHistogram && buckets != nullptr) {
+      family.buckets = *buckets;
+    }
+  }
+
+  auto make_sample = [&](Sample& sample) {
+    sample.labels = std::move(labels);
+    switch (type) {
+      case Type::kCounter:
+        sample.counter.reset(new Counter());
+        break;
+      case Type::kGauge:
+        sample.gauge.reset(new Gauge());
+        break;
+      case Type::kHistogram:
+        sample.histogram.reset(new Histogram(
+            family.type == Type::kHistogram ? family.buckets
+                                            : std::vector<double>{}));
+        break;
+    }
+  };
+
+  if (family.type != type) {
+    // Type conflict: hand back a working instrument that is simply never
+    // rendered, so the call site stays correct and the exposition stays
+    // valid.
+    detached_.push_back(std::make_unique<Sample>());
+    make_sample(*detached_.back());
+    return detached_.back().get();
+  }
+
+  auto [sample_it, sample_inserted] = family.samples.try_emplace(key);
+  if (sample_inserted) make_sample(sample_it->second);
+  return &sample_it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help, Labels labels) {
+  return GetSample(name, help, Type::kCounter, std::move(labels), nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 Labels labels) {
+  return GetSample(name, help, Type::kGauge, std::move(labels), nullptr)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> buckets,
+                                         Labels labels) {
+  if (buckets.empty()) buckets = Histogram::DefaultLatencyBucketsSeconds();
+  return GetSample(name, help, Type::kHistogram, std::move(labels), &buckets)
+      ->histogram.get();
+}
+
+size_t MetricsRegistry::num_families() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter: out += "counter\n"; break;
+      case Type::kGauge: out += "gauge\n"; break;
+      case Type::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [key, sample] : family.samples) {
+      switch (family.type) {
+        case Type::kCounter:
+          out += name + key + " " + std::to_string(sample.counter->Value()) +
+                 "\n";
+          break;
+        case Type::kGauge:
+          out += name + key + " " + Num(sample.gauge->Value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *sample.histogram;
+          const std::vector<int64_t> cumulative = h.CumulativeCounts();
+          for (size_t b = 0; b < h.bucket_bounds().size(); ++b) {
+            out += name + "_bucket" +
+                   RenderLabelsWithLe(sample.labels,
+                                      Num(h.bucket_bounds()[b])) +
+                   " " + std::to_string(cumulative[b]) + "\n";
+          }
+          out += name + "_bucket" + RenderLabelsWithLe(sample.labels, "+Inf") +
+                 " " + std::to_string(cumulative.back()) + "\n";
+          out += name + "_sum" + key + " " + Num(h.Sum()) + "\n";
+          out += name + "_count" + key + " " +
+                 std::to_string(cumulative.back()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ppdb::obs

@@ -1,0 +1,188 @@
+#ifndef PPDB_OBS_METRICS_H_
+#define PPDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppdb::obs {
+
+/// Shards per hot-path metric. Each thread is pinned round-robin to one
+/// cache-line-padded slot, so concurrent `Counter::Add` /
+/// `Histogram::Observe` calls from distinct threads pay one relaxed
+/// fetch_add on distinct cache lines instead of bouncing a shared line.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+/// One cache-line-isolated atomic cell of a sharded metric.
+struct alignas(64) ShardedSlot {
+  std::atomic<int64_t> value{0};
+};
+
+/// One cache-line-isolated double accumulator (CAS-add; see AddDouble).
+struct alignas(64) ShardedDoubleSlot {
+  std::atomic<double> value{0.0};
+};
+
+/// The calling thread's shard index, assigned round-robin on first use.
+size_t ShardIndex();
+
+/// Relaxed compare-exchange add for pre-C++20-fetch_add portability.
+void AddDouble(std::atomic<double>& target, double delta);
+
+}  // namespace internal
+
+/// A monotonically increasing counter. `Add` is lock-free and touches only
+/// the calling thread's shard; `Value` sums the shards (each shard read is
+/// atomic, so the sum never under-counts a completed Add, though a sum
+/// taken mid-traffic is not a single instant — see
+/// `RequestBroker::Stats()` for the locked, mutually consistent view).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    shards_[internal::ShardIndex()].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+  }
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<internal::ShardedSlot, kMetricShards> shards_;
+};
+
+/// A last-writer-wins instantaneous value (queue depth, breaker state,
+/// P(W)). Not sharded: gauges are written at state transitions, not on the
+/// per-request hot path.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram (Prometheus classic style): `Observe` is one
+/// relaxed add on the calling thread's shard of the matching bucket plus a
+/// sharded sum update; `Percentile` reconstructs quantiles from the bucket
+/// counts by linear interpolation, which is exact to within one bucket
+/// width. Bucket bounds are fixed at registration so observation never
+/// allocates or locks.
+class Histogram {
+ public:
+  /// Upper bounds (seconds) tuned for request latencies: ~100us to 10s,
+  /// roughly 2-2.5x apart. An implicit +Inf bucket is always appended.
+  static std::vector<double> DefaultLatencyBucketsSeconds();
+
+  void Observe(double value);
+
+  /// Total observations (exact: shards never drop an Observe).
+  int64_t Count() const;
+  /// Sum of observed values (exact for integer-valued observations within
+  /// 2^53; otherwise subject to double rounding only).
+  double Sum() const;
+  /// The q-quantile (q in [0,1]) reconstructed from bucket counts: linear
+  /// interpolation inside the selected bucket, the bucket's lower bound for
+  /// q=0, and the highest finite bound when the quantile lands in the +Inf
+  /// bucket. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// Ascending finite upper bounds (the +Inf bucket is implicit).
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Cumulative counts per bucket, ending with the +Inf bucket == Count().
+  std::vector<int64_t> CumulativeCounts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  /// counts_[shard * (bounds_.size() + 1) + bucket]; fixed-size array
+  /// because atomics are neither copyable nor movable.
+  std::vector<double> bounds_;
+  std::unique_ptr<internal::ShardedSlot[]> counts_;
+  std::array<internal::ShardedDoubleSlot, kMetricShards> sums_;
+};
+
+/// Label set of one sample, e.g. {{"lane", "priority"}}. Order is
+/// preserved in the rendered output.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A process-wide registry of named metrics with Prometheus text-format
+/// export.
+///
+/// `Get*` registers on first use and returns the same stable pointer on
+/// every later call with the same (name, labels); instrumented code caches
+/// the pointer (typically in a function-local static struct) so the hot
+/// path never touches the registry mutex. Samples sharing a name form one
+/// family rendered under a single `# HELP` / `# TYPE` header.
+///
+/// Misuse is non-fatal by design: a name re-registered as a different
+/// metric type gets a detached instrument that works but is not exported,
+/// so a buggy call site cannot corrupt the exposition.
+class MetricsRegistry {
+ public:
+  /// The process-wide default registry every ppdb layer registers into.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      Labels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  Labels labels = {});
+  /// `buckets` empty means `Histogram::DefaultLatencyBucketsSeconds()`.
+  /// Bounds are sorted and deduplicated; they apply to the whole family
+  /// (the first registration wins).
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> buckets = {},
+                          Labels labels = {});
+
+  /// Prometheus text exposition format, families in name order, samples in
+  /// label order. Histograms emit cumulative `_bucket{le=...}` samples plus
+  /// `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  /// Registered family count (for tests).
+  size_t num_families() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Sample {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::vector<double> buckets;  // histogram families only
+    std::map<std::string, Sample> samples;  // keyed by rendered label string
+  };
+
+  Sample* GetSample(std::string_view name, std::string_view help, Type type,
+                    Labels labels, const std::vector<double>* buckets);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  /// Type-conflicted instruments: alive, functional, never exported.
+  std::vector<std::unique_ptr<Sample>> detached_;
+};
+
+}  // namespace ppdb::obs
+
+#endif  // PPDB_OBS_METRICS_H_

@@ -1,0 +1,148 @@
+#ifndef PPDB_OBS_TRACE_H_
+#define PPDB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppdb::obs {
+
+/// One timed operation inside a trace. Spans form a tree via
+/// `parent_index` into the owning trace's flat `spans` vector (-1 for the
+/// root), in start order, so a trace is reconstructible without pointer
+/// chasing and serializes deterministically.
+struct SpanRecord {
+  std::string name;
+  int32_t parent_index = -1;
+  /// Microseconds relative to the trace's start, so serialized traces are
+  /// stable across wall-clock epochs.
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  /// Small key=value annotations (e.g. providers=1000, shards=2).
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// A completed per-request span tree. `trace_id` is deterministic: it is
+/// derived from the broker request id (`ppdb-req-<id>`), never from a
+/// random source, so identical runs produce identical trace dumps.
+struct TraceRecord {
+  std::string trace_id;
+  std::string name;
+  /// Microseconds since the tracer clock epoch at which the trace started.
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  std::vector<SpanRecord> spans;
+
+  /// One JSON object, single line, keys in fixed order.
+  std::string ToJson() const;
+};
+
+/// Collects the last N completed traces in a ring. Span creation inside an
+/// active trace is mutex-free for the owning thread (the trace under
+/// construction is thread_local); the tracer mutex is taken once per
+/// completed trace to push into the ring.
+///
+/// The clock is injectable so tests can step time and assert byte-exact
+/// JSON.
+class Tracer {
+ public:
+  struct Options {
+    /// Completed traces retained (oldest evicted first). Clamped >= 1.
+    size_t ring_capacity = 64;
+    /// Replacement clock for tests; nullptr uses steady_clock::now.
+    std::function<std::chrono::steady_clock::time_point()> clock;
+  };
+
+  /// The process-wide default tracer (ring_capacity = 64, real clock).
+  static Tracer& Default();
+
+  Tracer() : Tracer(Options()) {}
+  explicit Tracer(Options options);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Snapshot of the ring, oldest first.
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// JSON array of `Snapshot()`, oldest first, on a single line.
+  std::string SnapshotJson() const;
+
+  /// Total traces ever completed (ring evictions included).
+  int64_t traces_completed() const;
+
+  /// Replaces the clock (tests only; not thread-safe against active
+  /// traces).
+  void set_clock(
+      std::function<std::chrono::steady_clock::time_point()> clock);
+
+ private:
+  friend class TraceScope;
+  friend class SpanScope;
+
+  std::chrono::steady_clock::time_point Now() const;
+  void Commit(TraceRecord record);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<TraceRecord> ring_;
+  int64_t completed_ = 0;
+};
+
+/// RAII root of a trace: starts the thread_local active trace on
+/// construction, completes it and commits to the tracer's ring on
+/// destruction. At most one TraceScope may be live per thread; a nested
+/// TraceScope on the same thread is inert (spans keep attaching to the
+/// outer trace) so layered instrumentation composes without coordination.
+class TraceScope {
+ public:
+  /// `trace_id` should be deterministic (e.g. "ppdb-req-42" from the
+  /// broker's request id); `name` labels the operation (e.g. "analyze").
+  TraceScope(Tracer& tracer, std::string trace_id, std::string name);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Whether this scope owns the thread's active trace (false when nested).
+  bool active() const { return owns_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  bool owns_ = false;
+  std::chrono::steady_clock::time_point started_;
+};
+
+/// RAII span inside the thread's active trace: records itself (with
+/// wall-clock duration) into the trace's span tree on destruction. A
+/// no-op when no trace is active on this thread, so instrumented code
+/// needs no "is tracing on?" branches.
+class SpanScope {
+ public:
+  explicit SpanScope(std::string_view name);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attaches a key=value annotation (no-op when not recording).
+  void Note(std::string_view key, std::string_view value);
+  void Note(std::string_view key, int64_t value);
+
+  /// Whether a trace is active and this span is recording.
+  bool recording() const { return index_ >= 0; }
+
+ private:
+  int32_t index_ = -1;
+  int32_t prior_parent_ = -1;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace ppdb::obs
+
+#endif  // PPDB_OBS_TRACE_H_

@@ -4,6 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ppdb::server {
 
 namespace {
@@ -17,6 +20,68 @@ int64_t RetryAfterHintMs(const RequestBroker::Options& options) {
   }
   return 50;
 }
+
+/// The broker's registry instruments, registered as one batch on first use
+/// (the first RequestBroker construction) so a scrape taken before any
+/// traffic already shows every ppdb_broker_* family. Counters accumulate
+/// across broker instances; gauges reflect the most recent writer.
+struct BrokerMetrics {
+  obs::Counter* submitted;
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Counter* completed;
+  obs::Counter* deadline_exceeded;
+  obs::Gauge* queue_depth_normal;
+  obs::Gauge* queue_depth_priority;
+  obs::Gauge* in_flight;
+  obs::Gauge* workers;
+  obs::Gauge* draining;
+  obs::Histogram* queue_wait;
+  obs::Histogram* service;
+
+  static const BrokerMetrics& Get() {
+    static const BrokerMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+      BrokerMetrics m;
+      m.submitted = r.GetCounter("ppdb_broker_submitted_total",
+                                 "Requests offered to the broker "
+                                 "(admitted + shed).");
+      m.admitted = r.GetCounter("ppdb_broker_admitted_total",
+                                "Requests admitted to a lane.");
+      m.shed = r.GetCounter("ppdb_broker_shed_total",
+                            "Requests shed at admission (queue full or "
+                            "draining).");
+      m.completed = r.GetCounter("ppdb_broker_completed_total",
+                                 "Admitted requests whose callback fired.");
+      m.deadline_exceeded =
+          r.GetCounter("ppdb_broker_deadline_exceeded_total",
+                       "Admitted requests that finished with "
+                       "kDeadlineExceeded.");
+      m.queue_depth_normal =
+          r.GetGauge("ppdb_broker_queue_depth",
+                     "Requests queued per lane (admitted, not yet running).",
+                     {{"lane", "normal"}});
+      m.queue_depth_priority =
+          r.GetGauge("ppdb_broker_queue_depth",
+                     "Requests queued per lane (admitted, not yet running).",
+                     {{"lane", "priority"}});
+      m.in_flight = r.GetGauge("ppdb_broker_in_flight",
+                               "Requests currently executing on a worker.");
+      m.workers = r.GetGauge("ppdb_broker_workers",
+                             "Dedicated broker worker threads.");
+      m.draining = r.GetGauge("ppdb_broker_draining",
+                              "1 once Drain() has been called, else 0.");
+      m.queue_wait = r.GetHistogram(
+          "ppdb_broker_queue_wait_seconds",
+          "Time from admission to a worker picking the request up.");
+      m.service = r.GetHistogram(
+          "ppdb_broker_service_seconds",
+          "Worker execution time of a request (queue wait excluded).");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -39,6 +104,8 @@ RequestBroker::RequestBroker(Options options) : options_(options) {
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
   options_.priority_capacity = std::max<size_t>(options_.priority_capacity, 1);
+  BrokerMetrics::Get().workers->Set(options_.num_workers);
+  BrokerMetrics::Get().draining->Set(0);
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     pool_->Submit([this] { WorkerLoop(); });
@@ -58,12 +125,15 @@ RequestBroker::~RequestBroker() {
 Status RequestBroker::Submit(Lane lane,
                              std::chrono::milliseconds deadline_budget,
                              Work work, Callback on_done) {
+  const BrokerMetrics& metrics = BrokerMetrics::Get();
   Job job;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++submitted_;
+    metrics.submitted->Add();
     if (draining_) {
       ++shed_;
+      metrics.shed->Add();
       return Status::Unavailable("broker is draining; not accepting work");
     }
     std::deque<Job>& queue = lane == Lane::kPriority ? priority_ : normal_;
@@ -72,13 +142,16 @@ Status RequestBroker::Submit(Lane lane,
                                 : options_.queue_capacity;
     if (queue.size() >= capacity) {
       ++shed_;
+      metrics.shed->Add();
       return Status::Unavailable(
           "queue full (" + std::to_string(capacity) +
           " queued); retry_after_ms=" +
           std::to_string(RetryAfterHintMs(options_)));
     }
     ++admitted_;
+    metrics.admitted->Add();
     job.id = next_id_++;
+    job.admitted_at = std::chrono::steady_clock::now();
     // The clock starts here, at admission — time spent queued counts.
     std::chrono::milliseconds budget =
         deadline_budget.count() > 0 ? deadline_budget
@@ -89,25 +162,38 @@ Status RequestBroker::Submit(Lane lane,
     job.on_done = std::move(on_done);
     outstanding_.emplace(job.id, job.deadline);
     queue.push_back(std::move(job));
+    (lane == Lane::kPriority ? metrics.queue_depth_priority
+                             : metrics.queue_depth_normal)
+        ->Set(static_cast<double>(queue.size()));
   }
   work_cv_.notify_one();
   return Status::OK();
 }
 
 bool RequestBroker::NextJob(Job* job) {
+  const BrokerMetrics& metrics = BrokerMetrics::Get();
   std::unique_lock<std::mutex> lock(mu_);
   work_cv_.wait(lock, [this] {
     return stopping_ || !priority_.empty() || !normal_.empty();
   });
   if (priority_.empty() && normal_.empty()) return false;  // stopping
-  std::deque<Job>& queue = priority_.empty() ? normal_ : priority_;
+  const bool from_priority = !priority_.empty();
+  std::deque<Job>& queue = from_priority ? priority_ : normal_;
   *job = std::move(queue.front());
   queue.pop_front();
   ++in_flight_;
+  (from_priority ? metrics.queue_depth_priority : metrics.queue_depth_normal)
+      ->Set(static_cast<double>(queue.size()));
+  metrics.in_flight->Set(static_cast<double>(in_flight_));
+  metrics.queue_wait->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job->admitted_at)
+          .count());
   return true;
 }
 
 void RequestBroker::WorkerLoop() {
+  const BrokerMetrics& metrics = BrokerMetrics::Get();
   Job job;
   while (NextJob(&job)) {
     Response response;
@@ -117,7 +203,16 @@ void RequestBroker::WorkerLoop() {
       response.status =
           Status::DeadlineExceeded("deadline expired while queued");
     } else {
+      // The trace id is the broker request id, so identical request
+      // sequences produce identical trace dumps; spans opened inside the
+      // engine attach under this root.
+      obs::TraceScope trace(obs::Tracer::Default(),
+                            "ppdb-req-" + std::to_string(job.id), "request");
+      const auto started = std::chrono::steady_clock::now();
       response = job.work(job.deadline);
+      metrics.service->Observe(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - started)
+                                   .count());
     }
     job.on_done(response);
     const bool expired = response.status.IsDeadlineExceeded();
@@ -127,7 +222,12 @@ void RequestBroker::WorkerLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
       ++completed_;
-      if (expired) ++deadline_exceeded_;
+      metrics.completed->Add();
+      if (expired) {
+        ++deadline_exceeded_;
+        metrics.deadline_exceeded->Add();
+      }
+      metrics.in_flight->Set(static_cast<double>(in_flight_));
       outstanding_.erase(finished_id);
     }
     idle_cv_.notify_all();
@@ -137,6 +237,7 @@ void RequestBroker::WorkerLoop() {
 void RequestBroker::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   draining_ = true;
+  BrokerMetrics::Get().draining->Set(1);
   const auto quiescent = [this] {
     return priority_.empty() && normal_.empty() && in_flight_ == 0;
   };

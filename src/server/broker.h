@@ -118,6 +118,11 @@ class RequestBroker {
   /// fast-failing) remainder. Idempotent; safe to call concurrently.
   void Drain();
 
+  /// Point-in-time view of the counters, taken under one lock acquisition
+  /// so the fields are mutually consistent: `submitted == admitted + shed`
+  /// and `admitted == completed + queue_depth + priority_depth + in_flight`
+  /// hold in every snapshot. The same mutations also feed the process-wide
+  /// `obs::MetricsRegistry` (ppdb_broker_* families) under the same lock.
   StatsSnapshot Stats() const;
 
  private:
@@ -126,6 +131,8 @@ class RequestBroker {
     Deadline deadline;
     Work work;
     Callback on_done;
+    /// When admission happened; queue-wait time is measured from here.
+    std::chrono::steady_clock::time_point admitted_at;
   };
 
   /// Runs on each dedicated pool worker until shutdown.

@@ -101,6 +101,8 @@ std::string_view RequestKindName(RequestKind kind) {
   switch (kind) {
     case RequestKind::kPing: return "ping";
     case RequestKind::kStats: return "stats";
+    case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kTrace: return "trace";
     case RequestKind::kAnalyze: return "analyze";
     case RequestKind::kCertify: return "certify";
     case RequestKind::kEstimate: return "estimate";
@@ -122,6 +124,8 @@ bool Request::IsCheap() const {
   switch (kind) {
     case RequestKind::kPing:
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
+    case RequestKind::kTrace:
     case RequestKind::kQuery:
     case RequestKind::kEventAdd:
     case RequestKind::kEventRemove:
@@ -184,8 +188,24 @@ Result<Request> ParseRequest(std::string_view line) {
     return request;
   }
   if (command == "stats") {
-    if (tokens.size() != 1) return WrongArity("stats", "no arguments");
+    if (tokens.size() == 2 && tokens[1] == "prometheus") {
+      request.kind = RequestKind::kMetrics;
+      return request;
+    }
+    if (tokens.size() != 1) {
+      return WrongArity("stats", "no arguments, or 'prometheus'");
+    }
     request.kind = RequestKind::kStats;
+    return request;
+  }
+  if (command == "metrics") {
+    if (tokens.size() != 1) return WrongArity("metrics", "no arguments");
+    request.kind = RequestKind::kMetrics;
+    return request;
+  }
+  if (command == "trace") {
+    if (tokens.size() != 1) return WrongArity("trace", "no arguments");
+    request.kind = RequestKind::kTrace;
     return request;
   }
   if (command == "analyze") {
@@ -308,6 +328,28 @@ std::string FormatResponse(int64_t id, const Response& response) {
     if (c == '\n' || c == '\r' || c == '\0') c = ' ';
   }
   out += '\n';
+  return out;
+}
+
+std::string FormatBlockResponse(int64_t id, std::string_view payload) {
+  // Drop one trailing newline so "line1\nline2\n" and "line1\nline2" frame
+  // identically as two body lines.
+  if (!payload.empty() && payload.back() == '\n') {
+    payload.remove_suffix(1);
+  }
+  int64_t lines = payload.empty() ? 0 : 1;
+  for (char c : payload) {
+    if (c == '\n') ++lines;
+  }
+  std::string out = std::to_string(id) + " ok block lines=" +
+                    std::to_string(lines) + "\n";
+  std::string body(payload);
+  for (char& c : body) {
+    if (c == '\r' || c == '\0') c = ' ';
+  }
+  out += body;
+  if (!body.empty()) out += '\n';
+  out += std::to_string(id) + " end\n";
   return out;
 }
 

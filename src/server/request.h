@@ -21,6 +21,8 @@ inline constexpr size_t kMaxRequestLine = 64 * 1024;
 enum class RequestKind {
   kPing,
   kStats,
+  kMetrics,
+  kTrace,
   kAnalyze,
   kCertify,
   kEstimate,
@@ -47,6 +49,8 @@ std::string_view RequestKindName(RequestKind kind);
 ///
 ///   ping
 ///   stats
+///   stats prometheus      (alias: metrics)
+///   trace
 ///   analyze
 ///   certify <alpha>
 ///   estimate pw|pdefault <trials> <seed>
@@ -113,6 +117,20 @@ struct Response {
 /// `<id> error <code> <message>`. Control bytes in the message are
 /// replaced so the wire format stays strictly line-oriented.
 std::string FormatResponse(int64_t id, const Response& response);
+
+/// Renders a successful multi-line payload (Prometheus exposition, trace
+/// dumps) without violating the line protocol:
+///
+///   <id> ok block lines=<n>
+///   <payload line 1>
+///   ...
+///   <id> end
+///
+/// Clients read exactly `n` body lines plus the end marker; the serve loop
+/// writes the whole block under the response-writer lock, so body lines
+/// never interleave with other responses. `\r` and NUL inside body lines
+/// are scrubbed to spaces; errors never use block framing.
+std::string FormatBlockResponse(int64_t id, std::string_view payload);
 
 }  // namespace ppdb::server
 

@@ -19,7 +19,14 @@ class ResponseWriter {
 
   void Write(int64_t id, const Response& response) {
     std::lock_guard<std::mutex> lock(mu_);
-    out_ << FormatResponse(id, response);
+    // Multi-line payloads (Prometheus exposition) get block framing; the
+    // single-line format would scrub their newlines into spaces.
+    if (response.status.ok() &&
+        response.payload.find('\n') != std::string::npos) {
+      out_ << FormatBlockResponse(id, response.payload);
+    } else {
+      out_ << FormatResponse(id, response);
+    }
     out_.flush();
   }
 

@@ -1,12 +1,16 @@
 #include "server/service.h"
 
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "privacy/dimension.h"
 #include "storage/database_io.h"
 #include "violation/default_model.h"
@@ -31,6 +35,91 @@ Response Err(Status status) { return Response{std::move(status), {}}; }
 
 Response Ok(std::string payload) {
   return Response{Status::OK(), std::move(payload)};
+}
+
+/// Every request kind, for eager per-kind counter registration. Must list
+/// the full RequestKind enum.
+constexpr RequestKind kAllKinds[] = {
+    RequestKind::kPing,           RequestKind::kStats,
+    RequestKind::kMetrics,        RequestKind::kTrace,
+    RequestKind::kAnalyze,        RequestKind::kCertify,
+    RequestKind::kEstimate,       RequestKind::kWhatIf,
+    RequestKind::kSearch,         RequestKind::kEventAdd,
+    RequestKind::kEventRemove,    RequestKind::kEventSetPref,
+    RequestKind::kEventRemovePref, RequestKind::kEventSetThreshold,
+    RequestKind::kQuery,          RequestKind::kSave,
+    RequestKind::kDrain,
+};
+
+/// Numeric encoding of the breaker state for the ppdb_service_breaker_state
+/// gauge: 0 closed, 1 open, 2 half_open.
+double BreakerStateValue(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return 0.0;
+    case CircuitBreaker::State::kOpen: return 1.0;
+    case CircuitBreaker::State::kHalfOpen: return 2.0;
+  }
+  return -1.0;
+}
+
+/// The service's registry instruments, registered as one batch on first use
+/// (the first DatabaseService construction): per-kind request counters,
+/// read/write latency, and the breaker mirror.
+struct ServiceMetrics {
+  std::unordered_map<RequestKind, obs::Counter*> requests;
+  obs::Histogram* read_seconds;
+  obs::Histogram* write_seconds;
+  obs::Gauge* breaker_state;
+  obs::Counter* transitions_to[3];  // indexed by BreakerStateValue(to)
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+      ServiceMetrics m;
+      for (RequestKind kind : kAllKinds) {
+        m.requests[kind] = r.GetCounter(
+            "ppdb_service_requests_total",
+            "Requests executed by the service, by parsed kind.",
+            {{"kind", std::string(RequestKindName(kind))}});
+      }
+      m.read_seconds = r.GetHistogram(
+          "ppdb_service_read_seconds",
+          "Execute latency of read requests (IsWrite() == false).");
+      m.write_seconds = r.GetHistogram(
+          "ppdb_service_write_seconds",
+          "Execute latency of write requests (IsWrite() == true).");
+      m.breaker_state = r.GetGauge(
+          "ppdb_service_breaker_state",
+          "Storage circuit breaker state: 0 closed, 1 open, 2 half_open.");
+      const CircuitBreaker::State targets[] = {
+          CircuitBreaker::State::kClosed, CircuitBreaker::State::kOpen,
+          CircuitBreaker::State::kHalfOpen};
+      for (CircuitBreaker::State to : targets) {
+        m.transitions_to[static_cast<int>(BreakerStateValue(to))] =
+            r.GetCounter(
+                "ppdb_service_breaker_transitions_total",
+                "Breaker state transitions, by destination state.",
+                {{"to", std::string(CircuitBreaker::StateName(to))}});
+      }
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Installs the metrics mirror into the breaker options, chaining any
+/// callback the caller configured.
+CircuitBreaker::Options WithBreakerMirror(CircuitBreaker::Options options) {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  auto prior = std::move(options.on_transition);
+  options.on_transition = [prior = std::move(prior), &metrics](
+                              CircuitBreaker::State from,
+                              CircuitBreaker::State to) {
+    metrics.breaker_state->Set(BreakerStateValue(to));
+    metrics.transitions_to[static_cast<int>(BreakerStateValue(to))]->Add();
+    if (prior) prior(from, to);
+  };
+  return options;
 }
 
 }  // namespace
@@ -64,7 +153,9 @@ DatabaseService::DatabaseService(std::string dir, storage::FileSystem* fs,
       recovery_(std::move(recovery)),
       monitor_(std::move(monitor)),
       database_(std::move(database)),
-      breaker_(options.breaker) {
+      breaker_(WithBreakerMirror(options.breaker)) {
+  ServiceMetrics::Get().breaker_state->Set(
+      BreakerStateValue(breaker_.state()));
   LivePopulationMonitor::CheckpointHook hook;
   hook.every_events = options_.checkpoint_every_events;
   hook.save = [this](const privacy::PrivacyConfig& config) {
@@ -100,15 +191,31 @@ Status DatabaseService::FinalCheckpoint() {
 
 Response DatabaseService::Execute(const Request& request,
                                   const Deadline& deadline) {
-  if (deadline.Expired()) {
-    return Err(deadline.Check(RequestKindName(request.kind)));
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  if (auto it = metrics.requests.find(request.kind);
+      it != metrics.requests.end()) {
+    it->second->Add();
   }
-  if (request.IsWrite() && breaker_.state() == CircuitBreaker::State::kOpen) {
-    return Err(Status::Unavailable(
-        "service is read-only: storage breaker open; retry_after_ms=" +
-        std::to_string(options_.breaker.open_duration.count())));
-  }
-  return ExecuteLocked(request, deadline);
+  obs::SpanScope span(RequestKindName(request.kind));
+  const auto started = std::chrono::steady_clock::now();
+  Response response = [&] {
+    if (deadline.Expired()) {
+      return Err(deadline.Check(RequestKindName(request.kind)));
+    }
+    if (request.IsWrite() &&
+        breaker_.state() == CircuitBreaker::State::kOpen) {
+      return Err(Status::Unavailable(
+          "service is read-only: storage breaker open; retry_after_ms=" +
+          std::to_string(options_.breaker.open_duration.count())));
+    }
+    return ExecuteLocked(request, deadline);
+  }();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  (request.IsWrite() ? metrics.write_seconds : metrics.read_seconds)
+      ->Observe(elapsed);
+  return response;
 }
 
 Response DatabaseService::ExecuteLocked(const Request& request,
@@ -124,6 +231,11 @@ Response DatabaseService::ExecuteLocked(const Request& request,
       std::shared_lock<std::shared_mutex> lock(mu_);
       return Stats();
     }
+    case RequestKind::kMetrics:
+      // The registry synchronizes itself; no service lock needed.
+      return Ok(obs::MetricsRegistry::Default().RenderPrometheus());
+    case RequestKind::kTrace:
+      return Ok(obs::Tracer::Default().SnapshotJson());
     case RequestKind::kAnalyze: {
       std::shared_lock<std::shared_mutex> lock(mu_);
       return Analyze(deadline);
@@ -353,15 +465,18 @@ Response DatabaseService::Query(const Request& request) {
 
 Response DatabaseService::Stats() {
   const Status& last = monitor_.last_checkpoint_status();
+  // One locked snapshot instead of three separate breaker reads, so state
+  // and counters cannot interleave with a trip happening between them.
+  const CircuitBreaker::StatsSnapshot breaker = breaker_.Snapshot();
   return Ok(
       "providers=" + std::to_string(monitor_.num_providers()) +
       " violated=" + std::to_string(monitor_.num_violated()) +
       " defaulted=" + std::to_string(monitor_.num_defaulted()) +
       " pw=" + Num(monitor_.ProbabilityOfViolation()) +
       " pdefault=" + Num(monitor_.ProbabilityOfDefault()) +
-      " breaker=" + std::string(CircuitBreaker::StateName(breaker_.state())) +
-      " breaker_trips=" + std::to_string(breaker_.trips()) +
-      " breaker_rejected=" + std::to_string(breaker_.rejected()) +
+      " breaker=" + std::string(CircuitBreaker::StateName(breaker.state)) +
+      " breaker_trips=" + std::to_string(breaker.trips) +
+      " breaker_rejected=" + std::to_string(breaker.rejected) +
       " checkpoints=" + std::to_string(monitor_.checkpoints_taken()) +
       " last_checkpoint=" + std::string(StatusCodeToString(last.code())));
 }

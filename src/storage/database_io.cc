@@ -1,11 +1,14 @@
 #include "storage/database_io.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
 
@@ -218,6 +221,63 @@ int64_t ReadCommittedGeneration(FileSystem& fsys, const fs::path& root,
   return g;
 }
 
+/// The storage layer's registry instruments, registered as one batch on
+/// first use (the first Save/Load — in a server, the startup load). The
+/// fault counters are registered here too so they export as zeros in
+/// production; `FaultInjectingFileSystem` bumps them under test.
+struct StorageMetrics {
+  obs::Histogram* save_seconds;
+  obs::Histogram* load_seconds;
+  obs::Counter* save_ok;
+  obs::Counter* save_error;
+  obs::Counter* load_ok;
+  obs::Counter* load_error;
+  obs::Counter* recovery_discarded;
+  obs::Counter* recovery_fallback;
+
+  static const StorageMetrics& Get() {
+    static const StorageMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+      StorageMetrics m;
+      m.save_seconds = r.GetHistogram(
+          "ppdb_storage_save_seconds",
+          "Wall time of one SaveDatabase generation commit.");
+      m.load_seconds = r.GetHistogram(
+          "ppdb_storage_load_seconds",
+          "Wall time of one LoadDatabase call, recovery included.");
+      m.save_ok =
+          r.GetCounter("ppdb_storage_save_total", "SaveDatabase outcomes.",
+                       {{"result", "ok"}});
+      m.save_error =
+          r.GetCounter("ppdb_storage_save_total", "SaveDatabase outcomes.",
+                       {{"result", "error"}});
+      m.load_ok =
+          r.GetCounter("ppdb_storage_load_total", "LoadDatabase outcomes.",
+                       {{"result", "ok"}});
+      m.load_error =
+          r.GetCounter("ppdb_storage_load_total", "LoadDatabase outcomes.",
+                       {{"result", "error"}});
+      m.recovery_discarded = r.GetCounter(
+          "ppdb_storage_recovery_discarded_total",
+          "Entries discarded during load recovery (stagings, uncommitted "
+          "or torn generations, corrupt CURRENT).");
+      m.recovery_fallback = r.GetCounter(
+          "ppdb_storage_recovery_fallback_total",
+          "Loads that fell back past the committed generation.");
+      for (FaultKind kind :
+           {FaultKind::kFailOp, FaultKind::kTornWrite, FaultKind::kNoSpace,
+            FaultKind::kCrash}) {
+        r.GetCounter("ppdb_storage_faults_injected_total",
+                     "Faults injected by FaultInjectingFileSystem (tests "
+                     "only; zero in production).",
+                     {{"kind", std::string(FaultKindName(kind))}});
+      }
+      return m;
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace
 
 std::string RecoveryReport::ToString() const {
@@ -315,8 +375,8 @@ Status SaveDatabase(std::string_view dir, const Database& database) {
   return SaveDatabase(dir, database, GetRealFileSystem());
 }
 
-Status SaveDatabase(std::string_view dir, const Database& database,
-                    FileSystem& fsys, const SaveOptions& options) {
+static Status SaveDatabaseImpl(std::string_view dir, const Database& database,
+                               FileSystem& fsys, const SaveOptions& options) {
   const fs::path root{std::string(dir)};
   const RetryOptions& retry = options.retry;
   auto retried = [&](const std::string& what,
@@ -374,12 +434,27 @@ Status SaveDatabase(std::string_view dir, const Database& database,
   return Status::OK();
 }
 
+Status SaveDatabase(std::string_view dir, const Database& database,
+                    FileSystem& fsys, const SaveOptions& options) {
+  const StorageMetrics& metrics = StorageMetrics::Get();
+  obs::SpanScope span("storage_save");
+  const auto started = std::chrono::steady_clock::now();
+  Status status = SaveDatabaseImpl(dir, database, fsys, options);
+  metrics.save_seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count());
+  (status.ok() ? metrics.save_ok : metrics.save_error)->Add();
+  return status;
+}
+
 Result<Database> LoadDatabase(std::string_view dir) {
   return LoadDatabase(dir, GetRealFileSystem());
 }
 
-Result<Database> LoadDatabase(std::string_view dir, FileSystem& fsys,
-                              RecoveryReport* report) {
+static Result<Database> LoadDatabaseImpl(std::string_view dir,
+                                         FileSystem& fsys,
+                                         RecoveryReport* report) {
   RecoveryReport local;
   RecoveryReport& rep = report != nullptr ? *report : local;
   rep = RecoveryReport{};
@@ -454,6 +529,25 @@ Result<Database> LoadDatabase(std::string_view dir, FileSystem& fsys,
   return Status(last_error.ok() ? StatusCode::kNotFound : last_error.code(),
                 "no loadable generation in '" + root.string() + "'" +
                     (last_error.ok() ? "" : ": " + last_error.message()));
+}
+
+Result<Database> LoadDatabase(std::string_view dir, FileSystem& fsys,
+                              RecoveryReport* report) {
+  const StorageMetrics& metrics = StorageMetrics::Get();
+  obs::SpanScope span("storage_load");
+  RecoveryReport local;
+  RecoveryReport* rep = report != nullptr ? report : &local;
+  const auto started = std::chrono::steady_clock::now();
+  Result<Database> loaded = LoadDatabaseImpl(dir, fsys, rep);
+  metrics.load_seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count());
+  (loaded.ok() ? metrics.load_ok : metrics.load_error)->Add();
+  metrics.recovery_discarded->Add(
+      static_cast<int64_t>(rep->discarded.size()));
+  if (rep->used_fallback) metrics.recovery_fallback->Add();
+  return loaded;
 }
 
 }  // namespace ppdb::storage

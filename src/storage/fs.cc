@@ -8,10 +8,27 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace ppdb::storage {
 
 namespace stdfs = std::filesystem;
+
+namespace {
+
+/// Registry mirror of `faults_injected()`, labelled by fault kind. The
+/// family is registered by the storage-metrics batch (database_io.cc) so
+/// production expositions carry it as zeros.
+void CountInjectedFault(FaultKind kind) {
+  obs::MetricsRegistry::Default()
+      .GetCounter("ppdb_storage_faults_injected_total",
+                  "Faults injected by FaultInjectingFileSystem (tests "
+                  "only; zero in production).",
+                  {{"kind", std::string(FaultKindName(kind))}})
+      ->Add();
+}
+
+}  // namespace
 
 namespace {
 
@@ -161,6 +178,7 @@ Status FaultInjectingFileSystem::NextOp(const std::string& path,
         return Status::OK();
       }
       ++faults_injected_;
+      CountInjectedFault(plan_.kind);
       return Status::Unavailable("injected transient fault at op " +
                                  std::to_string(op) + " on '" + path + "'");
     case FaultKind::kTornWrite:
@@ -171,6 +189,7 @@ Status FaultInjectingFileSystem::NextOp(const std::string& path,
         return Status::OK();
       }
       ++faults_injected_;
+      CountInjectedFault(plan_.kind);
       if (is_write && !contents.empty()) {
         // A strict prefix lands durably; the seeded Rng picks how much.
         size_t torn = static_cast<size_t>(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -10,7 +11,9 @@
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "violation/conflict.h"
+#include "violation/metrics.h"
 
 namespace ppdb::violation {
 
@@ -257,6 +260,9 @@ Result<ViolationReport> ViolationDetector::Analyze() const {
 
 Result<ViolationReport> ViolationDetector::AnalyzeProviders(
     std::vector<ProviderId> providers) const {
+  const ViolationMetrics& metrics = ViolationMetrics::Get();
+  const auto scan_started = std::chrono::steady_clock::now();
+
   std::sort(providers.begin(), providers.end());
   providers.erase(std::unique(providers.begin(), providers.end()),
                   providers.end());
@@ -264,10 +270,15 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
   const privacy::HousePolicy& house_policy =
       options_.policy_override != nullptr ? *options_.policy_override
                                           : config_->policy;
-  const PreparedPolicy prepared =
-      PreparePolicy(house_policy, options_.purpose_hierarchy);
-  const FlatPreferenceIndex index =
-      BuildIndex(providers, config_->preferences, prepared);
+  PreparedPolicy prepared;
+  FlatPreferenceIndex index;
+  {
+    obs::SpanScope span("index_build");
+    prepared = PreparePolicy(house_policy, options_.purpose_hierarchy);
+    index = BuildIndex(providers, config_->preferences, prepared);
+    span.Note("policy_tuples", static_cast<int64_t>(prepared.tuples.size()));
+    span.Note("index_entries", static_cast<int64_t>(index.entries.size()));
+  }
 
   const int64_t n = static_cast<int64_t>(providers.size());
   const int threads = ThreadPool::ResolveThreadCount(options_.num_threads);
@@ -278,53 +289,81 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
   std::atomic<bool> expired{false};
   std::vector<std::vector<ProviderViolation>> partials(
       static_cast<size_t>(num_shards));
-  ThreadPool::Shared().ParallelRange(
-      0, n, kProviderGrain, threads,
-      [&](int64_t shard, int64_t begin, int64_t end) {
-        if (expired.load(std::memory_order_relaxed)) return;
-        std::vector<ProviderViolation>& out =
-            partials[static_cast<size_t>(shard)];
-        out.reserve(static_cast<size_t>(end - begin));
-        std::vector<std::string_view> violated_attributes;
-        for (int64_t i = begin; i < end; ++i) {
-          if ((i - begin) % kDeadlineStride == 0 &&
-              options_.deadline.Expired()) {
-            expired.store(true, std::memory_order_relaxed);
-            return;
+  {
+    obs::SpanScope span("shard_fanout");
+    span.Note("providers", n);
+    span.Note("shards", num_shards);
+    span.Note("threads", threads);
+    ThreadPool::Shared().ParallelRange(
+        0, n, kProviderGrain, threads,
+        [&](int64_t shard, int64_t begin, int64_t end) {
+          if (expired.load(std::memory_order_relaxed)) return;
+          std::vector<ProviderViolation>& out =
+              partials[static_cast<size_t>(shard)];
+          out.reserve(static_cast<size_t>(end - begin));
+          std::vector<std::string_view> violated_attributes;
+          for (int64_t i = begin; i < end; ++i) {
+            if ((i - begin) % kDeadlineStride == 0 &&
+                options_.deadline.Expired()) {
+              expired.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const size_t position = static_cast<size_t>(i);
+            auto find_pref = [&](int32_t attr_id,
+                                 std::string_view /*attribute*/,
+                                 privacy::PurposeId purpose) {
+              return index.Find(position, attr_id, purpose);
+            };
+            out.push_back(AnalyzeOne(*config_, options_, prepared,
+                                     providers[position], find_pref,
+                                     violated_attributes));
           }
-          const size_t position = static_cast<size_t>(i);
-          auto find_pref = [&](int32_t attr_id, std::string_view /*attribute*/,
-                               privacy::PurposeId purpose) {
-            return index.Find(position, attr_id, purpose);
-          };
-          out.push_back(AnalyzeOne(*config_, options_, prepared,
-                                   providers[position], find_pref,
-                                   violated_attributes));
-        }
-      });
+        });
+  }
+
+  const auto finish = [&](obs::Counter* outcome) {
+    metrics.analyze_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scan_started)
+            .count());
+    outcome->Add();
+  };
 
   if (expired.load(std::memory_order_relaxed)) {
     int64_t analyzed = 0;
     for (const std::vector<ProviderViolation>& partial : partials) {
       analyzed += static_cast<int64_t>(partial.size());
     }
+    finish(metrics.analyze_deadline);
     return Status::DeadlineExceeded(
         "Analyze: analyzed " + std::to_string(analyzed) + " of " +
         std::to_string(n) + " providers before the deadline expired");
   }
 
   ViolationReport report;
-  report.providers.reserve(providers.size());
-  for (std::vector<ProviderViolation>& partial : partials) {
-    for (ProviderViolation& pv : partial) {
-      report.providers.push_back(std::move(pv));
+  {
+    obs::SpanScope span("reduce");
+    report.providers.reserve(providers.size());
+    for (std::vector<ProviderViolation>& partial : partials) {
+      for (ProviderViolation& pv : partial) {
+        report.providers.push_back(std::move(pv));
+      }
+    }
+    // Aggregate in final provider order — the same addition sequence as the
+    // serial loop, so totals are bitwise-identical at any thread count.
+    for (const ProviderViolation& pv : report.providers) {
+      report.total_severity += pv.total_severity;
+      if (pv.violated) ++report.num_violated;
     }
   }
-  // Aggregate in final provider order — the same addition sequence as the
-  // serial loop, so totals are bitwise-identical at any thread count.
-  for (const ProviderViolation& pv : report.providers) {
-    report.total_severity += pv.total_severity;
-    if (pv.violated) ++report.num_violated;
+  finish(metrics.analyze_ok);
+  // Gauges reflect the real policy only: what-if and policy-search scans
+  // run hypothetical policies via policy_override and must not overwrite
+  // the live values.
+  if (options_.policy_override == nullptr) {
+    metrics.pw->Set(report.ProbabilityOfViolation());
+    metrics.total_severity->Set(report.total_severity);
+    metrics.providers->Set(static_cast<double>(n));
   }
   return report;
 }

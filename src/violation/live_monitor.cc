@@ -3,8 +3,24 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "violation/metrics.h"
 
 namespace ppdb::violation {
+
+namespace {
+
+/// Mirrors the monitor's O(1) aggregates into the violation gauges. Called
+/// after every population change so a scrape between full scans still sees
+/// current values.
+void PublishGauges(const LivePopulationMonitor& monitor) {
+  const ViolationMetrics& metrics = ViolationMetrics::Get();
+  metrics.pw->Set(monitor.ProbabilityOfViolation());
+  metrics.pdefault->Set(monitor.ProbabilityOfDefault());
+  metrics.total_severity->Set(monitor.TotalViolations());
+  metrics.providers->Set(static_cast<double>(monitor.num_providers()));
+}
+
+}  // namespace
 
 Result<LivePopulationMonitor> LivePopulationMonitor::Create(
     privacy::PrivacyConfig config,
@@ -18,7 +34,11 @@ Result<LivePopulationMonitor> LivePopulationMonitor::Create(
 
 LivePopulationMonitor::LivePopulationMonitor(
     privacy::PrivacyConfig config, ViolationDetector::Options detector_options)
-    : config_(std::move(config)), detector_options_(detector_options) {}
+    : config_(std::move(config)), detector_options_(detector_options) {
+  // Registers the ppdb_violation_* families at startup and resets the
+  // population gauges for this (new) monitored population.
+  PublishGauges(*this);
+}
 
 void LivePopulationMonitor::Retract(const State& state) {
   if (state.violation.violated) --num_violated_;
@@ -44,6 +64,7 @@ Status LivePopulationMonitor::Refresh(ProviderId provider) {
   if (it != states_.end()) Retract(it->second);
   Apply(state);
   states_[provider] = std::move(state);
+  PublishGauges(*this);
   return Status::OK();
 }
 
@@ -91,6 +112,7 @@ Status LivePopulationMonitor::RemoveProvider(ProviderId provider) {
     PPDB_RETURN_NOT_OK(config_.preferences.Erase(provider));
   }
   config_.thresholds.erase(provider);
+  PublishGauges(*this);
   (void)CountEvent();
   return Status::OK();
 }
@@ -135,6 +157,7 @@ Status LivePopulationMonitor::SetThreshold(ProviderId provider,
   if (defaulted != it->second.defaulted) {
     num_defaulted_ += defaulted ? 1 : -1;
     it->second.defaulted = defaulted;
+    PublishGauges(*this);
   }
   (void)CountEvent();
   return Status::OK();

@@ -1,0 +1,39 @@
+#include "violation/metrics.h"
+
+namespace ppdb::violation {
+
+const ViolationMetrics& ViolationMetrics::Get() {
+  static const ViolationMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    ViolationMetrics m;
+    m.analyze_seconds = r.GetHistogram(
+        "ppdb_violation_analyze_seconds",
+        "Wall time of one full violation scan (index build, shard "
+        "fan-out, reduce).");
+    m.analyze_ok = r.GetCounter("ppdb_violation_analyze_total",
+                                "Full violation scans, by outcome.",
+                                {{"result", "ok"}});
+    m.analyze_deadline = r.GetCounter("ppdb_violation_analyze_total",
+                                      "Full violation scans, by outcome.",
+                                      {{"result", "deadline_exceeded"}});
+    m.analyze_error = r.GetCounter("ppdb_violation_analyze_total",
+                                   "Full violation scans, by outcome.",
+                                   {{"result", "error"}});
+    m.pw = r.GetGauge("ppdb_violation_pw",
+                      "P(W): probability a random provider is violated "
+                      "(Def. 2), from the latest scan or live update.");
+    m.pdefault = r.GetGauge(
+        "ppdb_violation_pdefault",
+        "P(default): probability a random provider exceeds its tolerance "
+        "threshold (Defs. 4-5), from the live monitor.");
+    m.total_severity = r.GetGauge(
+        "ppdb_violation_total_severity",
+        "Population-wide total violation severity, Violations (Eq. 16).");
+    m.providers = r.GetGauge("ppdb_violation_providers",
+                             "Providers in the monitored population.");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace ppdb::violation

@@ -1,0 +1,34 @@
+#ifndef PPDB_VIOLATION_METRICS_H_
+#define PPDB_VIOLATION_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace ppdb::violation {
+
+/// The violation engine's registry instruments, registered as one batch on
+/// first use (monitor construction at service startup, or the first full
+/// scan). Shared between the detector (full scans) and the live monitor
+/// (incremental updates) so both publish into the same gauges.
+struct ViolationMetrics {
+  /// Wall time of one full AnalyzeProviders scan.
+  obs::Histogram* analyze_seconds;
+  /// Scan outcomes: result="ok" | "deadline_exceeded" | "error".
+  obs::Counter* analyze_ok;
+  obs::Counter* analyze_deadline;
+  obs::Counter* analyze_error;
+  /// P(W), the probability a random provider is violated (paper Def. 2).
+  obs::Gauge* pw;
+  /// P(default), the probability a random provider exceeds its tolerance
+  /// threshold (paper Defs. 4-5). Published by the live monitor only.
+  obs::Gauge* pdefault;
+  /// Population-wide total violation severity, `Violations` (paper Eq. 16).
+  obs::Gauge* total_severity;
+  /// Providers in the analyzed / monitored population.
+  obs::Gauge* providers;
+
+  static const ViolationMetrics& Get();
+};
+
+}  // namespace ppdb::violation
+
+#endif  // PPDB_VIOLATION_METRICS_H_

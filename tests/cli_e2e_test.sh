@@ -124,6 +124,20 @@ check "serve drains and checkpoints" "drained=1 final_checkpoint=ok" < "$SERVE_O
 # The drained event survived the final checkpoint.
 "$CLI" report "$DIR/db" | check "serve state persisted" "P(W)=0.7500"
 
+# Observability: a Prometheus scrape arrives block-framed and covers all
+# four instrumented layers; the trace command dumps the span ring as JSON.
+METRICS_OUT="$DIR/metrics.out"
+printf '%s\n' "analyze" "stats prometheus" "trace" \
+  | "$CLI" serve "$DIR/db" > "$METRICS_OUT"
+check "scrape is block-framed" "2 ok block lines=" < "$METRICS_OUT"
+check "scrape has broker metrics" "ppdb_broker_submitted_total" < "$METRICS_OUT"
+check "scrape has service metrics" "ppdb_service_requests_total" < "$METRICS_OUT"
+check "scrape has storage metrics" "ppdb_storage_load_seconds" < "$METRICS_OUT"
+check "scrape has violation metrics" "ppdb_violation_pw" < "$METRICS_OUT"
+check "trace dump is a JSON array" "3 ok [" < "$METRICS_OUT"
+
+"$CLI" trace "$DIR/db" | check "offline trace names its spans" '"name":"shard_fanout"'
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI end-to-end check(s) failed"
   exit 1

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppdb::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentAddsNeverLoseIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits", "test counter");
+
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kAddsPerThread);
+}
+
+// The registry concurrency contract: N threads hammering one histogram,
+// and the totals come out exact — the shards never drop an Observe and
+// integer-valued sums see no rounding.
+TEST(HistogramTest, ConcurrentObservesHaveExactTotals) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("latency", "test histogram", {1.0, 3.0, 5.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        histogram->Observe(static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Per thread: 1428 full 0..6 cycles (sum 21 each) plus 0+1+2+3.
+  constexpr int64_t kSumPerThread = 1428 * 21 + 6;
+  EXPECT_EQ(histogram->Count(), int64_t{kThreads} * kObsPerThread);
+  EXPECT_DOUBLE_EQ(histogram->Sum(),
+                   static_cast<double>(kThreads * kSumPerThread));
+
+  // Bucket placement is by upper bound (le semantics): 0 and 1 land in
+  // le=1, 2 and 3 in le=3, 4 and 5 in le=5, 6 in +Inf.
+  std::vector<int64_t> cumulative = histogram->CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  constexpr int64_t kPerValue = kThreads * (kObsPerThread / 7);
+  EXPECT_EQ(cumulative[0], 2 * kPerValue + kThreads * 2);  // 0,1 (+remainder)
+  EXPECT_EQ(cumulative[3], int64_t{kThreads} * kObsPerThread);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("lat", "test", {1.0, 2.0, 4.0});
+
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.5), 0.0);  // empty
+
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(3.0);
+  histogram->Observe(10.0);  // +Inf bucket
+
+  // One observation per bucket; quantile ranks interpolate linearly.
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.125), 0.5);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.5), 2.0);
+  // A quantile in the +Inf bucket reports the highest finite bound.
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(1.0), 4.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reqs", "requests", {{"kind", "ping"}});
+  Counter* b = registry.GetCounter("reqs", "requests", {{"kind", "ping"}});
+  Counter* c = registry.GetCounter("reqs", "requests", {{"kind", "stats"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.num_families(), 1u);  // one family, two samples
+}
+
+TEST(RegistryTest, ConcurrentRegistrationConvergesOnOnePointer) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      for (int i = 0; i < 1000; ++i) {
+        seen[t] = registry.GetCounter("shared", "shared counter");
+        seen[t]->Add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), int64_t{kThreads} * 1000);
+}
+
+TEST(RegistryTest, TypeConflictDetachesInsteadOfCorrupting) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("thing", "a counter");
+  counter->Add(3);
+
+  // Re-registering the name as a gauge yields a working instrument that
+  // is never exported; the original family is untouched.
+  Gauge* gauge = registry.GetGauge("thing", "now a gauge?");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(42.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 42.0);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("thing 3\n"), std::string::npos);
+  EXPECT_EQ(text.find("42"), std::string::npos);
+  EXPECT_EQ(registry.num_families(), 1u);
+}
+
+TEST(RegistryTest, RenderPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("ppdb_test_total", "Things counted.")->Add(7);
+  registry.GetGauge("ppdb_test_depth", "Depth.", {{"lane", "priority"}})
+      ->Set(2.5);
+  Histogram* h = registry.GetHistogram("ppdb_test_seconds", "Latency.",
+                                       {0.00025, 0.5});
+  h->Observe(0.0001);
+  h->Observe(0.1);
+  h->Observe(9.0);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP ppdb_test_total Things counted.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ppdb_test_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("ppdb_test_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("ppdb_test_depth{lane=\"priority\"} 2.5\n"),
+            std::string::npos);
+  // Bucket bounds render shortest-round-trip, cumulative, with +Inf.
+  EXPECT_NE(text.find("ppdb_test_seconds_bucket{le=\"0.00025\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppdb_test_seconds_bucket{le=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppdb_test_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppdb_test_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(RegistryTest, SanitizesNamesAndEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("bad-name.total", "odd chars",
+                  {{"path", "a\"b\\c\nd"}})
+      ->Add();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("bad_name_total"), std::string::npos);
+  EXPECT_NE(text.find("{path=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+  // The raw newline must not survive inside a sample line.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::obs

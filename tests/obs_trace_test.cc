@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppdb::obs {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+/// A deterministic clock: every call advances time by 100us. Two tracers
+/// driven by fresh step clocks see identical time sequences, so identical
+/// span structures must serialize to identical JSON.
+Tracer::Options StepClockOptions(size_t ring_capacity = 64) {
+  Tracer::Options options;
+  options.ring_capacity = ring_capacity;
+  auto ticks = std::make_shared<int64_t>(0);
+  options.clock = [ticks] {
+    *ticks += 100;
+    return steady_clock::time_point(microseconds(*ticks));
+  };
+  return options;
+}
+
+std::string RunCanonicalTrace(Tracer& tracer) {
+  {
+    TraceScope trace(tracer, "ppdb-req-1", "request");
+    {
+      SpanScope alpha("alpha");
+      alpha.Note("k", "v");
+      alpha.Note("n", int64_t{42});
+    }
+    {
+      SpanScope beta("beta");
+      SpanScope gamma("gamma");  // nested: parent is beta
+    }
+  }
+  return tracer.SnapshotJson();
+}
+
+TEST(TraceTest, SameClockSequenceYieldsIdenticalJson) {
+  Tracer first(StepClockOptions());
+  Tracer second(StepClockOptions());
+  std::string a = RunCanonicalTrace(first);
+  std::string b = RunCanonicalTrace(second);
+  EXPECT_EQ(a, b);
+  // Byte-exact golden: span times are relative to the trace start, spans
+  // appear in start order, parents index into the flat span list.
+  EXPECT_EQ(
+      a,
+      "[{\"trace_id\":\"ppdb-req-1\",\"name\":\"request\",\"start_us\":100,"
+      "\"duration_us\":700,\"spans\":["
+      "{\"name\":\"alpha\",\"parent\":-1,\"start_us\":100,\"duration_us\":100,"
+      "\"notes\":{\"k\":\"v\",\"n\":\"42\"}},"
+      "{\"name\":\"beta\",\"parent\":-1,\"start_us\":300,\"duration_us\":300},"
+      "{\"name\":\"gamma\",\"parent\":1,\"start_us\":400,\"duration_us\":100}"
+      "]}]");
+}
+
+TEST(TraceTest, RingEvictsOldestTraces) {
+  Tracer tracer(StepClockOptions(/*ring_capacity=*/2));
+  for (int i = 1; i <= 3; ++i) {
+    TraceScope trace(tracer, "ppdb-req-" + std::to_string(i), "request");
+  }
+  std::vector<TraceRecord> ring = tracer.Snapshot();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0].trace_id, "ppdb-req-2");
+  EXPECT_EQ(ring[1].trace_id, "ppdb-req-3");
+  EXPECT_EQ(tracer.traces_completed(), 3);
+}
+
+TEST(TraceTest, NestedTraceScopeIsInert) {
+  Tracer tracer(StepClockOptions());
+  {
+    TraceScope outer(tracer, "ppdb-req-7", "request");
+    EXPECT_TRUE(outer.active());
+    {
+      // Layered instrumentation: an inner layer opening its own trace
+      // must not steal or truncate the outer one.
+      TraceScope inner(tracer, "ppdb-req-8", "inner");
+      EXPECT_FALSE(inner.active());
+      SpanScope span("work");
+      EXPECT_TRUE(span.recording());
+    }
+    EXPECT_EQ(tracer.traces_completed(), 0);  // inner commit suppressed
+  }
+  std::vector<TraceRecord> ring = tracer.Snapshot();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].trace_id, "ppdb-req-7");
+  ASSERT_EQ(ring[0].spans.size(), 1u);
+  EXPECT_EQ(ring[0].spans[0].name, "work");
+}
+
+TEST(TraceTest, SpanOutsideAnyTraceIsANoOp) {
+  Tracer tracer(StepClockOptions());
+  {
+    SpanScope span("orphan");
+    EXPECT_FALSE(span.recording());
+    span.Note("k", "v");  // must not crash
+  }
+  EXPECT_EQ(tracer.traces_completed(), 0);
+  EXPECT_EQ(tracer.SnapshotJson(), "[]");
+}
+
+TEST(TraceTest, JsonEscapesControlAndQuoteCharacters) {
+  Tracer tracer(StepClockOptions());
+  {
+    TraceScope trace(tracer, "id-\"q\"", "na\\me");
+    SpanScope span("s");
+    span.Note("note", "line1\nline2\ttab");
+  }
+  std::string json = tracer.SnapshotJson();
+  EXPECT_NE(json.find("id-\\\"q\\\""), std::string::npos);
+  EXPECT_NE(json.find("na\\\\me"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  // Single line: raw newlines never survive serialization.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdb::obs

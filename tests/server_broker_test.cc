@@ -310,6 +310,45 @@ TEST(RequestBrokerTest, DrainDeadlineCancelsStragglers) {
   EXPECT_LT(elapsed, std::chrono::seconds(30));
 }
 
+// Stats() promises a mutually consistent snapshot: the counters are
+// mutated and read under one lock, so the accounting identities hold in
+// every snapshot, even one taken mid-traffic — not just at quiescence.
+TEST(RequestBrokerTest, StatsSnapshotIsInternallyConsistent) {
+  constexpr int kWorkers = 2;
+  RequestBroker::Options options;
+  options.num_workers = kWorkers;
+  options.queue_capacity = 4;
+  RequestBroker broker(options);
+
+  auto check = [&broker] {
+    RequestBroker::StatsSnapshot s = broker.Stats();
+    EXPECT_EQ(s.submitted, s.admitted + s.shed) << s.ToPayload();
+    EXPECT_EQ(s.admitted, s.completed + s.queue_depth + s.priority_depth +
+                              s.in_flight)
+        << s.ToPayload();
+  };
+
+  Gate gate;
+  std::atomic<int> completions{0};
+  OccupyWorkers(broker, kWorkers, gate, completions);
+  // Saturate the normal lane and overflow it so shed > 0.
+  for (int i = 0; i < 8; ++i) {
+    (void)broker.Submit(
+        Lane::kNormal,
+        [](const Deadline&) { return Response{Status::OK(), {}}; },
+        [&](const Response&) { ++completions; });
+    check();
+  }
+  check();
+  gate.Open();
+  while (completions.load() < kWorkers + 4) std::this_thread::yield();
+  check();
+
+  RequestBroker::StatsSnapshot final_stats = broker.Stats();
+  EXPECT_EQ(final_stats.shed, 4);
+  EXPECT_EQ(final_stats.completed, kWorkers + 4);
+}
+
 TEST(RequestBrokerTest, DestructorDrainsOutstandingWork) {
   std::atomic<int> completions{0};
   {

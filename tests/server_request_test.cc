@@ -169,6 +169,40 @@ TEST(FormatResponseTest, ScrubsControlBytesFromMessages) {
   EXPECT_EQ(line.find('\0'), std::string::npos);
 }
 
+TEST(ParseRequestTest, ObservabilityCommands) {
+  auto parse = [](std::string_view line) {
+    return ParseRequest(line).value();
+  };
+  EXPECT_EQ(parse("stats prometheus").kind, RequestKind::kMetrics);
+  EXPECT_EQ(parse("metrics").kind, RequestKind::kMetrics);
+  EXPECT_EQ(parse("trace").kind, RequestKind::kTrace);
+  // Cheap: both bypass the broker queue even under overload.
+  EXPECT_TRUE(parse("metrics").IsCheap());
+  EXPECT_TRUE(parse("trace").IsCheap());
+  EXPECT_FALSE(ParseRequest("stats bogus").ok());
+  EXPECT_FALSE(ParseRequest("metrics now").ok());
+  EXPECT_FALSE(ParseRequest("trace 3").ok());
+}
+
+TEST(FormatBlockResponseTest, FramesMultiLinePayloads) {
+  EXPECT_EQ(FormatBlockResponse(5, "a 1\nb 2\n"),
+            "5 ok block lines=2\na 1\nb 2\n5 end\n");
+  // A missing trailing newline frames identically.
+  EXPECT_EQ(FormatBlockResponse(5, "a 1\nb 2"),
+            "5 ok block lines=2\na 1\nb 2\n5 end\n");
+  EXPECT_EQ(FormatBlockResponse(6, ""), "6 ok block lines=0\n6 end\n");
+}
+
+TEST(FormatBlockResponseTest, ScrubsCarriageReturnsAndNuls) {
+  std::string payload = "a\rb";
+  payload += '\0';
+  payload += "c\n";
+  std::string framed = FormatBlockResponse(1, payload);
+  EXPECT_EQ(framed.find('\r'), std::string::npos);
+  EXPECT_EQ(framed.find('\0'), std::string::npos);
+  EXPECT_EQ(framed, "1 ok block lines=1\na b c\n1 end\n");
+}
+
 TEST(RequestKindNameTest, NamesAreStable) {
   EXPECT_EQ(RequestKindName(RequestKind::kAnalyze), "analyze");
   EXPECT_EQ(RequestKindName(RequestKind::kEventSetPref), "event_pref");

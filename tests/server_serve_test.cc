@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -82,6 +83,48 @@ class ServeTest : public ::testing::Test {
       by_id[id] = line;
     }
     return by_id;
+  }
+
+  /// Raw serve output, for block-framed (multi-line) responses that
+  /// ServeAll's one-line-per-id parsing cannot key.
+  std::string ServeRaw(const std::string& input, DatabaseService& service,
+                       RequestBroker& broker) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    EXPECT_OK(Serve(in, out, service, broker));
+    return out.str();
+  }
+
+  /// The body lines of the block response with request id `id`.
+  static std::vector<std::string> BlockBody(const std::string& output,
+                                            int64_t id) {
+    std::vector<std::string> body;
+    std::istringstream lines(output);
+    std::string line;
+    bool in_block = false;
+    const std::string header_prefix =
+        std::to_string(id) + " ok block lines=";
+    const std::string footer = std::to_string(id) + " end";
+    while (std::getline(lines, line)) {
+      if (line.rfind(header_prefix, 0) == 0) {
+        in_block = true;
+        continue;
+      }
+      if (line == footer) break;
+      if (in_block) body.push_back(line);
+    }
+    return body;
+  }
+
+  /// The value of `sample` (full name incl. labels) in a scrape, or -1.
+  static double SampleValue(const std::vector<std::string>& scrape,
+                            const std::string& sample) {
+    for (const std::string& line : scrape) {
+      if (line.rfind(sample + " ", 0) == 0) {
+        return std::stod(line.substr(sample.size() + 1));
+      }
+    }
+    return -1.0;
   }
 
   std::filesystem::path dir_;
@@ -180,6 +223,83 @@ TEST_F(ServeTest, EndOfInputAlsoDrainsAndCheckpoints) {
   ASSERT_OK_AND_ASSIGN(storage::Database reloaded,
                        storage::LoadDatabase(dir_.string()));
   EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(1), 9.0);
+}
+
+// Acceptance criterion: `stats prometheus` emits a well-formed Prometheus
+// text exposition covering every instrumented layer, and counters are
+// monotonic across two scrapes in one session.
+TEST_F(ServeTest, PrometheusScrapeIsWellFormedAndMonotonic) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  // Three sessions so ordering is deterministic: each Serve drains its
+  // broker before returning, and the registry is process-global, so the
+  // second scrape must observe the analyze of the session before it.
+  std::vector<std::string> first =
+      BlockBody(ServeRaw("ping\nstats prometheus\n", *service, broker), 2);
+  RequestBroker analyze_broker{RequestBroker::Options{}};
+  ServeRaw("analyze\n", *service, analyze_broker);
+  RequestBroker scrape_broker{RequestBroker::Options{}};
+  std::vector<std::string> second =
+      BlockBody(ServeRaw("metrics\n", *service, scrape_broker), 1);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+
+  // Every line is a comment or a sample whose metric name matches the
+  // Prometheus grammar and whose value parses as a number.
+  const std::regex name_re("[a-zA-Z_:][a-zA-Z0-9_:]*");
+  const std::regex sample_re(
+      R"(([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9][0-9eE.+-]*|\+Inf|NaN))");
+  for (const std::vector<std::string>* scrape : {&first, &second}) {
+    for (const std::string& line : *scrape) {
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream tokens(line);
+        std::string hash, keyword, name;
+        tokens >> hash >> keyword >> name;
+        EXPECT_TRUE(std::regex_match(name, name_re)) << line;
+        continue;
+      }
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+    }
+  }
+
+  // One scrape covers all four instrumented layers.
+  for (const char* name :
+       {"ppdb_broker_submitted_total", "ppdb_service_requests_total",
+        "ppdb_storage_load_seconds_count", "ppdb_violation_pw"}) {
+    bool found = false;
+    for (const std::string& line : first) {
+      if (line.find(name) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << name;
+  }
+
+  // Counters are monotonic: the analyze between the scrapes must show up.
+  // (The registry is process-global, so assert deltas, not absolutes.)
+  const std::string analyze_ok =
+      "ppdb_violation_analyze_total{result=\"ok\"}";
+  EXPECT_GE(SampleValue(first, analyze_ok), 0.0);
+  EXPECT_GE(SampleValue(second, analyze_ok),
+            SampleValue(first, analyze_ok) + 1.0);
+  EXPECT_GE(SampleValue(second, "ppdb_broker_submitted_total"),
+            SampleValue(first, "ppdb_broker_submitted_total"));
+}
+
+// The serve-mode `trace` command dumps the span ring as JSON; a served
+// analyze leaves a trace whose id is derived from its broker request id.
+TEST_F(ServeTest, TraceCommandDumpsSpanRingAsJson) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  // Two sessions: the first drains, so its analyze trace is committed to
+  // the (process-global) ring before the second session dumps it. The dump
+  // is one JSON line, so it arrives as a plain (non-block) response.
+  ServeRaw("analyze\n", *service, broker);
+  RequestBroker trace_broker{RequestBroker::Options{}};
+  std::string output = ServeRaw("trace\n", *service, trace_broker);
+  ASSERT_NE(output.find("1 ok ["), std::string::npos) << output;
+  EXPECT_NE(output.find("\"trace_id\":\"ppdb-req-"), std::string::npos);
+  EXPECT_NE(output.find("\"name\":\"shard_fanout\""), std::string::npos);
 }
 
 TEST_F(ServeTest, PerRequestDeadlinePrefixReachesTheEngine) {

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# OBSERVABILITY.md <-> code drift check.
+#
+# Scrapes a freshly started server (every metric family is registered
+# eagerly at startup, so one scrape sees the complete set) and compares
+# the scraped family names against the metric tables in OBSERVABILITY.md
+# (rows whose first column is a backticked `ppdb_...` name). Fails when
+# the two sets disagree in either direction, so a metric cannot be added,
+# renamed, or removed without updating the reference in the same PR.
+#
+# Usage: tools/check_metrics_docs.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+cli="${build_dir}/tools/ppdb_cli"
+doc="${repo_root}/OBSERVABILITY.md"
+
+if [[ ! -x "${cli}" ]]; then
+  echo "error: ${cli} not built; run:" >&2
+  echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+"${cli}" demo "${workdir}/db" > /dev/null
+printf 'stats prometheus\n' | "${cli}" serve "${workdir}/db" \
+  > "${workdir}/scrape.txt" 2> /dev/null
+
+# Family names the server actually exports (one # TYPE line per family).
+grep '^# TYPE ' "${workdir}/scrape.txt" | awk '{print $3}' | sort -u \
+  > "${workdir}/exported.txt"
+
+# Family names OBSERVABILITY.md documents.
+grep -oE '^\| `ppdb_[a-z0-9_]+`' "${doc}" | tr -d '|` ' | sort -u \
+  > "${workdir}/documented.txt"
+
+if [[ ! -s "${workdir}/exported.txt" ]]; then
+  echo "FAIL: scrape produced no metric families" >&2
+  exit 1
+fi
+
+status=0
+undocumented="$(comm -23 "${workdir}/exported.txt" "${workdir}/documented.txt")"
+if [[ -n "${undocumented}" ]]; then
+  echo "FAIL: exported but not documented in OBSERVABILITY.md:" >&2
+  echo "${undocumented}" | sed 's/^/  /' >&2
+  status=1
+fi
+stale="$(comm -13 "${workdir}/exported.txt" "${workdir}/documented.txt")"
+if [[ -n "${stale}" ]]; then
+  echo "FAIL: documented in OBSERVABILITY.md but not exported:" >&2
+  echo "${stale}" | sed 's/^/  /' >&2
+  status=1
+fi
+
+if [[ "${status}" -eq 0 ]]; then
+  echo "metrics/docs in sync: $(wc -l < "${workdir}/exported.txt") families"
+fi
+exit "${status}"

@@ -15,6 +15,8 @@
 //                                         re-commit a clean generation
 //   ppdb_cli serve <dir> [flags]          line-oriented serving loop on
 //                                         stdin/stdout (see src/server/)
+//   ppdb_cli trace <dir>                  run one traced violation scan and
+//                                         dump the span ring as JSON
 //
 // Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed;
 // 4 recovery succeeded but crash leftovers were discarded.
@@ -25,6 +27,7 @@
 
 #include "audit/monitor.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
 #include "relational/sql.h"
@@ -61,7 +64,8 @@ int Usage() {
                "<attr[,attr...]>\n"
                "  ppdb_cli recover <dir>\n"
                "  ppdb_cli serve <dir> [--workers N] [--queue K] "
-               "[--deadline-ms D] [--checkpoint-every E]\n");
+               "[--deadline-ms D] [--checkpoint-every E]\n"
+               "  ppdb_cli trace <dir>\n");
   return 2;
 }
 
@@ -228,6 +232,22 @@ int RunEnforce(const storage::Database& database, const std::string& purpose,
   return 0;
 }
 
+// trace <dir>: runs one fully traced violation scan over the database and
+// dumps the tracer's span ring as a JSON array (index build, shard fan-out,
+// reduce — the same spans a `serve` request would record). In-process
+// equivalent of the serve-mode `trace` command.
+int RunTrace(const storage::Database& database) {
+  violation::ViolationDetector detector(&database.config);
+  Result<violation::ViolationReport> report = [&] {
+    obs::TraceScope trace(obs::Tracer::Default(), "ppdb-cli-trace",
+                          "analyze");
+    return detector.Analyze();
+  }();
+  if (!report.ok()) return Fail(report.status());
+  std::cout << obs::Tracer::Default().SnapshotJson() << "\n";
+  return 0;
+}
+
 int RunAudit(const storage::Database& database, const std::string& count) {
   int64_t n = 20;
   if (!count.empty()) {
@@ -360,6 +380,9 @@ int main(int argc, char** argv) {
   }
   if (command == "diff" && argc == 4) {
     return RunDiff(database.value(), argv[3]);
+  }
+  if (command == "trace" && argc == 3) {
+    return RunTrace(database.value());
   }
   if (command == "audit" && (argc == 3 || argc == 4)) {
     return RunAudit(database.value(), argc == 4 ? argv[3] : "");
