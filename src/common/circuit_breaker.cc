@@ -32,7 +32,7 @@ void CircuitBreaker::MaybeHalfOpen() {
 }
 
 Status CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MaybeHalfOpen();
   switch (state_) {
     case State::kClosed:
@@ -60,7 +60,7 @@ Status CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::Record(const Status& status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   probe_in_flight_ = false;
   if (status.ok()) {
     consecutive_failures_ = 0;
@@ -79,7 +79,7 @@ void CircuitBreaker::Record(const Status& status) {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Report the lapse into half-open without mutating: the transition
   // itself happens on the next Allow().
   if (state_ == State::kOpen && Now() - opened_at_ >= options_.open_duration) {
@@ -89,7 +89,7 @@ CircuitBreaker::State CircuitBreaker::state() const {
 }
 
 CircuitBreaker::StatsSnapshot CircuitBreaker::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StatsSnapshot snapshot;
   snapshot.state = state_;
   if (state_ == State::kOpen && Now() - opened_at_ >= options_.open_duration) {
@@ -114,17 +114,17 @@ std::string_view CircuitBreaker::StateName(State state) {
 }
 
 int64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trips_;
 }
 
 int64_t CircuitBreaker::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejected_;
 }
 
 int64_t CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return consecutive_failures_;
 }
 

@@ -4,10 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ppdb {
 
@@ -100,18 +101,20 @@ class CircuitBreaker {
  private:
   std::chrono::steady_clock::time_point Now() const;
   /// Moves open -> half-open when the open window has elapsed.
-  void MaybeHalfOpen();
+  void MaybeHalfOpen() PPDB_REQUIRES(mu_);
   /// Sets state_ and fires on_transition when it actually changed.
-  void SetState(State next);
+  void SetState(State next) PPDB_REQUIRES(mu_);
 
+  /// Immutable after construction (clock and on_transition are only ever
+  /// *called* concurrently, never reassigned), so reads need no lock.
   Options options_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  std::chrono::steady_clock::time_point opened_at_{};
-  bool probe_in_flight_ = false;
-  int64_t consecutive_failures_ = 0;
-  int64_t trips_ = 0;
-  int64_t rejected_ = 0;
+  mutable Mutex mu_;
+  State state_ PPDB_GUARDED_BY(mu_) = State::kClosed;
+  std::chrono::steady_clock::time_point opened_at_ PPDB_GUARDED_BY(mu_){};
+  bool probe_in_flight_ PPDB_GUARDED_BY(mu_) = false;
+  int64_t consecutive_failures_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t trips_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t rejected_ PPDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ppdb

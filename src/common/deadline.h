@@ -27,6 +27,10 @@ namespace ppdb {
 /// `Deadline` through options structs costs nothing for callers that never
 /// set one.
 ///
+/// Thread safety: lock-free. The shared expiry slot is a single atomic, so
+/// `Expired()` / `Cancel()` may race freely across threads; there are no
+/// mutexes here and nothing for thread-safety analysis to annotate.
+///
 /// Usage:
 ///
 ///   Deadline deadline = Deadline::After(std::chrono::milliseconds(50));

@@ -14,6 +14,21 @@
     if (!_ppdb_status.ok()) return _ppdb_status; \
   } while (false)
 
+/// As PPDB_RETURN_NOT_OK, but prepends `prefix + ": "` to the error
+/// message on the failure path, so propagated errors carry call-site
+/// context ("load manifest: open failed: ..." instead of "open failed").
+#define PPDB_RETURN_NOT_OK_PREPEND(expr, prefix)                   \
+  do {                                                             \
+    ::ppdb::Status _ppdb_status = (expr);                          \
+    if (!_ppdb_status.ok()) return _ppdb_status.WithPrefix(prefix); \
+  } while (false)
+
+/// Deliberately discards a `Status` or `Result<T>`. With both types
+/// `[[nodiscard]]`, this is the only sanctioned way to drop one; every use
+/// should carry a comment saying where the error is recorded instead
+/// (e.g. "checkpoint outcome lands in last_checkpoint_status").
+#define PPDB_IGNORE_ERROR(expr) (void)(expr)
+
 #define PPDB_CONCAT_IMPL(x, y) x##y
 #define PPDB_CONCAT(x, y) PPDB_CONCAT_IMPL(x, y)
 

@@ -21,8 +21,11 @@ namespace ppdb {
 ///   Result<int> ParseCount(std::string_view s);
 ///
 ///   PPDB_ASSIGN_OR_RETURN(int n, ParseCount(text));  // see macros.h
+///
+/// Like `Status`, the class is `[[nodiscard]]`: ignoring a returned
+/// `Result` drops an error silently, so the -Werror build rejects it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -4,6 +4,8 @@ namespace ppdb {
 
 namespace {
 const std::string& EmptyString() {
+  // ppdb-lint: allow(raw-new) -- leaked singleton, immune to static
+  // destruction order.
   static const std::string* const kEmpty = new std::string();
   return *kEmpty;
 }

@@ -57,7 +57,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///     if (bad) return Status::InvalidArgument("threshold must be >= 0");
 ///     return Status::OK();
 ///   }
-class Status {
+///
+/// The class is `[[nodiscard]]`: a dropped return value from any
+/// Status-returning function is a compile error under the repo's -Werror
+/// build. Propagate with PPDB_RETURN_NOT_OK, or discard deliberately with
+/// PPDB_IGNORE_ERROR plus a comment saying why (see common/macros.h).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

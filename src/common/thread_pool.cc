@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -36,18 +36,20 @@ int ThreadPool::ResolveThreadCount(int requested) {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      // The predicate runs with mu_ held (CondVar re-acquires before each
+      // evaluation), and the analysis checks it in this context.
+      cv_.Wait(mu_, [this] { return stop_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stop_ set and queue drained.
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -67,8 +69,10 @@ void ThreadPool::RunSharded(int64_t num_shards, int workers,
     std::atomic<int64_t> completed{0};
     int64_t num_shards = 0;
     std::function<void(int64_t)> run_shard;
-    std::mutex mu;
-    std::condition_variable done;
+    // ppdb-lint: allow(guarded-by) -- mu exists only to pair with the
+    // condvar; the state the wait predicate observes is atomic.
+    Mutex mu;
+    CondVar done;
   };
   auto state = std::make_shared<State>();
   state->num_shards = num_shards;
@@ -82,8 +86,8 @@ void ThreadPool::RunSharded(int64_t num_shards, int workers,
       int64_t finished =
           state->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (finished == state->num_shards) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done.notify_all();
+        MutexLock lock(state->mu);
+        state->done.NotifyAll();
       }
     }
   };
@@ -93,8 +97,8 @@ void ThreadPool::RunSharded(int64_t num_shards, int workers,
   for (int i = 1; i < workers; ++i) Enqueue(runner);
   runner();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] {
+  MutexLock lock(state->mu);
+  state->done.Wait(state->mu, [&] {
     return state->completed.load(std::memory_order_acquire) == num_shards;
   });
 }

@@ -3,15 +3,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ppdb {
 
@@ -135,14 +136,14 @@ class ThreadPool {
   void RunSharded(int64_t num_shards, int workers,
                   const std::function<void(int64_t)>& run_shard);
 
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) PPDB_EXCLUDES(mu_);
+  void WorkerLoop() PPDB_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ PPDB_GUARDED_BY(mu_);
+  bool stop_ PPDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ppdb

@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ppdb::obs {
 
@@ -153,10 +155,10 @@ class MetricsRegistry {
   /// Prometheus text exposition format, families in name order, samples in
   /// label order. Histograms emit cumulative `_bucket{le=...}` samples plus
   /// `_sum` and `_count`.
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const PPDB_EXCLUDES(mu_);
 
   /// Registered family count (for tests).
-  size_t num_families() const;
+  size_t num_families() const PPDB_EXCLUDES(mu_);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };
@@ -175,12 +177,13 @@ class MetricsRegistry {
   };
 
   Sample* GetSample(std::string_view name, std::string_view help, Type type,
-                    Labels labels, const std::vector<double>* buckets);
+                    Labels labels, const std::vector<double>* buckets)
+      PPDB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ PPDB_GUARDED_BY(mu_);
   /// Type-conflicted instruments: alive, functional, never exported.
-  std::vector<std::unique_ptr<Sample>> detached_;
+  std::vector<std::unique_ptr<Sample>> detached_ PPDB_GUARDED_BY(mu_);
 };
 
 }  // namespace ppdb::obs

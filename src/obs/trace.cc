@@ -86,27 +86,29 @@ std::string TraceRecord::ToJson() const {
 
 Tracer& Tracer::Default() {
   // Leaked for the same reason as MetricsRegistry::Default: static users.
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = new Tracer();  // ppdb-lint: allow(raw-new)
   return *tracer;
 }
 
 Tracer::Tracer(Options options) : options_(std::move(options)) {
   options_.ring_capacity = std::max<size_t>(1, options_.ring_capacity);
+  clock_ = std::move(options_.clock);
 }
 
 std::chrono::steady_clock::time_point Tracer::Now() const {
-  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+  MutexLock lock(clock_mu_);
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
 }
 
 void Tracer::Commit(TraceRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.push_back(std::move(record));
   while (ring_.size() > options_.ring_capacity) ring_.pop_front();
   ++completed_;
 }
 
 std::vector<TraceRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<TraceRecord>(ring_.begin(), ring_.end());
 }
 
@@ -122,13 +124,14 @@ std::string Tracer::SnapshotJson() const {
 }
 
 int64_t Tracer::traces_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 
 void Tracer::set_clock(
     std::function<std::chrono::steady_clock::time_point()> clock) {
-  options_.clock = std::move(clock);
+  MutexLock lock(clock_mu_);
+  clock_ = std::move(clock);
 }
 
 // --- TraceScope ------------------------------------------------------------
@@ -139,6 +142,8 @@ TraceScope::TraceScope(Tracer& tracer, std::string trace_id,
   tracer_ = &tracer;
   owns_ = true;
   started_ = tracer.Now();
+  // ppdb-lint: allow(raw-new) -- ownership passes through the thread_local
+  // raw pointer; the owning TraceScope deletes it in its destructor.
   auto* active = new ActiveTrace();
   active->tracer = &tracer;
   active->epoch = started_;

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ppdb::obs {
 
@@ -74,24 +76,31 @@ class Tracer {
   std::string SnapshotJson() const;
 
   /// Total traces ever completed (ring evictions included).
-  int64_t traces_completed() const;
+  int64_t traces_completed() const PPDB_EXCLUDES(mu_);
 
-  /// Replaces the clock (tests only; not thread-safe against active
-  /// traces).
-  void set_clock(
-      std::function<std::chrono::steady_clock::time_point()> clock);
+  /// Replaces the clock. Thread-safe: the clock lives behind its own
+  /// mutex, so swapping it mid-traffic (a test stepping time while broker
+  /// workers trace) is a synchronized hand-off, not a data race. Spans
+  /// started before the swap keep whatever timestamps they already took.
+  void set_clock(std::function<std::chrono::steady_clock::time_point()> clock)
+      PPDB_EXCLUDES(clock_mu_);
 
  private:
   friend class TraceScope;
   friend class SpanScope;
 
-  std::chrono::steady_clock::time_point Now() const;
-  void Commit(TraceRecord record);
+  std::chrono::steady_clock::time_point Now() const PPDB_EXCLUDES(clock_mu_);
+  void Commit(TraceRecord record) PPDB_EXCLUDES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::deque<TraceRecord> ring_;
-  int64_t completed_ = 0;
+  /// Guards only the clock: Now() is on the per-span hot path and must not
+  /// contend with ring pushes in Commit(), which mu_ serializes.
+  mutable Mutex clock_mu_;
+  std::function<std::chrono::steady_clock::time_point()> clock_
+      PPDB_GUARDED_BY(clock_mu_);
+  mutable Mutex mu_;
+  std::deque<TraceRecord> ring_ PPDB_GUARDED_BY(mu_);
+  int64_t completed_ PPDB_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII root of a trace: starts the thread_local active trace on

@@ -104,8 +104,15 @@ RequestBroker::RequestBroker(Options options) : options_(options) {
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
   options_.priority_capacity = std::max<size_t>(options_.priority_capacity, 1);
-  BrokerMetrics::Get().workers->Set(options_.num_workers);
-  BrokerMetrics::Get().draining->Set(0);
+  {
+    // The registry mirrors are documented as mutating under the Stats()
+    // mutex (see Stats() in the header). The constructor must honor that
+    // too: another broker's worker may be mid-Drain() on the same
+    // process-wide gauges while this one resets them.
+    MutexLock lock(mu_);
+    BrokerMetrics::Get().workers->Set(options_.num_workers);
+    BrokerMetrics::Get().draining->Set(0);
+  }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     pool_->Submit([this] { WorkerLoop(); });
@@ -115,10 +122,10 @@ RequestBroker::RequestBroker(Options options) : options_(options) {
 RequestBroker::~RequestBroker() {
   Drain();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   pool_.reset();  // joins the worker loops
 }
 
@@ -128,7 +135,7 @@ Status RequestBroker::Submit(Lane lane,
   const BrokerMetrics& metrics = BrokerMetrics::Get();
   Job job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++submitted_;
     metrics.submitted->Add();
     if (draining_) {
@@ -166,14 +173,14 @@ Status RequestBroker::Submit(Lane lane,
                              : metrics.queue_depth_normal)
         ->Set(static_cast<double>(queue.size()));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
 bool RequestBroker::NextJob(Job* job) {
   const BrokerMetrics& metrics = BrokerMetrics::Get();
-  std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [this] {
+  MutexLock lock(mu_);
+  work_cv_.Wait(mu_, [this] {
     return stopping_ || !priority_.empty() || !normal_.empty();
   });
   if (priority_.empty() && normal_.empty()) return false;  // stopping
@@ -219,7 +226,7 @@ void RequestBroker::WorkerLoop() {
     const int64_t finished_id = job.id;
     job = Job();  // release work/callback state before signalling idle
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       ++completed_;
       metrics.completed->Add();
@@ -230,33 +237,34 @@ void RequestBroker::WorkerLoop() {
       metrics.in_flight->Set(static_cast<double>(in_flight_));
       outstanding_.erase(finished_id);
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
 void RequestBroker::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   draining_ = true;
   BrokerMetrics::Get().draining->Set(1);
   const auto quiescent = [this] {
     return priority_.empty() && normal_.empty() && in_flight_ == 0;
   };
-  if (!idle_cv_.wait_for(lock, options_.drain_deadline, quiescent)) {
+  if (!idle_cv_.WaitFor(mu_, options_.drain_deadline, quiescent)) {
     // Past the drain deadline: cancel every outstanding token so queued
     // jobs answer immediately and in-flight engine loops bail at their
     // next cooperative checkpoint.
     std::vector<Deadline> to_cancel;
     to_cancel.reserve(outstanding_.size());
     for (const auto& [id, deadline] : outstanding_) to_cancel.push_back(deadline);
-    lock.unlock();
+    mu_.Unlock();
     for (const Deadline& deadline : to_cancel) deadline.Cancel();
-    lock.lock();
-    idle_cv_.wait(lock, quiescent);
+    mu_.Lock();
+    idle_cv_.Wait(mu_, quiescent);
   }
+  mu_.Unlock();
 }
 
 RequestBroker::StatsSnapshot RequestBroker::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StatsSnapshot stats;
   stats.submitted = submitted_;
   stats.admitted = admitted_;

@@ -2,17 +2,17 @@
 #define PPDB_SERVER_BROKER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "server/request.h"
 
@@ -106,7 +106,7 @@ class RequestBroker {
   /// means it was shed — queue full or draining — and `on_done` will
   /// never fire. `deadline_budget` zero uses `Options::default_deadline`.
   Status Submit(Lane lane, std::chrono::milliseconds deadline_budget,
-                Work work, Callback on_done);
+                Work work, Callback on_done) PPDB_EXCLUDES(mu_);
   Status Submit(Lane lane, Work work, Callback on_done) {
     return Submit(lane, std::chrono::milliseconds(0), std::move(work),
                   std::move(on_done));
@@ -116,14 +116,14 @@ class RequestBroker {
   /// Waits up to `Options::drain_deadline` for voluntary completion, then
   /// cancels the outstanding deadline tokens and waits for the (now
   /// fast-failing) remainder. Idempotent; safe to call concurrently.
-  void Drain();
+  void Drain() PPDB_EXCLUDES(mu_);
 
   /// Point-in-time view of the counters, taken under one lock acquisition
   /// so the fields are mutually consistent: `submitted == admitted + shed`
   /// and `admitted == completed + queue_depth + priority_depth + in_flight`
   /// hold in every snapshot. The same mutations also feed the process-wide
   /// `obs::MetricsRegistry` (ppdb_broker_* families) under the same lock.
-  StatsSnapshot Stats() const;
+  StatsSnapshot Stats() const PPDB_EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -136,28 +136,29 @@ class RequestBroker {
   };
 
   /// Runs on each dedicated pool worker until shutdown.
-  void WorkerLoop();
+  void WorkerLoop() PPDB_EXCLUDES(mu_);
   /// Pops the next job, priority lane first. Blocks; false on shutdown.
-  bool NextJob(Job* job);
+  bool NextJob(Job* job) PPDB_EXCLUDES(mu_);
 
+  /// Immutable after the constructor clamps it; reads need no lock.
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for jobs / shutdown
-  std::condition_variable idle_cv_;   // Drain waits for quiescence
-  std::deque<Job> normal_;
-  std::deque<Job> priority_;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // workers wait for jobs / shutdown
+  CondVar idle_cv_;   // Drain waits for quiescence
+  std::deque<Job> normal_ PPDB_GUARDED_BY(mu_);
+  std::deque<Job> priority_ PPDB_GUARDED_BY(mu_);
   /// Deadline tokens of admitted-but-incomplete jobs, for drain
   /// cancellation.
-  std::unordered_map<int64_t, Deadline> outstanding_;
-  int64_t next_id_ = 0;
-  bool draining_ = false;
-  bool stopping_ = false;
-  int64_t in_flight_ = 0;
-  int64_t submitted_ = 0;
-  int64_t admitted_ = 0;
-  int64_t shed_ = 0;
-  int64_t completed_ = 0;
-  int64_t deadline_exceeded_ = 0;
+  std::unordered_map<int64_t, Deadline> outstanding_ PPDB_GUARDED_BY(mu_);
+  int64_t next_id_ PPDB_GUARDED_BY(mu_) = 0;
+  bool draining_ PPDB_GUARDED_BY(mu_) = false;
+  bool stopping_ PPDB_GUARDED_BY(mu_) = false;
+  int64_t in_flight_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t submitted_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t admitted_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t shed_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t completed_ PPDB_GUARDED_BY(mu_) = 0;
+  int64_t deadline_exceeded_ PPDB_GUARDED_BY(mu_) = 0;
   /// Owned last so its destructor joins workers before the queues die.
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -1,12 +1,13 @@
 #include "server/serve.h"
 
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace ppdb::server {
 
@@ -17,8 +18,8 @@ class ResponseWriter {
  public:
   explicit ResponseWriter(std::ostream& out) : out_(out) {}
 
-  void Write(int64_t id, const Response& response) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Write(int64_t id, const Response& response) PPDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     // Multi-line payloads (Prometheus exposition) get block framing; the
     // single-line format would scrub their newlines into spaces.
     if (response.status.ok() &&
@@ -31,8 +32,10 @@ class ResponseWriter {
   }
 
  private:
-  std::mutex mu_;
-  std::ostream& out_;
+  Mutex mu_;
+  /// The stream is shared with nothing else while Serve runs; all writes
+  /// (broker workers and the serve thread) funnel through Write().
+  std::ostream& out_ PPDB_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -2,15 +2,16 @@
 #define PPDB_SERVER_SERVICE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
 #include "audit/audit_log.h"
 #include "audit/ledger.h"
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "common/thread_annotations.h"
 #include "relational/catalog.h"
 #include "server/request.h"
 #include "storage/database_io.h"
@@ -67,11 +68,12 @@ class DatabaseService {
   /// Executes one parsed request. Never throws; every failure is a Status
   /// in the response. `deadline` reaches the engine's cooperative
   /// checkpoints, so heavy work bails with `kDeadlineExceeded` mid-scan.
-  Response Execute(const Request& request, const Deadline& deadline);
+  Response Execute(const Request& request, const Deadline& deadline)
+      PPDB_EXCLUDES(mu_);
 
   /// One last save, bypassing the circuit breaker — at shutdown there is
   /// no later retry, so even a probably-failing backend gets the attempt.
-  Status FinalCheckpoint();
+  Status FinalCheckpoint() PPDB_EXCLUDES(mu_);
 
   /// What `LoadDatabase` skipped or repaired at startup.
   const storage::RecoveryReport& recovery() const { return recovery_; }
@@ -86,20 +88,29 @@ class DatabaseService {
 
   /// Assembles the full on-disk Database around `config` and saves it,
   /// with bounded retry. One call = one breaker-visible outcome.
-  Status SaveNow(const privacy::PrivacyConfig& config);
+  Status SaveNow(const privacy::PrivacyConfig& config) PPDB_REQUIRES(mu_);
 
   /// The breaker-gated save installed as the monitor's checkpoint hook.
+  /// Always invoked with mu_ held exclusively (the hook only fires inside
+  /// monitor_ event calls, which happen under the writer lock); asserted
+  /// to the analysis via mu_.AssertHeld() because the call arrives through
+  /// a std::function the analysis cannot follow.
   Status GuardedSave(const privacy::PrivacyConfig& config);
 
-  Response ExecuteLocked(const Request& request, const Deadline& deadline);
-  Response Analyze(const Deadline& deadline);
-  Response Certify(const Request& request, const Deadline& deadline);
-  Response Estimate(const Request& request, const Deadline& deadline);
-  Response WhatIf(const Request& request, const Deadline& deadline);
-  Response Search(const Request& request, const Deadline& deadline);
-  Response Event(const Request& request);
-  Response Query(const Request& request);
-  Response Stats();
+  Response ExecuteLocked(const Request& request, const Deadline& deadline)
+      PPDB_EXCLUDES(mu_);
+  Response Analyze(const Deadline& deadline) PPDB_REQUIRES_SHARED(mu_);
+  Response Certify(const Request& request, const Deadline& deadline)
+      PPDB_REQUIRES_SHARED(mu_);
+  Response Estimate(const Request& request, const Deadline& deadline)
+      PPDB_REQUIRES_SHARED(mu_);
+  Response WhatIf(const Request& request, const Deadline& deadline)
+      PPDB_REQUIRES_SHARED(mu_);
+  Response Search(const Request& request, const Deadline& deadline)
+      PPDB_REQUIRES_SHARED(mu_);
+  Response Event(const Request& request) PPDB_REQUIRES(mu_);
+  Response Query(const Request& request) PPDB_REQUIRES_SHARED(mu_);
+  Response Stats() PPDB_REQUIRES_SHARED(mu_);
 
   const std::string dir_;
   storage::FileSystem* const fs_;
@@ -108,13 +119,13 @@ class DatabaseService {
 
   /// Guards monitor_ + database_. Shared = analytics and queries;
   /// exclusive = events and saves.
-  std::shared_mutex mu_;
-  violation::LivePopulationMonitor monitor_;
+  SharedMutex mu_;
+  violation::LivePopulationMonitor monitor_ PPDB_GUARDED_BY(mu_);
   /// The loaded database minus its privacy config, whose authoritative
   /// copy lives in monitor_; `SaveNow` patches the current config in just
   /// before each save (under the exclusive lock — Catalog is move-only,
   /// so the Database cannot be copied into a scratch value).
-  storage::Database database_;
+  storage::Database database_ PPDB_GUARDED_BY(mu_);
 
   CircuitBreaker breaker_;
 };

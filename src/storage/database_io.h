@@ -47,6 +47,11 @@ struct Database {
 /// `LoadDatabase` discards torn leftovers (see `RecoveryReport`).
 ///
 /// Pre-generation directories (MANIFEST at the top level) still load.
+///
+/// Thread safety: the free functions here are thread-compatible — they
+/// mutate only the directory passed in and keep no shared mutable state
+/// (metric instruments are sharded/atomic). Callers serialize saves per
+/// database directory; `DatabaseService` does so under its writer lock.
 struct SaveOptions {
   /// Bounded retry for transient (`kUnavailable`) filesystem faults on the
   /// staging writes and commit renames. `max_attempts = 1` disables.

@@ -127,7 +127,7 @@ Result<std::vector<std::string>> RealFileSystem::ListDirectory(
 }
 
 RealFileSystem& GetRealFileSystem() {
-  static RealFileSystem* const kInstance = new RealFileSystem();
+  static RealFileSystem* const kInstance = new RealFileSystem();  // ppdb-lint: allow(raw-new)
   return *kInstance;
 }
 

@@ -23,6 +23,13 @@ namespace ppdb::violation {
 /// preference or threshold edits) and O(N·|HP|) only on policy changes,
 /// which affect everyone by definition.
 ///
+/// Thread safety: thread-compatible, externally synchronized. The monitor
+/// holds no mutex of its own; `DatabaseService` serializes every mutation
+/// (and the checkpoint hook the mutations may fire) under its exclusive
+/// writer lock, and takes the shared lock for read-only queries. The hook
+/// installed via `SetCheckpointHook` therefore always runs with the
+/// caller's exclusive lock held — see `DatabaseService::GuardedSave`.
+///
 /// Usage:
 ///
 ///   LivePopulationMonitor monitor(std::move(config));

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Exercises tools/check_metrics_docs.sh failure modes that the CI gate
+# relies on: a missing OBSERVABILITY.md must fail loudly (not crash with a
+# grep error), and a doc that drifted from the exported set must fail with
+# the family name in the message. The in-sync case is CI's normal run.
+#
+# Usage: check_metrics_docs_test.sh <repo-root> <build-dir>
+set -u
+
+ROOT="${1:?repo root}"
+BUILD="${2:?build dir}"
+CHECK="$ROOT/tools/check_metrics_docs.sh"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- missing doc -------------------------------------------------------------
+if PPDB_OBSERVABILITY_DOC="$TMP/does-not-exist.md" \
+    bash "$CHECK" "$BUILD" > "$TMP/missing.out" 2>&1; then
+  fail "check_metrics_docs.sh passed with a missing OBSERVABILITY.md"
+fi
+grep -q "does not exist" "$TMP/missing.out" \
+  || fail "missing-doc failure lacks a clear message: $(cat "$TMP/missing.out")"
+echo "PASS  missing doc fails with a clear diagnostic"
+
+# --- drifted doc -------------------------------------------------------------
+# A copy of the real doc plus one phantom metric row: the check must flag
+# the phantom as documented-but-not-exported.
+cp "$ROOT/OBSERVABILITY.md" "$TMP/drifted.md"
+printf '\n| `ppdb_phantom_metric_total` | counter | — | x | Not real. |\n' \
+  >> "$TMP/drifted.md"
+if PPDB_OBSERVABILITY_DOC="$TMP/drifted.md" \
+    bash "$CHECK" "$BUILD" > "$TMP/drifted.out" 2>&1; then
+  fail "check_metrics_docs.sh passed with a phantom documented metric"
+fi
+grep -q "ppdb_phantom_metric_total" "$TMP/drifted.out" \
+  || fail "drift failure does not name the phantom family: $(cat "$TMP/drifted.out")"
+echo "PASS  doc drift fails and names the offending family"
+
+# --- in-sync doc -------------------------------------------------------------
+PPDB_OBSERVABILITY_DOC="$ROOT/OBSERVABILITY.md" \
+    bash "$CHECK" "$BUILD" > "$TMP/sync.out" 2>&1 \
+  || fail "check_metrics_docs.sh failed on the real doc: $(cat "$TMP/sync.out")"
+echo "PASS  real doc is in sync"
+
+echo "check_metrics_docs_test: all cases passed."

@@ -1,0 +1,97 @@
+#include "common/macros.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppdb {
+namespace {
+
+// PPDB_RETURN_NOT_OK success/early-return basics are covered in
+// common_status_test.cc; this file covers the newer helpers and the
+// move-only payload paths.
+
+// --- PPDB_RETURN_NOT_OK_PREPEND ----------------------------------------------
+
+Status PassThroughPrepend(const Status& inner) {
+  PPDB_RETURN_NOT_OK_PREPEND(inner, "load manifest");
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPrependAddsContextOnlyOnFailure) {
+  EXPECT_TRUE(PassThroughPrepend(Status::OK()).ok());
+
+  Status status = PassThroughPrepend(Status::Unavailable("disk gone"));
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(status.message(), "load manifest: disk gone");
+}
+
+// --- PPDB_ASSIGN_OR_RETURN ---------------------------------------------------
+
+Result<std::unique_ptr<std::string>> MakeBoxed(bool succeed) {
+  if (!succeed) return Status::InvalidArgument("no box");
+  return std::make_unique<std::string>("payload");
+}
+
+Status UseBoxed(bool succeed, std::string* out) {
+  // The bound value is move-only: the macro must move it out of the
+  // Result, not copy.
+  PPDB_ASSIGN_OR_RETURN(std::unique_ptr<std::string> boxed,
+                        MakeBoxed(succeed));
+  if (boxed == nullptr) return Status::Internal("macro bound a null box");
+  *out = *boxed;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnMovesMoveOnlyPayload) {
+  std::string out;
+  EXPECT_TRUE(UseBoxed(true, &out).ok());
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesErrorStatus) {
+  std::string out = "untouched";
+  Status status = UseBoxed(false, &out);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(out, "untouched");
+}
+
+TEST(MacrosTest, AssignOrReturnExistingVariable) {
+  // `lhs` may also be an already-declared variable, not a declaration.
+  std::string first;
+  std::string second;
+  auto both = [&]() -> Status {
+    PPDB_ASSIGN_OR_RETURN(std::unique_ptr<std::string> a, MakeBoxed(true));
+    PPDB_ASSIGN_OR_RETURN(std::unique_ptr<std::string> b, MakeBoxed(true));
+    first = *a;
+    second = *b;
+    return Status::OK();
+  };
+  ASSERT_TRUE(both().ok());  // two expansions in one scope must not collide
+  EXPECT_EQ(first, "payload");
+  EXPECT_EQ(second, "payload");
+}
+
+// --- PPDB_IGNORE_ERROR -------------------------------------------------------
+
+TEST(MacrosTest, IgnoreErrorEvaluatesExactlyOnce) {
+  int calls = 0;
+  auto count_and_fail = [&calls]() -> Status {
+    ++calls;
+    return Status::Internal("recorded elsewhere");
+  };
+  PPDB_IGNORE_ERROR(count_and_fail());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MacrosTest, IgnoreErrorAcceptsResult) {
+  PPDB_IGNORE_ERROR(MakeBoxed(false));  // must compile despite [[nodiscard]]
+}
+
+}  // namespace
+}  // namespace ppdb

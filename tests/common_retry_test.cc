@@ -137,8 +137,9 @@ TEST(RetryTest, JitterShavesWithinBoundsAndIsSeededDeterministically) {
     options.max_backoff = milliseconds(8000);
     options.jitter = 0.5;
     options.jitter_seed = seed;
-    RetryWithBackoff(options, "op",
-                     [] { return Status::Unavailable("down"); });
+    Status status = RetryWithBackoff(
+        options, "op", [] { return Status::Unavailable("down"); });
+    EXPECT_TRUE(status.IsUnavailable());
     return waits;
   };
 

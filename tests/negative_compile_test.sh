@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# negative_compile_test.sh — proves the static enforcement actually bites:
+#
+#   1. nodiscard   a TU that drops a ppdb::Status must FAIL to compile
+#                  (and a control TU that handles it must compile), with
+#                  whatever host compiler built the tree.
+#   2. tsa         a TU that reads a PPDB_GUARDED_BY field without the
+#                  lock must FAIL under clang -Wthread-safety -Werror (and
+#                  the locked control must pass). Skipped (exit 77) when
+#                  no clang with -Wthread-safety support is on PATH; the
+#                  static-analysis CI job always runs it.
+#
+# Usage: negative_compile_test.sh <repo-root> [nodiscard|tsa|all]
+#
+# The optional mode runs one case in isolation, so ctest can report the
+# always-runnable nodiscard case separately from the clang-only tsa case.
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+MODE="${2:-all}"
+SRC="$ROOT/src"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+CXX="${CXX:-c++}"
+FLAGS=(-std=c++20 -fsyntax-only -Werror -I "$SRC")
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- case 1: [[nodiscard]] Status --------------------------------------------
+if [ "$MODE" = "nodiscard" ] || [ "$MODE" = "all" ]; then
+cat > "$TMP/discard.cc" <<'EOF'
+#include "common/status.h"
+ppdb::Status Mutate() { return ppdb::Status::Unavailable("x"); }
+void Caller() { Mutate(); }  // dropped Status: must not compile
+EOF
+if "$CXX" "${FLAGS[@]}" "$TMP/discard.cc" 2> "$TMP/discard.err"; then
+  fail "a dropped ppdb::Status compiled cleanly; [[nodiscard]] is not enforced"
+fi
+grep -qi "nodiscard\|unused.result\|discard" "$TMP/discard.err" \
+  || fail "dropped-Status rejection was not a nodiscard diagnostic: $(cat "$TMP/discard.err")"
+echo "PASS  nodiscard: dropping a Status fails the build"
+
+cat > "$TMP/discard_ok.cc" <<'EOF'
+#include "common/macros.h"
+#include "common/status.h"
+ppdb::Status Mutate() { return ppdb::Status::Unavailable("x"); }
+ppdb::Status Caller() {
+  PPDB_RETURN_NOT_OK(Mutate());
+  PPDB_IGNORE_ERROR(Mutate());  // explicit, visible discard
+  return ppdb::Status::OK();
+}
+EOF
+"$CXX" "${FLAGS[@]}" "$TMP/discard_ok.cc" 2> "$TMP/discard_ok.err" \
+  || fail "the handled-Status control TU failed to compile: $(cat "$TMP/discard_ok.err")"
+echo "PASS  nodiscard: handling the Status compiles (control)"
+fi
+
+# --- case 2: thread-safety analysis ------------------------------------------
+if [ "$MODE" = "tsa" ] || [ "$MODE" = "all" ]; then
+CLANG=""
+for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+         clang++-15 clang++-14; do
+  command -v "$c" > /dev/null 2>&1 || continue
+  if printf 'int main(){}' \
+      | "$c" -x c++ -fsyntax-only -Wthread-safety - > /dev/null 2>&1; then
+    CLANG="$c"
+    break
+  fi
+done
+if [ -z "$CLANG" ]; then
+  echo "SKIP  tsa: no clang with -Wthread-safety on PATH (CI covers this)"
+  exit 77
+fi
+
+cat > "$TMP/tsa_bad.cc" <<'EOF'
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+class Account {
+ public:
+  void Deposit(int amount) { balance_ += amount; }  // lock not held
+ private:
+  ppdb::Mutex mu_;
+  int balance_ PPDB_GUARDED_BY(mu_) = 0;
+};
+EOF
+if "$CLANG" "${FLAGS[@]}" -Wthread-safety "$TMP/tsa_bad.cc" \
+    2> "$TMP/tsa_bad.err"; then
+  fail "an unguarded write to a PPDB_GUARDED_BY field compiled cleanly"
+fi
+grep -q "thread-safety\|requires holding" "$TMP/tsa_bad.err" \
+  || fail "unguarded-write rejection was not a thread-safety diagnostic: $(cat "$TMP/tsa_bad.err")"
+echo "PASS  tsa: unguarded access to a GUARDED_BY field fails the build"
+
+cat > "$TMP/tsa_ok.cc" <<'EOF'
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+class Account {
+ public:
+  void Deposit(int amount) {
+    ppdb::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+ private:
+  ppdb::Mutex mu_;
+  int balance_ PPDB_GUARDED_BY(mu_) = 0;
+};
+EOF
+"$CLANG" "${FLAGS[@]}" -Wthread-safety "$TMP/tsa_ok.cc" \
+    2> "$TMP/tsa_ok.err" \
+  || fail "the locked control TU failed thread-safety analysis: $(cat "$TMP/tsa_ok.err")"
+echo "PASS  tsa: locked access compiles (control)"
+fi
+
+echo "negative_compile_test: requested cases passed."

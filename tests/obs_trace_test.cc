@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace ppdb::obs {
@@ -121,6 +122,48 @@ TEST(TraceTest, JsonEscapesControlAndQuoteCharacters) {
   EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
   // Single line: raw newlines never survive serialization.
   EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// Regression: set_clock used to swap the std::function while tracing
+// threads were calling it through Now(), a data race (and a potential
+// call through a half-destroyed function object). The clock now lives
+// behind its own mutex; swapping it mid-traffic must be safe and every
+// trace must still commit.
+TEST(TraceTest, SetClockIsSafeDuringConcurrentTracing) {
+  constexpr int kThreads = 4;
+  constexpr int kTracesPerThread = 200;
+  Tracer tracer(StepClockOptions(/*ring_capacity=*/8));
+
+  std::vector<std::thread> tracers;
+  tracers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tracers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kTracesPerThread; ++i) {
+        TraceScope trace(tracer, "ppdb-req-" + std::to_string(t * 1000 + i),
+                         "concurrent");
+        SpanScope span("work");
+        span.Note("i", int64_t{i});
+      }
+    });
+  }
+  for (int swap = 0; swap < 100; ++swap) {
+    auto ticks = std::make_shared<int64_t>(swap * 1000);
+    tracer.set_clock([ticks] {
+      *ticks += 7;
+      return steady_clock::time_point(microseconds(*ticks));
+    });
+  }
+  for (std::thread& t : tracers) t.join();
+
+  EXPECT_EQ(tracer.traces_completed(), kThreads * kTracesPerThread);
+  // The ring keeps only the newest 8; every retained record is complete.
+  std::vector<TraceRecord> kept = tracer.Snapshot();
+  EXPECT_EQ(kept.size(), 8u);
+  for (const TraceRecord& record : kept) {
+    EXPECT_EQ(record.name, "concurrent");
+    ASSERT_EQ(record.spans.size(), 1u);
+    EXPECT_EQ(record.spans[0].name, "work");
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace ppdb::server {
@@ -363,6 +364,56 @@ TEST(RequestBrokerTest, DestructorDrainsOutstandingWork) {
     }
   }
   EXPECT_EQ(completions.load(), 6);
+}
+
+// Regression: the constructor used to reset the process-wide gauge
+// mirrors (ppdb_broker_workers, ppdb_broker_draining) without taking
+// mu_, violating the documented "mirrors mutate under the Stats() mutex"
+// invariant and racing with a live broker's Stats()/Drain() mirror
+// writes. Construct and destroy brokers while a long-lived broker serves
+// traffic and snapshots stats; tsan would flag the unsynchronized
+// interleaving, and the final gauge value must reflect the last
+// constructor once the churn stops.
+TEST(RequestBrokerTest, ConstructorGaugeMirrorWritesAreSynchronized) {
+  RequestBroker::Options options;
+  options.num_workers = 2;
+  RequestBroker broker(options);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load()) {
+      RequestBroker::Options inner;
+      inner.num_workers = 3;
+      RequestBroker transient(inner);  // ctor + dtor both touch the gauges
+    }
+  });
+
+  std::atomic<int> completions{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(broker.Submit(
+        Lane::kNormal,
+        [](const Deadline&) { return Response{Status::OK(), {}}; },
+        [&](const Response&) { ++completions; }));
+    RequestBroker::StatsSnapshot stats = broker.Stats();
+    EXPECT_GE(stats.submitted, i + 1);
+  }
+  stop.store(true);
+  churn.join();
+  while (completions.load() < 50) std::this_thread::yield();
+
+  RequestBroker::StatsSnapshot stats = broker.Stats();
+  EXPECT_EQ(stats.num_workers, 2);
+  EXPECT_EQ(stats.completed, 50);
+
+  // Once construction is single-threaded again, last constructor wins
+  // deterministically on the shared mirror.
+  RequestBroker::Options last;
+  last.num_workers = 4;
+  RequestBroker final_broker(last);
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .GetGauge("ppdb_broker_workers", "")
+                ->Value(),
+            4.0);
 }
 
 }  // namespace

@@ -9,12 +9,22 @@
 # renamed, or removed without updating the reference in the same PR.
 #
 # Usage: tools/check_metrics_docs.sh [build_dir]
+#
+# PPDB_OBSERVABILITY_DOC overrides the documentation path (tests use this
+# to exercise the missing-file diagnostic without touching the real doc).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build"}"
 cli="${build_dir}/tools/ppdb_cli"
-doc="${repo_root}/OBSERVABILITY.md"
+doc="${PPDB_OBSERVABILITY_DOC:-"${repo_root}/OBSERVABILITY.md"}"
+
+if [[ ! -f "${doc}" ]]; then
+  echo "FAIL: metrics reference '${doc}' does not exist." >&2
+  echo "Every exported metric must be documented there; restore the file" >&2
+  echo "(or fix PPDB_OBSERVABILITY_DOC) before adding or renaming metrics." >&2
+  exit 1
+fi
 
 if [[ ! -x "${cli}" ]]; then
   echo "error: ${cli} not built; run:" >&2

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# ppdb_lint.sh — project-specific invariants that generic linters can't
+# express. Each check prints PASS/FAIL with the offending lines; the script
+# exits non-zero if any check fails. Run from anywhere; it locates the repo
+# root from its own path.
+#
+# Checks:
+#   1. std-sync      std::mutex & friends are forbidden outside
+#                    common/mutex.h — use the annotated ppdb wrappers so
+#                    clang thread-safety analysis can see the locks.
+#   2. guarded-by    a file declaring a Mutex/SharedMutex member must carry
+#                    at least one PPDB_GUARDED_BY/PPDB_REQUIRES annotation.
+#   3. metric-reg    metric families are registered only in the known
+#                    eager-registration translation units, so the metrics
+#                    drift check (check_metrics_docs.sh) sees all of them.
+#   4. raw-new       no system(3) and no raw `new` without an
+#                    `// ppdb-lint: allow(raw-new)` marker on the same line
+#                    or in the comment block directly above.
+#   5. serve-docs    every serve command named in request.cc must be
+#                    documented in README.md or OBSERVABILITY.md.
+#
+# Silencing a finding: append `// ppdb-lint: allow(<check>)` to the line
+# (or the comment block directly above it) with a short justification.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+FAILED=0
+
+report() { # report <check-name> <findings>
+  local name="$1" findings="$2"
+  if [ -n "$findings" ]; then
+    echo "FAIL  $name"
+    echo "$findings" | sed '/^$/d; s/^/      /'
+    FAILED=1
+  else
+    echo "PASS  $name"
+  fi
+}
+
+# Drops grep -n findings that are inside a line comment (the match text
+# starts with // or ///), so doc prose never trips a code check.
+strip_comments() { # stdin: file:line:text
+  grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|\*)' || true
+}
+
+# Drops findings whose line — or the contiguous `//` comment block directly
+# above it — carries the given allow marker. Input: grep -n output.
+strip_allowed() { # strip_allowed <marker> ; stdin: file:line:text
+  local marker="$1"
+  while IFS= read -r finding; do
+    [ -z "$finding" ] && continue
+    local file="${finding%%:*}" rest="${finding#*:}"
+    local line="${rest%%:*}" text="${rest#*:}"
+    case "$text" in *"ppdb-lint: allow($marker)"*) continue ;; esac
+    local allowed=no prev_line=$((line - 1)) prev
+    while [ "$prev_line" -ge 1 ]; do
+      prev="$(sed -n "${prev_line}p" "$file")"
+      case "$prev" in
+        *"ppdb-lint: allow($marker)"*) allowed=yes; break ;;
+        [[:space:]]*"//"*|"//"*) prev_line=$((prev_line - 1)) ;;
+        *) break ;;
+      esac
+    done
+    [ "$allowed" = yes ] && continue
+    echo "$finding"
+  done
+}
+
+# --- 1. std-sync -------------------------------------------------------------
+# The annotated wrappers in common/mutex.h are the only place the raw std
+# primitives may appear; everywhere else they are invisible to
+# -Wthread-safety and therefore forbidden.
+STD_SYNC_PATTERN='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
+findings="$(grep -rnE "$STD_SYNC_PATTERN" src/ \
+  --include='*.cc' --include='*.h' \
+  | grep -v '^src/common/mutex\.h:' \
+  | strip_comments \
+  | strip_allowed 'std-sync')"
+report "std-sync: raw std synchronization outside common/mutex.h" "$findings"
+
+# --- 2. guarded-by -----------------------------------------------------------
+# A file that declares a Mutex/SharedMutex member but no thread-safety
+# annotation is almost certainly protecting something silently.
+findings="$(grep -rnE '^[[:space:]]*(mutable[[:space:]]+)?(ppdb::common::)?(Mutex|SharedMutex)[[:space:]]+[[:alnum:]_]+;' \
+    src/ --include='*.h' --include='*.cc' \
+  | strip_allowed 'guarded-by' \
+  | { while IFS= read -r finding; do
+        file="${finding%%:*}"
+        if ! grep -qE 'PPDB_(GUARDED_BY|REQUIRES)' "$file"; then
+          echo "$finding — file has no PPDB_GUARDED_BY/PPDB_REQUIRES annotation"
+        fi
+      done; })"
+report "guarded-by: files with Mutex members carry annotations" "$findings"
+
+# --- 3. metric-reg -----------------------------------------------------------
+# check_metrics_docs.sh greps these files to build the drift list; a
+# registration elsewhere would silently escape the docs gate.
+METRIC_ALLOWLIST=(
+  src/server/broker.cc
+  src/server/service.cc
+  src/obs/metrics.cc
+  src/obs/metrics.h
+  src/storage/database_io.cc
+  src/storage/fs.cc
+  src/violation/metrics.cc
+)
+findings="$(grep -rnE '\bGet(Counter|Gauge|Histogram)[[:space:]]*\(' src/ \
+  --include='*.cc' --include='*.h' \
+  | strip_comments \
+  | { while IFS= read -r finding; do
+        file="${finding%%:*}"
+        allowed=no
+        for a in "${METRIC_ALLOWLIST[@]}"; do
+          [ "$file" = "$a" ] && allowed=yes && break
+        done
+        [ "$allowed" = no ] && echo "$finding"
+      done; })"
+report "metric-reg: metric registration stays in the eager-registration TUs" \
+  "$findings"
+
+# --- 4. raw-new / system -----------------------------------------------------
+findings="$(grep -rnE '(^|[^_[:alnum:]])system[[:space:]]*\(' src/ \
+  --include='*.cc' --include='*.h' \
+  | strip_comments \
+  | strip_allowed 'system')"
+report "no-system: no system(3) calls" "$findings"
+
+findings="$(grep -rnE '(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:]+' src/ \
+  --include='*.cc' --include='*.h' \
+  | strip_comments \
+  | strip_allowed 'raw-new')"
+report "raw-new: no unmarked raw new (prefer make_unique)" "$findings"
+
+# --- 5. serve-docs -----------------------------------------------------------
+# Every wire command must be documented; a new RequestKind that skips the
+# docs breaks operators relying on README/OBSERVABILITY as the reference.
+findings=""
+commands="$(sed -n '/RequestKindName/,/^}/p' src/server/request.cc \
+  | grep -oE 'return "[a-z_]+"' | sed 's/return "//; s/"//' \
+  | grep -v '^unknown$' || true)"
+if [ -z "$commands" ]; then
+  findings="could not extract command names from src/server/request.cc"
+else
+  for cmd in $commands; do
+    if ! grep -qE "\b${cmd}\b" README.md OBSERVABILITY.md 2>/dev/null; then
+      findings="${findings}serve command \"${cmd}\" is not mentioned in README.md or OBSERVABILITY.md
+"
+    fi
+  done
+fi
+report "serve-docs: every serve command is documented" "$findings"
+
+if [ "$FAILED" -ne 0 ]; then
+  echo
+  echo "ppdb-lint: FAILED — see findings above." \
+       "Silence a false positive with '// ppdb-lint: allow(<check>)'."
+  exit 1
+fi
+echo
+echo "ppdb-lint: all checks passed."

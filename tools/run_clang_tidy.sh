@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# run_clang_tidy.sh — run clang-tidy (config in .clang-tidy) over every
+# first-party translation unit, in parallel, against a compile database.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# The build dir must contain compile_commands.json; configure one with
+#   cmake --preset clang-tidy          # or any preset, plus
+#   cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON ...
+#
+# Exits non-zero on any finding (clang-tidy already promotes the checks we
+# care most about via WarningsAsErrors). Skips gracefully (exit 0 with a
+# notice) when clang-tidy is not installed, so local gcc-only machines can
+# run the rest of the static-analysis suite; CI always has clang-tidy.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  for v in 20 19 18 17 16 15 14; do
+    TIDY="$(command -v "clang-tidy-$v" || true)"
+    [ -n "$TIDY" ] && break
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (CI runs it)."
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found." >&2
+  echo "Configure with: cmake -B $BUILD_DIR -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "run_clang_tidy: $TIDY over src/ with $JOBS jobs (db: $BUILD_DIR)"
+
+# Only first-party sources; third-party and generated code is not ours to
+# lint. xargs fans out one clang-tidy process per TU and propagates any
+# non-zero exit (xargs exits 123 when an invocation fails).
+find "$ROOT/src" -name '*.cc' -print0 \
+  | xargs -0 -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet
+status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings above (exit $status)." >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean."
