@@ -1,0 +1,85 @@
+// Shared google-benchmark main for ppdb perf benches, fixing one lie in
+// the stock JSON output: the context's "library_build_type" field reports
+// how the *benchmark library* was compiled, not how the code under test
+// was. With the distro-packaged libbenchmark that field is frozen at the
+// package's own build flavor whatever flags this tree uses, which would
+// defeat tools/run_bench.sh's release-only recording gate. The reporter
+// below re-points the field at this build's CMAKE_BUILD_TYPE (injected as
+// PPDB_BENCH_BUILD_TYPE), and the same value is exposed unambiguously as
+// the "ppdb_build_type" custom context entry.
+#ifndef PPDB_BENCH_BENCH_MAIN_H_
+#define PPDB_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#ifndef PPDB_BENCH_BUILD_TYPE
+#define PPDB_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace ppdb::bench {
+
+/// JSONReporter whose context block carries the build type of the ppdb
+/// code under test (see the file comment).
+class BuildTypeJsonReporter : public benchmark::JSONReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::ostream& out = GetOutputStream();
+    std::ostringstream buffer;
+    SetOutputStream(&buffer);
+    const bool ok = benchmark::JSONReporter::ReportContext(context);
+    SetOutputStream(&out);
+    std::string text = buffer.str();
+    const std::string key = "\"library_build_type\": \"";
+    const size_t begin = text.find(key);
+    if (begin != std::string::npos) {
+      const size_t value = begin + key.size();
+      const size_t end = text.find('"', value);
+      if (end != std::string::npos) {
+        text.replace(value, end - value, PPDB_BENCH_BUILD_TYPE);
+      }
+    }
+    out << text;
+    return ok;
+  }
+};
+
+/// BENCHMARK_MAIN()'s body with the patched file reporter. Callers may
+/// RegisterBenchmark / AddCustomContext before invoking.
+inline int RunBenchmarks(int argc, char** argv) {
+  // Honor --benchmark_format=json on stdout too (the flag value is not
+  // exposed through the public API, so sniff it before Initialize eats
+  // argv).
+  bool json_display = false;
+  bool has_out_file = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--benchmark_format=json") json_display = true;
+    if (arg.rfind("--benchmark_out=", 0) == 0 &&
+        arg != "--benchmark_out=") {
+      has_out_file = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("ppdb_build_type", PPDB_BENCH_BUILD_TYPE);
+  benchmark::ConsoleReporter console;
+  BuildTypeJsonReporter json;
+  BuildTypeJsonReporter file_reporter;
+  benchmark::BenchmarkReporter* display =
+      json_display ? static_cast<benchmark::BenchmarkReporter*>(&json)
+                   : &console;
+  // The library aborts if a file reporter is supplied without
+  // --benchmark_out, so only pass one when an output file was requested.
+  benchmark::RunSpecifiedBenchmarks(display,
+                                    has_out_file ? &file_reporter : nullptr);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ppdb::bench
+
+#endif  // PPDB_BENCH_BENCH_MAIN_H_

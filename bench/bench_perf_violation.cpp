@@ -2,15 +2,23 @@
 // computations as the population and schema scale (google-benchmark).
 //
 // Covers: ViolationDetector::Analyze (Def. 1 + Eqs. 14-16 over the whole
-// population), ComputeDefaults, the trial-based estimator (Def. 2), and
-// HousePolicy::Widened (the inner operation of what-if sweeps).
+// population), ComputeDefaults, the trial-based estimator (Def. 2),
+// HousePolicy::Widened (the inner operation of what-if sweeps), and the
+// batched severity kernel (Eqs. 12-14) per dispatch target — the
+// scalar-vs-SIMD throughput ratio EXPERIMENTS.md's roofline section is
+// built from.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "bench_main.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "sim/population.h"
 #include "violation/default_model.h"
 #include "violation/detector.h"
+#include "violation/kernel/severity_kernel.h"
 #include "violation/live_monitor.h"
 #include "violation/probability.h"
 
@@ -159,6 +167,138 @@ void BM_SingleProviderAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleProviderAnalysis);
 
+// ---- Severity-kernel microbenchmarks (Eqs. 12-14 over SoA columns) ----
+//
+// One batch of kRows (preference, policy) pairs, the per-provider row
+// shape of the detector's hot loop at policy scale. Registered once per
+// compiled-and-supported dispatch target via the direct entry points, so
+// the scalar/SIMD ratio comes from one binary and run.
+
+constexpr size_t kRows = 4096;
+// Streamed bytes per pair: 6 × int32 levels + 5 × double sensitivities +
+// int32 active in; 3 × int32 diff + double conf out.
+constexpr size_t kBytesPerRow = 6 * 4 + 5 * 8 + 4 + 3 * 4 + 8;
+
+struct KernelBatch {
+  std::vector<int32_t> pref_v, pref_g, pref_r, pol_v, pol_g, pol_r, active;
+  std::vector<double> attr_sens, sens_val, sens_v, sens_g, sens_r;
+  violation::kernel::RowScratch out;
+
+  explicit KernelBatch(size_t n) {
+    Rng rng(17);
+    const auto level = [&] { return static_cast<int32_t>(rng.NextInt(0, 5)); };
+    for (size_t j = 0; j < n; ++j) {
+      pref_v.push_back(level());
+      pref_g.push_back(level());
+      pref_r.push_back(level());
+      pol_v.push_back(level());
+      pol_g.push_back(level());
+      pol_r.push_back(level());
+      attr_sens.push_back(1.0 + rng.NextDouble());
+      sens_val.push_back(1.0 + rng.NextDouble());
+      sens_v.push_back(rng.NextDouble());
+      sens_g.push_back(rng.NextDouble());
+      sens_r.push_back(rng.NextDouble());
+      active.push_back(rng.NextBool(0.1) ? 0 : -1);
+    }
+    out.Resize(n);
+  }
+
+  violation::kernel::ConfInput In() const {
+    violation::kernel::ConfInput in;
+    in.pref_v = pref_v.data();
+    in.pref_g = pref_g.data();
+    in.pref_r = pref_r.data();
+    in.pol_v = pol_v.data();
+    in.pol_g = pol_g.data();
+    in.pol_r = pol_r.data();
+    in.attr_sens = attr_sens.data();
+    in.sens_val = sens_val.data();
+    in.sens_v = sens_v.data();
+    in.sens_g = sens_g.data();
+    in.sens_r = sens_r.data();
+    in.active = active.data();
+    return in;
+  }
+};
+
+using ConfFn = bool (*)(const violation::kernel::ConfInput&,
+                        const violation::kernel::ConfOutput&, size_t);
+using DiffFn = void (*)(const int32_t*, const int32_t*, int32_t*, size_t);
+
+void BM_KernelConf(benchmark::State& state, ConfFn fn) {
+  KernelBatch batch(kRows);
+  const violation::kernel::ConfInput in = batch.In();
+  const violation::kernel::ConfOutput out = batch.out.Output();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(in, out, kRows));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRows));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kRows * kBytesPerRow));
+}
+
+void BM_KernelDiff(benchmark::State& state, DiffFn fn) {
+  KernelBatch batch(kRows);
+  for (auto _ : state) {
+    fn(batch.pref_v.data(), batch.pol_v.data(), batch.out.diff_v.data(),
+       kRows);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRows));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kRows * 3 * 4));
+}
+
+/// Registers the per-target kernel benchmarks for every compiled target
+/// the host can execute (runtime registration: the target list is not a
+/// compile-time constant).
+void RegisterKernelBenchmarks() {
+  using violation::kernel::Target;
+  for (Target target : violation::kernel::CompiledTargets()) {
+    if (!violation::kernel::TargetSupported(target)) continue;
+    ConfFn conf = nullptr;
+    DiffFn diff = nullptr;
+    switch (target) {
+      case Target::kScalar:
+        conf = violation::kernel::ConfKernelScalar;
+        diff = violation::kernel::DiffKernelScalar;
+        break;
+#if PPDB_KERNEL_HAVE_AVX2
+      case Target::kAvx2:
+        conf = violation::kernel::ConfKernelAvx2;
+        diff = violation::kernel::DiffKernelAvx2;
+        break;
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+      case Target::kNeon:
+        conf = violation::kernel::ConfKernelNeon;
+        diff = violation::kernel::DiffKernelNeon;
+        break;
+#endif
+      default:
+        continue;
+    }
+    const std::string name(violation::kernel::TargetName(target));
+    benchmark::RegisterBenchmark(
+        ("BM_KernelConf/" + name).c_str(),
+        [conf](benchmark::State& state) { BM_KernelConf(state, conf); });
+    benchmark::RegisterBenchmark(
+        ("BM_KernelDiff/" + name).c_str(),
+        [diff](benchmark::State& state) { BM_KernelDiff(state, diff); });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RegisterKernelBenchmarks();
+  benchmark::AddCustomContext(
+      "ppdb_kernel_dispatch",
+      std::string(ppdb::violation::kernel::TargetName(
+          ppdb::violation::kernel::SelectedTarget())));
+  return ppdb::bench::RunBenchmarks(argc, argv);
+}

@@ -26,6 +26,10 @@
 #include "storage/database_io.h"
 #include "storage/fs.h"
 
+#ifndef PPDB_BENCH_BUILD_TYPE
+#define PPDB_BENCH_BUILD_TYPE "unknown"
+#endif
+
 namespace ppdb {
 namespace {
 
@@ -147,6 +151,9 @@ int Run(const std::string& output_path) {
 
   std::ofstream out(output_path);
   out << "{\n  \"benchmark\": \"server_broker_saturation\",\n"
+      // The build type of the code under test; tools/run_bench.sh refuses
+      // to record baselines unless this is "release".
+      << "  \"library_build_type\": \"" << PPDB_BENCH_BUILD_TYPE << "\",\n"
       << "  \"providers\": " << kProviders << ",\n"
       << "  \"requests_per_level\": " << kRequestsPerLevel << ",\n"
       << "  \"sweep\": [\n";

@@ -74,6 +74,18 @@ double SensitivityModel::AttributeSensitivity(std::string_view attribute,
   return 1.0;
 }
 
+bool SensitivityModel::HasEntriesFor(ProviderId provider) const {
+  auto by_default = provider_default_.lower_bound({provider, std::string()});
+  if (by_default != provider_default_.end() &&
+      by_default->first.first == provider) {
+    return true;
+  }
+  auto by_purpose = provider_by_purpose_.lower_bound(
+      {provider, std::string(), PurposeId{}});
+  return by_purpose != provider_by_purpose_.end() &&
+         std::get<0>(by_purpose->first) == provider;
+}
+
 DimensionSensitivity SensitivityModel::ProviderSensitivity(
     ProviderId provider, std::string_view attribute,
     PurposeId purpose) const {

@@ -83,6 +83,13 @@ class SensitivityModel {
                                            std::string_view attribute,
                                            PurposeId purpose) const;
 
+  /// True iff the provider has at least one explicit σ entry (default or
+  /// purpose override, any attribute). When false, every
+  /// `ProviderSensitivity` lookup for the provider returns all-ones, so
+  /// batched analyses can share one preset ones column instead of doing
+  /// per-(provider, tuple) map lookups. Two O(log n) probes.
+  bool HasEntriesFor(ProviderId provider) const;
+
   // Read-only views of the explicitly-set entries, for serialization and
   // inspection. Keys are (attribute), (attribute, purpose),
   // (provider, attribute) and (provider, attribute, purpose) respectively.

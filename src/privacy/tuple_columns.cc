@@ -1,0 +1,35 @@
+#include "privacy/tuple_columns.h"
+
+namespace ppdb::privacy {
+
+void SensitivityColumns::FillFor(const SensitivityModel& model,
+                                 ProviderId provider,
+                                 const std::vector<PolicyTuple>& tuples) {
+  const size_t n = tuples.size();
+  value.resize(n);
+  visibility.resize(n);
+  granularity.resize(n);
+  retention.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    const DimensionSensitivity s = model.ProviderSensitivity(
+        provider, tuples[j].attribute, tuples[j].tuple.purpose);
+    value[j] = s.value;
+    visibility[j] = s.visibility;
+    granularity[j] = s.granularity;
+    retention[j] = s.retention;
+  }
+}
+
+PolicyColumns PolicyColumns::Build(const std::vector<PolicyTuple>& tuples,
+                                   const SensitivityModel& model) {
+  PolicyColumns out;
+  out.attr_sens.reserve(tuples.size());
+  for (const PolicyTuple& pt : tuples) {
+    out.levels.Append(pt.tuple);
+    out.attr_sens.push_back(
+        model.AttributeSensitivity(pt.attribute, pt.tuple.purpose));
+  }
+  return out;
+}
+
+}  // namespace ppdb::privacy

@@ -12,7 +12,9 @@
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
-#include "violation/conflict.h"
+#include "privacy/dimension.h"
+#include "privacy/tuple_columns.h"
+#include "violation/kernel/severity_kernel.h"
 #include "violation/metrics.h"
 
 namespace ppdb::violation {
@@ -44,6 +46,9 @@ struct PreparedPolicyTuple {
 
 struct PreparedPolicy {
   std::vector<PreparedPolicyTuple> tuples;
+  /// The policy's own tuple storage, for column builders that consume the
+  /// raw (attribute, tuple) sequence.
+  const std::vector<privacy::PolicyTuple>* source = nullptr;
   /// Interned policy attribute names; views into the policy's own strings.
   std::vector<std::string_view> attributes;
   std::unordered_map<std::string_view, int32_t> attr_ids;
@@ -59,6 +64,7 @@ struct PreparedPolicy {
 PreparedPolicy PreparePolicy(const privacy::HousePolicy& policy,
                              const privacy::PurposeHierarchy* hierarchy) {
   PreparedPolicy out;
+  out.source = &policy.tuples();
   out.tuples.reserve(policy.tuples().size());
   for (const privacy::PolicyTuple& pt : policy.tuples()) {
     PreparedPolicyTuple prepared;
@@ -149,22 +155,53 @@ FlatPreferenceIndex BuildIndex(const std::vector<ProviderId>& providers,
   return index;
 }
 
-/// The Def. 1 / Eq. 14-15 evaluation for one provider. `find_pref` resolves
-/// (attr_id, attribute, purpose) to the provider's stated tuple or nullptr;
-/// `violated_attributes` is caller-owned scratch reused across providers to
-/// avoid a per-provider set allocation.
+/// Per-thread buffers for the kernel-backed provider analysis, reused
+/// across providers so the hot loop never allocates: the preference-side
+/// row columns and kernel outputs, the provider σ columns (filled only for
+/// providers with explicit entries), and the violated-attribute dedupe
+/// scratch.
+struct AnalysisScratch {
+  kernel::RowScratch row;
+  privacy::SensitivityColumns provider_sens;
+  std::vector<std::string_view> violated_attributes;
+};
+
+/// The Def. 1 / Eq. 14-15 evaluation for one provider, in three passes:
+/// build the preference row (SoA columns aligned with the policy columns),
+/// run the batched severity kernel over it (Eqs. 12-14), then reduce and —
+/// only for exceeding rows — reconstruct the per-dimension incidents.
+/// `find_pref` resolves (attr_id, attribute, purpose) to the provider's
+/// stated tuple or nullptr.
 template <typename FindPref>
 ProviderViolation AnalyzeOne(const privacy::PrivacyConfig& config,
                              const ViolationDetector::Options& options,
-                             const PreparedPolicy& policy, ProviderId provider,
-                             FindPref&& find_pref,
-                             std::vector<std::string_view>& violated_attributes) {
+                             const PreparedPolicy& policy,
+                             const privacy::PolicyColumns& columns,
+                             const privacy::SensitivityColumns& unit_sens,
+                             ProviderId provider, FindPref&& find_pref,
+                             AnalysisScratch& scratch) {
   ProviderViolation out;
   out.provider = provider;
-  violated_attributes.clear();
+  scratch.violated_attributes.clear();
 
-  for (const PreparedPolicyTuple& prepared : policy.tuples) {
+  const size_t n = policy.tuples.size();
+  kernel::RowScratch& row = scratch.row;
+  row.Resize(n);
+
+  // Pass 1 — row build. Select the preference tuple Def. 1 compares
+  // against each policy tuple: stated for (a, purpose); else (with the
+  // hierarchy extension) the most specific stated preference for an
+  // ancestor purpose; else the implicit zero tuple. Pairs Def. 1 excludes
+  // outright get active = 0 and contribute exactly nothing downstream.
+  for (size_t j = 0; j < n; ++j) {
+    const PreparedPolicyTuple& prepared = policy.tuples[j];
     const privacy::PolicyTuple& policy_tuple = *prepared.policy;
+    row.active[j] = 0;
+    row.implicit[j] = 0;
+    row.pref_v[j] = 0;
+    row.pref_g[j] = 0;
+    row.pref_r[j] = 0;
+
     // Data scoping: with a table, only attributes the provider actually
     // supplies (a non-null datum in some owned row) are in play. Providers
     // absent from the table supply no data and incur no violations.
@@ -174,71 +211,117 @@ ProviderViolation AnalyzeOne(const privacy::PrivacyConfig& config,
       if (!supplies.ok() || !supplies.value()) continue;
     }
 
-    // Select the preference tuple Def. 1 compares against this policy
-    // tuple: stated for (a, purpose); else (with the hierarchy extension)
-    // the most specific stated preference for an ancestor purpose; else the
-    // implicit zero tuple.
-    bool implicit = false;
-    PrivacyTuple pref_tuple;
-    const PrivacyTuple* stated = find_pref(
+    const PrivacyTuple* pref = find_pref(
         prepared.attr_id, policy_tuple.attribute, policy_tuple.tuple.purpose);
-    if (stated != nullptr) {
-      pref_tuple = *stated;
-    } else {
-      bool resolved = false;
+    if (pref == nullptr) {
+      // Consent to an ancestor purpose covers this specialization; only
+      // the levels matter to the kernel, so no purpose rebase is needed.
       for (privacy::PurposeId ancestor : prepared.ancestors) {
-        const PrivacyTuple* inherited =
-            find_pref(prepared.attr_id, policy_tuple.attribute, ancestor);
-        if (inherited != nullptr) {
-          pref_tuple = *inherited;
-          // Rebase onto the policy purpose so the tuples are comparable:
-          // consent to the ancestor covers this specialization.
-          pref_tuple.purpose = policy_tuple.tuple.purpose;
-          resolved = true;
-          break;
-        }
-      }
-      if (!resolved) {
-        if (!options.implicit_zero_preferences) continue;
-        pref_tuple = PrivacyTuple::ZeroFor(policy_tuple.tuple.purpose);
-        implicit = true;
+        pref = find_pref(prepared.attr_id, policy_tuple.attribute, ancestor);
+        if (pref != nullptr) break;
       }
     }
+    if (pref != nullptr) {
+      row.pref_v[j] = pref->visibility;
+      row.pref_g[j] = pref->granularity;
+      row.pref_r[j] = pref->retention;
+    } else {
+      if (!options.implicit_zero_preferences) continue;
+      const PrivacyTuple zero =
+          PrivacyTuple::ZeroFor(policy_tuple.tuple.purpose);
+      row.pref_v[j] = zero.visibility;
+      row.pref_g[j] = zero.granularity;
+      row.pref_r[j] = zero.retention;
+      row.implicit[j] = 1;
+    }
+    row.active[j] = -1;
+  }
 
-    PreferenceTuple pref{provider, policy_tuple.attribute, pref_tuple};
-    ConflictBreakdown breakdown =
-        Conflict(pref, policy_tuple, config.sensitivities);
-    out.total_severity += breakdown.total;
-    for (const DimensionConflict& dc : breakdown.per_dimension) {
-      if (dc.diff <= 0) continue;
+  // σ_i columns: the shared all-ones preset unless this provider has
+  // explicit entries — the common census-scale case skips the per-tuple
+  // map lookups entirely.
+  const privacy::SensitivityColumns* sens = &unit_sens;
+  if (config.sensitivities.HasEntriesFor(provider)) {
+    scratch.provider_sens.FillFor(config.sensitivities, provider,
+                                  *policy.source);
+    sens = &scratch.provider_sens;
+  }
+
+  // Pass 2 — the batched Eqs. 12-14 kernel over all n pairs.
+  kernel::ConfInput in;
+  in.pref_v = row.pref_v.data();
+  in.pref_g = row.pref_g.data();
+  in.pref_r = row.pref_r.data();
+  in.pol_v = columns.levels.visibility.data();
+  in.pol_g = columns.levels.granularity.data();
+  in.pol_r = columns.levels.retention.data();
+  in.attr_sens = columns.attr_sens.data();
+  in.sens_val = sens->value.data();
+  in.sens_v = sens->visibility.data();
+  in.sens_g = sens->granularity.data();
+  in.sens_r = sens->retention.data();
+  in.active = row.active.data();
+  const bool any_exceed = kernel::ConfKernel(in, row.Output(), n);
+
+  // Eq. 15: the sum over tuples is association-sensitive, so it stays
+  // scalar and in tuple order regardless of dispatch target. Inactive
+  // rows contribute exactly +0.0, a bitwise no-op on the non-negative
+  // running total.
+  for (size_t j = 0; j < n; ++j) out.total_severity += row.conf[j];
+
+  // Pass 3 — incident reconstruction, entered only when some pair
+  // exceeded. Scans rows in tuple order and dimensions in the fixed
+  // V, G, R order, so incidents match the pair-at-a-time path exactly.
+  if (any_exceed) {
+    for (size_t j = 0; j < n; ++j) {
+      const int32_t diffs[3] = {row.diff_v[j], row.diff_g[j], row.diff_r[j]};
+      if ((diffs[0] | diffs[1] | diffs[2]) == 0) continue;
+      const privacy::PolicyTuple& policy_tuple = *policy.tuples[j].policy;
       out.violated = true;
-      if (std::find(violated_attributes.begin(), violated_attributes.end(),
+      if (std::find(scratch.violated_attributes.begin(),
+                    scratch.violated_attributes.end(),
                     std::string_view(policy_tuple.attribute)) ==
-          violated_attributes.end()) {
-        violated_attributes.push_back(policy_tuple.attribute);
+          scratch.violated_attributes.end()) {
+        scratch.violated_attributes.push_back(policy_tuple.attribute);
       }
       if (out.incidents.empty()) {
         // One up-front reservation per violated provider, sized to the
         // policy (see the allocation note in detector.h).
-        out.incidents.reserve(policy.tuples.size());
+        out.incidents.reserve(n);
       }
-      ViolationIncident incident;
-      incident.provider = provider;
-      incident.attribute = policy_tuple.attribute;
-      incident.purpose = policy_tuple.tuple.purpose;
-      incident.dimension = dc.dimension;
-      incident.preference_level = dc.preference_level;
-      incident.policy_level = dc.policy_level;
-      incident.diff = dc.diff;
-      incident.weighted_severity = dc.weighted;
-      incident.from_implicit_preference = implicit;
-      out.max_incident_severity =
-          std::max(out.max_incident_severity, dc.weighted);
-      out.incidents.push_back(std::move(incident));
+      const int32_t pref_levels[3] = {row.pref_v[j], row.pref_g[j],
+                                      row.pref_r[j]};
+      const int32_t policy_levels[3] = {columns.levels.visibility[j],
+                                        columns.levels.granularity[j],
+                                        columns.levels.retention[j]};
+      const double dim_sens[3] = {sens->visibility[j], sens->granularity[j],
+                                  sens->retention[j]};
+      for (size_t d = 0; d < privacy::kOrderedDimensions.size(); ++d) {
+        if (diffs[d] <= 0) continue;
+        // Recompute the Eq. 14 summand with the kernel's exact operation
+        // chain, so the stored weighted severity is bit-for-bit the one
+        // that entered conf.
+        const double weighted = static_cast<double>(diffs[d]) *
+                                columns.attr_sens[j] * sens->value[j] *
+                                dim_sens[d];
+        ViolationIncident incident;
+        incident.provider = provider;
+        incident.attribute = policy_tuple.attribute;
+        incident.purpose = policy_tuple.tuple.purpose;
+        incident.dimension = privacy::kOrderedDimensions[d];
+        incident.preference_level = pref_levels[d];
+        incident.policy_level = policy_levels[d];
+        incident.diff = diffs[d];
+        incident.weighted_severity = weighted;
+        incident.from_implicit_preference = row.implicit[j] != 0;
+        out.max_incident_severity =
+            std::max(out.max_incident_severity, weighted);
+        out.incidents.push_back(std::move(incident));
+      }
     }
   }
   out.num_attributes_violated =
-      static_cast<int>(violated_attributes.size());
+      static_cast<int>(scratch.violated_attributes.size());
   return out;
 }
 
@@ -272,10 +355,18 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
                                           : config_->policy;
   PreparedPolicy prepared;
   FlatPreferenceIndex index;
+  privacy::PolicyColumns columns;
+  privacy::SensitivityColumns unit_sens;
   {
     obs::SpanScope span("index_build");
     prepared = PreparePolicy(house_policy, options_.purpose_hierarchy);
     index = BuildIndex(providers, config_->preferences, prepared);
+    // Policy-side columns are provider-invariant: built once, streamed by
+    // every shard. The all-ones σ preset serves every provider without
+    // explicit sensitivity entries.
+    columns = privacy::PolicyColumns::Build(house_policy.tuples(),
+                                            config_->sensitivities);
+    unit_sens.FillOnes(prepared.tuples.size());
     span.Note("policy_tuples", static_cast<int64_t>(prepared.tuples.size()));
     span.Note("index_entries", static_cast<int64_t>(index.entries.size()));
   }
@@ -301,7 +392,7 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
           std::vector<ProviderViolation>& out =
               partials[static_cast<size_t>(shard)];
           out.reserve(static_cast<size_t>(end - begin));
-          std::vector<std::string_view> violated_attributes;
+          AnalysisScratch scratch;
           for (int64_t i = begin; i < end; ++i) {
             if ((i - begin) % kDeadlineStride == 0 &&
                 options_.deadline.Expired()) {
@@ -314,9 +405,9 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
                                  privacy::PurposeId purpose) {
               return index.Find(position, attr_id, purpose);
             };
-            out.push_back(AnalyzeOne(*config_, options_, prepared,
-                                     providers[position], find_pref,
-                                     violated_attributes));
+            out.push_back(AnalyzeOne(*config_, options_, prepared, columns,
+                                     unit_sens, providers[position], find_pref,
+                                     scratch));
           }
         });
   }
@@ -375,6 +466,11 @@ Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
                                           : config_->policy;
   const PreparedPolicy prepared =
       PreparePolicy(house_policy, options_.purpose_hierarchy);
+  const privacy::PolicyColumns columns =
+      privacy::PolicyColumns::Build(house_policy.tuples(),
+                                    config_->sensitivities);
+  privacy::SensitivityColumns unit_sens;
+  unit_sens.FillOnes(prepared.tuples.size());
 
   // An absent provider entry behaves as an empty preference set: every
   // policy purpose is unstated and (under Def. 1) implicitly zero. The
@@ -388,7 +484,7 @@ Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
       config_->preferences.Find(provider);
   if (found.ok()) prefs = found.value();
 
-  std::vector<std::string_view> violated_attributes;
+  AnalysisScratch scratch;
   PrivacyTuple stated_storage;
   auto find_pref = [&](int32_t /*attr_id*/, std::string_view attribute,
                        privacy::PurposeId purpose) -> const PrivacyTuple* {
@@ -397,8 +493,8 @@ Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
     stated_storage = std::move(stated).value();
     return &stated_storage;
   };
-  return AnalyzeOne(*config_, options_, prepared, provider, find_pref,
-                    violated_attributes);
+  return AnalyzeOne(*config_, options_, prepared, columns, unit_sens, provider,
+                    find_pref, scratch);
 }
 
 }  // namespace ppdb::violation

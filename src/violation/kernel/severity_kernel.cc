@@ -1,0 +1,218 @@
+#include "violation/kernel/severity_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/logging.h"
+#include "violation/metrics.h"
+
+namespace ppdb::violation::kernel {
+
+namespace {
+
+/// Encodes "no value" for the atomics below (Target enumerators are >= 0).
+constexpr int kUnset = -1;
+/// Env cache states: kUnset = not read yet, kEnvAuto = read, no override.
+constexpr int kEnvAuto = -2;
+
+std::atomic<int> g_forced{kUnset};
+std::atomic<int> g_env{kUnset};
+
+std::optional<Target> ParseTarget(std::string_view name) {
+  if (name == "scalar") return Target::kScalar;
+  if (name == "avx2") return Target::kAvx2;
+  if (name == "neon") return Target::kNeon;
+  return std::nullopt;
+}
+
+/// Reads PPDB_KERNEL_DISPATCH into the cache. Unknown names and targets
+/// the host cannot execute fall back to auto selection with a warning —
+/// an operator typo must degrade, not crash, the serving process.
+int ReadEnv() {
+  const char* value = std::getenv("PPDB_KERNEL_DISPATCH");
+  if (value == nullptr || value[0] == '\0' ||
+      std::string_view(value) == "auto") {
+    return kEnvAuto;
+  }
+  std::optional<Target> target = ParseTarget(value);
+  if (!target.has_value() || !TargetSupported(*target)) {
+    PPDB_LOG(kWarning) << "PPDB_KERNEL_DISPATCH=" << value
+                       << " is unknown or unsupported on this host; using "
+                          "auto dispatch";
+    return kEnvAuto;
+  }
+  return static_cast<int>(*target);
+}
+
+int EnvTarget() {
+  int cached = g_env.load(std::memory_order_acquire);
+  if (cached == kUnset) {
+    cached = ReadEnv();
+    g_env.store(cached, std::memory_order_release);
+  }
+  return cached;
+}
+
+/// The widest target the build and the host both support.
+Target BestSupported() {
+#if PPDB_KERNEL_HAVE_AVX2
+  if (TargetSupported(Target::kAvx2)) return Target::kAvx2;
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+  if (TargetSupported(Target::kNeon)) return Target::kNeon;
+#endif
+  return Target::kScalar;
+}
+
+}  // namespace
+
+std::string_view TargetName(Target target) {
+  switch (target) {
+    case Target::kScalar:
+      return "scalar";
+    case Target::kAvx2:
+      return "avx2";
+    case Target::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::vector<Target> CompiledTargets() {
+  std::vector<Target> targets = {Target::kScalar};
+#if PPDB_KERNEL_HAVE_AVX2
+  targets.push_back(Target::kAvx2);
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+  targets.push_back(Target::kNeon);
+#endif
+  return targets;
+}
+
+bool TargetSupported(Target target) {
+  switch (target) {
+    case Target::kScalar:
+      return true;
+    case Target::kAvx2:
+#if PPDB_KERNEL_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Target::kNeon:
+      // NEON is architecturally baseline on aarch64: compiled-in means
+      // executable.
+      return PPDB_KERNEL_HAVE_NEON != 0;
+  }
+  return false;
+}
+
+Target SelectedTarget() {
+  int forced = g_forced.load(std::memory_order_acquire);
+  if (forced != kUnset) return static_cast<Target>(forced);
+  int env = EnvTarget();
+  if (env != kEnvAuto) return static_cast<Target>(env);
+  return BestSupported();
+}
+
+Status ForceTarget(Target target) {
+  if (!TargetSupported(target)) {
+    return Status::InvalidArgument(
+        "kernel dispatch target '" + std::string(TargetName(target)) +
+        "' is not compiled in or not supported by this host");
+  }
+  g_forced.store(static_cast<int>(target), std::memory_order_release);
+  PublishKernelDispatch();
+  return Status::OK();
+}
+
+void ClearForcedTarget() {
+  g_forced.store(kUnset, std::memory_order_release);
+  PublishKernelDispatch();
+}
+
+void ReloadEnvForTest() {
+  g_env.store(kUnset, std::memory_order_release);
+  PublishKernelDispatch();
+}
+
+bool ConfKernelScalar(const ConfInput& in, const ConfOutput& out, size_t n) {
+  int32_t any = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (in.active[j] == 0) {
+      out.diff_v[j] = 0;
+      out.diff_g[j] = 0;
+      out.diff_r[j] = 0;
+      out.conf[j] = 0.0;
+      continue;
+    }
+    // Eq. 12 per dimension. Levels are small non-negative ints; the
+    // subtraction cannot overflow.
+    const int32_t dv = in.pol_v[j] > in.pref_v[j] ? in.pol_v[j] - in.pref_v[j]
+                                                  : 0;
+    const int32_t dg = in.pol_g[j] > in.pref_g[j] ? in.pol_g[j] - in.pref_g[j]
+                                                  : 0;
+    const int32_t dr = in.pol_r[j] > in.pref_r[j] ? in.pol_r[j] - in.pref_r[j]
+                                                  : 0;
+    any |= dv | dg | dr;
+    out.diff_v[j] = dv;
+    out.diff_g[j] = dg;
+    out.diff_r[j] = dr;
+    // One Eq. 14 summand per dimension, multiplied in the exact order of
+    // the pair-at-a-time reference (violation/conflict.cc):
+    // diff × Σ^a × s_i^a × s_i^a[dim]. The SIMD paths replay the same
+    // per-lane operation sequence, so results are bitwise identical.
+    const double wv = static_cast<double>(dv) * in.attr_sens[j] *
+                      in.sens_val[j] * in.sens_v[j];
+    const double wg = static_cast<double>(dg) * in.attr_sens[j] *
+                      in.sens_val[j] * in.sens_g[j];
+    const double wr = static_cast<double>(dr) * in.attr_sens[j] *
+                      in.sens_val[j] * in.sens_r[j];
+    out.conf[j] = (wv + wg) + wr;
+  }
+  return any != 0;
+}
+
+void DiffKernelScalar(const int32_t* pref, const int32_t* policy,
+                      int32_t* diff, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    diff[j] = policy[j] > pref[j] ? policy[j] - pref[j] : 0;
+  }
+}
+
+bool ConfKernel(const ConfInput& in, const ConfOutput& out, size_t n) {
+  switch (SelectedTarget()) {
+#if PPDB_KERNEL_HAVE_AVX2
+    case Target::kAvx2:
+      return ConfKernelAvx2(in, out, n);
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+    case Target::kNeon:
+      return ConfKernelNeon(in, out, n);
+#endif
+    default:
+      return ConfKernelScalar(in, out, n);
+  }
+}
+
+void DiffKernel(const int32_t* pref, const int32_t* policy, int32_t* diff,
+                size_t n) {
+  switch (SelectedTarget()) {
+#if PPDB_KERNEL_HAVE_AVX2
+    case Target::kAvx2:
+      DiffKernelAvx2(pref, policy, diff, n);
+      return;
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+    case Target::kNeon:
+      DiffKernelNeon(pref, policy, diff, n);
+      return;
+#endif
+    default:
+      DiffKernelScalar(pref, policy, diff, n);
+  }
+}
+
+}  // namespace ppdb::violation::kernel

@@ -1,0 +1,118 @@
+// AVX2 severity kernel: 4 (preference, policy) pairs per iteration.
+//
+// Compiled on every x86-64 build via per-function target attributes (the
+// translation unit itself stays baseline, so linking it into a non-AVX2
+// binary is safe); callers reach it only through runtime dispatch after
+// __builtin_cpu_supports("avx2").
+//
+// Bitwise contract: each lane performs exactly the scalar reference's
+// operation sequence — int32 subtract/max, int32→double convert, the
+// three-factor multiply chain in source order, then (wv + wg) + wr — and
+// the remainder lanes run the scalar reference itself, so output arrays
+// are bit-for-bit identical to ConfKernelScalar on every input.
+#include "violation/kernel/severity_kernel.h"
+
+#if PPDB_KERNEL_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "violation/kernel/severity_kernel_internal.h"
+
+namespace ppdb::violation::kernel {
+
+namespace {
+
+#define PPDB_AVX2 __attribute__((target("avx2")))
+
+/// Weighted severity of one dimension for 4 lanes: diff × Σ^a × s × s[dim],
+/// multiplied left-to-right exactly like the scalar reference.
+PPDB_AVX2 inline __m256d WeightedLanes(__m128i diff, __m256d attr_sens,
+                                       __m256d sens_val, __m256d sens_dim) {
+  const __m256d d = _mm256_cvtepi32_pd(diff);
+  return _mm256_mul_pd(
+      _mm256_mul_pd(_mm256_mul_pd(d, attr_sens), sens_val), sens_dim);
+}
+
+}  // namespace
+
+PPDB_AVX2 bool ConfKernelAvx2(const ConfInput& in, const ConfOutput& out,
+                              size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i any = zero;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128i act =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.active + j));
+    const __m128i dv = _mm_and_si128(
+        _mm_max_epi32(
+            _mm_sub_epi32(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(in.pol_v + j)),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                              in.pref_v + j))),
+            zero),
+        act);
+    const __m128i dg = _mm_and_si128(
+        _mm_max_epi32(
+            _mm_sub_epi32(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(in.pol_g + j)),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                              in.pref_g + j))),
+            zero),
+        act);
+    const __m128i dr = _mm_and_si128(
+        _mm_max_epi32(
+            _mm_sub_epi32(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(in.pol_r + j)),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                              in.pref_r + j))),
+            zero),
+        act);
+    any = _mm_or_si128(any, _mm_or_si128(dv, _mm_or_si128(dg, dr)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.diff_v + j), dv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.diff_g + j), dg);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out.diff_r + j), dr);
+
+    const __m256d attr_sens = _mm256_loadu_pd(in.attr_sens + j);
+    const __m256d sens_val = _mm256_loadu_pd(in.sens_val + j);
+    const __m256d wv =
+        WeightedLanes(dv, attr_sens, sens_val, _mm256_loadu_pd(in.sens_v + j));
+    const __m256d wg =
+        WeightedLanes(dg, attr_sens, sens_val, _mm256_loadu_pd(in.sens_g + j));
+    const __m256d wr =
+        WeightedLanes(dr, attr_sens, sens_val, _mm256_loadu_pd(in.sens_r + j));
+    __m256d conf = _mm256_add_pd(_mm256_add_pd(wv, wg), wr);
+    // Inactive lanes must yield exactly +0.0, even when a zero diff meets
+    // an infinite sensitivity (0 × inf = NaN): and-masking with the lane's
+    // sign-extended active flag squashes them, matching the scalar skip.
+    conf = _mm256_and_pd(conf,
+                         _mm256_castsi256_pd(_mm256_cvtepi32_epi64(act)));
+    _mm256_storeu_pd(out.conf + j, conf);
+  }
+  bool any_exceed = _mm_testz_si128(any, any) == 0;
+  if (j < n) {
+    any_exceed |= ConfKernelScalar(internal::Offset(in, j),
+                                   internal::Offset(out, j), n - j);
+  }
+  return any_exceed;
+}
+
+PPDB_AVX2 void DiffKernelAvx2(const int32_t* pref, const int32_t* policy,
+                              int32_t* diff, size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pref + j));
+    const __m256i q =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(policy + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(diff + j),
+                        _mm256_max_epi32(_mm256_sub_epi32(q, p), zero));
+  }
+  if (j < n) DiffKernelScalar(pref + j, policy + j, diff + j, n - j);
+}
+
+#undef PPDB_AVX2
+
+}  // namespace ppdb::violation::kernel
+
+#endif  // PPDB_KERNEL_HAVE_AVX2

@@ -1,0 +1,29 @@
+#ifndef PPDB_VIOLATION_KERNEL_SEVERITY_KERNEL_INTERNAL_H_
+#define PPDB_VIOLATION_KERNEL_SEVERITY_KERNEL_INTERNAL_H_
+
+#include <cstddef>
+
+#include "violation/kernel/severity_kernel.h"
+
+/// Shared between the SIMD translation units: pointer-offset views so a
+/// vector kernel can hand its remainder lanes (n mod vector width) to the
+/// scalar reference, which keeps the tail bitwise-identical by
+/// construction.
+
+namespace ppdb::violation::kernel::internal {
+
+inline ConfInput Offset(const ConfInput& in, size_t j) {
+  return ConfInput{in.pref_v + j,    in.pref_g + j,  in.pref_r + j,
+                   in.pol_v + j,     in.pol_g + j,   in.pol_r + j,
+                   in.attr_sens + j, in.sens_val + j, in.sens_v + j,
+                   in.sens_g + j,    in.sens_r + j,  in.active + j};
+}
+
+inline ConfOutput Offset(const ConfOutput& out, size_t j) {
+  return ConfOutput{out.diff_v + j, out.diff_g + j, out.diff_r + j,
+                    out.conf + j};
+}
+
+}  // namespace ppdb::violation::kernel::internal
+
+#endif  // PPDB_VIOLATION_KERNEL_SEVERITY_KERNEL_INTERNAL_H_

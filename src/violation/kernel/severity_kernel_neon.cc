@@ -1,0 +1,105 @@
+// NEON severity kernel: 4 pairs per iteration (int32x4 level math, two
+// float64x2 halves for the severity arithmetic).
+//
+// NEON is architecturally baseline on aarch64, so this translation unit
+// compiles whenever the build targets aarch64 — no per-function target
+// attribute or runtime CPU probe is needed.
+//
+// Bitwise contract: identical to the AVX2 unit — per-lane operations
+// replay the scalar reference's sequence, remainder lanes run the scalar
+// reference itself.
+#include "violation/kernel/severity_kernel.h"
+
+#if PPDB_KERNEL_HAVE_NEON
+
+#include <arm_neon.h>
+
+#include "violation/kernel/severity_kernel_internal.h"
+
+namespace ppdb::violation::kernel {
+
+namespace {
+
+/// diff × Σ^a × s × s[dim] for one float64x2 half (lanes [lo, lo+1] of the
+/// int32x4 when `high` is false, [2, 3] when true), multiplied
+/// left-to-right like the scalar reference.
+inline float64x2_t WeightedHalf(int32x4_t diff, bool high,
+                                const double* attr_sens,
+                                const double* sens_val,
+                                const double* sens_dim) {
+  const int64x2_t wide =
+      high ? vmovl_high_s32(diff) : vmovl_s32(vget_low_s32(diff));
+  const float64x2_t d = vcvtq_f64_s64(wide);
+  const size_t at = high ? 2 : 0;
+  return vmulq_f64(
+      vmulq_f64(vmulq_f64(d, vld1q_f64(attr_sens + at)),
+                vld1q_f64(sens_val + at)),
+      vld1q_f64(sens_dim + at));
+}
+
+/// max(policy - pref, 0) masked by the active flags.
+inline int32x4_t MaskedDiff(const int32_t* pref, const int32_t* policy,
+                            int32x4_t act) {
+  const int32x4_t d =
+      vmaxq_s32(vsubq_s32(vld1q_s32(policy), vld1q_s32(pref)),
+                vdupq_n_s32(0));
+  return vandq_s32(d, act);
+}
+
+/// Squashes inactive lanes of one conf half to exactly +0.0.
+inline float64x2_t MaskConf(float64x2_t conf, int32x4_t act, bool high) {
+  const int64x2_t mask =
+      high ? vmovl_high_s32(act) : vmovl_s32(vget_low_s32(act));
+  return vreinterpretq_f64_s64(
+      vandq_s64(vreinterpretq_s64_f64(conf), mask));
+}
+
+}  // namespace
+
+bool ConfKernelNeon(const ConfInput& in, const ConfOutput& out, size_t n) {
+  int32x4_t any = vdupq_n_s32(0);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const int32x4_t act = vld1q_s32(in.active + j);
+    const int32x4_t dv = MaskedDiff(in.pref_v + j, in.pol_v + j, act);
+    const int32x4_t dg = MaskedDiff(in.pref_g + j, in.pol_g + j, act);
+    const int32x4_t dr = MaskedDiff(in.pref_r + j, in.pol_r + j, act);
+    any = vorrq_s32(any, vorrq_s32(dv, vorrq_s32(dg, dr)));
+    vst1q_s32(out.diff_v + j, dv);
+    vst1q_s32(out.diff_g + j, dg);
+    vst1q_s32(out.diff_r + j, dr);
+
+    for (const bool high : {false, true}) {
+      const float64x2_t wv = WeightedHalf(dv, high, in.attr_sens + j,
+                                          in.sens_val + j, in.sens_v + j);
+      const float64x2_t wg = WeightedHalf(dg, high, in.attr_sens + j,
+                                          in.sens_val + j, in.sens_g + j);
+      const float64x2_t wr = WeightedHalf(dr, high, in.attr_sens + j,
+                                          in.sens_val + j, in.sens_r + j);
+      const float64x2_t conf =
+          MaskConf(vaddq_f64(vaddq_f64(wv, wg), wr), act, high);
+      vst1q_f64(out.conf + j + (high ? 2 : 0), conf);
+    }
+  }
+  bool any_exceed = vmaxvq_u32(vreinterpretq_u32_s32(any)) != 0;
+  if (j < n) {
+    any_exceed |= ConfKernelScalar(internal::Offset(in, j),
+                                   internal::Offset(out, j), n - j);
+  }
+  return any_exceed;
+}
+
+void DiffKernelNeon(const int32_t* pref, const int32_t* policy, int32_t* diff,
+                    size_t n) {
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    vst1q_s32(diff + j,
+              vmaxq_s32(vsubq_s32(vld1q_s32(policy + j), vld1q_s32(pref + j)),
+                        vdupq_n_s32(0)));
+  }
+  if (j < n) DiffKernelScalar(pref + j, policy + j, diff + j, n - j);
+}
+
+}  // namespace ppdb::violation::kernel
+
+#endif  // PPDB_KERNEL_HAVE_NEON

@@ -1,6 +1,19 @@
 #include "violation/metrics.h"
 
+#include "violation/kernel/severity_kernel.h"
+
 namespace ppdb::violation {
+
+namespace {
+
+void SetDispatchGauges(const ViolationMetrics& m) {
+  const kernel::Target target = kernel::SelectedTarget();
+  m.dispatch_scalar->Set(target == kernel::Target::kScalar ? 1.0 : 0.0);
+  m.dispatch_avx2->Set(target == kernel::Target::kAvx2 ? 1.0 : 0.0);
+  m.dispatch_neon->Set(target == kernel::Target::kNeon ? 1.0 : 0.0);
+}
+
+}  // namespace
 
 const ViolationMetrics& ViolationMetrics::Get() {
   static const ViolationMetrics metrics = [] {
@@ -31,9 +44,23 @@ const ViolationMetrics& ViolationMetrics::Get() {
         "Population-wide total violation severity, Violations (Eq. 16).");
     m.providers = r.GetGauge("ppdb_violation_providers",
                              "Providers in the monitored population.");
+    const char* kDispatchHelp =
+        "Severity-kernel implementation selected by dispatch (1 on the "
+        "active target's series, 0 elsewhere).";
+    m.dispatch_scalar = r.GetGauge("ppdb_violation_kernel_dispatch",
+                                   kDispatchHelp, {{"target", "scalar"}});
+    m.dispatch_avx2 = r.GetGauge("ppdb_violation_kernel_dispatch",
+                                 kDispatchHelp, {{"target", "avx2"}});
+    m.dispatch_neon = r.GetGauge("ppdb_violation_kernel_dispatch",
+                                 kDispatchHelp, {{"target", "neon"}});
+    // Seed the dispatch gauges: the kernel publishes on selection changes,
+    // but the initial auto-selection may predate registration.
+    SetDispatchGauges(m);
     return m;
   }();
   return metrics;
 }
+
+void PublishKernelDispatch() { SetDispatchGauges(ViolationMetrics::Get()); }
 
 }  // namespace ppdb::violation

@@ -25,9 +25,20 @@ struct ViolationMetrics {
   obs::Gauge* total_severity;
   /// Providers in the analyzed / monitored population.
   obs::Gauge* providers;
+  /// Which severity-kernel implementation dispatch selected: exactly one of
+  /// the target-labelled series is 1 (see violation/kernel/).
+  obs::Gauge* dispatch_scalar;
+  obs::Gauge* dispatch_avx2;
+  obs::Gauge* dispatch_neon;
 
   static const ViolationMetrics& Get();
 };
+
+/// Re-publishes the `ppdb_violation_kernel_dispatch` gauges from the
+/// kernel's current selection. Called by the kernel layer whenever the
+/// selection changes (ForceTarget / ClearForcedTarget / env reload) and by
+/// Get() at registration.
+void PublishKernelDispatch();
 
 }  // namespace ppdb::violation
 

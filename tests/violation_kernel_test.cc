@@ -1,0 +1,495 @@
+// Bitwise equivalence of the batched severity kernel across dispatch
+// targets: every compiled SIMD path must produce diffs and conf values
+// bit-for-bit identical to the scalar reference — at the kernel level
+// (random SoA batches, including remainder tails and inactive lanes),
+// against the pair-at-a-time `Conflict()` oracle, and end-to-end through
+// `ViolationDetector::Analyze` at several thread counts. Also covers the
+// dispatch controls: ForceTarget, ClearForcedTarget and the
+// PPDB_KERNEL_DISPATCH environment override.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "privacy/config.h"
+#include "sim/population.h"
+#include "tests/test_util.h"
+#include "violation/conflict.h"
+#include "violation/detector.h"
+#include "violation/kernel/severity_kernel.h"
+
+namespace ppdb::violation {
+namespace {
+
+using kernel::ConfInput;
+using kernel::ConfOutput;
+using kernel::Target;
+using privacy::PrivacyTuple;
+
+/// Supported non-scalar targets compiled into this binary.
+std::vector<Target> SimdTargets() {
+  std::vector<Target> out;
+  for (Target t : kernel::CompiledTargets()) {
+    if (t != Target::kScalar && kernel::TargetSupported(t)) out.push_back(t);
+  }
+  return out;
+}
+
+bool RunDirect(Target target, const ConfInput& in, const ConfOutput& out,
+               size_t n) {
+  switch (target) {
+    case Target::kScalar:
+      return kernel::ConfKernelScalar(in, out, n);
+#if PPDB_KERNEL_HAVE_AVX2
+    case Target::kAvx2:
+      return kernel::ConfKernelAvx2(in, out, n);
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+    case Target::kNeon:
+      return kernel::ConfKernelNeon(in, out, n);
+#endif
+    default:
+      ADD_FAILURE() << "target not compiled in";
+      return false;
+  }
+}
+
+/// One owned SoA batch plus views into it.
+struct Batch {
+  std::vector<int32_t> pref_v, pref_g, pref_r;
+  std::vector<int32_t> pol_v, pol_g, pol_r;
+  std::vector<double> attr_sens, sens_val, sens_v, sens_g, sens_r;
+  std::vector<int32_t> active;
+  kernel::RowScratch scratch;
+
+  ConfInput In() const {
+    ConfInput in;
+    in.pref_v = pref_v.data();
+    in.pref_g = pref_g.data();
+    in.pref_r = pref_r.data();
+    in.pol_v = pol_v.data();
+    in.pol_g = pol_g.data();
+    in.pol_r = pol_r.data();
+    in.attr_sens = attr_sens.data();
+    in.sens_val = sens_val.data();
+    in.sens_v = sens_v.data();
+    in.sens_g = sens_g.data();
+    in.sens_r = sens_r.data();
+    in.active = active.data();
+    return in;
+  }
+};
+
+/// A random batch: small non-negative levels, sensitivities drawn from a
+/// mix of zero, fractional, unit and large values, and (optionally) a
+/// fraction of inactive lanes.
+Batch MakeBatch(Rng& rng, size_t n, double inactive_fraction) {
+  Batch b;
+  const auto level = [&] { return static_cast<int32_t>(rng.NextInt(0, 6)); };
+  const auto sens = [&] {
+    constexpr double kValues[] = {0.0, 0.25, 0.5, 1.0, 1.5, 3.0, 100.0};
+    return kValues[rng.NextBounded(std::size(kValues))];
+  };
+  for (size_t j = 0; j < n; ++j) {
+    b.pref_v.push_back(level());
+    b.pref_g.push_back(level());
+    b.pref_r.push_back(level());
+    b.pol_v.push_back(level());
+    b.pol_g.push_back(level());
+    b.pol_r.push_back(level());
+    b.attr_sens.push_back(sens());
+    b.sens_val.push_back(sens());
+    b.sens_v.push_back(sens());
+    b.sens_g.push_back(sens());
+    b.sens_r.push_back(sens());
+    b.active.push_back(rng.NextBool(inactive_fraction) ? 0 : -1);
+  }
+  b.scratch.Resize(n);
+  return b;
+}
+
+/// Bit-pattern equality: catches +0.0 vs -0.0, which EXPECT_EQ on doubles
+/// would miss.
+void ExpectSameBits(double a, double b, size_t j) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+      << "lane " << j << ": " << a << " vs " << b;
+}
+
+TEST(SeverityKernelTest, ScalarMatchesConflictOracle) {
+  // The scalar kernel is the reference every SIMD path is compared to, so
+  // it must itself reproduce the pair-at-a-time Conflict() bit-for-bit.
+  privacy::SensitivityModel sensitivities;
+  ASSERT_OK(sensitivities.SetAttributeSensitivity("a", 2.5));
+  ASSERT_OK(sensitivities.SetProviderSensitivity(
+      /*provider=*/7, "a", {0.5, 1.0, 3.0, 0.25}));
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const privacy::PurposeId purpose = 1;
+    PrivacyTuple pref_tuple{purpose, static_cast<int>(rng.NextInt(0, 6)),
+                            static_cast<int>(rng.NextInt(0, 6)),
+                            static_cast<int>(rng.NextInt(0, 6))};
+    PrivacyTuple pol_tuple{purpose, static_cast<int>(rng.NextInt(0, 6)),
+                           static_cast<int>(rng.NextInt(0, 6)),
+                           static_cast<int>(rng.NextInt(0, 6))};
+    privacy::PreferenceTuple pref{7, "a", pref_tuple};
+    privacy::PolicyTuple policy{"a", pol_tuple};
+    ConflictBreakdown oracle = Conflict(pref, policy, sensitivities);
+
+    Batch b = MakeBatch(rng, 1, 0.0);
+    b.pref_v[0] = pref_tuple.visibility;
+    b.pref_g[0] = pref_tuple.granularity;
+    b.pref_r[0] = pref_tuple.retention;
+    b.pol_v[0] = pol_tuple.visibility;
+    b.pol_g[0] = pol_tuple.granularity;
+    b.pol_r[0] = pol_tuple.retention;
+    b.attr_sens[0] = sensitivities.AttributeSensitivity("a", purpose);
+    const privacy::DimensionSensitivity s =
+        sensitivities.ProviderSensitivity(7, "a", purpose);
+    b.sens_val[0] = s.value;
+    b.sens_v[0] = s.visibility;
+    b.sens_g[0] = s.granularity;
+    b.sens_r[0] = s.retention;
+    b.active[0] = -1;
+
+    kernel::ConfKernelScalar(b.In(), b.scratch.Output(), 1);
+    EXPECT_EQ(b.scratch.diff_v[0], oracle.per_dimension[0].diff);
+    EXPECT_EQ(b.scratch.diff_g[0], oracle.per_dimension[1].diff);
+    EXPECT_EQ(b.scratch.diff_r[0], oracle.per_dimension[2].diff);
+    ExpectSameBits(b.scratch.conf[0], oracle.total, 0);
+  }
+}
+
+TEST(SeverityKernelTest, SimdTargetsMatchScalarBitwise) {
+  Rng rng(1234);
+  // Sizes straddle the vector widths so both full iterations and scalar
+  // remainder tails (n mod 4/8) are exercised.
+  const size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 64, 1000};
+  for (Target target : SimdTargets()) {
+    for (size_t n : sizes) {
+      for (double inactive : {0.0, 0.3, 1.0}) {
+        SCOPED_TRACE(std::string(kernel::TargetName(target)) + " n=" +
+                     std::to_string(n) + " inactive=" +
+                     std::to_string(inactive));
+        Batch b = MakeBatch(rng, n, inactive);
+        kernel::RowScratch simd_out;
+        simd_out.Resize(n);
+        const bool scalar_any =
+            kernel::ConfKernelScalar(b.In(), b.scratch.Output(), n);
+        const bool simd_any = RunDirect(target, b.In(), simd_out.Output(), n);
+        EXPECT_EQ(scalar_any, simd_any);
+        for (size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(b.scratch.diff_v[j], simd_out.diff_v[j]) << "lane " << j;
+          EXPECT_EQ(b.scratch.diff_g[j], simd_out.diff_g[j]) << "lane " << j;
+          EXPECT_EQ(b.scratch.diff_r[j], simd_out.diff_r[j]) << "lane " << j;
+          ExpectSameBits(b.scratch.conf[j], simd_out.conf[j], j);
+        }
+      }
+    }
+  }
+}
+
+TEST(SeverityKernelTest, InactiveLanesProducePositiveZero) {
+  // Inactive lanes must yield exactly +0.0 even when the sensitivities
+  // would make 0 × sens ill-defined (the mask is applied after the
+  // arithmetic in the SIMD paths).
+  Rng rng(5);
+  Batch b = MakeBatch(rng, 8, 0.0);
+  for (size_t j = 0; j < 8; ++j) b.active[j] = 0;
+  for (Target target : kernel::CompiledTargets()) {
+    if (!kernel::TargetSupported(target)) continue;
+    const bool any = RunDirect(target, b.In(), b.scratch.Output(), 8);
+    EXPECT_FALSE(any);
+    for (size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(b.scratch.diff_v[j], 0);
+      EXPECT_EQ(b.scratch.diff_g[j], 0);
+      EXPECT_EQ(b.scratch.diff_r[j], 0);
+      EXPECT_EQ(std::bit_cast<uint64_t>(b.scratch.conf[j]), 0u)
+          << "lane " << j;
+    }
+  }
+}
+
+TEST(SeverityKernelTest, DiffKernelMatchesScalar) {
+  Rng rng(77);
+  for (Target target : SimdTargets()) {
+    for (size_t n : {0ul, 3ul, 8ul, 13ul, 257ul}) {
+      std::vector<int32_t> pref(n), policy(n), scalar(n), simd(n);
+      for (size_t j = 0; j < n; ++j) {
+        pref[j] = static_cast<int32_t>(rng.NextInt(0, 9));
+        policy[j] = static_cast<int32_t>(rng.NextInt(0, 9));
+      }
+      kernel::DiffKernelScalar(pref.data(), policy.data(), scalar.data(), n);
+      switch (target) {
+#if PPDB_KERNEL_HAVE_AVX2
+        case Target::kAvx2:
+          kernel::DiffKernelAvx2(pref.data(), policy.data(), simd.data(), n);
+          break;
+#endif
+#if PPDB_KERNEL_HAVE_NEON
+        case Target::kNeon:
+          kernel::DiffKernelNeon(pref.data(), policy.data(), simd.data(), n);
+          break;
+#endif
+        default:
+          continue;
+      }
+      EXPECT_EQ(scalar, simd) << kernel::TargetName(target) << " n=" << n;
+    }
+  }
+}
+
+/// Dispatch-control tests restore auto selection on exit so the order of
+/// tests in this binary cannot leak a forced target.
+class KernelDispatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    kernel::ClearForcedTarget();
+    ::unsetenv("PPDB_KERNEL_DISPATCH");
+    kernel::ReloadEnvForTest();
+  }
+};
+
+TEST_F(KernelDispatchTest, CompiledTargetsStartWithScalar) {
+  const std::vector<Target> targets = kernel::CompiledTargets();
+  ASSERT_FALSE(targets.empty());
+  EXPECT_EQ(targets[0], Target::kScalar);
+  EXPECT_TRUE(kernel::TargetSupported(Target::kScalar));
+}
+
+TEST_F(KernelDispatchTest, ForceTargetPinsSelection) {
+  ASSERT_OK(kernel::ForceTarget(Target::kScalar));
+  EXPECT_EQ(kernel::SelectedTarget(), Target::kScalar);
+  for (Target t : SimdTargets()) {
+    ASSERT_OK(kernel::ForceTarget(t));
+    EXPECT_EQ(kernel::SelectedTarget(), t);
+  }
+  kernel::ClearForcedTarget();
+  EXPECT_TRUE(kernel::TargetSupported(kernel::SelectedTarget()));
+}
+
+TEST_F(KernelDispatchTest, ForceTargetRejectsUnsupported) {
+  for (Target t : {Target::kAvx2, Target::kNeon}) {
+    if (kernel::TargetSupported(t)) continue;
+    EXPECT_FALSE(kernel::ForceTarget(t).ok());
+  }
+  // x86-64 and aarch64 are mutually exclusive, so at least one SIMD target
+  // is always unsupported and the rejection path always runs.
+  EXPECT_FALSE(kernel::TargetSupported(Target::kAvx2) &&
+               kernel::TargetSupported(Target::kNeon));
+}
+
+TEST_F(KernelDispatchTest, EnvVarSelectsTarget) {
+  ASSERT_EQ(::setenv("PPDB_KERNEL_DISPATCH", "scalar", 1), 0);
+  kernel::ReloadEnvForTest();
+  EXPECT_EQ(kernel::SelectedTarget(), Target::kScalar);
+  // A forced target outranks the environment.
+  for (Target t : SimdTargets()) {
+    ASSERT_OK(kernel::ForceTarget(t));
+    EXPECT_EQ(kernel::SelectedTarget(), t);
+  }
+  kernel::ClearForcedTarget();
+  EXPECT_EQ(kernel::SelectedTarget(), Target::kScalar);
+}
+
+TEST_F(KernelDispatchTest, BogusEnvValueFallsBackToAuto) {
+  ASSERT_EQ(::setenv("PPDB_KERNEL_DISPATCH", "avx512-typo", 1), 0);
+  kernel::ReloadEnvForTest();
+  const Target selected = kernel::SelectedTarget();
+  EXPECT_TRUE(kernel::TargetSupported(selected));
+  ::unsetenv("PPDB_KERNEL_DISPATCH");
+  kernel::ReloadEnvForTest();
+  EXPECT_EQ(kernel::SelectedTarget(), selected);
+}
+
+/// End-to-end: full Analyze reports must be identical whichever kernel
+/// target dispatch selects, at every thread count. Configs are randomized
+/// per trial: purpose counts, level ranges, preference coverage (stated,
+/// unstated, non-policy attributes), provider σ entries for a subset of
+/// providers, and providers absent from the preference store.
+class KernelAnalyzeEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { kernel::ClearForcedTarget(); }
+
+  static privacy::PrivacyConfig MakeRandomConfig(uint64_t seed,
+                                                 int64_t providers) {
+    Rng rng(seed);
+    privacy::PrivacyConfig config;
+    const int num_purposes = static_cast<int>(rng.NextInt(1, 3));
+    std::vector<privacy::PurposeId> purposes;
+    for (int p = 0; p < num_purposes; ++p) {
+      purposes.push_back(
+          config.purposes.Register("purpose" + std::to_string(p)).value());
+    }
+    const int num_attrs = static_cast<int>(rng.NextInt(3, 7));
+    std::vector<std::string> attrs;
+    for (int a = 0; a < num_attrs; ++a) {
+      attrs.push_back("attr" + std::to_string(a));
+    }
+    const auto tuple = [&](privacy::PurposeId purpose) {
+      return PrivacyTuple{purpose, static_cast<int>(rng.NextInt(0, 5)),
+                          static_cast<int>(rng.NextInt(0, 5)),
+                          static_cast<int>(rng.NextInt(0, 5))};
+    };
+    for (const std::string& attr : attrs) {
+      for (privacy::PurposeId purpose : purposes) {
+        if (rng.NextBool(0.8)) {
+          PPDB_CHECK_OK(config.policy.Add(attr, tuple(purpose)));
+        }
+      }
+      if (rng.NextBool(0.7)) {
+        PPDB_CHECK_OK(config.sensitivities.SetAttributeSensitivity(
+            attr, rng.NextDouble() * 4.0));
+      }
+      if (rng.NextBool(0.3)) {
+        PPDB_CHECK_OK(config.sensitivities.SetAttributeSensitivityForPurpose(
+            attr, purposes[0], rng.NextDouble() * 4.0));
+      }
+    }
+    for (int64_t i = 1; i <= providers; ++i) {
+      if (rng.NextBool(0.1)) continue;  // Absent from the store entirely.
+      auto& prefs = config.preferences.ForProvider(i);
+      for (const std::string& attr : attrs) {
+        for (privacy::PurposeId purpose : purposes) {
+          if (rng.NextBool(0.6)) prefs.Set(attr, tuple(purpose));
+        }
+      }
+      // Preferences for an attribute the policy never mentions: never
+      // comparable (Eq. 13), must contribute nothing.
+      if (rng.NextBool(0.2)) prefs.Set("unmentioned", tuple(purposes[0]));
+      // Explicit σ entries for ~1/4 of providers, zeros included, so both
+      // the shared all-ones and the per-provider fill paths run.
+      if (rng.NextBool(0.25)) {
+        PPDB_CHECK_OK(config.sensitivities.SetProviderSensitivity(
+            i, attrs[rng.NextBounded(attrs.size())],
+            {rng.NextDouble() * 2.0, rng.NextDouble() * 2.0,
+             rng.NextBool(0.2) ? 0.0 : rng.NextDouble() * 2.0,
+             rng.NextDouble() * 2.0}));
+      }
+    }
+    return config;
+  }
+
+  static void ExpectIdentical(const ViolationReport& a,
+                              const ViolationReport& b) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.total_severity),
+              std::bit_cast<uint64_t>(b.total_severity));
+    EXPECT_EQ(a.num_violated, b.num_violated);
+    ASSERT_EQ(a.providers.size(), b.providers.size());
+    for (size_t i = 0; i < a.providers.size(); ++i) {
+      const ProviderViolation& x = a.providers[i];
+      const ProviderViolation& y = b.providers[i];
+      EXPECT_EQ(x.provider, y.provider);
+      EXPECT_EQ(x.violated, y.violated);
+      EXPECT_EQ(std::bit_cast<uint64_t>(x.total_severity),
+                std::bit_cast<uint64_t>(y.total_severity));
+      EXPECT_EQ(x.num_attributes_violated, y.num_attributes_violated);
+      EXPECT_EQ(std::bit_cast<uint64_t>(x.max_incident_severity),
+                std::bit_cast<uint64_t>(y.max_incident_severity));
+      ASSERT_EQ(x.incidents.size(), y.incidents.size());
+      for (size_t k = 0; k < x.incidents.size(); ++k) {
+        EXPECT_EQ(x.incidents[k].attribute, y.incidents[k].attribute);
+        EXPECT_EQ(x.incidents[k].purpose, y.incidents[k].purpose);
+        EXPECT_EQ(x.incidents[k].dimension, y.incidents[k].dimension);
+        EXPECT_EQ(x.incidents[k].preference_level,
+                  y.incidents[k].preference_level);
+        EXPECT_EQ(x.incidents[k].policy_level, y.incidents[k].policy_level);
+        EXPECT_EQ(x.incidents[k].diff, y.incidents[k].diff);
+        EXPECT_EQ(std::bit_cast<uint64_t>(x.incidents[k].weighted_severity),
+                  std::bit_cast<uint64_t>(y.incidents[k].weighted_severity));
+        EXPECT_EQ(x.incidents[k].from_implicit_preference,
+                  y.incidents[k].from_implicit_preference);
+      }
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, KernelAnalyzeEquivalenceTest,
+                         ::testing::Values(1, 2, 8, 0),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0
+                                      ? std::string("hw")
+                                      : std::to_string(info.param) +
+                                            "threads";
+                         });
+
+TEST_P(KernelAnalyzeEquivalenceTest, RandomConfigsMatchAcrossTargets) {
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    // 700 providers spans two shards of the detector's provider grain.
+    privacy::PrivacyConfig config = MakeRandomConfig(seed, /*providers=*/700);
+    for (bool implicit_zero : {true, false}) {
+      ViolationDetector::Options options;
+      options.implicit_zero_preferences = implicit_zero;
+      options.num_threads = 1;
+      ViolationDetector serial(&config, options);
+      // Includes providers the store has never seen (1200-1205).
+      std::vector<privacy::ProviderId> ids;
+      for (int64_t i = 1; i <= 700; ++i) ids.push_back(i);
+      for (int64_t i = 1200; i <= 1205; ++i) ids.push_back(i);
+
+      ASSERT_OK(kernel::ForceTarget(Target::kScalar));
+      ASSERT_OK_AND_ASSIGN(ViolationReport baseline,
+                           serial.AnalyzeProviders(ids));
+      for (Target target : SimdTargets()) {
+        SCOPED_TRACE(std::string(kernel::TargetName(target)) + " seed=" +
+                     std::to_string(seed) + " implicit_zero=" +
+                     std::to_string(implicit_zero));
+        ASSERT_OK(kernel::ForceTarget(target));
+        options.num_threads = GetParam();
+        ViolationDetector parallel(&config, options);
+        ASSERT_OK_AND_ASSIGN(ViolationReport report,
+                             parallel.AnalyzeProviders(ids));
+        ExpectIdentical(baseline, report);
+      }
+      kernel::ClearForcedTarget();
+    }
+  }
+}
+
+TEST_P(KernelAnalyzeEquivalenceTest, PopulationWithDataTableAndHierarchy) {
+  sim::PopulationConfig pop_config;
+  pop_config.num_providers = 900;
+  for (int a = 0; a < 5; ++a) {
+    pop_config.attributes.push_back(
+        {"attr" + std::to_string(a), 1.0 + a, 50.0, 10.0});
+  }
+  pop_config.purposes = {"service", "analytics"};
+  pop_config.seed = 99;
+  ASSERT_OK_AND_ASSIGN(sim::Population population,
+                       sim::PopulationGenerator(pop_config).Generate());
+  ASSERT_OK_AND_ASSIGN(
+      privacy::HousePolicy policy,
+      sim::MakeUniformPolicy(pop_config.attributes, pop_config.purposes, 0.6,
+                             0.6, 0.6, &population.config));
+  population.config.policy = std::move(policy);
+  privacy::PurposeHierarchy hierarchy;
+  ASSERT_OK(hierarchy.AddEdge(
+      population.config.purposes.Lookup("analytics").value(),
+      population.config.purposes.Lookup("service").value(),
+      population.config.purposes));
+
+  ViolationDetector::Options options;
+  options.data_table = &population.data;
+  options.purpose_hierarchy = &hierarchy;
+  options.num_threads = 1;
+
+  ASSERT_OK(kernel::ForceTarget(Target::kScalar));
+  ViolationDetector serial(&population.config, options);
+  ASSERT_OK_AND_ASSIGN(ViolationReport baseline, serial.Analyze());
+  ASSERT_GT(baseline.num_violated, 0);  // A trivial population proves nothing.
+  for (Target target : SimdTargets()) {
+    SCOPED_TRACE(kernel::TargetName(target));
+    ASSERT_OK(kernel::ForceTarget(target));
+    options.num_threads = GetParam();
+    ViolationDetector parallel(&population.config, options);
+    ASSERT_OK_AND_ASSIGN(ViolationReport report, parallel.Analyze());
+    ExpectIdentical(baseline, report);
+  }
+}
+
+}  // namespace
+}  // namespace ppdb::violation

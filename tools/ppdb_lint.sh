@@ -18,6 +18,11 @@
 #                    or in the comment block directly above.
 #   5. serve-docs    every serve command named in request.cc must be
 #                    documented in README.md or OBSERVABILITY.md.
+#   6. intrinsics    platform SIMD intrinsics headers (<immintrin.h>,
+#                    <arm_neon.h>, ...) are allowed only under
+#                    src/violation/kernel/ — everything else goes through
+#                    the dispatched kernel API, which always has a scalar
+#                    fallback.
 #
 # Silencing a finding: append `// ppdb-lint: allow(<check>)` to the line
 # (or the comment block directly above it) with a short justification.
@@ -151,6 +156,19 @@ else
   done
 fi
 report "serve-docs: every serve command is documented" "$findings"
+
+# --- 6. intrinsics -----------------------------------------------------------
+# SIMD is an implementation detail of the severity kernel; leaking
+# intrinsics elsewhere would bypass the runtime dispatch (and its scalar
+# fallback) that keeps non-AVX2 hosts working.
+findings="$(grep -rnE '#[[:space:]]*include[[:space:]]*<(immintrin|arm_neon|x86intrin|xmmintrin|emmintrin|smmintrin|avxintrin|avx2intrin|tmmintrin|nmmintrin|wmmintrin)\.h>' \
+    src/ tests/ bench/ examples/ tools/ \
+    --include='*.cc' --include='*.h' --include='*.cpp' 2>/dev/null \
+  | { while IFS= read -r finding; do
+        file="${finding%%:*}"
+        case "$file" in src/violation/kernel/*) ;; *) echo "$finding" ;; esac
+      done; })"
+report "intrinsics: SIMD headers only under src/violation/kernel/" "$findings"
 
 if [ "$FAILED" -ne 0 ]; then
   echo

@@ -1,32 +1,101 @@
 #!/usr/bin/env bash
-# Runs the violation perf benchmark and the broker saturation benchmark,
-# recording their JSON outputs at the repo root (BENCH_perf_violation.json
-# and BENCH_server_broker.json), so the perf and overload trajectories are
-# tracked across PRs. Usage:
+# Runs the violation perf benchmark and the broker saturation benchmark in
+# a dedicated Release build (the `bench` CMake preset) and records their
+# JSON outputs at the repo root (BENCH_perf_violation.json and
+# BENCH_server_broker.json), so the perf and overload trajectories are
+# tracked across PRs.
 #
-#   tools/run_bench.sh [build_dir] [output_json]
+# Recording is gated: each JSON must carry
+# `"library_build_type": "release"` (the build type of the ppdb code under
+# test — see bench/bench_main.h) or the run refuses to overwrite the
+# baselines. Debug/RelWithDebInfo numbers are meaningless as baselines.
 #
-# Defaults: build_dir = build, output_json = BENCH_perf_violation.json.
+# Usage:
+#   tools/run_bench.sh [--smoke] [build_dir]
+#
+#   --smoke    CI mode: one short repetition per benchmark, results written
+#              to a temp dir and discarded (validates the harness
+#              end-to-end without touching the recorded baselines).
+#   build_dir  Override the bench build tree (default: build-bench via the
+#              `bench` preset; configured+built automatically if missing).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-"${repo_root}/build"}"
-output="${2:-"${repo_root}/BENCH_perf_violation.json"}"
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=1
+  shift
+fi
+build_dir="${1:-"${repo_root}/build-bench"}"
+
+# Configure + build the Release harness. The preset pins
+# CMAKE_BUILD_TYPE=Release; an explicitly passed build_dir is trusted to
+# be already configured the same way (its JSON is still gated below).
+if [[ ! -x "${build_dir}/bench/bench_perf_violation" ]]; then
+  if [[ "${build_dir}" != "${repo_root}/build-bench" ]]; then
+    echo "error: benchmarks not built under ${build_dir}" >&2
+    exit 1
+  fi
+  cmake --preset bench -S "${repo_root}"
+fi
+cmake --build "${build_dir}" -j --target bench_perf_violation bench_server_broker
+
 bench="${build_dir}/bench/bench_perf_violation"
 broker_bench="${build_dir}/bench/bench_server_broker"
-broker_output="${repo_root}/BENCH_server_broker.json"
 
-if [[ ! -x "${bench}" || ! -x "${broker_bench}" ]]; then
-  echo "error: benchmarks not built under ${build_dir}; run:" >&2
-  echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
-  exit 1
+if [[ "${smoke}" == 1 ]]; then
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "${out_dir}"' EXIT
+  perf_output="${out_dir}/BENCH_perf_violation.json"
+  broker_output="${out_dir}/BENCH_server_broker.json"
+  # Keep CI fast: tiny time budget and only one benchmark per family, but
+  # always include the kernel benches the release gate exists for.
+  perf_flags=(--benchmark_min_time=0.01
+              --benchmark_filter='BM_KernelConf|BM_KernelDiff|BM_ViolationAnalyze/1000/2$')
+else
+  perf_output="${repo_root}/BENCH_perf_violation.json"
+  broker_output="${repo_root}/BENCH_server_broker.json"
+  perf_flags=()
 fi
 
+# Refuses to record unless the JSON says the code under test was built
+# Release. $1 = file, $2 = description.
+require_release() {
+  if ! grep -q '"library_build_type": "release"' "$1"; then
+    echo "error: $2 was not produced by a Release build" >&2
+    echo "       (missing '\"library_build_type\": \"release\"' in $1)" >&2
+    echo "       use the bench preset: cmake --preset bench && tools/run_bench.sh" >&2
+    exit 1
+  fi
+}
+
+tmp_perf="$(mktemp)"
 "${bench}" \
-  --benchmark_format=json \
-  --benchmark_out="${output}" \
+  "${perf_flags[@]}" \
+  --benchmark_format=console \
+  --benchmark_out="${tmp_perf}" \
   --benchmark_out_format=json
-echo "wrote ${output}"
+require_release "${tmp_perf}" "bench_perf_violation output"
+mv "${tmp_perf}" "${perf_output}"
+echo "wrote ${perf_output}"
 
 "${broker_bench}" "${broker_output}"
+require_release "${broker_output}" "bench_server_broker output"
 echo "wrote ${broker_output}"
+
+# Best-effort summary: vectorized-vs-scalar conf kernel throughput from
+# the run just recorded (items_per_second of BM_KernelConf/<target>).
+python3 - "${perf_output}" <<'EOF' || true
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+rates = {}
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_KernelConf/") and "items_per_second" in b:
+        rates[name.split("/", 1)[1]] = b["items_per_second"]
+if "scalar" in rates:
+    for target, rate in sorted(rates.items()):
+        ratio = rate / rates["scalar"]
+        print(f"conf kernel {target}: {rate:,.0f} pairs/s ({ratio:.2f}x scalar)")
+EOF
