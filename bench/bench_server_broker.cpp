@@ -5,7 +5,18 @@
 // it, the bounded queue sheds the excess instead of letting latency grow
 // without bound.
 //
+// A second sweep drives the same broker through the TCP front-end
+// (src/server/net/) over loopback with a pipelined closed-loop client, so
+// the socket path's framing/event-loop overhead is visible next to the
+// in-process numbers.
+//
 // Usage: bench_server_broker [output.json]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -21,6 +32,7 @@
 #include "obs/metrics.h"
 #include "privacy/config.h"
 #include "server/broker.h"
+#include "server/net/tcp_server.h"
 #include "server/request.h"
 #include "server/service.h"
 #include "storage/database_io.h"
@@ -122,6 +134,102 @@ LevelResult RunLevel(server::DatabaseService& service, double offered_rps) {
   return result;
 }
 
+struct SocketLevelResult {
+  int depth = 0;
+  int requests = 0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+constexpr int kSocketRequests = 2000;
+
+// Closed-loop pipelined client: keeps `depth` requests outstanding on one
+// connection and measures per-request round-trip latency through the real
+// socket stack (framer, event loop, broker, writer).
+SocketLevelResult RunSocketLevel(server::DatabaseService& service,
+                                 int depth) {
+  server::RequestBroker::Options broker_options;
+  broker_options.num_workers = 2;
+  broker_options.queue_capacity = 32;
+  server::RequestBroker broker(broker_options);
+
+  server::net::TcpServer::Options options;
+  server::net::TcpServer server(options, service, broker);
+  PPDB_CHECK_OK(server.Start());
+  std::thread serving([&server] { (void)server.Serve(); });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PPDB_CHECK(fd >= 0);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  PPDB_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0);
+
+  // Request ids are per-connection and sequential (1-based), so send
+  // times live in a flat vector indexed by id.
+  std::vector<steady_clock::time_point> sent(kSocketRequests + 1);
+  std::vector<microseconds> latencies;
+  latencies.reserve(kSocketRequests);
+  const std::string request = "query pw\n";
+
+  auto send_one = [&](int id) {
+    sent[static_cast<size_t>(id)] = steady_clock::now();
+    size_t at = 0;
+    while (at < request.size()) {
+      ssize_t n = ::send(fd, request.data() + at, request.size() - at,
+                         MSG_NOSIGNAL);
+      PPDB_CHECK(n > 0);
+      at += static_cast<size_t>(n);
+    }
+  };
+
+  const auto started = steady_clock::now();
+  int next_id = 1;
+  for (; next_id <= depth && next_id <= kSocketRequests; ++next_id) {
+    send_one(next_id);
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  int received = 0;
+  while (received < kSocketRequests) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    PPDB_CHECK(n > 0);
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      int id = std::atoi(buffer.c_str());  // "<id> ok pw=..."
+      buffer.erase(0, newline + 1);
+      PPDB_CHECK(id >= 1 && id <= kSocketRequests);
+      latencies.push_back(duration_cast<microseconds>(
+          steady_clock::now() - sent[static_cast<size_t>(id)]));
+      ++received;
+      if (next_id <= kSocketRequests) send_one(next_id++);
+    }
+  }
+  const auto elapsed = steady_clock::now() - started;
+  ::close(fd);
+  server.Shutdown();
+  serving.join();
+
+  SocketLevelResult result;
+  result.depth = depth;
+  result.requests = kSocketRequests;
+  result.throughput_rps =
+      static_cast<double>(kSocketRequests) /
+      std::chrono::duration<double>(elapsed).count();
+  result.p50_ms = PercentileMs(latencies, 0.50);
+  result.p95_ms = PercentileMs(latencies, 0.95);
+  result.p99_ms = PercentileMs(latencies, 0.99);
+  return result;
+}
+
 int Run(const std::string& output_path) {
   namespace fs = std::filesystem;
   fs::path dir = fs::temp_directory_path() /
@@ -147,6 +255,16 @@ int Run(const std::string& output_path) {
                  rps, results.back().shed_rate, results.back().p50_ms,
                  results.back().p99_ms);
   }
+  const int socket_depths[] = {1, 8, 32};
+  std::vector<SocketLevelResult> socket_results;
+  for (int depth : socket_depths) {
+    socket_results.push_back(RunSocketLevel(*service.value(), depth));
+    std::fprintf(stderr,
+                 "socket depth=%d: %.0f req/s p50=%.3fms p99=%.3fms\n",
+                 depth, socket_results.back().throughput_rps,
+                 socket_results.back().p50_ms,
+                 socket_results.back().p99_ms);
+  }
   fs::remove_all(dir);
 
   std::ofstream out(output_path);
@@ -166,6 +284,22 @@ int Run(const std::string& output_path) {
                   "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                   r.offered_rps, r.requests, r.shed, r.shed_rate, r.p50_ms,
                   r.p95_ms, r.p99_ms, i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n";
+
+  // Same service, but through the TCP front-end: loopback socket, one
+  // pipelined closed-loop connection per depth level.
+  out << "  \"socket_sweep\": [\n";
+  for (size_t i = 0; i < socket_results.size(); ++i) {
+    const SocketLevelResult& r = socket_results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"pipeline_depth\": %d, \"requests\": %d, "
+                  "\"throughput_rps\": %.0f, "
+                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                  r.depth, r.requests, r.throughput_rps, r.p50_ms, r.p95_ms,
+                  r.p99_ms, i + 1 < socket_results.size() ? "," : "");
     out << line;
   }
   out << "  ],\n";

@@ -1,0 +1,67 @@
+#include "server/net/conn_metrics.h"
+
+namespace ppdb::server::net {
+
+std::string_view CloseReasonName(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kEof: return "eof";
+    case CloseReason::kIdleTimeout: return "idle_timeout";
+    case CloseReason::kWriteStall: return "write_stall";
+    case CloseReason::kReset: return "reset";
+    case CloseReason::kBrokenPipe: return "broken_pipe";
+    case CloseReason::kIoError: return "io_error";
+    case CloseReason::kOutputOverflow: return "output_overflow";
+    case CloseReason::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+ConnMetrics& ConnMetrics::Get() {
+  static ConnMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Default();
+    ConnMetrics m;
+    m.accepted = registry.GetCounter(
+        "ppdb_server_conn_accepted_total",
+        "TCP connections accepted by the socket front-end");
+    m.accept_soft_errors = registry.GetCounter(
+        "ppdb_server_conn_accept_soft_errors_total",
+        "Transient accept failures (ENFILE/EMFILE/ECONNABORTED); the "
+        "listener backs off and retries");
+    m.accept_throttled = registry.GetCounter(
+        "ppdb_server_conn_accept_throttled_total",
+        "Times accepting paused because the connection cap was reached");
+    m.active = registry.GetGauge(
+        "ppdb_server_conn_active",
+        "TCP connections currently open");
+    m.bytes_read = registry.GetCounter(
+        "ppdb_server_conn_bytes_read_total",
+        "Bytes read from TCP connections");
+    m.bytes_written = registry.GetCounter(
+        "ppdb_server_conn_bytes_written_total",
+        "Bytes written to TCP connections");
+    m.requests = registry.GetCounter(
+        "ppdb_server_conn_requests_total",
+        "Request lines received over TCP connections");
+    m.oversized_lines = registry.GetCounter(
+        "ppdb_server_conn_oversized_lines_total",
+        "Request lines rejected as line_too_long on the socket path");
+    m.backpressure_pauses = registry.GetCounter(
+        "ppdb_server_conn_backpressure_pauses_total",
+        "Times a connection's reads paused because pending output crossed "
+        "the high-water mark");
+    for (int i = 0; i < kNumCloseReasons; ++i) {
+      m.closed[i] = registry.GetCounter(
+          "ppdb_server_conn_closed_total",
+          "TCP connections closed, by reason",
+          {{"reason",
+            std::string(CloseReasonName(static_cast<CloseReason>(i)))}});
+    }
+    m.lifetime_seconds = registry.GetHistogram(
+        "ppdb_server_conn_lifetime_seconds",
+        "Connection lifetime from accept to close");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace ppdb::server::net

@@ -1,0 +1,60 @@
+#ifndef PPDB_SERVER_NET_CONN_METRICS_H_
+#define PPDB_SERVER_NET_CONN_METRICS_H_
+
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace ppdb::server::net {
+
+/// Why a connection left the server. Every close is attributed to exactly
+/// one reason and counted in `ppdb_server_conn_closed_total{reason=...}`.
+enum class CloseReason {
+  /// Orderly shutdown: the peer half-closed and everything owed was
+  /// flushed.
+  kEof = 0,
+  /// No bytes arrived within the idle timeout (slowloris defense).
+  kIdleTimeout,
+  /// The peer stopped consuming: pending output made no progress within
+  /// the write-stall timeout.
+  kWriteStall,
+  /// ECONNRESET from the peer.
+  kReset,
+  /// EPIPE writing to a half-closed connection.
+  kBrokenPipe,
+  /// Any other socket-level error.
+  kIoError,
+  /// Pending output exceeded the hard per-connection limit — the peer is
+  /// not reading and buffering more would be unbounded.
+  kOutputOverflow,
+  /// Server drain closed the connection after flushing what it could.
+  kDrain,
+};
+inline constexpr int kNumCloseReasons = 8;
+
+/// Canonical label value for a close reason, e.g. "idle_timeout".
+std::string_view CloseReasonName(CloseReason reason);
+
+/// The `ppdb_server_conn_*` instrument batch, registered once on first use
+/// (the usual function-local-static idiom; see `BrokerMetrics`). `Serve`
+/// touches it too so the families export (at zero) from pipe-only
+/// processes — `tools/check_metrics_docs.sh` scrapes that path.
+struct ConnMetrics {
+  obs::Counter* accepted;
+  obs::Counter* accept_soft_errors;
+  obs::Counter* accept_throttled;
+  obs::Gauge* active;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+  obs::Counter* requests;
+  obs::Counter* oversized_lines;
+  obs::Counter* backpressure_pauses;
+  obs::Counter* closed[kNumCloseReasons];
+  obs::Histogram* lifetime_seconds;
+
+  static ConnMetrics& Get();
+};
+
+}  // namespace ppdb::server::net
+
+#endif  // PPDB_SERVER_NET_CONN_METRICS_H_

@@ -1,0 +1,55 @@
+#include "server/net/framer.h"
+
+namespace ppdb::server::net {
+
+void LineFramer::Feed(std::string_view bytes) {
+  while (!bytes.empty()) {
+    size_t nl = bytes.find('\n');
+    std::string_view piece = bytes.substr(0, nl);  // npos → whole rest
+    if (discarding_) {
+      // Inside an oversized line: bytes up to the terminator are dropped.
+    } else if (current_.size() + piece.size() > max_line_) {
+      current_.append(piece.data(), max_line_ - current_.size());
+      discarding_ = true;
+    } else {
+      current_.append(piece.data(), piece.size());
+    }
+    if (nl == std::string_view::npos) return;
+    bytes.remove_prefix(nl + 1);
+
+    Line line;
+    line.oversized = discarding_;
+    discarding_ = false;
+    if (!line.oversized && !current_.empty() && current_.back() == '\r') {
+      current_.pop_back();
+    }
+    line.text = std::move(current_);
+    current_.clear();
+    if (line.oversized) ++oversized_lines_;
+    ready_.push_back(std::move(line));
+  }
+}
+
+bool LineFramer::Next(Line* line) {
+  if (!ready_.empty()) {
+    *line = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+  }
+  if (finished_ && (discarding_ || !current_.empty())) {
+    // EOF with an unterminated trailing line (possibly a truncated
+    // oversized one) — hand it over exactly once.
+    line->oversized = discarding_;
+    if (!line->oversized && current_.back() == '\r') current_.pop_back();
+    line->text = std::move(current_);
+    current_.clear();
+    if (discarding_) ++oversized_lines_;
+    discarding_ = false;
+    return true;
+  }
+  return false;
+}
+
+void LineFramer::Finish() { finished_ = true; }
+
+}  // namespace ppdb::server::net

@@ -1,0 +1,82 @@
+#ifndef PPDB_SERVER_NET_FRAMER_H_
+#define PPDB_SERVER_NET_FRAMER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "server/request.h"
+
+namespace ppdb::server::net {
+
+/// Bounded incremental line assembler for the socket read path.
+///
+/// TCP hands the server arbitrary byte chunks with no relation to line
+/// boundaries; `LineFramer` reassembles them into protocol lines while
+/// enforcing the same `kMaxRequestLine` cap as the pipe path, so a client
+/// streaming an endless line cannot balloon memory:
+///
+///  * Bytes accumulate until a '\n'; `Next` then pops one complete line
+///    (terminator stripped; a trailing '\r' from CRLF clients too).
+///  * Once a line crosses the cap, the framer stops storing (the partial
+///    line stays O(cap)) and *discards* until the next '\n'; that line is
+///    delivered exactly once, in order, with `oversized = true` so the
+///    server can answer `line_too_long` and keep the connection — the next
+///    line parses normally (resync, not teardown).
+///  * Embedded NULs and control bytes pass through untouched; rejecting
+///    them is the parser's job (`ParseRequest`), not the framer's.
+///
+/// The fuzz suite drives this class directly: any split of any byte
+/// stream across `Feed` calls must yield the identical line sequence.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line = kMaxRequestLine)
+      : max_line_(max_line) {}
+
+  /// One reassembled line.
+  struct Line {
+    std::string text;
+    /// True when the line exceeded the cap; `text` holds the retained
+    /// prefix (the overflow was discarded).
+    bool oversized = false;
+  };
+
+  /// Appends raw bytes. The partial-line accumulator never grows past the
+  /// cap; completed lines queue until `Next` drains them.
+  void Feed(std::string_view bytes);
+
+  /// Pops the next complete line into `*line`; false when no complete
+  /// line is buffered yet.
+  bool Next(Line* line);
+
+  /// Signals end-of-stream: a non-empty unterminated trailing line
+  /// becomes available to `Next` (mirrors how `std::getline` yields a
+  /// final line with no terminator).
+  void Finish();
+
+  /// Bytes held in the partial-line accumulator (bounded by the cap).
+  size_t buffered() const { return current_.size(); }
+
+  /// Complete lines queued and not yet popped.
+  size_t pending() const { return ready_.size(); }
+
+  /// Lines delivered with `oversized = true` so far.
+  int64_t oversized_lines() const { return oversized_lines_; }
+
+ private:
+  const size_t max_line_;
+  /// The line being assembled; capped at max_line_ bytes.
+  std::string current_;
+  /// True while discarding the remainder of an oversized line.
+  bool discarding_ = false;
+  /// Completed lines awaiting Next(), in arrival order.
+  std::deque<Line> ready_;
+  bool finished_ = false;
+  int64_t oversized_lines_ = 0;
+};
+
+}  // namespace ppdb::server::net
+
+#endif  // PPDB_SERVER_NET_FRAMER_H_

@@ -1,0 +1,180 @@
+#include "server/net/poller.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <poll.h>
+#include <unordered_map>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace ppdb::server::net {
+
+namespace {
+
+std::string ErrnoText(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err);
+}
+
+/// Portable backend over poll(2): the interest set lives in an fd-indexed
+/// map rebuilt into a flat pollfd vector per Wait. O(n) per wait, which is
+/// fine for the fallback role — epoll carries the high-connection case.
+class PollPoller : public Poller {
+ public:
+  std::string_view name() const override { return "poll"; }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    if (interest_.count(fd) != 0) {
+      return Status::InvalidArgument("poll: fd already registered");
+    }
+    interest_[fd] = Events(want_read, want_write);
+    return Status::OK();
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) {
+      return Status::NotFound("poll: fd not registered");
+    }
+    it->second = Events(want_read, want_write);
+    return Status::OK();
+  }
+
+  Status Remove(int fd) override {
+    if (interest_.erase(fd) == 0) {
+      return Status::NotFound("poll: fd not registered");
+    }
+    return Status::OK();
+  }
+
+  Status Wait(int timeout_ms, std::vector<Event>* events) override {
+    events->clear();
+    pollfds_.clear();
+    pollfds_.reserve(interest_.size());
+    for (const auto& [fd, mask] : interest_) {
+      pollfds_.push_back(pollfd{fd, mask, 0});
+    }
+    int ready;
+    for (;;) {
+      ready = ::poll(pollfds_.data(),
+                     static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+      if (ready >= 0) break;
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoText("poll", errno));
+    }
+    for (const pollfd& p : pollfds_) {
+      if (p.revents == 0) continue;
+      Event event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static short Events(bool want_read, bool want_write) {
+    short mask = 0;
+    if (want_read) mask |= POLLIN;
+    if (want_write) mask |= POLLOUT;
+    return mask;
+  }
+
+  std::unordered_map<int, short> interest_;
+  std::vector<pollfd> pollfds_;
+};
+
+#if defined(__linux__)
+
+/// Linux backend over epoll(7), level-triggered (the default; no EPOLLET),
+/// so its semantics match PollPoller exactly and the two are
+/// interchangeable under the same event loop.
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool valid() const { return epfd_ >= 0; }
+
+  std::string_view name() const override { return "epoll"; }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  Status Remove(int fd) override {
+    epoll_event unused{};
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &unused) < 0) {
+      return Status::Internal(ErrnoText("epoll_ctl(DEL)", errno));
+    }
+    return Status::OK();
+  }
+
+  Status Wait(int timeout_ms, std::vector<Event>* events) override {
+    events->clear();
+    int ready;
+    for (;;) {
+      ready = ::epoll_wait(epfd_, ready_, kMaxReady, timeout_ms);
+      if (ready >= 0) break;
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoText("epoll_wait", errno));
+    }
+    for (int i = 0; i < ready; ++i) {
+      Event event;
+      event.fd = ready_[i].data.fd;
+      event.readable = (ready_[i].events & EPOLLIN) != 0;
+      event.writable = (ready_[i].events & EPOLLOUT) != 0;
+      event.error = (ready_[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxReady = 256;
+
+  Status Control(int op, int fd, bool want_read, bool want_write) {
+    epoll_event event{};
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    event.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &event) < 0) {
+      return Status::Internal(ErrnoText("epoll_ctl", errno));
+    }
+    return Status::OK();
+  }
+
+  int epfd_;
+  epoll_event ready_[kMaxReady];
+};
+
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool force_poll) {
+  const char* env = std::getenv("PPDB_NET_POLLER");
+  if (env != nullptr && std::string_view(env) == "poll") force_poll = true;
+#if defined(__linux__)
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->valid()) return epoll;
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace ppdb::server::net

@@ -1,0 +1,59 @@
+#ifndef PPDB_SERVER_NET_POLLER_H_
+#define PPDB_SERVER_NET_POLLER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdb::server::net {
+
+/// Level-triggered readiness notification over a set of fds — the thin
+/// waist between the TCP server's event loop and epoll(7) / poll(2).
+///
+/// Both backends expose identical level-triggered semantics: an fd with
+/// unread input (or writable space) is reported on every Wait until the
+/// condition clears, so a handler that processes less than everything is
+/// re-invoked instead of wedged. `kError`/`kHangup` conditions are always
+/// reported regardless of the registered interest.
+///
+/// Not thread-safe: the owning event loop is the only caller.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error or hang-up condition (EPOLLERR/EPOLLHUP, POLLERR/POLLHUP);
+    /// the handler should read to collect the error and close.
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+
+  /// Name of the backend: "epoll" or "poll".
+  virtual std::string_view name() const = 0;
+
+  /// Registers `fd` with the given interest set.
+  virtual Status Add(int fd, bool want_read, bool want_write) = 0;
+
+  /// Replaces the interest set of a registered fd.
+  virtual Status Update(int fd, bool want_read, bool want_write) = 0;
+
+  /// Deregisters `fd`. Must be called before the fd is closed.
+  virtual Status Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = forever, 0 = poll) and appends ready
+  /// events to `events` (cleared first). EINTR is retried internally.
+  virtual Status Wait(int timeout_ms, std::vector<Event>* events) = 0;
+
+  /// The best backend for this platform: epoll on Linux, poll elsewhere.
+  /// `force_poll` selects the portable fallback explicitly (tests run both
+  /// backends; PPDB_NET_POLLER=poll forces it process-wide).
+  static std::unique_ptr<Poller> Create(bool force_poll = false);
+};
+
+}  // namespace ppdb::server::net
+
+#endif  // PPDB_SERVER_NET_POLLER_H_

@@ -1,0 +1,599 @@
+#include "server/net/tcp_server.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <cerrno>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace ppdb::server::net {
+
+namespace {
+
+/// Per-readable-event read budget: enough to drain a normal client in one
+/// event, bounded so one firehose connection cannot starve its neighbors
+/// under level-triggered readiness (the poller re-reports what is left).
+constexpr int kMaxReadsPerEvent = 4;
+constexpr size_t kReadChunk = 16 * 1024;
+
+/// The loop never sleeps longer than this, so timer checks (idle,
+/// write-stall, listener backoff) have a bounded worst-case lag even if a
+/// deadline computation misses something.
+constexpr int kMaxWaitMs = 500;
+
+int DeadlineTimeoutMs(const Deadline& deadline) {
+  auto remaining = deadline.Remaining();
+  if (remaining > std::chrono::milliseconds(kMaxWaitMs)) return kMaxWaitMs;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+                .count();
+  return std::max<int>(1, static_cast<int>(ms));
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Options options, DatabaseService& service,
+                     RequestBroker& broker)
+    : options_(options),
+      service_(service),
+      broker_(broker),
+      transport_(options.transport != nullptr ? options.transport
+                                              : &GetRealTransport()) {
+  options_.max_connections = std::max<size_t>(1, options_.max_connections);
+  options_.output_limit =
+      std::max(options_.output_limit, options_.output_high_water);
+}
+
+TcpServer::~TcpServer() {
+  // RunDrain closes connections, the listener, and the wake pipe's read
+  // end; the write end is always closed here so that Shutdown() from
+  // another thread can never race its write() against the close. The rest
+  // only covers a server destroyed after Start() without Serve() (e.g. a
+  // failed setup path in tests).
+  for (auto& [id, conn] : conns_) transport_->Close(conn.fd);
+  if (listen_fd_ >= 0) transport_->Close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  int wake_write = wake_write_fd_.load();
+  if (wake_write >= 0) ::close(wake_write);
+}
+
+Status TcpServer::Start() {
+  if (started_) return Status::OK();
+
+  Result<int> listen_fd =
+      transport_->Listen(options_.host, options_.port, options_.backlog);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = listen_fd.value();
+
+  Result<uint16_t> port = transport_->BoundPort(listen_fd_);
+  if (!port.ok()) {
+    transport_->Close(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = port.value();
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    transport_->Close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_.store(pipe_fds[1]);
+
+  poller_ = Poller::Create(options_.force_poll_backend);
+  Status added = poller_->Add(listen_fd_, /*want_read=*/true,
+                              /*want_write=*/false);
+  if (added.ok()) {
+    added = poller_->Add(wake_read_fd_, /*want_read=*/true,
+                         /*want_write=*/false);
+  }
+  if (!added.ok()) return added;
+
+  // Touch the metric families now so a scrape taken before any connection
+  // already exports every ppdb_server_conn_* family at zero.
+  ConnMetrics::Get();
+
+  started_ = true;
+  return Status::OK();
+}
+
+std::string_view TcpServer::poller_name() const {
+  return poller_ != nullptr ? poller_->name() : std::string_view("none");
+}
+
+void TcpServer::Shutdown() {
+  shutdown_requested_.store(true);
+  WakeLoop();
+}
+
+void TcpServer::WakeLoop() {
+  int fd = wake_write_fd_.load();
+  if (fd < 0) return;
+  char byte = 1;
+  // EAGAIN means the pipe already holds unread wake bytes — the loop will
+  // wake regardless, so dropping this byte is correct, not a failure.
+  ssize_t ignored = ::write(fd, &byte, 1);
+  (void)ignored;
+}
+
+void TcpServer::DrainWakePipe() {
+  char buffer[256];
+  while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+Status TcpServer::Serve() {
+  Status start = Start();
+  if (!start.ok()) return start;
+
+  std::vector<Poller::Event> events;
+  while (!draining_) {
+    Status waited = poller_->Wait(ComputeTimeoutMs(), &events);
+    if (!waited.ok()) return waited;
+    for (const Poller::Event& event : events) {
+      if (event.fd == wake_read_fd_) {
+        DrainWakePipe();
+      } else if (event.fd == listen_fd_) {
+        AcceptReady();
+      } else {
+        HandleConnEvent(event.fd, event);
+      }
+      if (draining_) break;
+    }
+    RouteCompletions();
+    CheckTimers();
+    ReapDoomed();
+    if (shutdown_requested_.load()) draining_ = true;
+  }
+  return RunDrain();
+}
+
+int TcpServer::ComputeTimeoutMs() const {
+  int timeout = kMaxWaitMs;
+  if (listener_paused_ && !listener_paused_for_cap_) {
+    timeout = std::min(timeout, DeadlineTimeoutMs(listener_backoff_));
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (options_.idle_timeout.count() > 0 && !conn.peer_eof) {
+      timeout = std::min(timeout, DeadlineTimeoutMs(conn.idle));
+    }
+    if (conn.write_stall_armed) {
+      timeout = std::min(timeout, DeadlineTimeoutMs(conn.write_stall));
+    }
+  }
+  return timeout;
+}
+
+void TcpServer::AcceptReady() {
+  ConnMetrics& metrics = ConnMetrics::Get();
+  for (;;) {
+    if (conns_.size() >= options_.max_connections) {
+      metrics.accept_throttled->Add();
+      PauseListener(std::chrono::milliseconds(0), /*for_cap=*/true);
+      return;
+    }
+    AcceptResult accepted = transport_->Accept(listen_fd_);
+    switch (accepted.kind) {
+      case AcceptResult::Kind::kWouldBlock:
+        return;
+      case AcceptResult::Kind::kSoftError:
+        // ENFILE/EMFILE/ECONNABORTED: the listener is fine but accepting
+        // now would spin. Back off briefly; pending connections keep in
+        // the backlog.
+        metrics.accept_soft_errors->Add();
+        PauseListener(options_.accept_backoff, /*for_cap=*/false);
+        return;
+      case AcceptResult::Kind::kError:
+        // The listener itself is broken — drain what we have.
+        draining_ = true;
+        return;
+      case AcceptResult::Kind::kAccepted:
+        break;
+    }
+
+    const int64_t conn_id = ++next_conn_id_;
+    Connection& conn = conns_[conn_id];
+    conn.fd = accepted.fd;
+    conn.id = conn_id;
+    conn.opened_at = std::chrono::steady_clock::now();
+    if (options_.idle_timeout.count() > 0) {
+      conn.idle = Deadline::After(options_.idle_timeout);
+    }
+    fd_to_conn_[conn.fd] = conn_id;
+    Status added = poller_->Add(conn.fd, /*want_read=*/true,
+                                /*want_write=*/false);
+    if (!added.ok()) {
+      fd_to_conn_.erase(conn.fd);
+      transport_->Close(conn.fd);
+      conns_.erase(conn_id);
+      continue;
+    }
+    metrics.accepted->Add();
+    metrics.active->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void TcpServer::PauseListener(std::chrono::milliseconds backoff,
+                              bool for_cap) {
+  if (!listener_paused_) {
+    (void)poller_->Update(listen_fd_, /*want_read=*/false,
+                          /*want_write=*/false);
+  }
+  listener_paused_ = true;
+  listener_paused_for_cap_ = for_cap;
+  if (!for_cap) listener_backoff_ = Deadline::After(backoff);
+}
+
+void TcpServer::MaybeResumeListener() {
+  if (!listener_paused_ || listen_fd_ < 0) return;
+  if (listener_paused_for_cap_ &&
+      conns_.size() >= options_.max_connections) {
+    return;
+  }
+  if (!listener_paused_for_cap_ && !listener_backoff_.Expired()) return;
+  listener_paused_ = false;
+  listener_paused_for_cap_ = false;
+  (void)poller_->Update(listen_fd_, /*want_read=*/true,
+                        /*want_write=*/false);
+}
+
+TcpServer::Connection* TcpServer::FindConn(int64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void TcpServer::HandleConnEvent(int fd, const Poller::Event& event) {
+  auto it = fd_to_conn_.find(fd);
+  if (it == fd_to_conn_.end()) return;  // closed earlier this iteration
+  Connection* conn = FindConn(it->second);
+  if (conn == nullptr || conn->doomed) return;
+  // On error/hangup fall through to the read path: it collects the
+  // pending error (reset, EOF) and attributes the close precisely.
+  if (event.writable) {
+    TryFlush(*conn);
+    if (!conn->doomed) MaybeFinish(*conn);
+  }
+  if (conn->doomed) return;
+  if (event.readable || event.error) HandleReadable(*conn);
+}
+
+void TcpServer::HandleReadable(Connection& conn) {
+  ConnMetrics& metrics = ConnMetrics::Get();
+  char buffer[kReadChunk];
+  for (int i = 0; i < kMaxReadsPerEvent; ++i) {
+    if (conn.doomed || conn.reading_paused || conn.peer_eof || draining_) {
+      break;
+    }
+    IoResult io = transport_->Read(conn.fd, buffer, sizeof(buffer));
+    if (io.kind == IoResult::Kind::kOk) {
+      conn.bytes_in += static_cast<int64_t>(io.bytes);
+      metrics.bytes_read->Add(static_cast<int64_t>(io.bytes));
+      if (options_.idle_timeout.count() > 0) {
+        conn.idle = Deadline::After(options_.idle_timeout);
+      }
+      conn.framer.Feed(std::string_view(buffer, io.bytes));
+      ProcessLines(conn);
+      continue;
+    }
+    if (io.kind == IoResult::Kind::kWouldBlock) break;
+    if (io.kind == IoResult::Kind::kEof) {
+      conn.peer_eof = true;
+      conn.framer.Finish();
+      ProcessLines(conn);
+      break;
+    }
+    Doom(conn, io.kind == IoResult::Kind::kReset ? CloseReason::kReset
+                                                 : CloseReason::kIoError);
+    return;
+  }
+  if (!conn.doomed) {
+    TryFlush(conn);
+    if (!conn.doomed) {
+      MaybeFinish(conn);
+      if (!conn.doomed) UpdateInterest(conn);
+    }
+  }
+}
+
+void TcpServer::ProcessLines(Connection& conn) {
+  ConnMetrics& metrics = ConnMetrics::Get();
+  LineFramer::Line line;
+  while (!conn.doomed && !draining_ && conn.framer.Next(&line)) {
+    if (line.oversized) {
+      metrics.oversized_lines->Add();
+      AppendResponse(conn, ++conn.next_request_id,
+                     Response{LineTooLongError(), {}});
+      continue;
+    }
+    std::string_view trimmed = TrimWhitespace(line.text);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const int64_t request_id = ++conn.next_request_id;
+    ++conn.requests;
+    metrics.requests->Add();
+
+    Result<Request> parsed = ParseRequest(trimmed);
+    if (!parsed.ok()) {
+      AppendResponse(conn, request_id, Response{parsed.status(), {}});
+      continue;
+    }
+    Request request = std::move(parsed).value();
+    if (request.kind == RequestKind::kDrain) {
+      drain_requests_.emplace_back(conn.id, request_id);
+      draining_ = true;
+      return;
+    }
+    const Lane lane = LaneForRequest(request);
+    const auto deadline_budget = request.deadline;
+    const int64_t conn_id = conn.id;
+    Status admitted = broker_.Submit(
+        lane, deadline_budget,
+        MakeRequestWork(service_, broker_, std::move(request)),
+        [this, conn_id, request_id](const Response& response) {
+          // Broker worker thread: hand the response to the loop.
+          {
+            MutexLock lock(completions_mu_);
+            completions_.push_back({conn_id, request_id, response});
+          }
+          WakeLoop();
+        });
+    if (!admitted.ok()) {
+      // Shed (queue full / draining): kUnavailable with retry_after_ms.
+      AppendResponse(conn, request_id, Response{std::move(admitted), {}});
+    } else {
+      ++conn.in_flight;
+    }
+  }
+}
+
+void TcpServer::AppendResponse(Connection& conn, int64_t request_id,
+                               const Response& response) {
+  if (conn.doomed) return;
+  conn.output += RenderResponse(request_id, response);
+  if (conn.output.size() - conn.output_offset > options_.output_limit) {
+    Doom(conn, CloseReason::kOutputOverflow);
+    return;
+  }
+  if (!conn.write_stall_armed &&
+      options_.write_stall_timeout.count() > 0) {
+    conn.write_stall = Deadline::After(options_.write_stall_timeout);
+    conn.write_stall_armed = true;
+  }
+}
+
+void TcpServer::TryFlush(Connection& conn) {
+  ConnMetrics& metrics = ConnMetrics::Get();
+  while (conn.output_offset < conn.output.size()) {
+    IoResult io =
+        transport_->Write(conn.fd, conn.output.data() + conn.output_offset,
+                          conn.output.size() - conn.output_offset);
+    if (io.kind == IoResult::Kind::kOk && io.bytes > 0) {
+      conn.output_offset += io.bytes;
+      conn.bytes_out += static_cast<int64_t>(io.bytes);
+      metrics.bytes_written->Add(static_cast<int64_t>(io.bytes));
+      // Progress: re-arm the stall guard.
+      if (options_.write_stall_timeout.count() > 0) {
+        conn.write_stall = Deadline::After(options_.write_stall_timeout);
+      }
+      continue;
+    }
+    if (io.kind == IoResult::Kind::kWouldBlock ||
+        (io.kind == IoResult::Kind::kOk && io.bytes == 0)) {
+      break;
+    }
+    switch (io.kind) {
+      case IoResult::Kind::kBrokenPipe:
+        Doom(conn, CloseReason::kBrokenPipe);
+        return;
+      case IoResult::Kind::kReset:
+        Doom(conn, CloseReason::kReset);
+        return;
+      default:
+        Doom(conn, CloseReason::kIoError);
+        return;
+    }
+  }
+  if (conn.output_offset == conn.output.size()) {
+    conn.output.clear();
+    conn.output_offset = 0;
+    conn.write_stall_armed = false;
+  } else if (conn.output_offset > kReadChunk &&
+             conn.output_offset >= conn.output.size() / 2) {
+    // Compact once the written prefix dominates so a long-lived slow
+    // consumer does not pin an ever-growing buffer.
+    conn.output.erase(0, conn.output_offset);
+    conn.output_offset = 0;
+  }
+
+  // Backpressure: pause or resume reads around the high-water mark.
+  const size_t pending = conn.output.size() - conn.output_offset;
+  if (!conn.reading_paused && pending > options_.output_high_water) {
+    conn.reading_paused = true;
+    ConnMetrics::Get().backpressure_pauses->Add();
+  } else if (conn.reading_paused &&
+             pending <= options_.output_high_water / 2) {
+    conn.reading_paused = false;
+  }
+  UpdateInterest(conn);
+}
+
+void TcpServer::UpdateInterest(Connection& conn) {
+  if (conn.doomed) return;
+  const bool want_read =
+      !conn.reading_paused && !conn.peer_eof && !draining_;
+  const bool want_write = conn.output_offset < conn.output.size();
+  if (want_read == conn.want_read && want_write == conn.want_write) return;
+  conn.want_read = want_read;
+  conn.want_write = want_write;
+  (void)poller_->Update(conn.fd, want_read, want_write);
+}
+
+void TcpServer::Doom(Connection& conn, CloseReason reason) {
+  if (conn.doomed) return;
+  conn.doomed = true;
+  conn.close_reason = reason;
+  doomed_.push_back(conn.id);
+}
+
+void TcpServer::MaybeFinish(Connection& conn) {
+  if (conn.doomed) return;
+  if (conn.peer_eof && conn.in_flight == 0 &&
+      conn.output_offset == conn.output.size()) {
+    Doom(conn, CloseReason::kEof);
+  }
+}
+
+void TcpServer::CheckTimers() {
+  for (auto& [id, conn] : conns_) {
+    if (conn.doomed) continue;
+    if (options_.idle_timeout.count() > 0 && !conn.peer_eof &&
+        conn.idle.Expired()) {
+      Doom(conn, CloseReason::kIdleTimeout);
+      continue;
+    }
+    if (conn.write_stall_armed && conn.write_stall.Expired()) {
+      Doom(conn, CloseReason::kWriteStall);
+    }
+  }
+  MaybeResumeListener();
+}
+
+void TcpServer::RouteCompletions() {
+  std::vector<Completion> batch;
+  {
+    MutexLock lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    Connection* conn = FindConn(completion.conn_id);
+    if (conn == nullptr) continue;  // connection died while the job ran
+    --conn->in_flight;
+    if (conn->doomed) continue;
+    AppendResponse(*conn, completion.request_id, completion.response);
+    if (conn->doomed) continue;
+    TryFlush(*conn);
+    if (!conn->doomed) MaybeFinish(*conn);
+  }
+}
+
+void TcpServer::ReapDoomed() {
+  if (doomed_.empty()) return;
+  ConnMetrics& metrics = ConnMetrics::Get();
+  for (int64_t conn_id : doomed_) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) continue;
+    Connection& conn = it->second;
+    const auto lifetime = std::chrono::steady_clock::now() - conn.opened_at;
+    const double lifetime_seconds =
+        std::chrono::duration<double>(lifetime).count();
+    // Count the close before the fd actually closes: a peer that observes
+    // EOF must already see the counter incremented when it scrapes.
+    metrics.closed[static_cast<int>(conn.close_reason)]->Add();
+    metrics.lifetime_seconds->Observe(lifetime_seconds);
+
+    (void)poller_->Remove(conn.fd);
+    transport_->Close(conn.fd);
+    fd_to_conn_.erase(conn.fd);
+
+    // One summary trace record per connection: a root span whose notes
+    // carry the lifecycle tallies (see OBSERVABILITY.md).
+    {
+      obs::TraceScope trace(obs::Tracer::Default(),
+                            "ppdb-conn-" + std::to_string(conn.id),
+                            "connection");
+      obs::SpanScope span("lifecycle");
+      span.Note("close_reason", CloseReasonName(conn.close_reason));
+      span.Note("requests", conn.requests);
+      span.Note("bytes_in", conn.bytes_in);
+      span.Note("bytes_out", conn.bytes_out);
+      span.Note("duration_ms",
+                static_cast<int64_t>(lifetime_seconds * 1000.0));
+    }
+
+    conns_.erase(it);
+  }
+  doomed_.clear();
+  metrics.active->Set(static_cast<double>(conns_.size()));
+  MaybeResumeListener();
+}
+
+Status TcpServer::RunDrain() {
+  // 1. Stop accepting.
+  if (listen_fd_ >= 0) {
+    (void)poller_->Remove(listen_fd_);
+    transport_->Close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Stop reading everywhere; in-flight work keeps running.
+  for (auto& [id, conn] : conns_) {
+    if (!conn.doomed) {
+      conn.want_read = false;
+      conn.want_write = conn.output_offset < conn.output.size();
+      (void)poller_->Update(conn.fd, conn.want_read, conn.want_write);
+    }
+  }
+  // 3. Drain the broker (completions pile into the queue — the workers
+  // never need the loop thread), then checkpoint.
+  broker_.Drain();
+  Status final_checkpoint = service_.FinalCheckpoint();
+  RouteCompletions();
+  // 4. Ack every connection that asked for the drain.
+  for (const auto& [conn_id, request_id] : drain_requests_) {
+    Connection* conn = FindConn(conn_id);
+    if (conn == nullptr || conn->doomed) continue;
+    Response ack;
+    ack.payload = DrainAckPayload(final_checkpoint, broker_.Stats());
+    AppendResponse(*conn, request_id, ack);
+    if (!conn->doomed) TryFlush(*conn);
+  }
+  ReapDoomed();
+  // 5. Flush what is owed, bounded by the drain-flush budget, then close.
+  Deadline flush_budget = Deadline::After(options_.drain_flush_timeout);
+  std::vector<Poller::Event> events;
+  for (;;) {
+    bool pending = false;
+    for (auto& [id, conn] : conns_) {
+      if (conn.output_offset < conn.output.size()) {
+        pending = true;
+      } else {
+        Doom(conn, CloseReason::kDrain);
+      }
+    }
+    ReapDoomed();
+    if (!pending || flush_budget.Expired()) break;
+    Status waited =
+        poller_->Wait(std::min(DeadlineTimeoutMs(flush_budget), 50), &events);
+    if (!waited.ok()) break;
+    for (const Poller::Event& event : events) {
+      if (event.fd == wake_read_fd_) {
+        DrainWakePipe();
+        continue;
+      }
+      auto it = fd_to_conn_.find(event.fd);
+      if (it == fd_to_conn_.end()) continue;
+      Connection* conn = FindConn(it->second);
+      if (conn == nullptr || conn->doomed) continue;
+      if (event.writable || event.error) TryFlush(*conn);
+    }
+    ReapDoomed();
+  }
+  for (auto& [id, conn] : conns_) Doom(conn, CloseReason::kDrain);
+  ReapDoomed();
+
+  if (wake_read_fd_ >= 0) {
+    (void)poller_->Remove(wake_read_fd_);
+    ::close(wake_read_fd_);
+    wake_read_fd_ = -1;
+  }
+  // The write end stays open until the destructor: a concurrent Shutdown()
+  // may have loaded the fd and be mid-write(), and closing here would let
+  // the kernel reuse the descriptor under that write. Bytes written after
+  // this point sit unread in the pipe, which is harmless.
+  return final_checkpoint;
+}
+
+}  // namespace ppdb::server::net

@@ -1,0 +1,232 @@
+#ifndef PPDB_SERVER_NET_TCP_SERVER_H_
+#define PPDB_SERVER_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "server/net/conn_metrics.h"
+#include "server/net/framer.h"
+#include "server/net/poller.h"
+#include "server/net/transport.h"
+#include "server/serve_core.h"
+
+namespace ppdb::server::net {
+
+/// The TCP front-end: a single-threaded event loop over non-blocking
+/// sockets (epoll on Linux, poll elsewhere) that feeds the same line
+/// protocol and `RequestBroker` as the pipe loop — the broker and service
+/// cannot tell which front-end a request came through.
+///
+/// Threading model. One thread (the caller of `Serve`) owns the listener,
+/// every connection, the poller, and all socket I/O. Broker workers never
+/// touch a socket: a completion callback appends `{conn, request, response}`
+/// to a mutex-guarded queue and wakes the loop through a self-pipe; the
+/// loop routes it into the connection's output buffer and writes when the
+/// socket accepts bytes. Everything not explicitly guarded is loop-thread
+/// state.
+///
+/// Connection lifecycle and guards:
+///
+///  * **Bounded input.** Bytes stream through a `LineFramer`: a line past
+///    `kMaxRequestLine` is answered `line_too_long` and the connection
+///    resynchronizes at the next newline — memory stays O(cap) per
+///    connection no matter what the client sends.
+///  * **Bounded output + backpressure.** Pending output past
+///    `output_high_water` pauses reads on that connection (the kernel's
+///    receive buffer then pushes back on the client); past `output_limit`
+///    the connection is closed (`output_overflow`) — the peer is not
+///    reading and buffering more would be unbounded.
+///  * **Deadlines** (`common/deadline.h` tokens, armed at admission of the
+///    triggering event): no bytes within `idle_timeout` closes a slowloris
+///    (`idle_timeout`); pending output making no progress within
+///    `write_stall_timeout` closes a stalled reader (`write_stall`).
+///  * **Connection cap.** At `max_connections` the listener's read
+///    interest is dropped — the backlog absorbs bursts and accepting
+///    resumes on the next close. Accept-time ENFILE/EMFILE/ECONNABORTED
+///    are soft errors: counted, backed off `accept_backoff`, retried.
+///  * **Fault containment.** Reset/EPIPE/short I/O/EAGAIN storms from the
+///    transport (real or injected) only ever close the one connection;
+///    writes use MSG_NOSIGNAL so a dead client cannot SIGPIPE the server.
+///
+/// Graceful drain — triggered by a `drain` request on any connection or by
+/// `Shutdown()`:
+///
+///   1. stop accepting (listener closed),
+///   2. stop reading every connection (in-flight requests keep running),
+///   3. `broker.Drain()`, route all completions, take the final
+///      checkpoint,
+///   4. answer the drain request(s) with the standard ack payload,
+///   5. flush pending output under `drain_flush_timeout`, then close
+///      everything.
+///
+/// `Serve` returns the final-checkpoint status, like the pipe loop. After
+/// it returns every fd the server opened through the transport is closed
+/// (the fault-matrix tests assert `FaultInjectingTransport::open_fds() ==
+/// 0`), and no broker callback into this object is outstanding — it is
+/// safe to destroy the server, then the broker.
+class TcpServer {
+ public:
+  struct Options {
+    /// IPv4 dotted quad or "localhost".
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read it back with `port()`.
+    uint16_t port = 0;
+    int backlog = 128;
+    /// Open-connection cap; the listener stops accepting at the cap.
+    size_t max_connections = 64;
+    /// Close connections with no inbound bytes for this long; zero
+    /// disables the idle guard.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Close connections whose pending output makes no progress for this
+    /// long; zero disables the stall guard.
+    std::chrono::milliseconds write_stall_timeout{5000};
+    /// Pending output above this pauses reads on the connection.
+    size_t output_high_water = 256 * 1024;
+    /// Pending output above this closes the connection.
+    size_t output_limit = 4 * 1024 * 1024;
+    /// How long the drain sequence keeps flushing pending output before
+    /// closing connections that still have bytes owed.
+    std::chrono::milliseconds drain_flush_timeout{2000};
+    /// Listener pause after an accept-time soft error.
+    std::chrono::milliseconds accept_backoff{20};
+    /// Socket backend; nullptr uses the process-wide `RealTransport`.
+    /// Tests substitute a `FaultInjectingTransport`.
+    Transport* transport = nullptr;
+    /// Force the portable poll(2) poller even where epoll is available.
+    bool force_poll_backend = false;
+  };
+
+  /// `service` and `broker` must outlive the server.
+  TcpServer(Options options, DatabaseService& service, RequestBroker& broker);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens (so `port()` is known), without serving yet.
+  /// `Serve` calls this implicitly if it was not called.
+  Status Start();
+
+  /// The bound port; valid after a successful `Start`.
+  uint16_t port() const { return port_; }
+
+  /// Name of the poller backend in use ("epoll" or "poll"); valid after a
+  /// successful `Start`.
+  std::string_view poller_name() const;
+
+  /// Runs the event loop on the calling thread until a drain completes
+  /// (via a `drain` request or `Shutdown`). Returns the final-checkpoint
+  /// status. Call at most once.
+  Status Serve();
+
+  /// Requests a graceful drain from any thread. Safe to call repeatedly;
+  /// only effective after a successful `Start`.
+  void Shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    int64_t id = 0;
+    LineFramer framer;
+    /// Pending outbound bytes; [offset, size) unwritten.
+    std::string output;
+    size_t output_offset = 0;
+    /// 1-based per-connection request ids, like line numbers on the pipe.
+    int64_t next_request_id = 0;
+    /// Admitted broker jobs whose completions have not been routed yet.
+    int64_t in_flight = 0;
+    bool reading_paused = false;
+    bool peer_eof = false;
+    /// Tombstone: close decided, teardown deferred to ReapDoomed().
+    bool doomed = false;
+    CloseReason close_reason = CloseReason::kEof;
+    bool want_read = true;
+    bool want_write = false;
+    /// Idle guard, re-armed on every inbound byte.
+    Deadline idle;
+    /// Stall guard, armed while output is pending, re-armed on progress.
+    Deadline write_stall;
+    bool write_stall_armed = false;
+    std::chrono::steady_clock::time_point opened_at;
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    int64_t requests = 0;
+  };
+
+  /// A broker completion awaiting routing on the loop thread.
+  struct Completion {
+    int64_t conn_id = 0;
+    int64_t request_id = 0;
+    Response response;
+  };
+
+  // Event-loop internals; everything below runs on the Serve thread.
+  int ComputeTimeoutMs() const;
+  void AcceptReady();
+  void PauseListener(std::chrono::milliseconds backoff, bool for_cap);
+  void MaybeResumeListener();
+  void HandleConnEvent(int fd, const Poller::Event& event);
+  void HandleReadable(Connection& conn);
+  void ProcessLines(Connection& conn);
+  void AppendResponse(Connection& conn, int64_t request_id,
+                      const Response& response);
+  void TryFlush(Connection& conn);
+  void UpdateInterest(Connection& conn);
+  void Doom(Connection& conn, CloseReason reason);
+  void MaybeFinish(Connection& conn);
+  void CheckTimers();
+  void RouteCompletions();
+  void ReapDoomed();
+  void WakeLoop();
+  void DrainWakePipe();
+  Status RunDrain();
+  Connection* FindConn(int64_t conn_id);
+
+  Options options_;
+  DatabaseService& service_;
+  RequestBroker& broker_;
+  Transport* transport_;
+  std::unique_ptr<Poller> poller_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  bool listener_paused_ = false;
+  bool listener_paused_for_cap_ = false;
+  Deadline listener_backoff_;
+
+  /// Connections keyed by their never-reused id; fd→id resolves poller
+  /// events. A completion for an id no longer in the map (connection
+  /// closed while its request ran) is dropped — kernel fd reuse can never
+  /// misroute a response.
+  std::unordered_map<int64_t, Connection> conns_;
+  std::unordered_map<int, int64_t> fd_to_conn_;
+  int64_t next_conn_id_ = 0;
+  std::vector<int64_t> doomed_;
+
+  bool draining_ = false;
+  /// (conn id, request id) of `drain` requests owed an ack.
+  std::vector<std::pair<int64_t, int64_t>> drain_requests_;
+
+  /// Self-pipe waking the loop from broker workers and Shutdown().
+  int wake_read_fd_ = -1;
+  std::atomic<int> wake_write_fd_{-1};
+  std::atomic<bool> shutdown_requested_{false};
+
+  Mutex completions_mu_;
+  std::vector<Completion> completions_ PPDB_GUARDED_BY(completions_mu_);
+};
+
+}  // namespace ppdb::server::net
+
+#endif  // PPDB_SERVER_NET_TCP_SERVER_H_

@@ -1,0 +1,271 @@
+#include "server/net/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <thread>
+#include <unistd.h>
+
+namespace ppdb::server::net {
+
+namespace {
+
+std::string ErrnoText(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(ErrnoText("fcntl(O_NONBLOCK)", errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view IoResultKindName(IoResult::Kind kind) {
+  switch (kind) {
+    case IoResult::Kind::kOk: return "ok";
+    case IoResult::Kind::kWouldBlock: return "would_block";
+    case IoResult::Kind::kEof: return "eof";
+    case IoResult::Kind::kReset: return "reset";
+    case IoResult::Kind::kBrokenPipe: return "broken_pipe";
+    case IoResult::Kind::kError: return "error";
+  }
+  return "unknown";
+}
+
+Result<int> RealTransport::Listen(const std::string& host, uint16_t port,
+                                  int backlog) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen address '" + host +
+                                   "' (IPv4 dotted quad or 'localhost')");
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoText("socket", errno));
+
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status failed = Status::Unavailable(
+        ErrnoText(("bind " + host + ":" + std::to_string(port)).c_str(),
+                  errno));
+    ::close(fd);
+    return failed;
+  }
+  if (::listen(fd, backlog) < 0) {
+    Status failed = Status::Internal(ErrnoText("listen", errno));
+    ::close(fd);
+    return failed;
+  }
+  return fd;
+}
+
+Result<uint16_t> RealTransport::BoundPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal(ErrnoText("getsockname", errno));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+AcceptResult RealTransport::Accept(int listen_fd) {
+  AcceptResult result;
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      Status nonblocking = SetNonBlocking(fd);
+      if (!nonblocking.ok()) {
+        ::close(fd);
+        result.kind = AcceptResult::Kind::kSoftError;
+        result.detail = nonblocking.message();
+        return result;
+      }
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      result.kind = AcceptResult::Kind::kAccepted;
+      result.fd = fd;
+      return result;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      result.kind = AcceptResult::Kind::kWouldBlock;
+      return result;
+    }
+    if (err == EMFILE || err == ENFILE || err == ECONNABORTED ||
+        err == ENOBUFS || err == ENOMEM) {
+      result.kind = AcceptResult::Kind::kSoftError;
+      result.detail = ErrnoText("accept", err);
+      return result;
+    }
+    result.kind = AcceptResult::Kind::kError;
+    result.detail = ErrnoText("accept", err);
+    return result;
+  }
+}
+
+IoResult RealTransport::Read(int fd, char* buffer, size_t capacity) {
+  IoResult result;
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n > 0) {
+      result.kind = IoResult::Kind::kOk;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.kind = IoResult::Kind::kEof;
+      return result;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      result.kind = IoResult::Kind::kWouldBlock;
+      return result;
+    }
+    if (err == ECONNRESET) {
+      result.kind = IoResult::Kind::kReset;
+      return result;
+    }
+    result.kind = IoResult::Kind::kError;
+    result.detail = ErrnoText("recv", err);
+    return result;
+  }
+}
+
+IoResult RealTransport::Write(int fd, const char* data, size_t size) {
+  IoResult result;
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that hung up mid-response must surface as
+    // kBrokenPipe, never as a process-killing SIGPIPE.
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      result.kind = IoResult::Kind::kOk;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      result.kind = IoResult::Kind::kWouldBlock;
+      return result;
+    }
+    if (err == EPIPE) {
+      result.kind = IoResult::Kind::kBrokenPipe;
+      return result;
+    }
+    if (err == ECONNRESET) {
+      result.kind = IoResult::Kind::kReset;
+      return result;
+    }
+    result.kind = IoResult::Kind::kError;
+    result.detail = ErrnoText("send", err);
+    return result;
+  }
+}
+
+void RealTransport::Close(int fd) {
+  // POSIX: close is not retried on EINTR — the fd is released either way.
+  (void)::close(fd);
+}
+
+RealTransport& GetRealTransport() {
+  static RealTransport transport;
+  return transport;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* base, Rng rng,
+                                                 TransportFaultOptions options)
+    : base_(base), rng_(rng), options_(options) {}
+
+Result<int> FaultInjectingTransport::Listen(const std::string& host,
+                                            uint16_t port, int backlog) {
+  Result<int> fd = base_->Listen(host, port, backlog);
+  if (fd.ok()) ++open_fds_;
+  return fd;
+}
+
+Result<uint16_t> FaultInjectingTransport::BoundPort(int listen_fd) {
+  return base_->BoundPort(listen_fd);
+}
+
+AcceptResult FaultInjectingTransport::Accept(int listen_fd) {
+  if (options_.accept_error > 0.0 && rng_.NextBool(options_.accept_error)) {
+    ++counters_.accept_errors;
+    AcceptResult result;
+    result.kind = AcceptResult::Kind::kSoftError;
+    result.detail = "accept: injected ENFILE (file table overflow)";
+    return result;
+  }
+  AcceptResult result = base_->Accept(listen_fd);
+  if (result.kind == AcceptResult::Kind::kAccepted) ++open_fds_;
+  return result;
+}
+
+IoResult FaultInjectingTransport::Read(int fd, char* buffer,
+                                       size_t capacity) {
+  if (options_.latency.count() > 0) {
+    std::this_thread::sleep_for(options_.latency);
+  }
+  if (options_.reset_read > 0.0 && rng_.NextBool(options_.reset_read)) {
+    ++counters_.resets;
+    return IoResult{IoResult::Kind::kReset, 0, {}};
+  }
+  if (options_.eagain_read > 0.0 && rng_.NextBool(options_.eagain_read)) {
+    ++counters_.eagain_reads;
+    return IoResult{IoResult::Kind::kWouldBlock, 0, {}};
+  }
+  if (capacity > 1 && options_.short_read > 0.0 &&
+      rng_.NextBool(options_.short_read)) {
+    ++counters_.short_reads;
+    capacity = 1;
+  }
+  return base_->Read(fd, buffer, capacity);
+}
+
+IoResult FaultInjectingTransport::Write(int fd, const char* data,
+                                        size_t size) {
+  if (options_.latency.count() > 0) {
+    std::this_thread::sleep_for(options_.latency);
+  }
+  if (options_.epipe_write > 0.0 && rng_.NextBool(options_.epipe_write)) {
+    ++counters_.epipes;
+    return IoResult{IoResult::Kind::kBrokenPipe, 0, {}};
+  }
+  if (options_.eagain_write > 0.0 && rng_.NextBool(options_.eagain_write)) {
+    ++counters_.eagain_writes;
+    return IoResult{IoResult::Kind::kWouldBlock, 0, {}};
+  }
+  if (size > 1 && options_.short_write > 0.0 &&
+      rng_.NextBool(options_.short_write)) {
+    ++counters_.short_writes;
+    size = 1;
+  }
+  return base_->Write(fd, data, size);
+}
+
+void FaultInjectingTransport::Close(int fd) {
+  --open_fds_;
+  base_->Close(fd);
+}
+
+}  // namespace ppdb::server::net

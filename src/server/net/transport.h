@@ -1,0 +1,199 @@
+#ifndef PPDB_SERVER_NET_TRANSPORT_H_
+#define PPDB_SERVER_NET_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace ppdb::server::net {
+
+/// Outcome of one non-blocking read or write attempt.
+///
+/// The socket layer never surfaces raw errno values to its callers: every
+/// failure mode a real network produces is collapsed into one of these
+/// kinds, which is also the contract `FaultInjectingTransport` fakes — so a
+/// connection state machine that handles every `Kind` is, by construction,
+/// prepared for the real thing.
+struct IoResult {
+  enum class Kind {
+    /// `bytes` were transferred (possibly fewer than asked — short I/O).
+    kOk,
+    /// The socket would block (EAGAIN/EWOULDBLOCK); retry on readiness.
+    kWouldBlock,
+    /// Orderly shutdown by the peer (read side only).
+    kEof,
+    /// Connection reset by the peer (ECONNRESET); the fd is useless.
+    kReset,
+    /// Write to a half-closed connection (EPIPE); the fd is useless.
+    kBrokenPipe,
+    /// Anything else; `detail` carries the errno text.
+    kError,
+  };
+
+  Kind kind = Kind::kOk;
+  size_t bytes = 0;     // meaningful for kOk only
+  std::string detail;   // meaningful for kError only
+
+  bool ok() const { return kind == Kind::kOk; }
+};
+
+/// Canonical lower-case name of an IoResult kind, e.g. "reset".
+std::string_view IoResultKindName(IoResult::Kind kind);
+
+/// Outcome of one non-blocking accept attempt.
+struct AcceptResult {
+  enum class Kind {
+    /// `fd` is a connected, non-blocking socket.
+    kAccepted,
+    /// No pending connection; retry on listener readiness.
+    kWouldBlock,
+    /// A transient accept failure — ENFILE/EMFILE (fd exhaustion) or
+    /// ECONNABORTED (peer gave up in the backlog). The listener is still
+    /// healthy; the server should throttle and retry.
+    kSoftError,
+    /// The listener itself is broken; `detail` carries the errno text.
+    kError,
+  };
+
+  Kind kind = Kind::kWouldBlock;
+  int fd = -1;
+  std::string detail;
+};
+
+/// The handful of socket operations the TCP serving layer is built on,
+/// mirroring `storage::FileSystem`: production code talks to
+/// `RealTransport`, robustness tests substitute `FaultInjectingTransport`
+/// and replay every failure mode — short I/O, EAGAIN storms, resets,
+/// EPIPE, accept-time fd exhaustion, latency — deterministically from a
+/// seed.
+///
+/// All fds handed out are non-blocking. Implementations are EINTR-safe
+/// (interrupted calls are retried internally) and never raise SIGPIPE
+/// (writes use MSG_NOSIGNAL).
+///
+/// Thread safety: a Transport may be shared across threads, but each fd
+/// must only be driven from one thread at a time — the TCP server drives
+/// everything from its event-loop thread.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Creates a non-blocking listening socket bound to `host:port`
+  /// (port 0 binds an ephemeral port — see `BoundPort`). Returns the
+  /// listening fd.
+  virtual Result<int> Listen(const std::string& host, uint16_t port,
+                             int backlog) = 0;
+
+  /// The locally bound port of a listening fd.
+  virtual Result<uint16_t> BoundPort(int listen_fd) = 0;
+
+  /// Accepts one pending connection, if any.
+  virtual AcceptResult Accept(int listen_fd) = 0;
+
+  /// Reads up to `capacity` bytes into `buffer`.
+  virtual IoResult Read(int fd, char* buffer, size_t capacity) = 0;
+
+  /// Writes up to `size` bytes of `data`; short writes are normal.
+  virtual IoResult Write(int fd, const char* data, size_t size) = 0;
+
+  /// Closes `fd`. Idempotence is not required of callers — close exactly
+  /// once, like the syscall.
+  virtual void Close(int fd) = 0;
+};
+
+/// Production backend over BSD sockets: non-blocking fds (SOCK_NONBLOCK /
+/// fcntl), SO_REUSEADDR + TCP_NODELAY, recv/send with EINTR retry and
+/// MSG_NOSIGNAL, IPv4 dotted-quad (or "localhost") addresses.
+class RealTransport : public Transport {
+ public:
+  Result<int> Listen(const std::string& host, uint16_t port,
+                     int backlog) override;
+  Result<uint16_t> BoundPort(int listen_fd) override;
+  AcceptResult Accept(int listen_fd) override;
+  IoResult Read(int fd, char* buffer, size_t capacity) override;
+  IoResult Write(int fd, const char* data, size_t size) override;
+  void Close(int fd) override;
+};
+
+/// Process-wide shared `RealTransport` (it is stateless).
+RealTransport& GetRealTransport();
+
+/// Per-operation fault probabilities for `FaultInjectingTransport`. Each
+/// probability is evaluated independently per call against the seeded Rng,
+/// so a (options, seed, op-sequence) triple replays byte-for-byte.
+struct TransportFaultOptions {
+  /// P(a Read is truncated to 1 byte) — exercises partial-read reassembly.
+  double short_read = 0.0;
+  /// P(a Write is truncated to 1 byte) — exercises partial-write resume.
+  double short_write = 0.0;
+  /// P(a Read spuriously returns kWouldBlock without touching the socket).
+  double eagain_read = 0.0;
+  /// P(a Write spuriously returns kWouldBlock).
+  double eagain_write = 0.0;
+  /// P(a Read reports kReset). The underlying fd is left open — the server
+  /// is expected to Close() it, which is exactly what the FD-leak
+  /// accounting tests verify.
+  double reset_read = 0.0;
+  /// P(a Write reports kBrokenPipe).
+  double epipe_write = 0.0;
+  /// P(an Accept reports kSoftError as ENFILE-style fd exhaustion).
+  double accept_error = 0.0;
+  /// Injected latency added to every Read/Write (slow-NIC simulation).
+  std::chrono::microseconds latency{0};
+};
+
+/// Deterministic fault-injecting wrapper around another `Transport`, the
+/// socket-layer sibling of `storage::FaultInjectingFileSystem`. Faults are
+/// injected *before* the real operation (the bytes stay in the kernel
+/// buffers), so no data is ever lost by injection itself — whatever the
+/// connection machine does with the fault is what the test observes.
+class FaultInjectingTransport : public Transport {
+ public:
+  /// Wraps `base` (not owned; must outlive this object).
+  FaultInjectingTransport(Transport* base, Rng rng,
+                          TransportFaultOptions options);
+
+  /// Replaces the fault plan (counters keep accumulating).
+  void set_options(const TransportFaultOptions& options) {
+    options_ = options;
+  }
+
+  /// Faults injected since construction, by kind.
+  struct Counters {
+    int64_t short_reads = 0;
+    int64_t short_writes = 0;
+    int64_t eagain_reads = 0;
+    int64_t eagain_writes = 0;
+    int64_t resets = 0;
+    int64_t epipes = 0;
+    int64_t accept_errors = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Fds currently open through this transport (opened - closed); the
+  /// FD-leak oracle for the fault-matrix tests.
+  int64_t open_fds() const { return open_fds_; }
+
+  Result<int> Listen(const std::string& host, uint16_t port,
+                     int backlog) override;
+  Result<uint16_t> BoundPort(int listen_fd) override;
+  AcceptResult Accept(int listen_fd) override;
+  IoResult Read(int fd, char* buffer, size_t capacity) override;
+  IoResult Write(int fd, const char* data, size_t size) override;
+  void Close(int fd) override;
+
+ private:
+  Transport* base_;
+  Rng rng_;
+  TransportFaultOptions options_;
+  Counters counters_;
+  int64_t open_fds_ = 0;
+};
+
+}  // namespace ppdb::server::net
+
+#endif  // PPDB_SERVER_NET_TRANSPORT_H_

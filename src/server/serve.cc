@@ -1,54 +1,36 @@
 #include "server/serve.h"
 
 #include <istream>
-#include <ostream>
 #include <string>
 #include <utility>
 
-#include "common/mutex.h"
 #include "common/string_util.h"
-#include "common/thread_annotations.h"
+#include "server/net/conn_metrics.h"
+#include "server/serve_core.h"
 
 namespace ppdb::server {
 
-namespace {
-
-/// Serializes response lines from broker workers and the serve thread.
-class ResponseWriter {
- public:
-  explicit ResponseWriter(std::ostream& out) : out_(out) {}
-
-  void Write(int64_t id, const Response& response) PPDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    // Multi-line payloads (Prometheus exposition) get block framing; the
-    // single-line format would scrub their newlines into spaces.
-    if (response.status.ok() &&
-        response.payload.find('\n') != std::string::npos) {
-      out_ << FormatBlockResponse(id, response.payload);
-    } else {
-      out_ << FormatResponse(id, response);
-    }
-    out_.flush();
-  }
-
- private:
-  Mutex mu_;
-  /// The stream is shared with nothing else while Serve runs; all writes
-  /// (broker workers and the serve thread) funnel through Write().
-  std::ostream& out_ PPDB_GUARDED_BY(mu_);
-};
-
-}  // namespace
-
 Status Serve(std::istream& in, std::ostream& out, DatabaseService& service,
              RequestBroker& broker) {
+  // Touch the connection metric families so a pipe-only process (the mode
+  // `stats prometheus` is scraped through) still exports them at zero —
+  // the exposition must not depend on whether a socket listener ever ran.
+  net::ConnMetrics::Get();
+
   ResponseWriter writer(out);
   std::string line;
+  bool oversized = false;
   int64_t id = 0;
   int64_t drain_id = -1;
 
-  while (drain_id < 0 && std::getline(in, line)) {
+  while (drain_id < 0 && ReadBoundedLine(in, &line, &oversized)) {
     ++id;
+    if (oversized) {
+      // The line was consumed to its terminator, so the stream is still
+      // synchronized — answer and keep serving.
+      writer.Write(id, Response{LineTooLongError(), {}});
+      continue;
+    }
     std::string_view trimmed = TrimWhitespace(line);
     if (trimmed.empty() || trimmed[0] == '#') {
       --id;  // comments and blanks do not consume an id
@@ -64,20 +46,11 @@ Status Serve(std::istream& in, std::ostream& out, DatabaseService& service,
       drain_id = id;  // answered below, after the drain completes
       break;
     }
-    const Lane lane = request.IsCheap() ? Lane::kPriority : Lane::kNormal;
+    const Lane lane = LaneForRequest(request);
     const int64_t this_id = id;
-    const bool is_stats = request.kind == RequestKind::kStats;
+    const auto deadline = request.deadline;
     Status admitted = broker.Submit(
-        lane, request.deadline,
-        [&service, &broker, request = std::move(request),
-         is_stats](const Deadline& deadline) {
-          Response response = service.Execute(request, deadline);
-          if (is_stats && response.status.ok()) {
-            response.payload += ' ';
-            response.payload += broker.Stats().ToPayload();
-          }
-          return response;
-        },
+        lane, deadline, MakeRequestWork(service, broker, std::move(request)),
         [&writer, this_id](const Response& response) {
           writer.Write(this_id, response);
         });
@@ -90,10 +63,7 @@ Status Serve(std::istream& in, std::ostream& out, DatabaseService& service,
   Status final_checkpoint = service.FinalCheckpoint();
   if (drain_id >= 0) {
     Response response;
-    response.payload =
-        "drained=1 final_checkpoint=" +
-        std::string(StatusCodeToString(final_checkpoint.code())) + " " +
-        broker.Stats().ToPayload();
+    response.payload = DrainAckPayload(final_checkpoint, broker.Stats());
     writer.Write(drain_id, response);
   }
   return final_checkpoint;

@@ -1,0 +1,82 @@
+#include "server/serve_core.h"
+
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+
+namespace ppdb::server {
+
+void ResponseWriter::Write(int64_t id, const Response& response) {
+  MutexLock lock(mu_);
+  out_ << RenderResponse(id, response);
+  out_.flush();
+}
+
+Lane LaneForRequest(const Request& request) {
+  return request.IsCheap() ? Lane::kPriority : Lane::kNormal;
+}
+
+RequestBroker::Work MakeRequestWork(DatabaseService& service,
+                                    RequestBroker& broker, Request request) {
+  const bool is_stats = request.kind == RequestKind::kStats;
+  return [&service, &broker, request = std::move(request),
+          is_stats](const Deadline& deadline) {
+    Response response = service.Execute(request, deadline);
+    if (is_stats && response.status.ok()) {
+      response.payload += ' ';
+      response.payload += broker.Stats().ToPayload();
+    }
+    return response;
+  };
+}
+
+std::string DrainAckPayload(const Status& final_checkpoint,
+                            const RequestBroker::StatsSnapshot& stats) {
+  return "drained=1 final_checkpoint=" +
+         std::string(StatusCodeToString(final_checkpoint.code())) + " " +
+         stats.ToPayload();
+}
+
+std::string RenderResponse(int64_t id, const Response& response) {
+  // Multi-line payloads (Prometheus exposition) get block framing; the
+  // single-line format would scrub their newlines into spaces.
+  if (response.status.ok() &&
+      response.payload.find('\n') != std::string::npos) {
+    return FormatBlockResponse(id, response.payload);
+  }
+  return FormatResponse(id, response);
+}
+
+Status LineTooLongError(size_t max_line) {
+  return Status::InvalidArgument(
+      "line_too_long: request line exceeds " + std::to_string(max_line) +
+      " bytes");
+}
+
+bool ReadBoundedLine(std::istream& in, std::string* line, bool* oversized,
+                     size_t max_line) {
+  line->clear();
+  *oversized = false;
+  if (!in.good()) return false;
+  std::streambuf* buf = in.rdbuf();
+  int ch = buf->sbumpc();
+  if (ch == std::char_traits<char>::eof()) {
+    in.setstate(std::ios::eofbit | std::ios::failbit);
+    return false;
+  }
+  for (; ch != std::char_traits<char>::eof(); ch = buf->sbumpc()) {
+    if (ch == '\n') return true;
+    if (line->size() < max_line) {
+      line->push_back(static_cast<char>(ch));
+    } else {
+      // Keep consuming to the terminator so the stream stays synchronized
+      // on line boundaries, but stop storing: memory stays O(max_line).
+      *oversized = true;
+    }
+  }
+  in.setstate(std::ios::eofbit);
+  return true;  // final line without a terminator, like getline
+}
+
+}  // namespace ppdb::server

@@ -1,0 +1,78 @@
+#ifndef PPDB_SERVER_SERVE_CORE_H_
+#define PPDB_SERVER_SERVE_CORE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "server/broker.h"
+#include "server/request.h"
+#include "server/service.h"
+
+namespace ppdb::server {
+
+/// The protocol core shared by the two serving front-ends — the pipe loop
+/// (`Serve`) and the TCP event loop (`net::TcpServer`). Both speak the same
+/// line protocol against the same broker/service pair; everything here is
+/// the part that must not drift between them: lane selection, the work
+/// closure (including `stats` merging broker counters), the drain
+/// acknowledgement payload, response framing, and the request-line cap.
+
+/// Serializes response lines from broker workers and the serve thread onto
+/// one ostream. Public (rather than serve.cc-local) so the interleaving
+/// regression test can hammer it directly: concurrent `Write` calls must
+/// never produce torn or interleaved lines.
+class ResponseWriter {
+ public:
+  explicit ResponseWriter(std::ostream& out) : out_(out) {}
+
+  void Write(int64_t id, const Response& response) PPDB_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  /// The stream is shared with nothing else while serving runs; all writes
+  /// (broker workers and the serve thread) funnel through Write().
+  std::ostream& out_ PPDB_GUARDED_BY(mu_);
+};
+
+/// Which broker lane a request rides: cheap O(|HP|)-or-less requests take
+/// the priority lane so census scans cannot starve the event stream.
+Lane LaneForRequest(const Request& request);
+
+/// Builds the broker work closure for a parsed request: executes on the
+/// service under the admission deadline, and for `stats` appends the
+/// broker's queue counters to the payload. `service` and `broker` must
+/// outlive the returned closure.
+RequestBroker::Work MakeRequestWork(DatabaseService& service,
+                                    RequestBroker& broker, Request request);
+
+/// The single-line payload answering a `drain` request once the broker has
+/// drained and the final checkpoint was taken.
+std::string DrainAckPayload(const Status& final_checkpoint,
+                            const RequestBroker::StatsSnapshot& stats);
+
+/// Renders a response in wire format, choosing block framing for
+/// successful multi-line payloads (Prometheus exposition, trace dumps) and
+/// the single-line format otherwise. Both front-ends emit through this so
+/// the framing decision cannot drift.
+std::string RenderResponse(int64_t id, const Response& response);
+
+/// The canonical rejection for a request line longer than `max_line`
+/// bytes: `kInvalidArgument`, message starting with "line_too_long".
+Status LineTooLongError(size_t max_line = kMaxRequestLine);
+
+/// Bounded replacement for `std::getline` on the pipe path: reads one
+/// '\n'-terminated line, storing at most `max_line` bytes. A longer line
+/// is consumed to its terminator but truncated in `*line` and flagged
+/// `*oversized`, so the caller can answer `LineTooLongError` and keep
+/// serving — the stream stays line-synchronized and memory stays O(cap).
+/// Returns false at end of input (like getline, a final unterminated line
+/// is still delivered first).
+bool ReadBoundedLine(std::istream& in, std::string* line, bool* oversized,
+                     size_t max_line = kMaxRequestLine);
+
+}  // namespace ppdb::server
+
+#endif  // PPDB_SERVER_SERVE_CORE_H_

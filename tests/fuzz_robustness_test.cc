@@ -4,6 +4,7 @@
 // reproducible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
 #include "relational/sql.h"
+#include "server/net/framer.h"
 #include "server/request.h"
 #include "storage/database_io.h"
 #include "tests/test_util.h"
@@ -175,6 +177,83 @@ TEST_P(FuzzTest, ServeRequestParserNeverCrashes) {
       EXPECT_EQ(line.find('\n'), line.size() - 1) << input;
       EXPECT_EQ(line.find('\0'), std::string::npos) << input;
     }
+  }
+}
+
+// Socket framing: the TCP front-end's LineFramer sits directly on
+// untrusted bytes, delivered in arbitrary read-sized pieces. Random
+// sessions — valid requests, mutated garbage, embedded NULs, oversized
+// lines, truncated tails — fed through random split points must never
+// crash, never hang, never hold more than O(cap) memory, and every
+// delivered line must parse (or error) cleanly.
+TEST_P(FuzzTest, SocketFramingNeverCrashesOrDesyncs) {
+  Rng rng(GetParam() + 2100);
+  const std::string valid_lines[] = {
+      "ping", "analyze", "query pw", "event add 7 2.5", "stats", "drain",
+  };
+  const size_t cap = 128;  // small cap reaches the discard path often
+
+  for (int session = 0; session < 60; ++session) {
+    // Assemble a session byte stream.
+    std::string stream;
+    int lines = static_cast<int>(rng.NextBounded(12)) + 1;
+    for (int l = 0; l < lines; ++l) {
+      switch (rng.NextBounded(5)) {
+        case 0:
+          stream += valid_lines[rng.NextBounded(std::size(valid_lines))];
+          break;
+        case 1:
+          stream += Mutate(
+              valid_lines[rng.NextBounded(std::size(valid_lines))], rng);
+          break;
+        case 2:
+          stream += RandomText(rng, 64);
+          break;
+        case 3:
+          // Oversized, straddling the cap.
+          stream += std::string(cap - 2 + rng.NextBounded(8), 'x');
+          break;
+        default:
+          // Raw control bytes and NULs.
+          stream += std::string(1 + rng.NextBounded(4),
+                                static_cast<char>(rng.NextBounded(32)));
+          break;
+      }
+      if (rng.NextBool(0.9)) stream += rng.NextBool(0.3) ? "\r\n" : "\n";
+      // else: the next fragment glues on — or the stream ends truncated.
+    }
+
+    // Drive the framer exactly as the event loop does: feed a random-sized
+    // chunk (reads split anywhere), drain lines, repeat; then EOF.
+    server::net::LineFramer framer(cap);
+    size_t at = 0;
+    size_t delivered = 0;
+    server::net::LineFramer::Line line;
+    while (at < stream.size()) {
+      size_t n = 1 + rng.NextBounded(stream.size() - at);
+      framer.Feed(std::string_view(stream).substr(at, n));
+      at += n;
+      ASSERT_LE(framer.buffered(), cap);  // memory stays O(cap)
+      while (framer.Next(&line)) {
+        ++delivered;
+        ASSERT_LE(line.text.size(), cap);
+        if (line.oversized) continue;  // answered line_too_long, no parse
+        // Whatever the framer delivers, the parser must field cleanly.
+        Result<server::Request> parsed = server::ParseRequest(line.text);
+        if (parsed.ok()) (void)parsed.value().IsCheap();
+      }
+    }
+    framer.Finish();
+    while (framer.Next(&line)) {
+      ++delivered;
+      ASSERT_LE(line.text.size(), cap);
+    }
+    // Every newline yields exactly one line; a truncated tail adds one.
+    size_t newlines =
+        static_cast<size_t>(std::count(stream.begin(), stream.end(), '\n'));
+    bool truncated_tail = !stream.empty() && stream.back() != '\n';
+    EXPECT_EQ(delivered, newlines + (truncated_tail ? 1 : 0))
+        << "session " << session;
   }
 }
 

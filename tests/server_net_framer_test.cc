@@ -1,0 +1,160 @@
+#include "server/net/framer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppdb::server::net {
+namespace {
+
+/// Feeds `bytes` in one go, finishes, and returns every line.
+std::vector<LineFramer::Line> FrameAll(std::string_view bytes,
+                                       size_t max_line = kMaxRequestLine) {
+  LineFramer framer(max_line);
+  framer.Feed(bytes);
+  framer.Finish();
+  std::vector<LineFramer::Line> lines;
+  LineFramer::Line line;
+  while (framer.Next(&line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(LineFramerTest, SplitsOnNewlinesAndStripsCr) {
+  std::vector<LineFramer::Line> lines =
+      FrameAll("ping\r\nquery pw\nanalyze\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "ping");
+  EXPECT_EQ(lines[1].text, "query pw");
+  EXPECT_EQ(lines[2].text, "analyze");
+  for (const auto& line : lines) EXPECT_FALSE(line.oversized);
+}
+
+TEST(LineFramerTest, DeliversUnterminatedFinalLineOnFinish) {
+  std::vector<LineFramer::Line> lines = FrameAll("ping\nno newline");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].text, "no newline");
+
+  // But not before Finish: TCP can split anywhere, so an unterminated
+  // tail must wait for more bytes.
+  LineFramer framer;
+  framer.Feed("partial");
+  LineFramer::Line line;
+  EXPECT_FALSE(framer.Next(&line));
+}
+
+TEST(LineFramerTest, EmptyLinesAndEmbeddedNulsPassThrough) {
+  std::vector<LineFramer::Line> lines =
+      FrameAll(std::string("\n\na\0b\n", 6));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "");
+  EXPECT_EQ(lines[1].text, "");
+  // NUL is the parser's problem, not the framer's.
+  EXPECT_EQ(lines[2].text, std::string("a\0b", 3));
+}
+
+TEST(LineFramerTest, OversizedLineIsCappedFlaggedAndResyncs) {
+  const size_t cap = 16;
+  std::string input = std::string(100, 'x') + "\nping\n";
+  std::vector<LineFramer::Line> lines = FrameAll(input, cap);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].oversized);
+  EXPECT_EQ(lines[0].text, std::string(cap, 'x'));  // retained prefix
+  EXPECT_FALSE(lines[1].oversized);
+  EXPECT_EQ(lines[1].text, "ping");  // resynchronized at the newline
+}
+
+TEST(LineFramerTest, ExactlyCapSizedLineIsNotOversized) {
+  const size_t cap = 8;
+  std::vector<LineFramer::Line> lines =
+      FrameAll(std::string(cap, 'y') + "\n", cap);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(lines[0].oversized);
+  EXPECT_EQ(lines[0].text.size(), cap);
+}
+
+TEST(LineFramerTest, TruncatedOversizedLineAtEofIsStillDelivered) {
+  LineFramer framer(/*max_line=*/4);
+  framer.Feed("aaaaaaaa");  // over cap, never terminated
+  framer.Finish();
+  LineFramer::Line line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_TRUE(line.oversized);
+  EXPECT_EQ(line.text, "aaaa");
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.oversized_lines(), 1);
+}
+
+TEST(LineFramerTest, PartialLineAccumulatorStaysBounded) {
+  const size_t cap = 64;
+  LineFramer framer(cap);
+  // Stream 1 MiB of a single line: memory must stay O(cap), not O(input).
+  for (int i = 0; i < 1024; ++i) framer.Feed(std::string(1024, 'z'));
+  EXPECT_LE(framer.buffered(), cap);
+  framer.Feed("\nping\n");
+  LineFramer::Line line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_TRUE(line.oversized);
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_EQ(line.text, "ping");
+}
+
+// The core TCP property: the line sequence is invariant under how the
+// byte stream is split across Feed calls (reads can split anywhere).
+TEST(LineFramerTest, LineSequenceInvariantUnderArbitrarySplits) {
+  const std::string stream = "ping\r\n" + std::string(40, 'x') +
+                             "\n\n# comment\nquery pw\n" +
+                             std::string("nul\0here\n", 9) + "tail";
+  const size_t cap = 16;
+  std::vector<LineFramer::Line> expected = FrameAll(stream, cap);
+
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 200; ++trial) {
+    LineFramer framer(cap);
+    size_t at = 0;
+    while (at < stream.size()) {
+      size_t n = 1 + rng.NextUint64() % (stream.size() - at);
+      framer.Feed(std::string_view(stream).substr(at, n));
+      at += n;
+    }
+    framer.Finish();
+    std::vector<LineFramer::Line> got;
+    LineFramer::Line line;
+    while (framer.Next(&line)) got.push_back(line);
+
+    ASSERT_EQ(got.size(), expected.size()) << "trial " << trial;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].text, expected[i].text) << "trial " << trial;
+      EXPECT_EQ(got[i].oversized, expected[i].oversized) << "trial " << trial;
+    }
+  }
+}
+
+// Interleaving Feed and Next (how the event loop actually drives it) is
+// equivalent to feeding everything first.
+TEST(LineFramerTest, InterleavedFeedAndNextMatchesBatch) {
+  const std::string stream = "a\nbb\n" + std::string(50, 'c') + "\nd\n";
+  const size_t cap = 10;
+  std::vector<LineFramer::Line> expected = FrameAll(stream, cap);
+
+  LineFramer framer(cap);
+  std::vector<LineFramer::Line> got;
+  LineFramer::Line line;
+  for (char ch : stream) {
+    framer.Feed(std::string_view(&ch, 1));
+    while (framer.Next(&line)) got.push_back(line);
+  }
+  framer.Finish();
+  while (framer.Next(&line)) got.push_back(line);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].text, expected[i].text) << i;
+    EXPECT_EQ(got[i].oversized, expected[i].oversized) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppdb::server::net

@@ -9,10 +9,12 @@
 #include <regex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "privacy/policy_dsl.h"
 #include "server/broker.h"
+#include "server/serve_core.h"
 #include "server/service.h"
 #include "storage/database_io.h"
 #include "storage/fs.h"
@@ -311,6 +313,98 @@ TEST_F(ServeTest, PerRequestDeadlinePrefixReachesTheEngine) {
       ServeAll("@60000 analyze\n", *service, broker);
   ASSERT_EQ(responses.size(), 1u);
   EXPECT_NE(responses[1].find("1 ok"), std::string::npos);
+}
+
+TEST_F(ServeTest, OversizedRequestLineIsRejectedWithoutDerailingTheStream) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  // A line past the cap must cost one clean error — never unbounded
+  // memory, never desync of the ids that follow it.
+  std::string input = "ping\n" + std::string(kMaxRequestLine + 100, 'x') +
+                      "\nping\n";
+  std::map<int64_t, std::string> responses =
+      ServeAll(input, *service, broker);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_NE(responses[1].find("1 ok pong"), std::string::npos);
+  EXPECT_NE(responses[2].find("2 error invalid_argument"),
+            std::string::npos);
+  EXPECT_NE(responses[2].find("line_too_long"), std::string::npos);
+  EXPECT_NE(responses[3].find("3 ok pong"), std::string::npos);
+}
+
+TEST_F(ServeTest, ExactlyCapSizedRequestLineIsStillParsed) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  RequestBroker broker(RequestBroker::Options{});
+
+  // "ping" padded with trailing spaces to exactly the cap: boundary-length
+  // lines are legal and must reach the parser intact.
+  std::string line = "ping" + std::string(kMaxRequestLine - 4, ' ');
+  std::map<int64_t, std::string> responses =
+      ServeAll(line + "\n", *service, broker);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[1].find("1 ok pong"), std::string::npos);
+}
+
+// Satellite regression for the shared writer: concurrent Write() calls —
+// the broker's workers plus the serve thread all funnel through one
+// ResponseWriter — must never tear or interleave, even for multi-line
+// block responses. Byte-exact check: the output must be a permutation of
+// whole rendered responses.
+TEST_F(ServeTest, ConcurrentResponseWritesAreNeverTorn) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+
+  std::ostringstream out;
+  ResponseWriter writer(out);
+
+  auto make_response = [](int64_t id) {
+    if (id % 3 == 0) {
+      // Multi-line payload: rendered as a block, the hardest case to keep
+      // atomic under concurrency.
+      return Response{Status::OK(), "alpha " + std::to_string(id) +
+                                        "\nbeta\ngamma"};
+    }
+    if (id % 3 == 1) {
+      return Response{Status::OK(), "value=" + std::to_string(id)};
+    }
+    return Response{Status::InvalidArgument("bad request " +
+                                            std::to_string(id)),
+                    {}};
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int64_t id = static_cast<int64_t>(t) * kPerThread + i;
+        writer.Write(id, make_response(id));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Reassemble: walk the output and greedily match whole rendered
+  // responses. Any torn or interleaved write breaks the match.
+  std::string output = out.str();
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  size_t at = 0;
+  while (at < output.size()) {
+    size_t space = output.find_first_of(" \n", at);
+    ASSERT_NE(space, std::string::npos) << "trailing garbage at " << at;
+    int64_t id = std::stoll(output.substr(at, space - at));
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, kThreads * kPerThread);
+    ASSERT_FALSE(seen[id]) << "response " << id << " emitted twice";
+    std::string expected = RenderResponse(id, make_response(id));
+    ASSERT_EQ(output.compare(at, expected.size(), expected), 0)
+        << "torn write at byte " << at << " (id " << id << ")";
+    seen[id] = true;
+    at += expected.size();
+  }
+  for (int id = 0; id < kThreads * kPerThread; ++id) {
+    EXPECT_TRUE(seen[id]) << "response " << id << " missing";
+  }
 }
 
 }  // namespace

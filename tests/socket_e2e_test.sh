@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# End-to-end test of `ppdb_cli serve --listen` over a real loopback TCP
+# socket, driven with bash's /dev/tcp (no external client needed). Covers
+# the happy path (ping/query/drain), the drain-triggered shutdown, the
+# oversized-line rejection, and process exit hygiene.
+set -u
+CLI="$1"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+failures=0
+
+check() {  # check <description> <expected-substring> <<< output
+  local description="$1" expected="$2" output
+  output="$(cat)"
+  if ! grep -qF "$expected" <<< "$output"; then
+    echo "FAIL: $description"
+    echo "  expected substring: $expected"
+    echo "  got: $output"
+    failures=$((failures + 1))
+  fi
+}
+
+"$CLI" demo "$DIR/db" >/dev/null || { echo "FAIL: demo"; exit 1; }
+
+# --- session 1: full request/drain cycle ------------------------------------
+"$CLI" serve "$DIR/db" --listen 127.0.0.1:0 --max-conns 8 \
+  --idle-timeout-ms 30000 >"$DIR/serve_out" 2>"$DIR/serve_err" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$DIR/serve_out" 2>/dev/null && break
+  sleep 0.1
+done
+head -1 "$DIR/serve_out" | check "prints bound endpoint" "listening on 127.0.0.1:"
+PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve_out")"
+if [ -z "$PORT" ]; then
+  echo "FAIL: could not scrape port from: $(cat "$DIR/serve_out")"
+  exit 1
+fi
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'ping\nquery pw\n# comment lines are skipped\ndrain\n' >&3
+RESPONSES="$(timeout 30 cat <&3)"
+exec 3<&- 3>&-
+check "ping answered" "1 ok pong" <<< "$RESPONSES"
+check "query answered" "2 ok pw=" <<< "$RESPONSES"
+check "drain acked with final checkpoint" \
+  "3 ok drained=1 final_checkpoint=ok" <<< "$RESPONSES"
+
+# Drain must shut the whole process down, exit 0.
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_EXIT after drain"
+  failures=$((failures + 1))
+fi
+
+# --- session 2: oversized line is shed, connection survives ------------------
+"$CLI" serve "$DIR/db" --listen 127.0.0.1:0 >"$DIR/serve_out2" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$DIR/serve_out2" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve_out2")"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+{
+  # 100 KiB of garbage on one line: over the 64 KiB cap.
+  head -c 102400 /dev/zero | tr '\0' 'x'
+  printf '\nping\ndrain\n'
+} >&3
+RESPONSES="$(timeout 30 cat <&3)"
+exec 3<&- 3>&-
+check "oversized line rejected" "1 error invalid_argument line_too_long" \
+  <<< "$RESPONSES"
+check "connection resyncs after oversized line" "2 ok pong" <<< "$RESPONSES"
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_EXIT after session 2"
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures socket e2e failure(s)"
+  exit 1
+fi
+echo "socket e2e: all checks passed"

@@ -14,12 +14,14 @@
 //   ppdb_cli recover <dir>                load, report crash leftovers, and
 //                                         re-commit a clean generation
 //   ppdb_cli serve <dir> [flags]          line-oriented serving loop on
-//                                         stdin/stdout (see src/server/)
+//                                         stdin/stdout, or over TCP with
+//                                         --listen (see src/server/)
 //   ppdb_cli trace <dir>                  run one traced violation scan and
 //                                         dump the span ring as JSON
 //
 // Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed;
 // 4 recovery succeeded but crash leftovers were discarded.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -32,6 +34,7 @@
 #include "relational/csv.h"
 #include "relational/sql.h"
 #include "server/broker.h"
+#include "server/net/tcp_server.h"
 #include "server/serve.h"
 #include "server/service.h"
 #include "storage/database_io.h"
@@ -65,6 +68,8 @@ int Usage() {
                "  ppdb_cli recover <dir>\n"
                "  ppdb_cli serve <dir> [--workers N] [--queue K] "
                "[--deadline-ms D] [--checkpoint-every E]\n"
+               "                       [--listen <addr:port>] "
+               "[--max-conns N] [--idle-timeout-ms D]\n"
                "  ppdb_cli trace <dir>\n");
   return 2;
 }
@@ -87,6 +92,10 @@ Result<storage::Database> LoadWithWarnings(const std::string& dir) {
 // committed generation again. Exit 0 when already clean, 4 when crash
 // leftovers were discarded, 1 when nothing loadable remains.
 int RunRecover(const std::string& dir) {
+  // Recovery is often driven from scripts with stdout piped to a pager or
+  // log shipper; a consumer hanging up must not kill the re-commit
+  // mid-flight. Writes past the hangup fail with EPIPE instead.
+  std::signal(SIGPIPE, SIG_IGN);
   storage::RecoveryReport report;
   Result<storage::Database> database =
       storage::LoadDatabase(dir, storage::GetRealFileSystem(), &report);
@@ -262,13 +271,39 @@ int RunAudit(const storage::Database& database, const std::string& count) {
 }
 
 // serve <dir> [flags]: the overload-safe serving loop (src/server/) on
-// stdin/stdout. Exit 0 even when the final checkpoint fails (the serving
+// stdin/stdout, or — with --listen <addr:port> — the TCP front-end on a
+// real socket. Exit 0 even when the final checkpoint fails (the serving
 // itself succeeded); the failure is reported on stderr.
 int RunServe(const std::string& dir, int argc, char** argv) {
+  // A client hanging up mid-response must surface as EPIPE on that one
+  // connection, never as a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
   server::RequestBroker::Options broker_options;
   server::DatabaseService::Options service_options;
+  server::net::TcpServer::Options net_options;
+  bool listen = false;
   for (int i = 3; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
+    if (flag == "--listen") {
+      // <addr:port>; the port may be 0 for an ephemeral one (the bound
+      // port is printed once listening).
+      const std::string endpoint = argv[i + 1];
+      size_t colon = endpoint.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "--listen expects <addr:port>, got '%s'\n",
+                     endpoint.c_str());
+        return Usage();
+      }
+      Result<int64_t> port = ParseInt64(endpoint.substr(colon + 1));
+      if (!port.ok()) return Fail(port.status());
+      if (port.value() < 0 || port.value() > 65535) {
+        return Fail(Status::InvalidArgument("port out of range"));
+      }
+      net_options.host = endpoint.substr(0, colon);
+      net_options.port = static_cast<uint16_t>(port.value());
+      listen = true;
+      continue;
+    }
     Result<int64_t> value = ParseInt64(argv[i + 1]);
     if (!value.ok()) return Fail(value.status());
     if (flag == "--workers") {
@@ -280,6 +315,10 @@ int RunServe(const std::string& dir, int argc, char** argv) {
           std::chrono::milliseconds(value.value());
     } else if (flag == "--checkpoint-every") {
       service_options.checkpoint_every_events = value.value();
+    } else if (flag == "--max-conns") {
+      net_options.max_connections = static_cast<size_t>(value.value());
+    } else if (flag == "--idle-timeout-ms") {
+      net_options.idle_timeout = std::chrono::milliseconds(value.value());
     } else {
       std::fprintf(stderr, "unknown serve flag '%s'\n", flag.c_str());
       return Usage();
@@ -294,8 +333,22 @@ int RunServe(const std::string& dir, int argc, char** argv) {
                  service.value()->recovery().ToString().c_str());
   }
   server::RequestBroker broker(broker_options);
-  Status final_checkpoint =
-      server::Serve(std::cin, std::cout, *service.value(), broker);
+  Status final_checkpoint;
+  if (listen) {
+    server::net::TcpServer server(net_options, *service.value(), broker);
+    Status started = server.Start();
+    if (!started.ok()) return Fail(started);
+    // One line on stdout so scripts (and tests) can scrape the bound
+    // port; everything else stays on the socket or stderr.
+    std::printf("listening on %s:%u (%s)\n", net_options.host.c_str(),
+                static_cast<unsigned>(server.port()),
+                std::string(server.poller_name()).c_str());
+    std::fflush(stdout);
+    final_checkpoint = server.Serve();
+  } else {
+    final_checkpoint =
+        server::Serve(std::cin, std::cout, *service.value(), broker);
+  }
   if (!final_checkpoint.ok()) {
     std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
                  final_checkpoint.ToString().c_str());
