@@ -1,0 +1,200 @@
+// Journal group-commit benchmark: sweeps concurrent writer counts against
+// batch windows and reports acked-events/s, per-append ack latency
+// percentiles, and the realized batching factor (appends per fsync), as
+// JSON. This is the durability cost story in numbers: every acked event
+// paid an fsync before the ack, and the batching factor shows how many of
+// those acks shared one.
+//
+// The sweep drives storage::Journal directly — the group-commit mechanism
+// lives there; the service above it serializes events under a writer lock,
+// so journal-level concurrency is where sharing happens.
+//
+// Usage: bench_journal [output.json] [--smoke]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "storage/fs.h"
+#include "storage/journal.h"
+
+#ifndef PPDB_BENCH_BUILD_TYPE
+#define PPDB_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace ppdb {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+struct CellResult {
+  int writers = 0;
+  int window_us = 0;
+  int events = 0;
+  double events_per_s = 0.0;
+  double batch_factor = 0.0;  // appends per fsync within the cell
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double PercentileUs(std::vector<microseconds>& latencies, double q) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  size_t index =
+      static_cast<size_t>(q * static_cast<double>(latencies.size() - 1));
+  return static_cast<double>(latencies[index].count());
+}
+
+CellResult RunCell(const fs::path& dir, int writers, int window_us,
+                   int total_events) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  storage::Journal::Options options;
+  options.batch_window = microseconds(window_us);
+  auto journal = storage::Journal::Open(dir.string(), "gen-0",
+                                        storage::GetRealFileSystem(), options);
+  PPDB_CHECK_OK(journal.status());
+
+  // A representative encoded event frame (~the size of a set-preference).
+  const std::string payload =
+      "pref 123456 weight 3 4 5 purpose-from-the-bench-sweep";
+
+  obs::Histogram* fsyncs = obs::MetricsRegistry::Default().GetHistogram(
+      "ppdb_journal_fsync_seconds", "");
+  const int64_t fsyncs_before = fsyncs->Count();
+
+  const int per_writer = total_events / writers;
+  std::vector<std::vector<microseconds>> lat_per_thread(
+      static_cast<size_t>(writers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(writers));
+  const auto wall_start = steady_clock::now();
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      auto& lat = lat_per_thread[static_cast<size_t>(t)];
+      lat.reserve(static_cast<size_t>(per_writer));
+      for (int i = 0; i < per_writer; ++i) {
+        const auto start = steady_clock::now();
+        PPDB_CHECK_OK(journal.value()->Append(payload));
+        lat.push_back(duration_cast<microseconds>(steady_clock::now() - start));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(steady_clock::now() - wall_start).count();
+
+  std::vector<microseconds> latencies;
+  latencies.reserve(static_cast<size_t>(per_writer * writers));
+  for (auto& lat : lat_per_thread) {
+    latencies.insert(latencies.end(), lat.begin(), lat.end());
+  }
+  const int64_t cell_fsyncs = fsyncs->Count() - fsyncs_before;
+
+  CellResult result;
+  result.writers = writers;
+  result.window_us = window_us;
+  result.events = per_writer * writers;
+  result.events_per_s = static_cast<double>(result.events) / wall_s;
+  result.batch_factor =
+      cell_fsyncs > 0 ? static_cast<double>(result.events) /
+                            static_cast<double>(cell_fsyncs)
+                      : 0.0;
+  result.p50_us = PercentileUs(latencies, 0.50);
+  result.p95_us = PercentileUs(latencies, 0.95);
+  result.p99_us = PercentileUs(latencies, 0.99);
+  return result;
+}
+
+int Run(const std::string& output_path, bool smoke) {
+  const fs::path root = fs::temp_directory_path() /
+                        ("ppdb_bench_journal_" + std::to_string(::getpid()));
+  const int total_events = smoke ? 240 : 4800;
+
+  const int writer_counts[] = {1, 2, 4, 8};
+  const int windows_us[] = {0, 100, 1000};
+  std::vector<CellResult> results;
+  for (int window : windows_us) {
+    for (int writers : writer_counts) {
+      results.push_back(
+          RunCell(root / "journal", writers, window, total_events));
+      const CellResult& r = results.back();
+      std::fprintf(stderr,
+                   "writers=%d window=%dus: %.0f acked-events/s "
+                   "batch=%.1f p95=%.0fus\n",
+                   r.writers, r.window_us, r.events_per_s, r.batch_factor,
+                   r.p95_us);
+    }
+  }
+  fs::remove_all(root);
+
+  std::ofstream out(output_path);
+  out << "{\n  \"benchmark\": \"journal_group_commit\",\n"
+      // The build type of the code under test; tools/run_bench.sh refuses
+      // to record baselines unless this is "release".
+      << "  \"library_build_type\": \"" << PPDB_BENCH_BUILD_TYPE << "\",\n"
+      << "  \"events_per_cell\": " << total_events << ",\n"
+      << "  \"sweep\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"writers\": %d, \"window_us\": %d, \"events\": %d, "
+                  "\"acked_events_per_s\": %.0f, \"appends_per_fsync\": %.2f, "
+                  "\"ack_p50_us\": %.0f, \"ack_p95_us\": %.0f, "
+                  "\"ack_p99_us\": %.0f}%s\n",
+                  r.writers, r.window_us, r.events, r.events_per_s,
+                  r.batch_factor, r.p50_us, r.p95_us, r.p99_us,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n";
+
+  // The journal's own fsync histogram, accumulated across the whole sweep
+  // (see OBSERVABILITY.md): the device-level floor under every ack above.
+  obs::Histogram* fsyncs = obs::MetricsRegistry::Default().GetHistogram(
+      "ppdb_journal_fsync_seconds", "");
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  \"fsync_seconds\": {\"count\": %lld, \"p50_ms\": %.3f, "
+                "\"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
+                static_cast<long long>(fsyncs->Count()),
+                fsyncs->Percentile(0.50) * 1000.0,
+                fsyncs->Percentile(0.95) * 1000.0,
+                fsyncs->Percentile(0.99) * 1000.0);
+  out << line << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "error: failed to write %s\n", output_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", output_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppdb
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_journal.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      output = argv[i];
+    }
+  }
+  return ppdb::Run(output, smoke);
+}

@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace ppdb {
+
+namespace {
+
+/// The 256-entry lookup table for the reflected Castagnoli polynomial,
+/// built once at first use (constant-initialized, no locks).
+constexpr uint32_t kPolynomial = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, std::string_view data) {
+  // The stored/returned form is finalized (xor-out applied); undo it to
+  // resume, redo it to publish.
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  for (char c : data) {
+    state = kTable[(state ^ static_cast<uint8_t>(c)) & 0xFFu] ^ (state >> 8);
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ppdb

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -106,6 +107,45 @@ struct ServiceMetrics {
   }
 };
 
+/// Translates a mutating request into its journal payload. The purpose
+/// travels as its *name* (ids are registry-relative and would not survive
+/// a reload).
+Result<storage::JournalEvent> JournalEventFromRequest(
+    const Request& request) {
+  using Kind = storage::JournalEvent::Kind;
+  storage::JournalEvent event;
+  event.provider = request.provider;
+  switch (request.kind) {
+    case RequestKind::kEventAdd:
+      event.kind = Kind::kAddProvider;
+      event.threshold = request.threshold;
+      break;
+    case RequestKind::kEventRemove:
+      event.kind = Kind::kRemoveProvider;
+      break;
+    case RequestKind::kEventSetPref:
+      event.kind = Kind::kSetPreference;
+      event.attribute = request.attribute;
+      event.purpose = request.purpose;
+      event.visibility = request.visibility;
+      event.granularity = request.granularity;
+      event.retention = request.retention;
+      break;
+    case RequestKind::kEventRemovePref:
+      event.kind = Kind::kRemovePreference;
+      event.attribute = request.attribute;
+      event.purpose = request.purpose;
+      break;
+    case RequestKind::kEventSetThreshold:
+      event.kind = Kind::kSetThreshold;
+      event.threshold = request.threshold;
+      break;
+    default:
+      return Status::Internal("not an event");
+  }
+  return event;
+}
+
 /// Installs the metrics mirror into the breaker options, chaining any
 /// callback the caller configured.
 CircuitBreaker::Options WithBreakerMirror(CircuitBreaker::Options options) {
@@ -135,10 +175,21 @@ Result<std::unique_ptr<DatabaseService>> DatabaseService::Create(
       LivePopulationMonitor::Create(std::move(database.config),
                                     detector_options));
   database.config = privacy::PrivacyConfig();
+  std::unique_ptr<storage::Journal> journal;
+  if (options.journal_enabled) {
+    // The journal resumes the segment LoadDatabase just replayed (its
+    // base is the loaded generation), so acknowledged-but-uncheckpointed
+    // events stay covered until the next checkpoint prunes them.
+    storage::Journal::Options journal_options;
+    journal_options.batch_window = options.journal_batch_window;
+    PPDB_ASSIGN_OR_RETURN(
+        journal, storage::Journal::Open(dir, recovery.loaded_generation, *fs,
+                                        journal_options));
+  }
   // ppdb-lint: allow(raw-new) -- private ctor, make_unique cannot reach it.
   std::unique_ptr<DatabaseService> service(new DatabaseService(
       std::move(dir), fs, options, std::move(recovery), std::move(monitor),
-      std::move(database)));
+      std::move(database), std::move(journal)));
   return service;
 }
 
@@ -146,13 +197,16 @@ DatabaseService::DatabaseService(std::string dir, storage::FileSystem* fs,
                                  Options options,
                                  storage::RecoveryReport recovery,
                                  LivePopulationMonitor monitor,
-                                 storage::Database database)
+                                 storage::Database database,
+                                 std::unique_ptr<storage::Journal> journal)
     : dir_(std::move(dir)),
       fs_(fs),
       options_(options),
       recovery_(std::move(recovery)),
       monitor_(std::move(monitor)),
       database_(std::move(database)),
+      journal_(std::move(journal)),
+      last_checkpoint_generation_(recovery_.loaded_generation),
       breaker_(WithBreakerMirror(options.breaker)) {
   ServiceMetrics::Get().breaker_state->Set(
       BreakerStateValue(breaker_.state()));
@@ -168,7 +222,21 @@ Status DatabaseService::SaveNow(const privacy::PrivacyConfig& config) {
   database_.config = config;
   storage::SaveOptions save_options;
   save_options.retry = options_.save_retry;
-  return storage::SaveDatabase(dir_, database_, *fs_, save_options);
+  std::string committed;
+  PPDB_RETURN_NOT_OK(
+      storage::SaveDatabase(dir_, database_, *fs_, save_options, &committed));
+  last_checkpoint_generation_ = committed;
+  if (journal_ != nullptr) {
+    // The commit pruned every journal segment; start the next one. A
+    // rotation failure leaves the journal wedged — the checkpoint itself
+    // still succeeded (all applied events are in `committed`), and the
+    // next event's rescue checkpoint retries the rotation.
+    if (Status rotated = journal_->RotateTo(committed); !rotated.ok()) {
+      PPDB_LOG(kWarning) << "journal rotation to " << committed
+                         << " failed: " << rotated.message();
+    }
+  }
+  return Status::OK();
 }
 
 Status DatabaseService::GuardedSave(const privacy::PrivacyConfig& config) {
@@ -389,6 +457,43 @@ Response DatabaseService::Search(const Request& request,
 }
 
 Response DatabaseService::Event(const Request& request) {
+  // A wedged journal means an earlier append/fsync failed: nothing can be
+  // acknowledged atop an uncertain tail. Rescue with a checkpoint — a
+  // committed generation captures every applied event, prunes the bad
+  // segment, and rotation re-arms the journal.
+  if (journal_ != nullptr && journal_->wedged()) {
+    if (Status allow = breaker_.Allow(); allow.ok()) {
+      Status saved = SaveNow(monitor_.config());
+      breaker_.Record(saved);
+    }
+    if (journal_->wedged()) {
+      return Err(Status::Unavailable(
+          "journal unavailable and rescue checkpoint failed; "
+          "retry_after_ms=" +
+          std::to_string(options_.breaker.open_duration.count())));
+    }
+  }
+
+  Result<storage::JournalEvent> event = JournalEventFromRequest(request);
+  if (!event.ok()) return Err(event.status());
+  // Validate against the authoritative config *before* appending: the
+  // journal must only ever hold events that get acknowledged `ok`, or a
+  // replay would diverge from the acknowledged history.
+  if (Status valid = event->Validate(monitor_.config()); !valid.ok()) {
+    return Err(std::move(valid));
+  }
+  if (journal_ != nullptr) {
+    if (Status appended = journal_->Append(event->Encode());
+        !appended.ok()) {
+      // One breaker-visible failure per failed event, always coded
+      // transient so even a permanent fault (ENOSPC is kOutOfRange)
+      // opens the breaker and turns the service read-only.
+      breaker_.Record(Status::Unavailable("journal append failed"));
+      return Err(Status::Unavailable("event not durable: " +
+                                     appended.message()));
+    }
+  }
+
   Status status;
   switch (request.kind) {
     case RequestKind::kEventAdd:
@@ -424,6 +529,10 @@ Response DatabaseService::Event(const Request& request) {
     default:
       return Err(Status::Internal("not an event"));
   }
+  // Validate() mirrors the monitor's preconditions, so a failure here
+  // means they diverged (a bug): the journal now holds one record the
+  // memory state rejected. Replay stops at it the same way, so recovery
+  // still converges to the acknowledged history.
   if (!status.ok()) return Err(std::move(status));
   // The event itself succeeded even if a due checkpoint failed — that
   // failure lives in last_checkpoint_status and in the breaker.
@@ -472,6 +581,18 @@ Response DatabaseService::Stats() {
   // One locked snapshot instead of three separate breaker reads, so state
   // and counters cannot interleave with a trip happening between them.
   const CircuitBreaker::StatsSnapshot breaker = breaker_.Snapshot();
+  // Durability posture: lets the shed-storm runbook tell "behind on
+  // checkpoints" (events_since_checkpoint high, journal growing) from
+  // "broker overload" (both small, queues deep).
+  std::string journal =
+      journal_ == nullptr
+          ? " journal=none"
+          : " journal=" + journal_->segment_name() +
+                (journal_->wedged() ? " journal_wedged=1" : "") +
+                " journal_bytes=" +
+                std::to_string(journal_->active_segment_bytes()) +
+                " journal_records=" +
+                std::to_string(journal_->records_in_segment());
   return Ok(
       "providers=" + std::to_string(monitor_.num_providers()) +
       " violated=" + std::to_string(monitor_.num_violated()) +
@@ -482,7 +603,13 @@ Response DatabaseService::Stats() {
       " breaker_trips=" + std::to_string(breaker.trips) +
       " breaker_rejected=" + std::to_string(breaker.rejected) +
       " checkpoints=" + std::to_string(monitor_.checkpoints_taken()) +
-      " last_checkpoint=" + std::string(StatusCodeToString(last.code())));
+      " events_since_checkpoint=" +
+      std::to_string(monitor_.events_since_checkpoint()) +
+      " last_checkpoint=" + std::string(StatusCodeToString(last.code())) +
+      " last_checkpoint_generation=" +
+      (last_checkpoint_generation_.empty() ? "none"
+                                           : last_checkpoint_generation_) +
+      journal);
 }
 
 }  // namespace ppdb::server

@@ -1,6 +1,7 @@
 #ifndef PPDB_SERVER_SERVICE_H_
 #define PPDB_SERVER_SERVICE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -16,13 +17,23 @@
 #include "server/request.h"
 #include "storage/database_io.h"
 #include "storage/fs.h"
+#include "storage/journal.h"
 #include "violation/live_monitor.h"
 
 namespace ppdb::server {
 
 /// The engine behind the broker: one loaded database, a live population
-/// monitor as the authoritative copy of its privacy config, and a circuit
-/// breaker guarding every save.
+/// monitor as the authoritative copy of its privacy config, a write-ahead
+/// event journal, and a circuit breaker guarding every save.
+///
+/// Durability: each mutating event is validated, appended to the journal
+/// and fsync'd, then applied in memory and acknowledged — in that order,
+/// under the writer lock. A crash at any point loses no acknowledged
+/// event (`LoadDatabase` replays the journal) and applies no
+/// unacknowledged one. Journal append failures feed the circuit breaker
+/// exactly like save failures; a wedged journal triggers a rescue
+/// checkpoint on the next event and keeps events failing `kUnavailable`
+/// until one succeeds.
 ///
 /// Concurrency: analytics (`analyze`, `certify`, `estimate`, `whatif`,
 /// `search`, queries) take a shared lock and run concurrently with each
@@ -53,6 +64,15 @@ class DatabaseService {
     RetryOptions save_retry;
     /// Threads for the heavy analytics (0 = hardware concurrency).
     int num_threads = 0;
+    /// Write-ahead journal: every mutating event is appended and fsync'd
+    /// *before* it is applied and acknowledged, so acknowledged events
+    /// survive a crash between checkpoints. false restores the seed's
+    /// checkpoint-granular durability (tests use it to isolate save
+    /// faults).
+    bool journal_enabled = true;
+    /// Group-commit window: how long a journal flush leader waits for
+    /// concurrent events to join its fsync. 0 = sync immediately.
+    std::chrono::microseconds journal_batch_window{0};
   };
 
   /// Loads the database at `dir` through `fs` and starts monitoring it.
@@ -84,10 +104,13 @@ class DatabaseService {
   DatabaseService(std::string dir, storage::FileSystem* fs, Options options,
                   storage::RecoveryReport recovery,
                   violation::LivePopulationMonitor monitor,
-                  storage::Database database);
+                  storage::Database database,
+                  std::unique_ptr<storage::Journal> journal);
 
   /// Assembles the full on-disk Database around `config` and saves it,
-  /// with bounded retry. One call = one breaker-visible outcome.
+  /// with bounded retry. One call = one breaker-visible outcome. On
+  /// success the journal (whose segments the save just pruned) rotates to
+  /// the new generation, clearing any wedge.
   Status SaveNow(const privacy::PrivacyConfig& config) PPDB_REQUIRES(mu_);
 
   /// The breaker-gated save installed as the monitor's checkpoint hook.
@@ -126,6 +149,13 @@ class DatabaseService {
   /// before each save (under the exclusive lock — Catalog is move-only,
   /// so the Database cannot be copied into a scratch value).
   storage::Database database_ PPDB_GUARDED_BY(mu_);
+  /// Write-ahead journal (null when Options::journal_enabled is false).
+  /// Internally synchronized; the pointer itself is set once at
+  /// construction and never reseated.
+  const std::unique_ptr<storage::Journal> journal_;
+  /// Generation holding the last successful checkpoint — the journal's
+  /// base. Starts at the loaded generation.
+  std::string last_checkpoint_generation_ PPDB_GUARDED_BY(mu_);
 
   CircuitBreaker breaker_;
 };

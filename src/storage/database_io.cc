@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "privacy/policy_dsl.h"
 #include "relational/csv.h"
+#include "storage/journal.h"
 
 namespace ppdb::storage {
 
@@ -176,6 +177,7 @@ Result<Database> LoadDatabaseFiles(FileSystem& fsys, const fs::path& dir) {
 struct DirScan {
   std::vector<int64_t> generations;      // numbers of gen-<N> entries
   std::vector<std::string> stagings;     // names of .staging-<N> entries
+  std::vector<std::string> journals;     // names of journal-* segments
   bool has_current = false;
   bool has_current_tmp = false;
   bool has_flat_manifest = false;        // pre-generation layout
@@ -192,6 +194,8 @@ Result<DirScan> ScanDirectory(FileSystem& fsys, const fs::path& root) {
       scan.has_current_tmp = true;
     } else if (entry == kManifestName) {
       scan.has_flat_manifest = true;
+    } else if (entry.starts_with(Journal::kSegmentPrefix)) {
+      scan.journals.push_back(entry);
     } else if (int64_t g = ParseNumberedName(entry, kGenPrefix); g >= 0) {
       scan.generations.push_back(g);
     } else if (ParseNumberedName(entry, kStagingPrefix) >= 0) {
@@ -278,6 +282,46 @@ struct StorageMetrics {
   }
 };
 
+/// Replays the journal segment matching the loaded generation onto
+/// `database` and reports every other (stale/damaged) segment as
+/// discarded. Never fails the load: a journal problem costs at most the
+/// un-replayable tail, which was never checkpoint-committed.
+void ReplayJournals(FileSystem& fsys, const fs::path& root,
+                    const std::vector<std::string>& journals,
+                    Database& database, RecoveryReport& rep) {
+  const std::string expected =
+      Journal::SegmentNameFor(rep.loaded_generation);
+  for (const std::string& name : journals) {
+    if (name != expected) {
+      rep.discarded.push_back(name + " (stale journal)");
+      continue;
+    }
+    Result<std::string> contents = fsys.ReadFile((root / name).string());
+    if (!contents.ok()) {
+      rep.discarded.push_back(name + " (unreadable journal: " +
+                              contents.status().message() + ")");
+      continue;
+    }
+    Result<JournalReplayResult> replay =
+        ReplayJournal(*contents, rep.loaded_generation, database.config);
+    if (!replay.ok()) {
+      rep.discarded.push_back(name + " (invalid journal: " +
+                              replay.status().message() + ")");
+      continue;
+    }
+    rep.journal_replayed += replay->replayed;
+    if (replay->torn_tail) {
+      rep.journal_torn_tail = true;
+      rep.discarded.push_back(name + " (torn tail: " + replay->torn_detail +
+                              ")");
+    }
+    if (!replay->stopped.ok()) {
+      rep.discarded.push_back(name + " (replay stopped: " +
+                              replay->stopped.message() + ")");
+    }
+  }
+}
+
 }  // namespace
 
 std::string RecoveryReport::ToString() const {
@@ -286,6 +330,14 @@ std::string RecoveryReport::ToString() const {
                        : "\n";
   for (const std::string& entry : discarded) {
     out += "discarded " + entry + '\n';
+  }
+  if (journal_replayed > 0) {
+    out += "replayed " + std::to_string(journal_replayed) +
+           " journal event" + (journal_replayed == 1 ? "" : "s") + '\n';
+  }
+  if (journal_torn_tail) {
+    out += "journal ended in a torn record (amputated; it was never "
+           "acknowledged)\n";
   }
   if (clean()) out += "clean: nothing discarded\n";
   return out;
@@ -376,7 +428,8 @@ Status SaveDatabase(std::string_view dir, const Database& database) {
 }
 
 static Status SaveDatabaseImpl(std::string_view dir, const Database& database,
-                               FileSystem& fsys, const SaveOptions& options) {
+                               FileSystem& fsys, const SaveOptions& options,
+                               std::string* committed_generation) {
   const fs::path root{std::string(dir)};
   const RetryOptions& retry = options.retry;
   auto retried = [&](const std::string& what,
@@ -420,10 +473,14 @@ static Status SaveDatabaseImpl(std::string_view dir, const Database& database,
   PPDB_RETURN_NOT_OK(retried("commit CURRENT", [&] {
     return fsys.Rename(current_tmp.string(), current.string());
   }));
+  if (committed_generation != nullptr) *committed_generation = GenName(next);
 
   // Best-effort prune: keep the new generation and the one it replaced
   // (rollback target); everything else — older generations, stray staging
-  // dirs — is garbage. Prune failures never fail a committed save.
+  // dirs, and every journal segment (this commit captured all applied
+  // events, so surviving segments are stale and would be discarded on
+  // load anyway) — is garbage. Prune failures never fail a committed
+  // save.
   for (int64_t g : scan.generations) {
     if (g == next || g == committed) continue;
     (void)fsys.RemoveAll((root / GenName(g)).string());
@@ -431,15 +488,25 @@ static Status SaveDatabaseImpl(std::string_view dir, const Database& database,
   for (const std::string& stale : scan.stagings) {
     (void)fsys.RemoveAll((root / stale).string());
   }
+  for (const std::string& journal : scan.journals) {
+    (void)fsys.RemoveAll((root / journal).string());
+  }
   return Status::OK();
 }
 
 Status SaveDatabase(std::string_view dir, const Database& database,
                     FileSystem& fsys, const SaveOptions& options) {
+  return SaveDatabase(dir, database, fsys, options, nullptr);
+}
+
+Status SaveDatabase(std::string_view dir, const Database& database,
+                    FileSystem& fsys, const SaveOptions& options,
+                    std::string* committed_generation) {
   const StorageMetrics& metrics = StorageMetrics::Get();
   obs::SpanScope span("storage_save");
   const auto started = std::chrono::steady_clock::now();
-  Status status = SaveDatabaseImpl(dir, database, fsys, options);
+  Status status =
+      SaveDatabaseImpl(dir, database, fsys, options, committed_generation);
   metrics.save_seconds->Observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
@@ -478,7 +545,9 @@ static Result<Database> LoadDatabaseImpl(std::string_view dir,
     // Pre-generation layout: the whole file set lives at the top level.
     if (scan.has_flat_manifest) {
       rep.loaded_generation = "flat";
-      return LoadDatabaseFiles(fsys, root);
+      PPDB_ASSIGN_OR_RETURN(Database database, LoadDatabaseFiles(fsys, root));
+      ReplayJournals(fsys, root, scan.journals, database, rep);
+      return database;
     }
     return Status::NotFound("'" + root.string() +
                             "' is not a ppdb database directory "
@@ -519,6 +588,11 @@ static Result<Database> LoadDatabaseImpl(std::string_view dir,
     if (loaded.ok()) {
       rep.loaded_generation = GenName(g);
       rep.used_fallback = committed >= 0 && g != committed;
+      // Acknowledged events since this generation's checkpoint live in
+      // its journal; replaying them makes recovery per-event, not
+      // per-checkpoint. (After a fallback this is the *older*
+      // generation's journal — those acks happened on top of it.)
+      ReplayJournals(fsys, root, scan.journals, *loaded, rep);
       return loaded;
     }
     rep.discarded.push_back(GenName(g) +

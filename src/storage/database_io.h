@@ -36,6 +36,9 @@ struct Database {
 ///   <dir>/gen-<N>/ledger.csv    table,provider,attribute,ingest_day
 ///   <dir>/gen-<N>/audit.csv     the append-only audit log
 ///   <dir>/.staging-<N>/         an in-progress save; never read
+///   <dir>/journal-gen-<N>       write-ahead event journal atop gen-<N>
+///                               (see storage/journal.h; "journal-flat"
+///                               for the pre-generation layout)
 ///
 /// Commit protocol (crash-safe at every step):
 ///   1. every file is written into a fresh `.staging-<N>/`,
@@ -64,13 +67,26 @@ struct RecoveryReport {
   /// pre-generation directory.
   std::string loaded_generation;
   /// Entries ignored during load: uncommitted staging dirs, generations
-  /// newer than CURRENT, and torn generations (with the load error).
+  /// newer than CURRENT, torn generations (with the load error), and
+  /// stale or damaged journal segments.
   std::vector<std::string> discarded;
   /// True when the generation CURRENT named could not be loaded and an
   /// older committed generation was used instead.
   bool used_fallback = false;
+  /// Write-ahead journal records replayed on top of the loaded
+  /// generation — acknowledged events a crash kept out of a checkpoint.
+  int64_t journal_replayed = 0;
+  /// True when the journal ended in a torn record (amputated cleanly;
+  /// a torn record was never acknowledged).
+  bool journal_torn_tail = false;
 
-  bool clean() const { return discarded.empty() && !used_fallback; }
+  /// True when the load needed no recovery of any kind. Replayed journal
+  /// events count as recovery: the in-memory state is ahead of the
+  /// committed generation until the next checkpoint re-commits it.
+  bool clean() const {
+    return discarded.empty() && !used_fallback && journal_replayed == 0 &&
+           !journal_torn_tail;
+  }
   /// Human-readable multi-line summary.
   std::string ToString() const;
 };
@@ -82,6 +98,14 @@ Status SaveDatabase(std::string_view dir, const Database& database);
 /// As above through an explicit filesystem (tests inject faults here).
 Status SaveDatabase(std::string_view dir, const Database& database,
                     FileSystem& fs, const SaveOptions& options = {});
+
+/// As above; on success `committed_generation` (when non-null) receives
+/// the generation name just committed, e.g. "gen-4" — the base the
+/// service rotates its journal segment to. A successful save prunes all
+/// `journal-*` segments (their events are inside the new generation).
+Status SaveDatabase(std::string_view dir, const Database& database,
+                    FileSystem& fs, const SaveOptions& options,
+                    std::string* committed_generation);
 
 /// Loads the committed generation of a database directory. Schema types
 /// are recorded in the manifest, so round-trips preserve typing exactly.

@@ -1,5 +1,8 @@
 #include "storage/fs.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -126,6 +129,86 @@ Result<std::vector<std::string>> RealFileSystem::ListDirectory(
   return names;
 }
 
+namespace {
+
+/// POSIX O_APPEND-backed appendable file. Append loops over write(2)
+/// (EINTR-safe); Sync is fsync(2) — the journal's durability barrier.
+class PosixAppendableFile : public AppendableFile {
+ public:
+  PosixAppendableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixAppendableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return Status::Internal("append to closed '" + path_ + "'");
+    }
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal("append to '" + path_ +
+                                "' failed: " + ErrnoText());
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return Status::Internal("sync of closed '" + path_ + "'");
+    }
+    if (::fsync(fd_) != 0) {
+      return Status::Internal("fsync of '" + path_ +
+                              "' failed: " + ErrnoText());
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal("close of '" + path_ +
+                              "' failed: " + ErrnoText());
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AppendableFile>> RealFileSystem::OpenAppendable(
+    const std::string& path) {
+  errno = 0;
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + path +
+                            "' for appending: " + ErrnoText());
+  }
+  return std::unique_ptr<AppendableFile>(
+      std::make_unique<PosixAppendableFile>(fd, path));
+}
+
+Status RealFileSystem::TruncateFile(const std::string& path, uint64_t size) {
+  errno = 0;
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal("cannot truncate '" + path + "' to " +
+                            std::to_string(size) + " bytes: " + ErrnoText());
+  }
+  return Status::OK();
+}
+
 RealFileSystem& GetRealFileSystem() {
   static RealFileSystem* const kInstance = new RealFileSystem();  // ppdb-lint: allow(raw-new)
   return *kInstance;
@@ -158,16 +241,20 @@ void FaultInjectingFileSystem::SetPlan(FaultPlan plan) {
   crashed_ = false;
 }
 
-Status FaultInjectingFileSystem::NextOp(const std::string& path,
-                                        bool is_write,
-                                        std::string_view contents) {
-  const int64_t op = ops_seen_++;
+Status FaultInjectingFileSystem::NextOp(
+    const std::string& path, bool is_write, std::string_view contents,
+    const std::function<Status(std::string_view)>* partial_write) {
   if (crashed_) {
+    // Process death is global: even ops outside the path filter fail.
     return Status::Internal("filesystem crashed at op " +
-                            std::to_string(plan_.fail_at_op) +
-                            "; op " + std::to_string(op) + " on '" + path +
-                            "' never ran");
+                            std::to_string(plan_.fail_at_op) + "; op on '" +
+                            path + "' never ran");
   }
+  if (!plan_.path_filter.empty() &&
+      path.find(plan_.path_filter) == std::string::npos) {
+    return Status::OK();  // outside the filter: uncounted pass-through
+  }
+  const int64_t op = ops_seen_++;
   if (plan_.fail_at_op < 0 || op < plan_.fail_at_op) return Status::OK();
 
   switch (plan_.kind) {
@@ -194,7 +281,10 @@ Status FaultInjectingFileSystem::NextOp(const std::string& path,
         // A strict prefix lands durably; the seeded Rng picks how much.
         size_t torn = static_cast<size_t>(
             rng_.NextBounded(static_cast<uint64_t>(contents.size())));
-        Status partial = base_->WriteFile(path, contents.substr(0, torn));
+        Status partial =
+            partial_write != nullptr
+                ? (*partial_write)(contents.substr(0, torn))
+                : base_->WriteFile(path, contents.substr(0, torn));
         if (!partial.ok()) return partial;
       }
       if (plan_.kind == FaultKind::kCrash) {
@@ -252,6 +342,56 @@ bool FaultInjectingFileSystem::IsDirectory(const std::string& path) {
 Result<std::vector<std::string>> FaultInjectingFileSystem::ListDirectory(
     const std::string& path) {
   return base_->ListDirectory(path);
+}
+
+/// Appendable handle whose Append and Sync are fault sites on the owning
+/// filesystem's op timeline. A torn/ENOSPC/crash fault on an Append lands
+/// a seeded-random *appended* prefix (mid-record torn write); any fault on
+/// a Sync is clean-failing (an fsync cannot tear, but its bytes may
+/// already be durable — exactly the gray zone the journal's repair
+/// truncation and the recovery oracle have to handle).
+class FaultInjectingAppendableFile : public AppendableFile {
+ public:
+  FaultInjectingAppendableFile(FaultInjectingFileSystem* owner,
+                               std::unique_ptr<AppendableFile> base,
+                               std::string path)
+      : owner_(owner), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    const std::function<Status(std::string_view)> partial =
+        [this](std::string_view prefix) { return base_->Append(prefix); };
+    PPDB_RETURN_NOT_OK(
+        owner_->NextOp(path_, /*is_write=*/true, data, &partial));
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    PPDB_RETURN_NOT_OK(owner_->NextOp(path_));
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingFileSystem* owner_;
+  std::unique_ptr<AppendableFile> base_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<AppendableFile>>
+FaultInjectingFileSystem::OpenAppendable(const std::string& path) {
+  PPDB_RETURN_NOT_OK(NextOp(path));
+  PPDB_ASSIGN_OR_RETURN(std::unique_ptr<AppendableFile> base,
+                        base_->OpenAppendable(path));
+  return std::unique_ptr<AppendableFile>(
+      std::make_unique<FaultInjectingAppendableFile>(this, std::move(base),
+                                                     path));
+}
+
+Status FaultInjectingFileSystem::TruncateFile(const std::string& path,
+                                              uint64_t size) {
+  PPDB_RETURN_NOT_OK(NextOp(path));
+  return base_->TruncateFile(path, size);
 }
 
 }  // namespace ppdb::storage

@@ -2,6 +2,8 @@
 #define PPDB_STORAGE_FS_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +12,25 @@
 #include "common/rng.h"
 
 namespace ppdb::storage {
+
+/// A file opened for durable appending — the primitive the write-ahead
+/// journal is built on. `Append` adds bytes at the end (buffered, ordered);
+/// `Sync` is the durability barrier: on OK every byte appended so far has
+/// reached stable storage (fsync). `Close` releases the descriptor; a file
+/// that is destroyed without `Close` is closed best-effort with the error
+/// dropped, so callers that care about the last write call `Sync`+`Close`
+/// explicitly.
+///
+/// Thread safety: thread-compatible. The journal serializes all calls on
+/// one file behind its own mutex.
+class AppendableFile {
+ public:
+  virtual ~AppendableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
 
 /// The handful of filesystem operations the durability layer is built on.
 ///
@@ -52,6 +73,16 @@ class FileSystem {
   /// Names (not full paths) of the entries of directory `path`, sorted.
   virtual Result<std::vector<std::string>> ListDirectory(
       const std::string& path) = 0;
+
+  /// Opens `path` for appending, creating it (empty) when absent. Writes
+  /// through the returned handle land strictly at the end of the file.
+  virtual Result<std::unique_ptr<AppendableFile>> OpenAppendable(
+      const std::string& path) = 0;
+
+  /// Truncates `path` to exactly `size` bytes (which must not exceed the
+  /// current size). The journal uses this to amputate a torn tail before
+  /// resuming appends.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
 };
 
 /// Production backend over std::filesystem / std::ofstream.
@@ -67,6 +98,9 @@ class RealFileSystem : public FileSystem {
   bool IsDirectory(const std::string& path) override;
   Result<std::vector<std::string>> ListDirectory(
       const std::string& path) override;
+  Result<std::unique_ptr<AppendableFile>> OpenAppendable(
+      const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
 };
 
 /// Process-wide shared `RealFileSystem` used by the convenience overloads.
@@ -106,6 +140,13 @@ struct FaultPlan {
   /// For `kFailOp`: how many times the targeted op fails before it starts
   /// succeeding again. Lets tests exhaust (or satisfy) bounded retries.
   int transient_failures = 1;
+  /// When non-empty, only mutating operations whose path contains this
+  /// substring are counted and faulted; everything else passes through
+  /// without consuming an op index. Lets a test target one subsystem's
+  /// I/O (e.g. "journal-" vs ".staging-") without knowing the interleaved
+  /// op numbering. A latched `kCrash` still fails *every* later mutating
+  /// op regardless of the filter — a dead process writes nowhere.
+  std::string path_filter = {};
 };
 
 /// Deterministic fault-injecting wrapper around another `FileSystem`.
@@ -142,12 +183,26 @@ class FaultInjectingFileSystem : public FileSystem {
   bool IsDirectory(const std::string& path) override;
   Result<std::vector<std::string>> ListDirectory(
       const std::string& path) override;
+  /// The open itself is a mutating op (it may create the file); every
+  /// `Append`/`Sync` through the returned handle is one more, sharing this
+  /// filesystem's op counter — so a plan's `fail_at_op` walks save writes
+  /// and journal appends on one timeline.
+  Result<std::unique_ptr<AppendableFile>> OpenAppendable(
+      const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
 
  private:
+  friend class FaultInjectingAppendableFile;
+
   /// Returns the fault status for this mutating op, or OK to pass through.
   /// `is_write` selects torn-write behaviour; `contents`/`path` feed it.
+  /// A torn write lands its seeded-random prefix through `partial_write`
+  /// when provided (appends must append the prefix, not truncate-write
+  /// it), else through `base_->WriteFile`.
   Status NextOp(const std::string& path, bool is_write = false,
-                std::string_view contents = {});
+                std::string_view contents = {},
+                const std::function<Status(std::string_view)>*
+                    partial_write = nullptr);
 
   FileSystem* base_;
   Rng rng_;

@@ -82,8 +82,12 @@ Status LivePopulationMonitor::CheckpointNow() {
 }
 
 Status LivePopulationMonitor::CountEvent() {
+  // The counter always tracks — it is the "durability debt" surfaced by
+  // stats even when periodic checkpoints are off — but only a positive
+  // cadence triggers a checkpoint from here.
+  ++events_since_checkpoint_;
   if (hook_.every_events <= 0 || !hook_.save) return Status::OK();
-  if (++events_since_checkpoint_ < hook_.every_events) return Status::OK();
+  if (events_since_checkpoint_ < hook_.every_events) return Status::OK();
   return CheckpointNow();
 }
 

@@ -138,6 +138,89 @@ check "trace dump is a JSON array" "3 ok [" < "$METRICS_OUT"
 
 "$CLI" trace "$DIR/db" | check "offline trace names its spans" '"name":"shard_fanout"'
 
+# Recovery dry run: the report is identical but the directory is left
+# untouched, so an operator can inspect before committing to the repair.
+mkdir -p "$DIR/db/.staging-43/tables"
+echo junk > "$DIR/db/.staging-43/MANIFEST"
+"$CLI" recover "$DIR/db" --dry-run > "$DIR/dryrun.out"
+rc=$?
+check "dry run reports the leftover" ".staging-43" < "$DIR/dryrun.out"
+check "dry run says it changed nothing" "dry run" < "$DIR/dryrun.out"
+if [ "$rc" -ne 4 ]; then
+  echo "FAIL: recover --dry-run with leftovers should exit 4, got $rc"
+  failures=$((failures + 1))
+fi
+if [ ! -d "$DIR/db/.staging-43" ]; then
+  echo "FAIL: recover --dry-run removed the staging dir"
+  failures=$((failures + 1))
+fi
+"$CLI" recover "$DIR/db" > /dev/null
+if [ -d "$DIR/db/.staging-43" ]; then
+  echo "FAIL: real recover after dry run left the staging dir behind"
+  failures=$((failures + 1))
+fi
+
+# Durability quickstart: an acknowledged event survives kill -9 — no drain,
+# no checkpoint — because the ack only happens after the journal fsync.
+FIFO="$DIR/serve.in"
+mkfifo "$FIFO"
+# Launched from a subshell so the parent is not its job-controller and bash
+# never prints a "Killed" notice into the test output.
+( "$CLI" serve "$DIR/db" < "$FIFO" > "$DIR/kill.out" 2> /dev/null &
+  echo $! > "$DIR/serve.pid" )
+SERVE_PID="$(cat "$DIR/serve.pid")"
+exec 4> "$FIFO"
+printf 'event add 12 100\n' >&4
+acked=0
+for _ in $(seq 1 100); do
+  if grep -q '^1 ok' "$DIR/kill.out"; then acked=1; break; fi
+  sleep 0.1
+done
+if [ "$acked" -ne 1 ]; then
+  echo "FAIL: serve never acknowledged the event before kill -9"
+  failures=$((failures + 1))
+fi
+kill -9 "$SERVE_PID" 2> /dev/null
+while kill -0 "$SERVE_PID" 2> /dev/null; do sleep 0.05; done
+exec 4>&-
+rm -f "$FIFO"
+"$CLI" recover "$DIR/db" > "$DIR/recover2.out"
+rc=$?
+check "recover replays the journal tail" "replayed" < "$DIR/recover2.out"
+if [ "$rc" -ne 4 ]; then
+  echo "FAIL: recover after kill -9 should exit 4, got $rc"
+  failures=$((failures + 1))
+fi
+"$CLI" report "$DIR/db" | check "journaled event survived kill -9" "P(W)=0.8000"
+
+# A final checkpoint that cannot commit: the session still serves and
+# drains, the drain ack carries the failure, the process exits 5 — and the
+# acknowledged event is still recoverable from the journal afterwards.
+mkdir "$DIR/db/CURRENT.tmp"   # save's CURRENT staging write now fails
+printf 'event add 13 100\ndrain\n' \
+  | "$CLI" serve "$DIR/db" > "$DIR/exit5.out" 2> "$DIR/exit5.err"
+rc=$?
+if [ "$rc" -ne 5 ]; then
+  echo "FAIL: serve with a failing final checkpoint should exit 5, got $rc"
+  failures=$((failures + 1))
+fi
+check "event is acked despite doomed checkpoint" "1 ok" < "$DIR/exit5.out"
+check "drain ack names the failed checkpoint" "drained=1 final_checkpoint=" < "$DIR/exit5.out"
+if grep -qF "final_checkpoint=ok" "$DIR/exit5.out"; then
+  echo "FAIL: drain ack claimed final_checkpoint=ok despite the fault"
+  failures=$((failures + 1))
+fi
+check "stderr explains the exit code" "final checkpoint failed" < "$DIR/exit5.err"
+rmdir "$DIR/db/CURRENT.tmp"
+"$CLI" recover "$DIR/db" > "$DIR/recover3.out"
+rc=$?
+check "recover replays the stranded ack" "replayed" < "$DIR/recover3.out"
+if [ "$rc" -ne 4 ]; then
+  echo "FAIL: recover after the failed checkpoint should exit 4, got $rc"
+  failures=$((failures + 1))
+fi
+"$CLI" report "$DIR/db" | check "stranded event re-committed" "P(W)=0.8333"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI end-to-end check(s) failed"
   exit 1

@@ -52,8 +52,12 @@ class DatabaseServiceTest : public ::testing::Test {
 
   /// A service whose saves hit the fault-injecting filesystem, with a
   /// hand-cranked breaker clock and no in-save retry (so each save is one
-  /// breaker-visible outcome).
-  std::unique_ptr<DatabaseService> MakeService(int failure_threshold = 2) {
+  /// breaker-visible outcome). The journal is off by default: the breaker
+  /// drills below are about *checkpoint* faults, and with a journal a
+  /// latched disk would fail the events themselves (by design — see the
+  /// Journal* tests) instead of leaving durability debt.
+  std::unique_ptr<DatabaseService> MakeService(int failure_threshold = 2,
+                                               bool journal_enabled = false) {
     DatabaseService::Options options;
     options.checkpoint_every_events = 1;
     options.num_threads = 1;
@@ -61,6 +65,7 @@ class DatabaseServiceTest : public ::testing::Test {
     options.breaker.failure_threshold = failure_threshold;
     options.breaker.open_duration = milliseconds(1000);
     options.breaker.clock = [this] { return now_; };
+    options.journal_enabled = journal_enabled;
     auto service =
         DatabaseService::Create(dir_.string(), faulty_.get(), options);
     EXPECT_OK(service.status());
@@ -232,6 +237,170 @@ TEST_F(DatabaseServiceTest, CheckpointFailureNeverFailsTheEvent) {
   EXPECT_NE(monitor.payload.find("last_checkpoint=unavailable"),
             std::string::npos);
   EXPECT_EQ(service->breaker().consecutive_failures(), 10);
+}
+
+// --- Write-ahead journal drills -------------------------------------------
+// These run with the journal ON and periodic checkpoints OFF, so the
+// journal is the only thing standing between an acknowledged event and a
+// crash.
+
+class JournaledServiceTest : public DatabaseServiceTest {
+ protected:
+  std::unique_ptr<DatabaseService> MakeJournaled(int failure_threshold = 2) {
+    DatabaseService::Options options;
+    options.checkpoint_every_events = 0;  // the journal carries durability
+    options.num_threads = 1;
+    options.save_retry.max_attempts = 1;
+    options.breaker.failure_threshold = failure_threshold;
+    options.breaker.open_duration = milliseconds(1000);
+    options.breaker.clock = [this] { return now_; };
+    auto service =
+        DatabaseService::Create(dir_.string(), faulty_.get(), options);
+    EXPECT_OK(service.status());
+    return std::move(service).value();
+  }
+
+  /// Faults the `op`-th journal I/O (open/append/sync/truncate on a
+  /// "journal-" path); save-protocol I/O passes through unfaulted.
+  void FaultJournalOp(int64_t op, storage::FaultKind kind) {
+    faulty_->SetPlan(
+        {.fail_at_op = op, .kind = kind, .path_filter = "journal-"});
+  }
+};
+
+TEST_F(JournaledServiceTest, AcknowledgedEventsSurviveCrashWithoutCheckpoint) {
+  {
+    std::unique_ptr<DatabaseService> service = MakeJournaled();
+    ASSERT_OK(Run(*service, "event add 9 100").status);
+    ASSERT_OK(Run(*service, "event pref 9 weight pr 3 3 3").status);
+    ASSERT_OK(Run(*service, "event threshold 9 50").status);
+    // Service dropped without FinalCheckpoint — a kill -9.
+  }
+  storage::RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      storage::Database reloaded,
+      storage::LoadDatabase(dir_.string(), storage::GetRealFileSystem(),
+                            &report));
+  EXPECT_EQ(report.journal_replayed, 3) << report.ToString();
+  EXPECT_FALSE(report.clean());
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(9), 50.0);
+  EXPECT_TRUE(reloaded.config.preferences.Contains(9));
+}
+
+TEST_F(JournaledServiceTest, SaveCheckpointRotatesAndPrunesTheJournal) {
+  std::unique_ptr<DatabaseService> service = MakeJournaled();
+  ASSERT_OK(Run(*service, "event add 9 100").status);
+  Response stats = Run(*service, "stats");
+  EXPECT_NE(stats.payload.find(" journal_records=1"), std::string::npos)
+      << stats.payload;
+
+  ASSERT_OK(Run(*service, "save").status);
+  stats = Run(*service, "stats");
+  // The checkpoint sealed the event into a generation; the journal
+  // rotated to it and starts empty.
+  EXPECT_NE(stats.payload.find(" journal_records=0"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find(" events_since_checkpoint=0"),
+            std::string::npos)
+      << stats.payload;
+
+  storage::RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      storage::Database reloaded,
+      storage::LoadDatabase(dir_.string(), storage::GetRealFileSystem(),
+                            &report));
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(9), 100.0);
+}
+
+TEST_F(JournaledServiceTest, AppendFaultFailsTheEventAndRescueRestores) {
+  std::unique_ptr<DatabaseService> service = MakeJournaled();
+  ASSERT_OK(Run(*service, "event add 9 100").status);
+
+  // Fault the next journal write (SetPlan resets the op counter and the
+  // filter skips save I/O, so op 0 is the event's frame append). The event
+  // must NOT be acknowledged and must NOT be applied in memory.
+  FaultJournalOp(0, storage::FaultKind::kTornWrite);
+  Response failed = Run(*service, "event add 10 100");
+  EXPECT_TRUE(failed.status.IsUnavailable()) << failed.status.ToString();
+  EXPECT_NE(failed.status.message().find("not durable"), std::string::npos);
+  EXPECT_EQ(service->breaker().consecutive_failures(), 1);
+
+  Response stats = Run(*service, "stats");
+  EXPECT_NE(stats.payload.find("journal_wedged=1"), std::string::npos)
+      << stats.payload;
+  // The unacknowledged event is not in memory.
+  EXPECT_TRUE(Run(*service, "query provider 10").status.IsNotFound());
+
+  // The disk is healthy again; the next event rescues with a checkpoint,
+  // rotates the journal, and goes through.
+  Heal();
+  ASSERT_OK(Run(*service, "event add 11 100").status);
+  stats = Run(*service, "stats");
+  EXPECT_EQ(stats.payload.find("journal_wedged=1"), std::string::npos)
+      << stats.payload;
+
+  storage::RecoveryReport report;
+  ASSERT_OK_AND_ASSIGN(
+      storage::Database reloaded,
+      storage::LoadDatabase(dir_.string(), storage::GetRealFileSystem(),
+                            &report));
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(9), 100.0);
+  EXPECT_DOUBLE_EQ(reloaded.config.ThresholdFor(11), 100.0);
+  EXPECT_FALSE(reloaded.config.preferences.Contains(10));
+}
+
+TEST_F(JournaledServiceTest, EnospcOpensTheBreakerAndTurnsReadOnly) {
+  std::unique_ptr<DatabaseService> service = MakeJournaled(
+      /*failure_threshold=*/1);
+  ASSERT_OK(Run(*service, "event add 9 100").status);
+
+  // ENOSPC is permanent (kOutOfRange), but the breaker must still open:
+  // the journal failure is recorded as one transient-coded outcome.
+  FaultJournalOp(0, storage::FaultKind::kNoSpace);
+  EXPECT_TRUE(Run(*service, "event add 10 100").status.IsUnavailable());
+  EXPECT_EQ(service->breaker().state(), CircuitBreaker::State::kOpen);
+
+  // Read-only: mutating requests are rejected up front, reads keep going.
+  Response rejected = Run(*service, "event add 11 100");
+  EXPECT_TRUE(rejected.status.IsUnavailable());
+  EXPECT_NE(rejected.status.message().find("read-only"), std::string::npos);
+  ASSERT_OK(Run(*service, "analyze").status);
+
+  // Past the open window, the probe event rescues (checkpoint + rotate)
+  // and writes come back.
+  Heal();
+  now_ += milliseconds(1500);
+  ASSERT_OK(Run(*service, "event add 11 100").status);
+  EXPECT_EQ(service->breaker().state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(JournaledServiceTest, StatsExposeDurabilityPosture) {
+  std::unique_ptr<DatabaseService> service = MakeJournaled();
+  Response stats = Run(*service, "stats");
+  ASSERT_OK(stats.status);
+  EXPECT_NE(stats.payload.find(" journal=journal-"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find(" journal_bytes="), std::string::npos);
+  EXPECT_NE(stats.payload.find(" events_since_checkpoint=0"),
+            std::string::npos);
+  EXPECT_NE(stats.payload.find(" last_checkpoint_generation=gen-"),
+            std::string::npos)
+      << stats.payload;
+
+  ASSERT_OK(Run(*service, "event add 9 100").status);
+  stats = Run(*service, "stats");
+  EXPECT_NE(stats.payload.find(" events_since_checkpoint=1"),
+            std::string::npos)
+      << stats.payload;
+}
+
+TEST_F(DatabaseServiceTest, JournalDisabledStatsSayNone) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  Response stats = Run(*service, "stats");
+  ASSERT_OK(stats.status);
+  EXPECT_NE(stats.payload.find(" journal=none"), std::string::npos)
+      << stats.payload;
 }
 
 }  // namespace

@@ -87,6 +87,90 @@ if [ "$SERVER_EXIT" -ne 0 ]; then
   failures=$((failures + 1))
 fi
 
+# --- session 3: kill -9 after an ack, recover, re-serve ----------------------
+# The ack races nothing: it is sent only after the journal fsync, so an
+# event acknowledged over the socket must survive an immediate SIGKILL.
+# Launched from a subshell so bash never prints a "Killed" job notice.
+( "$CLI" serve "$DIR/db" --listen 127.0.0.1:0 >"$DIR/serve_out3" 2>&1 &
+  echo $! > "$DIR/serve.pid" )
+SERVER_PID="$(cat "$DIR/serve.pid")"
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$DIR/serve_out3" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve_out3")"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'event add 9 100\n' >&3
+ACK=""
+IFS= read -r -t 30 ACK <&3
+exec 3<&- 3>&-
+check "event acked over the socket" "1 ok" <<< "$ACK"
+kill -9 "$SERVER_PID" 2>/dev/null
+while kill -0 "$SERVER_PID" 2>/dev/null; do sleep 0.05; done
+SERVER_PID=""
+
+"$CLI" recover "$DIR/db" > "$DIR/recover_out"
+RECOVER_EXIT=$?
+check "recover replays the journaled ack" "replayed" < "$DIR/recover_out"
+if [ "$RECOVER_EXIT" -ne 4 ]; then
+  echo "FAIL: recover after kill -9 should exit 4, got $RECOVER_EXIT"
+  failures=$((failures + 1))
+fi
+
+"$CLI" serve "$DIR/db" --listen 127.0.0.1:0 >"$DIR/serve_out4" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$DIR/serve_out4" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve_out4")"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'query pw\ndrain\n' >&3
+RESPONSES="$(timeout 30 cat <&3)"
+exec 3<&- 3>&-
+check "killed event visible after re-serve" "1 ok pw=0.75" <<< "$RESPONSES"
+check "re-serve drains cleanly" "2 ok drained=1 final_checkpoint=ok" \
+  <<< "$RESPONSES"
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_EXIT after session 3"
+  failures=$((failures + 1))
+fi
+
+# --- session 4: drain with a doomed final checkpoint -------------------------
+# The ack must carry the failure and the process must exit 5 (so a
+# supervisor triggers `recover` instead of treating the run as clean).
+mkdir "$DIR/db/CURRENT.tmp"   # save's CURRENT staging write now fails
+"$CLI" serve "$DIR/db" --listen 127.0.0.1:0 >"$DIR/serve_out5" 2>"$DIR/serve_err5" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$DIR/serve_out5" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve_out5")"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'drain\n' >&3
+RESPONSES="$(timeout 30 cat <&3)"
+exec 3<&- 3>&-
+check "drain ack names the failed checkpoint" \
+  "1 ok drained=1 final_checkpoint=" <<< "$RESPONSES"
+if grep -qF "final_checkpoint=ok" <<< "$RESPONSES"; then
+  echo "FAIL: drain ack claimed final_checkpoint=ok despite the fault"
+  failures=$((failures + 1))
+fi
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 5 ]; then
+  echo "FAIL: server should exit 5 on a failed final checkpoint, got $SERVER_EXIT"
+  failures=$((failures + 1))
+fi
+check "stderr explains the exit code" "final checkpoint failed" \
+  < "$DIR/serve_err5"
+rmdir "$DIR/db/CURRENT.tmp"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures socket e2e failure(s)"
   exit 1

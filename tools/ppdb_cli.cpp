@@ -11,8 +11,11 @@
 //   ppdb_cli audit <dir> [n]              tail of the audit log
 //   ppdb_cli enforce <dir> <purpose> <visibility> <table> <attrs>
 //                                         preference-enforced read
-//   ppdb_cli recover <dir>                load, report crash leftovers, and
+//   ppdb_cli recover <dir> [--dry-run]    load, report crash leftovers and
+//                                         replayed journal events, and
 //                                         re-commit a clean generation
+//                                         (--dry-run: report only, never
+//                                         mutate the directory)
 //   ppdb_cli serve <dir> [flags]          line-oriented serving loop on
 //                                         stdin/stdout, or over TCP with
 //                                         --listen (see src/server/)
@@ -20,7 +23,8 @@
 //                                         dump the span ring as JSON
 //
 // Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed;
-// 4 recovery succeeded but crash leftovers were discarded.
+// 4 recovery succeeded but crash leftovers were discarded (or journal
+// events replayed); 5 serving completed but the final checkpoint failed.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -65,11 +69,13 @@ int Usage() {
                "  ppdb_cli audit <dir> [n]\n"
                "  ppdb_cli enforce <dir> <purpose> <visibility> <table> "
                "<attr[,attr...]>\n"
-               "  ppdb_cli recover <dir>\n"
+               "  ppdb_cli recover <dir> [--dry-run]\n"
                "  ppdb_cli serve <dir> [--workers N] [--queue K] "
                "[--deadline-ms D] [--checkpoint-every E]\n"
                "                       [--listen <addr:port>] "
                "[--max-conns N] [--idle-timeout-ms D]\n"
+               "                       [--journal-window-us U] "
+               "[--no-journal]\n"
                "  ppdb_cli trace <dir>\n");
   return 2;
 }
@@ -87,11 +93,14 @@ Result<storage::Database> LoadWithWarnings(const std::string& dir) {
   return database;
 }
 
-// recover <dir>: loads whatever committed state survives, prints the
-// recovery report, and re-saves so the directory is a single clean
-// committed generation again. Exit 0 when already clean, 4 when crash
-// leftovers were discarded, 1 when nothing loadable remains.
-int RunRecover(const std::string& dir) {
+// recover <dir> [--dry-run]: loads whatever committed state survives
+// (journal tail replayed on top), prints the recovery report, and
+// re-saves so the directory is a single clean committed generation again.
+// --dry-run prints the same report with the same exit semantics but never
+// mutates the directory, so operators can inspect before repairing. Exit
+// 0 when already clean, 4 when recovery found anything (discards,
+// fallback, or replayed journal events), 1 when nothing loadable remains.
+int RunRecover(const std::string& dir, bool dry_run) {
   // Recovery is often driven from scripts with stdout piped to a pager or
   // log shipper; a consumer hanging up must not kill the re-commit
   // mid-flight. Writes past the hangup fail with EPIPE instead.
@@ -102,8 +111,15 @@ int RunRecover(const std::string& dir) {
   if (!database.ok()) return Fail(database.status());
   std::fputs(report.ToString().c_str(), stdout);
   if (report.clean()) return 0;
-  // Re-commit: the atomic save both establishes a fresh generation and
-  // prunes the stragglers the report named.
+  if (dry_run) {
+    std::printf("dry run: '%s' left untouched (re-run without --dry-run "
+                "to re-commit)\n",
+                dir.c_str());
+    return 4;
+  }
+  // Re-commit: the atomic save establishes a fresh generation, prunes the
+  // stragglers the report named, and seals any replayed journal events
+  // into the new generation.
   Status saved = storage::SaveDatabase(dir, database.value());
   if (!saved.ok()) return Fail(saved);
   std::printf("re-committed '%s' from %s\n", dir.c_str(),
@@ -272,8 +288,11 @@ int RunAudit(const storage::Database& database, const std::string& count) {
 
 // serve <dir> [flags]: the overload-safe serving loop (src/server/) on
 // stdin/stdout, or — with --listen <addr:port> — the TCP front-end on a
-// real socket. Exit 0 even when the final checkpoint fails (the serving
-// itself succeeded); the failure is reported on stderr.
+// real socket. Exit 0 when serving and the final checkpoint both
+// succeeded; exit 5 when serving succeeded but the final checkpoint
+// failed — events acknowledged during the session are still safe in the
+// journal, but the directory needs `recover` (or a successful next serve)
+// to seal them into a generation.
 int RunServe(const std::string& dir, int argc, char** argv) {
   // A client hanging up mid-response must surface as EPIPE on that one
   // connection, never as a process-killing signal.
@@ -282,12 +301,22 @@ int RunServe(const std::string& dir, int argc, char** argv) {
   server::DatabaseService::Options service_options;
   server::net::TcpServer::Options net_options;
   bool listen = false;
-  for (int i = 3; i + 1 < argc; i += 2) {
+  for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--no-journal") {
+      // Checkpoint-granular durability, as before the journal existed.
+      service_options.journal_enabled = false;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "serve flag '%s' expects a value\n", flag.c_str());
+      return Usage();
+    }
+    ++i;
     if (flag == "--listen") {
       // <addr:port>; the port may be 0 for an ephemeral one (the bound
       // port is printed once listening).
-      const std::string endpoint = argv[i + 1];
+      const std::string endpoint = argv[i];
       size_t colon = endpoint.rfind(':');
       if (colon == std::string::npos || colon == 0) {
         std::fprintf(stderr, "--listen expects <addr:port>, got '%s'\n",
@@ -304,7 +333,7 @@ int RunServe(const std::string& dir, int argc, char** argv) {
       listen = true;
       continue;
     }
-    Result<int64_t> value = ParseInt64(argv[i + 1]);
+    Result<int64_t> value = ParseInt64(argv[i]);
     if (!value.ok()) return Fail(value.status());
     if (flag == "--workers") {
       broker_options.num_workers = static_cast<int>(value.value());
@@ -315,6 +344,9 @@ int RunServe(const std::string& dir, int argc, char** argv) {
           std::chrono::milliseconds(value.value());
     } else if (flag == "--checkpoint-every") {
       service_options.checkpoint_every_events = value.value();
+    } else if (flag == "--journal-window-us") {
+      service_options.journal_batch_window =
+          std::chrono::microseconds(value.value());
     } else if (flag == "--max-conns") {
       net_options.max_connections = static_cast<size_t>(value.value());
     } else if (flag == "--idle-timeout-ms") {
@@ -350,8 +382,12 @@ int RunServe(const std::string& dir, int argc, char** argv) {
         server::Serve(std::cin, std::cout, *service.value(), broker);
   }
   if (!final_checkpoint.ok()) {
-    std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+    // Serving succeeded but the data is not sealed into a generation; a
+    // distinct exit code lets supervisors trigger `recover` instead of
+    // treating the run as fully clean.
+    std::fprintf(stderr, "error: final checkpoint failed: %s\n",
                  final_checkpoint.ToString().c_str());
+    return 5;
   }
   return 0;
 }
@@ -413,7 +449,11 @@ int main(int argc, char** argv) {
   const std::string dir = argv[2];
 
   if (command == "demo" && argc == 3) return RunDemo(dir);
-  if (command == "recover" && argc == 3) return RunRecover(dir);
+  if (command == "recover" && argc == 3) return RunRecover(dir, false);
+  if (command == "recover" && argc == 4 &&
+      std::string(argv[3]) == "--dry-run") {
+    return RunRecover(dir, true);
+  }
   if (command == "serve") return RunServe(dir, argc, argv);
 
   Result<storage::Database> database = LoadWithWarnings(dir);

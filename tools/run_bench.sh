@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the violation perf benchmark and the broker saturation benchmark in
-# a dedicated Release build (the `bench` CMake preset) and records their
-# JSON outputs at the repo root (BENCH_perf_violation.json and
-# BENCH_server_broker.json), so the perf and overload trajectories are
-# tracked across PRs.
+# Runs the violation perf benchmark, the broker saturation benchmark, and
+# the journal group-commit benchmark in a dedicated Release build (the
+# `bench` CMake preset) and records their JSON outputs at the repo root
+# (BENCH_perf_violation.json, BENCH_server_broker.json, and
+# BENCH_journal.json), so the perf, overload, and durability-cost
+# trajectories are tracked across PRs.
 #
 # Recording is gated: each JSON must carry
 # `"library_build_type": "release"` (the build type of the ppdb code under
@@ -38,24 +39,30 @@ if [[ ! -x "${build_dir}/bench/bench_perf_violation" ]]; then
   fi
   cmake --preset bench -S "${repo_root}"
 fi
-cmake --build "${build_dir}" -j --target bench_perf_violation bench_server_broker
+cmake --build "${build_dir}" -j \
+  --target bench_perf_violation bench_server_broker bench_journal
 
 bench="${build_dir}/bench/bench_perf_violation"
 broker_bench="${build_dir}/bench/bench_server_broker"
+journal_bench="${build_dir}/bench/bench_journal"
 
 if [[ "${smoke}" == 1 ]]; then
   out_dir="$(mktemp -d)"
   trap 'rm -rf "${out_dir}"' EXIT
   perf_output="${out_dir}/BENCH_perf_violation.json"
   broker_output="${out_dir}/BENCH_server_broker.json"
+  journal_output="${out_dir}/BENCH_journal.json"
   # Keep CI fast: tiny time budget and only one benchmark per family, but
   # always include the kernel benches the release gate exists for.
   perf_flags=(--benchmark_min_time=0.01
               --benchmark_filter='BM_KernelConf|BM_KernelDiff|BM_ViolationAnalyze/1000/2$')
+  journal_flags=(--smoke)
 else
   perf_output="${repo_root}/BENCH_perf_violation.json"
   broker_output="${repo_root}/BENCH_server_broker.json"
+  journal_output="${repo_root}/BENCH_journal.json"
   perf_flags=()
+  journal_flags=()
 fi
 
 # Refuses to record unless the JSON says the code under test was built
@@ -82,6 +89,10 @@ echo "wrote ${perf_output}"
 "${broker_bench}" "${broker_output}"
 require_release "${broker_output}" "bench_server_broker output"
 echo "wrote ${broker_output}"
+
+"${journal_bench}" "${journal_output}" "${journal_flags[@]}"
+require_release "${journal_output}" "bench_journal output"
+echo "wrote ${journal_output}"
 
 # Best-effort summary: vectorized-vs-scalar conf kernel throughput from
 # the run just recorded (items_per_second of BM_KernelConf/<target>).
