@@ -114,6 +114,8 @@ std::string_view RequestKindName(RequestKind kind) {
     case RequestKind::kEventRemovePref: return "event_unpref";
     case RequestKind::kEventSetThreshold: return "event_threshold";
     case RequestKind::kQuery: return "query";
+    case RequestKind::kExpansionCheck: return "expansion_check";
+    case RequestKind::kDriftCheck: return "drift_check";
     case RequestKind::kSave: return "save";
     case RequestKind::kDrain: return "drain";
   }
@@ -127,6 +129,7 @@ bool Request::IsCheap() const {
     case RequestKind::kMetrics:
     case RequestKind::kTrace:
     case RequestKind::kQuery:
+    case RequestKind::kExpansionCheck:
     case RequestKind::kEventAdd:
     case RequestKind::kEventRemove:
     case RequestKind::kEventSetPref:
@@ -293,6 +296,29 @@ Result<Request> ParseRequest(std::string_view line) {
       return request;
     }
     return WrongArity("query", "pw|pdefault|monitor or provider <id>");
+  }
+  if (command == "expansion-check") {
+    // §9 standing query: answered from the maintained view in O(1), so it
+    // rides the priority lane like any other query.
+    if (tokens.size() != 3) {
+      return WrongArity("expansion-check",
+                        "<utility_per_provider> <extra_utility>");
+    }
+    request.kind = RequestKind::kExpansionCheck;
+    PPDB_ASSIGN_OR_RETURN(request.utility_per_provider,
+                          ParseDouble(tokens[1]));
+    if (!(request.utility_per_provider > 0.0)) {
+      return Status::InvalidArgument(
+          "utility_per_provider must be positive (the Eq. 31 algebra "
+          "divides by it)");
+    }
+    PPDB_ASSIGN_OR_RETURN(request.extra_utility, ParseDouble(tokens[2]));
+    return request;
+  }
+  if (command == "driftcheck") {
+    if (tokens.size() != 1) return WrongArity("driftcheck", "no arguments");
+    request.kind = RequestKind::kDriftCheck;
+    return request;
   }
   if (command == "save") {
     if (tokens.size() != 1) return WrongArity("save", "no arguments");

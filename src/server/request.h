@@ -34,6 +34,8 @@ enum class RequestKind {
   kEventRemovePref,
   kEventSetThreshold,
   kQuery,
+  kExpansionCheck,
+  kDriftCheck,
   kSave,
   kDrain,
 };
@@ -63,6 +65,8 @@ std::string_view RequestKindName(RequestKind kind);
 ///   event threshold <provider> <value>
 ///   query pw|pdefault|monitor
 ///   query provider <id>
+///   expansion-check <utility_per_provider> <extra_utility>
+///   driftcheck
 ///   save
 ///   drain
 ///
@@ -90,6 +94,8 @@ struct Request {
   int visibility = 0;                   // event pref
   int granularity = 0;                  // event pref
   int retention = 0;                    // event pref
+  double utility_per_provider = 0.0;    // expansion-check (§9 U)
+  double extra_utility = 0.0;           // expansion-check (§9 T)
 
   /// True for O(|HP|)-or-cheaper requests (events, queries, stats, ping)
   /// that the broker serves from the priority lane.

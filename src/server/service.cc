@@ -15,6 +15,7 @@
 #include "storage/database_io.h"
 #include "violation/default_model.h"
 #include "violation/detector.h"
+#include "violation/incremental.h"
 #include "violation/policy_search.h"
 #include "violation/probability.h"
 #include "violation/what_if.h"
@@ -47,7 +48,8 @@ constexpr RequestKind kAllKinds[] = {
     RequestKind::kSearch,         RequestKind::kEventAdd,
     RequestKind::kEventRemove,    RequestKind::kEventSetPref,
     RequestKind::kEventRemovePref, RequestKind::kEventSetThreshold,
-    RequestKind::kQuery,          RequestKind::kSave,
+    RequestKind::kQuery,          RequestKind::kExpansionCheck,
+    RequestKind::kDriftCheck,     RequestKind::kSave,
     RequestKind::kDrain,
 };
 
@@ -332,6 +334,14 @@ Response DatabaseService::ExecuteLocked(const Request& request,
       ReaderMutexLock lock(mu_);
       return Query(request);
     }
+    case RequestKind::kExpansionCheck: {
+      ReaderMutexLock lock(mu_);
+      return ExpansionCheck(request);
+    }
+    case RequestKind::kDriftCheck: {
+      WriterMutexLock lock(mu_);
+      return DriftCheck();
+    }
     case RequestKind::kEventAdd:
     case RequestKind::kEventRemove:
     case RequestKind::kEventSetPref:
@@ -534,6 +544,21 @@ Response DatabaseService::Event(const Request& request) {
   // memory state rejected. Replay stops at it the same way, so recovery
   // still converges to the acknowledged history.
   if (!status.ok()) return Err(std::move(status));
+  // Periodic drift oracle: at the configured cadence, force a full
+  // recompute and bitwise-compare it against the maintained view. Runs
+  // under the writer lock we already hold. Drift never fails the event —
+  // it is logged, counted, and left for the runbook; the check itself
+  // resets the cadence either way.
+  if (options_.drift_check_every_events > 0 &&
+      ++events_since_drift_check_ >= options_.drift_check_every_events) {
+    events_since_drift_check_ = 0;
+    Result<violation::ViolationView::DriftReport> drift =
+        monitor_.view().CheckDrift();
+    if (drift.ok() && !drift.value().clean) {
+      PPDB_LOG(kWarning) << "periodic drift check failed: "
+                         << drift.value().detail;
+    }
+  }
   // The event itself succeeded even if a due checkpoint failed — that
   // failure lives in last_checkpoint_status and in the breaker.
   return Ok("providers=" + std::to_string(monitor_.num_providers()) +
@@ -576,6 +601,41 @@ Response DatabaseService::Query(const Request& request) {
   return Err(Status::InvalidArgument("unknown query target"));
 }
 
+Response DatabaseService::ExpansionCheck(const Request& request) {
+  Result<violation::ViolationView::ExpansionCheck> check =
+      monitor_.view().CheckExpansion(request.utility_per_provider,
+                                     request.extra_utility);
+  if (!check.ok()) return Err(check.status());
+  const violation::ViolationView::ExpansionCheck& c = check.value();
+  return Ok("justified=" + std::string(c.justified ? "1" : "0") +
+            " n_current=" + std::to_string(c.n_current) +
+            " n_defaulted=" + std::to_string(c.n_defaulted) +
+            " n_future=" + std::to_string(c.n_future) +
+            " utility_current=" + Num(c.utility_current) +
+            " utility_future=" + Num(c.utility_future) +
+            " break_even_extra_utility=" +
+            (c.has_break_even ? Num(c.break_even_extra_utility)
+                              : std::string("none")));
+}
+
+Response DatabaseService::DriftCheck() {
+  Result<violation::ViolationView::DriftReport> report =
+      monitor_.view().CheckDrift();
+  if (!report.ok()) return Err(report.status());
+  const violation::ViolationView::DriftReport& r = report.value();
+  if (!r.clean) {
+    PPDB_LOG(kWarning) << "view drift detected: " << r.detail;
+  }
+  return Ok("clean=" + std::string(r.clean ? "1" : "0") +
+            " providers_checked=" + std::to_string(r.providers_checked) +
+            " mismatched_providers=" +
+            std::to_string(r.mismatched_providers) +
+            " drift_checks_clean=" +
+            std::to_string(monitor_.view().drift_checks_clean()) +
+            " drift_checks_failed=" +
+            std::to_string(monitor_.view().drift_checks_failed()));
+}
+
 Response DatabaseService::Stats() {
   const Status& last = monitor_.last_checkpoint_status();
   // One locked snapshot instead of three separate breaker reads, so state
@@ -593,12 +653,22 @@ Response DatabaseService::Stats() {
                 std::to_string(journal_->active_segment_bytes()) +
                 " journal_records=" +
                 std::to_string(journal_->records_in_segment());
+  // View posture: how the O(Δ) maintenance is doing. delta vs rebuild
+  // event counts tell whether the serve path is actually riding the cheap
+  // lane; nonzero drift_checks_failed is a page (see OBSERVABILITY.md).
+  const violation::ViolationView& view = std::as_const(monitor_).view();
   return Ok(
       "providers=" + std::to_string(monitor_.num_providers()) +
       " violated=" + std::to_string(monitor_.num_violated()) +
       " defaulted=" + std::to_string(monitor_.num_defaulted()) +
       " pw=" + Num(monitor_.ProbabilityOfViolation()) +
       " pdefault=" + Num(monitor_.ProbabilityOfDefault()) +
+      " view_cells=" + std::to_string(view.total_cells()) +
+      " view_delta_events=" + std::to_string(view.delta_events()) +
+      " view_rebuild_events=" + std::to_string(view.rebuild_events()) +
+      " view_last_delta_cells=" + std::to_string(view.last_delta_cells()) +
+      " drift_checks_clean=" + std::to_string(view.drift_checks_clean()) +
+      " drift_checks_failed=" + std::to_string(view.drift_checks_failed()) +
       " breaker=" + std::string(CircuitBreaker::StateName(breaker.state)) +
       " breaker_trips=" + std::to_string(breaker.trips) +
       " breaker_rejected=" + std::to_string(breaker.rejected) +

@@ -73,6 +73,13 @@ class DatabaseService {
     /// Group-commit window: how long a journal flush leader waits for
     /// concurrent events to join its fsync. 0 = sync immediately.
     std::chrono::microseconds journal_batch_window{0};
+    /// Drift-oracle cadence: every N successful mutating events, run a
+    /// full re-analysis and bitwise-compare it against the maintained
+    /// view (the `driftcheck` request does the same on demand). 0
+    /// disables the periodic check. A detected drift is logged and
+    /// counted (ppdb_view_delta_drift_checks_total{result="drift"}) but
+    /// never fails the event that triggered it.
+    int64_t drift_check_every_events = 0;
   };
 
   /// Loads the database at `dir` through `fs` and starts monitoring it.
@@ -134,6 +141,14 @@ class DatabaseService {
   Response Event(const Request& request) PPDB_REQUIRES(mu_);
   Response Query(const Request& request) PPDB_REQUIRES_SHARED(mu_);
   Response Stats() PPDB_REQUIRES_SHARED(mu_);
+  /// §9 expansion inequality from the view's maintained counters — O(1),
+  /// no scan, so it rides the broker's priority lane.
+  Response ExpansionCheck(const Request& request)
+      PPDB_REQUIRES_SHARED(mu_);
+  /// On-demand drift oracle: full O(N·|HP|) re-analysis bitwise-compared
+  /// against the view. Needs the writer lock — CheckDrift bumps the
+  /// view's counters.
+  Response DriftCheck() PPDB_REQUIRES(mu_);
 
   const std::string dir_;
   storage::FileSystem* const fs_;
@@ -156,6 +171,9 @@ class DatabaseService {
   /// Generation holding the last successful checkpoint — the journal's
   /// base. Starts at the loaded generation.
   std::string last_checkpoint_generation_ PPDB_GUARDED_BY(mu_);
+  /// Successful mutating events since the last periodic drift check
+  /// (only advanced when Options::drift_check_every_events > 0).
+  int64_t events_since_drift_check_ PPDB_GUARDED_BY(mu_) = 0;
 
   CircuitBreaker breaker_;
 };

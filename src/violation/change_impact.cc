@@ -3,7 +3,7 @@
 #include <cstdio>
 
 #include "common/macros.h"
-#include "violation/default_model.h"
+#include "violation/incremental.h"
 
 namespace ppdb::violation {
 
@@ -26,47 +26,12 @@ Result<ChangeImpact> AssessPolicyChange(
     const privacy::PrivacyConfig& config,
     const privacy::HousePolicy& new_policy,
     ViolationDetector::Options detector_options) {
-  ChangeImpact impact;
-  impact.diff = privacy::DiffPolicies(config.policy, new_policy);
-
-  ViolationDetector before_detector(&config, detector_options);
-  PPDB_ASSIGN_OR_RETURN(ViolationReport before, before_detector.Analyze());
-  DefaultReport before_defaults = ComputeDefaults(before, config);
-
-  ViolationDetector::Options after_options = detector_options;
-  after_options.policy_override = &new_policy;
-  ViolationDetector after_detector(&config, after_options);
-  PPDB_ASSIGN_OR_RETURN(ViolationReport after, after_detector.Analyze());
-  DefaultReport after_defaults = ComputeDefaults(after, config);
-
-  impact.p_violation_before = before.ProbabilityOfViolation();
-  impact.p_violation_after = after.ProbabilityOfViolation();
-  impact.p_default_before = before_defaults.ProbabilityOfDefault();
-  impact.p_default_after = after_defaults.ProbabilityOfDefault();
-  impact.total_violations_before = before.total_severity;
-  impact.total_violations_after = after.total_severity;
-
-  // Both reports cover the identical, sorted provider set (same config
-  // population); walk them in lockstep.
-  PPDB_CHECK(before.providers.size() == after.providers.size());
-  for (size_t i = 0; i < before.providers.size(); ++i) {
-    const ProviderViolation& b = before.providers[i];
-    const ProviderViolation& a = after.providers[i];
-    PPDB_CHECK(b.provider == a.provider);
-    if (!b.violated && a.violated) {
-      impact.newly_violated.push_back(a.provider);
-    } else if (b.violated && !a.violated) {
-      impact.no_longer_violated.push_back(a.provider);
-    }
-    bool defaulted_before = before_defaults.providers[i].defaulted;
-    bool defaulted_after = after_defaults.providers[i].defaulted;
-    if (!defaulted_before && defaulted_after) {
-      impact.newly_defaulted.push_back(a.provider);
-    } else if (defaulted_before && !defaulted_after) {
-      impact.recovered.push_back(a.provider);
-    }
-  }
-  return impact;
+  // One view materialization replaces the old two full scans: the before
+  // side is read from maintained state, and a level-only change computes
+  // the after side from positional deltas (O(N·Δ) instead of O(N·|HP|)).
+  PPDB_ASSIGN_OR_RETURN(ViolationView view,
+                        ViolationView::Create(&config, detector_options));
+  return view.AssessPolicyChange(new_policy);
 }
 
 }  // namespace ppdb::violation

@@ -6,324 +6,34 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
-#include "privacy/dimension.h"
 #include "privacy/tuple_columns.h"
+#include "violation/analysis_core.h"
 #include "violation/kernel/severity_kernel.h"
 #include "violation/metrics.h"
 
 namespace ppdb::violation {
 
-using privacy::PreferenceTuple;
 using privacy::PrivacyTuple;
 using privacy::ProviderPreferences;
 
 namespace {
 
-/// Providers per shard of the parallel Analyze loop. Fixed — and in
-/// particular independent of the thread count — so shard boundaries and the
-/// merge order are deterministic at any parallelism.
-constexpr int64_t kProviderGrain = 512;
+/// Providers per shard of the parallel Analyze loop: one canonical
+/// reduction block (see analysis_core.h). Fixed — and in particular
+/// independent of the thread count — so shard boundaries, the merge order,
+/// and the association shape of the Eq. 16 sum are deterministic at any
+/// parallelism and identical to the incremental view's aggregation tree.
+constexpr int64_t kProviderGrain = internal::kSeverityReduceBlock;
 
 /// Providers analyzed between deadline polls inside a shard. Coarse enough
 /// that the steady_clock read is noise, fine enough that an expired
 /// request releases its worker within a few hundred providers.
 constexpr int64_t kDeadlineStride = 128;
-
-/// One house-policy tuple preprocessed for the per-provider inner loop: the
-/// interned attribute id and the precomputed ancestor purposes (hierarchy
-/// extension), so neither is recomputed per provider.
-struct PreparedPolicyTuple {
-  const privacy::PolicyTuple* policy = nullptr;
-  int32_t attr_id = -1;
-  std::vector<privacy::PurposeId> ancestors;
-};
-
-struct PreparedPolicy {
-  std::vector<PreparedPolicyTuple> tuples;
-  /// The policy's own tuple storage, for column builders that consume the
-  /// raw (attribute, tuple) sequence.
-  const std::vector<privacy::PolicyTuple>* source = nullptr;
-  /// Interned policy attribute names; views into the policy's own strings.
-  std::vector<std::string_view> attributes;
-  std::unordered_map<std::string_view, int32_t> attr_ids;
-
-  /// The interned id of `attribute`, or -1 when the policy never mentions
-  /// it (no comparable policy tuple can exist, Eq. 13).
-  int32_t AttrId(std::string_view attribute) const {
-    auto it = attr_ids.find(attribute);
-    return it == attr_ids.end() ? -1 : it->second;
-  }
-};
-
-PreparedPolicy PreparePolicy(const privacy::HousePolicy& policy,
-                             const privacy::PurposeHierarchy* hierarchy) {
-  PreparedPolicy out;
-  out.source = &policy.tuples();
-  out.tuples.reserve(policy.tuples().size());
-  for (const privacy::PolicyTuple& pt : policy.tuples()) {
-    PreparedPolicyTuple prepared;
-    prepared.policy = &pt;
-    auto [it, inserted] = out.attr_ids.try_emplace(
-        pt.attribute, static_cast<int32_t>(out.attributes.size()));
-    if (inserted) out.attributes.push_back(pt.attribute);
-    prepared.attr_id = it->second;
-    if (hierarchy != nullptr) {
-      prepared.ancestors = hierarchy->AncestorsOf(pt.tuple.purpose);
-    }
-    out.tuples.push_back(std::move(prepared));
-  }
-  return out;
-}
-
-/// The flattened preference index: each analyzed provider's stated
-/// preferences for policy attributes, packed into one contiguous array with
-/// every provider's slice sorted by (attr_id, purpose). The hot loop does
-/// binary search over flat memory instead of a per-(provider, policy tuple)
-/// map lookup plus linear string scan.
-struct FlatPreferenceIndex {
-  struct Entry {
-    int32_t attr_id = 0;
-    privacy::PurposeId purpose = 0;
-    PrivacyTuple tuple;
-  };
-  std::vector<Entry> entries;
-  /// Provider at position i of the sorted provider list owns
-  /// entries[offsets[i] .. offsets[i + 1]).
-  std::vector<size_t> offsets;
-
-  const PrivacyTuple* Find(size_t position, int32_t attr_id,
-                           privacy::PurposeId purpose) const {
-    const Entry* begin = entries.data() + offsets[position];
-    const Entry* end = entries.data() + offsets[position + 1];
-    const std::pair<int32_t, privacy::PurposeId> key(attr_id, purpose);
-    const Entry* it = std::lower_bound(
-        begin, end, key,
-        [](const Entry& e, const std::pair<int32_t, privacy::PurposeId>& k) {
-          return std::pair(e.attr_id, e.purpose) < k;
-        });
-    if (it != end && it->attr_id == attr_id && it->purpose == purpose) {
-      return &it->tuple;
-    }
-    return nullptr;
-  }
-};
-
-FlatPreferenceIndex BuildIndex(const std::vector<ProviderId>& providers,
-                               const privacy::PreferenceStore& store,
-                               const PreparedPolicy& policy) {
-  FlatPreferenceIndex index;
-  index.offsets.reserve(providers.size() + 1);
-  index.offsets.push_back(0);
-  // Resolve every provider once up front so `entries` can be reserved
-  // exactly — regrowing a multi-megabyte vector dominates index build time
-  // at census scale.
-  std::vector<const ProviderPreferences*> resolved;
-  resolved.reserve(providers.size());
-  size_t total_tuples = 0;
-  for (ProviderId id : providers) {
-    Result<const ProviderPreferences*> found = store.Find(id);
-    const ProviderPreferences* prefs = found.ok() ? found.value() : nullptr;
-    resolved.push_back(prefs);
-    if (prefs != nullptr) total_tuples += prefs->tuples().size();
-  }
-  index.entries.reserve(total_tuples);
-  for (const ProviderPreferences* prefs : resolved) {
-    if (prefs != nullptr) {
-      const size_t slice_begin = index.entries.size();
-      for (const PreferenceTuple& pt : prefs->tuples()) {
-        int32_t attr_id = policy.AttrId(pt.attribute);
-        if (attr_id < 0) continue;
-        index.entries.push_back(
-            FlatPreferenceIndex::Entry{attr_id, pt.tuple.purpose, pt.tuple});
-      }
-      std::sort(index.entries.begin() + static_cast<int64_t>(slice_begin),
-                index.entries.end(),
-                [](const FlatPreferenceIndex::Entry& a,
-                   const FlatPreferenceIndex::Entry& b) {
-                  return std::pair(a.attr_id, a.purpose) <
-                         std::pair(b.attr_id, b.purpose);
-                });
-    }
-    index.offsets.push_back(index.entries.size());
-  }
-  return index;
-}
-
-/// Per-thread buffers for the kernel-backed provider analysis, reused
-/// across providers so the hot loop never allocates: the preference-side
-/// row columns and kernel outputs, the provider σ columns (filled only for
-/// providers with explicit entries), and the violated-attribute dedupe
-/// scratch.
-struct AnalysisScratch {
-  kernel::RowScratch row;
-  privacy::SensitivityColumns provider_sens;
-  std::vector<std::string_view> violated_attributes;
-};
-
-/// The Def. 1 / Eq. 14-15 evaluation for one provider, in three passes:
-/// build the preference row (SoA columns aligned with the policy columns),
-/// run the batched severity kernel over it (Eqs. 12-14), then reduce and —
-/// only for exceeding rows — reconstruct the per-dimension incidents.
-/// `find_pref` resolves (attr_id, attribute, purpose) to the provider's
-/// stated tuple or nullptr.
-template <typename FindPref>
-ProviderViolation AnalyzeOne(const privacy::PrivacyConfig& config,
-                             const ViolationDetector::Options& options,
-                             const PreparedPolicy& policy,
-                             const privacy::PolicyColumns& columns,
-                             const privacy::SensitivityColumns& unit_sens,
-                             ProviderId provider, FindPref&& find_pref,
-                             AnalysisScratch& scratch) {
-  ProviderViolation out;
-  out.provider = provider;
-  scratch.violated_attributes.clear();
-
-  const size_t n = policy.tuples.size();
-  kernel::RowScratch& row = scratch.row;
-  row.Resize(n);
-
-  // Pass 1 — row build. Select the preference tuple Def. 1 compares
-  // against each policy tuple: stated for (a, purpose); else (with the
-  // hierarchy extension) the most specific stated preference for an
-  // ancestor purpose; else the implicit zero tuple. Pairs Def. 1 excludes
-  // outright get active = 0 and contribute exactly nothing downstream.
-  for (size_t j = 0; j < n; ++j) {
-    const PreparedPolicyTuple& prepared = policy.tuples[j];
-    const privacy::PolicyTuple& policy_tuple = *prepared.policy;
-    row.active[j] = 0;
-    row.implicit[j] = 0;
-    row.pref_v[j] = 0;
-    row.pref_g[j] = 0;
-    row.pref_r[j] = 0;
-
-    // Data scoping: with a table, only attributes the provider actually
-    // supplies (a non-null datum in some owned row) are in play. Providers
-    // absent from the table supply no data and incur no violations.
-    if (options.data_table != nullptr) {
-      Result<bool> supplies = options.data_table->ProviderSuppliesAttribute(
-          provider, policy_tuple.attribute);
-      if (!supplies.ok() || !supplies.value()) continue;
-    }
-
-    const PrivacyTuple* pref = find_pref(
-        prepared.attr_id, policy_tuple.attribute, policy_tuple.tuple.purpose);
-    if (pref == nullptr) {
-      // Consent to an ancestor purpose covers this specialization; only
-      // the levels matter to the kernel, so no purpose rebase is needed.
-      for (privacy::PurposeId ancestor : prepared.ancestors) {
-        pref = find_pref(prepared.attr_id, policy_tuple.attribute, ancestor);
-        if (pref != nullptr) break;
-      }
-    }
-    if (pref != nullptr) {
-      row.pref_v[j] = pref->visibility;
-      row.pref_g[j] = pref->granularity;
-      row.pref_r[j] = pref->retention;
-    } else {
-      if (!options.implicit_zero_preferences) continue;
-      const PrivacyTuple zero =
-          PrivacyTuple::ZeroFor(policy_tuple.tuple.purpose);
-      row.pref_v[j] = zero.visibility;
-      row.pref_g[j] = zero.granularity;
-      row.pref_r[j] = zero.retention;
-      row.implicit[j] = 1;
-    }
-    row.active[j] = -1;
-  }
-
-  // σ_i columns: the shared all-ones preset unless this provider has
-  // explicit entries — the common census-scale case skips the per-tuple
-  // map lookups entirely.
-  const privacy::SensitivityColumns* sens = &unit_sens;
-  if (config.sensitivities.HasEntriesFor(provider)) {
-    scratch.provider_sens.FillFor(config.sensitivities, provider,
-                                  *policy.source);
-    sens = &scratch.provider_sens;
-  }
-
-  // Pass 2 — the batched Eqs. 12-14 kernel over all n pairs.
-  kernel::ConfInput in;
-  in.pref_v = row.pref_v.data();
-  in.pref_g = row.pref_g.data();
-  in.pref_r = row.pref_r.data();
-  in.pol_v = columns.levels.visibility.data();
-  in.pol_g = columns.levels.granularity.data();
-  in.pol_r = columns.levels.retention.data();
-  in.attr_sens = columns.attr_sens.data();
-  in.sens_val = sens->value.data();
-  in.sens_v = sens->visibility.data();
-  in.sens_g = sens->granularity.data();
-  in.sens_r = sens->retention.data();
-  in.active = row.active.data();
-  const bool any_exceed = kernel::ConfKernel(in, row.Output(), n);
-
-  // Eq. 15: the sum over tuples is association-sensitive, so it stays
-  // scalar and in tuple order regardless of dispatch target. Inactive
-  // rows contribute exactly +0.0, a bitwise no-op on the non-negative
-  // running total.
-  for (size_t j = 0; j < n; ++j) out.total_severity += row.conf[j];
-
-  // Pass 3 — incident reconstruction, entered only when some pair
-  // exceeded. Scans rows in tuple order and dimensions in the fixed
-  // V, G, R order, so incidents match the pair-at-a-time path exactly.
-  if (any_exceed) {
-    for (size_t j = 0; j < n; ++j) {
-      const int32_t diffs[3] = {row.diff_v[j], row.diff_g[j], row.diff_r[j]};
-      if ((diffs[0] | diffs[1] | diffs[2]) == 0) continue;
-      const privacy::PolicyTuple& policy_tuple = *policy.tuples[j].policy;
-      out.violated = true;
-      if (std::find(scratch.violated_attributes.begin(),
-                    scratch.violated_attributes.end(),
-                    std::string_view(policy_tuple.attribute)) ==
-          scratch.violated_attributes.end()) {
-        scratch.violated_attributes.push_back(policy_tuple.attribute);
-      }
-      if (out.incidents.empty()) {
-        // One up-front reservation per violated provider, sized to the
-        // policy (see the allocation note in detector.h).
-        out.incidents.reserve(n);
-      }
-      const int32_t pref_levels[3] = {row.pref_v[j], row.pref_g[j],
-                                      row.pref_r[j]};
-      const int32_t policy_levels[3] = {columns.levels.visibility[j],
-                                        columns.levels.granularity[j],
-                                        columns.levels.retention[j]};
-      const double dim_sens[3] = {sens->visibility[j], sens->granularity[j],
-                                  sens->retention[j]};
-      for (size_t d = 0; d < privacy::kOrderedDimensions.size(); ++d) {
-        if (diffs[d] <= 0) continue;
-        // Recompute the Eq. 14 summand with the kernel's exact operation
-        // chain, so the stored weighted severity is bit-for-bit the one
-        // that entered conf.
-        const double weighted = static_cast<double>(diffs[d]) *
-                                columns.attr_sens[j] * sens->value[j] *
-                                dim_sens[d];
-        ViolationIncident incident;
-        incident.provider = provider;
-        incident.attribute = policy_tuple.attribute;
-        incident.purpose = policy_tuple.tuple.purpose;
-        incident.dimension = privacy::kOrderedDimensions[d];
-        incident.preference_level = pref_levels[d];
-        incident.policy_level = policy_levels[d];
-        incident.diff = diffs[d];
-        incident.weighted_severity = weighted;
-        incident.from_implicit_preference = row.implicit[j] != 0;
-        out.max_incident_severity =
-            std::max(out.max_incident_severity, weighted);
-        out.incidents.push_back(std::move(incident));
-      }
-    }
-  }
-  out.num_attributes_violated =
-      static_cast<int>(scratch.violated_attributes.size());
-  return out;
-}
 
 }  // namespace
 
@@ -353,14 +63,15 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
   const privacy::HousePolicy& house_policy =
       options_.policy_override != nullptr ? *options_.policy_override
                                           : config_->policy;
-  PreparedPolicy prepared;
-  FlatPreferenceIndex index;
+  internal::PreparedPolicy prepared;
+  internal::FlatPreferenceIndex index;
   privacy::PolicyColumns columns;
   privacy::SensitivityColumns unit_sens;
   {
     obs::SpanScope span("index_build");
-    prepared = PreparePolicy(house_policy, options_.purpose_hierarchy);
-    index = BuildIndex(providers, config_->preferences, prepared);
+    prepared = internal::PreparePolicy(house_policy,
+                                       options_.purpose_hierarchy);
+    index = internal::BuildIndex(providers, config_->preferences, prepared);
     // Policy-side columns are provider-invariant: built once, streamed by
     // every shard. The all-ones σ preset serves every provider without
     // explicit sensitivity entries.
@@ -392,7 +103,7 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
           std::vector<ProviderViolation>& out =
               partials[static_cast<size_t>(shard)];
           out.reserve(static_cast<size_t>(end - begin));
-          AnalysisScratch scratch;
+          internal::AnalysisScratch scratch;
           for (int64_t i = begin; i < end; ++i) {
             if ((i - begin) % kDeadlineStride == 0 &&
                 options_.deadline.Expired()) {
@@ -405,9 +116,10 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
                                  privacy::PurposeId purpose) {
               return index.Find(position, attr_id, purpose);
             };
-            out.push_back(AnalyzeOne(*config_, options_, prepared, columns,
-                                     unit_sens, providers[position], find_pref,
-                                     scratch));
+            out.push_back(internal::AnalyzeOne(*config_, options_, prepared,
+                                               columns, unit_sens,
+                                               providers[position], find_pref,
+                                               scratch));
           }
         });
   }
@@ -440,10 +152,16 @@ Result<ViolationReport> ViolationDetector::AnalyzeProviders(
         report.providers.push_back(std::move(pv));
       }
     }
-    // Aggregate in final provider order — the same addition sequence as the
-    // serial loop, so totals are bitwise-identical at any thread count.
+    // Aggregate in the canonical blocked shape (analysis_core.h): flat
+    // within each kSeverityReduceBlock-provider block of the final provider
+    // order, block partials summed in block order. Independent of the
+    // thread count — one shard is one block — and mirrored exactly by the
+    // incremental view's aggregation tree, so full scans and maintained
+    // state agree bitwise.
+    report.total_severity = internal::BlockedSeveritySum(
+        static_cast<int64_t>(report.providers.size()),
+        [&](int64_t i) { return report.providers[i].total_severity; });
     for (const ProviderViolation& pv : report.providers) {
-      report.total_severity += pv.total_severity;
       if (pv.violated) ++report.num_violated;
     }
   }
@@ -464,8 +182,8 @@ Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
   const privacy::HousePolicy& house_policy =
       options_.policy_override != nullptr ? *options_.policy_override
                                           : config_->policy;
-  const PreparedPolicy prepared =
-      PreparePolicy(house_policy, options_.purpose_hierarchy);
+  const internal::PreparedPolicy prepared =
+      internal::PreparePolicy(house_policy, options_.purpose_hierarchy);
   const privacy::PolicyColumns columns =
       privacy::PolicyColumns::Build(house_policy.tuples(),
                                     config_->sensitivities);
@@ -484,7 +202,7 @@ Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
       config_->preferences.Find(provider);
   if (found.ok()) prefs = found.value();
 
-  AnalysisScratch scratch;
+  internal::AnalysisScratch scratch;
   PrivacyTuple stated_storage;
   auto find_pref = [&](int32_t /*attr_id*/, std::string_view attribute,
                        privacy::PurposeId purpose) -> const PrivacyTuple* {
@@ -493,8 +211,8 @@ Result<ProviderViolation> ViolationDetector::AnalyzeProvider(
     stated_storage = std::move(stated).value();
     return &stated_storage;
   };
-  return AnalyzeOne(*config_, options_, prepared, columns, unit_sens, provider,
-                    find_pref, scratch);
+  return internal::AnalyzeOne(*config_, options_, prepared, columns, unit_sens,
+                              provider, find_pref, scratch);
 }
 
 }  // namespace ppdb::violation

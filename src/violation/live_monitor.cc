@@ -9,7 +9,7 @@ namespace ppdb::violation {
 
 namespace {
 
-/// Mirrors the monitor's O(1) aggregates into the violation gauges. Called
+/// Mirrors the view's O(1) aggregates into the violation gauges. Called
 /// after every population change so a scrape between full scans still sees
 /// current values.
 void PublishGauges(const LivePopulationMonitor& monitor) {
@@ -26,53 +26,26 @@ Result<LivePopulationMonitor> LivePopulationMonitor::Create(
     privacy::PrivacyConfig config,
     ViolationDetector::Options detector_options) {
   LivePopulationMonitor monitor(std::move(config), detector_options);
-  for (ProviderId provider : monitor.config_.preferences.ProviderIds()) {
-    PPDB_RETURN_NOT_OK(monitor.Refresh(provider));
-  }
+  PPDB_ASSIGN_OR_RETURN(
+      ViolationView view,
+      ViolationView::Create(monitor.config_.get(), detector_options));
+  monitor.view_.emplace(std::move(view));
+  // Registers the ppdb_violation_* families at startup and resets the
+  // population gauges for this (new) monitored population.
+  PublishGauges(monitor);
   return monitor;
 }
 
 LivePopulationMonitor::LivePopulationMonitor(
     privacy::PrivacyConfig config, ViolationDetector::Options detector_options)
-    : config_(std::move(config)), detector_options_(detector_options) {
-  // Registers the ppdb_violation_* families at startup and resets the
-  // population gauges for this (new) monitored population.
-  PublishGauges(*this);
-}
-
-void LivePopulationMonitor::Retract(const State& state) {
-  if (state.violation.violated) --num_violated_;
-  if (state.defaulted) --num_defaulted_;
-  total_severity_ -= state.violation.total_severity;
-}
-
-void LivePopulationMonitor::Apply(const State& state) {
-  if (state.violation.violated) ++num_violated_;
-  if (state.defaulted) ++num_defaulted_;
-  total_severity_ += state.violation.total_severity;
-}
-
-Status LivePopulationMonitor::Refresh(ProviderId provider) {
-  ViolationDetector detector(&config_, detector_options_);
-  PPDB_ASSIGN_OR_RETURN(ProviderViolation pv,
-                        detector.AnalyzeProvider(provider));
-  State state;
-  state.defaulted = pv.total_severity > config_.ThresholdFor(provider);
-  state.violation = std::move(pv);
-
-  auto it = states_.find(provider);
-  if (it != states_.end()) Retract(it->second);
-  Apply(state);
-  states_[provider] = std::move(state);
-  PublishGauges(*this);
-  return Status::OK();
-}
+    : config_(std::make_unique<privacy::PrivacyConfig>(std::move(config))),
+      detector_options_(detector_options) {}
 
 Status LivePopulationMonitor::CheckpointNow() {
   if (!hook_.save) {
     return Status::FailedPrecondition("no checkpoint hook installed");
   }
-  Status status = hook_.save(config_);
+  Status status = hook_.save(*config_);
   last_checkpoint_status_ = status;
   if (status.ok()) {
     ++checkpoints_taken_;
@@ -93,29 +66,26 @@ Status LivePopulationMonitor::CountEvent() {
 
 Status LivePopulationMonitor::AddProvider(ProviderId provider,
                                           double threshold) {
-  if (states_.contains(provider)) {
+  if (config_->preferences.Contains(provider)) {
     return Status::AlreadyExists("provider " + std::to_string(provider) +
                                  " is already monitored");
   }
-  config_.preferences.ForProvider(provider);  // Creates the empty entry.
-  config_.thresholds[provider] = threshold;
-  PPDB_RETURN_NOT_OK(Refresh(provider));
+  config_->preferences.ForProvider(provider);  // Creates the empty entry.
+  config_->thresholds[provider] = threshold;
+  PPDB_RETURN_NOT_OK(view_->OnProviderAdded(provider));
+  PublishGauges(*this);
   (void)CountEvent();  // Checkpoint outcome lands in last_checkpoint_status.
   return Status::OK();
 }
 
 Status LivePopulationMonitor::RemoveProvider(ProviderId provider) {
-  auto it = states_.find(provider);
-  if (it == states_.end()) {
+  if (!config_->preferences.Contains(provider)) {
     return Status::NotFound("provider " + std::to_string(provider) +
                             " is not monitored");
   }
-  Retract(it->second);
-  states_.erase(it);
-  if (config_.preferences.Contains(provider)) {
-    PPDB_RETURN_NOT_OK(config_.preferences.Erase(provider));
-  }
-  config_.thresholds.erase(provider);
+  PPDB_RETURN_NOT_OK(config_->preferences.Erase(provider));
+  config_->thresholds.erase(provider);
+  PPDB_RETURN_NOT_OK(view_->OnProviderRemoved(provider));
   PublishGauges(*this);
   (void)CountEvent();
   return Status::OK();
@@ -124,9 +94,11 @@ Status LivePopulationMonitor::RemoveProvider(ProviderId provider) {
 Status LivePopulationMonitor::SetPreference(
     ProviderId provider, std::string_view attribute,
     const privacy::PrivacyTuple& tuple) {
-  PPDB_RETURN_NOT_OK(tuple.ValidateAgainst(config_.scales));
-  config_.preferences.ForProvider(provider).Set(attribute, tuple);
-  PPDB_RETURN_NOT_OK(Refresh(provider));
+  PPDB_RETURN_NOT_OK(tuple.ValidateAgainst(config_->scales));
+  config_->preferences.ForProvider(provider).Set(attribute, tuple);
+  PPDB_RETURN_NOT_OK(
+      view_->OnPreferenceChanged(provider, attribute, tuple.purpose));
+  PublishGauges(*this);
   (void)CountEvent();
   return Status::OK();
 }
@@ -134,78 +106,51 @@ Status LivePopulationMonitor::SetPreference(
 Status LivePopulationMonitor::RemovePreference(ProviderId provider,
                                                std::string_view attribute,
                                                privacy::PurposeId purpose) {
-  if (!config_.preferences.Contains(provider)) {
+  if (!config_->preferences.Contains(provider)) {
     return Status::NotFound("provider " + std::to_string(provider) +
                             " is not monitored");
   }
   PPDB_RETURN_NOT_OK(
-      config_.preferences.ForProvider(provider).Remove(attribute, purpose));
-  PPDB_RETURN_NOT_OK(Refresh(provider));
+      config_->preferences.ForProvider(provider).Remove(attribute, purpose));
+  PPDB_RETURN_NOT_OK(view_->OnPreferenceChanged(provider, attribute, purpose));
+  PublishGauges(*this);
   (void)CountEvent();
   return Status::OK();
 }
 
 Status LivePopulationMonitor::SetThreshold(ProviderId provider,
                                            double threshold) {
-  auto it = states_.find(provider);
-  if (it == states_.end()) {
+  if (!config_->preferences.Contains(provider)) {
     return Status::NotFound("provider " + std::to_string(provider) +
                             " is not monitored");
   }
   if (threshold < 0.0) {
     return Status::InvalidArgument("threshold must be non-negative");
   }
-  config_.thresholds[provider] = threshold;
+  config_->thresholds[provider] = threshold;
   // Severity is unchanged; only the default bit can flip.
-  bool defaulted = it->second.violation.total_severity > threshold;
-  if (defaulted != it->second.defaulted) {
-    num_defaulted_ += defaulted ? 1 : -1;
-    it->second.defaulted = defaulted;
-    PublishGauges(*this);
-  }
+  PPDB_RETURN_NOT_OK(view_->OnThresholdChanged(provider));
+  PublishGauges(*this);
   (void)CountEvent();
   return Status::OK();
 }
 
 Status LivePopulationMonitor::SetPolicy(privacy::HousePolicy policy) {
-  PPDB_RETURN_NOT_OK(policy.ValidateAgainst(config_.scales));
-  config_.policy = std::move(policy);
-  for (auto& [provider, state] : states_) {
-    (void)state;
-    PPDB_RETURN_NOT_OK(Refresh(provider));
-  }
+  PPDB_RETURN_NOT_OK(policy.ValidateAgainst(config_->scales));
+  config_->policy = std::move(policy);
+  PPDB_RETURN_NOT_OK(view_->OnPolicyChanged());
+  PublishGauges(*this);
   (void)CountEvent();
   return Status::OK();
 }
 
 Result<ProviderViolation> LivePopulationMonitor::ForProvider(
     ProviderId provider) const {
-  auto it = states_.find(provider);
-  if (it == states_.end()) {
-    return Status::NotFound("provider " + std::to_string(provider) +
-                            " is not monitored");
-  }
-  return it->second.violation;
+  return view_->MaterializeProvider(provider);
 }
 
 Result<bool> LivePopulationMonitor::IsDefaulted(ProviderId provider) const {
-  auto it = states_.find(provider);
-  if (it == states_.end()) {
-    return Status::NotFound("provider " + std::to_string(provider) +
-                            " is not monitored");
-  }
-  return it->second.defaulted;
-}
-
-ViolationReport LivePopulationMonitor::Snapshot() const {
-  ViolationReport report;
-  report.providers.reserve(states_.size());
-  for (const auto& [provider, state] : states_) {
-    report.providers.push_back(state.violation);
-    if (state.violation.violated) ++report.num_violated;
-    report.total_severity += state.violation.total_severity;
-  }
-  return report;
+  return view_->IsDefaulted(provider);
 }
 
 }  // namespace ppdb::violation

@@ -3,7 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
+#include <optional>
 #include <string_view>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "privacy/config.h"
 #include "violation/default_model.h"
 #include "violation/detector.h"
+#include "violation/incremental.h"
 
 namespace ppdb::violation {
 
@@ -18,10 +20,12 @@ namespace ppdb::violation {
 ///
 /// §2 wants providers to "continuously monitor the state of their
 /// privacy"; recomputing Def. 1 over everyone on every event is O(N·|HP|).
-/// The live monitor keeps per-provider results and the P(W)/P(Default)
-/// aggregates up to date in O(|HP|) per provider event (joins, departures,
-/// preference or threshold edits) and O(N·|HP|) only on policy changes,
-/// which affect everyone by definition.
+/// The monitor owns the config and a `ViolationView` over it: every event
+/// mutates the config, then notifies the view, which recomputes only the
+/// affected cells (O(Δ) — a preference edit touches the cells that can see
+/// it, a threshold move touches none, a same-shape policy change touches
+/// the moved columns) while keeping per-provider results and the
+/// P(W)/P(Default) aggregates bitwise-identical to a full re-analysis.
 ///
 /// Thread safety: thread-compatible, externally synchronized. The monitor
 /// holds no mutex of its own; `DatabaseService` serializes every mutation
@@ -37,8 +41,8 @@ namespace ppdb::violation {
 ///   double pw = monitor.ProbabilityOfViolation();   // O(1)
 class LivePopulationMonitor {
  public:
-  /// Takes ownership of the config and computes the initial state for
-  /// every provider in its preference store.
+  /// Takes ownership of the config and materializes the view for every
+  /// provider in its preference store.
   static Result<LivePopulationMonitor> Create(
       privacy::PrivacyConfig config,
       ViolationDetector::Options detector_options = {});
@@ -56,19 +60,20 @@ class LivePopulationMonitor {
   /// Removes a provider entirely (preferences, threshold, results).
   Status RemoveProvider(ProviderId provider);
 
-  /// Upserts one preference tuple and refreshes that provider.
+  /// Upserts one preference tuple and delta-refreshes that provider.
   Status SetPreference(ProviderId provider, std::string_view attribute,
                        const privacy::PrivacyTuple& tuple);
 
-  /// Removes one stated preference and refreshes that provider.
+  /// Removes one stated preference and delta-refreshes that provider.
   Status RemovePreference(ProviderId provider, std::string_view attribute,
                           privacy::PurposeId purpose);
 
   /// Updates a provider's default threshold v_i and refreshes the default
-  /// bit.
+  /// bit (no cells are touched — severity cannot change).
   Status SetThreshold(ProviderId provider, double threshold);
 
-  /// Replaces the house policy; refreshes every provider.
+  /// Replaces the house policy. A level-only change delta-refreshes the
+  /// moved columns; a shape change rebuilds the view.
   Status SetPolicy(privacy::HousePolicy policy);
 
   // --- durability -------------------------------------------------------
@@ -111,68 +116,61 @@ class LivePopulationMonitor {
 
   // --- queries (O(1) unless noted) --------------------------------------
 
-  int64_t num_providers() const {
-    return static_cast<int64_t>(states_.size());
-  }
-  int64_t num_violated() const { return num_violated_; }
-  int64_t num_defaulted() const { return num_defaulted_; }
+  int64_t num_providers() const { return view_->num_providers(); }
+  int64_t num_violated() const { return view_->num_violated(); }
+  int64_t num_defaulted() const { return view_->num_defaulted(); }
 
   /// Violations (Eq. 16) over the current population.
-  double TotalViolations() const { return total_severity_; }
+  double TotalViolations() const { return view_->TotalViolations(); }
 
   /// Census P(W); 0 when empty.
   double ProbabilityOfViolation() const {
-    return states_.empty() ? 0.0
-                           : static_cast<double>(num_violated_) /
-                                 static_cast<double>(states_.size());
+    return view_->ProbabilityOfViolation();
   }
 
   /// Census P(Default); 0 when empty.
   double ProbabilityOfDefault() const {
-    return states_.empty() ? 0.0
-                           : static_cast<double>(num_defaulted_) /
-                                 static_cast<double>(states_.size());
+    return view_->ProbabilityOfDefault();
   }
 
-  /// Current per-provider result; kNotFound when absent. O(log N).
+  /// Current per-provider result; kNotFound when absent. O(|HP|) — the
+  /// view materializes incidents on demand.
   Result<ProviderViolation> ForProvider(ProviderId provider) const;
 
   /// True iff the provider currently exceeds their threshold.
   Result<bool> IsDefaulted(ProviderId provider) const;
 
   /// The monitored configuration (read-only; mutate via the event API so
-  /// the caches stay consistent).
-  const privacy::PrivacyConfig& config() const { return config_; }
+  /// the view stays consistent).
+  const privacy::PrivacyConfig& config() const { return *config_; }
+
+  /// The maintained view, for queries answered from materialized state
+  /// (expansion checks, what-if) and for the drift oracle. The non-const
+  /// overload exists because `CheckDrift`/`RebuildAll` bump counters; it
+  /// must only be used under the owner's writer lock.
+  const ViolationView& view() const { return *view_; }
+  ViolationView& view() { return *view_; }
 
   /// Materializes a full ViolationReport equivalent to running the batch
   /// detector now. O(N).
-  ViolationReport Snapshot() const;
+  ViolationReport Snapshot() const { return view_->Snapshot(); }
 
  private:
   LivePopulationMonitor(privacy::PrivacyConfig config,
                         ViolationDetector::Options detector_options);
-
-  struct State {
-    ProviderViolation violation;
-    bool defaulted = false;
-  };
-
-  /// Recomputes one provider and patches the aggregates.
-  Status Refresh(ProviderId provider);
-  void Retract(const State& state);
-  void Apply(const State& state);
 
   /// Counts one successful mutating event and fires the checkpoint hook at
   /// the configured cadence. Returns the checkpoint status (OK when no
   /// checkpoint was due).
   Status CountEvent();
 
-  privacy::PrivacyConfig config_;
+  // Behind a unique_ptr so the view's config pointer survives moves of the
+  // monitor (DatabaseService::Create moves the monitor into place).
+  std::unique_ptr<privacy::PrivacyConfig> config_;
   ViolationDetector::Options detector_options_;
-  std::map<ProviderId, State> states_;
-  int64_t num_violated_ = 0;
-  int64_t num_defaulted_ = 0;
-  double total_severity_ = 0.0;
+  // Engaged by Create before the monitor is handed out; optional only
+  // because the view itself is built through a fallible factory.
+  std::optional<ViolationView> view_;
 
   CheckpointHook hook_;
   int64_t events_since_checkpoint_ = 0;

@@ -144,10 +144,37 @@ TEST(RequestTest, CheapAndWriteClassification) {
   EXPECT_FALSE(parse("analyze").IsCheap());
   EXPECT_FALSE(parse("search").IsCheap());
 
+  // The expansion check reads maintained O(1) counters: priority lane.
+  // The drift check is a deliberate full re-analysis: normal lane.
+  EXPECT_TRUE(parse("expansion-check 10 2").IsCheap());
+  EXPECT_FALSE(parse("driftcheck").IsCheap());
+
   EXPECT_TRUE(parse("event add 1 1").IsWrite());
   EXPECT_TRUE(parse("save").IsWrite());
   EXPECT_FALSE(parse("analyze").IsWrite());
   EXPECT_FALSE(parse("query pw").IsWrite());
+  EXPECT_FALSE(parse("expansion-check 10 2").IsWrite());
+  EXPECT_FALSE(parse("driftcheck").IsWrite());
+}
+
+TEST(ParseRequestTest, ExpansionCheckAndDriftCheck) {
+  ASSERT_OK_AND_ASSIGN(Request check,
+                       ParseRequest("expansion-check 10 2.5"));
+  EXPECT_EQ(check.kind, RequestKind::kExpansionCheck);
+  EXPECT_DOUBLE_EQ(check.utility_per_provider, 10.0);
+  EXPECT_DOUBLE_EQ(check.extra_utility, 2.5);
+  // The Eq. 31 algebra divides by U: non-positive U is rejected at parse.
+  EXPECT_TRUE(ParseRequest("expansion-check 0 1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseRequest("expansion-check -3 1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("expansion-check 10").status().IsInvalidArgument());
+
+  ASSERT_OK_AND_ASSIGN(Request drift, ParseRequest("driftcheck"));
+  EXPECT_EQ(drift.kind, RequestKind::kDriftCheck);
+  EXPECT_TRUE(ParseRequest("driftcheck now").status().IsInvalidArgument());
+
+  EXPECT_EQ(RequestKindName(RequestKind::kExpansionCheck), "expansion_check");
+  EXPECT_EQ(RequestKindName(RequestKind::kDriftCheck), "drift_check");
 }
 
 TEST(FormatResponseTest, OkAndErrorLines) {

@@ -403,5 +403,113 @@ TEST_F(DatabaseServiceTest, JournalDisabledStatsSayNone) {
       << stats.payload;
 }
 
+// --- incremental-view serve surface ---------------------------------------
+
+TEST_F(DatabaseServiceTest, ExpansionCheckAnsweredFromMaintainedState) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  // 2 providers, provider 1 defaulted (severity 6 > threshold 3):
+  // N_future = 1, so doubling per-provider utility is justified.
+  Response check = Run(*service, "expansion-check 10 12");
+  ASSERT_OK(check.status);
+  EXPECT_NE(check.payload.find("justified=1"), std::string::npos)
+      << check.payload;
+  EXPECT_NE(check.payload.find("n_current=2"), std::string::npos);
+  EXPECT_NE(check.payload.find("n_defaulted=1"), std::string::npos);
+  EXPECT_NE(check.payload.find("n_future=1"), std::string::npos);
+  EXPECT_NE(check.payload.find("break_even_extra_utility=10"),
+            std::string::npos)
+      << check.payload;
+
+  // T below break-even: not justified.
+  check = Run(*service, "expansion-check 10 5");
+  ASSERT_OK(check.status);
+  EXPECT_NE(check.payload.find("justified=0"), std::string::npos)
+      << check.payload;
+}
+
+TEST_F(DatabaseServiceTest, DriftCheckRequestRunsTheOracle) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  ASSERT_OK(Run(*service, "event add 9 100").status);
+  Response drift = Run(*service, "driftcheck");
+  ASSERT_OK(drift.status);
+  EXPECT_NE(drift.payload.find("clean=1"), std::string::npos)
+      << drift.payload;
+  EXPECT_NE(drift.payload.find("providers_checked=3"), std::string::npos)
+      << drift.payload;
+  EXPECT_NE(drift.payload.find("drift_checks_clean=1"), std::string::npos)
+      << drift.payload;
+  EXPECT_NE(drift.payload.find("drift_checks_failed=0"), std::string::npos)
+      << drift.payload;
+}
+
+TEST_F(DatabaseServiceTest, StatsExposeViewPosture) {
+  std::unique_ptr<DatabaseService> service = MakeService();
+  Response stats = Run(*service, "stats");
+  ASSERT_OK(stats.status);
+  // 2 providers × 1 policy tuple.
+  EXPECT_NE(stats.payload.find(" view_cells=2"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find(" view_delta_events=0"), std::string::npos);
+  EXPECT_NE(stats.payload.find(" view_rebuild_events=0"), std::string::npos);
+  EXPECT_NE(stats.payload.find(" drift_checks_failed=0"), std::string::npos);
+
+  // A preference event rides the delta path and reports its cell count.
+  ASSERT_OK(Run(*service, "event pref 1 weight pr 3 3 3").status);
+  stats = Run(*service, "stats");
+  EXPECT_NE(stats.payload.find(" view_delta_events=1"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find(" view_last_delta_cells=1"),
+            std::string::npos)
+      << stats.payload;
+}
+
+TEST_F(DatabaseServiceTest, PeriodicDriftCheckRunsAtConfiguredCadence) {
+  DatabaseService::Options options;
+  options.checkpoint_every_events = 0;
+  options.num_threads = 1;
+  options.journal_enabled = false;
+  options.drift_check_every_events = 2;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DatabaseService> service,
+      DatabaseService::Create(dir_.string(), faulty_.get(), options));
+
+  ASSERT_OK(Run(*service, "event add 9 1").status);  // event 1: not yet
+  Response stats = Run(*service, "stats");
+  EXPECT_NE(stats.payload.find(" drift_checks_clean=0"), std::string::npos)
+      << stats.payload;
+
+  ASSERT_OK(Run(*service, "event add 10 1").status);  // event 2: fires
+  stats = Run(*service, "stats");
+  EXPECT_NE(stats.payload.find(" drift_checks_clean=1"), std::string::npos)
+      << stats.payload;
+  EXPECT_NE(stats.payload.find(" drift_checks_failed=0"), std::string::npos)
+      << stats.payload;
+}
+
+TEST_F(JournaledServiceTest, ReplayedJournalConvergesViewDriftClean) {
+  {
+    std::unique_ptr<DatabaseService> service = MakeJournaled();
+    ASSERT_OK(Run(*service, "event add 9 100").status);
+    ASSERT_OK(Run(*service, "event pref 9 weight pr 3 3 3").status);
+    ASSERT_OK(Run(*service, "event threshold 9 50").status);
+    ASSERT_OK(Run(*service, "event add 11 0.5").status);
+    // Dropped without FinalCheckpoint — a kill -9; the journal is the only
+    // record of these events.
+  }
+  // The reloaded service rebuilds its view from the replayed config; the
+  // drift oracle must find maintained state and full analysis identical.
+  std::unique_ptr<DatabaseService> service = MakeJournaled();
+  Response drift = Run(*service, "driftcheck");
+  ASSERT_OK(drift.status);
+  EXPECT_NE(drift.payload.find("clean=1"), std::string::npos)
+      << drift.payload;
+  EXPECT_NE(drift.payload.find("providers_checked=4"), std::string::npos)
+      << drift.payload;
+  Response provider = Run(*service, "query provider 9");
+  ASSERT_OK(provider.status);
+  EXPECT_NE(provider.payload.find("violated=0"), std::string::npos)
+      << provider.payload;
+}
+
 }  // namespace
 }  // namespace ppdb::server

@@ -8,6 +8,10 @@
 //   ppdb_cli certify <dir> <alpha>        alpha-PPDB certification (Def. 3)
 //   ppdb_cli statement <dir> <provider>   provider transparency statement
 //   ppdb_cli diff <dir> <policy.ppdb>     impact of adopting a new policy
+//   ppdb_cli expansion-check <dir> <U> <T>
+//                                         Section 9 expansion inequality
+//                                         (Eqs. 25-31) from one view
+//                                         materialization
 //   ppdb_cli audit <dir> [n]              tail of the audit log
 //   ppdb_cli enforce <dir> <purpose> <visibility> <table> <attrs>
 //                                         preference-enforced read
@@ -22,7 +26,8 @@
 //   ppdb_cli trace <dir>                  run one traced violation scan and
 //                                         dump the span ring as JSON
 //
-// Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed;
+// Exit codes: 0 success; 1 error; 2 usage; 3 alpha certification failed
+// (or expansion not justified);
 // 4 recovery succeeded but crash leftovers were discarded (or journal
 // events replayed); 5 serving completed but the final checkpoint failed.
 #include <csignal>
@@ -44,6 +49,7 @@
 #include "storage/database_io.h"
 #include "violation/change_impact.h"
 #include "violation/default_model.h"
+#include "violation/incremental.h"
 #include "violation/detector.h"
 #include "violation/probability.h"
 #include "violation/report_io.h"
@@ -66,6 +72,8 @@ int Usage() {
                "  ppdb_cli certify <dir> <alpha>\n"
                "  ppdb_cli statement <dir> <provider>\n"
                "  ppdb_cli diff <dir> <policy.ppdb>\n"
+               "  ppdb_cli expansion-check <dir> <utility_per_provider> "
+               "<extra_utility>\n"
                "  ppdb_cli audit <dir> [n]\n"
                "  ppdb_cli enforce <dir> <purpose> <visibility> <table> "
                "<attr[,attr...]>\n"
@@ -75,7 +83,7 @@ int Usage() {
                "                       [--listen <addr:port>] "
                "[--max-conns N] [--idle-timeout-ms D]\n"
                "                       [--journal-window-us U] "
-               "[--no-journal]\n"
+               "[--no-journal] [--drift-check-every E]\n"
                "  ppdb_cli trace <dir>\n");
   return 2;
 }
@@ -211,6 +219,40 @@ int RunDiff(const storage::Database& database, const std::string& path) {
   return 0;
 }
 
+// expansion-check <dir> <U> <T>: answers Section 9's "should the house
+// expand?" inequality (Eqs. 25-31) for per-provider utility U and extra
+// utility T, from one view materialization of the stored config.
+int RunExpansionCheck(const storage::Database& database,
+                      const std::string& utility_text,
+                      const std::string& extra_text) {
+  Result<double> utility = ParseDouble(utility_text);
+  if (!utility.ok()) return Fail(utility.status());
+  Result<double> extra = ParseDouble(extra_text);
+  if (!extra.ok()) return Fail(extra.status());
+  Result<violation::ViolationView> view =
+      violation::ViolationView::Create(&database.config);
+  if (!view.ok()) return Fail(view.status());
+  Result<violation::ViolationView::ExpansionCheck> check =
+      view->CheckExpansion(utility.value(), extra.value());
+  if (!check.ok()) return Fail(check.status());
+  const violation::ViolationView::ExpansionCheck& c = check.value();
+  std::printf(
+      "N = %lld providers, %lld defaulted -> N_future = %lld (Eq. 26)\n"
+      "utility(current) = %.6g (Eq. 25), utility(future) = %.6g (Eq. 27)\n"
+      "expansion %s (Eqs. 28-29)\n",
+      static_cast<long long>(c.n_current),
+      static_cast<long long>(c.n_defaulted),
+      static_cast<long long>(c.n_future), c.utility_current,
+      c.utility_future, c.justified ? "JUSTIFIED" : "NOT justified");
+  if (c.has_break_even) {
+    std::printf("break-even extra utility T* = %.6g (Eq. 31)\n",
+                c.break_even_extra_utility);
+  } else {
+    std::printf("no finite break-even T (every provider defaulted)\n");
+  }
+  return c.justified ? 0 : 3;
+}
+
 // enforce <dir> <purpose> <visibility-level> <table> <attr[,attr...]>
 // Runs a preference-enforced read through the access monitor.
 int RunEnforce(const storage::Database& database, const std::string& purpose,
@@ -344,6 +386,8 @@ int RunServe(const std::string& dir, int argc, char** argv) {
           std::chrono::milliseconds(value.value());
     } else if (flag == "--checkpoint-every") {
       service_options.checkpoint_every_events = value.value();
+    } else if (flag == "--drift-check-every") {
+      service_options.drift_check_every_events = value.value();
     } else if (flag == "--journal-window-us") {
       service_options.journal_batch_window =
           std::chrono::microseconds(value.value());
@@ -473,6 +517,9 @@ int main(int argc, char** argv) {
   }
   if (command == "diff" && argc == 4) {
     return RunDiff(database.value(), argv[3]);
+  }
+  if (command == "expansion-check" && argc == 5) {
+    return RunExpansionCheck(database.value(), argv[3], argv[4]);
   }
   if (command == "trace" && argc == 3) {
     return RunTrace(database.value());

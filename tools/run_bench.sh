@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Runs the violation perf benchmark, the broker saturation benchmark, and
-# the journal group-commit benchmark in a dedicated Release build (the
-# `bench` CMake preset) and records their JSON outputs at the repo root
-# (BENCH_perf_violation.json, BENCH_server_broker.json, and
-# BENCH_journal.json), so the perf, overload, and durability-cost
-# trajectories are tracked across PRs.
+# Runs the violation perf benchmark, the broker saturation benchmark, the
+# journal group-commit benchmark, and the incremental-view delta benchmark
+# in a dedicated Release build (the `bench` CMake preset) and records
+# their JSON outputs at the repo root (BENCH_perf_violation.json,
+# BENCH_server_broker.json, BENCH_journal.json, and
+# BENCH_incremental.json), so the perf, overload, durability-cost, and
+# delta-path trajectories are tracked across PRs.
 #
 # Recording is gated: each JSON must carry
 # `"library_build_type": "release"` (the build type of the ppdb code under
@@ -40,11 +41,13 @@ if [[ ! -x "${build_dir}/bench/bench_perf_violation" ]]; then
   cmake --preset bench -S "${repo_root}"
 fi
 cmake --build "${build_dir}" -j \
-  --target bench_perf_violation bench_server_broker bench_journal
+  --target bench_perf_violation bench_server_broker bench_journal \
+  bench_incremental
 
 bench="${build_dir}/bench/bench_perf_violation"
 broker_bench="${build_dir}/bench/bench_server_broker"
 journal_bench="${build_dir}/bench/bench_journal"
+incremental_bench="${build_dir}/bench/bench_incremental"
 
 if [[ "${smoke}" == 1 ]]; then
   out_dir="$(mktemp -d)"
@@ -52,17 +55,21 @@ if [[ "${smoke}" == 1 ]]; then
   perf_output="${out_dir}/BENCH_perf_violation.json"
   broker_output="${out_dir}/BENCH_server_broker.json"
   journal_output="${out_dir}/BENCH_journal.json"
+  incremental_output="${out_dir}/BENCH_incremental.json"
   # Keep CI fast: tiny time budget and only one benchmark per family, but
   # always include the kernel benches the release gate exists for.
   perf_flags=(--benchmark_min_time=0.01
               --benchmark_filter='BM_KernelConf|BM_KernelDiff|BM_ViolationAnalyze/1000/2$')
   journal_flags=(--smoke)
+  incremental_flags=(--smoke)
 else
   perf_output="${repo_root}/BENCH_perf_violation.json"
   broker_output="${repo_root}/BENCH_server_broker.json"
   journal_output="${repo_root}/BENCH_journal.json"
+  incremental_output="${repo_root}/BENCH_incremental.json"
   perf_flags=()
   journal_flags=()
+  incremental_flags=()
 fi
 
 # Refuses to record unless the JSON says the code under test was built
@@ -93,6 +100,10 @@ echo "wrote ${broker_output}"
 "${journal_bench}" "${journal_output}" "${journal_flags[@]}"
 require_release "${journal_output}" "bench_journal output"
 echo "wrote ${journal_output}"
+
+"${incremental_bench}" "${incremental_output}" "${incremental_flags[@]}"
+require_release "${incremental_output}" "bench_incremental output"
+echo "wrote ${incremental_output}"
 
 # Best-effort summary: vectorized-vs-scalar conf kernel throughput from
 # the run just recorded (items_per_second of BM_KernelConf/<target>).
