@@ -65,15 +65,15 @@ class CircuitBreaker {
   /// `retry_after_ms=` hint in the message) when open or when a probe is
   /// already in flight. A caller that was admitted MUST call `Record` with
   /// the call's outcome, or the probe slot leaks.
-  Status Allow();
+  Status Allow() PPDB_EXCLUDES(mu_);
 
   /// Feeds the machine the outcome of an admitted call: OK closes a
   /// half-open breaker and resets the failure streak; a transient error
   /// extends the streak (tripping at the threshold) or re-opens a
   /// half-open breaker; any other error only releases the probe slot.
-  void Record(const Status& status);
+  void Record(const Status& status) PPDB_EXCLUDES(mu_);
 
-  State state() const;
+  State state() const PPDB_EXCLUDES(mu_);
 
   /// All observable breaker state captured under one lock acquisition, so
   /// the fields are mutually consistent — reading `state()` and `trips()`
@@ -84,7 +84,7 @@ class CircuitBreaker {
     int64_t rejected = 0;
     int64_t consecutive_failures = 0;
   };
-  StatsSnapshot Snapshot() const;
+  StatsSnapshot Snapshot() const PPDB_EXCLUDES(mu_);
 
   /// Canonical lower-case name of `state`, e.g. "half_open".
   static std::string_view StateName(State state);
@@ -92,11 +92,11 @@ class CircuitBreaker {
   // --- counters (monotonic since construction) -------------------------
 
   /// Transitions into open.
-  int64_t trips() const;
+  int64_t trips() const PPDB_EXCLUDES(mu_);
   /// `Allow` calls rejected while open / probing.
-  int64_t rejected() const;
+  int64_t rejected() const PPDB_EXCLUDES(mu_);
   /// Current consecutive transient-failure streak.
-  int64_t consecutive_failures() const;
+  int64_t consecutive_failures() const PPDB_EXCLUDES(mu_);
 
  private:
   std::chrono::steady_clock::time_point Now() const;
@@ -108,7 +108,8 @@ class CircuitBreaker {
   /// Immutable after construction (clock and on_transition are only ever
   /// *called* concurrently, never reassigned), so reads need no lock.
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"breaker"} PPDB_LOCK_LEVEL(breaker)
+      PPDB_ACQUIRED_AFTER(journal) PPDB_ACQUIRED_BEFORE(pool);
   State state_ PPDB_GUARDED_BY(mu_) = State::kClosed;
   std::chrono::steady_clock::time_point opened_at_ PPDB_GUARDED_BY(mu_){};
   bool probe_in_flight_ PPDB_GUARDED_BY(mu_) = false;

@@ -1,0 +1,94 @@
+#ifndef PPDB_COMMON_DEADLOCK_H_
+#define PPDB_COMMON_DEADLOCK_H_
+
+#include <atomic>
+#include <string>
+
+/// Runtime deadlock (lock-order inversion) detector — the dynamic
+/// counterpart of `ppdb_analyze`'s static lock-order pass.
+///
+/// When enabled, every `Mutex`/`SharedMutex` acquisition is recorded on a
+/// per-thread held-lock stack, and each new acquisition adds "held ->
+/// acquired" edges to a process-wide order graph. An acquisition that
+/// would close a cycle in that graph is a potential deadlock: two
+/// executions disagreed about the order of the same pair of locks, and a
+/// thread interleaving exists where both block forever. The detector
+/// reports the full cycle — the names given to the mutexes at
+/// construction, matching the PPDB_LOCK_LEVEL declarations — *before* the
+/// acquisition blocks, so the report always outruns the hang it predicts.
+///
+/// The check is O(edges) per first-time edge (cached thereafter), so it is
+/// meant for debug builds and tests: the default mode is kOff, in which
+/// the hooks reduce to one relaxed atomic load per lock operation.
+/// Detection is process-wide; tests serialize access with
+/// `ScopedDetectionForTest`, which also resets the learned graph so
+/// runs are independent.
+namespace ppdb::deadlock {
+
+enum class Mode {
+  /// Hooks disabled; lock ops pay one relaxed atomic load.
+  kOff = 0,
+  /// Violations invoke the report handler and execution continues.
+  kReport = 1,
+  /// Violations invoke the report handler, then std::abort(). The default
+  /// handler writes the cycle report to stderr first.
+  kAbort = 2,
+};
+
+void SetMode(Mode mode);
+Mode GetMode();
+
+/// Receives the human-readable cycle report on a violation. Installing a
+/// handler (tests capturing the report) replaces the default
+/// stderr-writer; passing nullptr restores it. The handler runs on the
+/// acquiring thread with the detector's internal lock NOT held, so it may
+/// allocate and log, but must not acquire ppdb mutexes.
+using ReportHandler = void (*)(const std::string& report);
+void SetReportHandler(ReportHandler handler);
+
+/// Hook: `mu` (named `name` at construction) is about to be acquired.
+/// Learns edges from every currently-held lock to `mu`, checks them
+/// against the order graph, and reports a cycle before the caller blocks.
+/// `blocking` is false for try-acquisitions, which cannot deadlock by
+/// themselves: they are pushed on the held stack (so later acquisitions
+/// see them) but add no edges and trigger no check.
+void OnAcquire(const void* mu, const char* name, bool blocking);
+
+/// Hook: `mu` was released. Removes the most recent matching entry from
+/// the held stack (lock lifetimes nest in RAII use, but out-of-order
+/// release of hand-locked mutexes is tolerated).
+void OnRelease(const void* mu);
+
+/// Hook: `mu` is being destroyed. Forgets its node and edges so a new
+/// mutex placed at the same address does not inherit them.
+void OnDestroy(const void* mu);
+
+/// True when any detection mode is active. Inline fast-path gate used by
+/// the Mutex wrappers.
+extern std::atomic<int> g_mode;
+inline bool Enabled() {
+  return g_mode.load(std::memory_order_relaxed) != static_cast<int>(Mode::kOff);
+}
+
+/// Number of violations reported since process start (monotonic).
+int64_t ViolationCount();
+
+/// Test harness: enables the given mode for its scope, resets the learned
+/// order graph and the calling thread's held stack on entry and exit, and
+/// restores the previous mode and handler. Serializes with other scopes.
+class ScopedDetectionForTest {
+ public:
+  explicit ScopedDetectionForTest(Mode mode, ReportHandler handler = nullptr);
+  ~ScopedDetectionForTest();
+
+  ScopedDetectionForTest(const ScopedDetectionForTest&) = delete;
+  ScopedDetectionForTest& operator=(const ScopedDetectionForTest&) = delete;
+
+ private:
+  Mode previous_mode_;
+  ReportHandler previous_handler_;
+};
+
+}  // namespace ppdb::deadlock
+
+#endif  // PPDB_COMMON_DEADLOCK_H_

@@ -6,6 +6,7 @@
 #include <mutex>         // ppdb-lint: allow(std-sync) — the wrapper home
 #include <shared_mutex>  // ppdb-lint: allow(std-sync) — the wrapper home
 
+#include "common/deadlock.h"
 #include "common/thread_annotations.h"
 
 namespace ppdb {
@@ -19,18 +20,46 @@ namespace ppdb {
 /// -Werror` turns "this field is touched without its lock" into a compile
 /// error rather than a code-review hope.
 ///
-/// The wrappers add no state and no behavior: each call forwards to the
-/// underlying std primitive, so gcc builds compile to exactly the code they
-/// replaced.
+/// Beyond forwarding to the underlying std primitive, each wrapper carries
+/// an optional construction-time name (its level in the documented global
+/// lock order, see PPDB_LOCK_LEVEL) and hooks into the runtime deadlock
+/// detector (common/deadlock.h). With detection off — the default — the
+/// hooks cost one relaxed atomic load per lock operation; debug tests
+/// enable detection and get an abort-with-cycle-report on any lock-order
+/// inversion, naming the mutexes involved.
 class PPDB_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// `name` should match the member's PPDB_LOCK_LEVEL declaration; it must
+  /// outlive the mutex (string literals do).
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() {
+    if (deadlock::Enabled()) deadlock::OnDestroy(this);
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() PPDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() PPDB_RELEASE() { mu_.unlock(); }
-  bool TryLock() PPDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() PPDB_ACQUIRE() {
+    // The detector runs before the acquisition so a predicted deadlock is
+    // reported even when this call would actually block forever.
+    if (deadlock::Enabled()) deadlock::OnAcquire(this, name_, true);
+    mu_.lock();
+  }
+  void Unlock() PPDB_RELEASE() {
+    mu_.unlock();
+    if (deadlock::Enabled()) deadlock::OnRelease(this);
+  }
+  bool TryLock() PPDB_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    // A try-acquisition cannot deadlock by itself, so it adds no order
+    // edges — but it joins the held stack so later acquisitions see it.
+    if (acquired && deadlock::Enabled()) {
+      deadlock::OnAcquire(this, name_, false);
+    }
+    return acquired;
+  }
+
+  const char* name() const { return name_; }
 
   /// Statically asserts to the analysis that this thread holds the lock.
   /// `std::mutex` cannot verify ownership at runtime, so this is purely a
@@ -41,6 +70,7 @@ class PPDB_CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;  // ppdb-lint: allow(std-sync)
+  const char* name_ = "<mutex>";
 };
 
 /// Reader/writer capability wrapper over `std::shared_mutex`. Writers use
@@ -50,13 +80,36 @@ class PPDB_CAPABILITY("mutex") Mutex {
 class PPDB_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  /// See Mutex(const char*).
+  explicit SharedMutex(const char* name) : name_(name) {}
+  ~SharedMutex() {
+    if (deadlock::Enabled()) deadlock::OnDestroy(this);
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() PPDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() PPDB_RELEASE() { mu_.unlock(); }
-  void LockShared() PPDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() PPDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  // Shared and exclusive acquisitions feed the deadlock detector
+  // identically: reader/reader inversions cannot deadlock on their own,
+  // but become deadlocks the moment any writer joins, so the order
+  // discipline is enforced for both modes.
+  void Lock() PPDB_ACQUIRE() {
+    if (deadlock::Enabled()) deadlock::OnAcquire(this, name_, true);
+    mu_.lock();
+  }
+  void Unlock() PPDB_RELEASE() {
+    mu_.unlock();
+    if (deadlock::Enabled()) deadlock::OnRelease(this);
+  }
+  void LockShared() PPDB_ACQUIRE_SHARED() {
+    if (deadlock::Enabled()) deadlock::OnAcquire(this, name_, true);
+    mu_.lock_shared();
+  }
+  void UnlockShared() PPDB_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    if (deadlock::Enabled()) deadlock::OnRelease(this);
+  }
+
+  const char* name() const { return name_; }
 
   /// See Mutex::AssertHeld — compile-time only.
   void AssertHeld() const PPDB_ASSERT_CAPABILITY(this) {}
@@ -64,6 +117,7 @@ class PPDB_CAPABILITY("shared_mutex") SharedMutex {
 
  private:
   std::shared_mutex mu_;  // ppdb-lint: allow(std-sync)
+  const char* name_ = "<shared_mutex>";
 };
 
 /// RAII exclusive lock on a `Mutex`; the annotated replacement for

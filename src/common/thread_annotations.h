@@ -95,4 +95,38 @@
 #define PPDB_NO_THREAD_SAFETY_ANALYSIS \
   PPDB_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// --- Lock-order declarations (read by tools/analyzer, not by clang) --------
+//
+// Every long-lived Mutex/SharedMutex member declares its place in the one
+// documented global acquisition order (DESIGN.md "Lock order & determinism
+// invariants"). `ppdb_analyze` (the in-tree static analyzer) builds the
+// order graph from these declarations plus the acquisition sites it lexes
+// out of src/, fails the build on a cycle or on an observed acquisition
+// that contradicts the declared order, and emits the graph as a DOT
+// artifact. The runtime deadlock detector (common/deadlock.h) is the
+// dynamic counterpart: it learns the same edges from actual executions and
+// aborts with a cycle report on an inversion, so the static graph and the
+// observed behavior cross-check each other.
+//
+// The macros compile to nothing under every compiler — clang's own
+// `acquired_before`/`acquired_after` attributes only accept same-class
+// member expressions, and ppdb's order spans components — so the level
+// names are free-form identifiers scoped by the documented order, e.g.
+//
+//   mutable Mutex mu_ PPDB_LOCK_LEVEL(broker)
+//       PPDB_ACQUIRED_AFTER(tcp_completions);
+
+/// Names this mutex member's level in the documented global lock order.
+/// Exactly one level per long-lived mutex member; function-local mutexes
+/// are exempt (mark them `// ppdb-lint: allow(lock-order)`).
+#define PPDB_LOCK_LEVEL(level)
+
+/// Declares that this mutex is acquired BEFORE the named levels — i.e.
+/// while it is held, those levels may still be acquired.
+#define PPDB_ACQUIRED_BEFORE(...)
+
+/// Declares that this mutex is acquired AFTER the named levels — i.e. it
+/// may be acquired while those levels are held.
+#define PPDB_ACQUIRED_AFTER(...)
+
 #endif  // PPDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -71,7 +71,9 @@ void ThreadPool::RunSharded(int64_t num_shards, int workers,
     std::function<void(int64_t)> run_shard;
     // ppdb-lint: allow(guarded-by) -- mu exists only to pair with the
     // condvar; the state the wait predicate observes is atomic.
-    Mutex mu;
+    // ppdb-lint: allow(lock-order) -- function-local completion latch,
+    // held for a NotifyAll only, never around another acquisition.
+    Mutex mu{"pool_shard_state"};
     CondVar done;
   };
   auto state = std::make_shared<State>();

@@ -140,7 +140,8 @@ class ThreadPool {
   void WorkerLoop() PPDB_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  Mutex mu_{"pool"} PPDB_LOCK_LEVEL(pool)
+      PPDB_ACQUIRED_AFTER(breaker) PPDB_ACQUIRED_BEFORE(trace_ring);
   CondVar cv_;
   std::deque<std::function<void()>> tasks_ PPDB_GUARDED_BY(mu_);
   bool stop_ PPDB_GUARDED_BY(mu_) = false;

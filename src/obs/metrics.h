@@ -180,7 +180,11 @@ class MetricsRegistry {
                     Labels labels, const std::vector<double>* buckets)
       PPDB_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  /// The innermost level of the global lock order: any component may
+  /// register instruments while holding its own lock, and the registry
+  /// acquires nothing in turn (instrument mutation is lock-free atomics).
+  mutable Mutex mu_{"metrics"} PPDB_LOCK_LEVEL(metrics)
+      PPDB_ACQUIRED_AFTER(trace_clock);
   std::map<std::string, Family> families_ PPDB_GUARDED_BY(mu_);
   /// Type-conflicted instruments: alive, functional, never exported.
   std::vector<std::unique_ptr<Sample>> detached_ PPDB_GUARDED_BY(mu_);

@@ -95,10 +95,12 @@ class Tracer {
   Options options_;
   /// Guards only the clock: Now() is on the per-span hot path and must not
   /// contend with ring pushes in Commit(), which mu_ serializes.
-  mutable Mutex clock_mu_;
+  mutable Mutex clock_mu_{"trace_clock"} PPDB_LOCK_LEVEL(trace_clock)
+      PPDB_ACQUIRED_AFTER(trace_ring) PPDB_ACQUIRED_BEFORE(metrics);
   std::function<std::chrono::steady_clock::time_point()> clock_
       PPDB_GUARDED_BY(clock_mu_);
-  mutable Mutex mu_;
+  mutable Mutex mu_{"trace_ring"} PPDB_LOCK_LEVEL(trace_ring)
+      PPDB_ACQUIRED_AFTER(pool) PPDB_ACQUIRED_BEFORE(trace_clock);
   std::deque<TraceRecord> ring_ PPDB_GUARDED_BY(mu_);
   int64_t completed_ PPDB_GUARDED_BY(mu_) = 0;
 };

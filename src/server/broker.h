@@ -142,7 +142,8 @@ class RequestBroker {
 
   /// Immutable after the constructor clamps it; reads need no lock.
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"broker"} PPDB_LOCK_LEVEL(broker)
+      PPDB_ACQUIRED_AFTER(serve_writer) PPDB_ACQUIRED_BEFORE(service);
   CondVar work_cv_;   // workers wait for jobs / shutdown
   CondVar idle_cv_;   // Drain waits for quiescence
   std::deque<Job> normal_ PPDB_GUARDED_BY(mu_);

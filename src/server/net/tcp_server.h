@@ -223,7 +223,8 @@ class TcpServer {
   std::atomic<int> wake_write_fd_{-1};
   std::atomic<bool> shutdown_requested_{false};
 
-  Mutex completions_mu_;
+  Mutex completions_mu_{"tcp_completions"} PPDB_LOCK_LEVEL(tcp_completions)
+      PPDB_ACQUIRED_BEFORE(serve_writer, broker);
   std::vector<Completion> completions_ PPDB_GUARDED_BY(completions_mu_);
 };
 

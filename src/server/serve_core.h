@@ -31,7 +31,8 @@ class ResponseWriter {
   void Write(int64_t id, const Response& response) PPDB_EXCLUDES(mu_);
 
  private:
-  Mutex mu_;
+  Mutex mu_{"serve_writer"} PPDB_LOCK_LEVEL(serve_writer)
+      PPDB_ACQUIRED_AFTER(tcp_completions) PPDB_ACQUIRED_BEFORE(broker);
   /// The stream is shared with nothing else while serving runs; all writes
   /// (broker workers and the serve thread) funnel through Write().
   std::ostream& out_ PPDB_GUARDED_BY(mu_);

@@ -156,8 +156,13 @@ class DatabaseService {
   storage::RecoveryReport recovery_;
 
   /// Guards monitor_ + database_. Shared = analytics and queries;
-  /// exclusive = events and saves.
-  SharedMutex mu_;
+  /// exclusive = events and saves. While held the service may acquire the
+  /// journal (event append), the breaker (save gating), the thread pool
+  /// (sharded analytics) and the tracer clock (span timestamps) — all
+  /// below it in the documented global lock order.
+  SharedMutex mu_{"service"} PPDB_LOCK_LEVEL(service)
+      PPDB_ACQUIRED_AFTER(broker)
+      PPDB_ACQUIRED_BEFORE(journal, breaker, pool);
   violation::LivePopulationMonitor monitor_ PPDB_GUARDED_BY(mu_);
   /// The loaded database minus its privacy config, whose authoritative
   /// copy lives in monitor_; `SaveNow` patches the current config in just

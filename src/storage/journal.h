@@ -116,7 +116,8 @@ class Journal {
   FileSystem& fs_;
   const Options options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"journal"} PPDB_LOCK_LEVEL(journal)
+      PPDB_ACQUIRED_AFTER(service) PPDB_ACQUIRED_BEFORE(breaker);
   CondVar cv_;
   std::unique_ptr<AppendableFile> file_ PPDB_GUARDED_BY(mu_);
   std::string segment_name_ PPDB_GUARDED_BY(mu_);

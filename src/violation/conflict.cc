@@ -36,6 +36,8 @@ ConflictBreakdown Conflict(const privacy::PreferenceTuple& pref,
     dc.weighted = static_cast<double>(dc.diff) * attr_sens *
                   provider_sens.value *
                   provider_sens.ForDimension(dim).value();
+    // ppdb-lint: allow(fp-accumulate) --
+    // summed in kOrderedDimensions order (fixed), canonical for Eq. 14.
     out.total += dc.weighted;
   }
   return out;

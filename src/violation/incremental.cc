@@ -337,6 +337,8 @@ void ViolationView::RefreshRowSummaries(int64_t pos) {
   // (rather than adding a float delta) is what keeps the maintained value
   // bitwise-identical to a from-scratch FinishProvider.
   double severity = 0.0;
+  // ppdb-lint: allow(fp-accumulate) --
+  // tuple-order flat sum IS the canonical Eq. 15 association shape.
   for (double c : row.conf) severity += c;
   int32_t exceed = 0;
   for (uint8_t e : row.exceed) exceed += e;
@@ -369,6 +371,8 @@ void ViolationView::PatchedRowSummary(int64_t pos,
   for (size_t j = 0; j < stored.conf.size(); ++j) {
     const bool patched =
         c < cells.size() && static_cast<size_t>(cells[c]) == j;
+    // ppdb-lint: allow(fp-accumulate) --
+    // cell-index order, identical to the stored row's canonical order.
     severity += patched ? conf[c] : stored.conf[j];
     exceed_count += patched ? exceed[c] : stored.exceed[j];
     if (patched) ++c;
@@ -384,12 +388,16 @@ void ViolationView::RefreshBlockAndTotal(int64_t pos) {
       std::min<int64_t>(static_cast<int64_t>(providers_.size()),
                         begin + internal::kSeverityReduceBlock);
   double block_sum = 0.0;
+  // ppdb-lint: allow(fp-accumulate) --
+  // provider-order block partial, the BlockedSeveritySum association shape.
   for (int64_t i = begin; i < end; ++i) block_sum += severity_[i];
   block_severity_[static_cast<size_t>(block)] = block_sum;
   // Re-run the root sum over the block partials in block order — the
   // association shape of BlockedSeveritySum, so the total matches a full
   // scan bitwise.
   double total = 0.0;
+  // ppdb-lint: allow(fp-accumulate) --
+  // block-order root sum, matches a full scan bitwise.
   for (double s : block_severity_) total += s;
   total_severity_ = total;
 }
@@ -404,10 +412,14 @@ void ViolationView::RebuildTree() {
     const int64_t end =
         std::min<int64_t>(n, begin + internal::kSeverityReduceBlock);
     double block_sum = 0.0;
+    // ppdb-lint: allow(fp-accumulate) --
+    // provider-order block partial, the BlockedSeveritySum association shape.
     for (int64_t i = begin; i < end; ++i) block_sum += severity_[i];
     block_severity_[static_cast<size_t>(b)] = block_sum;
   }
   double total = 0.0;
+  // ppdb-lint: allow(fp-accumulate) --
+  // block-order root sum, matches a full scan bitwise.
   for (double s : block_severity_) total += s;
   total_severity_ = total;
 }

@@ -25,10 +25,14 @@ DataValueModel MakeLinearExposureValue(double scale) {
             *config.scales.ForDimension(dim).value();
         int level = pt.tuple.Level(dim).value();
         if (dim_scale.max_level() > 0) {
+          // ppdb-lint: allow(fp-accumulate) --
+          // kOrderedDimensions order is fixed; sum is canonical.
           exposure += static_cast<double>(level) /
                       static_cast<double>(dim_scale.max_level());
         }
       }
+      // ppdb-lint: allow(fp-accumulate) --
+      // population order is fixed by the scenario; sum is canonical.
       value += attr_sens * exposure / 3.0;
     }
     return scale * value;

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# Negative-path tests for ppdb_analyze: each class of violation the
+# analyzer claims to detect is seeded into a tiny fixture tree and MUST
+# fail with a finding naming the right site, and each escape hatch must
+# actually silence its check. The positive half — the real tree analyzes
+# clean and the DOT artifact renders — runs here too, so a single ctest
+# entry proves both directions.
+#
+# Usage: analyzer_test.sh <ppdb_analyze-binary> <repo-root>
+set -u
+
+ANALYZE="${1:?path to ppdb_analyze}"
+ROOT="${2:?repo root}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- clean tree passes and emits the graph -----------------------------------
+"$ANALYZE" --root "$ROOT" --dot "$TMP/lock_order.dot" > "$TMP/clean.out" 2>&1 \
+  || fail "real tree is not clean: $(cat "$TMP/clean.out")"
+grep -q '"broker" -> "service"' "$TMP/lock_order.dot" \
+  || fail "DOT artifact lacks the declared broker -> service edge"
+grep -q 'style=dashed' "$TMP/lock_order.dot" \
+  || fail "DOT artifact lacks observed (dashed) edges"
+echo "PASS  clean tree analyzes clean and the lock graph renders"
+
+# --- seeded declared-order cycle ---------------------------------------------
+mkdir -p "$TMP/cycle/src"
+cat > "$TMP/cycle/src/a.h" <<'EOF'
+struct A {
+  Mutex a_ PPDB_LOCK_LEVEL(alpha) PPDB_ACQUIRED_BEFORE(beta);
+  Mutex b_ PPDB_LOCK_LEVEL(beta) PPDB_ACQUIRED_BEFORE(alpha);
+};
+EOF
+if "$ANALYZE" --root "$TMP/cycle" --pass lock-order > "$TMP/cycle.out" 2>&1; then
+  fail "declared lock-order cycle was not detected"
+fi
+grep -q "cycle" "$TMP/cycle.out" \
+  || fail "cycle finding lacks the word 'cycle': $(cat "$TMP/cycle.out")"
+echo "PASS  seeded declared-order cycle fails"
+
+# --- seeded acquisition inverting the declared order -------------------------
+mkdir -p "$TMP/invert/src"
+cat > "$TMP/invert/src/a.h" <<'EOF'
+struct A {
+  Mutex a_ PPDB_LOCK_LEVEL(alpha) PPDB_ACQUIRED_BEFORE(beta);
+  Mutex b_ PPDB_LOCK_LEVEL(beta);
+  void Tangle();
+};
+EOF
+cat > "$TMP/invert/src/a.cc" <<'EOF'
+#include "a.h"
+void A::Tangle() {
+  MutexLock lb(b_);
+  MutexLock la(a_);
+}
+EOF
+if "$ANALYZE" --root "$TMP/invert" --pass lock-order \
+    > "$TMP/invert.out" 2>&1; then
+  fail "lock-order inversion was not detected"
+fi
+grep -q "INVERTS" "$TMP/invert.out" \
+  || fail "inversion not reported as such: $(cat "$TMP/invert.out")"
+grep -q "a.cc:4" "$TMP/invert.out" \
+  || fail "inversion finding lacks the site: $(cat "$TMP/invert.out")"
+echo "PASS  seeded inversion of the declared order fails at the site"
+
+# --- mutex member without a lock level, and its escape hatch -----------------
+mkdir -p "$TMP/nolevel/src"
+cat > "$TMP/nolevel/src/a.h" <<'EOF'
+struct A {
+  Mutex anon_;
+};
+EOF
+if "$ANALYZE" --root "$TMP/nolevel" --pass lock-order \
+    > "$TMP/nolevel.out" 2>&1; then
+  fail "Mutex member without PPDB_LOCK_LEVEL was not detected"
+fi
+grep -q "anon_" "$TMP/nolevel.out" \
+  || fail "missing-level finding lacks the member name"
+cat > "$TMP/nolevel/src/a.h" <<'EOF'
+struct A {
+  // ppdb-lint: allow(lock-order)
+  Mutex anon_;
+};
+EOF
+"$ANALYZE" --root "$TMP/nolevel" --pass lock-order > "$TMP/nolevel2.out" 2>&1 \
+  || fail "allow(lock-order) marker did not silence the missing-level check"
+echo "PASS  unleveled mutex fails; allow(lock-order) silences it"
+
+# --- seeded FP accumulation, and its escape hatch ----------------------------
+mkdir -p "$TMP/fp/src/violation"
+cat > "$TMP/fp/src/violation/sum.cc" <<'EOF'
+double Total(const double* v, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+EOF
+if "$ANALYZE" --root "$TMP/fp" --pass determinism > "$TMP/fp.out" 2>&1; then
+  fail "FP accumulation in a loop was not detected"
+fi
+grep -q "sum.cc:3" "$TMP/fp.out" \
+  || fail "fp-accumulate finding lacks the site: $(cat "$TMP/fp.out")"
+cat > "$TMP/fp/src/violation/sum.cc" <<'EOF'
+double Total(const double* v, int n) {
+  double sum = 0.0;
+  // ppdb-lint: allow(fp-accumulate)
+  for (int i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+EOF
+"$ANALYZE" --root "$TMP/fp" --pass determinism > "$TMP/fp2.out" 2>&1 \
+  || fail "allow(fp-accumulate) marker did not silence the check"
+echo "PASS  seeded FP accumulation fails; allow(fp-accumulate) silences it"
+
+# --- blessed helpers stay exempt ---------------------------------------------
+mkdir -p "$TMP/fp/src/violation/kernel"
+cat > "$TMP/fp/src/violation/kernel/reduce.cc" <<'EOF'
+double Reduce(const double* v, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+EOF
+"$ANALYZE" --root "$TMP/fp" --pass determinism > "$TMP/fp3.out" 2>&1 \
+  || fail "kernel/ reduction helper was wrongly flagged: $(cat "$TMP/fp3.out")"
+echo "PASS  kernel/ reduction helpers are exempt by design"
+
+# --- seeded reduction over unordered iteration -------------------------------
+mkdir -p "$TMP/uo/src/server"
+cat > "$TMP/uo/src/server/agg.cc" <<'EOF'
+#include <unordered_map>
+struct Agg {
+  std::unordered_map<int, double> weights_;
+  double Sum() {
+    double total = 0.0;
+    for (const auto& [k, w] : weights_) total += w;
+    return total;
+  }
+};
+EOF
+if "$ANALYZE" --root "$TMP/uo" --pass determinism > "$TMP/uo.out" 2>&1; then
+  fail "reduction over unordered iteration was not detected"
+fi
+grep -q "weights_" "$TMP/uo.out" \
+  || fail "unordered-iter finding lacks the container: $(cat "$TMP/uo.out")"
+echo "PASS  reduction over hash-ordered iteration fails"
+
+# --- seeded nondeterministic sources -----------------------------------------
+mkdir -p "$TMP/nd/src"
+cat > "$TMP/nd/src/seed.cc" <<'EOF'
+#include <cstdlib>
+#include <random>
+int Seed() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+EOF
+if "$ANALYZE" --root "$TMP/nd" --pass determinism > "$TMP/nd.out" 2>&1; then
+  fail "nondeterministic sources were not detected"
+fi
+grep -q "random_device" "$TMP/nd.out" \
+  || fail "nondet finding lacks random_device: $(cat "$TMP/nd.out")"
+grep -q "'rand'" "$TMP/nd.out" \
+  || fail "nondet finding lacks rand: $(cat "$TMP/nd.out")"
+echo "PASS  rand()/std::random_device outside common/rng.cc fail"
+
+# --- usage errors exit 2, not 1 ----------------------------------------------
+"$ANALYZE" --pass bogus > /dev/null 2>&1
+[ $? -eq 2 ] || fail "bad --pass should exit 2"
+"$ANALYZE" --root "$TMP/does-not-exist" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "missing root should exit 2"
+echo "PASS  usage and IO errors are distinct from findings"
+
+echo "OK: ppdb_analyze self-test"

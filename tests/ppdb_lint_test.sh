@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+# Tests for tools/ppdb_lint.sh itself, in the style of
+# check_metrics_docs_test.sh: seed fixture trees (via PPDB_LINT_ROOT) with
+# known violations and verify each check fails on them and passes once the
+# allow-marker convention is applied. The marker machinery
+# (strip_comments / strip_allowed) has edge cases — markers in comment
+# blocks above the line, blocks interrupted by code, findings inside doc
+# prose — that nothing else exercises.
+#
+# Usage: ppdb_lint_test.sh <repo-root>
+set -u
+
+ROOT="${1:?repo root}"
+LINT="$ROOT/tools/ppdb_lint.sh"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Minimal tree that satisfies every check: serve-docs needs a
+# RequestKindName block whose commands appear in README.md; the rest pass
+# on an empty src/.
+make_clean_tree() { # make_clean_tree <dir>
+  local dir="$1"
+  mkdir -p "$dir/src/server"
+  cat > "$dir/src/server/request.cc" <<'EOF'
+std::string_view RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPing: return "ping";
+  }
+  return "unknown";
+}
+EOF
+  echo "The ping command." > "$dir/README.md"
+}
+
+run_lint() { # run_lint <root-dir> <output-file>; returns lint's exit code
+  PPDB_LINT_ROOT="$2" bash "$LINT" > "$1" 2>&1
+}
+
+# --- clean fixture passes ----------------------------------------------------
+make_clean_tree "$TMP/clean"
+run_lint "$TMP/clean.out" "$TMP/clean" \
+  || fail "clean fixture tree does not pass: $(cat "$TMP/clean.out")"
+grep -q "all checks passed" "$TMP/clean.out" \
+  || fail "clean run lacks the success line"
+echo "PASS  clean fixture tree passes every check"
+
+# --- std-sync fails, and prose mentions are ignored --------------------------
+make_clean_tree "$TMP/sync"
+cat > "$TMP/sync/src/a.cc" <<'EOF'
+// Doc prose saying std::mutex is forbidden must NOT trip the check.
+#include <mutex>
+std::mutex bad_mu;
+EOF
+run_lint "$TMP/sync.out" "$TMP/sync" \
+  && fail "raw std::mutex was not flagged"
+grep -q "FAIL  std-sync" "$TMP/sync.out" || fail "std-sync did not fail"
+grep -q "bad_mu" "$TMP/sync.out" || fail "finding lacks the offending line"
+grep -cq "std::mutex is forbidden" "$TMP/sync.out" \
+  && fail "strip_comments leaked a doc-prose mention into the findings"
+echo "PASS  std-sync fails on code, ignores comment prose"
+
+# --- inline allow marker silences --------------------------------------------
+make_clean_tree "$TMP/sync2"
+cat > "$TMP/sync2/src/a.cc" <<'EOF'
+#include <mutex>
+std::mutex special_mu;  // ppdb-lint: allow(std-sync) — fixture
+EOF
+run_lint "$TMP/sync2.out" "$TMP/sync2" \
+  || fail "inline allow(std-sync) did not silence: $(cat "$TMP/sync2.out")"
+echo "PASS  inline allow marker silences the finding"
+
+# --- marker in the comment block directly above ------------------------------
+make_clean_tree "$TMP/sync3"
+cat > "$TMP/sync3/src/a.cc" <<'EOF'
+#include <mutex>
+// This lock predates the wrappers; migration tracked elsewhere.
+// ppdb-lint: allow(std-sync)
+// (more justification prose after the marker is fine)
+std::mutex legacy_mu;
+EOF
+run_lint "$TMP/sync3.out" "$TMP/sync3" \
+  || fail "comment-block allow marker did not silence: $(cat "$TMP/sync3.out")"
+echo "PASS  allow marker in the contiguous comment block above silences"
+
+# --- a non-comment line breaks the block walk --------------------------------
+make_clean_tree "$TMP/sync4"
+cat > "$TMP/sync4/src/a.cc" <<'EOF'
+#include <mutex>
+// ppdb-lint: allow(std-sync)
+int unrelated_code_between = 0;
+std::mutex still_bad_mu;
+EOF
+run_lint "$TMP/sync4.out" "$TMP/sync4" \
+  && fail "marker above an interrupting code line wrongly silenced"
+grep -q "still_bad_mu" "$TMP/sync4.out" \
+  || fail "interrupted-block case lost the finding"
+echo "PASS  marker separated by code does not silence (block is contiguous)"
+
+# --- a marker for a different check does not silence -------------------------
+make_clean_tree "$TMP/sync5"
+cat > "$TMP/sync5/src/a.cc" <<'EOF'
+#include <mutex>
+std::mutex wrong_marker_mu;  // ppdb-lint: allow(raw-new)
+EOF
+run_lint "$TMP/sync5.out" "$TMP/sync5" \
+  && fail "allow(raw-new) wrongly silenced the std-sync check"
+echo "PASS  allow markers are per-check, not blanket"
+
+# --- guarded-by: per-member detection ----------------------------------------
+make_clean_tree "$TMP/gb"
+cat > "$TMP/gb/src/a.h" <<'EOF'
+struct A {
+  int counter_ PPDB_GUARDED_BY(mu_);
+  Mutex mu_;
+  Mutex orphan_mu_;
+};
+EOF
+run_lint "$TMP/gb.out" "$TMP/gb" \
+  && fail "unreferenced Mutex member was not flagged"
+grep -q "orphan_mu_" "$TMP/gb.out" \
+  || fail "guarded-by finding does not name the orphan member"
+grep -q "FAIL  guarded-by" "$TMP/gb.out" || fail "guarded-by did not fail"
+# The referenced member must NOT be in the findings.
+grep -E "a\.h:3" "$TMP/gb.out" > /dev/null \
+  && fail "guarded-by flagged mu_ although PPDB_GUARDED_BY(mu_) names it"
+echo "PASS  guarded-by is per-member: orphan flagged, referenced one is not"
+
+# --- guarded-by: annotated declaration shape is still matched ----------------
+# The deadlock-detector form `Mutex mu_{"name"} PPDB_LOCK_LEVEL(...)` must
+# not escape the check just because the decl doesn't end in `mu_;`.
+make_clean_tree "$TMP/gb2"
+cat > "$TMP/gb2/src/a.h" <<'EOF'
+struct A {
+  Mutex named_mu_{"named"} PPDB_LOCK_LEVEL(named);
+};
+EOF
+run_lint "$TMP/gb2.out" "$TMP/gb2" \
+  && fail "brace-initialized annotated Mutex escaped the guarded-by check"
+grep -q "named_mu_" "$TMP/gb2.out" \
+  || fail "annotated-decl finding lacks the member name"
+echo "PASS  guarded-by matches brace-initialized, order-annotated decls"
+
+# --- guarded-by: allow marker works ------------------------------------------
+make_clean_tree "$TMP/gb3"
+cat > "$TMP/gb3/src/a.cc" <<'EOF'
+void F() {
+  // Local completion latch, joined before return.
+  // ppdb-lint: allow(guarded-by)
+  Mutex local_mu;
+}
+EOF
+run_lint "$TMP/gb3.out" "$TMP/gb3" \
+  || fail "allow(guarded-by) did not silence: $(cat "$TMP/gb3.out")"
+echo "PASS  allow(guarded-by) silences a function-local mutex"
+
+# --- raw-new fails and serve-docs catches undocumented commands --------------
+make_clean_tree "$TMP/misc"
+cat > "$TMP/misc/src/a.cc" <<'EOF'
+int* Leak() { return new int(7); }
+EOF
+cat > "$TMP/misc/src/server/request.cc" <<'EOF'
+std::string_view RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPing: return "ping";
+    case RequestKind::kSecret: return "undocumented_cmd";
+  }
+  return "unknown";
+}
+EOF
+run_lint "$TMP/misc.out" "$TMP/misc" && fail "raw new + undocumented command passed"
+grep -q "FAIL  raw-new" "$TMP/misc.out" || fail "raw-new did not fail"
+grep -q "undocumented_cmd" "$TMP/misc.out" \
+  || fail "serve-docs did not name the undocumented command"
+echo "PASS  raw-new and serve-docs fail on seeded violations"
+
+# --- the real tree passes (the gate CI actually runs) ------------------------
+run_lint "$TMP/real.out" "$ROOT" \
+  || fail "real tree fails ppdb_lint: $(cat "$TMP/real.out")"
+echo "PASS  real tree passes ppdb_lint"
+
+echo "OK: ppdb_lint self-test"

@@ -1,0 +1,143 @@
+// ppdb_analyze — in-tree static analyzer for the ppdb codebase.
+//
+// Two passes over a lexed (not compiled) view of src/:
+//   lock-order    — checks every Mutex/SharedMutex member carries a
+//                   PPDB_LOCK_LEVEL place in the documented global order,
+//                   that the declared order is acyclic, and that every
+//                   observed acquisition-while-holding edge is permitted
+//                   by it. Optionally emits the graph as DOT (--dot).
+//   determinism   — flags order-sensitive FP accumulation outside the
+//                   blessed reduction helpers, reductions over
+//                   hash-ordered iteration, and nondeterministic sources
+//                   (time/rand/random_device) outside common/rng.cc.
+//
+// Usage: ppdb_analyze [--root DIR] [--pass lock-order|determinism|all]
+//                     [--dot FILE]
+// Exit 0 when clean, 1 on findings, 2 on usage/IO errors.
+// Findings print as `file:line: message` (relative to --root).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "determinism.h"
+#include "lock_order.h"
+#include "source_lexer.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasSuffix(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+int Usage() {
+  std::cerr << "usage: ppdb_analyze [--root DIR] "
+               "[--pass lock-order|determinism|all] [--dot FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string pass = "all";
+  std::string dot_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--pass" && i + 1 < argc) {
+      pass = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      return Usage();
+    }
+  }
+  if (pass != "all" && pass != "lock-order" && pass != "determinism") {
+    return Usage();
+  }
+
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    std::cerr << "ppdb_analyze: no src/ under --root " << root << "\n";
+    return 2;
+  }
+
+  // Deterministic file order (the analyzer had better practice what it
+  // preaches): collect, then sort by relative path.
+  std::vector<std::string> rels;
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().generic_string();
+    if (!HasSuffix(path, ".h") && !HasSuffix(path, ".cc")) continue;
+    rels.push_back(
+        fs::relative(entry.path(), fs::path(root)).generic_string());
+  }
+  std::sort(rels.begin(), rels.end());
+
+  std::vector<ppdb::analyzer::SourceFile> files;
+  files.reserve(rels.size());
+  for (const std::string& rel : rels) {
+    ppdb::analyzer::SourceFile file;
+    const std::string full = (fs::path(root) / rel).generic_string();
+    if (!ppdb::analyzer::LoadSourceFile(full, rel, &file)) {
+      std::cerr << "ppdb_analyze: cannot read " << full << "\n";
+      return 2;
+    }
+    files.push_back(std::move(file));
+  }
+
+  int findings = 0;
+  if (pass == "all" || pass == "lock-order") {
+    const ppdb::analyzer::LockOrderResult result =
+        ppdb::analyzer::AnalyzeLockOrder(files);
+    for (const ppdb::analyzer::Finding& finding : result.errors) {
+      if (finding.file.empty()) {
+        std::cout << "lock-order: " << finding.message << "\n";
+      } else {
+        std::cout << finding.file << ":" << finding.line << ": "
+                  << finding.message << "\n";
+      }
+      ++findings;
+    }
+    if (!dot_path.empty()) {
+      std::ofstream out(dot_path);
+      if (!out) {
+        std::cerr << "ppdb_analyze: cannot write " << dot_path << "\n";
+        return 2;
+      }
+      out << ppdb::analyzer::RenderDot(result);
+      std::cerr << "ppdb_analyze: lock graph written to " << dot_path
+                << " (" << result.levels.size() << " levels, "
+                << result.observed_edges.size() << " observed edges)\n";
+    }
+  }
+  if (pass == "all" || pass == "determinism") {
+    for (const ppdb::analyzer::Finding& finding :
+         ppdb::analyzer::AnalyzeDeterminism(files)) {
+      std::cout << finding.file << ":" << finding.line << ": "
+                << finding.message << "\n";
+      ++findings;
+    }
+  }
+  if (findings != 0) {
+    std::cout << "ppdb_analyze: " << findings << " finding(s)\n";
+    return 1;
+  }
+  std::cerr << "ppdb_analyze: clean (" << files.size() << " files, pass="
+            << pass << ")\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef PPDB_TOOLS_ANALYZER_SOURCE_LEXER_H_
+#define PPDB_TOOLS_ANALYZER_SOURCE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+/// Minimal C++ lexing for `ppdb_analyze`. Deliberately not a compiler
+/// front-end: the analyzer needs token streams with line numbers, blanked
+/// comments/strings, and the ppdb-lint allow-marker convention — nothing
+/// that requires a real parse (no templates, no overload resolution). The
+/// trade-off is documented in DESIGN.md: the passes work on conventions
+/// the codebase already enforces (annotated wrappers, RAII lock guards,
+/// PPDB_* macro declarations), so lexing is sufficient and the tool stays
+/// dependency-free (no libclang).
+namespace ppdb::analyzer {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// One loaded source file, pre-processed for scanning.
+struct SourceFile {
+  std::string path;      // as given (absolute or root-relative)
+  std::string rel;       // path relative to the scan root, '/'-separated
+  std::vector<std::string> lines;  // raw lines, for allow-marker lookups
+  std::vector<Token> tokens;       // lexed from the blanked content
+};
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving length and newlines so token line numbers match the
+/// original. Handles //, /* */, "...", '...' and raw string literals.
+std::string BlankCommentsAndStrings(const std::string& source);
+
+/// Splits on '\n' (keeps no terminators).
+std::vector<std::string> SplitLines(const std::string& content);
+
+/// Lexes blanked content. Identifiers, numbers, and punctuation; the
+/// multi-character operators the analyzer cares about (`::`, `->`, `+=`,
+/// `-=`) are single tokens.
+std::vector<Token> Tokenize(const std::string& blanked);
+
+/// Reads and pre-processes one file. Returns false when unreadable.
+bool LoadSourceFile(const std::string& path, const std::string& rel,
+                    SourceFile* out);
+
+/// True when `line_no` (1-based) carries `// ppdb-lint: allow(<check>)` on
+/// the line itself or in the contiguous `//` comment block directly above
+/// it — the same convention `tools/ppdb_lint.sh` implements.
+bool HasAllowMarker(const std::vector<std::string>& lines, int line_no,
+                    const std::string& check);
+
+}  // namespace ppdb::analyzer
+
+#endif  // PPDB_TOOLS_ANALYZER_SOURCE_LEXER_H_

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# check_bench_trajectory.sh — gate on the committed benchmark trajectory.
+#
+# The BENCH_*.json records at the repo root are the performance history the
+# README/DESIGN numbers cite. A record that was accidentally captured from
+# a Debug build, or whose JSON drifted from the expected schema, poisons
+# every future comparison against it. This check validates that every
+# record:
+#
+#   * parses as JSON,
+#   * was measured against a Release library build
+#     (`library_build_type` == "release", case-insensitive — top-level in
+#     hand-rolled records, under `context` in google-benchmark dumps),
+#   * carries its summary payload: a non-empty `sweep` array with a
+#     consistent per-row schema (hand-rolled), or a non-empty `benchmarks`
+#     array with name/iterations/real_time/cpu_time (google-benchmark).
+#
+# Usage: check_bench_trajectory.sh [repo-root]   (defaults to the repo
+# containing this script). Exits non-zero on any malformed record.
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || { echo "check_bench_trajectory: bad root $ROOT" >&2; exit 2; }
+
+python3 - <<'EOF'
+import glob
+import json
+import sys
+
+failures = []
+records = sorted(glob.glob("BENCH_*.json"))
+if not records:
+    print("check_bench_trajectory: no BENCH_*.json records found "
+          "(wrong root, or the trajectory was deleted?)")
+    sys.exit(1)
+
+def check(path):
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            return f"not valid JSON: {e}"
+    if not isinstance(data, dict):
+        return "top level is not an object"
+
+    if "context" in data:
+        # google-benchmark dump: --benchmark_out=json
+        context = data.get("context")
+        if not isinstance(context, dict):
+            return "'context' is not an object"
+        build = context.get("library_build_type")
+        if not isinstance(build, str) or build.lower() != "release":
+            return (f"context.library_build_type is {build!r}, expected "
+                    "'release' — re-capture from a Release build")
+        benches = data.get("benchmarks")
+        if not isinstance(benches, list) or not benches:
+            return "'benchmarks' is missing or empty"
+        for i, bench in enumerate(benches):
+            for key in ("name", "iterations", "real_time", "cpu_time"):
+                if key not in bench:
+                    return f"benchmarks[{i}] lacks '{key}'"
+        return None
+
+    # hand-rolled record: {benchmark, library_build_type, sweep, ...}
+    name = data.get("benchmark")
+    if not isinstance(name, str) or not name:
+        return "lacks a 'benchmark' name (and has no 'context', so it is "\
+               "not a google-benchmark dump either)"
+    build = data.get("library_build_type")
+    if not isinstance(build, str) or build.lower() != "release":
+        return (f"library_build_type is {build!r}, expected 'release' — "
+                "re-capture from a Release build")
+    sweep = data.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        return "'sweep' is missing or empty"
+    schemas = set()
+    for i, row in enumerate(sweep):
+        if not isinstance(row, dict) or not row:
+            return f"sweep[{i}] is not a non-empty object"
+        schemas.add(tuple(sorted(row.keys())))
+    if len(schemas) != 1:
+        return ("sweep rows disagree on their schema: " +
+                " vs ".join(str(list(s)) for s in sorted(schemas)))
+    return None
+
+for path in records:
+    problem = check(path)
+    if problem is None:
+        print(f"PASS  {path}")
+    else:
+        print(f"FAIL  {path}: {problem}")
+        failures.append(path)
+
+if failures:
+    print(f"check_bench_trajectory: {len(failures)} malformed record(s)")
+    sys.exit(1)
+print(f"check_bench_trajectory: {len(records)} record(s) OK")
+EOF

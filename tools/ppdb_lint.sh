@@ -8,8 +8,11 @@
 #   1. std-sync      std::mutex & friends are forbidden outside
 #                    common/mutex.h — use the annotated ppdb wrappers so
 #                    clang thread-safety analysis can see the locks.
-#   2. guarded-by    a file declaring a Mutex/SharedMutex member must carry
-#                    at least one PPDB_GUARDED_BY/PPDB_REQUIRES annotation.
+#   2. guarded-by    every Mutex/SharedMutex member must be referenced by
+#                    a PPDB_GUARDED_BY / PPDB_REQUIRES(_SHARED) /
+#                    PPDB_EXCLUDES annotation in the same file — a mutex
+#                    nothing is annotated against is protecting something
+#                    silently.
 #   3. metric-reg    metric families are registered only in the known
 #                    eager-registration translation units, so the metrics
 #                    drift check (check_metrics_docs.sh) sees all of them.
@@ -28,7 +31,9 @@
 # (or the comment block directly above it) with a short justification.
 set -u
 
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+# PPDB_LINT_ROOT lets the self-test (tests/ppdb_lint_test.sh) point the
+# checks at a fixture tree; normal runs locate the repo from the script.
+ROOT="${PPDB_LINT_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$ROOT"
 
 FAILED=0
@@ -86,18 +91,25 @@ findings="$(grep -rnE "$STD_SYNC_PATTERN" src/ \
 report "std-sync: raw std synchronization outside common/mutex.h" "$findings"
 
 # --- 2. guarded-by -----------------------------------------------------------
-# A file that declares a Mutex/SharedMutex member but no thread-safety
-# annotation is almost certainly protecting something silently.
-findings="$(grep -rnE '^[[:space:]]*(mutable[[:space:]]+)?(ppdb::common::)?(Mutex|SharedMutex)[[:space:]]+[[:alnum:]_]+;' \
+# Per-member: each declared Mutex/SharedMutex must be named by at least one
+# PPDB_GUARDED_BY / PPDB_REQUIRES(_SHARED) / PPDB_EXCLUDES in its file —
+# an unreferenced mutex is protecting something silently. The declaration
+# pattern accepts an optional brace initializer (the deadlock detector's
+# debug name) and trailing PPDB_LOCK_LEVEL/ACQUIRED_* order macros.
+MUTEX_DECL_PATTERN='^[[:space:]]*(mutable[[:space:]]+)?(ppdb::common::)?(Mutex|SharedMutex)[[:space:]]+[[:alnum:]_]+[[:space:]]*(\{[^}]*\})?[[:space:]]*(;|PPDB_)'
+findings="$(grep -rnE "$MUTEX_DECL_PATTERN" \
     src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/common/mutex\.h:' \
   | strip_allowed 'guarded-by' \
   | { while IFS= read -r finding; do
         file="${finding%%:*}"
-        if ! grep -qE 'PPDB_(GUARDED_BY|REQUIRES)' "$file"; then
-          echo "$finding — file has no PPDB_GUARDED_BY/PPDB_REQUIRES annotation"
+        member="$(echo "${finding#*:*:}" \
+          | sed -E 's/^[[:space:]]*(mutable[[:space:]]+)?(ppdb::common::)?(Mutex|SharedMutex)[[:space:]]+([[:alnum:]_]+).*/\4/')"
+        if ! grep -qE "PPDB_(GUARDED_BY|REQUIRES|REQUIRES_SHARED|EXCLUDES)\(${member}\)" "$file"; then
+          echo "$finding — no PPDB_GUARDED_BY/PPDB_REQUIRES/PPDB_EXCLUDES names '${member}' in $file"
         fi
       done; })"
-report "guarded-by: files with Mutex members carry annotations" "$findings"
+report "guarded-by: every Mutex member is named by an annotation" "$findings"
 
 # --- 3. metric-reg -----------------------------------------------------------
 # check_metrics_docs.sh greps these files to build the drift list; a
