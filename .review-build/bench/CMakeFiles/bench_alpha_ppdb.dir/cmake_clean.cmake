@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alpha_ppdb.dir/bench_alpha_ppdb.cpp.o"
+  "CMakeFiles/bench_alpha_ppdb.dir/bench_alpha_ppdb.cpp.o.d"
+  "bench_alpha_ppdb"
+  "bench_alpha_ppdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alpha_ppdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

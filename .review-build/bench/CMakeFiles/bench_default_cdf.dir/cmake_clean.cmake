@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_default_cdf.dir/bench_default_cdf.cpp.o"
+  "CMakeFiles/bench_default_cdf.dir/bench_default_cdf.cpp.o.d"
+  "bench_default_cdf"
+  "bench_default_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_default_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

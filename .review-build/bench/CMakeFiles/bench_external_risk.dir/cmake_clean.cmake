@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_external_risk.dir/bench_external_risk.cpp.o"
+  "CMakeFiles/bench_external_risk.dir/bench_external_risk.cpp.o.d"
+  "bench_external_risk"
+  "bench_external_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_external_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

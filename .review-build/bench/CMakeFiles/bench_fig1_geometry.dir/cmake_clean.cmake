@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_geometry.dir/bench_fig1_geometry.cpp.o"
+  "CMakeFiles/bench_fig1_geometry.dir/bench_fig1_geometry.cpp.o.d"
+  "bench_fig1_geometry"
+  "bench_fig1_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_journal.dir/bench_journal.cpp.o"
+  "CMakeFiles/bench_journal.dir/bench_journal.cpp.o.d"
+  "bench_journal"
+  "bench_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

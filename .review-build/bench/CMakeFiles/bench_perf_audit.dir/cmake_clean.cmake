@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_audit.dir/bench_perf_audit.cpp.o"
+  "CMakeFiles/bench_perf_audit.dir/bench_perf_audit.cpp.o.d"
+  "bench_perf_audit"
+  "bench_perf_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

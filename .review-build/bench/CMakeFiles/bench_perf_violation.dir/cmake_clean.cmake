@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_violation.dir/bench_perf_violation.cpp.o"
+  "CMakeFiles/bench_perf_violation.dir/bench_perf_violation.cpp.o.d"
+  "bench_perf_violation"
+  "bench_perf_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_expansion.dir/bench_policy_expansion.cpp.o"
+  "CMakeFiles/bench_policy_expansion.dir/bench_policy_expansion.cpp.o.d"
+  "bench_policy_expansion"
+  "bench_policy_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

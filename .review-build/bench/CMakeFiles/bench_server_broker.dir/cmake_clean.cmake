@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_broker.dir/bench_server_broker.cpp.o"
+  "CMakeFiles/bench_server_broker.dir/bench_server_broker.cpp.o.d"
+  "bench_server_broker"
+  "bench_server_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

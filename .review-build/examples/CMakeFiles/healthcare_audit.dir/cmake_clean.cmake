@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_audit.dir/healthcare_audit.cpp.o"
+  "CMakeFiles/healthcare_audit.dir/healthcare_audit.cpp.o.d"
+  "healthcare_audit"
+  "healthcare_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_monitoring.dir/live_monitoring.cpp.o"
+  "CMakeFiles/live_monitoring.dir/live_monitoring.cpp.o.d"
+  "live_monitoring"
+  "live_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

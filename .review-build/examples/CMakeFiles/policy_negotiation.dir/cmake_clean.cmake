@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_negotiation.dir/policy_negotiation.cpp.o"
+  "CMakeFiles/policy_negotiation.dir/policy_negotiation.cpp.o.d"
+  "policy_negotiation"
+  "policy_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_policy_comparison.dir/social_policy_comparison.cpp.o"
+  "CMakeFiles/social_policy_comparison.dir/social_policy_comparison.cpp.o.d"
+  "social_policy_comparison"
+  "social_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

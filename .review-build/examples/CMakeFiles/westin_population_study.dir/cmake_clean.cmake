@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/westin_population_study.dir/westin_population_study.cpp.o"
+  "CMakeFiles/westin_population_study.dir/westin_population_study.cpp.o.d"
+  "westin_population_study"
+  "westin_population_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/westin_population_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

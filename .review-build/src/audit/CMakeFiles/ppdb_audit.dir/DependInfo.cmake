@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/audit_log.cc" "src/audit/CMakeFiles/ppdb_audit.dir/audit_log.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/audit_log.cc.o.d"
+  "/root/repo/src/audit/dp_release.cc" "src/audit/CMakeFiles/ppdb_audit.dir/dp_release.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/dp_release.cc.o.d"
+  "/root/repo/src/audit/generalizer.cc" "src/audit/CMakeFiles/ppdb_audit.dir/generalizer.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/generalizer.cc.o.d"
+  "/root/repo/src/audit/k_anonymity.cc" "src/audit/CMakeFiles/ppdb_audit.dir/k_anonymity.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/k_anonymity.cc.o.d"
+  "/root/repo/src/audit/ledger.cc" "src/audit/CMakeFiles/ppdb_audit.dir/ledger.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/ledger.cc.o.d"
+  "/root/repo/src/audit/monitor.cc" "src/audit/CMakeFiles/ppdb_audit.dir/monitor.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/monitor.cc.o.d"
+  "/root/repo/src/audit/retention_sweeper.cc" "src/audit/CMakeFiles/ppdb_audit.dir/retention_sweeper.cc.o" "gcc" "src/audit/CMakeFiles/ppdb_audit.dir/retention_sweeper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/privacy/CMakeFiles/ppdb_privacy.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/relational/CMakeFiles/ppdb_relational.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/violation/CMakeFiles/ppdb_violation.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/stats/CMakeFiles/ppdb_stats.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/obs/CMakeFiles/ppdb_obs.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

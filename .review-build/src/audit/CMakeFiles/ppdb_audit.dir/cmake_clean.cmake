@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_audit.dir/audit_log.cc.o"
+  "CMakeFiles/ppdb_audit.dir/audit_log.cc.o.d"
+  "CMakeFiles/ppdb_audit.dir/dp_release.cc.o"
+  "CMakeFiles/ppdb_audit.dir/dp_release.cc.o.d"
+  "CMakeFiles/ppdb_audit.dir/generalizer.cc.o"
+  "CMakeFiles/ppdb_audit.dir/generalizer.cc.o.d"
+  "CMakeFiles/ppdb_audit.dir/k_anonymity.cc.o"
+  "CMakeFiles/ppdb_audit.dir/k_anonymity.cc.o.d"
+  "CMakeFiles/ppdb_audit.dir/ledger.cc.o"
+  "CMakeFiles/ppdb_audit.dir/ledger.cc.o.d"
+  "CMakeFiles/ppdb_audit.dir/monitor.cc.o"
+  "CMakeFiles/ppdb_audit.dir/monitor.cc.o.d"
+  "CMakeFiles/ppdb_audit.dir/retention_sweeper.cc.o"
+  "CMakeFiles/ppdb_audit.dir/retention_sweeper.cc.o.d"
+  "libppdb_audit.a"
+  "libppdb_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_common.dir/circuit_breaker.cc.o"
+  "CMakeFiles/ppdb_common.dir/circuit_breaker.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/crc32c.cc.o"
+  "CMakeFiles/ppdb_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/deadline.cc.o"
+  "CMakeFiles/ppdb_common.dir/deadline.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/deadlock.cc.o"
+  "CMakeFiles/ppdb_common.dir/deadlock.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/logging.cc.o"
+  "CMakeFiles/ppdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/retry.cc.o"
+  "CMakeFiles/ppdb_common.dir/retry.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/rng.cc.o"
+  "CMakeFiles/ppdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/status.cc.o"
+  "CMakeFiles/ppdb_common.dir/status.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/string_util.cc.o"
+  "CMakeFiles/ppdb_common.dir/string_util.cc.o.d"
+  "CMakeFiles/ppdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ppdb_common.dir/thread_pool.cc.o.d"
+  "libppdb_common.a"
+  "libppdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_obs.dir/metrics.cc.o"
+  "CMakeFiles/ppdb_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/ppdb_obs.dir/trace.cc.o"
+  "CMakeFiles/ppdb_obs.dir/trace.cc.o.d"
+  "libppdb_obs.a"
+  "libppdb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/config.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/config.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/config.cc.o.d"
+  "/root/repo/src/privacy/dimension.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/dimension.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/dimension.cc.o.d"
+  "/root/repo/src/privacy/house_policy.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/house_policy.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/house_policy.cc.o.d"
+  "/root/repo/src/privacy/ordered_scale.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/ordered_scale.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/ordered_scale.cc.o.d"
+  "/root/repo/src/privacy/policy_diff.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/policy_diff.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/policy_diff.cc.o.d"
+  "/root/repo/src/privacy/policy_dsl.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/policy_dsl.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/policy_dsl.cc.o.d"
+  "/root/repo/src/privacy/privacy_tuple.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/privacy_tuple.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/privacy_tuple.cc.o.d"
+  "/root/repo/src/privacy/provider_prefs.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/provider_prefs.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/provider_prefs.cc.o.d"
+  "/root/repo/src/privacy/purpose.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/purpose.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/purpose.cc.o.d"
+  "/root/repo/src/privacy/sensitivity.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/sensitivity.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/sensitivity.cc.o.d"
+  "/root/repo/src/privacy/tuple_columns.cc" "src/privacy/CMakeFiles/ppdb_privacy.dir/tuple_columns.cc.o" "gcc" "src/privacy/CMakeFiles/ppdb_privacy.dir/tuple_columns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

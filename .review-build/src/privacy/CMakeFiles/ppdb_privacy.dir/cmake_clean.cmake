@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_privacy.dir/config.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/config.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/dimension.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/dimension.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/house_policy.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/house_policy.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/ordered_scale.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/ordered_scale.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/policy_diff.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/policy_diff.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/policy_dsl.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/policy_dsl.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/privacy_tuple.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/privacy_tuple.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/provider_prefs.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/provider_prefs.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/purpose.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/purpose.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/sensitivity.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/sensitivity.cc.o.d"
+  "CMakeFiles/ppdb_privacy.dir/tuple_columns.cc.o"
+  "CMakeFiles/ppdb_privacy.dir/tuple_columns.cc.o.d"
+  "libppdb_privacy.a"
+  "libppdb_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

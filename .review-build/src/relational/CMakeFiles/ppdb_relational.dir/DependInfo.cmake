@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/catalog.cc" "src/relational/CMakeFiles/ppdb_relational.dir/catalog.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/catalog.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/ppdb_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/relational/CMakeFiles/ppdb_relational.dir/expression.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/expression.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/relational/CMakeFiles/ppdb_relational.dir/query.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/query.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/ppdb_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/sql.cc" "src/relational/CMakeFiles/ppdb_relational.dir/sql.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/sql.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/ppdb_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/ppdb_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/ppdb_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_relational.dir/catalog.cc.o"
+  "CMakeFiles/ppdb_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/csv.cc.o"
+  "CMakeFiles/ppdb_relational.dir/csv.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/expression.cc.o"
+  "CMakeFiles/ppdb_relational.dir/expression.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/query.cc.o"
+  "CMakeFiles/ppdb_relational.dir/query.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/schema.cc.o"
+  "CMakeFiles/ppdb_relational.dir/schema.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/sql.cc.o"
+  "CMakeFiles/ppdb_relational.dir/sql.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/table.cc.o"
+  "CMakeFiles/ppdb_relational.dir/table.cc.o.d"
+  "CMakeFiles/ppdb_relational.dir/value.cc.o"
+  "CMakeFiles/ppdb_relational.dir/value.cc.o.d"
+  "libppdb_relational.a"
+  "libppdb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppdb_relational.a"
+)

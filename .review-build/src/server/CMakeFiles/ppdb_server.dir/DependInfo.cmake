@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/broker.cc" "src/server/CMakeFiles/ppdb_server.dir/broker.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/broker.cc.o.d"
+  "/root/repo/src/server/net/conn_metrics.cc" "src/server/CMakeFiles/ppdb_server.dir/net/conn_metrics.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/net/conn_metrics.cc.o.d"
+  "/root/repo/src/server/net/framer.cc" "src/server/CMakeFiles/ppdb_server.dir/net/framer.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/net/framer.cc.o.d"
+  "/root/repo/src/server/net/poller.cc" "src/server/CMakeFiles/ppdb_server.dir/net/poller.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/net/poller.cc.o.d"
+  "/root/repo/src/server/net/tcp_server.cc" "src/server/CMakeFiles/ppdb_server.dir/net/tcp_server.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/net/tcp_server.cc.o.d"
+  "/root/repo/src/server/net/transport.cc" "src/server/CMakeFiles/ppdb_server.dir/net/transport.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/net/transport.cc.o.d"
+  "/root/repo/src/server/request.cc" "src/server/CMakeFiles/ppdb_server.dir/request.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/request.cc.o.d"
+  "/root/repo/src/server/serve.cc" "src/server/CMakeFiles/ppdb_server.dir/serve.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/serve.cc.o.d"
+  "/root/repo/src/server/serve_core.cc" "src/server/CMakeFiles/ppdb_server.dir/serve_core.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/serve_core.cc.o.d"
+  "/root/repo/src/server/service.cc" "src/server/CMakeFiles/ppdb_server.dir/service.cc.o" "gcc" "src/server/CMakeFiles/ppdb_server.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/storage/CMakeFiles/ppdb_storage.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/violation/CMakeFiles/ppdb_violation.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/privacy/CMakeFiles/ppdb_privacy.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/relational/CMakeFiles/ppdb_relational.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/obs/CMakeFiles/ppdb_obs.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/audit/CMakeFiles/ppdb_audit.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/stats/CMakeFiles/ppdb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_server.dir/broker.cc.o"
+  "CMakeFiles/ppdb_server.dir/broker.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/net/conn_metrics.cc.o"
+  "CMakeFiles/ppdb_server.dir/net/conn_metrics.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/net/framer.cc.o"
+  "CMakeFiles/ppdb_server.dir/net/framer.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/net/poller.cc.o"
+  "CMakeFiles/ppdb_server.dir/net/poller.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/net/tcp_server.cc.o"
+  "CMakeFiles/ppdb_server.dir/net/tcp_server.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/net/transport.cc.o"
+  "CMakeFiles/ppdb_server.dir/net/transport.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/request.cc.o"
+  "CMakeFiles/ppdb_server.dir/request.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/serve.cc.o"
+  "CMakeFiles/ppdb_server.dir/serve.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/serve_core.cc.o"
+  "CMakeFiles/ppdb_server.dir/serve_core.cc.o.d"
+  "CMakeFiles/ppdb_server.dir/service.cc.o"
+  "CMakeFiles/ppdb_server.dir/service.cc.o.d"
+  "libppdb_server.a"
+  "libppdb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

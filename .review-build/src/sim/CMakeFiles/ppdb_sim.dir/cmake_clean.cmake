@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_sim.dir/dynamics.cc.o"
+  "CMakeFiles/ppdb_sim.dir/dynamics.cc.o.d"
+  "CMakeFiles/ppdb_sim.dir/population.cc.o"
+  "CMakeFiles/ppdb_sim.dir/population.cc.o.d"
+  "CMakeFiles/ppdb_sim.dir/scenario.cc.o"
+  "CMakeFiles/ppdb_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/ppdb_sim.dir/westin.cc.o"
+  "CMakeFiles/ppdb_sim.dir/westin.cc.o.d"
+  "libppdb_sim.a"
+  "libppdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

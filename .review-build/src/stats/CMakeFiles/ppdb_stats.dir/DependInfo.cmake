@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cc" "src/stats/CMakeFiles/ppdb_stats.dir/confidence.cc.o" "gcc" "src/stats/CMakeFiles/ppdb_stats.dir/confidence.cc.o.d"
+  "/root/repo/src/stats/empirical_cdf.cc" "src/stats/CMakeFiles/ppdb_stats.dir/empirical_cdf.cc.o" "gcc" "src/stats/CMakeFiles/ppdb_stats.dir/empirical_cdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ppdb_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ppdb_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/rank_correlation.cc" "src/stats/CMakeFiles/ppdb_stats.dir/rank_correlation.cc.o" "gcc" "src/stats/CMakeFiles/ppdb_stats.dir/rank_correlation.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/stats/CMakeFiles/ppdb_stats.dir/running_stats.cc.o" "gcc" "src/stats/CMakeFiles/ppdb_stats.dir/running_stats.cc.o.d"
+  "/root/repo/src/stats/table_printer.cc" "src/stats/CMakeFiles/ppdb_stats.dir/table_printer.cc.o" "gcc" "src/stats/CMakeFiles/ppdb_stats.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

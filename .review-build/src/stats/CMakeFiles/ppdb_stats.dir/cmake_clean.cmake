@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_stats.dir/confidence.cc.o"
+  "CMakeFiles/ppdb_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/ppdb_stats.dir/empirical_cdf.cc.o"
+  "CMakeFiles/ppdb_stats.dir/empirical_cdf.cc.o.d"
+  "CMakeFiles/ppdb_stats.dir/histogram.cc.o"
+  "CMakeFiles/ppdb_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ppdb_stats.dir/rank_correlation.cc.o"
+  "CMakeFiles/ppdb_stats.dir/rank_correlation.cc.o.d"
+  "CMakeFiles/ppdb_stats.dir/running_stats.cc.o"
+  "CMakeFiles/ppdb_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/ppdb_stats.dir/table_printer.cc.o"
+  "CMakeFiles/ppdb_stats.dir/table_printer.cc.o.d"
+  "libppdb_stats.a"
+  "libppdb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_storage.dir/database_io.cc.o"
+  "CMakeFiles/ppdb_storage.dir/database_io.cc.o.d"
+  "CMakeFiles/ppdb_storage.dir/fs.cc.o"
+  "CMakeFiles/ppdb_storage.dir/fs.cc.o.d"
+  "CMakeFiles/ppdb_storage.dir/journal.cc.o"
+  "CMakeFiles/ppdb_storage.dir/journal.cc.o.d"
+  "libppdb_storage.a"
+  "libppdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/violation/change_impact.cc" "src/violation/CMakeFiles/ppdb_violation.dir/change_impact.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/change_impact.cc.o.d"
+  "/root/repo/src/violation/conflict.cc" "src/violation/CMakeFiles/ppdb_violation.dir/conflict.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/conflict.cc.o.d"
+  "/root/repo/src/violation/default_model.cc" "src/violation/CMakeFiles/ppdb_violation.dir/default_model.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/default_model.cc.o.d"
+  "/root/repo/src/violation/detector.cc" "src/violation/CMakeFiles/ppdb_violation.dir/detector.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/detector.cc.o.d"
+  "/root/repo/src/violation/incremental.cc" "src/violation/CMakeFiles/ppdb_violation.dir/incremental.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/incremental.cc.o.d"
+  "/root/repo/src/violation/kernel/severity_kernel.cc" "src/violation/CMakeFiles/ppdb_violation.dir/kernel/severity_kernel.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/kernel/severity_kernel.cc.o.d"
+  "/root/repo/src/violation/kernel/severity_kernel_avx2.cc" "src/violation/CMakeFiles/ppdb_violation.dir/kernel/severity_kernel_avx2.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/kernel/severity_kernel_avx2.cc.o.d"
+  "/root/repo/src/violation/kernel/severity_kernel_neon.cc" "src/violation/CMakeFiles/ppdb_violation.dir/kernel/severity_kernel_neon.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/kernel/severity_kernel_neon.cc.o.d"
+  "/root/repo/src/violation/live_monitor.cc" "src/violation/CMakeFiles/ppdb_violation.dir/live_monitor.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/live_monitor.cc.o.d"
+  "/root/repo/src/violation/metrics.cc" "src/violation/CMakeFiles/ppdb_violation.dir/metrics.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/metrics.cc.o.d"
+  "/root/repo/src/violation/policy_search.cc" "src/violation/CMakeFiles/ppdb_violation.dir/policy_search.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/policy_search.cc.o.d"
+  "/root/repo/src/violation/probability.cc" "src/violation/CMakeFiles/ppdb_violation.dir/probability.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/probability.cc.o.d"
+  "/root/repo/src/violation/report.cc" "src/violation/CMakeFiles/ppdb_violation.dir/report.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/report.cc.o.d"
+  "/root/repo/src/violation/report_io.cc" "src/violation/CMakeFiles/ppdb_violation.dir/report_io.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/report_io.cc.o.d"
+  "/root/repo/src/violation/utility.cc" "src/violation/CMakeFiles/ppdb_violation.dir/utility.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/utility.cc.o.d"
+  "/root/repo/src/violation/what_if.cc" "src/violation/CMakeFiles/ppdb_violation.dir/what_if.cc.o" "gcc" "src/violation/CMakeFiles/ppdb_violation.dir/what_if.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/privacy/CMakeFiles/ppdb_privacy.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/relational/CMakeFiles/ppdb_relational.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/stats/CMakeFiles/ppdb_stats.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/obs/CMakeFiles/ppdb_obs.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

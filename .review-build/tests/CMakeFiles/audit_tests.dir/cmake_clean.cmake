@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tests.dir/audit_dp_release_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit_dp_release_test.cc.o.d"
+  "CMakeFiles/audit_tests.dir/audit_generalizer_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit_generalizer_test.cc.o.d"
+  "CMakeFiles/audit_tests.dir/audit_k_anonymity_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit_k_anonymity_test.cc.o.d"
+  "CMakeFiles/audit_tests.dir/audit_monitor_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit_monitor_test.cc.o.d"
+  "CMakeFiles/audit_tests.dir/audit_observe_consistency_test.cc.o"
+  "CMakeFiles/audit_tests.dir/audit_observe_consistency_test.cc.o.d"
+  "audit_tests"
+  "audit_tests.pdb"
+  "audit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

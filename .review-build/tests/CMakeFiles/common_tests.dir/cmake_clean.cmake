@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common_circuit_breaker_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_circuit_breaker_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_deadline_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_deadline_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_logging_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_logging_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_macros_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_macros_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_retry_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_retry_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_rng_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_rng_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_status_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_status_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_string_util_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_string_util_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common_thread_pool_test.cc.o"
+  "CMakeFiles/common_tests.dir/common_thread_pool_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_tests.dir/common_deadlock_test.cc.o"
+  "CMakeFiles/deadlock_tests.dir/common_deadlock_test.cc.o.d"
+  "deadlock_tests"
+  "deadlock_tests.pdb"
+  "deadlock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_robustness_test.cc" "tests/CMakeFiles/integration_tests.dir/fuzz_robustness_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/fuzz_robustness_test.cc.o.d"
+  "/root/repo/tests/integration_pipeline_test.cc" "tests/CMakeFiles/integration_tests.dir/integration_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration_pipeline_test.cc.o.d"
+  "/root/repo/tests/property_roundtrip_test.cc" "tests/CMakeFiles/integration_tests.dir/property_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/property_roundtrip_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/integration_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/server/CMakeFiles/ppdb_server.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/storage/CMakeFiles/ppdb_storage.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/audit/CMakeFiles/ppdb_audit.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/sim/CMakeFiles/ppdb_sim.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/violation/CMakeFiles/ppdb_violation.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/privacy/CMakeFiles/ppdb_privacy.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/relational/CMakeFiles/ppdb_relational.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/stats/CMakeFiles/ppdb_stats.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/obs/CMakeFiles/ppdb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

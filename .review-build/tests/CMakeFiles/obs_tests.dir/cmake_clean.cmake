@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_tests.dir/obs_metrics_test.cc.o"
+  "CMakeFiles/obs_tests.dir/obs_metrics_test.cc.o.d"
+  "CMakeFiles/obs_tests.dir/obs_trace_test.cc.o"
+  "CMakeFiles/obs_tests.dir/obs_trace_test.cc.o.d"
+  "obs_tests"
+  "obs_tests.pdb"
+  "obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_tests.dir/privacy_dsl_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy_dsl_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy_policy_diff_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy_policy_diff_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy_policy_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy_policy_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy_purpose_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy_purpose_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy_scale_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy_scale_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy_tuple_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy_tuple_test.cc.o.d"
+  "privacy_tests"
+  "privacy_tests.pdb"
+  "privacy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

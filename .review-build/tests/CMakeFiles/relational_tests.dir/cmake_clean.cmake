@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_tests.dir/relational_csv_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_csv_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational_expression_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_expression_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational_multirecord_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_multirecord_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational_query_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_query_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational_sql_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_sql_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational_table_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_table_test.cc.o.d"
+  "CMakeFiles/relational_tests.dir/relational_value_test.cc.o"
+  "CMakeFiles/relational_tests.dir/relational_value_test.cc.o.d"
+  "relational_tests"
+  "relational_tests.pdb"
+  "relational_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

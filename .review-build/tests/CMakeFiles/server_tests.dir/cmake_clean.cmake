@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_tests.dir/server_broker_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_broker_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_journal_crash_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_journal_crash_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_net_framer_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_net_framer_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_net_tcp_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_net_tcp_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_net_transport_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_net_transport_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_request_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_request_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_serve_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_serve_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server_service_test.cc.o"
+  "CMakeFiles/server_tests.dir/server_service_test.cc.o.d"
+  "server_tests"
+  "server_tests.pdb"
+  "server_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

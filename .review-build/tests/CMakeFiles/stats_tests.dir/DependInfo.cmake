@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_rank_correlation_test.cc" "tests/CMakeFiles/stats_tests.dir/stats_rank_correlation_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_rank_correlation_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/stats_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/server/CMakeFiles/ppdb_server.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/storage/CMakeFiles/ppdb_storage.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/audit/CMakeFiles/ppdb_audit.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/sim/CMakeFiles/ppdb_sim.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/violation/CMakeFiles/ppdb_violation.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/privacy/CMakeFiles/ppdb_privacy.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/relational/CMakeFiles/ppdb_relational.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/stats/CMakeFiles/ppdb_stats.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/obs/CMakeFiles/ppdb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage_crash_matrix_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage_crash_matrix_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage_database_io_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage_database_io_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage_fs_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage_fs_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage_journal_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage_journal_test.cc.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/violation_change_impact_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_change_impact_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_change_impact_test.cc.o.d"
+  "/root/repo/tests/violation_conflict_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_conflict_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_conflict_test.cc.o.d"
+  "/root/repo/tests/violation_detector_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_detector_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_detector_test.cc.o.d"
+  "/root/repo/tests/violation_incremental_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_incremental_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_incremental_test.cc.o.d"
+  "/root/repo/tests/violation_kernel_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_kernel_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_kernel_test.cc.o.d"
+  "/root/repo/tests/violation_live_monitor_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_live_monitor_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_live_monitor_test.cc.o.d"
+  "/root/repo/tests/violation_paper_example_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_paper_example_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_paper_example_test.cc.o.d"
+  "/root/repo/tests/violation_parallel_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_parallel_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_parallel_test.cc.o.d"
+  "/root/repo/tests/violation_policy_search_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_policy_search_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_policy_search_test.cc.o.d"
+  "/root/repo/tests/violation_probability_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_probability_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_probability_test.cc.o.d"
+  "/root/repo/tests/violation_report_io_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_report_io_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_report_io_test.cc.o.d"
+  "/root/repo/tests/violation_utility_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_utility_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_utility_test.cc.o.d"
+  "/root/repo/tests/violation_what_if_test.cc" "tests/CMakeFiles/violation_tests.dir/violation_what_if_test.cc.o" "gcc" "tests/CMakeFiles/violation_tests.dir/violation_what_if_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/.review-build/src/server/CMakeFiles/ppdb_server.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/storage/CMakeFiles/ppdb_storage.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/audit/CMakeFiles/ppdb_audit.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/sim/CMakeFiles/ppdb_sim.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/violation/CMakeFiles/ppdb_violation.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/privacy/CMakeFiles/ppdb_privacy.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/relational/CMakeFiles/ppdb_relational.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/stats/CMakeFiles/ppdb_stats.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/common/CMakeFiles/ppdb_common.dir/DependInfo.cmake"
+  "/root/repo/.review-build/src/obs/CMakeFiles/ppdb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_tests.dir/violation_change_impact_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_change_impact_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_conflict_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_conflict_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_detector_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_detector_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_incremental_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_incremental_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_kernel_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_kernel_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_live_monitor_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_live_monitor_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_paper_example_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_paper_example_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_parallel_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_parallel_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_policy_search_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_policy_search_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_probability_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_probability_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_report_io_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_report_io_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_utility_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_utility_test.cc.o.d"
+  "CMakeFiles/violation_tests.dir/violation_what_if_test.cc.o"
+  "CMakeFiles/violation_tests.dir/violation_what_if_test.cc.o.d"
+  "violation_tests"
+  "violation_tests.pdb"
+  "violation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_cli.dir/ppdb_cli.cpp.o"
+  "CMakeFiles/ppdb_cli.dir/ppdb_cli.cpp.o.d"
+  "ppdb_cli"
+  "ppdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/analyzer/analyzer_main.cc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/analyzer_main.cc.o" "gcc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/analyzer_main.cc.o.d"
+  "/root/repo/tools/analyzer/determinism.cc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/determinism.cc.o" "gcc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/determinism.cc.o.d"
+  "/root/repo/tools/analyzer/lock_order.cc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/lock_order.cc.o" "gcc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/lock_order.cc.o.d"
+  "/root/repo/tools/analyzer/source_lexer.cc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/source_lexer.cc.o" "gcc" "tools/analyzer/CMakeFiles/ppdb_analyze.dir/source_lexer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdb_analyze.dir/analyzer_main.cc.o"
+  "CMakeFiles/ppdb_analyze.dir/analyzer_main.cc.o.d"
+  "CMakeFiles/ppdb_analyze.dir/determinism.cc.o"
+  "CMakeFiles/ppdb_analyze.dir/determinism.cc.o.d"
+  "CMakeFiles/ppdb_analyze.dir/lock_order.cc.o"
+  "CMakeFiles/ppdb_analyze.dir/lock_order.cc.o.d"
+  "CMakeFiles/ppdb_analyze.dir/source_lexer.cc.o"
+  "CMakeFiles/ppdb_analyze.dir/source_lexer.cc.o.d"
+  "ppdb_analyze"
+  "ppdb_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdb_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
